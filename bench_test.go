@@ -1,0 +1,322 @@
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation as testing.B benchmarks, at a scale suited to `go test
+// -bench=.` (the command binaries under cmd/ run the same experiments at
+// larger scales with tunable parameters). Each benchmark prints the
+// experiment's table once; the reported ns/op measures one full
+// regeneration of that artifact.
+package sqlgraph
+
+import (
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"sqlgraph/internal/baseline"
+	"sqlgraph/internal/bench/experiments"
+)
+
+// benchOut controls whether experiment tables print during benchmarks.
+// Set SQLGRAPH_BENCH_QUIET=1 to suppress them.
+func benchOut() io.Writer {
+	if os.Getenv("SQLGRAPH_BENCH_QUIET") != "" {
+		return io.Discard
+	}
+	return os.Stdout
+}
+
+// Shared environments, built once (dataset generation dominates
+// otherwise).
+var (
+	envOnce     sync.Once
+	envPlain    *experiments.DBpediaEnv // no baselines
+	envFull     *experiments.DBpediaEnv // with baseline stores
+	envSetupErr error
+)
+
+func sharedEnvs(b *testing.B) (*experiments.DBpediaEnv, *experiments.DBpediaEnv) {
+	envOnce.Do(func() {
+		envPlain, envSetupErr = experiments.SetupDBpedia(experiments.ScaleTiny, baseline.CostModel{}, false)
+		if envSetupErr != nil {
+			return
+		}
+		envFull, envSetupErr = experiments.SetupDBpedia(experiments.ScaleTiny, experiments.DefaultCost, true)
+	})
+	if envSetupErr != nil {
+		b.Fatal(envSetupErr)
+	}
+	return envPlain, envFull
+}
+
+// --- Section 3: micro-benchmarks ---
+
+// BenchmarkFig3AdjacencyMicro regenerates Figure 3 / Table 1: the 11
+// traversal queries on hash-adjacency vs JSON-adjacency storage.
+func BenchmarkFig3AdjacencyMicro(b *testing.B) {
+	env, _ := sharedEnvs(b)
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig3Adjacency(env, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkFig4AttributeLookup regenerates Figure 4 / Table 2: the 16
+// attribute lookups on JSON vs hash attribute storage.
+func BenchmarkFig4AttributeLookup(b *testing.B) {
+	env, _ := sharedEnvs(b)
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig4Attributes(env, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkTable3SchemaStats regenerates Table 3: hash-table
+// characteristics (labels, buckets, spills, side-table rows).
+func BenchmarkTable3SchemaStats(b *testing.B) {
+	env, _ := sharedEnvs(b)
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table3Stats(env, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkTable4Neighbors regenerates Table 4: neighbor lookup through
+// EA vs through IPA+ISA across selectivities.
+func BenchmarkTable4Neighbors(b *testing.B) {
+	env, _ := sharedEnvs(b)
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table4Neighbors(env, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkFig6PathPlans regenerates Figure 6: long-path computation via
+// OPA+OSA vs via the EA table alone.
+func BenchmarkFig6PathPlans(b *testing.B) {
+	env, _ := sharedEnvs(b)
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig6PathPlans(env, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// --- Section 5.1: DBpedia benchmark ---
+
+// BenchmarkFig8aDBpediaQueries regenerates Figure 8a: the 20 benchmark
+// queries across SQLGraph and the Titan-like and Neo4j-like stores.
+func BenchmarkFig8aDBpediaQueries(b *testing.B) {
+	_, env := sharedEnvs(b)
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8aBenchmark(env, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkFig8bPathQueries regenerates Figure 8b: the 11 path queries
+// across the three systems.
+func BenchmarkFig8bPathQueries(b *testing.B) {
+	_, env := sharedEnvs(b)
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8bPaths(env, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkFig8cMemorySweep regenerates Figure 8c: mean query time as the
+// simulated memory budget grows from 20% to 100% of the working set.
+func BenchmarkFig8cMemorySweep(b *testing.B) {
+	_, env := sharedEnvs(b)
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig8cMemory(env, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkFig8dSummary regenerates Figure 8d: benchmark/adjusted/path
+// means per system.
+func BenchmarkFig8dSummary(b *testing.B) {
+	_, env := sharedEnvs(b)
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig8dSummary(env, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// --- Section 5.2: LinkBench ---
+
+// BenchmarkFig9LinkBenchThroughput regenerates Figure 9a-c: op/sec across
+// graph scales and requester counts for all four systems.
+func BenchmarkFig9LinkBenchThroughput(b *testing.B) {
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig9Throughput([]int{500, 2000}, []int{1, 10, 100}, 100, experiments.DefaultCost, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkFig9dXLThroughput regenerates Figure 9d: the largest graph,
+// SQLGraph vs the Neo4j-like store.
+func BenchmarkFig9dXLThroughput(b *testing.B) {
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig9dXL(10000, 100, experiments.DefaultCost, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkTable6OperationLatency regenerates Table 6: per-operation
+// mean (max) latency with 10 requesters at the mid scale.
+func BenchmarkTable6OperationLatency(b *testing.B) {
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table6Ops(2000, 200, experiments.DefaultCost, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkTable7XLOperationLatency regenerates Table 7: per-operation
+// latency on the XL graph with 100 requesters.
+func BenchmarkTable7XLOperationLatency(b *testing.B) {
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table7XLOps(10000, 100, experiments.DefaultCost, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// --- Design-choice ablations (DESIGN.md Section 5) ---
+
+// BenchmarkAblationColoringVsModulo compares the co-occurrence coloring
+// hash against a naive modulo hash: spill rows and traversal time.
+func BenchmarkAblationColoringVsModulo(b *testing.B) {
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.AblationColoring(experiments.ScaleTiny, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkAblationEARedundancy isolates the EA adjacency copy's value:
+// Table 4 and Figure 6 both derive from it (EA vs hash-table plans); this
+// runs the Figure 6 comparison as the headline ablation.
+func BenchmarkAblationEARedundancy(b *testing.B) {
+	env, _ := sharedEnvs(b)
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig6PathPlans(env, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkAblationTranslationVsPipes isolates the single-SQL translation
+// benefit: the same SQLGraph store queried through one SQL statement vs
+// pipe-at-a-time Blueprints calls.
+func BenchmarkAblationTranslationVsPipes(b *testing.B) {
+	env, _ := sharedEnvs(b)
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.AblationTranslation(env, out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkAblationSoftDelete compares the paper's negative-id soft
+// delete against clean and eager deletion on a supernode.
+func BenchmarkAblationSoftDelete(b *testing.B) {
+	out := benchOut()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.AblationSoftDelete(out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// --- Core operation micro-benchmarks (library-level) ---
+
+// BenchmarkQueryTranslation measures Gremlin-to-SQL compilation alone.
+func BenchmarkQueryTranslation(b *testing.B) {
+	env, _ := sharedEnvs(b)
+	g := &Graph{store: env.Store}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Translate("g.V.has('label', 'x').out('a').in('b').dedup().count()"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleHop measures one EA-backed hop end to end.
+func BenchmarkSingleHop(b *testing.B) {
+	env, _ := sharedEnvs(b)
+	g := &Graph{store: env.Store}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Query("g.V(10).out"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAddEdge measures the multi-table edge-insert stored procedure.
+func BenchmarkAddEdge(b *testing.B) {
+	g, err := Open(Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := int64(0); i < 1000; i++ {
+		if err := g.AddVertex(i, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.AddEdge(int64(i), int64(i%1000), int64((i+1)%1000), "e", nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

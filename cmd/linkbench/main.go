@@ -1,0 +1,44 @@
+// Command linkbench regenerates the paper's LinkBench evaluation:
+// Figure 9a-c (throughput across scales and requester counts), Figure 9d
+// (the XL graph), Table 6 (per-operation latency at the mid scale), and
+// Table 7 (per-operation latency on the XL graph).
+//
+// Usage:
+//
+//	linkbench [-exp all|throughput|xl|ops|xlops|softdelete] [-ops 500] [-latency 5us]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"sqlgraph/internal/baseline"
+	"sqlgraph/internal/bench/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, throughput, xl, ops, xlops, softdelete")
+	ops := flag.Int("ops", 500, "operations per requester")
+	latency := flag.Duration("latency", 25*time.Microsecond, "simulated per-call network round trip for baseline stores")
+	servercpu := flag.Duration("servercpu", 40*time.Microsecond, "simulated serialized per-call server CPU for baseline stores")
+	flag.Parse()
+
+	cost := baseline.CostModel{PerCall: *latency, ServerCPU: *servercpu}
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	run("throughput", func() error {
+		return experiments.Fig9Throughput(experiments.LinkBenchScales, experiments.Requesters, *ops, cost, os.Stdout)
+	})
+	run("xl", func() error { return experiments.Fig9dXL(0, *ops, cost, os.Stdout) })
+	run("ops", func() error { return experiments.Table6Ops(50000, *ops, cost, os.Stdout) })
+	run("xlops", func() error { return experiments.Table7XLOps(0, *ops, cost, os.Stdout) })
+	run("softdelete", func() error { return experiments.AblationSoftDelete(os.Stdout) })
+}

@@ -1,0 +1,73 @@
+// Command microbench regenerates the paper's schema-design
+// micro-benchmarks (Section 3): Figure 3 (adjacency storage), Figure 4
+// (attribute lookup), Table 3 (hash table characteristics), Table 4
+// (neighbor lookup), and Figure 6 (path plans), plus the design-choice
+// ablations.
+//
+// Usage:
+//
+//	microbench [-scale tiny|small|medium|large] [-exp all|adjacency|attributes|stats|neighbors|paths|ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sqlgraph/internal/baseline"
+	"sqlgraph/internal/bench/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "dataset scale: tiny, small, medium, large")
+	exp := flag.String("exp", "all", "experiment: all, adjacency, attributes, stats, neighbors, paths, ablations")
+	flag.Parse()
+
+	s, err := parseScale(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Generating DBpedia-shaped dataset (%s scale)...\n", *scale)
+	env, err := experiments.SetupDBpedia(s, baseline.CostModel{}, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Dataset: %d vertices, %d edges; SQLGraph footprint %d bytes\n",
+		env.Data.NumVertices, env.Data.NumEdges, env.Store.TotalBytes())
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	run("adjacency", func() error { return experiments.Fig3Adjacency(env, os.Stdout) })
+	run("attributes", func() error { return experiments.Fig4Attributes(env, os.Stdout) })
+	run("stats", func() error { return experiments.Table3Stats(env, os.Stdout) })
+	run("neighbors", func() error { return experiments.Table4Neighbors(env, os.Stdout) })
+	run("paths", func() error { return experiments.Fig6PathPlans(env, os.Stdout) })
+	run("ablations", func() error {
+		if err := experiments.AblationColoring(s, os.Stdout); err != nil {
+			return err
+		}
+		return experiments.AblationSoftDelete(os.Stdout)
+	})
+}
+
+func parseScale(s string) (experiments.Scale, error) {
+	switch s {
+	case "tiny":
+		return experiments.ScaleTiny, nil
+	case "small":
+		return experiments.ScaleSmall, nil
+	case "medium":
+		return experiments.ScaleMedium, nil
+	case "large":
+		return experiments.ScaleLarge, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q", s)
+	}
+}

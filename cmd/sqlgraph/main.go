@@ -1,0 +1,180 @@
+// Command sqlgraph is an interactive front-end to the store: it loads the
+// paper's sample graph (Figure 2a) or a generated dataset, runs Gremlin
+// queries, shows their SQL translations, and reports schema statistics.
+//
+// Usage:
+//
+//	sqlgraph [-dataset sample|dbpedia] [-scale tiny|small|medium] <command> [args]
+//
+// Commands:
+//
+//	query <gremlin>      run a Gremlin query and print the results
+//	translate <gremlin>  print the SQL a Gremlin query compiles to
+//	stats                print hash-table statistics (paper Table 3)
+//	demo                 run a short guided demo on the sample graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"sqlgraph"
+	"sqlgraph/internal/bench/dbpedia"
+	"sqlgraph/internal/bench/experiments"
+)
+
+func main() {
+	dataset := flag.String("dataset", "sample", "graph to load: sample (paper Figure 2a) or dbpedia (synthetic)")
+	scale := flag.String("scale", "tiny", "dbpedia dataset scale: tiny, small, medium")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"demo"}
+	}
+
+	g, err := loadGraph(*dataset, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch args[0] {
+	case "query":
+		if len(args) < 2 {
+			log.Fatal("usage: sqlgraph query <gremlin>")
+		}
+		q := strings.Join(args[1:], " ")
+		res, err := g.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d result(s):\n", res.Count())
+		for i, v := range res.Values {
+			if i >= 50 {
+				fmt.Printf("... and %d more\n", res.Count()-50)
+				break
+			}
+			fmt.Printf("  %v\n", v)
+		}
+	case "translate":
+		if len(args) < 2 {
+			log.Fatal("usage: sqlgraph translate <gremlin>")
+		}
+		q := strings.Join(args[1:], " ")
+		tr, err := g.Translate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("-- result type: %s\n%s\n", tr.ElemType, formatSQL(tr.SQL))
+	case "stats":
+		s, err := g.Stats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(s)
+		fmt.Printf("Footprint: %d bytes, %d vertices, %d edges\n", g.Bytes(), g.CountVertices(), g.CountEdges())
+	case "demo":
+		demo(g)
+	default:
+		log.Fatalf("unknown command %q (want query, translate, stats, demo)", args[0])
+	}
+}
+
+func loadGraph(dataset, scale string) (*sqlgraph.Graph, error) {
+	switch dataset {
+	case "sample":
+		return sampleGraph()
+	case "dbpedia":
+		var s experiments.Scale
+		switch scale {
+		case "tiny":
+			s = experiments.ScaleTiny
+		case "small":
+			s = experiments.ScaleSmall
+		case "medium":
+			s = experiments.ScaleMedium
+		default:
+			return nil, fmt.Errorf("unknown scale %q", scale)
+		}
+		d := dbpedia.Generate(experiments.DBpediaConfig(s))
+		b := sqlgraph.NewBuilder()
+		for _, v := range d.Graph.VertexIDs() {
+			attrs, _ := d.Graph.VertexAttrs(v)
+			if err := b.AddVertex(v, attrs); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range d.Graph.EdgeIDs() {
+			rec, _ := d.Graph.Edge(e)
+			attrs, _ := d.Graph.EdgeAttrs(e)
+			if err := b.AddEdge(rec.ID, rec.Out, rec.In, rec.Label, attrs); err != nil {
+				return nil, err
+			}
+		}
+		return sqlgraph.Load(b, sqlgraph.Options{})
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+// sampleGraph builds the paper's Figure 2a property graph.
+func sampleGraph() (*sqlgraph.Graph, error) {
+	b := sqlgraph.NewBuilder()
+	steps := []error{
+		b.AddVertex(1, map[string]any{"name": "marko", "age": 29}),
+		b.AddVertex(2, map[string]any{"name": "vadas", "age": 27}),
+		b.AddVertex(3, map[string]any{"name": "lop", "lang": "java"}),
+		b.AddVertex(4, map[string]any{"name": "josh", "age": 32}),
+		b.AddEdge(7, 1, 2, "knows", map[string]any{"weight": 0.5}),
+		b.AddEdge(8, 1, 4, "knows", map[string]any{"weight": 1.0}),
+		b.AddEdge(9, 1, 3, "created", map[string]any{"weight": 0.4}),
+		b.AddEdge(10, 4, 2, "likes", map[string]any{"weight": 0.2}),
+		b.AddEdge(11, 4, 3, "created", map[string]any{"weight": 0.8}),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sqlgraph.Load(b, sqlgraph.Options{})
+}
+
+func demo(g *sqlgraph.Graph) {
+	fmt.Println("SQLGraph demo on the paper's Figure 2a sample graph")
+	fmt.Printf("%d vertices, %d edges\n\n", g.CountVertices(), g.CountEdges())
+	demos := []string{
+		"g.V.has('name', 'marko').out('knows').name",
+		"g.V.filter{it.age > 27}.count()",
+		"g.E.has('weight', T.gt, 0.5).count()",
+		"g.V(1).out('knows').out('created').path",
+		"g.V.both.dedup().count()",
+	}
+	for _, q := range demos {
+		fmt.Printf("gremlin> %s\n", q)
+		tr, err := g.Translate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  sql: %s\n", shorten(tr.SQL, 140))
+		res, err := g.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  =>  %v\n\n", res.Values)
+	}
+}
+
+func shorten(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + " ..."
+}
+
+// formatSQL adds newlines between CTEs for readability.
+func formatSQL(sql string) string {
+	sql = strings.ReplaceAll(sql, "), ", "),\n")
+	sql = strings.ReplaceAll(sql, ") SELECT", ")\nSELECT")
+	return sql
+}

@@ -1,0 +1,3 @@
+module sqlgraph
+
+go 1.22

@@ -1,0 +1,242 @@
+package altschema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"sqlgraph/internal/blueprints"
+)
+
+// chainGraph builds a graph with a hub, a chain, and labeled edges for
+// traversal tests.
+func chainGraph(t *testing.T) *blueprints.MemGraph {
+	t.Helper()
+	g := blueprints.NewMemGraph()
+	for i := int64(0); i < 20; i++ {
+		attrs := map[string]any{"n": i}
+		if i%2 == 0 {
+			attrs["name"] = fmt.Sprintf("even%d", i)
+		}
+		if err := g.AddVertex(i, attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eid := int64(100)
+	for i := int64(0); i < 19; i++ {
+		if err := g.AddEdge(eid, i, i+1, "next", nil); err != nil {
+			t.Fatal(err)
+		}
+		eid++
+	}
+	// Hub fan-out with a second label.
+	for i := int64(5); i < 15; i++ {
+		if err := g.AddEdge(eid, 0, i, "fan", nil); err != nil {
+			t.Fatal(err)
+		}
+		eid++
+	}
+	return g
+}
+
+func TestJSONAdjKHop(t *testing.T) {
+	g := chainGraph(t)
+	s, err := NewJSONAdjStore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 hops along the chain from 0: {3}.
+	got, err := s.KHop([]int64{0}, []string{"next"}, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("khop = %v", got)
+	}
+	// Unlabeled 1 hop from 0: chain target 1 plus fan targets 5..14.
+	got, err = s.KHop([]int64{0}, nil, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 11 {
+		t.Fatalf("unlabeled hop = %v", got)
+	}
+	// Incoming direction.
+	got, err = s.KHop([]int64{10}, []string{"next"}, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 8 {
+		t.Fatalf("incoming khop = %v", got)
+	}
+	// Both directions, one hop from 7: {6, 8} via next, {0} via fan-in.
+	got, err = s.KHopBoth([]int64{7}, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if fmt.Sprint(got) != "[0 6 8]" {
+		t.Fatalf("both khop = %v", got)
+	}
+	// Falling off the end.
+	got, err = s.KHop([]int64{19}, []string{"next"}, 1, true)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("end of chain = %v, %v", got, err)
+	}
+}
+
+func TestJSONAdjMatchesOracle(t *testing.T) {
+	g := chainGraph(t)
+	s, err := NewJSONAdjStore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against direct MemGraph expansion for several frontiers.
+	for _, start := range [][]int64{{0}, {5}, {0, 5, 10}} {
+		for hops := 1; hops <= 4; hops++ {
+			got, err := s.KHop(start, []string{"next"}, hops, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := oracleKHop(g, start, "next", hops)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("start=%v hops=%d: got %v want %v", start, hops, got, want)
+			}
+		}
+	}
+}
+
+func oracleKHop(g *blueprints.MemGraph, start []int64, label string, hops int) []int64 {
+	frontier := start
+	for h := 0; h < hops; h++ {
+		seen := map[int64]bool{}
+		var next []int64
+		for _, v := range frontier {
+			recs, _ := g.OutEdges(v, label)
+			for _, r := range recs {
+				if !seen[r.In] {
+					seen[r.In] = true
+					next = append(next, r.In)
+				}
+			}
+		}
+		frontier = next
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	return frontier
+}
+
+func attrGraph(t *testing.T) *blueprints.MemGraph {
+	t.Helper()
+	g := blueprints.NewMemGraph()
+	long := strings.Repeat("x", 200)
+	for i := int64(0); i < 100; i++ {
+		attrs := map[string]any{
+			"title": fmt.Sprintf("title_%d", i),
+			"pop":   float64(i) / 2,
+			"id":    i,
+		}
+		if i%10 == 0 {
+			attrs["desc"] = long // long string
+		}
+		if i%5 == 0 {
+			attrs["tags"] = []any{"a", fmt.Sprintf("t%d", i)} // multi-value
+		}
+		if err := g.AddVertex(i, attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestHashAttrStoreLoadStats(t *testing.T) {
+	g := attrGraph(t)
+	h, err := NewHashAttrStore(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.LongStringRows != 10 {
+		t.Fatalf("long strings = %d", h.LongStringRows)
+	}
+	if h.MultiValueRows != 40 { // 20 vertices x 2 entries
+		t.Fatalf("multi-value rows = %d", h.MultiValueRows)
+	}
+	if h.SpillRows == 0 {
+		t.Fatal("expected spills with 3 columns and up to 5 keys")
+	}
+	if h.Rows < 100 {
+		t.Fatalf("rows = %d", h.Rows)
+	}
+}
+
+func TestHashAttrLookups(t *testing.T) {
+	g := attrGraph(t)
+	h, err := NewHashAttrStore(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CreateKeyIndex("title"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := h.CountNotNull("title")
+	if err != nil || n != 100 {
+		t.Fatalf("not-null title = %d, %v", n, err)
+	}
+	n, err = h.CountNotNull("desc")
+	if err != nil || n != 10 {
+		t.Fatalf("not-null desc = %d, %v", n, err)
+	}
+	n, err = h.CountStringMatch("title", "=", "title_42")
+	if err != nil || n != 1 {
+		t.Fatalf("title exact = %d, %v", n, err)
+	}
+	n, err = h.CountStringMatch("title", "like", "title_4%")
+	if err != nil || n != 11 { // 4, 40..49
+		t.Fatalf("title like = %d, %v", n, err)
+	}
+	// Long-string values resolve through the join.
+	n, err = h.CountStringMatch("desc", "like", "xxx%")
+	if err != nil || n != 10 {
+		t.Fatalf("desc like = %d, %v", n, err)
+	}
+	// Multi-valued keys resolve through the join.
+	n, err = h.CountStringMatch("tags", "=", "a")
+	if err != nil || n != 20 {
+		t.Fatalf("tags = %d, %v", n, err)
+	}
+	// Numeric predicates need casts.
+	n, err = h.CountNumericMatch("pop", ">", 40)
+	if err != nil || n != 19 { // pop = i/2 > 40 -> i in 81..99
+		t.Fatalf("pop > 40 = %d, %v", n, err)
+	}
+	n, err = h.CountNumericMatch("id", "=", 7)
+	if err != nil || n != 1 {
+		t.Fatalf("id = 7 -> %d, %v", n, err)
+	}
+	if _, err := h.CountStringMatch("title", "regex", "x"); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := h.CountNumericMatch("pop", "~", 1); err == nil {
+		t.Fatal("unknown numeric op accepted")
+	}
+}
+
+func TestHashAttrKeyIndexIdempotent(t *testing.T) {
+	g := attrGraph(t)
+	h, err := NewHashAttrStore(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CreateKeyIndex("title"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CreateKeyIndex("title"); err != nil {
+		t.Fatal(err)
+	}
+	// A key sharing the column also "has" the index already.
+	if h.Columns() > 0 {
+		_ = h.CreateKeyIndex("pop")
+	}
+}

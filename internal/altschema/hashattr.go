@@ -1,0 +1,312 @@
+package altschema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/core/coloring"
+	"sqlgraph/internal/engine"
+	"sqlgraph/internal/rel"
+)
+
+// HashAttrStore shreds vertex attributes into a coloring-hashed
+// relational table (paper Figure 2d): the VAH table holds (ATTRk, TYPEk,
+// VALk) triads, with values that do not fit inline redirected to the
+// long-string table (VAHL) and multi-valued keys to the multi-value table
+// (VAHM). Everything is stored as VARCHAR, so numeric predicates need
+// CASTs — one of the costs the paper attributes to this layout.
+type HashAttrStore struct {
+	eng    *engine.Engine
+	cat    *rel.Catalog
+	assign *coloring.Assignment
+	cols   int
+
+	// Table 3-style statistics.
+	SpillRows      int
+	LongStringRows int
+	MultiValueRows int
+	Rows           int
+}
+
+// longStringCutoff matches the paper's "long strings which cannot be put
+// into a single row".
+const longStringCutoff = 128
+
+// Type tags stored in TYPEk.
+const (
+	typeString  = "STRING"
+	typeInteger = "INTEGER"
+	typeDouble  = "DOUBLE"
+	typeLongStr = "LONGSTR" // VALk holds a VAHL SID
+	typeMulti   = "MULTI"   // VALk holds a VAHM LID
+)
+
+// NewHashAttrStore analyzes attribute-key co-occurrence and shreds every
+// vertex's attributes.
+func NewHashAttrStore(src blueprints.Graph, maxCols int) (*HashAttrStore, error) {
+	if maxCols <= 0 {
+		maxCols = 8
+	}
+	co := coloring.NewCooccurrence()
+	vids := src.VertexIDs()
+	for _, v := range vids {
+		attrs, err := src.VertexAttrs(v)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]string, 0, len(attrs))
+		for k := range attrs {
+			keys = append(keys, k)
+		}
+		co.Observe(keys)
+	}
+	assign := coloring.Greedy(co, maxCols)
+	cols := assign.Columns
+
+	cat := rel.NewCatalog()
+	schemaCols := []rel.Column{
+		{Name: "VID", Type: rel.KindInt},
+		{Name: "SPILL", Type: rel.KindInt},
+	}
+	for k := 0; k < cols; k++ {
+		schemaCols = append(schemaCols,
+			rel.Column{Name: fmt.Sprintf("ATTR%d", k), Type: rel.KindString},
+			rel.Column{Name: fmt.Sprintf("TYPE%d", k), Type: rel.KindString},
+			rel.Column{Name: fmt.Sprintf("VAL%d", k), Type: rel.KindString},
+		)
+	}
+	if _, err := cat.CreateTable("VAH", rel.NewSchema(schemaCols...)); err != nil {
+		return nil, err
+	}
+	if _, err := cat.CreateIndex("VAH_VID", "VAH", false, []int{0}, "", nil); err != nil {
+		return nil, err
+	}
+	if _, err := cat.CreateTable("VAHL", rel.NewSchema(
+		rel.Column{Name: "SID", Type: rel.KindInt},
+		rel.Column{Name: "VAL", Type: rel.KindString},
+	)); err != nil {
+		return nil, err
+	}
+	if _, err := cat.CreateIndex("VAHL_SID", "VAHL", false, []int{0}, "", nil); err != nil {
+		return nil, err
+	}
+	if _, err := cat.CreateTable("VAHM", rel.NewSchema(
+		rel.Column{Name: "LID", Type: rel.KindInt},
+		rel.Column{Name: "VAL", Type: rel.KindString},
+	)); err != nil {
+		return nil, err
+	}
+	if _, err := cat.CreateIndex("VAHM_LID", "VAHM", false, []int{0}, "", nil); err != nil {
+		return nil, err
+	}
+
+	h := &HashAttrStore{eng: engine.New(cat), cat: cat, assign: assign, cols: cols}
+	if err := h.load(src, vids); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+type attrCell struct {
+	key, typ, val string
+}
+
+func (h *HashAttrStore) load(src blueprints.Graph, vids []int64) error {
+	tx, err := h.cat.Begin([]string{"VAH", "VAHL", "VAHM"}, nil)
+	if err != nil {
+		return err
+	}
+	defer tx.Rollback()
+	nextSID, nextLID := int64(1), int64(1)
+	for _, v := range vids {
+		attrs, err := src.VertexAttrs(v)
+		if err != nil {
+			return err
+		}
+		var rows [][]attrCell
+		place := func(col int, c attrCell) {
+			for _, row := range rows {
+				if row[col].key == "" {
+					row[col] = c
+					return
+				}
+			}
+			fresh := make([]attrCell, h.cols)
+			fresh[col] = c
+			rows = append(rows, fresh)
+		}
+		for key, val := range attrs {
+			col := h.assign.Column(key) % h.cols
+			cell := attrCell{key: key}
+			switch x := val.(type) {
+			case []any:
+				cell.typ = typeMulti
+				cell.val = strconv.FormatInt(nextLID, 10)
+				for _, e := range x {
+					if _, err := tx.Insert("VAHM", []rel.Value{rel.NewInt(nextLID), rel.NewString(renderAttr(e))}); err != nil {
+						return err
+					}
+					h.MultiValueRows++
+				}
+				nextLID++
+			case string:
+				if len(x) > longStringCutoff {
+					cell.typ = typeLongStr
+					cell.val = strconv.FormatInt(nextSID, 10)
+					if _, err := tx.Insert("VAHL", []rel.Value{rel.NewInt(nextSID), rel.NewString(x)}); err != nil {
+						return err
+					}
+					h.LongStringRows++
+					nextSID++
+				} else {
+					cell.typ = typeString
+					cell.val = x
+				}
+			case int64:
+				cell.typ = typeInteger
+				cell.val = strconv.FormatInt(x, 10)
+			case int:
+				cell.typ = typeInteger
+				cell.val = strconv.Itoa(x)
+			case float64:
+				cell.typ = typeDouble
+				cell.val = strconv.FormatFloat(x, 'g', -1, 64)
+			default:
+				cell.typ = typeString
+				cell.val = renderAttr(val)
+			}
+			place(col, cell)
+		}
+		if len(rows) == 0 {
+			rows = [][]attrCell{make([]attrCell, h.cols)}
+		}
+		spill := int64(0)
+		if len(rows) > 1 {
+			spill = 1
+			h.SpillRows += len(rows) - 1
+		}
+		for _, row := range rows {
+			vals := make([]rel.Value, 2+3*h.cols)
+			vals[0] = rel.NewInt(v)
+			vals[1] = rel.NewInt(spill)
+			for k := 0; k < h.cols; k++ {
+				if row[k].key == "" {
+					vals[2+3*k] = rel.Null
+					vals[2+3*k+1] = rel.Null
+					vals[2+3*k+2] = rel.Null
+				} else {
+					vals[2+3*k] = rel.NewString(row[k].key)
+					vals[2+3*k+1] = rel.NewString(row[k].typ)
+					vals[2+3*k+2] = rel.NewString(row[k].val)
+				}
+			}
+			if _, err := tx.Insert("VAH", vals); err != nil {
+				return err
+			}
+			h.Rows++
+		}
+	}
+	tx.Commit()
+	return nil
+}
+
+func renderAttr(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Engine exposes the underlying engine.
+func (h *HashAttrStore) Engine() *engine.Engine { return h.eng }
+
+// Columns reports the table width.
+func (h *HashAttrStore) Columns() int { return h.cols }
+
+// ColumnFor exposes the key hash.
+func (h *HashAttrStore) ColumnFor(key string) int { return h.assign.Column(key) % h.cols }
+
+// CreateKeyIndex adds a composite (ATTRk, VALk) index for a queried key,
+// the hash-table analogue of the JSON expression index.
+func (h *HashAttrStore) CreateKeyIndex(key string) error {
+	k := h.ColumnFor(key)
+	name := fmt.Sprintf("VAH_IX_%d", k)
+	t, _ := h.cat.Table("VAH")
+	for _, ix := range t.Indexes() {
+		if ix.Name() == name {
+			return nil // the column pair is already indexed
+		}
+	}
+	_, err := h.cat.CreateIndex(name, "VAH", false, []int{2 + 3*k, 2 + 3*k + 2}, "", nil)
+	return err
+}
+
+// lookupCTE builds the value-resolution CTE for a key: inline values pass
+// through; long strings and multi-values need joins (the cost the paper
+// measures).
+func (h *HashAttrStore) lookupCTE(key string) string {
+	k := h.ColumnFor(key)
+	return fmt.Sprintf(
+		"WITH C AS (SELECT VID, TYPE%d AS T, VAL%d AS V FROM VAH WHERE ATTR%d = %s), "+
+			"D AS (SELECT VID, V FROM C WHERE T = 'STRING' OR T = 'INTEGER' OR T = 'DOUBLE' "+
+			"UNION ALL SELECT C.VID, L.VAL AS V FROM C, VAHL L WHERE C.T = 'LONGSTR' AND L.SID = CAST(C.V AS BIGINT) "+
+			"UNION ALL SELECT C.VID, M.VAL AS V FROM C, VAHM M WHERE C.T = 'MULTI' AND M.LID = CAST(C.V AS BIGINT))",
+		k, k, k, sqlString(key))
+}
+
+func sqlString(s string) string { return "'" + strings.ReplaceAll(s, "'", "''") + "'" }
+
+// CountNotNull counts vertices that have the key at all (the paper's
+// "not null" queries).
+func (h *HashAttrStore) CountNotNull(key string) (int64, error) {
+	q := h.lookupCTE(key) + " SELECT COUNT(*) FROM D"
+	return h.scalar(q)
+}
+
+// CountStringMatch counts vertices whose value for key satisfies a string
+// predicate: "=" exact or "like" with a pattern.
+func (h *HashAttrStore) CountStringMatch(key, op, pattern string) (int64, error) {
+	var cond string
+	switch op {
+	case "=":
+		cond = "V = " + sqlString(pattern)
+	case "like":
+		cond = "V LIKE " + sqlString(pattern)
+	default:
+		return 0, fmt.Errorf("altschema: unknown string op %q", op)
+	}
+	q := h.lookupCTE(key) + " SELECT COUNT(*) FROM D WHERE " + cond
+	return h.scalar(q)
+}
+
+// CountNumericMatch counts vertices whose value for key compares to a
+// number — requiring the CAST the paper calls out.
+func (h *HashAttrStore) CountNumericMatch(key, op string, val float64) (int64, error) {
+	switch op {
+	case "=", "<", "<=", ">", ">=", "<>":
+	default:
+		return 0, fmt.Errorf("altschema: unknown numeric op %q", op)
+	}
+	q := h.lookupCTE(key) + fmt.Sprintf(" SELECT COUNT(*) FROM D WHERE CAST(V AS DOUBLE) %s %g", op, val)
+	return h.scalar(q)
+}
+
+func (h *HashAttrStore) scalar(q string) (int64, error) {
+	rows, err := h.eng.Query(q)
+	if err != nil {
+		return 0, err
+	}
+	v, err := rows.Scalar()
+	if err != nil {
+		return 0, err
+	}
+	return v.Int(), nil
+}

@@ -1,0 +1,295 @@
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/gremlin"
+	"sqlgraph/internal/gremlin/interp"
+)
+
+// stores under test, each fresh per invocation.
+func allStores() map[string]func() blueprints.Graph {
+	return map[string]func() blueprints.Graph{
+		"kv":     func() blueprints.Graph { return NewKVGraph(CostModel{}) },
+		"native": func() blueprints.Graph { return NewNativeGraph(CostModel{}) },
+		"doc":    func() blueprints.Graph { return NewDocGraph(CostModel{}) },
+	}
+}
+
+func buildSample(t *testing.T, g blueprints.Graph) {
+	t.Helper()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddVertex(1, map[string]any{"name": "marko", "age": 29}))
+	must(g.AddVertex(2, map[string]any{"name": "vadas", "age": 27}))
+	must(g.AddVertex(3, map[string]any{"name": "lop", "lang": "java"}))
+	must(g.AddVertex(4, map[string]any{"name": "josh", "age": 32}))
+	must(g.AddEdge(7, 1, 2, "knows", map[string]any{"weight": 0.5}))
+	must(g.AddEdge(8, 1, 4, "knows", map[string]any{"weight": 1.0}))
+	must(g.AddEdge(9, 1, 3, "created", map[string]any{"weight": 0.4}))
+	must(g.AddEdge(10, 4, 2, "likes", map[string]any{"weight": 0.2}))
+	must(g.AddEdge(11, 4, 3, "created", map[string]any{"weight": 0.8}))
+}
+
+// TestConformance runs a shared Blueprints conformance script on every
+// baseline and compares observable state with the reference MemGraph.
+func TestConformance(t *testing.T) {
+	for name, mk := range allStores() {
+		t.Run(name, func(t *testing.T) {
+			g := mk()
+			ref := blueprints.NewMemGraph()
+			buildSample(t, g)
+			buildSample(t, ref)
+
+			compare := func(stage string) {
+				t.Helper()
+				if g.CountVertices() != ref.CountVertices() || g.CountEdges() != ref.CountEdges() {
+					t.Fatalf("%s: counts differ: %d/%d vs %d/%d", stage,
+						g.CountVertices(), g.CountEdges(), ref.CountVertices(), ref.CountEdges())
+				}
+				for _, v := range ref.VertexIDs() {
+					ga, err1 := g.VertexAttrs(v)
+					ra, err2 := ref.VertexAttrs(v)
+					if (err1 == nil) != (err2 == nil) {
+						t.Fatalf("%s: VertexAttrs(%d) err mismatch: %v vs %v", stage, v, err1, err2)
+					}
+					if err1 == nil && fmt.Sprint(sortedAttrs(ga)) != fmt.Sprint(sortedAttrs(ra)) {
+						t.Fatalf("%s: VertexAttrs(%d) = %v vs %v", stage, v, ga, ra)
+					}
+					gout, _ := g.OutEdges(v)
+					rout, _ := ref.OutEdges(v)
+					if edgeSet(gout) != edgeSet(rout) {
+						t.Fatalf("%s: OutEdges(%d) = %v vs %v", stage, v, gout, rout)
+					}
+					gin, _ := g.InEdges(v)
+					rin, _ := ref.InEdges(v)
+					if edgeSet(gin) != edgeSet(rin) {
+						t.Fatalf("%s: InEdges(%d) = %v vs %v", stage, v, gin, rin)
+					}
+				}
+			}
+			compare("after build")
+
+			if err := g.SetVertexAttr(2, "age", 28); err != nil {
+				t.Fatal(err)
+			}
+			_ = ref.SetVertexAttr(2, "age", 28)
+			if err := g.RemoveVertexAttr(1, "name"); err != nil {
+				t.Fatal(err)
+			}
+			_ = ref.RemoveVertexAttr(1, "name")
+			if err := g.SetEdgeAttr(7, "weight", 0.75); err != nil {
+				t.Fatal(err)
+			}
+			_ = ref.SetEdgeAttr(7, "weight", 0.75)
+			compare("after attr updates")
+
+			if err := g.RemoveEdge(9); err != nil {
+				t.Fatal(err)
+			}
+			_ = ref.RemoveEdge(9)
+			compare("after edge removal")
+
+			if err := g.RemoveVertex(4); err != nil {
+				t.Fatal(err)
+			}
+			_ = ref.RemoveVertex(4)
+			compare("after vertex removal")
+
+			// Error paths.
+			if err := g.AddVertex(1, nil); !errors.Is(err, blueprints.ErrExists) {
+				t.Fatalf("dup vertex err = %v", err)
+			}
+			if err := g.AddEdge(99, 1, 12345, "x", nil); !errors.Is(err, blueprints.ErrNotFound) {
+				t.Fatalf("edge to missing vertex err = %v", err)
+			}
+			if _, err := g.VertexAttrs(4); !errors.Is(err, blueprints.ErrNotFound) {
+				t.Fatalf("deleted vertex attrs err = %v", err)
+			}
+		})
+	}
+}
+
+func sortedAttrs(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s=%v", k, v))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func edgeSet(recs []blueprints.EdgeRec) string {
+	parts := make([]string, len(recs))
+	for i, r := range recs {
+		parts[i] = fmt.Sprintf("%d:%d->%d:%s", r.ID, r.Out, r.In, r.Label)
+	}
+	sort.Strings(parts)
+	return fmt.Sprint(parts)
+}
+
+// TestGremlinOverBaselines runs the interpreter over each baseline and
+// checks agreement with the reference graph.
+func TestGremlinOverBaselines(t *testing.T) {
+	queries := []string{
+		"g.V.count()",
+		"g.V(1).out",
+		"g.V(1).out('knows').name",
+		"g.V.has('age', T.gt, 27).out.dedup().count()",
+		"g.E.has('weight', T.gt, 0.45).count()",
+		"g.V(1).out.out.path",
+	}
+	ref := blueprints.NewMemGraph()
+	buildSample(t, ref)
+	for name, mk := range allStores() {
+		t.Run(name, func(t *testing.T) {
+			g := mk()
+			buildSample(t, g)
+			for _, src := range queries {
+				q, err := gremlin.Parse(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := interp.Eval(g, q)
+				if err != nil {
+					t.Fatalf("%s: %v", src, err)
+				}
+				want, err := interp.Eval(ref, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(canonicalVals(got.Values())) != fmt.Sprint(canonicalVals(want.Values())) {
+					t.Fatalf("%s: %v vs %v", src, got.Values(), want.Values())
+				}
+			}
+		})
+	}
+}
+
+func canonicalVals(vals []any) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprintf("%v", v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestKVGraphAttrIndex(t *testing.T) {
+	g := NewKVGraph(CostModel{})
+	buildSample(t, g)
+	if err := g.CreateVertexAttrIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := g.VerticesByAttr("name", "marko")
+	if err != nil || len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("indexed lookup = %v, %v", ids, err)
+	}
+	// Index maintenance through updates.
+	_ = g.SetVertexAttr(1, "name", "renamed")
+	if ids, _ = g.VerticesByAttr("name", "marko"); len(ids) != 0 {
+		t.Fatalf("stale index: %v", ids)
+	}
+	if ids, _ = g.VerticesByAttr("name", "renamed"); len(ids) != 1 {
+		t.Fatalf("missed update: %v", ids)
+	}
+	_ = g.RemoveVertex(1)
+	if ids, _ = g.VerticesByAttr("name", "renamed"); len(ids) != 0 {
+		t.Fatalf("index survives vertex delete: %v", ids)
+	}
+	// Numeric lookups: int and integral float collide.
+	_ = g.CreateVertexAttrIndex("age")
+	if ids, _ = g.VerticesByAttr("age", 32); len(ids) != 1 {
+		t.Fatalf("age int lookup: %v", ids)
+	}
+	if ids, _ = g.VerticesByAttr("age", 32.0); len(ids) != 1 {
+		t.Fatalf("age float lookup: %v", ids)
+	}
+}
+
+func TestCostModelCounts(t *testing.T) {
+	g := NewKVGraph(CostModel{})
+	buildSample(t, g)
+	before := g.Calls()
+	_, _ = g.OutEdges(1)
+	_, _ = g.VertexAttrs(1)
+	if g.Calls() != before+2 {
+		t.Fatalf("calls = %d, want %d", g.Calls(), before+2)
+	}
+}
+
+// TestDocGraphConcurrentConflicts reproduces the paper's OrientDB
+// finding: concurrent writers touching shared documents hit MVCC errors.
+func TestDocGraphConcurrentConflicts(t *testing.T) {
+	g := NewDocGraph(CostModel{PerCall: 5000}) // 5µs prep window
+	if err := g.AddVertex(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 64; i++ {
+		if err := g.AddVertex(i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	var conflicts, ok int64
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 100; i++ {
+				// Everyone adds edges out of the shared hub vertex 0.
+				err := g.AddEdge(int64(1000+w*1000+i), 0, int64(1+rng.Intn(64)), "e", nil)
+				mu.Lock()
+				if errors.Is(err, ErrConcurrentUpdate) {
+					conflicts++
+				} else if err == nil {
+					ok++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if conflicts == 0 {
+		t.Log("no conflicts observed (timing dependent); acceptable but unusual")
+	}
+	if ok == 0 {
+		t.Fatal("no successful writes at all")
+	}
+}
+
+func TestDocGraphRejectsLongLabels(t *testing.T) {
+	g := NewDocGraph(CostModel{})
+	_ = g.AddVertex(1, nil)
+	_ = g.AddVertex(2, nil)
+	long := make([]byte, 200)
+	for i := range long {
+		long[i] = 'u'
+	}
+	if err := g.AddEdge(5, 1, 2, string(long), nil); err == nil {
+		t.Fatal("long URI label accepted (OrientDB emulation should reject)")
+	}
+}
+
+func TestSetCostModel(t *testing.T) {
+	g := NewKVGraph(CostModel{})
+	buildSample(t, g)
+	before := g.Calls()
+	g.SetCostModel(CostModel{PerCall: 1}) // 1ns: counted, not felt
+	_, _ = g.VertexAttrs(1)
+	if g.Calls() != before+1 {
+		t.Fatalf("calls = %d, want %d", g.Calls(), before+1)
+	}
+}

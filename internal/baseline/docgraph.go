@@ -1,0 +1,374 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sqlgraph/internal/blueprints"
+)
+
+// DocGraph is the OrientDB-like baseline: each vertex is one document
+// embedding its attributes and adjacency, each edge a small document.
+// Writes use optimistic per-document versioning with no store-wide lock:
+// two concurrent writers touching the same document race, and the loser
+// gets an ErrConcurrentUpdate — reproducing the concurrent-update errors
+// the paper reports for OrientDB at 10 and 100 requesters (Section 5.2).
+type DocGraph struct {
+	costCounter
+	mu       sync.RWMutex // protects the maps' structure only
+	vertices map[int64]*vdoc
+	edges    map[int64]*edoc
+}
+
+// ErrConcurrentUpdate is returned when optimistic version validation
+// fails.
+var ErrConcurrentUpdate = fmt.Errorf("docgraph: concurrent document update (MVCC conflict)")
+
+// maxLabelLen emulates the paper's observed OrientDB failure to handle
+// long URIs as edge labels (Section 5.1: "it seems OrientDB cannot well
+// support URIs as edge labels and property keys"). DBpedia's predicate
+// URIs exceed this; LinkBench's short association types do not — matching
+// which datasets the paper could and could not load into OrientDB.
+const maxLabelLen = 32
+
+type vdoc struct {
+	mu      sync.Mutex
+	version int64
+	attrs   map[string]any
+	out     []blueprints.EdgeRec
+	in      []blueprints.EdgeRec
+}
+
+type edoc struct {
+	mu    sync.Mutex
+	rec   blueprints.EdgeRec
+	attrs map[string]any
+}
+
+// NewDocGraph creates an empty OrientDB-like store.
+func NewDocGraph(model CostModel) *DocGraph {
+	g := &DocGraph{vertices: map[int64]*vdoc{}, edges: map[int64]*edoc{}}
+	g.model = model
+	return g
+}
+
+func (g *DocGraph) vertex(id int64) (*vdoc, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	v, ok := g.vertices[id]
+	return v, ok
+}
+
+func (g *DocGraph) edge(id int64) (*edoc, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.edges[id]
+	return e, ok
+}
+
+// mutate applies fn to a vertex document with optimistic validation, the
+// way OrientDB's MVCC works: the client reads the document (and its
+// version), prepares the update, then writes it back; the write fails if
+// another writer advanced the version in between. The preparation window
+// is the per-call round trip, so concurrent writers to the same document
+// genuinely race.
+func (g *DocGraph) mutate(v *vdoc, fn func(*vdoc)) error {
+	v.mu.Lock()
+	before := v.version
+	v.mu.Unlock()
+	if g.model.PerCall > 0 {
+		// Client-side preparation between read and write-back.
+		sleepFor(g.model.PerCall)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.version != before {
+		return ErrConcurrentUpdate
+	}
+	fn(v)
+	v.version++
+	return nil
+}
+
+// AddVertex implements blueprints.Graph.
+func (g *DocGraph) AddVertex(id int64, attrs map[string]any) error {
+	g.charge()
+	for key := range attrs {
+		if len(key) > maxLabelLen {
+			return fmt.Errorf("docgraph: property key too long (%d chars)", len(key))
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.vertices[id]; ok {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrExists, id)
+	}
+	g.vertices[id] = &vdoc{attrs: blueprints.CopyAttrs(attrs)}
+	return nil
+}
+
+// RemoveVertex implements blueprints.Graph.
+func (g *DocGraph) RemoveVertex(id int64) error {
+	g.charge()
+	v, ok := g.vertex(id)
+	if !ok {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, id)
+	}
+	v.mu.Lock()
+	incident := append(append([]blueprints.EdgeRec(nil), v.out...), v.in...)
+	v.mu.Unlock()
+	for _, rec := range incident {
+		_ = g.RemoveEdge(rec.ID)
+	}
+	g.mu.Lock()
+	delete(g.vertices, id)
+	g.mu.Unlock()
+	return nil
+}
+
+// VertexExists implements blueprints.Graph.
+func (g *DocGraph) VertexExists(id int64) bool {
+	g.charge()
+	_, ok := g.vertex(id)
+	return ok
+}
+
+// VertexAttrs implements blueprints.Graph.
+func (g *DocGraph) VertexAttrs(id int64) (map[string]any, error) {
+	g.charge()
+	v, ok := g.vertex(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, id)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return blueprints.CopyAttrs(v.attrs), nil
+}
+
+// SetVertexAttr implements blueprints.Graph.
+func (g *DocGraph) SetVertexAttr(id int64, key string, val any) error {
+	g.charge()
+	v, ok := g.vertex(id)
+	if !ok {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, id)
+	}
+	return g.mutate(v, func(v *vdoc) { v.attrs[key] = val })
+}
+
+// RemoveVertexAttr implements blueprints.Graph.
+func (g *DocGraph) RemoveVertexAttr(id int64, key string) error {
+	g.charge()
+	v, ok := g.vertex(id)
+	if !ok {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, id)
+	}
+	return g.mutate(v, func(v *vdoc) { delete(v.attrs, key) })
+}
+
+// AddEdge implements blueprints.Graph.
+func (g *DocGraph) AddEdge(id int64, out, in int64, label string, attrs map[string]any) error {
+	g.charge()
+	if len(label) > maxLabelLen {
+		return fmt.Errorf("docgraph: edge label too long (%d chars)", len(label))
+	}
+	vo, ok := g.vertex(out)
+	if !ok {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, out)
+	}
+	vi, ok := g.vertex(in)
+	if !ok {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, in)
+	}
+	g.mu.Lock()
+	if _, ok := g.edges[id]; ok {
+		g.mu.Unlock()
+		return fmt.Errorf("%w: edge %d", blueprints.ErrExists, id)
+	}
+	rec := blueprints.EdgeRec{ID: id, Out: out, In: in, Label: label}
+	g.edges[id] = &edoc{rec: rec, attrs: blueprints.CopyAttrs(attrs)}
+	g.mu.Unlock()
+	if err := g.mutate(vo, func(v *vdoc) { v.out = append(v.out, rec) }); err != nil {
+		return err
+	}
+	if out == in {
+		return g.mutate(vo, func(v *vdoc) { v.in = append(v.in, rec) })
+	}
+	return g.mutate(vi, func(v *vdoc) { v.in = append(v.in, rec) })
+}
+
+// RemoveEdge implements blueprints.Graph.
+func (g *DocGraph) RemoveEdge(id int64) error {
+	g.charge()
+	e, ok := g.edge(id)
+	if !ok {
+		return fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	rec := e.rec
+	g.mu.Lock()
+	delete(g.edges, id)
+	g.mu.Unlock()
+	if vo, ok := g.vertex(rec.Out); ok {
+		if err := g.mutate(vo, func(v *vdoc) { v.out = dropEdge(v.out, id) }); err != nil {
+			return err
+		}
+	}
+	if vi, ok := g.vertex(rec.In); ok {
+		if err := g.mutate(vi, func(v *vdoc) { v.in = dropEdge(v.in, id) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dropEdge(recs []blueprints.EdgeRec, id int64) []blueprints.EdgeRec {
+	for i, r := range recs {
+		if r.ID == id {
+			return append(recs[:i], recs[i+1:]...)
+		}
+	}
+	return recs
+}
+
+// Edge implements blueprints.Graph.
+func (g *DocGraph) Edge(id int64) (blueprints.EdgeRec, error) {
+	g.charge()
+	e, ok := g.edge(id)
+	if !ok {
+		return blueprints.EdgeRec{}, fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	return e.rec, nil
+}
+
+// EdgeAttrs implements blueprints.Graph.
+func (g *DocGraph) EdgeAttrs(id int64) (map[string]any, error) {
+	g.charge()
+	e, ok := g.edge(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return blueprints.CopyAttrs(e.attrs), nil
+}
+
+// SetEdgeAttr implements blueprints.Graph.
+func (g *DocGraph) SetEdgeAttr(id int64, key string, val any) error {
+	g.charge()
+	e, ok := g.edge(id)
+	if !ok {
+		return fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.attrs[key] = val
+	return nil
+}
+
+// RemoveEdgeAttr implements blueprints.Graph.
+func (g *DocGraph) RemoveEdgeAttr(id int64, key string) error {
+	g.charge()
+	e, ok := g.edge(id)
+	if !ok {
+		return fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.attrs, key)
+	return nil
+}
+
+// OutEdges implements blueprints.Graph.
+func (g *DocGraph) OutEdges(v int64, labels ...string) ([]blueprints.EdgeRec, error) {
+	g.charge()
+	vd, ok := g.vertex(v)
+	if !ok {
+		return nil, fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, v)
+	}
+	vd.mu.Lock()
+	defer vd.mu.Unlock()
+	var out []blueprints.EdgeRec
+	for _, rec := range vd.out {
+		if matchLabel(rec.Label, labels) {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// InEdges implements blueprints.Graph.
+func (g *DocGraph) InEdges(v int64, labels ...string) ([]blueprints.EdgeRec, error) {
+	g.charge()
+	vd, ok := g.vertex(v)
+	if !ok {
+		return nil, fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, v)
+	}
+	vd.mu.Lock()
+	defer vd.mu.Unlock()
+	var out []blueprints.EdgeRec
+	for _, rec := range vd.in {
+		if matchLabel(rec.Label, labels) {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// VertexIDs implements blueprints.Graph.
+func (g *DocGraph) VertexIDs() []int64 {
+	g.charge()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]int64, 0, len(g.vertices))
+	for id := range g.vertices {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EdgeIDs implements blueprints.Graph.
+func (g *DocGraph) EdgeIDs() []int64 {
+	g.charge()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]int64, 0, len(g.edges))
+	for id := range g.edges {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VerticesByAttr implements blueprints.Graph by scanning documents.
+func (g *DocGraph) VerticesByAttr(key string, val any) ([]int64, error) {
+	g.charge()
+	want := attrText(val)
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []int64
+	for id, v := range g.vertices {
+		v.mu.Lock()
+		a, ok := v.attrs[key]
+		v.mu.Unlock()
+		if ok && attrText(a) == want {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// CountVertices implements blueprints.Graph.
+func (g *DocGraph) CountVertices() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.vertices)
+}
+
+// CountEdges implements blueprints.Graph.
+func (g *DocGraph) CountEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.edges)
+}

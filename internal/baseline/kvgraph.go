@@ -1,0 +1,475 @@
+package baseline
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/kv"
+)
+
+// KVGraph is the Titan-like baseline: vertices, edges, adjacency entries,
+// and attribute-index entries are rows in an ordered key-value store.
+//
+// Key layout (fixed-width hex ids keep prefix scans ordered):
+//
+//	v:<vid>            -> JSON attrs
+//	e:<eid>            -> JSON {out, in, label, attrs}
+//	oe:<vid>:<eid>     -> label \x00 other-vertex
+//	ie:<vid>:<eid>     -> label \x00 other-vertex
+//	xv:<key>:<val>:<vid> -> ""        (vertex attribute index)
+type KVGraph struct {
+	costCounter
+	store *kv.Store
+
+	mu      sync.RWMutex
+	indexed map[string]bool
+}
+
+// NewKVGraph creates an empty Titan-like store.
+func NewKVGraph(model CostModel) *KVGraph {
+	g := &KVGraph{store: kv.New(), indexed: map[string]bool{}}
+	g.model = model
+	return g
+}
+
+func hexID(id int64) string { return fmt.Sprintf("%016x", uint64(id)) }
+
+func vKey(id int64) string    { return "v:" + hexID(id) }
+func eKey(id int64) string    { return "e:" + hexID(id) }
+func oeKey(v, e int64) string { return "oe:" + hexID(v) + ":" + hexID(e) }
+func ieKey(v, e int64) string { return "ie:" + hexID(v) + ":" + hexID(e) }
+func xvKey(key, val string, id int64) string {
+	return "xv:" + key + ":" + val + ":" + hexID(id)
+}
+
+func attrText(v any) string {
+	switch x := v.(type) {
+	case int:
+		return "i" + strconv.FormatInt(int64(x), 10)
+	case int64:
+		return "i" + strconv.FormatInt(x, 10)
+	case float64:
+		if x == float64(int64(x)) {
+			return "i" + strconv.FormatInt(int64(x), 10)
+		}
+		return "f" + strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return "s" + x
+	case bool:
+		return "b" + strconv.FormatBool(x)
+	default:
+		return fmt.Sprintf("?%v", x)
+	}
+}
+
+type kvEdge struct {
+	Out   int64          `json:"out"`
+	In    int64          `json:"in"`
+	Label string         `json:"label"`
+	Attrs map[string]any `json:"attrs"`
+}
+
+func marshalAttrs(attrs map[string]any) []byte {
+	b, _ := json.Marshal(attrs)
+	return b
+}
+
+func unmarshalAttrs(b []byte) map[string]any {
+	var out map[string]any
+	_ = json.Unmarshal(b, &out)
+	if out == nil {
+		out = map[string]any{}
+	}
+	return normalizeAttrs(out)
+}
+
+// normalizeAttrs converts JSON numbers back to int64 when integral (the
+// Blueprints layer works in int64/float64 terms).
+func normalizeAttrs(m map[string]any) map[string]any {
+	for k, v := range m {
+		if f, ok := v.(float64); ok && f == float64(int64(f)) {
+			m[k] = int64(f)
+		}
+	}
+	return m
+}
+
+// AddVertex implements blueprints.Graph.
+func (g *KVGraph) AddVertex(id int64, attrs map[string]any) error {
+	g.charge()
+	if _, ok := g.store.Get(vKey(id)); ok {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrExists, id)
+	}
+	b := kv.NewBatch()
+	b.Put(vKey(id), marshalAttrs(attrs))
+	g.mu.RLock()
+	for key := range g.indexed {
+		if v, ok := attrs[key]; ok {
+			b.Put(xvKey(key, attrText(v), id), nil)
+		}
+	}
+	g.mu.RUnlock()
+	g.store.Apply(b)
+	return nil
+}
+
+// RemoveVertex implements blueprints.Graph.
+func (g *KVGraph) RemoveVertex(id int64) error {
+	g.charge()
+	raw, ok := g.store.Get(vKey(id))
+	if !ok {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, id)
+	}
+	b := kv.NewBatch()
+	// Cascade incident edges.
+	for _, rec := range g.scanAdj(id, "oe:") {
+		g.deleteEdgeInto(b, rec.ID)
+	}
+	for _, rec := range g.scanAdj(id, "ie:") {
+		g.deleteEdgeInto(b, rec.ID)
+	}
+	attrs := unmarshalAttrs(raw)
+	g.mu.RLock()
+	for key := range g.indexed {
+		if v, ok := attrs[key]; ok {
+			b.Delete(xvKey(key, attrText(v), id))
+		}
+	}
+	g.mu.RUnlock()
+	b.Delete(vKey(id))
+	g.store.Apply(b)
+	return nil
+}
+
+func (g *KVGraph) deleteEdgeInto(b *kv.Batch, eid int64) {
+	raw, ok := g.store.Get(eKey(eid))
+	if !ok {
+		return
+	}
+	var e kvEdge
+	_ = json.Unmarshal(raw, &e)
+	b.Delete(eKey(eid))
+	b.Delete(oeKey(e.Out, eid))
+	b.Delete(ieKey(e.In, eid))
+}
+
+// VertexExists implements blueprints.Graph.
+func (g *KVGraph) VertexExists(id int64) bool {
+	g.charge()
+	_, ok := g.store.Get(vKey(id))
+	return ok
+}
+
+// VertexAttrs implements blueprints.Graph.
+func (g *KVGraph) VertexAttrs(id int64) (map[string]any, error) {
+	g.charge()
+	raw, ok := g.store.Get(vKey(id))
+	if !ok {
+		return nil, fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, id)
+	}
+	return unmarshalAttrs(raw), nil
+}
+
+// SetVertexAttr implements blueprints.Graph.
+func (g *KVGraph) SetVertexAttr(id int64, key string, val any) error {
+	g.charge()
+	raw, ok := g.store.Get(vKey(id))
+	if !ok {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, id)
+	}
+	attrs := unmarshalAttrs(raw)
+	b := kv.NewBatch()
+	g.mu.RLock()
+	if g.indexed[key] {
+		if old, had := attrs[key]; had {
+			b.Delete(xvKey(key, attrText(old), id))
+		}
+		b.Put(xvKey(key, attrText(val), id), nil)
+	}
+	g.mu.RUnlock()
+	attrs[key] = val
+	b.Put(vKey(id), marshalAttrs(attrs))
+	g.store.Apply(b)
+	return nil
+}
+
+// RemoveVertexAttr implements blueprints.Graph.
+func (g *KVGraph) RemoveVertexAttr(id int64, key string) error {
+	g.charge()
+	raw, ok := g.store.Get(vKey(id))
+	if !ok {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, id)
+	}
+	attrs := unmarshalAttrs(raw)
+	b := kv.NewBatch()
+	g.mu.RLock()
+	if g.indexed[key] {
+		if old, had := attrs[key]; had {
+			b.Delete(xvKey(key, attrText(old), id))
+		}
+	}
+	g.mu.RUnlock()
+	delete(attrs, key)
+	b.Put(vKey(id), marshalAttrs(attrs))
+	g.store.Apply(b)
+	return nil
+}
+
+// AddEdge implements blueprints.Graph.
+func (g *KVGraph) AddEdge(id int64, out, in int64, label string, attrs map[string]any) error {
+	g.charge()
+	if _, ok := g.store.Get(eKey(id)); ok {
+		return fmt.Errorf("%w: edge %d", blueprints.ErrExists, id)
+	}
+	if _, ok := g.store.Get(vKey(out)); !ok {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, out)
+	}
+	if _, ok := g.store.Get(vKey(in)); !ok {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, in)
+	}
+	payload, _ := json.Marshal(kvEdge{Out: out, In: in, Label: label, Attrs: attrs})
+	b := kv.NewBatch()
+	b.Put(eKey(id), payload)
+	adj := label + "\x00" + strconv.FormatInt(in, 10)
+	b.Put(oeKey(out, id), []byte(adj))
+	adjIn := label + "\x00" + strconv.FormatInt(out, 10)
+	b.Put(ieKey(in, id), []byte(adjIn))
+	g.store.Apply(b)
+	return nil
+}
+
+// RemoveEdge implements blueprints.Graph.
+func (g *KVGraph) RemoveEdge(id int64) error {
+	g.charge()
+	if _, ok := g.store.Get(eKey(id)); !ok {
+		return fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	b := kv.NewBatch()
+	g.deleteEdgeInto(b, id)
+	g.store.Apply(b)
+	return nil
+}
+
+// Edge implements blueprints.Graph.
+func (g *KVGraph) Edge(id int64) (blueprints.EdgeRec, error) {
+	g.charge()
+	raw, ok := g.store.Get(eKey(id))
+	if !ok {
+		return blueprints.EdgeRec{}, fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	var e kvEdge
+	_ = json.Unmarshal(raw, &e)
+	return blueprints.EdgeRec{ID: id, Out: e.Out, In: e.In, Label: e.Label}, nil
+}
+
+// EdgeAttrs implements blueprints.Graph.
+func (g *KVGraph) EdgeAttrs(id int64) (map[string]any, error) {
+	g.charge()
+	raw, ok := g.store.Get(eKey(id))
+	if !ok {
+		return nil, fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	var e kvEdge
+	_ = json.Unmarshal(raw, &e)
+	if e.Attrs == nil {
+		e.Attrs = map[string]any{}
+	}
+	return normalizeAttrs(e.Attrs), nil
+}
+
+// SetEdgeAttr implements blueprints.Graph.
+func (g *KVGraph) SetEdgeAttr(id int64, key string, val any) error {
+	g.charge()
+	raw, ok := g.store.Get(eKey(id))
+	if !ok {
+		return fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	var e kvEdge
+	_ = json.Unmarshal(raw, &e)
+	if e.Attrs == nil {
+		e.Attrs = map[string]any{}
+	}
+	e.Attrs[key] = val
+	payload, _ := json.Marshal(e)
+	g.store.Put(eKey(id), payload)
+	return nil
+}
+
+// RemoveEdgeAttr implements blueprints.Graph.
+func (g *KVGraph) RemoveEdgeAttr(id int64, key string) error {
+	g.charge()
+	raw, ok := g.store.Get(eKey(id))
+	if !ok {
+		return fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	var e kvEdge
+	_ = json.Unmarshal(raw, &e)
+	delete(e.Attrs, key)
+	payload, _ := json.Marshal(e)
+	g.store.Put(eKey(id), payload)
+	return nil
+}
+
+type adjRec struct {
+	ID    int64
+	Label string
+	Other int64
+}
+
+func (g *KVGraph) scanAdj(v int64, prefix string) []adjRec {
+	var out []adjRec
+	full := prefix + hexID(v) + ":"
+	g.store.Scan(full, func(k string, val []byte) bool {
+		eidHex := k[len(full):]
+		eid, _ := strconv.ParseUint(eidHex, 16, 64)
+		parts := strings.SplitN(string(val), "\x00", 2)
+		other := int64(0)
+		if len(parts) == 2 {
+			other, _ = strconv.ParseInt(parts[1], 10, 64)
+		}
+		out = append(out, adjRec{ID: int64(eid), Label: parts[0], Other: other})
+		return true
+	})
+	return out
+}
+
+// OutEdges implements blueprints.Graph.
+func (g *KVGraph) OutEdges(v int64, labels ...string) ([]blueprints.EdgeRec, error) {
+	g.charge()
+	if _, ok := g.store.Get(vKey(v)); !ok {
+		return nil, fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, v)
+	}
+	var out []blueprints.EdgeRec
+	for _, rec := range g.scanAdj(v, "oe:") {
+		if matchLabel(rec.Label, labels) {
+			out = append(out, blueprints.EdgeRec{ID: rec.ID, Out: v, In: rec.Other, Label: rec.Label})
+		}
+	}
+	return out, nil
+}
+
+// InEdges implements blueprints.Graph.
+func (g *KVGraph) InEdges(v int64, labels ...string) ([]blueprints.EdgeRec, error) {
+	g.charge()
+	if _, ok := g.store.Get(vKey(v)); !ok {
+		return nil, fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, v)
+	}
+	var out []blueprints.EdgeRec
+	for _, rec := range g.scanAdj(v, "ie:") {
+		if matchLabel(rec.Label, labels) {
+			out = append(out, blueprints.EdgeRec{ID: rec.ID, Out: rec.Other, In: v, Label: rec.Label})
+		}
+	}
+	return out, nil
+}
+
+func matchLabel(label string, labels []string) bool {
+	if len(labels) == 0 {
+		return true
+	}
+	for _, l := range labels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// VertexIDs implements blueprints.Graph.
+func (g *KVGraph) VertexIDs() []int64 {
+	g.charge()
+	var out []int64
+	g.store.Scan("v:", func(k string, _ []byte) bool {
+		id, _ := strconv.ParseUint(k[2:], 16, 64)
+		out = append(out, int64(id))
+		return true
+	})
+	return out
+}
+
+// EdgeIDs implements blueprints.Graph.
+func (g *KVGraph) EdgeIDs() []int64 {
+	g.charge()
+	var out []int64
+	g.store.Scan("e:", func(k string, _ []byte) bool {
+		id, _ := strconv.ParseUint(k[2:], 16, 64)
+		out = append(out, int64(id))
+		return true
+	})
+	return out
+}
+
+// VerticesByAttr implements blueprints.Graph.
+func (g *KVGraph) VerticesByAttr(key string, val any) ([]int64, error) {
+	g.charge()
+	g.mu.RLock()
+	hasIndex := g.indexed[key]
+	g.mu.RUnlock()
+	var out []int64
+	if hasIndex {
+		prefix := "xv:" + key + ":" + attrText(val) + ":"
+		g.store.Scan(prefix, func(k string, _ []byte) bool {
+			id, _ := strconv.ParseUint(k[len(prefix):], 16, 64)
+			out = append(out, int64(id))
+			return true
+		})
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out, nil
+	}
+	want := attrText(val)
+	g.store.Scan("v:", func(k string, raw []byte) bool {
+		attrs := unmarshalAttrs(raw)
+		if v, ok := attrs[key]; ok && attrText(v) == want {
+			id, _ := strconv.ParseUint(k[2:], 16, 64)
+			out = append(out, int64(id))
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// CountVertices implements blueprints.Graph.
+func (g *KVGraph) CountVertices() int {
+	n := 0
+	g.store.Scan("v:", func(string, []byte) bool { n++; return true })
+	return n
+}
+
+// CountEdges implements blueprints.Graph.
+func (g *KVGraph) CountEdges() int {
+	n := 0
+	g.store.Scan("e:", func(string, []byte) bool { n++; return true })
+	return n
+}
+
+// CreateVertexAttrIndex implements blueprints.Indexer.
+func (g *KVGraph) CreateVertexAttrIndex(key string) error {
+	g.mu.Lock()
+	already := g.indexed[key]
+	g.indexed[key] = true
+	g.mu.Unlock()
+	if already {
+		return nil
+	}
+	// Backfill.
+	b := kv.NewBatch()
+	g.store.Scan("v:", func(k string, raw []byte) bool {
+		attrs := unmarshalAttrs(raw)
+		if v, ok := attrs[key]; ok {
+			id, _ := strconv.ParseUint(k[2:], 16, 64)
+			b.Put(xvKey(key, attrText(v), int64(id)), nil)
+		}
+		return true
+	})
+	g.store.Apply(b)
+	return nil
+}
+
+// Bytes approximates the store footprint.
+func (g *KVGraph) Bytes() int64 { return g.store.Bytes() }

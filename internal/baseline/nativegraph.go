@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"sqlgraph/internal/blueprints"
+)
+
+// NativeGraph is the Neo4j-like baseline: a native in-memory record store
+// (the reference MemGraph provides the record structures and its single
+// store-wide RWMutex provides Neo4j's coarse write locking) accessed
+// through a server that charges a round trip per Blueprints call.
+type NativeGraph struct {
+	costCounter
+	mem *blueprints.MemGraph
+}
+
+// NewNativeGraph creates an empty Neo4j-like store.
+func NewNativeGraph(model CostModel) *NativeGraph {
+	g := &NativeGraph{mem: blueprints.NewMemGraph()}
+	g.model = model
+	return g
+}
+
+// AddVertex implements blueprints.Graph.
+func (g *NativeGraph) AddVertex(id int64, attrs map[string]any) error {
+	g.charge()
+	return g.mem.AddVertex(id, attrs)
+}
+
+// RemoveVertex implements blueprints.Graph.
+func (g *NativeGraph) RemoveVertex(id int64) error {
+	g.charge()
+	return g.mem.RemoveVertex(id)
+}
+
+// VertexExists implements blueprints.Graph.
+func (g *NativeGraph) VertexExists(id int64) bool {
+	g.charge()
+	return g.mem.VertexExists(id)
+}
+
+// VertexAttrs implements blueprints.Graph.
+func (g *NativeGraph) VertexAttrs(id int64) (map[string]any, error) {
+	g.charge()
+	return g.mem.VertexAttrs(id)
+}
+
+// SetVertexAttr implements blueprints.Graph.
+func (g *NativeGraph) SetVertexAttr(id int64, key string, val any) error {
+	g.charge()
+	return g.mem.SetVertexAttr(id, key, val)
+}
+
+// RemoveVertexAttr implements blueprints.Graph.
+func (g *NativeGraph) RemoveVertexAttr(id int64, key string) error {
+	g.charge()
+	return g.mem.RemoveVertexAttr(id, key)
+}
+
+// AddEdge implements blueprints.Graph.
+func (g *NativeGraph) AddEdge(id int64, out, in int64, label string, attrs map[string]any) error {
+	g.charge()
+	return g.mem.AddEdge(id, out, in, label, attrs)
+}
+
+// RemoveEdge implements blueprints.Graph.
+func (g *NativeGraph) RemoveEdge(id int64) error {
+	g.charge()
+	return g.mem.RemoveEdge(id)
+}
+
+// Edge implements blueprints.Graph.
+func (g *NativeGraph) Edge(id int64) (blueprints.EdgeRec, error) {
+	g.charge()
+	return g.mem.Edge(id)
+}
+
+// EdgeAttrs implements blueprints.Graph.
+func (g *NativeGraph) EdgeAttrs(id int64) (map[string]any, error) {
+	g.charge()
+	return g.mem.EdgeAttrs(id)
+}
+
+// SetEdgeAttr implements blueprints.Graph.
+func (g *NativeGraph) SetEdgeAttr(id int64, key string, val any) error {
+	g.charge()
+	return g.mem.SetEdgeAttr(id, key, val)
+}
+
+// RemoveEdgeAttr implements blueprints.Graph.
+func (g *NativeGraph) RemoveEdgeAttr(id int64, key string) error {
+	g.charge()
+	return g.mem.RemoveEdgeAttr(id, key)
+}
+
+// OutEdges implements blueprints.Graph.
+func (g *NativeGraph) OutEdges(v int64, labels ...string) ([]blueprints.EdgeRec, error) {
+	g.charge()
+	return g.mem.OutEdges(v, labels...)
+}
+
+// InEdges implements blueprints.Graph.
+func (g *NativeGraph) InEdges(v int64, labels ...string) ([]blueprints.EdgeRec, error) {
+	g.charge()
+	return g.mem.InEdges(v, labels...)
+}
+
+// VertexIDs implements blueprints.Graph.
+func (g *NativeGraph) VertexIDs() []int64 {
+	g.charge()
+	return g.mem.VertexIDs()
+}
+
+// EdgeIDs implements blueprints.Graph.
+func (g *NativeGraph) EdgeIDs() []int64 {
+	g.charge()
+	return g.mem.EdgeIDs()
+}
+
+// VerticesByAttr implements blueprints.Graph.
+func (g *NativeGraph) VerticesByAttr(key string, val any) ([]int64, error) {
+	g.charge()
+	return g.mem.VerticesByAttr(key, val)
+}
+
+// CountVertices implements blueprints.Graph.
+func (g *NativeGraph) CountVertices() int {
+	g.charge()
+	return g.mem.CountVertices()
+}
+
+// CountEdges implements blueprints.Graph.
+func (g *NativeGraph) CountEdges() int {
+	g.charge()
+	return g.mem.CountEdges()
+}
+
+// CreateVertexAttrIndex implements blueprints.Indexer.
+func (g *NativeGraph) CreateVertexAttrIndex(key string) error {
+	return g.mem.CreateVertexAttrIndex(key)
+}

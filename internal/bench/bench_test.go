@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sqlgraph/internal/blueprints"
+)
+
+func TestInterpSystem(t *testing.T) {
+	g := blueprints.NewMemGraph()
+	_ = g.AddVertex(1, nil)
+	_ = g.AddVertex(2, nil)
+	_ = g.AddEdge(5, 1, 2, "x", nil)
+	sys := InterpSystem("mem", g)
+	n, err := sys.Run("g.V.count()")
+	if err != nil || n != 1 { // count() emits one value
+		t.Fatalf("run = %d, %v", n, err)
+	}
+	n, err = sys.Run("g.V(1).out")
+	if err != nil || n != 1 {
+		t.Fatalf("out = %d, %v", n, err)
+	}
+	if _, err := sys.Run("not gremlin"); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestRunTimedAndRepeat(t *testing.T) {
+	fast := System{Name: "fast", Run: func(string) (int, error) { return 7, nil }}
+	tm := RunTimed(fast, "q", time.Second)
+	if tm.Err != nil || tm.TimedOut || tm.Count != 7 {
+		t.Fatalf("timing = %+v", tm)
+	}
+	slow := System{Name: "slow", Run: func(string) (int, error) {
+		time.Sleep(200 * time.Millisecond)
+		return 0, nil
+	}}
+	tm = RunTimed(slow, "q", 20*time.Millisecond)
+	if !tm.TimedOut {
+		t.Fatal("expected timeout")
+	}
+	ts := Repeat(fast, "q", 4, time.Second)
+	if len(ts) != 3 { // first run discarded
+		t.Fatalf("repeat = %d timings", len(ts))
+	}
+	mean, std := MeanStd(ts)
+	if mean < 0 || std < 0 {
+		t.Fatal("negative stats")
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+}
+
+func TestRepeatStopsOnFailure(t *testing.T) {
+	calls := 0
+	failing := System{Name: "bad", Run: func(string) (int, error) {
+		calls++
+		return 0, errFake
+	}}
+	ts := Repeat(failing, "q", 5, time.Second)
+	if len(ts) != 1 || ts[0].Err == nil {
+		t.Fatalf("timings = %+v", ts)
+	}
+	if calls != 1 {
+		t.Fatalf("failing query ran %d times", calls)
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Headers: []string{"Query", "SQLGraph", "Titan-like"}}
+	tab.Add("q1", "1.2ms", "4.5ms")
+	tab.Add("q2-longer-name", "800µs", "2.0ms")
+	var sb strings.Builder
+	tab.Write(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Query") || !strings.Contains(out, "q2-longer-name") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                       "0",
+		500 * time.Microsecond:  "500µs",
+		2500 * time.Microsecond: "2.5ms",
+		3 * time.Second:         "3.00s",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Fatalf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestCacheSimGraph(t *testing.T) {
+	g := blueprints.NewMemGraph()
+	for i := int64(0); i < 50; i++ {
+		_ = g.AddVertex(i, map[string]any{"n": i})
+	}
+	for i := int64(0); i < 49; i++ {
+		_ = g.AddEdge(100+i, i, i+1, "next", nil)
+	}
+	// Tiny cache: repeated scans keep missing.
+	small := NewCacheSimGraph(g, 4, 0)
+	for round := 0; round < 2; round++ {
+		for i := int64(0); i < 50; i++ {
+			_, _ = small.VertexAttrs(i)
+		}
+	}
+	if small.Misses() != 100 {
+		t.Fatalf("small cache misses = %d, want 100", small.Misses())
+	}
+	// Big cache: second round fully hits.
+	big := NewCacheSimGraph(g, 1000, 0)
+	for round := 0; round < 2; round++ {
+		for i := int64(0); i < 50; i++ {
+			_, _ = big.VertexAttrs(i)
+		}
+	}
+	if big.Misses() != 50 {
+		t.Fatalf("big cache misses = %d, want 50", big.Misses())
+	}
+	// The decorator passes calls through.
+	if recs, err := big.OutEdges(3); err != nil || len(recs) != 1 {
+		t.Fatalf("decorated OutEdges = %v, %v", recs, err)
+	}
+	if _, err := big.Edge(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.EdgeAttrs(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.InEdges(3); err != nil {
+		t.Fatal(err)
+	}
+}

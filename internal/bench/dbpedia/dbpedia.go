@@ -1,0 +1,256 @@
+// Package dbpedia generates a synthetic property graph with the shape the
+// paper's DBpedia 3.8 experiments rely on (Section 3.1): an isPartOf
+// hierarchy over places, a team bipartite graph between soccer players
+// and teams, rdf:type edges, vertex attributes of mixed type and
+// selectivity (Table 2's keys), and provenance edge attributes (the
+// n-quad context the paper converts to edge attributes).
+//
+// The real dataset is not redistributable at 300M-edge scale; this
+// generator reproduces the *structural* properties the queries exercise —
+// fan-outs, hop depths, attribute selectivities — at laptop scale, with a
+// deterministic seed.
+package dbpedia
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sqlgraph/internal/blueprints"
+)
+
+// Config sizes the dataset. Zero values take defaults.
+type Config struct {
+	// Countries at the hierarchy root; each level fans out by the Fan
+	// factors below.
+	Countries int
+	// Fan factors: regions per country, districts per region, settlements
+	// per district, villages per settlement (4 isPartOf levels below the
+	// root, so leaf-to-root paths are 5 vertices / 4 hops; query chains up
+	// to 9 hops bounce between levels).
+	RegionFan, DistrictFan, SettlementFan, VillageFan int
+	// Players and Teams in the team bipartite graph.
+	Players int
+	Teams   int
+	// Works carrying title/genre attributes.
+	Works int
+	Seed  int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Countries == 0 {
+		c.Countries = 10
+	}
+	if c.RegionFan == 0 {
+		c.RegionFan = 5
+	}
+	if c.DistrictFan == 0 {
+		c.DistrictFan = 5
+	}
+	if c.SettlementFan == 0 {
+		c.SettlementFan = 5
+	}
+	if c.VillageFan == 0 {
+		c.VillageFan = 4
+	}
+	if c.Players == 0 {
+		c.Players = 2000
+	}
+	if c.Teams == 0 {
+		c.Teams = 150
+	}
+	if c.Works == 0 {
+		c.Works = 2000
+	}
+	return c
+}
+
+// Dataset is the generated graph plus the id sets the benchmark queries
+// start from.
+type Dataset struct {
+	Graph *blueprints.MemGraph
+
+	Countries   []int64
+	Regions     []int64
+	Districts   []int64
+	Settlements []int64
+	Villages    []int64 // hierarchy leaves
+	Players     []int64
+	Teams       []int64
+	Works       []int64
+
+	TypePlace  int64
+	TypePerson int64
+	TypeTeam   int64
+	TypeWork   int64
+
+	NumVertices int
+	NumEdges    int
+}
+
+// Labels used by the generator (URI-shaped, as in DBpedia).
+const (
+	LabelIsPartOf = "http://dbpedia.org/ontology/isPartOf"
+	LabelTeam     = "http://dbpedia.org/ontology/team"
+	LabelType     = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	LabelGround   = "http://dbpedia.org/ontology/ground"
+	LabelAuthor   = "http://dbpedia.org/ontology/author"
+)
+
+// Generate builds the dataset.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := blueprints.NewMemGraph()
+	d := &Dataset{Graph: g}
+
+	var nextV, nextE int64
+	addV := func(attrs map[string]any) int64 {
+		id := nextV
+		nextV++
+		if err := g.AddVertex(id, attrs); err != nil {
+			panic(err)
+		}
+		return id
+	}
+	// Edge attributes model the paper's provenance n-quads.
+	addE := func(out, in int64, label string) int64 {
+		id := nextE
+		nextE++
+		attrs := map[string]any{
+			"oldid":         int64(49000000 + rng.Intn(1000000)),
+			"section":       sections[rng.Intn(len(sections))],
+			"relative-line": int64(rng.Intn(500)),
+		}
+		if err := g.AddEdge(id, out, in, label, attrs); err != nil {
+			panic(err)
+		}
+		return id
+	}
+
+	// Type vertices.
+	d.TypePlace = addV(map[string]any{"URI": "http://dbpedia.org/ontology/Place"})
+	d.TypePerson = addV(map[string]any{"URI": "http://dbpedia.org/ontology/Person"})
+	d.TypeTeam = addV(map[string]any{"URI": "http://dbpedia.org/ontology/SoccerClub"})
+	d.TypeWork = addV(map[string]any{"URI": "http://dbpedia.org/ontology/Work"})
+
+	// Place hierarchy. Attributes follow Table 2's key set with mixed
+	// selectivity: label on everything, populationDensitySqMi on some,
+	// longm on a few, regionAffiliation very rare.
+	place := func(kind string, i int) int64 {
+		attrs := map[string]any{
+			"URI":   fmt.Sprintf("http://dbpedia.org/resource/%s_%d", kind, i),
+			"label": fmt.Sprintf("%s %d", kind, i),
+		}
+		if rng.Intn(10) < 4 {
+			attrs["populationDensitySqMi"] = float64(rng.Intn(20000)) / 10
+		}
+		if rng.Intn(10) < 3 {
+			attrs["longm"] = int64(rng.Intn(60))
+		}
+		if rng.Intn(1000) < 2 {
+			attrs["regionAffiliation"] = fmt.Sprintf("http://dbpedia.org/resource/Affil_%d", rng.Intn(5))
+		}
+		v := addV(attrs)
+		addE(v, d.TypePlace, LabelType)
+		return v
+	}
+	for c := 0; c < cfg.Countries; c++ {
+		country := place("Country", c)
+		d.Countries = append(d.Countries, country)
+		for r := 0; r < cfg.RegionFan; r++ {
+			region := place("Region", c*100+r)
+			d.Regions = append(d.Regions, region)
+			addE(region, country, LabelIsPartOf)
+			for dd := 0; dd < cfg.DistrictFan; dd++ {
+				district := place("District", (c*100+r)*100+dd)
+				d.Districts = append(d.Districts, district)
+				addE(district, region, LabelIsPartOf)
+				for s := 0; s < cfg.SettlementFan; s++ {
+					settlement := place("Settlement", ((c*100+r)*100+dd)*100+s)
+					d.Settlements = append(d.Settlements, settlement)
+					addE(settlement, district, LabelIsPartOf)
+					for v := 0; v < cfg.VillageFan; v++ {
+						village := place("Village", (((c*100+r)*100+dd)*100+s)*10+v)
+						d.Villages = append(d.Villages, village)
+						addE(village, settlement, LabelIsPartOf)
+					}
+				}
+			}
+		}
+	}
+
+	// Teams, each grounded at a random settlement.
+	for i := 0; i < cfg.Teams; i++ {
+		team := addV(map[string]any{
+			"URI":   fmt.Sprintf("http://dbpedia.org/resource/Team_%d", i),
+			"label": fmt.Sprintf("Team %d", i),
+		})
+		addE(team, d.TypeTeam, LabelType)
+		if len(d.Settlements) > 0 {
+			addE(team, d.Settlements[rng.Intn(len(d.Settlements))], LabelGround)
+		}
+		d.Teams = append(d.Teams, team)
+	}
+
+	// Players with 1-5 team edges each; national flag on a minority
+	// (Table 2's selective 'national' key), wikiPageID on everyone.
+	for i := 0; i < cfg.Players; i++ {
+		attrs := map[string]any{
+			"URI":        fmt.Sprintf("http://dbpedia.org/resource/Player_%d", i),
+			"label":      fmt.Sprintf("Player %d", i),
+			"wikiPageID": int64(29000000 + i),
+		}
+		if rng.Intn(100) < 2 {
+			attrs["national"] = nationalities[rng.Intn(len(nationalities))]
+		}
+		player := addV(attrs)
+		addE(player, d.TypePerson, LabelType)
+		nTeams := 1 + rng.Intn(5)
+		used := map[int64]bool{}
+		for k := 0; k < nTeams && len(d.Teams) > 0; k++ {
+			team := d.Teams[rng.Intn(len(d.Teams))]
+			if used[team] {
+				continue
+			}
+			used[team] = true
+			addE(player, team, LabelTeam)
+		}
+		d.Players = append(d.Players, player)
+	}
+
+	// Works with genre/title, long abstracts (long strings), authors.
+	for i := 0; i < cfg.Works; i++ {
+		attrs := map[string]any{
+			"URI":   fmt.Sprintf("http://dbpedia.org/resource/Work_%d", i),
+			"title": fmt.Sprintf("Title %d@%s", i, langs[rng.Intn(len(langs))]),
+			"genre": genres[rng.Intn(len(genres))],
+			"label": fmt.Sprintf("Work %d", i),
+		}
+		if rng.Intn(4) == 0 {
+			attrs["abstract"] = longText(rng)
+		}
+		work := addV(attrs)
+		addE(work, d.TypeWork, LabelType)
+		if len(d.Players) > 0 && rng.Intn(3) == 0 {
+			addE(work, d.Players[rng.Intn(len(d.Players))], LabelAuthor)
+		}
+		d.Works = append(d.Works, work)
+	}
+
+	d.NumVertices = g.CountVertices()
+	d.NumEdges = g.CountEdges()
+	return d
+}
+
+var sections = []string{"External_link", "History", "Geography", "Demographics", "Infobox"}
+var nationalities = []string{"http://dbpedia.org/resource/France", "http://dbpedia.org/resource/Brazil", "http://dbpedia.org/resource/Japan"}
+var genres = []string{"Rock", "Jazz", "Novel@en", "Drama@en", "Folk", "Electronica", "Essay@en"}
+var langs = []string{"en", "de", "fr", "ja"}
+
+func longText(rng *rand.Rand) string {
+	out := make([]byte, 200+rng.Intn(400))
+	for i := range out {
+		out[i] = byte('a' + rng.Intn(26))
+	}
+	return string(out)
+}

@@ -1,0 +1,103 @@
+package dbpedia
+
+import (
+	"testing"
+)
+
+func smallCfg() Config {
+	return Config{
+		Countries: 2, RegionFan: 2, DistrictFan: 2, SettlementFan: 2, VillageFan: 2,
+		Players: 100, Teams: 10, Works: 50, Seed: 1,
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	d := Generate(smallCfg())
+	if len(d.Countries) != 2 || len(d.Regions) != 4 || len(d.Districts) != 8 ||
+		len(d.Settlements) != 16 || len(d.Villages) != 32 {
+		t.Fatalf("hierarchy sizes: %d %d %d %d %d",
+			len(d.Countries), len(d.Regions), len(d.Districts), len(d.Settlements), len(d.Villages))
+	}
+	if len(d.Players) != 100 || len(d.Teams) != 10 || len(d.Works) != 50 {
+		t.Fatalf("entity sizes: %d %d %d", len(d.Players), len(d.Teams), len(d.Works))
+	}
+	if d.NumVertices != d.Graph.CountVertices() || d.NumEdges != d.Graph.CountEdges() {
+		t.Fatal("counts out of sync")
+	}
+	// Every village reaches a country in exactly 4 isPartOf hops.
+	v := d.Villages[0]
+	for hop := 0; hop < 4; hop++ {
+		recs, err := d.Graph.OutEdges(v, LabelIsPartOf)
+		if err != nil || len(recs) != 1 {
+			t.Fatalf("hop %d: %v, %v", hop, recs, err)
+		}
+		v = recs[0].In
+	}
+	found := false
+	for _, c := range d.Countries {
+		if c == v {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("village did not reach a country: %d", v)
+	}
+	// Countries are roots.
+	recs, _ := d.Graph.OutEdges(d.Countries[0], LabelIsPartOf)
+	if len(recs) != 0 {
+		t.Fatal("country has isPartOf out-edge")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallCfg())
+	b := Generate(smallCfg())
+	if a.NumVertices != b.NumVertices || a.NumEdges != b.NumEdges {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", a.NumVertices, a.NumEdges, b.NumVertices, b.NumEdges)
+	}
+	// Attribute-level determinism on a sample vertex.
+	av, _ := a.Graph.VertexAttrs(a.Villages[5])
+	bv, _ := b.Graph.VertexAttrs(b.Villages[5])
+	if av["label"] != bv["label"] {
+		t.Fatalf("attrs differ: %v vs %v", av, bv)
+	}
+}
+
+func TestGenerateAttributeShapes(t *testing.T) {
+	d := Generate(smallCfg())
+	// Some players carry 'national' (selective), all carry wikiPageID.
+	withNational := 0
+	for _, p := range d.Players {
+		attrs, _ := d.Graph.VertexAttrs(p)
+		if _, ok := attrs["wikiPageID"]; !ok {
+			t.Fatalf("player %d missing wikiPageID", p)
+		}
+		if _, ok := attrs["national"]; ok {
+			withNational++
+		}
+	}
+	if withNational == 0 || withNational == len(d.Players) {
+		t.Fatalf("national selectivity degenerate: %d of %d", withNational, len(d.Players))
+	}
+	// Edge attributes carry provenance.
+	eids := d.Graph.EdgeIDs()
+	attrs, _ := d.Graph.EdgeAttrs(eids[0])
+	if _, ok := attrs["oldid"]; !ok {
+		t.Fatalf("edge missing provenance: %v", attrs)
+	}
+	// Type edges exist.
+	recs, _ := d.Graph.InEdges(d.TypePerson, LabelType)
+	if len(recs) != len(d.Players) {
+		t.Fatalf("type edges = %d, players = %d", len(recs), len(d.Players))
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	d := Generate(Config{Seed: 3})
+	if d.NumVertices == 0 || d.NumEdges == 0 {
+		t.Fatal("default config generated nothing")
+	}
+	if d.NumEdges < d.NumVertices {
+		t.Fatalf("suspicious density: %d vertices, %d edges", d.NumVertices, d.NumEdges)
+	}
+}

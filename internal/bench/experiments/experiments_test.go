@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sqlgraph/internal/baseline"
+)
+
+// tinyEnv builds the smallest full environment.
+func tinyEnv(t *testing.T, withBaselines bool) *DBpediaEnv {
+	t.Helper()
+	env, err := SetupDBpedia(ScaleTiny, baseline.CostModel{}, withBaselines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestSetupDBpedia(t *testing.T) {
+	env := tinyEnv(t, true)
+	if env.Store.CountVertices() != env.Data.NumVertices {
+		t.Fatalf("store vertices %d vs data %d", env.Store.CountVertices(), env.Data.NumVertices)
+	}
+	if env.Titan.CountVertices() != env.Data.NumVertices {
+		t.Fatal("titan-like load incomplete")
+	}
+	if env.Neo.CountEdges() != env.Data.NumEdges {
+		t.Fatal("neo4j-like load incomplete")
+	}
+	if !env.OrientFailed {
+		t.Fatal("OrientDB-like store should fail to load URI labels (paper emulation)")
+	}
+}
+
+func TestMicroExperimentsRun(t *testing.T) {
+	env := tinyEnv(t, false)
+	var buf bytes.Buffer
+	if err := Fig3Adjacency(env, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig4Attributes(env, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table3Stats(env, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table4Neighbors(env, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig6PathPlans(env, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 3", "Figure 4", "Table 3", "Table 4", "Figure 6", "q11", "lq7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestDBpediaBenchmarkExperimentsRun(t *testing.T) {
+	env := tinyEnv(t, true)
+	var buf bytes.Buffer
+	stats, err := Fig8aBenchmark(env, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("systems = %d", len(stats))
+	}
+	if stats[0].System != "SQLGraph" || stats[0].Mean <= 0 {
+		t.Fatalf("stats = %+v", stats[0])
+	}
+	if _, err := Fig8bPaths(env, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig8dSummary(env, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationTranslation(env, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dq20") {
+		t.Fatalf("missing dq20:\n%s", buf.String())
+	}
+}
+
+func TestFig8cMemoryRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := tinyEnv(t, true)
+	var buf bytes.Buffer
+	if err := Fig8cMemory(env, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "100%") {
+		t.Fatalf("memory sweep output:\n%s", buf.String())
+	}
+}
+
+func TestLinkBenchExperimentsRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig9Throughput([]int{300}, []int{1, 4}, 50, baseline.CostModel{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table6Ops(300, 50, baseline.CostModel{}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 9a-c", "OrientDB-like", "get_link_list", "Table 6"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationColoring(ScaleTiny, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationSoftDelete(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"greedy", "modulo", "paper soft delete", "eager edge-by-edge"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"testing"
+
+	"sqlgraph/internal/bench/linkbench"
+	"sqlgraph/internal/core"
+)
+
+func BenchmarkProfileLinkBenchSQLGraph(b *testing.B) {
+	store, err := core.Open(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := linkbench.Generate(linkbench.Config{Objects: 50000, Seed: 7}, store)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := &linkbench.Driver{G: store, State: st, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Run(1, 5000)
+	}
+}

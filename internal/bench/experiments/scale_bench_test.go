@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"sqlgraph/internal/bench/linkbench"
+	"sqlgraph/internal/core"
+)
+
+func BenchmarkScaleProbe(b *testing.B) {
+	for _, objects := range []int{1000, 10000, 50000, 200000} {
+		b.Run(fmt.Sprint(objects), func(b *testing.B) {
+			store, err := core.Open(core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := linkbench.Generate(linkbench.Config{Objects: objects, Seed: 7}, store)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d := &linkbench.Driver{G: store, State: st, Seed: 1}
+			b.ResetTimer()
+			d.Run(1, b.N)
+		})
+	}
+}

@@ -1,0 +1,342 @@
+// Package linkbench reimplements the LinkBench social-graph workload
+// (Armstrong et al., SIGMOD 2013) the paper adapts for property graphs
+// (Section 5.2): a synthetic Facebook-like graph — power-law out-degrees,
+// typed objects and associations, payload data — and the paper's Table 6
+// operation mix driven by concurrent requesters.
+package linkbench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlgraph/internal/blueprints"
+)
+
+// Config sizes the generated graph.
+type Config struct {
+	Objects int // number of vertices ("objects" in LinkBench terms)
+	Seed    int64
+	// MeanDegree is the average out-degree of the power-law distribution
+	// (LinkBench's Facebook traces average ~4.3 links per object at the
+	// billion-node scale).
+	MeanDegree float64
+	// PayloadBytes is the size of the data attribute.
+	PayloadBytes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Objects == 0 {
+		c.Objects = 10000
+	}
+	if c.MeanDegree == 0 {
+		c.MeanDegree = 4.3
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 64
+	}
+	return c
+}
+
+// Association types, as in LinkBench.
+var assocTypes = []string{"friend", "like", "post", "comment", "follow"}
+
+// Generate builds the graph directly into dst (any Blueprints store) and
+// returns the generated id ranges. Vertex attributes mirror the paper's
+// mapping: type, version, update time, data; edge attributes:
+// association type (also the edge label), visibility, timestamp, data.
+func Generate(cfg Config, dst blueprints.Graph) (*State, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := &State{cfg: cfg}
+	st.nextVID.Store(int64(cfg.Objects))
+
+	payload := func() string {
+		b := make([]byte, cfg.PayloadBytes)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+
+	for i := 0; i < cfg.Objects; i++ {
+		attrs := map[string]any{
+			"type":    int64(rng.Intn(8)),
+			"version": int64(1),
+			"time":    int64(1600000000 + rng.Intn(100000000)),
+			"data":    payload(),
+		}
+		if err := dst.AddVertex(int64(i), attrs); err != nil {
+			return nil, err
+		}
+	}
+	// Power-law out-degrees via Zipf over a degree table.
+	zipf := rand.NewZipf(rng, 1.6, 4, uint64(cfg.Objects-1))
+	var eid int64
+	targetEdges := int(float64(cfg.Objects) * cfg.MeanDegree)
+	for eid = 0; int(eid) < targetEdges; eid++ {
+		src := int64(zipf.Uint64())
+		dstV := int64(rng.Intn(cfg.Objects))
+		label := assocTypes[rng.Intn(len(assocTypes))]
+		attrs := map[string]any{
+			"visibility": int64(1),
+			"timestamp":  int64(1600000000 + rng.Intn(100000000)),
+			"data":       payload(),
+		}
+		if err := dst.AddEdge(eid, src, dstV, label, attrs); err != nil {
+			return nil, err
+		}
+	}
+	st.nextEID.Store(eid)
+	return st, nil
+}
+
+// State tracks id allocation across concurrent requesters.
+type State struct {
+	cfg     Config
+	nextVID atomic.Int64
+	nextEID atomic.Int64
+}
+
+// Objects returns the initial object count.
+func (s *State) Objects() int { return s.cfg.Objects }
+
+// Op names, matching the paper's Table 6.
+const (
+	OpAddNode      = "add_node"
+	OpUpdateNode   = "update_node"
+	OpDeleteNode   = "delete_node"
+	OpGetNode      = "get_node"
+	OpAddLink      = "add_link"
+	OpDeleteLink   = "delete_link"
+	OpUpdateLink   = "update_link"
+	OpCountLink    = "count_link"
+	OpMultigetLink = "multiget_link"
+	OpGetLinkList  = "get_link_list"
+)
+
+// MixEntry is one operation with its share of the workload.
+type MixEntry struct {
+	Op    string
+	Share float64 // percent
+}
+
+// PaperMix is the distribution from Table 6.
+var PaperMix = []MixEntry{
+	{OpAddNode, 2.6},
+	{OpUpdateNode, 7.4},
+	{OpDeleteNode, 1.0},
+	{OpGetNode, 12.9},
+	{OpAddLink, 9.0},
+	{OpDeleteLink, 3.0},
+	{OpUpdateLink, 8.0},
+	{OpCountLink, 4.9},
+	{OpMultigetLink, 0.5},
+	{OpGetLinkList, 50.7},
+}
+
+// OpStats aggregates latencies for one operation type.
+type OpStats struct {
+	Count int64
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average latency.
+func (s OpStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Results is the outcome of a driver run.
+type Results struct {
+	Ops        int64
+	Errors     int64
+	Elapsed    time.Duration
+	Throughput float64 // operations per second
+	PerOp      map[string]*OpStats
+}
+
+// Driver issues the LinkBench operation mix against a Blueprints store.
+type Driver struct {
+	G     blueprints.Graph
+	State *State
+	Mix   []MixEntry
+	Seed  int64
+}
+
+// Run executes opsPerRequester operations on each of n concurrent
+// requesters and aggregates latency and throughput.
+func (d *Driver) Run(requesters, opsPerRequester int) *Results {
+	mix := d.Mix
+	if mix == nil {
+		mix = PaperMix
+	}
+	// Cumulative distribution for op selection.
+	var cum []float64
+	total := 0.0
+	for _, m := range mix {
+		total += m.Share
+		cum = append(cum, total)
+	}
+
+	res := &Results{PerOp: map[string]*OpStats{}}
+	for _, m := range mix {
+		res.PerOp[m.Op] = &OpStats{}
+	}
+	var mu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < requesters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(d.Seed + int64(w)*7919))
+			local := map[string]*OpStats{}
+			for _, m := range mix {
+				local[m.Op] = &OpStats{}
+			}
+			var errs int64
+			for i := 0; i < opsPerRequester; i++ {
+				r := rng.Float64() * total
+				op := mix[len(mix)-1].Op
+				for j, c := range cum {
+					if r < c {
+						op = mix[j].Op
+						break
+					}
+				}
+				t0 := time.Now()
+				err := d.execute(rng, op)
+				dt := time.Since(t0)
+				st := local[op]
+				st.Count++
+				st.Total += dt
+				if dt > st.Max {
+					st.Max = dt
+				}
+				if err != nil {
+					errs++
+				}
+			}
+			mu.Lock()
+			for op, st := range local {
+				agg := res.PerOp[op]
+				agg.Count += st.Count
+				agg.Total += st.Total
+				if st.Max > agg.Max {
+					agg.Max = st.Max
+				}
+				res.Ops += st.Count
+			}
+			res.Errors += errs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if res.Elapsed > 0 {
+		res.Throughput = float64(res.Ops) / res.Elapsed.Seconds()
+	}
+	return res
+}
+
+// randomExisting picks an id likely to exist (deleted ids simply produce
+// not-found results, which LinkBench tolerates).
+func (d *Driver) randomExisting(rng *rand.Rand) int64 {
+	max := d.State.nextVID.Load()
+	if max <= 0 {
+		return 0
+	}
+	return rng.Int63n(max)
+}
+
+func (d *Driver) execute(rng *rand.Rand, op string) error {
+	g := d.G
+	switch op {
+	case OpAddNode:
+		id := d.State.nextVID.Add(1) - 1
+		return g.AddVertex(id, map[string]any{
+			"type": int64(rng.Intn(8)), "version": int64(1),
+			"time": time.Now().Unix(), "data": smallPayload(rng),
+		})
+	case OpUpdateNode:
+		id := d.randomExisting(rng)
+		return g.SetVertexAttr(id, "data", smallPayload(rng))
+	case OpDeleteNode:
+		return g.RemoveVertex(d.randomExisting(rng))
+	case OpGetNode:
+		_, err := g.VertexAttrs(d.randomExisting(rng))
+		return err
+	case OpAddLink:
+		id := d.State.nextEID.Add(1) - 1
+		return g.AddEdge(id, d.randomExisting(rng), d.randomExisting(rng),
+			assocTypes[rng.Intn(len(assocTypes))], map[string]any{
+				"visibility": int64(1), "timestamp": time.Now().Unix(), "data": smallPayload(rng),
+			})
+	case OpDeleteLink:
+		max := d.State.nextEID.Load()
+		if max == 0 {
+			return nil
+		}
+		return g.RemoveEdge(rng.Int63n(max))
+	case OpUpdateLink:
+		max := d.State.nextEID.Load()
+		if max == 0 {
+			return nil
+		}
+		return g.SetEdgeAttr(rng.Int63n(max), "data", smallPayload(rng))
+	case OpCountLink:
+		recs, err := g.OutEdges(d.randomExisting(rng), assocTypes[rng.Intn(len(assocTypes))])
+		_ = recs
+		return err
+	case OpMultigetLink:
+		max := d.State.nextEID.Load()
+		if max == 0 {
+			return nil
+		}
+		var firstErr error
+		for k := 0; k < 3; k++ {
+			if _, err := g.Edge(rng.Int63n(max)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	case OpGetLinkList:
+		v := d.randomExisting(rng)
+		// Stores that can serve the list plus payloads server-side do so in
+		// one operation (SQLGraph: one SQL statement). Blueprints-bound
+		// stores pay one round trip per payload.
+		if ll, ok := g.(blueprints.LinkLister); ok {
+			_, _, err := ll.OutEdgesWithAttrs(v, 10)
+			return err
+		}
+		recs, err := g.OutEdges(v)
+		if err != nil {
+			return err
+		}
+		for i, r := range recs {
+			if i >= 10 {
+				break
+			}
+			if _, err := g.EdgeAttrs(r.ID); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("linkbench: unknown op %s", op)
+	}
+}
+
+func smallPayload(rng *rand.Rand) string {
+	b := make([]byte, 32)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}

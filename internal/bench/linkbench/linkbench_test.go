@@ -1,0 +1,143 @@
+package linkbench
+
+import (
+	"testing"
+
+	"sqlgraph/internal/baseline"
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/core"
+)
+
+func TestGenerateIntoMemGraph(t *testing.T) {
+	g := blueprints.NewMemGraph()
+	st, err := Generate(Config{Objects: 500, Seed: 1}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CountVertices() != 500 {
+		t.Fatalf("vertices = %d", g.CountVertices())
+	}
+	wantEdges := int(500 * 4.3)
+	if g.CountEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.CountEdges(), wantEdges)
+	}
+	if st.Objects() != 500 {
+		t.Fatalf("objects = %d", st.Objects())
+	}
+	// Vertex attrs follow the LinkBench mapping.
+	attrs, _ := g.VertexAttrs(0)
+	for _, k := range []string{"type", "version", "time", "data"} {
+		if _, ok := attrs[k]; !ok {
+			t.Fatalf("vertex missing %s: %v", k, attrs)
+		}
+	}
+	eids := g.EdgeIDs()
+	eattrs, _ := g.EdgeAttrs(eids[0])
+	for _, k := range []string{"visibility", "timestamp", "data"} {
+		if _, ok := eattrs[k]; !ok {
+			t.Fatalf("edge missing %s: %v", k, eattrs)
+		}
+	}
+}
+
+func TestPowerLawDegrees(t *testing.T) {
+	g := blueprints.NewMemGraph()
+	if _, err := Generate(Config{Objects: 2000, Seed: 2}, g); err != nil {
+		t.Fatal(err)
+	}
+	// The max out-degree should far exceed the mean (power law).
+	maxDeg := 0
+	for _, v := range g.VertexIDs() {
+		recs, _ := g.OutEdges(v)
+		if len(recs) > maxDeg {
+			maxDeg = len(recs)
+		}
+	}
+	if maxDeg < 20 {
+		t.Fatalf("max out-degree %d does not look power-law (mean 4.3)", maxDeg)
+	}
+}
+
+func TestMixSumsTo100(t *testing.T) {
+	total := 0.0
+	for _, m := range PaperMix {
+		total += m.Share
+	}
+	if total < 99.9 || total > 100.1 {
+		t.Fatalf("mix total = %g", total)
+	}
+}
+
+func TestDriverOnSQLGraph(t *testing.T) {
+	store, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Generate(Config{Objects: 300, Seed: 3}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{G: store, State: st, Seed: 42}
+	res := d.Run(2, 200)
+	if res.Ops != 400 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+	// The dominant op must dominate the counts.
+	if res.PerOp[OpGetLinkList].Count < res.PerOp[OpAddNode].Count {
+		t.Fatalf("mix skewed: get_link_list=%d add_node=%d",
+			res.PerOp[OpGetLinkList].Count, res.PerOp[OpAddNode].Count)
+	}
+	// Latency stats populated.
+	if res.PerOp[OpGetLinkList].Mean() <= 0 {
+		t.Fatal("missing latency stats")
+	}
+	if res.PerOp[OpGetLinkList].Max < res.PerOp[OpGetLinkList].Mean() {
+		t.Fatal("max < mean")
+	}
+}
+
+func TestDriverOnBaselines(t *testing.T) {
+	for name, g := range map[string]blueprints.Graph{
+		"kv":     baseline.NewKVGraph(baseline.CostModel{}),
+		"native": baseline.NewNativeGraph(baseline.CostModel{}),
+		"doc":    baseline.NewDocGraph(baseline.CostModel{}),
+	} {
+		st, err := Generate(Config{Objects: 200, Seed: 4}, g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d := &Driver{G: g, State: st, Seed: 9}
+		res := d.Run(2, 100)
+		if res.Ops != 200 {
+			t.Fatalf("%s: ops = %d", name, res.Ops)
+		}
+	}
+}
+
+func TestDriverConcurrentOnSQLGraph(t *testing.T) {
+	store, err := core.Open(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Generate(Config{Objects: 500, Seed: 5}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{G: store, State: st, Seed: 6}
+	res := d.Run(8, 100)
+	if res.Ops != 800 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	// Errors happen (deleted targets), but the store must stay
+	// consistent: every remaining edge's endpoints resolve.
+	for _, eid := range store.EdgeIDs() {
+		rec, err := store.Edge(eid)
+		if err != nil {
+			t.Fatalf("edge %d vanished mid-read: %v", eid, err)
+		}
+		_ = rec
+	}
+}

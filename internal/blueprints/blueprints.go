@@ -1,0 +1,130 @@
+// Package blueprints defines the property-graph CRUD interface that
+// Gremlin evaluates over (modeled on TinkerPop's Blueprints APIs, paper
+// Section 4.2) plus an in-memory reference implementation.
+//
+// Edge direction follows Gremlin terminology: an edge goes from its OUT
+// vertex (source) to its IN vertex (target); `out()` follows edges whose
+// out-vertex is the current vertex. (The paper's EA table spells the
+// source column INV — the translation layer maps between the two.)
+package blueprints
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ID identifies a vertex or an edge.
+type ID = int64
+
+// EdgeRec describes one edge.
+type EdgeRec struct {
+	ID    ID
+	Out   ID // source vertex
+	In    ID // target vertex
+	Label string
+}
+
+// Common errors.
+var (
+	ErrNotFound = errors.New("blueprints: element not found")
+	ErrExists   = errors.New("blueprints: element already exists")
+)
+
+// Graph is the primitive property-graph CRUD surface. Implementations
+// must be safe for concurrent use (each defines its own locking
+// discipline; the baseline stores deliberately differ in granularity).
+type Graph interface {
+	// AddVertex creates a vertex with the given id. Pass attrs by value;
+	// implementations copy.
+	AddVertex(id ID, attrs map[string]any) error
+	// RemoveVertex deletes a vertex and all incident edges.
+	RemoveVertex(id ID) error
+	// VertexExists reports whether the vertex is present.
+	VertexExists(id ID) bool
+	// VertexAttrs returns a copy of the vertex's attributes.
+	VertexAttrs(id ID) (map[string]any, error)
+	// SetVertexAttr sets one vertex attribute.
+	SetVertexAttr(id ID, key string, val any) error
+	// RemoveVertexAttr removes one vertex attribute.
+	RemoveVertexAttr(id ID, key string) error
+
+	// AddEdge creates an edge from out to in.
+	AddEdge(id ID, out, in ID, label string, attrs map[string]any) error
+	// RemoveEdge deletes an edge.
+	RemoveEdge(id ID) error
+	// Edge returns an edge's record.
+	Edge(id ID) (EdgeRec, error)
+	// EdgeAttrs returns a copy of the edge's attributes.
+	EdgeAttrs(id ID) (map[string]any, error)
+	// SetEdgeAttr sets one edge attribute.
+	SetEdgeAttr(id ID, key string, val any) error
+	// RemoveEdgeAttr removes one edge attribute.
+	RemoveEdgeAttr(id ID, key string) error
+
+	// OutEdges lists edges whose out-vertex is v, optionally filtered to
+	// the given labels (empty = all).
+	OutEdges(v ID, labels ...string) ([]EdgeRec, error)
+	// InEdges lists edges whose in-vertex is v.
+	InEdges(v ID, labels ...string) ([]EdgeRec, error)
+
+	// VertexIDs lists all vertex ids (order unspecified).
+	VertexIDs() []ID
+	// EdgeIDs lists all edge ids (order unspecified).
+	EdgeIDs() []ID
+	// VerticesByAttr returns vertices whose attribute key equals val,
+	// using an index when one exists.
+	VerticesByAttr(key string, val any) ([]ID, error)
+
+	// CountVertices and CountEdges report graph size.
+	CountVertices() int
+	CountEdges() int
+}
+
+// Indexer is implemented by stores that support user-created vertex
+// attribute indexes (the paper adds indexes for queried keys, §3.3).
+type Indexer interface {
+	CreateVertexAttrIndex(key string) error
+}
+
+// LinkLister is implemented by stores that can serve LinkBench's
+// get_link_list — the edge list plus payloads — as one server-side
+// operation. SQLGraph does (one SQL statement); the Blueprints-bound
+// baselines cannot and pay one round trip per payload, the overhead the
+// paper attributes to atomic graph APIs in client/server settings.
+type LinkLister interface {
+	// OutEdgesWithAttrs returns up to limit outgoing edges of v together
+	// with their attribute maps (limit <= 0 means no limit).
+	OutEdgesWithAttrs(v ID, limit int) ([]EdgeRec, []map[string]any, error)
+}
+
+// attrKey canonicalizes an attribute value for index keys.
+func attrKey(val any) string {
+	switch v := val.(type) {
+	case nil:
+		return "\x00"
+	case int:
+		return fmt.Sprintf("i%d", int64(v))
+	case int64:
+		return fmt.Sprintf("i%d", v)
+	case float64:
+		if v == float64(int64(v)) {
+			return fmt.Sprintf("i%d", int64(v))
+		}
+		return fmt.Sprintf("f%g", v)
+	case string:
+		return "s" + v
+	case bool:
+		return fmt.Sprintf("b%t", v)
+	default:
+		return fmt.Sprintf("?%v", v)
+	}
+}
+
+// CopyAttrs clones an attribute map (nil-safe).
+func CopyAttrs(attrs map[string]any) map[string]any {
+	out := make(map[string]any, len(attrs))
+	for k, v := range attrs {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package blueprints
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sample builds the paper's Figure 2a graph.
+func sample(t *testing.T) *MemGraph {
+	t.Helper()
+	g := NewMemGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddVertex(1, map[string]any{"name": "marko", "age": 29}))
+	must(g.AddVertex(2, map[string]any{"name": "vadas", "age": 27}))
+	must(g.AddVertex(3, map[string]any{"name": "lop", "lang": "java"}))
+	must(g.AddVertex(4, map[string]any{"name": "josh", "age": 32}))
+	must(g.AddEdge(7, 1, 2, "knows", map[string]any{"weight": 0.5}))
+	must(g.AddEdge(8, 1, 4, "knows", map[string]any{"weight": 1.0}))
+	must(g.AddEdge(9, 1, 3, "created", map[string]any{"weight": 0.4}))
+	must(g.AddEdge(10, 4, 2, "likes", map[string]any{"weight": 0.2}))
+	must(g.AddEdge(11, 4, 3, "created", map[string]any{"weight": 0.8}))
+	return g
+}
+
+func TestVertexCRUD(t *testing.T) {
+	g := sample(t)
+	if g.CountVertices() != 4 || g.CountEdges() != 5 {
+		t.Fatalf("counts = %d, %d", g.CountVertices(), g.CountEdges())
+	}
+	if !g.VertexExists(1) || g.VertexExists(99) {
+		t.Fatal("VertexExists wrong")
+	}
+	attrs, err := g.VertexAttrs(1)
+	if err != nil || attrs["name"] != "marko" {
+		t.Fatalf("attrs = %v, %v", attrs, err)
+	}
+	// Returned map must be a copy.
+	attrs["name"] = "mutated"
+	again, _ := g.VertexAttrs(1)
+	if again["name"] != "marko" {
+		t.Fatal("VertexAttrs leaked internal map")
+	}
+	if err := g.SetVertexAttr(1, "name", "m2"); err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := g.VertexAttrs(1); a["name"] != "m2" {
+		t.Fatal("SetVertexAttr lost")
+	}
+	if err := g.RemoveVertexAttr(1, "name"); err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := g.VertexAttrs(1); a["name"] != nil {
+		t.Fatal("RemoveVertexAttr lost")
+	}
+	if err := g.AddVertex(1, nil); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate AddVertex err = %v", err)
+	}
+	if _, err := g.VertexAttrs(99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing VertexAttrs err = %v", err)
+	}
+}
+
+func TestEdgeCRUD(t *testing.T) {
+	g := sample(t)
+	rec, err := g.Edge(7)
+	if err != nil || rec.Out != 1 || rec.In != 2 || rec.Label != "knows" {
+		t.Fatalf("edge = %+v, %v", rec, err)
+	}
+	attrs, _ := g.EdgeAttrs(7)
+	if attrs["weight"] != 0.5 {
+		t.Fatalf("edge attrs = %v", attrs)
+	}
+	if err := g.SetEdgeAttr(7, "weight", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if a, _ := g.EdgeAttrs(7); a["weight"] != 0.9 {
+		t.Fatal("SetEdgeAttr lost")
+	}
+	if err := g.RemoveEdgeAttr(7, "weight"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(7, 1, 2, "dup", nil); !errors.Is(err, ErrExists) {
+		t.Fatalf("dup edge err = %v", err)
+	}
+	if err := g.AddEdge(99, 1, 100, "x", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("edge to missing vertex err = %v", err)
+	}
+	if err := g.RemoveEdge(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Edge(7); !errors.Is(err, ErrNotFound) {
+		t.Fatal("edge survives RemoveEdge")
+	}
+	out, _ := g.OutEdges(1)
+	for _, e := range out {
+		if e.ID == 7 {
+			t.Fatal("removed edge still in adjacency")
+		}
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	g := sample(t)
+	out, err := g.OutEdges(1)
+	if err != nil || len(out) != 3 {
+		t.Fatalf("out(1) = %v, %v", out, err)
+	}
+	knows, _ := g.OutEdges(1, "knows")
+	if len(knows) != 2 {
+		t.Fatalf("out(1,knows) = %v", knows)
+	}
+	in, _ := g.InEdges(3)
+	if len(in) != 2 {
+		t.Fatalf("in(3) = %v", in)
+	}
+	created, _ := g.InEdges(3, "created")
+	if len(created) != 2 {
+		t.Fatalf("in(3,created) = %v", created)
+	}
+	none, _ := g.InEdges(3, "nope")
+	if len(none) != 0 {
+		t.Fatalf("in(3,nope) = %v", none)
+	}
+	if _, err := g.OutEdges(99); !errors.Is(err, ErrNotFound) {
+		t.Fatal("OutEdges of missing vertex should fail")
+	}
+}
+
+func TestRemoveVertexCascades(t *testing.T) {
+	g := sample(t)
+	if err := g.RemoveVertex(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.CountEdges() != 2 { // 10 and 11 survive
+		t.Fatalf("edges after cascade = %d", g.CountEdges())
+	}
+	in2, _ := g.InEdges(2)
+	if len(in2) != 1 || in2[0].ID != 10 {
+		t.Fatalf("in(2) after cascade = %v", in2)
+	}
+	if err := g.RemoveVertex(1); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double RemoveVertex should fail")
+	}
+}
+
+func TestVerticesByAttrScanAndIndex(t *testing.T) {
+	g := sample(t)
+	ids, err := g.VerticesByAttr("name", "marko")
+	if err != nil || len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("scan lookup = %v, %v", ids, err)
+	}
+	if err := g.CreateVertexAttrIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = g.VerticesByAttr("name", "marko")
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("indexed lookup = %v", ids)
+	}
+	// Index must track updates, inserts, deletes.
+	_ = g.SetVertexAttr(1, "name", "renamed")
+	if ids, _ = g.VerticesByAttr("name", "marko"); len(ids) != 0 {
+		t.Fatalf("stale index entry: %v", ids)
+	}
+	if ids, _ = g.VerticesByAttr("name", "renamed"); len(ids) != 1 {
+		t.Fatalf("index missed update: %v", ids)
+	}
+	_ = g.AddVertex(5, map[string]any{"name": "renamed"})
+	if ids, _ = g.VerticesByAttr("name", "renamed"); len(ids) != 2 {
+		t.Fatalf("index missed insert: %v", ids)
+	}
+	_ = g.RemoveVertex(1)
+	if ids, _ = g.VerticesByAttr("name", "renamed"); len(ids) != 1 || ids[0] != 5 {
+		t.Fatalf("index missed delete: %v", ids)
+	}
+	// Numeric keys: int and integral float collide deliberately.
+	_ = g.CreateVertexAttrIndex("age")
+	if ids, _ = g.VerticesByAttr("age", 32); len(ids) != 1 {
+		t.Fatalf("age index: %v", ids)
+	}
+	if ids, _ = g.VerticesByAttr("age", 32.0); len(ids) != 1 {
+		t.Fatalf("age float lookup: %v", ids)
+	}
+}
+
+func TestIDListsSorted(t *testing.T) {
+	g := sample(t)
+	vids := g.VertexIDs()
+	for i := 1; i < len(vids); i++ {
+		if vids[i-1] >= vids[i] {
+			t.Fatalf("VertexIDs not sorted: %v", vids)
+		}
+	}
+	eids := g.EdgeIDs()
+	if len(eids) != 5 || eids[0] != 7 {
+		t.Fatalf("EdgeIDs = %v", eids)
+	}
+}
+
+// Property: random add/remove sequences keep adjacency and edge maps
+// consistent (every adjacency entry has a live edge; every edge appears
+// in both endpoints' adjacency).
+func TestQuickConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewMemGraph()
+		var vids, eids []ID
+		nextV, nextE := ID(0), ID(10000)
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(5) {
+			case 0, 1:
+				if err := g.AddVertex(nextV, map[string]any{"n": nextV}); err != nil {
+					return false
+				}
+				vids = append(vids, nextV)
+				nextV++
+			case 2:
+				if len(vids) >= 2 {
+					a := vids[rng.Intn(len(vids))]
+					b := vids[rng.Intn(len(vids))]
+					if err := g.AddEdge(nextE, a, b, "e", nil); err != nil {
+						return false
+					}
+					eids = append(eids, nextE)
+					nextE++
+				}
+			case 3:
+				if len(vids) > 0 {
+					i := rng.Intn(len(vids))
+					_ = g.RemoveVertex(vids[i])
+					vids = append(vids[:i], vids[i+1:]...)
+				}
+			case 4:
+				if len(eids) > 0 {
+					i := rng.Intn(len(eids))
+					_ = g.RemoveEdge(eids[i]) // may already be cascade-deleted
+					eids = append(eids[:i], eids[i+1:]...)
+				}
+			}
+		}
+		// Consistency: walk every vertex's adjacency and verify the edges
+		// exist with matching endpoints.
+		edgeCount := 0
+		for _, v := range g.VertexIDs() {
+			out, err := g.OutEdges(v)
+			if err != nil {
+				return false
+			}
+			for _, e := range out {
+				if e.Out != v {
+					return false
+				}
+				if _, err := g.Edge(e.ID); err != nil {
+					return false
+				}
+				edgeCount++
+			}
+			in, err := g.InEdges(v)
+			if err != nil {
+				return false
+			}
+			for _, e := range in {
+				if e.In != v {
+					return false
+				}
+			}
+		}
+		return edgeCount == g.CountEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,363 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intCmp(a, b int) int { return a - b }
+
+func newIntTree() *Tree[int, int] { return New[int, int](intCmp) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := newIntTree()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if tr.Delete(1) {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree returned ok")
+	}
+	tr.Ascend(func(k, v int) bool { t.Fatal("Ascend visited item"); return true })
+}
+
+func TestSetGet(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 1000; i++ {
+		if !tr.Set(i, i*10) {
+			t.Fatalf("Set(%d) reported existing key", i)
+		}
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := tr.Get(i)
+		if !ok || v != i*10 {
+			t.Fatalf("Get(%d) = %d,%v want %d,true", i, v, ok, i*10)
+		}
+	}
+	if _, ok := tr.Get(1000); ok {
+		t.Fatal("Get(1000) found missing key")
+	}
+}
+
+func TestSetOverwrite(t *testing.T) {
+	tr := newIntTree()
+	tr.Set(5, 1)
+	if tr.Set(5, 2) {
+		t.Fatal("overwriting Set reported new key")
+	}
+	if v, _ := tr.Get(5); v != 2 {
+		t.Fatalf("Get(5) = %d, want 2", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestOverwriteDuringSplitPath(t *testing.T) {
+	// Exercise the insert path where the separator lifted by splitChild
+	// equals the inserted key.
+	tr := newIntTree()
+	for i := 0; i < 10000; i++ {
+		tr.Set(i, i)
+	}
+	for i := 0; i < 10000; i++ {
+		tr.Set(i, -i)
+	}
+	if tr.Len() != 10000 {
+		t.Fatalf("Len = %d, want 10000", tr.Len())
+	}
+	for i := 0; i < 10000; i++ {
+		if v, _ := tr.Get(i); v != -i {
+			t.Fatalf("Get(%d) = %d, want %d", i, v, -i)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newIntTree()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Set(i, i)
+	}
+	// Delete evens.
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+	// Delete the rest in random order.
+	odds := make([]int, 0, n/2)
+	for i := 1; i < n; i += 2 {
+		odds = append(odds, i)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(odds), func(i, j int) { odds[i], odds[j] = odds[j], odds[i] })
+	for _, k := range odds {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) = false", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := newIntTree()
+	rng := rand.New(rand.NewSource(2))
+	keys := rng.Perm(3000)
+	for _, k := range keys {
+		tr.Set(k, k)
+	}
+	var got []int
+	tr.Ascend(func(k, v int) bool { got = append(got, k); return true })
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("Ascend not sorted")
+	}
+	if len(got) != 3000 {
+		t.Fatalf("visited %d keys, want 3000", len(got))
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 100; i++ {
+		tr.Set(i, i)
+	}
+	var got []int
+	tr.Ascend(func(k, v int) bool {
+		got = append(got, k)
+		return len(got) < 10
+	})
+	if len(got) != 10 {
+		t.Fatalf("visited %d keys, want 10", len(got))
+	}
+	for i, k := range got {
+		if k != i {
+			t.Fatalf("got[%d] = %d, want %d", i, k, i)
+		}
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 100; i += 2 { // evens 0..98
+		tr.Set(i, i)
+	}
+	var got []int
+	tr.AscendFrom(51, func(k, v int) bool { got = append(got, k); return true })
+	want := []int{52, 54, 56, 58, 60, 62, 64, 66, 68, 70, 72, 74, 76, 78, 80, 82, 84, 86, 88, 90, 92, 94, 96, 98}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// From an existing key: inclusive.
+	got = got[:0]
+	tr.AscendFrom(50, func(k, v int) bool { got = append(got, k); return true })
+	if got[0] != 50 {
+		t.Fatalf("AscendFrom(50) starts at %d, want 50", got[0])
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 1000; i++ {
+		tr.Set(i, i)
+	}
+	var got []int
+	tr.AscendRange(100, 110, func(k, v int) bool { got = append(got, k); return true })
+	if len(got) != 10 || got[0] != 100 || got[9] != 109 {
+		t.Fatalf("AscendRange(100,110) = %v", got)
+	}
+}
+
+func TestDescend(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 500; i++ {
+		tr.Set(i, i)
+	}
+	var got []int
+	tr.Descend(func(k, v int) bool { got = append(got, k); return true })
+	if len(got) != 500 {
+		t.Fatalf("visited %d, want 500", len(got))
+	}
+	for i, k := range got {
+		if k != 499-i {
+			t.Fatalf("got[%d] = %d, want %d", i, k, 499-i)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := newIntTree()
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range rng.Perm(1000) {
+		tr.Set(k+5, k)
+	}
+	if k, _, _ := tr.Min(); k != 5 {
+		t.Fatalf("Min = %d, want 5", k)
+	}
+	if k, _, _ := tr.Max(); k != 1004 {
+		t.Fatalf("Max = %d, want 1004", k)
+	}
+}
+
+// TestRandomOps fuzzes the tree against a map reference model.
+func TestRandomOps(t *testing.T) {
+	tr := newIntTree()
+	ref := map[int]int{}
+	rng := rand.New(rand.NewSource(4))
+	for op := 0; op < 50000; op++ {
+		k := rng.Intn(2000)
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Int()
+			_, existed := ref[k]
+			if tr.Set(k, v) != !existed {
+				t.Fatalf("op %d: Set(%d) insert mismatch", op, k)
+			}
+			ref[k] = v
+		case 1:
+			_, existed := ref[k]
+			if tr.Delete(k) != existed {
+				t.Fatalf("op %d: Delete(%d) mismatch", op, k)
+			}
+			delete(ref, k)
+		case 2:
+			v, ok := tr.Get(k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, k, v, ok, rv, rok)
+			}
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, tr.Len(), len(ref))
+		}
+	}
+	// Final full scan must match the sorted reference.
+	want := make([]int, 0, len(ref))
+	for k := range ref {
+		want = append(want, k)
+	}
+	sort.Ints(want)
+	i := 0
+	tr.Ascend(func(k, v int) bool {
+		if k != want[i] || v != ref[k] {
+			t.Fatalf("scan[%d] = (%d,%d), want (%d,%d)", i, k, v, want[i], ref[want[i]])
+		}
+		i++
+		return true
+	})
+	if i != len(want) {
+		t.Fatalf("scan visited %d, want %d", i, len(want))
+	}
+}
+
+// Property: for any key set, ascending iteration yields exactly the sorted
+// unique keys.
+func TestQuickSortedIteration(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := newIntTree()
+		uniq := map[int]bool{}
+		for _, k := range keys {
+			tr.Set(int(k), 0)
+			uniq[int(k)] = true
+		}
+		want := make([]int, 0, len(uniq))
+		for k := range uniq {
+			want = append(want, k)
+		}
+		sort.Ints(want)
+		got := make([]int, 0, tr.Len())
+		tr.Ascend(func(k, v int) bool { got = append(got, k); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: delete of a random subset leaves exactly the complement.
+func TestQuickDeleteComplement(t *testing.T) {
+	f := func(keys []uint16, mask []bool) bool {
+		tr := newIntTree()
+		ref := map[int]bool{}
+		for _, k := range keys {
+			tr.Set(int(k), 1)
+			ref[int(k)] = true
+		}
+		for i, k := range keys {
+			if i < len(mask) && mask[i] && ref[int(k)] {
+				if !tr.Delete(int(k)) {
+					return false
+				}
+				delete(ref, int(k))
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if _, ok := tr.Get(k); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTreeSet(b *testing.B) {
+	tr := newIntTree()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set(i, i)
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr := newIntTree()
+	for i := 0; i < 100000; i++ {
+		tr.Set(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i % 100000)
+	}
+}

@@ -1,0 +1,177 @@
+// Package coloring implements the hash-assignment scheme SQLGraph
+// inherits from Bornea et al. (SIGMOD 2013): edge labels are assigned to
+// column triads by greedy graph coloring of the label co-occurrence
+// graph, so labels that appear together in one vertex's adjacency list
+// never share a column, while rare labels overload columns to bound the
+// table width (paper Section 3.2).
+package coloring
+
+import (
+	"sort"
+)
+
+// Cooccurrence accumulates label co-occurrence statistics from a sample
+// of adjacency lists.
+type Cooccurrence struct {
+	freq  map[string]int
+	pairs map[[2]string]bool
+}
+
+// NewCooccurrence creates an empty accumulator.
+func NewCooccurrence() *Cooccurrence {
+	return &Cooccurrence{freq: map[string]int{}, pairs: map[[2]string]bool{}}
+}
+
+// Observe records one adjacency list: the set of labels that co-occur on
+// one vertex (one side, outgoing or incoming).
+func (c *Cooccurrence) Observe(labels []string) {
+	uniq := map[string]bool{}
+	for _, l := range labels {
+		if !uniq[l] {
+			uniq[l] = true
+			c.freq[l]++
+		}
+	}
+	sorted := make([]string, 0, len(uniq))
+	for l := range uniq {
+		sorted = append(sorted, l)
+	}
+	sort.Strings(sorted)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			c.pairs[[2]string{sorted[i], sorted[j]}] = true
+		}
+	}
+}
+
+// Labels returns the observed labels, most frequent first (ties broken
+// lexically for determinism).
+func (c *Cooccurrence) Labels() []string {
+	out := make([]string, 0, len(c.freq))
+	for l := range c.freq {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c.freq[out[i]] != c.freq[out[j]] {
+			return c.freq[out[i]] > c.freq[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Conflicts reports whether two labels co-occur.
+func (c *Cooccurrence) Conflicts(a, b string) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return c.pairs[[2]string{a, b}]
+}
+
+// Assignment maps labels to column indexes.
+type Assignment struct {
+	Columns   int            // number of columns in use
+	MaxCols   int            // column budget the assignment was built with
+	ByLabel   map[string]int // label -> column
+	Conflicts int            // labels that could not avoid a co-occurring neighbor (forced overloads)
+}
+
+// Column returns the column assigned to a label; labels never seen during
+// analysis hash onto the existing columns deterministically.
+func (a *Assignment) Column(label string) int {
+	if col, ok := a.ByLabel[label]; ok {
+		return col
+	}
+	if a.Columns == 0 {
+		return 0
+	}
+	return int(fnv32(label) % uint32(a.Columns))
+}
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Greedy colors the co-occurrence graph: labels in frequency order each
+// take the lowest column not used by any co-occurring label, capped at
+// maxCols columns (beyond the cap the least-loaded non-conflicting column
+// is chosen, or the least-loaded overall if all conflict — a forced
+// overload the stats report as a conflict).
+func Greedy(c *Cooccurrence, maxCols int) *Assignment {
+	if maxCols < 1 {
+		maxCols = 1
+	}
+	a := &Assignment{MaxCols: maxCols, ByLabel: map[string]int{}}
+	load := make([]int, 0, maxCols)
+	for _, label := range c.Labels() {
+		used := map[int]bool{}
+		for other, col := range a.ByLabel {
+			if c.Conflicts(label, other) {
+				used[col] = true
+			}
+		}
+		col := -1
+		// Least-loaded existing column with no conflict (overloading
+		// columns keeps the table narrow, which is the point of the
+		// scheme).
+		bestLoad := -1
+		for i := 0; i < len(load); i++ {
+			if used[i] {
+				continue
+			}
+			if bestLoad == -1 || load[i] < bestLoad {
+				bestLoad = load[i]
+				col = i
+			}
+		}
+		if col == -1 && len(load) < maxCols {
+			// Every existing column conflicts: open a fresh one.
+			load = append(load, 0)
+			col = len(load) - 1
+		}
+		if col == -1 {
+			// Every column conflicts and the budget is exhausted: forced
+			// overload onto the least-loaded column.
+			col = 0
+			for i := 1; i < len(load); i++ {
+				if load[i] < load[col] {
+					col = i
+				}
+			}
+			a.Conflicts++
+		}
+		a.ByLabel[label] = col
+		load[col]++
+	}
+	a.Columns = len(load)
+	if a.Columns == 0 {
+		a.Columns = 1
+	}
+	return a
+}
+
+// Modulo builds the naive baseline assignment (ablation: coloring vs
+// plain hashing): every label hashes to label_hash mod maxCols with no
+// co-occurrence awareness.
+func Modulo(c *Cooccurrence, maxCols int) *Assignment {
+	if maxCols < 1 {
+		maxCols = 1
+	}
+	a := &Assignment{MaxCols: maxCols, Columns: maxCols, ByLabel: map[string]int{}}
+	for _, label := range c.Labels() {
+		col := int(fnv32(label) % uint32(maxCols))
+		for other, ocol := range a.ByLabel {
+			if ocol == col && c.Conflicts(label, other) {
+				a.Conflicts++
+				break
+			}
+		}
+		a.ByLabel[label] = col
+	}
+	return a
+}

@@ -1,0 +1,173 @@
+package coloring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestObserveAndConflicts(t *testing.T) {
+	c := NewCooccurrence()
+	c.Observe([]string{"knows", "created"})
+	c.Observe([]string{"likes", "created"})
+	if !c.Conflicts("knows", "created") || !c.Conflicts("created", "knows") {
+		t.Fatal("co-occurring labels must conflict")
+	}
+	if c.Conflicts("knows", "likes") {
+		t.Fatal("non-co-occurring labels must not conflict")
+	}
+}
+
+func TestObserveDuplicatesCountOnce(t *testing.T) {
+	c := NewCooccurrence()
+	c.Observe([]string{"a", "a", "a"})
+	labels := c.Labels()
+	if len(labels) != 1 {
+		t.Fatalf("labels = %v", labels)
+	}
+	if c.Conflicts("a", "a") {
+		t.Fatal("label must not conflict with itself")
+	}
+}
+
+func TestLabelsFrequencyOrder(t *testing.T) {
+	c := NewCooccurrence()
+	c.Observe([]string{"rare"})
+	for i := 0; i < 5; i++ {
+		c.Observe([]string{"common"})
+	}
+	labels := c.Labels()
+	if labels[0] != "common" || labels[1] != "rare" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestGreedySeparatesPaperExample(t *testing.T) {
+	// Figure 2b: knows and created co-occur (vertex 1); likes and created
+	// co-occur (vertex 4). knows and likes may share a column.
+	c := NewCooccurrence()
+	c.Observe([]string{"knows", "created"})
+	c.Observe([]string{"likes", "created"})
+	a := Greedy(c, 8)
+	if a.Column("knows") == a.Column("created") {
+		t.Fatal("knows and created must not share a column")
+	}
+	if a.Column("likes") == a.Column("created") {
+		t.Fatal("likes and created must not share a column")
+	}
+	if a.Conflicts != 0 {
+		t.Fatalf("conflicts = %d", a.Conflicts)
+	}
+	if a.Columns > 2 {
+		t.Fatalf("used %d columns, 2 suffice", a.Columns)
+	}
+}
+
+// Property: with enough columns, greedy coloring never assigns two
+// co-occurring labels to the same column.
+func TestGreedyNoConflictsWhenBudgetSuffices(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCooccurrence()
+		nLabels := 2 + rng.Intn(20)
+		labels := make([]string, nLabels)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("l%d", i)
+		}
+		for obs := 0; obs < 30; obs++ {
+			k := 1 + rng.Intn(5)
+			set := make([]string, k)
+			for i := range set {
+				set[i] = labels[rng.Intn(nLabels)]
+			}
+			c.Observe(set)
+		}
+		a := Greedy(c, nLabels) // budget = label count always suffices
+		if a.Conflicts != 0 {
+			return false
+		}
+		for x, xc := range a.ByLabel {
+			for y, yc := range a.ByLabel {
+				if x != y && xc == yc && c.Conflicts(x, y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyRespectsBudget(t *testing.T) {
+	c := NewCooccurrence()
+	// A clique of 10 labels needs 10 colors; budget is 4.
+	clique := make([]string, 10)
+	for i := range clique {
+		clique[i] = fmt.Sprintf("l%d", i)
+	}
+	c.Observe(clique)
+	a := Greedy(c, 4)
+	if a.Columns > 4 {
+		t.Fatalf("columns = %d, budget 4", a.Columns)
+	}
+	if a.Conflicts == 0 {
+		t.Fatal("clique wider than budget must force overloads")
+	}
+	for _, col := range a.ByLabel {
+		if col < 0 || col >= 4 {
+			t.Fatalf("column %d out of budget", col)
+		}
+	}
+}
+
+func TestUnknownLabelHashesDeterministically(t *testing.T) {
+	c := NewCooccurrence()
+	c.Observe([]string{"a", "b"})
+	a := Greedy(c, 8)
+	col1 := a.Column("never-seen")
+	col2 := a.Column("never-seen")
+	if col1 != col2 {
+		t.Fatal("unknown label column must be deterministic")
+	}
+	if col1 < 0 || col1 >= a.Columns {
+		t.Fatalf("unknown label column %d out of range %d", col1, a.Columns)
+	}
+}
+
+func TestModuloHasMoreConflictsThanGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := NewCooccurrence()
+	labels := make([]string, 40)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("pred_%d", i)
+	}
+	for obs := 0; obs < 500; obs++ {
+		k := 2 + rng.Intn(6)
+		set := make([]string, k)
+		for i := range set {
+			set[i] = labels[rng.Intn(len(labels))]
+		}
+		c.Observe(set)
+	}
+	g := Greedy(c, 40)
+	m := Modulo(c, 40)
+	if g.Conflicts > m.Conflicts {
+		t.Fatalf("greedy conflicts %d > modulo conflicts %d", g.Conflicts, m.Conflicts)
+	}
+	if m.Conflicts == 0 {
+		t.Fatal("expected the naive hash to collide on this workload")
+	}
+}
+
+func TestEmptyCooccurrence(t *testing.T) {
+	a := Greedy(NewCooccurrence(), 8)
+	if a.Columns < 1 {
+		t.Fatal("assignment must expose at least one column")
+	}
+	if col := a.Column("anything"); col < 0 || col >= a.Columns {
+		t.Fatalf("column %d out of range", col)
+	}
+}

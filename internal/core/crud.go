@@ -1,0 +1,543 @@
+package core
+
+import (
+	"fmt"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/sqljson"
+)
+
+// The graph update operations are implemented as multi-table "stored
+// procedures" (paper Section 4.5.2): one transaction spanning the hash
+// adjacency tables and the attribute tables.
+
+func docFromMap(attrs map[string]any) *sqljson.Doc {
+	return sqljson.FromMap(attrs)
+}
+
+// writeTables is the full write footprint of edge/vertex updates.
+var writeTables = []string{TableEA, TableIPA, TableISA, TableOPA, TableOSA, TableVA}
+
+// AddVertex implements blueprints.Graph.
+func (s *Store) AddVertex(id int64, attrs map[string]any) error {
+	if id < 0 {
+		return fmt.Errorf("core: vertex ids must be non-negative (negative ids mark deletions)")
+	}
+	tx := s.fpVA.Begin()
+	defer tx.Rollback()
+	if _, err := tx.Insert(TableVA, []rel.Value{rel.NewInt(id), rel.NewJSON(docFromMap(attrs))}); err != nil {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrExists, id)
+	}
+	tx.Commit()
+	return nil
+}
+
+// AddEdge implements blueprints.Graph: insert into EA plus both hash
+// adjacency sides.
+func (s *Store) AddEdge(id int64, out, in int64, label string, attrs map[string]any) error {
+	if id < 0 {
+		return fmt.Errorf("core: edge ids must be non-negative")
+	}
+	tx := s.fpAll.Begin()
+	defer tx.Rollback()
+	for _, v := range []int64{out, in} {
+		if !vertexLiveTx(tx, v) {
+			return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, v)
+		}
+	}
+	if _, err := tx.Insert(TableEA, []rel.Value{
+		rel.NewInt(id), rel.NewInt(out), rel.NewInt(in), rel.NewString(label), rel.NewJSON(docFromMap(attrs)),
+	}); err != nil {
+		return fmt.Errorf("%w: edge %d", blueprints.ErrExists, id)
+	}
+	if err := s.addAdjacent(tx, true, out, id, label, in); err != nil {
+		return err
+	}
+	if err := s.addAdjacent(tx, false, in, id, label, out); err != nil {
+		return err
+	}
+	tx.Commit()
+	return nil
+}
+
+func vertexLiveTx(tx *rel.Txn, id int64) bool {
+	found := false
+	_ = tx.Probe(TableVA, IndexVAPK, []rel.Value{rel.NewInt(id)}, func(rid rel.RowID, vals []rel.Value) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+type adjRow struct {
+	rid  rel.RowID
+	vals []rel.Value
+}
+
+func adjRowsTx(tx *rel.Txn, primary, index string, vid int64) ([]adjRow, error) {
+	var rows []adjRow
+	err := tx.Probe(primary, index, []rel.Value{rel.NewInt(vid)}, func(rid rel.RowID, vals []rel.Value) bool {
+		// No copy: the transaction holds the exclusive lock and all
+		// mutation paths copy-on-write before calling Update.
+		rows = append(rows, adjRow{rid: rid, vals: vals})
+		return true
+	})
+	return rows, err
+}
+
+func (s *Store) sideTables(outgoing bool) (primary, secondary, index string, cols int, colFor func(string) int) {
+	if outgoing {
+		return TableOPA, TableOSA, IndexOPAVID, s.outCols, s.OutColumnFor
+	}
+	return TableIPA, TableISA, IndexIPAVID, s.inCols, s.InColumnFor
+}
+
+// addAdjacent places one new edge into the primary/secondary hash tables
+// for one side of the edge.
+func (s *Store) addAdjacent(tx *rel.Txn, outgoing bool, vid, eid int64, label string, other int64) error {
+	primary, secondary, index, cols, colFor := s.sideTables(outgoing)
+	col := colFor(label)
+	rows, err := adjRowsTx(tx, primary, index, vid)
+	if err != nil {
+		return err
+	}
+	// Case 1: the label already occupies its cell somewhere.
+	for _, row := range rows {
+		lbl := row.vals[adjLBL(col)]
+		if lbl.IsNull() || lbl.Str() != label {
+			continue
+		}
+		if !row.vals[adjEID(col)].IsNull() {
+			// Single value -> migrate to the secondary table.
+			lid := s.allocLID()
+			oldEID := row.vals[adjEID(col)]
+			oldVal := row.vals[adjVAL(col)]
+			if _, err := tx.Insert(secondary, []rel.Value{rel.NewInt(lid), oldEID, oldVal}); err != nil {
+				return err
+			}
+			if _, err := tx.Insert(secondary, []rel.Value{rel.NewInt(lid), rel.NewInt(eid), rel.NewInt(other)}); err != nil {
+				return err
+			}
+			updated := append([]rel.Value(nil), row.vals...)
+			updated[adjEID(col)] = rel.Null
+			updated[adjVAL(col)] = rel.NewInt(lid)
+			return tx.Update(primary, row.rid, updated)
+		}
+		// Already multi-valued: append.
+		lid := row.vals[adjVAL(col)].Int()
+		_, err := tx.Insert(secondary, []rel.Value{rel.NewInt(lid), rel.NewInt(eid), rel.NewInt(other)})
+		return err
+	}
+	// Case 2: a free cell in an existing row.
+	for _, row := range rows {
+		if !row.vals[adjLBL(col)].IsNull() {
+			continue
+		}
+		updated := append([]rel.Value(nil), row.vals...)
+		updated[adjEID(col)] = rel.NewInt(eid)
+		updated[adjLBL(col)] = rel.NewString(label)
+		updated[adjVAL(col)] = rel.NewInt(other)
+		return tx.Update(primary, row.rid, updated)
+	}
+	// Case 3: a fresh row. It is a spill row when rows already exist.
+	spill := int64(0)
+	if len(rows) > 0 {
+		spill = 1
+	}
+	fresh := make([]rel.Value, 2+3*cols)
+	fresh[adjVID] = rel.NewInt(vid)
+	fresh[adjSPILL] = rel.NewInt(spill)
+	for k := 0; k < cols; k++ {
+		fresh[adjEID(k)] = rel.Null
+		fresh[adjLBL(k)] = rel.Null
+		fresh[adjVAL(k)] = rel.Null
+	}
+	fresh[adjEID(col)] = rel.NewInt(eid)
+	fresh[adjLBL(col)] = rel.NewString(label)
+	fresh[adjVAL(col)] = rel.NewInt(other)
+	if _, err := tx.Insert(primary, fresh); err != nil {
+		return err
+	}
+	if spill == 1 {
+		for _, row := range rows {
+			if row.vals[adjSPILL].Int() == 0 {
+				updated := append([]rel.Value(nil), row.vals...)
+				updated[adjSPILL] = rel.NewInt(1)
+				if err := tx.Update(primary, row.rid, updated); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RemoveEdge implements blueprints.Graph.
+func (s *Store) RemoveEdge(id int64) error {
+	tx := s.fpAll.Begin()
+	defer tx.Rollback()
+	rec, rid, ok := edgeTx(tx, id)
+	if !ok {
+		return fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	if _, err := tx.Delete(TableEA, rid); err != nil {
+		return err
+	}
+	if err := s.removeAdjacent(tx, true, rec.Out, id, rec.Label); err != nil {
+		return err
+	}
+	if err := s.removeAdjacent(tx, false, rec.In, id, rec.Label); err != nil {
+		return err
+	}
+	tx.Commit()
+	return nil
+}
+
+func edgeTx(tx *rel.Txn, id int64) (blueprints.EdgeRec, rel.RowID, bool) {
+	var rec blueprints.EdgeRec
+	var rid rel.RowID
+	found := false
+	_ = tx.Probe(TableEA, IndexEAPK, []rel.Value{rel.NewInt(id)}, func(r rel.RowID, vals []rel.Value) bool {
+		rec = blueprints.EdgeRec{ID: vals[eaEID].Int(), Out: vals[eaINV].Int(), In: vals[eaOUTV].Int(), Label: vals[eaLBL].Str()}
+		rid = r
+		found = true
+		return false
+	})
+	return rec, rid, found
+}
+
+// removeAdjacent undoes addAdjacent for one side.
+func (s *Store) removeAdjacent(tx *rel.Txn, outgoing bool, vid, eid int64, label string) error {
+	primary, secondary, index, _, colFor := s.sideTables(outgoing)
+	col := colFor(label)
+	rows, err := adjRowsTx(tx, primary, index, vid)
+	if err != nil {
+		return err
+	}
+	secIndex := IndexOSAVALID
+	if !outgoing {
+		secIndex = IndexISAVALID
+	}
+	for _, row := range rows {
+		lbl := row.vals[adjLBL(col)]
+		if lbl.IsNull() || lbl.Str() != label {
+			continue
+		}
+		if !row.vals[adjEID(col)].IsNull() {
+			if row.vals[adjEID(col)].Int() != eid {
+				continue
+			}
+			updated := append([]rel.Value(nil), row.vals...)
+			updated[adjEID(col)] = rel.Null
+			updated[adjLBL(col)] = rel.Null
+			updated[adjVAL(col)] = rel.Null
+			return tx.Update(primary, row.rid, updated)
+		}
+		// Multi-valued: remove the matching secondary row by its exact
+		// (lid, eid) key, then check emptiness with an early-stopping
+		// prefix probe. Both are logarithmic — a linear scan here made
+		// deleting a supernode's edges O(degree) each (it dominated
+		// LinkBench's delete_link at scale).
+		lid := row.vals[adjVAL(col)].Int()
+		var target rel.RowID
+		found := false
+		if err := tx.Probe(secondary, secIndex, []rel.Value{rel.NewInt(lid), rel.NewInt(eid)}, func(r rel.RowID, vals []rel.Value) bool {
+			target = r
+			found = true
+			return false
+		}); err != nil {
+			return err
+		}
+		if !found {
+			continue
+		}
+		if _, err := tx.Delete(secondary, target); err != nil {
+			return err
+		}
+		empty := true
+		if err := tx.Probe(secondary, secIndex, []rel.Value{rel.NewInt(lid)}, func(rel.RowID, []rel.Value) bool {
+			empty = false
+			return false
+		}); err != nil {
+			return err
+		}
+		if empty {
+			updated := append([]rel.Value(nil), row.vals...)
+			updated[adjEID(col)] = rel.Null
+			updated[adjLBL(col)] = rel.Null
+			updated[adjVAL(col)] = rel.Null
+			return tx.Update(primary, row.rid, updated)
+		}
+		return nil
+	}
+	return nil
+}
+
+// RemoveVertex implements blueprints.Graph with the negative-id soft
+// delete (paper Section 4.5.2). In DeleteClean mode it also cleans the
+// neighbors' adjacency entries; in DeletePaperSoft mode it only negates
+// ids and drops EA rows, as in the paper.
+func (s *Store) RemoveVertex(id int64) error {
+	tx := s.fpAll.Begin()
+	defer tx.Rollback()
+
+	// Locate the vertex row.
+	var vaRID rel.RowID
+	var vaVals []rel.Value
+	found := false
+	_ = tx.Probe(TableVA, IndexVAPK, []rel.Value{rel.NewInt(id)}, func(rid rel.RowID, vals []rel.Value) bool {
+		vaRID, vaVals, found = rid, append([]rel.Value(nil), vals...), true
+		return false
+	})
+	if !found {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, id)
+	}
+
+	// Collect incident edges from EA.
+	var incident []struct {
+		rec blueprints.EdgeRec
+		rid rel.RowID
+	}
+	collect := func(index string) error {
+		return tx.Probe(TableEA, index, []rel.Value{rel.NewInt(id)}, func(rid rel.RowID, vals []rel.Value) bool {
+			incident = append(incident, struct {
+				rec blueprints.EdgeRec
+				rid rel.RowID
+			}{
+				rec: blueprints.EdgeRec{ID: vals[eaEID].Int(), Out: vals[eaINV].Int(), In: vals[eaOUTV].Int(), Label: vals[eaLBL].Str()},
+				rid: rid,
+			})
+			return true
+		})
+	}
+	if err := collect(IndexEAInLbl); err != nil {
+		return err
+	}
+	if err := collect(IndexEAOutLbl); err != nil {
+		return err
+	}
+	seen := map[int64]bool{}
+	for _, e := range incident {
+		if seen[e.rec.ID] {
+			continue // self-loops appear under both indexes
+		}
+		seen[e.rec.ID] = true
+		if _, err := tx.Delete(TableEA, e.rid); err != nil {
+			return err
+		}
+		if s.opts.DeleteMode == DeleteClean {
+			// Remove the entry from the *other* endpoint's adjacency. The
+			// deleted vertex's own rows are handled by negation below.
+			if e.rec.Out == id && e.rec.In != id {
+				if err := s.removeAdjacent(tx, false, e.rec.In, e.rec.ID, e.rec.Label); err != nil {
+					return err
+				}
+			}
+			if e.rec.In == id && e.rec.Out != id {
+				if err := s.removeAdjacent(tx, true, e.rec.Out, e.rec.ID, e.rec.Label); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Negate ids: VA plus both hash adjacency tables (the paper's "fast"
+	// part: no row deletions, just id flips).
+	neg := -id - 1
+	updatedVA := append([]rel.Value(nil), vaVals...)
+	updatedVA[vaVID] = rel.NewInt(neg)
+	if err := tx.Update(TableVA, vaRID, updatedVA); err != nil {
+		return err
+	}
+	for _, side := range []struct {
+		primary, index string
+	}{{TableOPA, IndexOPAVID}, {TableIPA, IndexIPAVID}} {
+		rows, err := adjRowsTx(tx, side.primary, side.index, id)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			updated := append([]rel.Value(nil), row.vals...)
+			updated[adjVID] = rel.NewInt(neg)
+			if err := tx.Update(side.primary, row.rid, updated); err != nil {
+				return err
+			}
+		}
+	}
+	tx.Commit()
+	return nil
+}
+
+// Vacuum physically removes rows left behind by soft deletes: negated VA
+// and adjacency rows, plus (in DeletePaperSoft mode) dangling adjacency
+// cells that still reference deleted vertices. The paper leaves this
+// "off-line cleanup process" unimplemented; we provide it.
+func (s *Store) Vacuum() (removed int, err error) {
+	tx, err := s.cat.Begin(writeTables, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer tx.Rollback()
+
+	// Gather deleted vertex ids from VA.
+	deleted := map[int64]bool{}
+	var deadVA []rel.RowID
+	if err := tx.Scan(TableVA, func(rid rel.RowID, vals []rel.Value) bool {
+		if vals[vaVID].Int() < 0 {
+			deleted[-vals[vaVID].Int()-1] = true
+			deadVA = append(deadVA, rid)
+		}
+		return true
+	}); err != nil {
+		return 0, err
+	}
+	for _, rid := range deadVA {
+		if _, err := tx.Delete(TableVA, rid); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+
+	for _, side := range []struct {
+		primary   string
+		secondary string
+		secIndex  string
+		cols      int
+	}{
+		{TableOPA, TableOSA, IndexOSAVALID, s.outCols},
+		{TableIPA, TableISA, IndexISAVALID, s.inCols},
+	} {
+		type change struct {
+			rid  rel.RowID
+			vals []rel.Value
+			drop bool
+		}
+		var changes []change
+		if err := tx.Scan(side.primary, func(rid rel.RowID, vals []rel.Value) bool {
+			if vals[adjVID].Int() < 0 {
+				changes = append(changes, change{rid: rid, drop: true})
+				return true
+			}
+			dirty := false
+			updated := vals
+			for k := 0; k < side.cols; k++ {
+				val := vals[adjVAL(k)]
+				if val.IsNull() || val.Int() < 0 {
+					continue // empty or multi-valued (lid) cell
+				}
+				if deleted[val.Int()] {
+					if !dirty {
+						updated = append([]rel.Value(nil), vals...)
+						dirty = true
+					}
+					updated[adjEID(k)] = rel.Null
+					updated[adjLBL(k)] = rel.Null
+					updated[adjVAL(k)] = rel.Null
+				}
+			}
+			if dirty {
+				changes = append(changes, change{rid: rid, vals: updated})
+			}
+			return true
+		}); err != nil {
+			return removed, err
+		}
+		for _, ch := range changes {
+			if ch.drop {
+				if _, err := tx.Delete(side.primary, ch.rid); err != nil {
+					return removed, err
+				}
+				removed++
+				continue
+			}
+			if err := tx.Update(side.primary, ch.rid, ch.vals); err != nil {
+				return removed, err
+			}
+		}
+		// Secondary rows pointing at deleted vertices.
+		var deadSec []rel.RowID
+		if err := tx.Scan(side.secondary, func(rid rel.RowID, vals []rel.Value) bool {
+			if deleted[vals[secVAL].Int()] {
+				deadSec = append(deadSec, rid)
+			}
+			return true
+		}); err != nil {
+			return removed, err
+		}
+		for _, rid := range deadSec {
+			if _, err := tx.Delete(side.secondary, rid); err != nil {
+				return removed, err
+			}
+			removed++
+		}
+	}
+	tx.Commit()
+	return removed, nil
+}
+
+// SetVertexAttr implements blueprints.Graph.
+func (s *Store) SetVertexAttr(id int64, key string, val any) error {
+	return s.mutateVertexDoc(id, func(doc *sqljson.Doc) { doc.Set(key, val) })
+}
+
+// RemoveVertexAttr implements blueprints.Graph.
+func (s *Store) RemoveVertexAttr(id int64, key string) error {
+	return s.mutateVertexDoc(id, func(doc *sqljson.Doc) { doc.Delete(key) })
+}
+
+func (s *Store) mutateVertexDoc(id int64, mutate func(*sqljson.Doc)) error {
+	tx := s.fpVA.Begin()
+	defer tx.Rollback()
+	var rid rel.RowID
+	var vals []rel.Value
+	found := false
+	_ = tx.Probe(TableVA, IndexVAPK, []rel.Value{rel.NewInt(id)}, func(r rel.RowID, v []rel.Value) bool {
+		rid, vals, found = r, append([]rel.Value(nil), v...), true
+		return false
+	})
+	if !found {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, id)
+	}
+	doc := vals[vaATTR].JSON().Clone()
+	mutate(doc)
+	vals[vaATTR] = rel.NewJSON(doc)
+	if err := tx.Update(TableVA, rid, vals); err != nil {
+		return err
+	}
+	tx.Commit()
+	return nil
+}
+
+// SetEdgeAttr implements blueprints.Graph.
+func (s *Store) SetEdgeAttr(id int64, key string, val any) error {
+	return s.mutateEdgeDoc(id, func(doc *sqljson.Doc) { doc.Set(key, val) })
+}
+
+// RemoveEdgeAttr implements blueprints.Graph.
+func (s *Store) RemoveEdgeAttr(id int64, key string) error {
+	return s.mutateEdgeDoc(id, func(doc *sqljson.Doc) { doc.Delete(key) })
+}
+
+func (s *Store) mutateEdgeDoc(id int64, mutate func(*sqljson.Doc)) error {
+	tx := s.fpEA.Begin()
+	defer tx.Rollback()
+	var rid rel.RowID
+	var vals []rel.Value
+	found := false
+	_ = tx.Probe(TableEA, IndexEAPK, []rel.Value{rel.NewInt(id)}, func(r rel.RowID, v []rel.Value) bool {
+		rid, vals, found = r, append([]rel.Value(nil), v...), true
+		return false
+	})
+	if !found {
+		return fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	doc := vals[eaATTR].JSON().Clone()
+	mutate(doc)
+	vals[eaATTR] = rel.NewJSON(doc)
+	if err := tx.Update(TableEA, rid, vals); err != nil {
+		return err
+	}
+	tx.Commit()
+	return nil
+}

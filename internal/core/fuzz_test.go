@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sqlgraph/internal/blueprints"
+)
+
+// randomQuery generates a random supported Gremlin pipeline against the
+// given label/key vocabulary. It exercises the translator's template
+// combinations far beyond the hand-written corpus.
+func randomQuery(rng *rand.Rand, nV int, labels []string) string {
+	var sb strings.Builder
+	// Source.
+	switch rng.Intn(3) {
+	case 0:
+		sb.WriteString("g.V")
+	case 1:
+		fmt.Fprintf(&sb, "g.V(%d)", rng.Intn(nV))
+	default:
+		fmt.Fprintf(&sb, "g.V(%d, %d)", rng.Intn(nV), rng.Intn(nV))
+	}
+	steps := 1 + rng.Intn(4)
+	onEdges := false
+	for i := 0; i < steps; i++ {
+		if onEdges {
+			// Move back to vertices.
+			if rng.Intn(2) == 0 {
+				sb.WriteString(".inV")
+			} else {
+				sb.WriteString(".outV")
+			}
+			onEdges = false
+			continue
+		}
+		switch rng.Intn(8) {
+		case 0:
+			sb.WriteString(".out")
+			maybeLabel(&sb, rng, labels)
+		case 1:
+			sb.WriteString(".in")
+			maybeLabel(&sb, rng, labels)
+		case 2:
+			sb.WriteString(".both")
+			maybeLabel(&sb, rng, labels)
+		case 3:
+			sb.WriteString(".outE")
+			maybeLabel(&sb, rng, labels)
+			onEdges = true
+		case 4:
+			fmt.Fprintf(&sb, ".has('k', %d)", rng.Intn(5))
+		case 5:
+			fmt.Fprintf(&sb, ".filter{it.k >= %d}", rng.Intn(5))
+		case 6:
+			sb.WriteString(".dedup()")
+		case 7:
+			sb.WriteString(".hasNot('name')")
+		}
+	}
+	if onEdges {
+		sb.WriteString(".inV")
+	}
+	switch rng.Intn(3) {
+	case 0:
+		sb.WriteString(".count()")
+	case 1:
+		sb.WriteString(".dedup().count()")
+	case 2:
+		sb.WriteString(".id")
+	}
+	return sb.String()
+}
+
+func maybeLabel(sb *strings.Builder, rng *rand.Rand, labels []string) {
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(sb, "('%s')", labels[rng.Intn(len(labels))])
+	}
+}
+
+// TestFuzzQueriesAgainstOracle generates random graphs and random query
+// pipelines, and checks the SQL translation against the pipe interpreter
+// on every store configuration that changes the physical layout.
+func TestFuzzQueriesAgainstOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	labels := []string{"a", "b", "c"}
+	for seed := int64(100); seed < 104; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := blueprints.NewMemGraph()
+		nV := 15 + rng.Intn(20)
+		for i := 0; i < nV; i++ {
+			attrs := map[string]any{"k": int64(rng.Intn(5))}
+			if rng.Intn(3) == 0 {
+				attrs["name"] = fmt.Sprintf("n%d", rng.Intn(6))
+			}
+			if err := g.AddVertex(int64(i), attrs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for e := 0; e < nV*3; e++ {
+			_ = g.AddEdge(int64(1000+e), int64(rng.Intn(nV)), int64(rng.Intn(nV)),
+				labels[rng.Intn(len(labels))], map[string]any{"w": rng.Float64()})
+		}
+
+		stores := map[string]*Store{}
+		var err error
+		if stores["default"], err = Load(g, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if stores["narrow"], err = Load(g, Options{OutCols: 1, InCols: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if stores["modulo"], err = Load(g, Options{Coloring: ColoringModulo, OutCols: 2, InCols: 2}); err != nil {
+			t.Fatal(err)
+		}
+
+		for q := 0; q < 40; q++ {
+			query := randomQuery(rng, nV, labels)
+			for name, s := range stores {
+				opts := TranslateOptions{}
+				switch q % 3 {
+				case 1:
+					opts.ForceEA = true
+				case 2:
+					opts.ForceHashTables = true
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							t.Fatalf("panic on %q (store %s, opts %+v): %v", query, name, opts, r)
+						}
+					}()
+					assertSameResults(t, s, g, query, opts)
+				}()
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"sqlgraph/internal/gremlin"
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/translate"
+)
+
+// Result is the outcome of a Gremlin query: the emitted objects, as plain
+// Go values (element ids for vertices and edges, payloads for values,
+// []any for paths).
+type Result struct {
+	Values   []any
+	ElemType translate.ElemType
+}
+
+// Count returns the number of emitted objects.
+func (r *Result) Count() int { return len(r.Values) }
+
+type preparedQuery struct {
+	translation *translate.Translation
+}
+
+// TranslateOptions mirrors translate.Options at the store API surface.
+type TranslateOptions = translate.Options
+
+// Query parses, translates, and executes a Gremlin query as one SQL
+// statement (the paper's core execution model, Section 4.2). Translations
+// are cached per query text.
+func (s *Store) Query(gremlinText string) (*Result, error) {
+	return s.QueryWithOptions(gremlinText, TranslateOptions{})
+}
+
+// QueryWithOptions executes a Gremlin query with explicit translation
+// options (ablation modes).
+func (s *Store) QueryWithOptions(gremlinText string, opts TranslateOptions) (*Result, error) {
+	key := fmt.Sprintf("%+v|%s", opts, gremlinText)
+	var prep *preparedQuery
+	if cached, ok := s.prepared.Load(key); ok {
+		prep = cached.(*preparedQuery)
+	} else {
+		tr, err := s.Translate(gremlinText, opts)
+		if err != nil {
+			return nil, err
+		}
+		prep = &preparedQuery{translation: tr}
+		s.prepared.Store(key, prep)
+	}
+	rows, err := s.eng.Query(prep.translation.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("core: executing translated SQL: %w", err)
+	}
+	out := &Result{ElemType: prep.translation.ElemType, Values: make([]any, 0, len(rows.Data))}
+	for _, row := range rows.Data {
+		out.Values = append(out.Values, valueToAny(row[0]))
+	}
+	return out, nil
+}
+
+// Translate compiles a Gremlin query to SQL without executing it.
+func (s *Store) Translate(gremlinText string, opts TranslateOptions) (*translate.Translation, error) {
+	q, err := gremlin.Parse(gremlinText)
+	if err != nil {
+		return nil, err
+	}
+	return translate.Translate(q, s, opts)
+}
+
+func valueToAny(v rel.Value) any {
+	switch v.Kind() {
+	case rel.KindNull:
+		return nil
+	case rel.KindBool:
+		return v.Bool()
+	case rel.KindInt:
+		return v.Int()
+	case rel.KindFloat:
+		return v.Float()
+	case rel.KindString:
+		return v.Str()
+	case rel.KindJSON:
+		return v.JSON().Map()
+	case rel.KindList:
+		list := v.List()
+		out := make([]any, len(list))
+		for i, e := range list {
+			out[i] = valueToAny(e)
+		}
+		return out
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/rel"
+)
+
+// Read operations. Single-hop lookups go through the EA table — the
+// paper's micro-benchmark (Table 4) shows EA beats the hash adjacency
+// tables for simple neighbor lookups, which is exactly why the schema
+// keeps the redundant adjacency copy there (Section 3.5).
+
+// VertexExists implements blueprints.Graph.
+func (s *Store) VertexExists(id int64) bool {
+	tx := s.fpReadVA.Begin()
+	defer tx.Rollback()
+	return vertexLiveTx(tx, id)
+}
+
+// VertexAttrs implements blueprints.Graph.
+func (s *Store) VertexAttrs(id int64) (map[string]any, error) {
+	tx := s.fpReadVA.Begin()
+	defer tx.Rollback()
+	var out map[string]any
+	found := false
+	_ = tx.Probe(TableVA, IndexVAPK, []rel.Value{rel.NewInt(id)}, func(rid rel.RowID, vals []rel.Value) bool {
+		out = vals[vaATTR].JSON().Map()
+		found = true
+		return false
+	})
+	if !found {
+		return nil, fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, id)
+	}
+	return out, nil
+}
+
+// Edge implements blueprints.Graph.
+func (s *Store) Edge(id int64) (blueprints.EdgeRec, error) {
+	tx := s.fpReadEA.Begin()
+	defer tx.Rollback()
+	rec, _, ok := edgeTx(tx, id)
+	if !ok {
+		return blueprints.EdgeRec{}, fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	return rec, nil
+}
+
+// EdgeAttrs implements blueprints.Graph.
+func (s *Store) EdgeAttrs(id int64) (map[string]any, error) {
+	tx := s.fpReadEA.Begin()
+	defer tx.Rollback()
+	var out map[string]any
+	found := false
+	_ = tx.Probe(TableEA, IndexEAPK, []rel.Value{rel.NewInt(id)}, func(rid rel.RowID, vals []rel.Value) bool {
+		out = vals[eaATTR].JSON().Map()
+		found = true
+		return false
+	})
+	if !found {
+		return nil, fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
+	}
+	return out, nil
+}
+
+// OutEdges implements blueprints.Graph via the EA (INV, LBL) index.
+func (s *Store) OutEdges(v int64, labels ...string) ([]blueprints.EdgeRec, error) {
+	return s.incident(v, labels, IndexEAInLbl)
+}
+
+// InEdges implements blueprints.Graph via the EA (OUTV, LBL) index.
+func (s *Store) InEdges(v int64, labels ...string) ([]blueprints.EdgeRec, error) {
+	return s.incident(v, labels, IndexEAOutLbl)
+}
+
+func (s *Store) incident(v int64, labels []string, index string) ([]blueprints.EdgeRec, error) {
+	tx := s.fpReadEV.Begin()
+	defer tx.Rollback()
+	if !vertexLiveTx(tx, v) {
+		return nil, fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, v)
+	}
+	var out []blueprints.EdgeRec
+	visit := func(rid rel.RowID, vals []rel.Value) bool {
+		out = append(out, blueprints.EdgeRec{
+			ID: vals[eaEID].Int(), Out: vals[eaINV].Int(), In: vals[eaOUTV].Int(), Label: vals[eaLBL].Str(),
+		})
+		return true
+	}
+	if len(labels) == 0 {
+		if err := tx.Probe(TableEA, index, []rel.Value{rel.NewInt(v)}, visit); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, l := range labels {
+			if err := tx.Probe(TableEA, index, []rel.Value{rel.NewInt(v), rel.NewString(l)}, visit); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// OutEdgesWithAttrs implements blueprints.LinkLister: one transaction
+// serves the edge list and the payloads (LinkBench's dominant
+// get_link_list operation runs as a single statement on SQLGraph).
+func (s *Store) OutEdgesWithAttrs(v int64, limit int) ([]blueprints.EdgeRec, []map[string]any, error) {
+	tx := s.fpReadEV.Begin()
+	defer tx.Rollback()
+	if !vertexLiveTx(tx, v) {
+		return nil, nil, fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, v)
+	}
+	var recs []blueprints.EdgeRec
+	var attrs []map[string]any
+	err := tx.Probe(TableEA, IndexEAInLbl, []rel.Value{rel.NewInt(v)}, func(rid rel.RowID, vals []rel.Value) bool {
+		recs = append(recs, blueprints.EdgeRec{
+			ID: vals[eaEID].Int(), Out: vals[eaINV].Int(), In: vals[eaOUTV].Int(), Label: vals[eaLBL].Str(),
+		})
+		attrs = append(attrs, vals[eaATTR].JSON().Map())
+		return limit <= 0 || len(recs) < limit
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return recs, attrs, nil
+}
+
+// VertexIDs implements blueprints.Graph (live vertices only, sorted).
+func (s *Store) VertexIDs() []int64 {
+	tx := s.fpReadVA.Begin()
+	defer tx.Rollback()
+	var out []int64
+	_ = tx.Scan(TableVA, func(rid rel.RowID, vals []rel.Value) bool {
+		if id := vals[vaVID].Int(); id >= 0 {
+			out = append(out, id)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EdgeIDs implements blueprints.Graph (sorted).
+func (s *Store) EdgeIDs() []int64 {
+	tx := s.fpReadEA.Begin()
+	defer tx.Rollback()
+	var out []int64
+	_ = tx.Scan(TableEA, func(rid rel.RowID, vals []rel.Value) bool {
+		out = append(out, vals[eaEID].Int())
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VerticesByAttr implements blueprints.Graph through a SQL lookup, which
+// uses a JSON expression index when CreateVertexAttrIndex has been called
+// for the key.
+func (s *Store) VerticesByAttr(key string, val any) ([]int64, error) {
+	rows, err := s.eng.Query(
+		fmt.Sprintf("SELECT VID FROM VA WHERE VID >= 0 AND JSON_VAL(ATTR, '%s') = ?", escapeSQL(key)), val)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, len(rows.Data))
+	for _, row := range rows.Data {
+		out = append(out, row[0].Int())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// CountVertices implements blueprints.Graph (live vertices).
+func (s *Store) CountVertices() int {
+	return len(s.VertexIDs())
+}
+
+// CountEdges implements blueprints.Graph.
+func (s *Store) CountEdges() int {
+	t, ok := s.cat.Table(TableEA)
+	if !ok {
+		return 0
+	}
+	return t.Live()
+}

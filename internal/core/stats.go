@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"sqlgraph/internal/rel"
+)
+
+// HashTableStats reproduces the characteristics the paper reports in
+// Table 3 for each hash table: label counts, bucket sizes, spill rates,
+// and secondary-table row counts.
+type HashTableStats struct {
+	Name            string
+	HashedLabels    int     // distinct labels stored
+	BucketSize      float64 // average labels per column (the "hashed bucket size")
+	Columns         int
+	Rows            int
+	SpillRows       int // rows beyond the first per vertex
+	SpillPercentage float64
+	MultiValueRows  int // rows in the secondary (OSA/ISA) table
+}
+
+// VertexAttrStats summarizes the VA table for the same report.
+type VertexAttrStats struct {
+	Rows          int
+	DistinctKeys  int
+	LongStringVal int // attribute values longer than the long-string cutoff
+}
+
+// longStringCutoff mirrors the paper's notion of strings too long for an
+// inline column.
+const longStringCutoff = 128
+
+// Stats computes Table 3-style statistics from the current store state.
+func (s *Store) Stats() (out, in HashTableStats, va VertexAttrStats, err error) {
+	out, err = s.adjacencyStats(TableOPA, TableOSA, s.outCols)
+	if err != nil {
+		return
+	}
+	out.Name = "Outgoing Adjacency Hash Table"
+	in, err = s.adjacencyStats(TableIPA, TableISA, s.inCols)
+	if err != nil {
+		return
+	}
+	in.Name = "Incoming Adjacency Hash Table"
+	va, err = s.vaStats()
+	return
+}
+
+func (s *Store) adjacencyStats(primary, secondary string, cols int) (HashTableStats, error) {
+	st := HashTableStats{Columns: cols}
+	tx, err := s.cat.Begin(nil, []string{primary, secondary})
+	if err != nil {
+		return st, err
+	}
+	defer tx.Rollback()
+
+	labels := map[string]bool{}
+	labelCols := map[int]map[string]bool{}
+	rowsPerVID := map[int64]int{}
+	if err := tx.Scan(primary, func(rid rel.RowID, vals []rel.Value) bool {
+		st.Rows++
+		vid := vals[adjVID].Int()
+		if vid < 0 {
+			vid = -vid - 1
+		}
+		rowsPerVID[vid]++
+		for k := 0; k < cols; k++ {
+			lbl := vals[adjLBL(k)]
+			if lbl.IsNull() {
+				continue
+			}
+			labels[lbl.Str()] = true
+			if labelCols[k] == nil {
+				labelCols[k] = map[string]bool{}
+			}
+			labelCols[k][lbl.Str()] = true
+		}
+		return true
+	}); err != nil {
+		return st, err
+	}
+	st.HashedLabels = len(labels)
+	occupied := 0
+	totalLabels := 0
+	for _, set := range labelCols {
+		occupied++
+		totalLabels += len(set)
+	}
+	if occupied > 0 {
+		st.BucketSize = float64(totalLabels) / float64(occupied)
+	}
+	for _, n := range rowsPerVID {
+		if n > 1 {
+			st.SpillRows += n - 1
+		}
+	}
+	if st.Rows > 0 {
+		st.SpillPercentage = 100 * float64(st.SpillRows) / float64(st.Rows)
+	}
+	if err := tx.Scan(secondary, func(rid rel.RowID, vals []rel.Value) bool {
+		st.MultiValueRows++
+		return true
+	}); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+func (s *Store) vaStats() (VertexAttrStats, error) {
+	st := VertexAttrStats{}
+	tx, err := s.cat.Begin(nil, []string{TableVA})
+	if err != nil {
+		return st, err
+	}
+	defer tx.Rollback()
+	keys := map[string]bool{}
+	err = tx.Scan(TableVA, func(rid rel.RowID, vals []rel.Value) bool {
+		st.Rows++
+		doc := vals[vaATTR].JSON()
+		for _, k := range doc.Keys() {
+			keys[k] = true
+			if v, ok := doc.Get(k); ok {
+				if sv, isStr := v.(string); isStr && len(sv) > longStringCutoff {
+					st.LongStringVal++
+				}
+			}
+		}
+		return true
+	})
+	st.DistinctKeys = len(keys)
+	return st, err
+}
+
+// String renders the stats like the paper's Table 3 rows.
+func (h HashTableStats) String() string {
+	return fmt.Sprintf("%s: labels=%d bucket=%.1f rows=%d spill=%d (%.2f%%) multi-value=%d",
+		h.Name, h.HashedLabels, h.BucketSize, h.Rows, h.SpillRows, h.SpillPercentage, h.MultiValueRows)
+}

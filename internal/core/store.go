@@ -1,0 +1,426 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/core/coloring"
+	"sqlgraph/internal/engine"
+	"sqlgraph/internal/rel"
+)
+
+// DeleteMode selects the vertex-deletion strategy (paper Section 4.5.2).
+type DeleteMode int
+
+const (
+	// DeleteClean soft-deletes the vertex's own rows (VID := -VID-1) and
+	// additionally removes incident-edge entries from the neighbors'
+	// adjacency rows, so query results never contain dangling ids.
+	DeleteClean DeleteMode = iota
+	// DeletePaperSoft is the paper's exact optimization: only negate the
+	// vertex id and drop EA rows. Neighbors' adjacency cells keep dangling
+	// references until Vacuum runs; queries guard VID columns with
+	// VID >= 0 but a dangling id can appear in a final result set. Used by
+	// the soft-delete ablation benchmark.
+	DeletePaperSoft
+)
+
+// ColoringMode selects the label-to-column hash construction.
+type ColoringMode int
+
+const (
+	// ColoringGreedy is the paper's co-occurrence graph coloring.
+	ColoringGreedy ColoringMode = iota
+	// ColoringModulo is the naive hash baseline (ablation).
+	ColoringModulo
+)
+
+// Options configures a store.
+type Options struct {
+	// OutCols / InCols bound the number of column triads in OPA / IPA.
+	// Zero means the default of 8. Bulk loading may use fewer when the
+	// coloring needs fewer.
+	OutCols int
+	InCols  int
+	// Coloring selects greedy coloring (default) or the modulo baseline.
+	Coloring ColoringMode
+	// DeleteMode selects vertex deletion behavior.
+	DeleteMode DeleteMode
+}
+
+func (o Options) withDefaults() Options {
+	if o.OutCols <= 0 {
+		o.OutCols = 8
+	}
+	if o.InCols <= 0 {
+		o.InCols = 8
+	}
+	return o
+}
+
+// Store is a SQLGraph property-graph store over the embedded relational
+// engine.
+type Store struct {
+	opts      Options
+	cat       *rel.Catalog
+	eng       *engine.Engine
+	outAssign *coloring.Assignment
+	inAssign  *coloring.Assignment
+	outCols   int
+	inCols    int
+
+	mu      sync.Mutex
+	nextLID int64 // negative list-id allocator for OSA/ISA
+
+	prepared sync.Map // gremlin text -> *preparedQuery
+
+	// Pre-resolved transaction lock plans for the stored procedures (one
+	// transaction per graph operation; re-resolving names per call showed
+	// up in write-heavy profiles).
+	fpAll    *rel.Footprint // write: every table
+	fpVA     *rel.Footprint // write: VA
+	fpEA     *rel.Footprint // write: EA
+	fpReadVA *rel.Footprint // read: VA
+	fpReadEA *rel.Footprint // read: EA
+	fpReadEV *rel.Footprint // read: EA + VA
+}
+
+// initFootprints builds the cached lock plans; called after createSchema.
+func (s *Store) initFootprints() error {
+	var err error
+	if s.fpAll, err = s.cat.Footprint(writeTables, nil); err != nil {
+		return err
+	}
+	if s.fpVA, err = s.cat.Footprint([]string{TableVA}, nil); err != nil {
+		return err
+	}
+	if s.fpEA, err = s.cat.Footprint([]string{TableEA}, nil); err != nil {
+		return err
+	}
+	if s.fpReadVA, err = s.cat.Footprint(nil, []string{TableVA}); err != nil {
+		return err
+	}
+	if s.fpReadEA, err = s.cat.Footprint(nil, []string{TableEA}); err != nil {
+		return err
+	}
+	if s.fpReadEV, err = s.cat.Footprint(nil, []string{TableEA, TableVA}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Open creates an empty store with the given options. Labels are assigned
+// to columns on first sight by hashing; for analyzed assignments use
+// Load.
+func Open(opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	s := &Store{
+		opts:    opts,
+		cat:     rel.NewCatalog(),
+		outCols: opts.OutCols,
+		inCols:  opts.InCols,
+		nextLID: -1,
+	}
+	empty := coloring.NewCooccurrence()
+	s.outAssign = buildAssignment(empty, opts.OutCols, opts.Coloring)
+	s.outAssign.Columns = opts.OutCols
+	s.inAssign = buildAssignment(empty, opts.InCols, opts.Coloring)
+	s.inAssign.Columns = opts.InCols
+	if err := createSchema(s.cat, s.outCols, s.inCols); err != nil {
+		return nil, err
+	}
+	s.eng = engine.New(s.cat)
+	registerUDFs(s.eng)
+	if err := s.initFootprints(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func buildAssignment(c *coloring.Cooccurrence, maxCols int, mode ColoringMode) *coloring.Assignment {
+	if mode == ColoringModulo {
+		return coloring.Modulo(c, maxCols)
+	}
+	return coloring.Greedy(c, maxCols)
+}
+
+// Load bulk-loads a property graph: it analyzes the label co-occurrence
+// structure to build the coloring hash (paper Section 3.2), sizes the
+// hash tables, and shreds every adjacency list.
+func Load(src blueprints.Graph, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	// Pass 1: analysis. Group each vertex's out- and in-labels.
+	outCo := coloring.NewCooccurrence()
+	inCo := coloring.NewCooccurrence()
+	vids := src.VertexIDs()
+	for _, v := range vids {
+		outs, err := src.OutEdges(v)
+		if err != nil {
+			return nil, err
+		}
+		outCo.Observe(labelsOf(outs))
+		ins, err := src.InEdges(v)
+		if err != nil {
+			return nil, err
+		}
+		inCo.Observe(labelsOf(ins))
+	}
+	outAssign := buildAssignment(outCo, opts.OutCols, opts.Coloring)
+	inAssign := buildAssignment(inCo, opts.InCols, opts.Coloring)
+
+	s := &Store{
+		opts:      opts,
+		cat:       rel.NewCatalog(),
+		outAssign: outAssign,
+		inAssign:  inAssign,
+		outCols:   outAssign.Columns,
+		inCols:    inAssign.Columns,
+		nextLID:   -1,
+	}
+	if s.outCols < 1 {
+		s.outCols = 1
+	}
+	if s.inCols < 1 {
+		s.inCols = 1
+	}
+	if err := createSchema(s.cat, s.outCols, s.inCols); err != nil {
+		return nil, err
+	}
+	s.eng = engine.New(s.cat)
+	registerUDFs(s.eng)
+	if err := s.initFootprints(); err != nil {
+		return nil, err
+	}
+
+	// Pass 2: shred. Writes go straight to the tables (bulk path), one
+	// transaction per vertex batch to bound lock hold times.
+	tx, err := s.cat.Begin([]string{TableOPA, TableOSA, TableIPA, TableISA, TableVA, TableEA}, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Rollback()
+
+	for _, v := range vids {
+		attrs, err := src.VertexAttrs(v)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tx.Insert(TableVA, []rel.Value{rel.NewInt(v), rel.NewJSON(docFromMap(attrs))}); err != nil {
+			return nil, err
+		}
+		outs, err := src.OutEdges(v)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.shredSide(tx, v, outs, true); err != nil {
+			return nil, err
+		}
+		ins, err := src.InEdges(v)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.shredSide(tx, v, ins, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, eid := range src.EdgeIDs() {
+		rec, err := src.Edge(eid)
+		if err != nil {
+			return nil, err
+		}
+		attrs, err := src.EdgeAttrs(eid)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tx.Insert(TableEA, []rel.Value{
+			rel.NewInt(rec.ID), rel.NewInt(rec.Out), rel.NewInt(rec.In),
+			rel.NewString(rec.Label), rel.NewJSON(docFromMap(attrs)),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	tx.Commit()
+	return s, nil
+}
+
+func labelsOf(recs []blueprints.EdgeRec) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Label
+	}
+	return out
+}
+
+// shredSide writes one vertex's adjacency (one direction) into the
+// primary and secondary hash tables.
+func (s *Store) shredSide(tx *rel.Txn, v int64, recs []blueprints.EdgeRec, outgoing bool) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	assign := s.outAssign
+	primary, secondary := TableOPA, TableOSA
+	cols := s.outCols
+	if !outgoing {
+		assign = s.inAssign
+		primary, secondary = TableIPA, TableISA
+		cols = s.inCols
+	}
+
+	// Group edges by label, preserving order.
+	type group struct {
+		label string
+		eids  []int64
+		vals  []int64
+	}
+	var groups []*group
+	byLabel := map[string]*group{}
+	for _, r := range recs {
+		gr, ok := byLabel[r.Label]
+		if !ok {
+			gr = &group{label: r.Label}
+			byLabel[r.Label] = gr
+			groups = append(groups, gr)
+		}
+		gr.eids = append(gr.eids, r.ID)
+		other := r.In
+		if !outgoing {
+			other = r.Out
+		}
+		gr.vals = append(gr.vals, other)
+	}
+
+	type cell struct {
+		eid rel.Value
+		lbl rel.Value
+		val rel.Value
+	}
+	var rows [][]cell // each row: cols cells
+	place := func(col int, c cell) {
+		for _, row := range rows {
+			if row[col].lbl.IsNull() {
+				row[col] = c
+				return
+			}
+		}
+		fresh := make([]cell, cols)
+		for i := range fresh {
+			fresh[i] = cell{eid: rel.Null, lbl: rel.Null, val: rel.Null}
+		}
+		fresh[col] = c
+		rows = append(rows, fresh)
+	}
+	for _, gr := range groups {
+		col := assign.Column(gr.label)
+		if col >= cols {
+			col = col % cols
+		}
+		if len(gr.eids) == 1 {
+			place(col, cell{eid: rel.NewInt(gr.eids[0]), lbl: rel.NewString(gr.label), val: rel.NewInt(gr.vals[0])})
+			continue
+		}
+		// Multi-valued label: allocate a list id and push pairs into the
+		// secondary table.
+		lid := s.allocLID()
+		for i := range gr.eids {
+			if _, err := tx.Insert(secondary, []rel.Value{rel.NewInt(lid), rel.NewInt(gr.eids[i]), rel.NewInt(gr.vals[i])}); err != nil {
+				return err
+			}
+		}
+		place(col, cell{eid: rel.Null, lbl: rel.NewString(gr.label), val: rel.NewInt(lid)})
+	}
+
+	spill := int64(0)
+	if len(rows) > 1 {
+		spill = 1
+	}
+	for _, row := range rows {
+		vals := make([]rel.Value, 2+3*cols)
+		vals[adjVID] = rel.NewInt(v)
+		vals[adjSPILL] = rel.NewInt(spill)
+		for k := 0; k < cols; k++ {
+			vals[adjEID(k)] = row[k].eid
+			vals[adjLBL(k)] = row[k].lbl
+			vals[adjVAL(k)] = row[k].val
+		}
+		if _, err := tx.Insert(primary, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) allocLID() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lid := s.nextLID
+	s.nextLID--
+	return lid
+}
+
+// Engine exposes the underlying SQL engine (micro-benchmarks issue raw
+// SQL through it).
+func (s *Store) Engine() *engine.Engine { return s.eng }
+
+// Catalog exposes the relational catalog (statistics, sizes).
+func (s *Store) Catalog() *rel.Catalog { return s.cat }
+
+// OutColumns and InColumns report the hash-table widths.
+func (s *Store) OutColumns() int { return s.outCols }
+func (s *Store) InColumns() int  { return s.inCols }
+
+// OutColumnFor and InColumnFor expose the label hash (used by the
+// translator to pick triads for labeled traversals).
+func (s *Store) OutColumnFor(label string) int { return s.outAssign.Column(label) % s.outCols }
+func (s *Store) InColumnFor(label string) int  { return s.inAssign.Column(label) % s.inCols }
+
+// TotalBytes approximates the store's footprint (paper Section 5.1
+// compares on-disk sizes).
+func (s *Store) TotalBytes() int64 { return s.cat.TotalBytes() }
+
+// CreateVertexAttrIndex builds a JSON expression index over a vertex
+// attribute (paper Section 3.3: "a user would typically add specialized
+// indexes for attributes they wanted to look up by"). Creating the same
+// index twice is a no-op.
+func (s *Store) CreateVertexAttrIndex(key string) error {
+	return s.createAttrIndex(TableVA, "VA_ATTR", key)
+}
+
+// CreateEdgeAttrIndex builds a JSON expression index over an edge
+// attribute. Creating the same index twice is a no-op.
+func (s *Store) CreateEdgeAttrIndex(key string) error {
+	return s.createAttrIndex(TableEA, "EA_ATTR", key)
+}
+
+func (s *Store) createAttrIndex(table, prefix, key string) error {
+	name := fmt.Sprintf("%s_%X", prefix, fnvName(key))
+	if t, ok := s.cat.Table(table); ok {
+		for _, ix := range t.Indexes() {
+			if ix.Name() == name {
+				return nil
+			}
+		}
+	}
+	_, err := s.eng.Exec(fmt.Sprintf("CREATE INDEX %s ON %s (JSON_VAL(ATTR, '%s'))", name, table, escapeSQL(key)))
+	return err
+}
+
+func fnvName(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func escapeSQL(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			out = append(out, '\'')
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

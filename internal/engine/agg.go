@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/sql"
+)
+
+func isAggregateName(name string) bool {
+	switch strings.ToUpper(name) {
+	case "COUNT", "SUM", "MIN", "MAX", "AVG":
+		return true
+	}
+	return false
+}
+
+// collectAggCalls gathers aggregate function calls from an expression
+// (without descending into subqueries, which evaluate independently).
+func collectAggCalls(e sql.Expr, out []*sql.FuncCall) []*sql.FuncCall {
+	switch v := e.(type) {
+	case nil:
+	case *sql.FuncCall:
+		if isAggregateName(v.Name) {
+			return append(out, v)
+		}
+		for _, a := range v.Args {
+			out = collectAggCalls(a, out)
+		}
+	case *sql.Unary:
+		out = collectAggCalls(v.X, out)
+	case *sql.Binary:
+		out = collectAggCalls(v.L, out)
+		out = collectAggCalls(v.R, out)
+	case *sql.IsNull:
+		out = collectAggCalls(v.X, out)
+	case *sql.InList:
+		out = collectAggCalls(v.X, out)
+		for _, item := range v.List {
+			out = collectAggCalls(item, out)
+		}
+	case *sql.Between:
+		out = collectAggCalls(v.X, out)
+		out = collectAggCalls(v.Lo, out)
+		out = collectAggCalls(v.Hi, out)
+	case *sql.Cast:
+		out = collectAggCalls(v.X, out)
+	case *sql.Subscript:
+		out = collectAggCalls(v.X, out)
+		out = collectAggCalls(v.Index, out)
+	case *sql.CaseExpr:
+		if v.Operand != nil {
+			out = collectAggCalls(v.Operand, out)
+		}
+		for _, w := range v.Whens {
+			out = collectAggCalls(w.Cond, out)
+			out = collectAggCalls(w.Result, out)
+		}
+		if v.Else != nil {
+			out = collectAggCalls(v.Else, out)
+		}
+	}
+	return out
+}
+
+func hasAggregates(sel *sql.SimpleSelect) bool {
+	for _, item := range sel.Items {
+		if item.Star {
+			continue
+		}
+		if len(collectAggCalls(item.Expr, nil)) > 0 {
+			return true
+		}
+	}
+	return len(collectAggCalls(sel.Having, nil)) > 0
+}
+
+// aggregate groups the input rows and evaluates the select list with
+// aggregate results bound.
+func (e *Engine) aggregate(q *queryState, in *relation, sel *sql.SimpleSelect) (*relation, error) {
+	sc := newScope(in.cols)
+
+	var aggCalls []*sql.FuncCall
+	for _, item := range sel.Items {
+		if !item.Star {
+			aggCalls = collectAggCalls(item.Expr, aggCalls)
+		}
+	}
+	aggCalls = collectAggCalls(sel.Having, aggCalls)
+
+	type group struct {
+		first []rel.Value
+		rows  [][]rel.Value
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	if len(sel.GroupBy) == 0 {
+		groups[""] = &group{rows: in.rows}
+		if len(in.rows) > 0 {
+			groups[""].first = in.rows[0]
+		} else {
+			groups[""].first = make([]rel.Value, len(in.cols))
+		}
+		order = append(order, "")
+	} else {
+		for _, row := range in.rows {
+			ctx := &evalCtx{eng: e, scope: sc, row: row, params: q.params, q: q}
+			var kb strings.Builder
+			for _, gx := range sel.GroupBy {
+				v, err := e.eval(ctx, gx)
+				if err != nil {
+					return nil, err
+				}
+				kb.WriteString(v.Key())
+				kb.WriteByte(0xFF)
+			}
+			k := kb.String()
+			g, ok := groups[k]
+			if !ok {
+				g = &group{first: row}
+				groups[k] = g
+				order = append(order, k)
+			}
+			g.rows = append(g.rows, row)
+		}
+	}
+
+	// Output columns from the select list.
+	var outCols []colInfo
+	for i, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("engine: SELECT * is not allowed with aggregation")
+		}
+		if !resolvableIn(item.Expr, sc) {
+			return nil, fmt.Errorf("engine: unknown column in select item %s", item.Expr.SQL())
+		}
+		name := item.Alias
+		table := ""
+		if name == "" {
+			if cr, ok := item.Expr.(*sql.ColumnRef); ok {
+				name, table = cr.Column, cr.Table
+			} else {
+				name = fmt.Sprintf("COL%d", i+1)
+			}
+		}
+		outCols = append(outCols, colInfo{table: table, name: name})
+	}
+
+	out := &relation{cols: outCols}
+	for _, k := range order {
+		g := groups[k]
+		aggs := map[sql.Expr]rel.Value{}
+		for _, call := range aggCalls {
+			v, err := e.computeAggregate(q, sc, g.rows, call)
+			if err != nil {
+				return nil, err
+			}
+			aggs[call] = v
+		}
+		ctx := &evalCtx{eng: e, scope: sc, row: g.first, params: q.params, aggs: aggs, q: q}
+		if sel.Having != nil {
+			hv, err := e.eval(ctx, sel.Having)
+			if err != nil {
+				return nil, err
+			}
+			if hv.IsNull() || !hv.Truthy() {
+				continue
+			}
+		}
+		outRow := make([]rel.Value, len(sel.Items))
+		for i, item := range sel.Items {
+			v, err := e.eval(ctx, item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			outRow[i] = v
+		}
+		out.rows = append(out.rows, outRow)
+	}
+	if sel.Distinct {
+		dedupeRelation(out)
+	}
+	return out, nil
+}
+
+func (e *Engine) computeAggregate(q *queryState, sc *scope, rows [][]rel.Value, call *sql.FuncCall) (rel.Value, error) {
+	name := strings.ToUpper(call.Name)
+	if name == "COUNT" && call.Star {
+		return rel.NewInt(int64(len(rows))), nil
+	}
+	if len(call.Args) != 1 {
+		return rel.Null, fmt.Errorf("engine: aggregate %s takes one argument", name)
+	}
+	arg := call.Args[0]
+
+	var count int64
+	var sumI int64
+	var sumF float64
+	allInt := true
+	var minV, maxV rel.Value
+	seen := map[string]bool{}
+
+	for _, row := range rows {
+		ctx := &evalCtx{eng: e, scope: sc, row: row, params: q.params, q: q}
+		v, err := e.eval(ctx, arg)
+		if err != nil {
+			return rel.Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if call.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		count++
+		switch v.Kind() {
+		case rel.KindInt:
+			sumI += v.Int()
+			sumF += v.Float()
+		case rel.KindFloat:
+			allInt = false
+			sumF += v.Float()
+		default:
+			allInt = false
+		}
+		if minV.IsNull() || rel.Compare(v, minV) < 0 {
+			minV = v
+		}
+		if maxV.IsNull() || rel.Compare(v, maxV) > 0 {
+			maxV = v
+		}
+	}
+
+	switch name {
+	case "COUNT":
+		return rel.NewInt(count), nil
+	case "SUM":
+		if count == 0 {
+			return rel.Null, nil
+		}
+		if allInt {
+			return rel.NewInt(sumI), nil
+		}
+		return rel.NewFloat(sumF), nil
+	case "AVG":
+		if count == 0 {
+			return rel.Null, nil
+		}
+		return rel.NewFloat(sumF / float64(count)), nil
+	case "MIN":
+		return minV, nil
+	case "MAX":
+		return maxV, nil
+	default:
+		return rel.Null, fmt.Errorf("engine: unknown aggregate %s", name)
+	}
+}

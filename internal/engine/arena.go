@@ -1,0 +1,34 @@
+package engine
+
+import "sqlgraph/internal/rel"
+
+// rowArena batch-allocates output rows of a fixed width. Join and
+// projection operators produce millions of short []rel.Value slices; one
+// allocation per row dominated query profiles, so rows are carved out of
+// shared chunks instead. Rows remain valid after the arena grows (old
+// chunks are simply retained by the row slices that reference them).
+type rowArena struct {
+	width int
+	buf   []rel.Value
+}
+
+// chunkRows sizes each allocation chunk.
+const chunkRows = 1024
+
+func newRowArena(width int) *rowArena {
+	return &rowArena{width: width}
+}
+
+// alloc returns a zeroed row of the arena's width with capacity clamped
+// to its length.
+func (a *rowArena) alloc() []rel.Value {
+	if a.width == 0 {
+		return nil
+	}
+	if len(a.buf)+a.width > cap(a.buf) {
+		a.buf = make([]rel.Value, 0, a.width*chunkRows)
+	}
+	start := len(a.buf)
+	a.buf = a.buf[: start+a.width : cap(a.buf)]
+	return a.buf[start : start+a.width : start+a.width]
+}

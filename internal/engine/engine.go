@@ -1,0 +1,327 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/sql"
+)
+
+// Engine executes SQL against a catalog. It is safe for concurrent use:
+// queries take read locks on the base tables they touch (in sorted name
+// order, matching the transaction layer's write ordering), DML statements
+// run as transactions.
+type Engine struct {
+	cat   *rel.Catalog
+	funcs map[string]ScalarFunc
+	iosim *IOSim // optional buffer-pool simulation (Figure 8c)
+}
+
+// New creates an engine over a catalog.
+func New(cat *rel.Catalog) *Engine {
+	return &Engine{cat: cat, funcs: map[string]ScalarFunc{}}
+}
+
+// Catalog returns the underlying catalog.
+func (e *Engine) Catalog() *rel.Catalog { return e.cat }
+
+// RegisterFunc installs a user-defined scalar function (names are matched
+// case-insensitively).
+func (e *Engine) RegisterFunc(name string, fn ScalarFunc) {
+	e.funcs[strings.ToUpper(name)] = fn
+}
+
+// SetIOSim attaches (or removes, with nil) a simulated buffer pool.
+func (e *Engine) SetIOSim(sim *IOSim) { e.iosim = sim }
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	Columns []string
+	Data    [][]rel.Value
+}
+
+// Scalar returns the single value of a one-row one-column result.
+func (r *Rows) Scalar() (rel.Value, error) {
+	if len(r.Data) != 1 || len(r.Data[0]) != 1 {
+		return rel.Null, fmt.Errorf("engine: result is not scalar (%d rows)", len(r.Data))
+	}
+	return r.Data[0][0], nil
+}
+
+// Query parses and executes a SELECT statement.
+func (e *Engine) Query(sqlText string, params ...any) (*Rows, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: Query requires a SELECT statement; use Exec")
+	}
+	return e.QueryStmt(sel, params...)
+}
+
+// Prepare parses a SELECT once for repeated execution.
+func (e *Engine) Prepare(sqlText string) (*Stmt, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: Prepare requires a SELECT statement")
+	}
+	return &Stmt{eng: e, sel: sel}, nil
+}
+
+// Stmt is a prepared SELECT.
+type Stmt struct {
+	eng *Engine
+	sel *sql.SelectStmt
+}
+
+// Query executes the prepared statement.
+func (s *Stmt) Query(params ...any) (*Rows, error) {
+	return s.eng.QueryStmt(s.sel, params...)
+}
+
+// QueryStmt executes an already-parsed SELECT.
+func (e *Engine) QueryStmt(sel *sql.SelectStmt, params ...any) (*Rows, error) {
+	tables := e.baseTablesOf(sel)
+	unlock := e.rlockAll(tables)
+	defer unlock()
+
+	q := &queryState{ctes: map[string]*relation{}, params: toValues(params)}
+	r, err := e.evalSelect(q, sel)
+	if err != nil {
+		return nil, err
+	}
+	e.settleIO(q)
+	cols := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		cols[i] = c.name
+	}
+	return &Rows{Columns: cols, Data: r.rows}, nil
+}
+
+func toValues(params []any) []rel.Value {
+	out := make([]rel.Value, len(params))
+	for i, p := range params {
+		out[i] = rel.FromAny(p)
+	}
+	return out
+}
+
+// baseTablesOf collects the catalog tables a statement can touch. CTE
+// names that shadow base tables are still included (a harmless extra read
+// lock) — correctness over precision.
+func (e *Engine) baseTablesOf(stmt *sql.SelectStmt) []string {
+	names := map[string]bool{}
+	collectSelectTables(stmt, names)
+	var out []string
+	for n := range names {
+		if _, ok := e.cat.Table(n); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Engine) rlockAll(tables []string) func() {
+	locked := make([]*rel.Table, 0, len(tables))
+	for _, name := range tables {
+		if t, ok := e.cat.Table(name); ok {
+			t.RLock()
+			locked = append(locked, t)
+		}
+	}
+	return func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			locked[i].RUnlock()
+		}
+	}
+}
+
+func collectSelectTables(stmt *sql.SelectStmt, names map[string]bool) {
+	if stmt == nil {
+		return
+	}
+	for _, cte := range stmt.With {
+		collectSelectTables(cte.Query, names)
+	}
+	collectBodyTables(stmt.Body, names)
+	for _, o := range stmt.OrderBy {
+		collectExprTables(o.Expr, names)
+	}
+}
+
+func collectBodyTables(body sql.SelectBody, names map[string]bool) {
+	switch b := body.(type) {
+	case *sql.SetOp:
+		collectBodyTables(b.Left, names)
+		collectBodyTables(b.Right, names)
+	case *sql.SimpleSelect:
+		for _, ref := range b.From {
+			collectRefTables(ref, names)
+		}
+		collectExprTables(b.Where, names)
+		collectExprTables(b.Having, names)
+		for _, item := range b.Items {
+			if !item.Star {
+				collectExprTables(item.Expr, names)
+			}
+		}
+	}
+}
+
+func collectRefTables(ref sql.TableRef, names map[string]bool) {
+	if ref.Table != "" {
+		names[ref.Table] = true
+	}
+	if ref.Subquery != nil {
+		collectSelectTables(ref.Subquery, names)
+	}
+	if ref.TableFn != nil {
+		for _, row := range ref.TableFn.Rows {
+			for _, x := range row {
+				collectExprTables(x, names)
+			}
+		}
+	}
+	for _, j := range ref.Joins {
+		collectRefTables(j.Right, names)
+		collectExprTables(j.On, names)
+	}
+}
+
+func collectExprTables(x sql.Expr, names map[string]bool) {
+	switch v := x.(type) {
+	case nil:
+	case *sql.Unary:
+		collectExprTables(v.X, names)
+	case *sql.Binary:
+		collectExprTables(v.L, names)
+		collectExprTables(v.R, names)
+	case *sql.IsNull:
+		collectExprTables(v.X, names)
+	case *sql.InList:
+		collectExprTables(v.X, names)
+		for _, item := range v.List {
+			collectExprTables(item, names)
+		}
+	case *sql.InSubquery:
+		collectExprTables(v.X, names)
+		collectSelectTables(v.Query, names)
+	case *sql.Exists:
+		collectSelectTables(v.Query, names)
+	case *sql.ScalarSubquery:
+		collectSelectTables(v.Query, names)
+	case *sql.Between:
+		collectExprTables(v.X, names)
+		collectExprTables(v.Lo, names)
+		collectExprTables(v.Hi, names)
+	case *sql.FuncCall:
+		for _, a := range v.Args {
+			collectExprTables(a, names)
+		}
+	case *sql.Cast:
+		collectExprTables(v.X, names)
+	case *sql.Subscript:
+		collectExprTables(v.X, names)
+		collectExprTables(v.Index, names)
+	case *sql.CaseExpr:
+		if v.Operand != nil {
+			collectExprTables(v.Operand, names)
+		}
+		for _, w := range v.Whens {
+			collectExprTables(w.Cond, names)
+			collectExprTables(w.Result, names)
+		}
+		if v.Else != nil {
+			collectExprTables(v.Else, names)
+		}
+	}
+}
+
+// --- buffer-pool simulation (Figure 8c) ---
+
+// IOSim models a bounded buffer pool: row accesses map to pages; a miss
+// on the shared LRU adds a fixed penalty, charged to the query at the end
+// of execution. This substitutes for varying the memory given to the
+// commercial engine in the paper's memory-sweep experiment.
+type IOSim struct {
+	PageRows    int           // rows per simulated page
+	Capacity    int           // pages resident in the pool
+	MissPenalty time.Duration // charged per miss
+
+	mu      sync.Mutex
+	lru     *list.List // front = most recent; values are pageKey
+	resides map[pageKey]*list.Element
+	misses  int64
+}
+
+type pageKey struct {
+	table string
+	page  int64
+}
+
+// NewIOSim creates a simulator with the given pool capacity in pages.
+func NewIOSim(capacity, pageRows int, missPenalty time.Duration) *IOSim {
+	return &IOSim{
+		PageRows:    pageRows,
+		Capacity:    capacity,
+		MissPenalty: missPenalty,
+		lru:         list.New(),
+		resides:     map[pageKey]*list.Element{},
+	}
+}
+
+// Misses returns the cumulative miss count.
+func (s *IOSim) Misses() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.misses
+}
+
+// access touches a page and reports whether it was resident.
+func (s *IOSim) access(table string, rid rel.RowID) bool {
+	key := pageKey{table: table, page: int64(rid) / int64(s.PageRows)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.resides[key]; ok {
+		s.lru.MoveToFront(el)
+		return true
+	}
+	s.misses++
+	if s.lru.Len() >= s.Capacity {
+		back := s.lru.Back()
+		s.lru.Remove(back)
+		delete(s.resides, back.Value.(pageKey))
+	}
+	s.resides[key] = s.lru.PushFront(key)
+	return false
+}
+
+// pageAccess records one row access for the buffer-pool simulation.
+func (e *Engine) pageAccess(q *queryState, table string, rid rel.RowID) {
+	if e.iosim == nil {
+		return
+	}
+	if !e.iosim.access(table, rid) {
+		q.ioMisses++
+	}
+}
+
+// settleIO charges the query's accumulated miss penalty.
+func (e *Engine) settleIO(q *queryState) {
+	if e.iosim == nil || q.ioMisses == 0 {
+		return
+	}
+	time.Sleep(time.Duration(q.ioMisses) * e.iosim.MissPenalty)
+}

@@ -1,0 +1,369 @@
+package engine
+
+import (
+	"testing"
+
+	"sqlgraph/internal/rel"
+)
+
+func TestArithmetic(t *testing.T) {
+	e := newTestEngine(t)
+	cases := map[string]any{
+		"SELECT 7 + 3":      int64(10),
+		"SELECT 7 - 3":      int64(4),
+		"SELECT 7 * 3":      int64(21),
+		"SELECT 7 / 2":      int64(3),
+		"SELECT 7 % 3":      int64(1),
+		"SELECT 7.0 / 2":    3.5,
+		"SELECT 1 + 2.5":    3.5,
+		"SELECT -(3 + 4)":   int64(-7),
+		"SELECT - 2.5":      -2.5,
+		"SELECT 'a' || 'b'": "ab",
+	}
+	for q, want := range cases {
+		r := mustQuery(t, e, q)
+		got := r.Data[0][0]
+		switch w := want.(type) {
+		case int64:
+			if got.Int() != w {
+				t.Fatalf("%s = %v, want %d", q, got, w)
+			}
+		case float64:
+			if got.Float() != w {
+				t.Fatalf("%s = %v, want %g", q, got, w)
+			}
+		case string:
+			if got.Str() != w {
+				t.Fatalf("%s = %v, want %q", q, got, w)
+			}
+		}
+	}
+	for _, q := range []string{"SELECT 1 / 0", "SELECT 1 % 0", "SELECT 1.0 / 0"} {
+		if _, err := e.Query(q); err == nil {
+			t.Fatalf("%s should error", q)
+		}
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	e := newTestEngine(t)
+	for _, q := range []string{
+		"SELECT NULL + 1", "SELECT 1 < NULL", "SELECT NULL || 'x'",
+		"SELECT NOT NULL", "SELECT - NULL", "SELECT NULL LIKE 'a%'",
+	} {
+		r := mustQuery(t, e, q)
+		if !r.Data[0][0].IsNull() {
+			t.Fatalf("%s = %v, want NULL", q, r.Data[0][0])
+		}
+	}
+	// COALESCE skips nulls.
+	r := mustQuery(t, e, "SELECT COALESCE(NULL, NULL, 5)")
+	if r.Data[0][0].Int() != 5 {
+		t.Fatalf("coalesce = %v", r.Data[0][0])
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	e := newTestEngine(t)
+	cases := map[string]string{
+		"SELECT UPPER('abC')":          "ABC",
+		"SELECT LOWER('AbC')":          "abc",
+		"SELECT SUBSTR('hello', 2)":    "ello",
+		"SELECT SUBSTR('hello', 2, 3)": "ell",
+		"SELECT SUBSTR('hi', 9)":       "",
+	}
+	for q, want := range cases {
+		r := mustQuery(t, e, q)
+		if r.Data[0][0].Str() != want {
+			t.Fatalf("%s = %q, want %q", q, r.Data[0][0].Str(), want)
+		}
+	}
+	if v := mustQuery(t, e, "SELECT LENGTH('abcd')").Data[0][0].Int(); v != 4 {
+		t.Fatalf("LENGTH = %d", v)
+	}
+	if v := mustQuery(t, e, "SELECT ABS(-7)").Data[0][0].Int(); v != 7 {
+		t.Fatalf("ABS int = %d", v)
+	}
+	if v := mustQuery(t, e, "SELECT ABS(-2.5)").Data[0][0].Float(); v != 2.5 {
+		t.Fatalf("ABS float = %g", v)
+	}
+}
+
+func TestCastBehaviors(t *testing.T) {
+	e := newTestEngine(t)
+	if v := mustQuery(t, e, "SELECT CAST('42' AS BIGINT)").Data[0][0]; v.Int() != 42 || v.Kind() != rel.KindInt {
+		t.Fatalf("cast to bigint = %v", v)
+	}
+	if v := mustQuery(t, e, "SELECT CAST(3.9 AS BIGINT)").Data[0][0]; v.Int() != 3 {
+		t.Fatalf("cast float = %v", v)
+	}
+	if v := mustQuery(t, e, "SELECT CAST(5 AS VARCHAR)").Data[0][0]; v.Str() != "5" {
+		t.Fatalf("cast to varchar = %v", v)
+	}
+	if v := mustQuery(t, e, "SELECT CAST(NULL AS BIGINT)").Data[0][0]; !v.IsNull() {
+		t.Fatalf("cast null = %v", v)
+	}
+	if v := mustQuery(t, e, "SELECT CAST(1 AS BOOLEAN)").Data[0][0]; !v.Bool() {
+		t.Fatalf("cast bool = %v", v)
+	}
+	if _, err := e.Query("SELECT CAST(1 AS BLOB)"); err == nil {
+		t.Fatal("unknown cast target accepted")
+	}
+}
+
+func TestBetweenAndIn(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE N BETWEEN 10 AND 19"); got != 10 {
+		t.Fatalf("between = %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE N NOT BETWEEN 10 AND 89"); got != 20 {
+		t.Fatalf("not between = %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE N NOT IN (1, 2, 3)"); got != 97 {
+		t.Fatalf("not in = %d", got)
+	}
+	// IN with NULL: no match but not an error; NOT IN with NULL matches
+	// nothing.
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE N IN (1, NULL)"); got != 1 {
+		t.Fatalf("in with null = %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE N NOT IN (1, NULL)"); got != 0 {
+		t.Fatalf("not in with null = %d", got)
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	r := mustQuery(t, e, "SELECT LABEL, N FROM NUMS ORDER BY LABEL DESC, N DESC LIMIT 2")
+	if r.Data[0][0].Str() != "odd" || r.Data[0][1].Int() != 99 {
+		t.Fatalf("row 0 = %v", r.Data[0])
+	}
+	if r.Data[1][1].Int() != 97 {
+		t.Fatalf("row 1 = %v", r.Data[1])
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	r := mustQuery(t, e, "SELECT N % 10 AS D, COUNT(*) AS C FROM NUMS GROUP BY N % 10 ORDER BY D")
+	if len(r.Data) != 10 {
+		t.Fatalf("groups = %d", len(r.Data))
+	}
+	for _, row := range r.Data {
+		if row[1].Int() != 10 {
+			t.Fatalf("group %v count = %d", row[0], row[1].Int())
+		}
+	}
+}
+
+func TestLimitOffsetEdgeCases(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	if got := len(mustQuery(t, e, "SELECT N FROM NUMS LIMIT 0").Data); got != 0 {
+		t.Fatalf("limit 0 = %d rows", got)
+	}
+	if got := len(mustQuery(t, e, "SELECT N FROM NUMS LIMIT 5 OFFSET 98").Data); got != 2 {
+		t.Fatalf("offset past end = %d rows", got)
+	}
+	if got := len(mustQuery(t, e, "SELECT N FROM NUMS OFFSET 200").Data); got != 0 {
+		t.Fatalf("offset beyond = %d rows", got)
+	}
+}
+
+func TestDerivedTableRequiresAlias(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Query("SELECT * FROM (SELECT 1)"); err == nil {
+		t.Fatal("derived table without alias accepted")
+	}
+	r := mustQuery(t, e, "SELECT X.COL1 FROM (SELECT 1) X")
+	if r.Data[0][0].Int() != 1 {
+		t.Fatalf("derived = %v", r.Data)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Exec("INSERT INTO MISSING VALUES (1)"); err == nil {
+		t.Fatal("insert into missing table accepted")
+	}
+	if _, err := e.Exec("INSERT INTO NUMS (NOPE) VALUES (1)"); err == nil {
+		t.Fatal("insert into missing column accepted")
+	}
+	if _, err := e.Exec("INSERT INTO NUMS (N) VALUES (1, 2)"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := e.Exec("UPDATE MISSING SET A = 1"); err == nil {
+		t.Fatal("update missing table accepted")
+	}
+	if _, err := e.Exec("UPDATE NUMS SET NOPE = 1"); err == nil {
+		t.Fatal("update missing column accepted")
+	}
+	if _, err := e.Exec("DELETE FROM MISSING"); err == nil {
+		t.Fatal("delete from missing table accepted")
+	}
+	if _, err := e.Exec("DROP TABLE MISSING"); err == nil {
+		t.Fatal("drop missing table accepted")
+	}
+	if _, err := e.Exec("CREATE TABLE BAD (A WIBBLE)"); err == nil {
+		t.Fatal("unknown column type accepted")
+	}
+	if _, err := e.Exec("CREATE INDEX IX ON MISSING (A)"); err == nil {
+		t.Fatal("index on missing table accepted")
+	}
+	if _, err := e.Exec("CREATE INDEX IX ON NUMS (NOPE)"); err == nil {
+		t.Fatal("index on missing column accepted")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Exec("CREATE TABLE TEMP1 (A BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("DROP TABLE TEMP1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query("SELECT * FROM TEMP1"); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	n, err := e.Exec("DELETE FROM NUMS")
+	if err != nil || n != 100 {
+		t.Fatalf("delete all = %d, %v", n, err)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS"); got != 0 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestMinMaxAvgOverStrings(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	r := mustQuery(t, e, "SELECT MIN(LABEL), MAX(LABEL) FROM NUMS")
+	if r.Data[0][0].Str() != "even" || r.Data[0][1].Str() != "odd" {
+		t.Fatalf("min/max strings = %v", r.Data[0])
+	}
+}
+
+func TestSetOpArityMismatch(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	if _, err := e.Query("SELECT N FROM NUMS INTERSECT SELECT N, LABEL FROM NUMS"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestRecursiveCTEErrors(t *testing.T) {
+	e := newTestEngine(t)
+	// Recursive CTE without a UNION body.
+	if _, err := e.Query("WITH RECURSIVE R(V) AS (SELECT 1 FROM R) SELECT * FROM R"); err == nil {
+		t.Fatal("self-referential base accepted")
+	}
+	// Declared column mismatch.
+	if _, err := e.Query("WITH RECURSIVE R(A, B) AS (SELECT 1 UNION ALL SELECT A + 1 FROM R WHERE A < 3) SELECT * FROM R"); err == nil {
+		t.Fatal("column count mismatch accepted")
+	}
+}
+
+func TestCTEShadowsBaseTable(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	// A CTE named NUMS shadows the base table within the statement.
+	if got := scalarInt(t, e, "WITH NUMS AS (SELECT 1 AS N) SELECT COUNT(*) FROM NUMS"); got != 1 {
+		t.Fatalf("shadowed count = %d", got)
+	}
+	// And the base table is intact afterwards.
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS"); got != 100 {
+		t.Fatalf("base count = %d", got)
+	}
+}
+
+func TestRangeScanOnIndex(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	if _, err := e.Exec("CREATE INDEX NUMS_N ON NUMS (N)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE N > 89"); got != 10 {
+		t.Fatalf("range > = %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE N <= 9"); got != 10 {
+		t.Fatalf("range <= = %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE 50 < N"); got != 49 {
+		t.Fatalf("flipped range = %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE N BETWEEN 10 AND 19"); got != 10 {
+		t.Fatalf("between via index = %d", got)
+	}
+}
+
+func TestLikePatterns(t *testing.T) {
+	e := newTestEngine(t)
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__l", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"abc", "%%", true},
+		{"abc", "a%b%c", true},
+	}
+	for _, c := range cases {
+		q := "SELECT '" + c.s + "' LIKE '" + c.p + "'"
+		r := mustQuery(t, e, q)
+		if r.Data[0][0].Bool() != c.want {
+			t.Fatalf("%s = %v, want %v", q, r.Data[0][0], c.want)
+		}
+	}
+}
+
+func TestStarProjectionVariants(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	r := mustQuery(t, e, "SELECT * FROM NUMS WHERE N = 5")
+	if len(r.Columns) != 2 || r.Columns[0] != "N" {
+		t.Fatalf("star cols = %v", r.Columns)
+	}
+	r = mustQuery(t, e, "SELECT A.*, B.N FROM NUMS A, NUMS B WHERE A.N = 1 AND B.N = A.N + 1")
+	if len(r.Data) != 1 || r.Data[0][2].Int() != 2 {
+		t.Fatalf("qualified star = %v", r.Data)
+	}
+	if _, err := e.Query("SELECT Z.* FROM NUMS A"); err == nil {
+		t.Fatal("unknown qualifier accepted")
+	}
+}
+
+func TestIOSimPenaltyChargesTime(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	e.SetIOSim(NewIOSim(1, 1, 0))
+	defer e.SetIOSim(nil)
+	// With zero penalty this is just accounting; the query still works.
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS"); got != 100 {
+		t.Fatalf("count under iosim = %d", got)
+	}
+}
+
+func TestSubqueryMemoization(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	// The IN-subquery is evaluated once even though it is probed per row.
+	got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE N IN (SELECT N FROM NUMS WHERE LABEL = 'even')")
+	if got != 50 {
+		t.Fatalf("memoized in = %d", got)
+	}
+}

@@ -1,0 +1,671 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/sqljson"
+)
+
+// newTestEngine builds an engine with a small schema resembling the
+// SQLGraph layout: a VA-like table with a JSON column, an EA-like edge
+// table, and a plain numbers table.
+func newTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(rel.NewCatalog())
+	mustExec := func(q string, args ...any) {
+		t.Helper()
+		if _, err := e.Exec(q, args...); err != nil {
+			t.Fatalf("Exec(%s): %v", q, err)
+		}
+	}
+	mustExec("CREATE TABLE VA (VID BIGINT PRIMARY KEY, ATTR JSON)")
+	mustExec("CREATE TABLE EA (EID BIGINT PRIMARY KEY, INV BIGINT, OUTV BIGINT, LBL VARCHAR, ATTR JSON)")
+	mustExec("CREATE INDEX EA_INV ON EA (INV)")
+	mustExec("CREATE INDEX EA_OUTV ON EA (OUTV)")
+	mustExec("CREATE TABLE NUMS (N BIGINT, LABEL VARCHAR)")
+	return e
+}
+
+func seedGraph(t *testing.T, e *Engine) {
+	t.Helper()
+	// The paper's Figure 2a sample graph.
+	vertices := []struct {
+		id   int64
+		json string
+	}{
+		{1, `{"name":"marko","age":29}`},
+		{2, `{"name":"vadas","age":27}`},
+		{3, `{"name":"lop","lang":"java"}`},
+		{4, `{"name":"josh","age":32}`},
+	}
+	for _, v := range vertices {
+		if _, err := e.Exec("INSERT INTO VA VALUES (?, ?)", v.id, mustDoc(t, v.json)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := []struct {
+		eid, inv, outv int64
+		lbl            string
+		json           string
+	}{
+		{7, 1, 2, "knows", `{"weight":0.5}`},
+		{8, 1, 4, "knows", `{"weight":1.0}`},
+		{9, 1, 3, "created", `{"weight":0.4}`},
+		{10, 4, 2, "likes", `{"weight":0.2}`},
+		{11, 4, 3, "created", `{"weight":0.8}`},
+	}
+	for _, ed := range edges {
+		if _, err := e.Exec("INSERT INTO EA VALUES (?, ?, ?, ?, ?)", ed.eid, ed.inv, ed.outv, ed.lbl, mustDoc(t, ed.json)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 100; i++ {
+		label := "even"
+		if i%2 == 1 {
+			label = "odd"
+		}
+		if _, err := e.Exec("INSERT INTO NUMS VALUES (?, ?)", i, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustDoc(t *testing.T, s string) any {
+	t.Helper()
+	d, err := sqljson.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustQuery(t *testing.T, e *Engine, q string, args ...any) *Rows {
+	t.Helper()
+	r, err := e.Query(q, args...)
+	if err != nil {
+		t.Fatalf("Query(%s): %v", q, err)
+	}
+	return r
+}
+
+func scalarInt(t *testing.T, e *Engine, q string, args ...any) int64 {
+	t.Helper()
+	r := mustQuery(t, e, q, args...)
+	v, err := r.Scalar()
+	if err != nil {
+		t.Fatalf("Scalar(%s): %v", q, err)
+	}
+	return v.Int()
+}
+
+func TestBasicSelect(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	r := mustQuery(t, e, "SELECT VID FROM VA ORDER BY VID")
+	if len(r.Data) != 4 || r.Data[0][0].Int() != 1 || r.Data[3][0].Int() != 4 {
+		t.Fatalf("rows = %v", r.Data)
+	}
+	if r.Columns[0] != "VID" {
+		t.Fatalf("cols = %v", r.Columns)
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	e := newTestEngine(t)
+	r := mustQuery(t, e, "SELECT 1 + 2, 'x'")
+	if len(r.Data) != 1 || r.Data[0][0].Int() != 3 || r.Data[0][1].Str() != "x" {
+		t.Fatalf("rows = %v", r.Data)
+	}
+}
+
+func TestWhereWithIndex(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	// Primary-key equality must use the unique index (observable through
+	// correctness here; performance covered by benchmarks).
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM EA WHERE EID = 9"); got != 1 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM EA WHERE INV = 1"); got != 3 {
+		t.Fatalf("count INV=1: %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM EA WHERE INV = ?", 4); got != 2 {
+		t.Fatalf("count INV=4: %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM EA WHERE EID IN (7, 9, 999)"); got != 2 {
+		t.Fatalf("count IN: %d", got)
+	}
+}
+
+func TestJSONVal(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	r := mustQuery(t, e, "SELECT VID FROM VA WHERE JSON_VAL(ATTR, 'name') = 'marko'")
+	if len(r.Data) != 1 || r.Data[0][0].Int() != 1 {
+		t.Fatalf("rows = %v", r.Data)
+	}
+	// Numeric JSON comparison.
+	r = mustQuery(t, e, "SELECT VID FROM VA WHERE JSON_VAL(ATTR, 'age') > 28 ORDER BY VID")
+	if len(r.Data) != 2 || r.Data[0][0].Int() != 1 || r.Data[1][0].Int() != 4 {
+		t.Fatalf("rows = %v", r.Data)
+	}
+	// Missing key is NULL.
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA WHERE JSON_VAL(ATTR, 'lang') IS NOT NULL"); got != 1 {
+		t.Fatalf("lang count = %d", got)
+	}
+}
+
+func TestExpressionIndexUsedAndCorrect(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	if _, err := e.Exec("CREATE INDEX VA_NAME ON VA (JSON_VAL(ATTR, 'name'))"); err != nil {
+		t.Fatal(err)
+	}
+	r := mustQuery(t, e, "SELECT VID FROM VA WHERE JSON_VAL(ATTR, 'name') = 'josh'")
+	if len(r.Data) != 1 || r.Data[0][0].Int() != 4 {
+		t.Fatalf("rows = %v", r.Data)
+	}
+	// The index must stay correct under mutation.
+	if _, err := e.Exec("INSERT INTO VA VALUES (?, ?)", int64(5), mustDoc(t, `{"name":"josh"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA WHERE JSON_VAL(ATTR, 'name') = 'josh'"); got != 2 {
+		t.Fatalf("count after insert = %d", got)
+	}
+	if _, err := e.Exec("DELETE FROM VA WHERE VID = 5"); err != nil {
+		t.Fatal(err)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA WHERE JSON_VAL(ATTR, 'name') = 'josh'"); got != 1 {
+		t.Fatalf("count after delete = %d", got)
+	}
+}
+
+func TestLike(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA WHERE JSON_VAL(ATTR, 'name') LIKE 'm%'"); got != 1 {
+		t.Fatalf("m%% = %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA WHERE JSON_VAL(ATTR, 'name') LIKE '%o%'"); got != 3 {
+		t.Fatalf("%%o%% = %d", got) // marko, lop, josh
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA WHERE JSON_VAL(ATTR, 'name') LIKE '_op'"); got != 1 {
+		t.Fatalf("_op = %d", got)
+	}
+}
+
+func TestInnerJoin(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	// Names of vertices marko knows.
+	r := mustQuery(t, e, `SELECT JSON_VAL(v.ATTR, 'name') AS NAME
+		FROM EA p, VA v
+		WHERE p.INV = 1 AND p.LBL = 'knows' AND v.VID = p.OUTV
+		ORDER BY NAME`)
+	if len(r.Data) != 2 || r.Data[0][0].Str() != "josh" || r.Data[1][0].Str() != "vadas" {
+		t.Fatalf("rows = %v", r.Data)
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	// Every vertex with its outgoing edge count; vertices 2 and 3 have
+	// none and must still appear.
+	r := mustQuery(t, e, `SELECT v.VID, COUNT(p.EID) AS C
+		FROM VA v LEFT OUTER JOIN EA p ON p.INV = v.VID
+		GROUP BY v.VID ORDER BY v.VID`)
+	if len(r.Data) != 4 {
+		t.Fatalf("rows = %v", r.Data)
+	}
+	wantCounts := map[int64]int64{1: 3, 2: 0, 3: 0, 4: 2}
+	for _, row := range r.Data {
+		if row[1].Int() != wantCounts[row[0].Int()] {
+			t.Fatalf("vid %d count = %d, want %d", row[0].Int(), row[1].Int(), wantCounts[row[0].Int()])
+		}
+	}
+}
+
+func TestLeftJoinCoalescePattern(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	// The paper's OSA pattern: COALESCE(s.val, p.val).
+	if _, err := e.Exec("CREATE TABLE OSA (VALID BIGINT, EID BIGINT, VAL BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("CREATE INDEX OSA_VALID ON OSA (VALID)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("INSERT INTO OSA VALUES (101, 7, 2), (101, 8, 4)"); err != nil {
+		t.Fatal(err)
+	}
+	r := mustQuery(t, e, `WITH T0(VAL) AS (SELECT 101 FROM VA WHERE VID = 1 UNION ALL SELECT 3 FROM VA WHERE VID = 1)
+		SELECT COALESCE(S.VAL, P.VAL) AS VAL FROM T0 P LEFT OUTER JOIN OSA S ON P.VAL = S.VALID ORDER BY VAL`)
+	// 101 expands to {2,4}; 3 passes through.
+	if len(r.Data) != 3 || r.Data[0][0].Int() != 2 || r.Data[1][0].Int() != 3 || r.Data[2][0].Int() != 4 {
+		t.Fatalf("rows = %v", r.Data)
+	}
+}
+
+func TestTableValuesLateral(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	r := mustQuery(t, e, `SELECT T.VAL FROM EA P, TABLE(VALUES(P.INV), (P.OUTV)) AS T(VAL)
+		WHERE P.EID = 7 ORDER BY T.VAL`)
+	if len(r.Data) != 2 || r.Data[0][0].Int() != 1 || r.Data[1][0].Int() != 2 {
+		t.Fatalf("rows = %v", r.Data)
+	}
+	// IS NOT NULL filter inline (paper template).
+	if _, err := e.Exec("INSERT INTO EA VALUES (?, ?, ?, ?, ?)", int64(99), int64(5), nil, "x", mustDoc(t, `{}`)); err != nil {
+		t.Fatal(err)
+	}
+	r = mustQuery(t, e, `SELECT T.VAL FROM EA P, TABLE(VALUES(P.INV), (P.OUTV)) AS T(VAL)
+		WHERE P.EID = 99 AND T.VAL IS NOT NULL`)
+	if len(r.Data) != 1 || r.Data[0][0].Int() != 5 {
+		t.Fatalf("rows = %v", r.Data)
+	}
+}
+
+func TestCTEAndSetOps(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	if got := scalarInt(t, e, `WITH A AS (SELECT N FROM NUMS WHERE N < 10),
+		B AS (SELECT N FROM NUMS WHERE N >= 5 AND N < 15)
+		SELECT COUNT(*) FROM (SELECT N FROM A UNION SELECT N FROM B) U`); got != 15 {
+		t.Fatalf("union = %d", got)
+	}
+	if got := scalarInt(t, e, `SELECT COUNT(*) FROM (
+		SELECT N FROM NUMS WHERE N < 10 INTERSECT SELECT N FROM NUMS WHERE N >= 5) X`); got != 5 {
+		t.Fatalf("intersect = %d", got)
+	}
+	if got := scalarInt(t, e, `SELECT COUNT(*) FROM (
+		SELECT N FROM NUMS WHERE N < 10 EXCEPT SELECT N FROM NUMS WHERE N >= 5) X`); got != 5 {
+		t.Fatalf("except = %d", got)
+	}
+	if got := scalarInt(t, e, `SELECT COUNT(*) FROM (
+		SELECT N FROM NUMS WHERE N < 3 UNION ALL SELECT N FROM NUMS WHERE N < 3) X`); got != 6 {
+		t.Fatalf("union all = %d", got)
+	}
+}
+
+func TestRecursiveCTE(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	// Transitive closure from vertex 1 over EA (1->2, 1->4, 1->3, 4->2, 4->3).
+	got := scalarInt(t, e, `WITH RECURSIVE R(V) AS (
+		SELECT OUTV FROM EA WHERE INV = 1
+		UNION
+		SELECT E.OUTV FROM R, EA E WHERE E.INV = R.V
+	) SELECT COUNT(*) FROM R`)
+	if got != 3 {
+		t.Fatalf("closure size = %d, want 3", got)
+	}
+	// Bounded-depth recursive with counter column.
+	got = scalarInt(t, e, `WITH RECURSIVE R(V, D) AS (
+		SELECT 0, 0
+		UNION ALL
+		SELECT R.V + 1, R.D + 1 FROM R WHERE R.D < 10
+	) SELECT MAX(V) FROM R`)
+	if got != 10 {
+		t.Fatalf("max = %d, want 10", got)
+	}
+}
+
+func TestRecursiveCTECycleTerminates(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Exec("CREATE TABLE CYC (A BIGINT, B BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("INSERT INTO CYC VALUES (1, 2), (2, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	// UNION (dedup) recursion over a cycle terminates.
+	got := scalarInt(t, e, `WITH RECURSIVE R(V) AS (
+		SELECT B FROM CYC WHERE A = 1
+		UNION
+		SELECT C.B FROM R, CYC C WHERE C.A = R.V
+	) SELECT COUNT(*) FROM R`)
+	if got != 2 {
+		t.Fatalf("cycle closure = %d", got)
+	}
+	// UNION ALL recursion over a cycle hits the iteration guard.
+	if _, err := e.Query(`WITH RECURSIVE R(V) AS (
+		SELECT B FROM CYC WHERE A = 1
+		UNION ALL
+		SELECT C.B FROM R, CYC C WHERE C.A = R.V
+	) SELECT COUNT(*) FROM R`); err == nil {
+		t.Fatal("unbounded UNION ALL recursion should error")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	r := mustQuery(t, e, "SELECT LABEL, COUNT(*) AS C, SUM(N) AS S, MIN(N) AS MN, MAX(N) AS MX, AVG(N) AS A FROM NUMS GROUP BY LABEL ORDER BY LABEL")
+	if len(r.Data) != 2 {
+		t.Fatalf("groups = %v", r.Data)
+	}
+	even := r.Data[0]
+	if even[0].Str() != "even" || even[1].Int() != 50 || even[2].Int() != 2450 || even[3].Int() != 0 || even[4].Int() != 98 || even[5].Float() != 49 {
+		t.Fatalf("even = %v", even)
+	}
+	// Zero-row aggregate.
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE N > 1000"); got != 0 {
+		t.Fatalf("empty count = %d", got)
+	}
+	r = mustQuery(t, e, "SELECT SUM(N) FROM NUMS WHERE N > 1000")
+	if !r.Data[0][0].IsNull() {
+		t.Fatalf("empty SUM = %v, want NULL", r.Data[0][0])
+	}
+	// HAVING.
+	r = mustQuery(t, e, "SELECT LABEL FROM NUMS GROUP BY LABEL HAVING COUNT(*) > 49 ORDER BY LABEL")
+	if len(r.Data) != 2 {
+		t.Fatalf("having rows = %v", r.Data)
+	}
+	// COUNT(DISTINCT ...).
+	if got := scalarInt(t, e, "SELECT COUNT(DISTINCT LABEL) FROM NUMS"); got != 2 {
+		t.Fatalf("count distinct = %d", got)
+	}
+}
+
+func TestDistinctOrderLimit(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	r := mustQuery(t, e, "SELECT DISTINCT LABEL FROM NUMS ORDER BY LABEL")
+	if len(r.Data) != 2 || r.Data[0][0].Str() != "even" {
+		t.Fatalf("distinct = %v", r.Data)
+	}
+	r = mustQuery(t, e, "SELECT N FROM NUMS ORDER BY N DESC LIMIT 3 OFFSET 2")
+	if len(r.Data) != 3 || r.Data[0][0].Int() != 97 || r.Data[2][0].Int() != 95 {
+		t.Fatalf("limit/offset = %v", r.Data)
+	}
+	// Positional ORDER BY.
+	r = mustQuery(t, e, "SELECT N FROM NUMS ORDER BY 1 LIMIT 1")
+	if r.Data[0][0].Int() != 0 {
+		t.Fatalf("positional order = %v", r.Data)
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA WHERE VID IN (SELECT OUTV FROM EA WHERE INV = 1)"); got != 3 {
+		t.Fatalf("in subquery = %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA WHERE VID NOT IN (SELECT OUTV FROM EA WHERE INV = 1)"); got != 1 {
+		t.Fatalf("not in subquery = %d", got)
+	}
+}
+
+func TestScalarSubqueryAndExists(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	if got := scalarInt(t, e, "SELECT (SELECT COUNT(*) FROM EA)"); got != 5 {
+		t.Fatalf("scalar subquery = %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA WHERE EXISTS (SELECT 1 FROM EA WHERE EID = 7)"); got != 4 {
+		t.Fatalf("exists = %d", got)
+	}
+}
+
+func TestPathListOperations(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	// LIST() builds a path; || appends; [i] indexes.
+	r := mustQuery(t, e, "SELECT (LIST(VID) || VID)[1] FROM VA WHERE VID = 2")
+	if r.Data[0][0].Int() != 2 {
+		t.Fatalf("path append/index = %v", r.Data)
+	}
+	r = mustQuery(t, e, "SELECT CARDINALITY(LIST(1, 2, 3))")
+	if r.Data[0][0].Int() != 3 {
+		t.Fatalf("cardinality = %v", r.Data)
+	}
+	// Negative index counts from the end.
+	r = mustQuery(t, e, "SELECT LIST(10, 20, 30)[-1]")
+	if r.Data[0][0].Int() != 30 {
+		t.Fatalf("negative index = %v", r.Data)
+	}
+}
+
+func TestUDF(t *testing.T) {
+	e := newTestEngine(t)
+	e.RegisterFunc("DOUBLE_IT", func(args []rel.Value) (rel.Value, error) {
+		return rel.NewInt(args[0].Int() * 2), nil
+	})
+	r := mustQuery(t, e, "SELECT DOUBLE_IT(21)")
+	if r.Data[0][0].Int() != 42 {
+		t.Fatalf("udf = %v", r.Data)
+	}
+	if _, err := e.Query("SELECT NO_SUCH_FN(1)"); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}
+
+func TestCaseExpr(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE CASE WHEN N < 50 THEN TRUE ELSE FALSE END"); got != 50 {
+		t.Fatalf("case = %d", got)
+	}
+	r := mustQuery(t, e, "SELECT CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' ELSE 'many' END")
+	if r.Data[0][0].Str() != "two" {
+		t.Fatalf("case operand = %v", r.Data)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	n, err := e.Exec("UPDATE NUMS SET LABEL = 'big' WHERE N >= 90")
+	if err != nil || n != 10 {
+		t.Fatalf("update = %d, %v", n, err)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE LABEL = 'big'"); got != 10 {
+		t.Fatalf("post-update = %d", got)
+	}
+	n, err = e.Exec("DELETE FROM NUMS WHERE LABEL = 'big'")
+	if err != nil || n != 10 {
+		t.Fatalf("delete = %d, %v", n, err)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS"); got != 90 {
+		t.Fatalf("post-delete = %d", got)
+	}
+}
+
+func TestInsertSelect(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	if _, err := e.Exec("CREATE TABLE COPY (N BIGINT, LABEL VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.Exec("INSERT INTO COPY SELECT N, LABEL FROM NUMS WHERE N < 5")
+	if err != nil || n != 5 {
+		t.Fatalf("insert-select = %d, %v", n, err)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM COPY"); got != 5 {
+		t.Fatalf("copy count = %d", got)
+	}
+}
+
+func TestInsertColumnSubset(t *testing.T) {
+	e := newTestEngine(t)
+	if _, err := e.Exec("INSERT INTO NUMS (N) VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	r := mustQuery(t, e, "SELECT LABEL FROM NUMS WHERE N = 1")
+	if len(r.Data) != 1 || !r.Data[0][0].IsNull() {
+		t.Fatalf("missing column should be NULL: %v", r.Data)
+	}
+}
+
+func TestUniquePrimaryKeyViolation(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	if _, err := e.Exec("INSERT INTO VA VALUES (?, ?)", int64(1), mustDoc(t, `{}`)); err == nil {
+		t.Fatal("duplicate PK accepted")
+	}
+	// Table must be unchanged.
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA"); got != 4 {
+		t.Fatalf("count after failed insert = %d", got)
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	// lang is missing for most docs: JSON_VAL returns NULL, and NULL
+	// comparisons must not match (nor must NOT of NULL).
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA WHERE JSON_VAL(ATTR, 'lang') = 'java'"); got != 1 {
+		t.Fatalf("eq = %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA WHERE NOT (JSON_VAL(ATTR, 'lang') = 'java')"); got != 0 {
+		t.Fatalf("not eq over null = %d", got)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM VA WHERE JSON_VAL(ATTR, 'lang') <> 'java'"); got != 0 {
+		t.Fatalf("neq = %d", got)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	e := newTestEngine(t)
+	bad := []string{
+		"SELECT * FROM MISSING",
+		"SELECT BAD_COL FROM VA",
+		"SELECT V.VID FROM VA",                              // unknown alias
+		"SELECT VID FROM VA WHERE X = 1",                    // unknown column
+		"SELECT VID FROM VA UNION SELECT VID, ATTR FROM VA", // arity
+	}
+	for _, q := range bad {
+		if _, err := e.Query(q); err == nil {
+			t.Fatalf("Query(%q) succeeded, want error", q)
+		}
+	}
+	if _, err := e.Exec("SELECT 1"); err == nil {
+		t.Fatal("Exec of SELECT accepted")
+	}
+	if _, err := e.Query("INSERT INTO NUMS VALUES (1, 'x')"); err == nil {
+		t.Fatal("Query of INSERT accepted")
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := e.Exec("INSERT INTO NUMS VALUES (?, ?)", int64(1000+w*100+i), "conc"); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := e.Query("SELECT COUNT(*) FROM NUMS WHERE LABEL = 'conc'"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := scalarInt(t, e, "SELECT COUNT(*) FROM NUMS WHERE LABEL = 'conc'"); got != 200 {
+		t.Fatalf("concurrent inserts = %d", got)
+	}
+}
+
+func TestPreparedStatement(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	st, err := e.Prepare("SELECT COUNT(*) FROM EA WHERE INV = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want, inv := range map[int64]int64{3: 1, 2: 4, 0: 2} {
+		r, err := st.Query(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := r.Scalar()
+		if v.Int() != want {
+			t.Fatalf("prepared INV=%d -> %d, want %d", inv, v.Int(), want)
+		}
+	}
+}
+
+func TestIOSimCountsMisses(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	sim := NewIOSim(2, 10, 0)
+	e.SetIOSim(sim)
+	mustQuery(t, e, "SELECT COUNT(*) FROM NUMS")
+	first := sim.Misses()
+	if first == 0 {
+		t.Fatal("expected cold-cache misses")
+	}
+	// A tiny pool keeps missing; a large pool stops missing.
+	e.SetIOSim(NewIOSim(1000, 10, 0))
+	sim2 := NewIOSim(1000, 10, 0)
+	e.SetIOSim(sim2)
+	mustQuery(t, e, "SELECT COUNT(*) FROM NUMS")
+	warm := sim2.Misses()
+	mustQuery(t, e, "SELECT COUNT(*) FROM NUMS")
+	if sim2.Misses() != warm {
+		t.Fatalf("warm cache still missing: %d -> %d", warm, sim2.Misses())
+	}
+}
+
+func TestFigure7StyleQuery(t *testing.T) {
+	e := newTestEngine(t)
+	seedGraph(t, e)
+	// A hand-built analogue of the paper's Figure 7 translation against
+	// the EA table: count distinct vertices adjacent to vertices named
+	// 'marko'.
+	q := `WITH TEMP_1 AS (
+		SELECT VID AS VAL FROM VA WHERE JSON_VAL(ATTR, 'name') = 'marko'
+	), OUTS AS (
+		SELECT P.OUTV AS VAL FROM TEMP_1 V, EA P WHERE P.INV = V.VAL
+	), INS AS (
+		SELECT P.INV AS VAL FROM TEMP_1 V, EA P WHERE P.OUTV = V.VAL
+	), BOTH_DIRS AS (
+		SELECT VAL FROM OUTS UNION ALL SELECT VAL FROM INS
+	), DEDUP AS (
+		SELECT DISTINCT VAL FROM BOTH_DIRS
+	) SELECT COUNT(*) FROM DEDUP`
+	if got := scalarInt(t, e, q); got != 3 {
+		t.Fatalf("figure-7 analogue = %d, want 3", got)
+	}
+}
+
+func TestManyRowsJoinPerformanceSanity(t *testing.T) {
+	// Not a benchmark, but guards against accidental O(n^2) joins: an
+	// indexed join over 20k rows must complete quickly.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := newTestEngine(t)
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO EA VALUES ")
+	for i := 0; i < 20000; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %d, 'e', NULL)", i, i%1000, (i+1)%1000)
+	}
+	if _, err := e.Exec(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	got := scalarInt(t, e, `SELECT COUNT(*) FROM EA A, EA B WHERE B.INV = A.OUTV AND A.EID < 100`)
+	if got == 0 {
+		t.Fatal("join returned nothing")
+	}
+}

@@ -1,0 +1,769 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/sql"
+)
+
+// conjunct is one AND-term of the WHERE clause, tracked so each term is
+// applied exactly once, as early as possible (predicate pushdown).
+type conjunct struct {
+	expr    sql.Expr
+	applied bool
+}
+
+// splitConjuncts flattens a boolean expression into AND-terms.
+func splitConjuncts(e sql.Expr, out []*conjunct) []*conjunct {
+	if e == nil {
+		return out
+	}
+	if b, ok := e.(*sql.Binary); ok && b.Op == "AND" {
+		out = splitConjuncts(b.L, out)
+		return splitConjuncts(b.R, out)
+	}
+	return append(out, &conjunct{expr: e})
+}
+
+// exprTables collects the table qualifiers and bare column names an
+// expression references.
+type exprRefs struct {
+	qualified map[string]bool // table aliases
+	bare      map[string]bool // unqualified column names
+}
+
+func collectRefs(e sql.Expr, r *exprRefs) {
+	switch v := e.(type) {
+	case nil:
+	case *sql.ColumnRef:
+		if v.Table != "" {
+			r.qualified[v.Table] = true
+		} else {
+			r.bare[v.Column] = true
+		}
+	case *sql.Literal, *sql.Param:
+	case *sql.Unary:
+		collectRefs(v.X, r)
+	case *sql.Binary:
+		collectRefs(v.L, r)
+		collectRefs(v.R, r)
+	case *sql.IsNull:
+		collectRefs(v.X, r)
+	case *sql.InList:
+		collectRefs(v.X, r)
+		for _, item := range v.List {
+			collectRefs(item, r)
+		}
+	case *sql.InSubquery:
+		collectRefs(v.X, r)
+	case *sql.Between:
+		collectRefs(v.X, r)
+		collectRefs(v.Lo, r)
+		collectRefs(v.Hi, r)
+	case *sql.FuncCall:
+		for _, a := range v.Args {
+			collectRefs(a, r)
+		}
+	case *sql.Cast:
+		collectRefs(v.X, r)
+	case *sql.Subscript:
+		collectRefs(v.X, r)
+		collectRefs(v.Index, r)
+	case *sql.CaseExpr:
+		if v.Operand != nil {
+			collectRefs(v.Operand, r)
+		}
+		for _, w := range v.Whens {
+			collectRefs(w.Cond, r)
+			collectRefs(w.Result, r)
+		}
+		if v.Else != nil {
+			collectRefs(v.Else, r)
+		}
+	case *sql.Exists, *sql.ScalarSubquery:
+		// Subqueries are uncorrelated in this dialect; no outer refs.
+	}
+}
+
+func refsOf(e sql.Expr) *exprRefs {
+	r := &exprRefs{qualified: map[string]bool{}, bare: map[string]bool{}}
+	collectRefs(e, r)
+	return r
+}
+
+// resolvableIn reports whether every column the expression references can
+// be resolved in the scope.
+func resolvableIn(e sql.Expr, sc *scope) bool {
+	r := refsOf(e)
+	for alias := range r.qualified {
+		found := false
+		for _, c := range sc.cols {
+			if c.table == alias {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for name := range r.bare {
+		if len(sc.byName[name]) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// onlyReferences reports whether the expression references columns of the
+// single alias (and nothing else). Bare names are accepted when they
+// resolve within the alias's column set.
+func onlyReferences(e sql.Expr, alias string, cols []colInfo) bool {
+	r := refsOf(e)
+	for a := range r.qualified {
+		if a != alias {
+			return false
+		}
+	}
+	names := map[string]bool{}
+	for _, c := range cols {
+		names[c.name] = true
+	}
+	for name := range r.bare {
+		if !names[name] {
+			return false
+		}
+	}
+	return true
+}
+
+// isConstExpr reports whether an expression references no columns at all
+// (literals, params, and functions of those).
+func isConstExpr(e sql.Expr) bool {
+	r := refsOf(e)
+	return len(r.qualified) == 0 && len(r.bare) == 0
+}
+
+// evalSimpleSelect executes one SELECT core: FROM pipeline with pushdown
+// and join selection, WHERE residue, grouping, projection, DISTINCT.
+func (e *Engine) evalSimpleSelect(q *queryState, sel *sql.SimpleSelect) (*relation, error) {
+	conjs := splitConjuncts(sel.Where, nil)
+
+	// Unit relation: one row, no columns (SELECT without FROM).
+	cur := &relation{rows: [][]rel.Value{{}}}
+	for _, ref := range sel.From {
+		var err error
+		cur, err = e.joinRef(q, cur, ref, conjs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Apply any WHERE conjuncts not yet consumed.
+	sc := newScope(cur.cols)
+	var remaining []*conjunct
+	for _, c := range conjs {
+		if c.applied {
+			continue
+		}
+		if !resolvableIn(c.expr, sc) {
+			return nil, fmt.Errorf("engine: unknown column in WHERE term %s", c.expr.SQL())
+		}
+		remaining = append(remaining, c)
+		c.applied = true
+	}
+	if len(remaining) > 0 {
+		pass, err := e.compilePredicates(q, sc, remaining)
+		if err != nil {
+			return nil, err
+		}
+		filtered := cur.rows[:0:0]
+		for _, row := range cur.rows {
+			ok, err := pass(row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				filtered = append(filtered, row)
+			}
+		}
+		cur.rows = filtered
+	}
+
+	// Aggregation?
+	if len(sel.GroupBy) > 0 || hasAggregates(sel) {
+		return e.aggregate(q, cur, sel)
+	}
+
+	out, err := e.project(q, cur, sel.Items)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Distinct {
+		dedupeRelation(out)
+	}
+	return out, nil
+}
+
+func dedupeRelation(r *relation) {
+	var d deduper
+	kept := r.rows[:0:0]
+	for _, row := range r.rows {
+		if !d.seen(row) {
+			kept = append(kept, row)
+		}
+	}
+	r.rows = kept
+}
+
+// project evaluates the select list against each row.
+func (e *Engine) project(q *queryState, in *relation, items []sql.SelectItem) (*relation, error) {
+	sc := newScope(in.cols)
+	outCols, plan, err := projectionPlan(sc, in.cols, items)
+	if err != nil {
+		return nil, err
+	}
+	// Compile non-star, non-column projection expressions once.
+	fns := make([]compiledExpr, len(plan))
+	for i, step := range plan {
+		if step.star || step.colPos >= 0 {
+			continue
+		}
+		fn, err := e.compile(q, sc, step.expr)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+	// Identity projection (SELECT each input column once, in order) can
+	// reuse the input rows outright.
+	if identity := identityProjection(plan, len(in.cols)); identity {
+		return &relation{cols: outCols, rows: in.rows}, nil
+	}
+	arena := newRowArena(len(outCols))
+	out := &relation{cols: outCols, rows: make([][]rel.Value, 0, len(in.rows))}
+	for _, row := range in.rows {
+		outRow := arena.alloc()
+		n := 0
+		for i, step := range plan {
+			if step.star {
+				for _, pos := range step.positions {
+					outRow[n] = row[pos]
+					n++
+				}
+				continue
+			}
+			if step.colPos >= 0 {
+				outRow[n] = row[step.colPos]
+				n++
+				continue
+			}
+			v, err := fns[i](row)
+			if err != nil {
+				return nil, err
+			}
+			outRow[n] = v
+			n++
+		}
+		out.rows = append(out.rows, outRow)
+	}
+	return out, nil
+}
+
+// identityProjection reports whether the plan copies every input column
+// once, in order (e.g. SELECT * FROM t, or SELECT VAL FROM t over a
+// single-column input).
+func identityProjection(plan []projStep, inWidth int) bool {
+	next := 0
+	for _, step := range plan {
+		if step.star {
+			for _, pos := range step.positions {
+				if pos != next {
+					return false
+				}
+				next++
+			}
+			continue
+		}
+		if step.colPos != next {
+			return false
+		}
+		next++
+	}
+	return next == inWidth
+}
+
+type projStep struct {
+	star      bool
+	positions []int
+	expr      sql.Expr
+	colPos    int // resolved position for plain column refs; -1 otherwise
+}
+
+func projectionPlan(sc *scope, inCols []colInfo, items []sql.SelectItem) ([]colInfo, []projStep, error) {
+	var outCols []colInfo
+	var plan []projStep
+	for i, item := range items {
+		if item.Star {
+			step := projStep{star: true}
+			for pos, c := range inCols {
+				if item.Table == "" || c.table == item.Table {
+					step.positions = append(step.positions, pos)
+					outCols = append(outCols, colInfo{table: c.table, name: c.name})
+				}
+			}
+			if item.Table != "" && len(step.positions) == 0 {
+				return nil, nil, fmt.Errorf("engine: unknown table %s in %s.*", item.Table, item.Table)
+			}
+			plan = append(plan, step)
+			continue
+		}
+		if !resolvableIn(item.Expr, sc) {
+			return nil, nil, fmt.Errorf("engine: unknown column in select item %s", item.Expr.SQL())
+		}
+		name := item.Alias
+		table := ""
+		colPos := -1
+		if cr, ok := item.Expr.(*sql.ColumnRef); ok {
+			if name == "" {
+				// Preserve the qualifier so ORDER BY t.col still resolves
+				// after projection.
+				name, table = cr.Column, cr.Table
+			}
+			if pos, err := sc.resolve(cr.Table, cr.Column); err == nil {
+				colPos = pos
+			}
+		}
+		if name == "" {
+			name = fmt.Sprintf("COL%d", i+1)
+		}
+		outCols = append(outCols, colInfo{table: table, name: name})
+		plan = append(plan, projStep{expr: item.Expr, colPos: colPos})
+	}
+	return outCols, plan, nil
+}
+
+// joinRef folds one FROM item (plus its JOIN chain) into cur.
+func (e *Engine) joinRef(q *queryState, cur *relation, ref sql.TableRef, conjs []*conjunct) (*relation, error) {
+	out, err := e.joinOne(q, cur, ref, conjs, "INNER", nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, jc := range ref.Joins {
+		onConjs := splitConjuncts(jc.On, nil)
+		out, err = e.joinOne(q, out, jc.Right, onConjs, jc.Kind, onConjs)
+		if err != nil {
+			return nil, err
+		}
+		// Any ON conjunct that could not be consumed by the join machinery
+		// is an error for LEFT joins (semantics would change) and a filter
+		// for INNER joins.
+		for _, c := range onConjs {
+			if c.applied {
+				continue
+			}
+			if jc.Kind == "LEFT" {
+				return nil, fmt.Errorf("engine: unsupported LEFT JOIN ON condition %s", c.expr.SQL())
+			}
+			sc := newScope(out.cols)
+			filtered := out.rows[:0:0]
+			for _, row := range out.rows {
+				ctx := &evalCtx{eng: e, scope: sc, row: row, params: q.params, q: q}
+				v, err := e.eval(ctx, c.expr)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsNull() && v.Truthy() {
+					filtered = append(filtered, row)
+				}
+			}
+			out.rows = filtered
+			c.applied = true
+		}
+	}
+	return out, nil
+}
+
+// joinOne joins one primary table reference into cur. For INNER joins the
+// conjunct pool is the statement's WHERE (or the ON clause); for LEFT
+// joins it is the ON clause only.
+func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs []*conjunct, kind string, onOnly []*conjunct) (*relation, error) {
+	if ref.TableFn != nil {
+		if kind != "INNER" {
+			return nil, fmt.Errorf("engine: TABLE(VALUES) requires inner join semantics")
+		}
+		return e.lateralValues(q, cur, ref, conjs)
+	}
+	alias := ref.Alias
+	right, baseTable, err := e.rightSource(q, ref)
+	if err != nil {
+		return nil, err
+	}
+	if alias == "" {
+		alias = ref.Table
+	}
+	rightCols := make([]colInfo, len(right.cols))
+	for i, c := range right.cols {
+		rightCols[i] = colInfo{table: alias, name: c.name}
+	}
+	rightRel := &relation{cols: rightCols, rows: right.rows}
+
+	curScope := newScope(cur.cols)
+	outCols := append(append([]colInfo(nil), cur.cols...), rightCols...)
+	outScope := newScope(outCols)
+	rightScope := newScope(rightCols)
+
+	// Classify available conjuncts.
+	var rightOnly []*conjunct // filter the right side before joining
+	var joinEq []*conjunct    // equi-join terms left-expr = right-col
+	var joinEqLeft []sql.Expr // expression over cur per joinEq
+	var joinEqRight []int     // right column position per joinEq
+	var residual []*conjunct  // other terms referencing both sides
+	for _, c := range conjs {
+		if c.applied {
+			continue
+		}
+		if onlyReferences(c.expr, alias, rightCols) && resolvableIn(c.expr, rightScope) {
+			rightOnly = append(rightOnly, c)
+			continue
+		}
+		if !resolvableIn(c.expr, outScope) {
+			continue // belongs to a later join
+		}
+		if lx, rpos, ok := equiJoinParts(c.expr, curScope, rightScope); ok {
+			joinEq = append(joinEq, c)
+			joinEqLeft = append(joinEqLeft, lx)
+			joinEqRight = append(joinEqRight, rpos)
+			continue
+		}
+		if resolvableIn(c.expr, curScope) && onOnly == nil {
+			// Pure left-side WHERE term: filter cur now.
+			ce, err := e.compile(q, curScope, c.expr)
+			if err != nil {
+				return nil, err
+			}
+			filtered := cur.rows[:0:0]
+			for _, row := range cur.rows {
+				v, err := ce(row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsNull() && v.Truthy() {
+					filtered = append(filtered, row)
+				}
+			}
+			cur = &relation{cols: cur.cols, rows: filtered}
+			c.applied = true
+			continue
+		}
+		residual = append(residual, c)
+	}
+
+	// Base tables with an index on a join column use an index nested-loop
+	// join: probe the index once per outer row instead of materializing
+	// the whole table (this is what makes the OPA/OSA/EA traversal
+	// templates fast).
+	if baseTable != nil && len(joinEq) > 0 {
+		if ix, mapping := joinIndexFor(baseTable, joinEqRight); ix != nil {
+			out, err := e.indexNLJoin(q, cur, baseTable, ix, mapping, kind, indexNLArgs{
+				outCols:     outCols,
+				curScope:    curScope,
+				outScope:    outScope,
+				rightScope:  rightScope,
+				joinEqLeft:  joinEqLeft,
+				joinEqRight: joinEqRight,
+				rightOnly:   rightOnly,
+				residual:    residual,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range joinEq {
+				c.applied = true
+			}
+			for _, c := range rightOnly {
+				c.applied = true
+			}
+			for _, c := range residual {
+				c.applied = true
+			}
+			return out, nil
+		}
+	}
+
+	// Filter the right side with its own predicates (possibly via index
+	// when the right side is a base table).
+	if baseTable != nil {
+		rightRel, err = e.scanBase(q, baseTable, alias, rightOnly)
+		if err != nil {
+			return nil, err
+		}
+		rightCols = rightRel.cols
+		rightScope = newScope(rightCols)
+	} else if len(rightOnly) > 0 {
+		pass, err := e.compilePredicates(q, rightScope, rightOnly)
+		if err != nil {
+			return nil, err
+		}
+		filtered := rightRel.rows[:0:0]
+		for _, row := range rightRel.rows {
+			keep, err := pass(row)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				filtered = append(filtered, row)
+			}
+		}
+		rightRel = &relation{cols: rightCols, rows: filtered}
+		for _, c := range rightOnly {
+			c.applied = true
+		}
+	}
+
+	out := &relation{cols: outCols}
+	leftArity := len(cur.cols)
+	arena := newRowArena(len(outCols))
+
+	evalResidual, err := e.compilePredicates(q, outScope, residual)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(joinEq) > 0 {
+		// Hash join on the equi-join keys.
+		build := make(map[string][][]rel.Value, len(rightRel.rows))
+		for _, rrow := range rightRel.rows {
+			var kb strings.Builder
+			skip := false
+			for _, pos := range joinEqRight {
+				v := rrow[pos]
+				if v.IsNull() {
+					skip = true
+					break
+				}
+				kb.WriteString(v.Key())
+				kb.WriteByte(0xFF)
+			}
+			if skip {
+				continue
+			}
+			k := kb.String()
+			build[k] = append(build[k], rrow)
+		}
+		keyFns := make([]compiledExpr, len(joinEqLeft))
+		for i, lx := range joinEqLeft {
+			fn, err := e.compile(q, curScope, lx)
+			if err != nil {
+				return nil, err
+			}
+			keyFns[i] = fn
+		}
+		for _, lrow := range cur.rows {
+			var kb strings.Builder
+			skip := false
+			for _, fn := range keyFns {
+				v, err := fn(lrow)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					skip = true
+					break
+				}
+				kb.WriteString(v.Key())
+				kb.WriteByte(0xFF)
+			}
+			matched := false
+			if !skip {
+				for _, rrow := range build[kb.String()] {
+					joined := arena.alloc()
+					copy(joined, lrow)
+					copy(joined[len(lrow):], rrow)
+					ok, err := evalResidual(joined)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						matched = true
+						out.rows = append(out.rows, joined)
+					}
+				}
+			}
+			if !matched && kind == "LEFT" {
+				joined := arena.alloc()
+				copy(joined, lrow)
+				// Right side stays NULL.
+				out.rows = append(out.rows, joined)
+			}
+		}
+	} else {
+		// Nested-loop (cross) join with residual filter.
+		for _, lrow := range cur.rows {
+			matched := false
+			for _, rrow := range rightRel.rows {
+				joined := arena.alloc()
+				copy(joined, lrow)
+				copy(joined[len(lrow):], rrow)
+				ok, err := evalResidual(joined)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					matched = true
+					out.rows = append(out.rows, joined)
+				}
+			}
+			if !matched && kind == "LEFT" {
+				joined := make([]rel.Value, leftArity+len(rightCols))
+				copy(joined, lrow)
+				out.rows = append(out.rows, joined)
+			}
+		}
+	}
+	for _, c := range joinEq {
+		c.applied = true
+	}
+	for _, c := range residual {
+		c.applied = true
+	}
+	return out, nil
+}
+
+// equiJoinParts decomposes expr as (left-side expr) = (right column ref),
+// in either syntactic order.
+func equiJoinParts(expr sql.Expr, left, right *scope) (sql.Expr, int, bool) {
+	b, ok := expr.(*sql.Binary)
+	if !ok || b.Op != "=" {
+		return nil, 0, false
+	}
+	try := func(l, r sql.Expr) (sql.Expr, int, bool) {
+		cr, ok := r.(*sql.ColumnRef)
+		if !ok {
+			return nil, 0, false
+		}
+		pos, err := right.resolve(cr.Table, cr.Column)
+		if err != nil {
+			return nil, 0, false
+		}
+		if !resolvableIn(l, left) {
+			return nil, 0, false
+		}
+		return l, pos, true
+	}
+	if lx, pos, ok := try(b.L, b.R); ok {
+		return lx, pos, true
+	}
+	if lx, pos, ok := try(b.R, b.L); ok {
+		return lx, pos, true
+	}
+	return nil, 0, false
+}
+
+// lateralValues implements TABLE(VALUES (e1),(e2),...) AS t(col): for each
+// row of cur, emit one row per VALUES entry with the entry's expressions
+// (evaluated in cur's scope) bound to the declared columns.
+func (e *Engine) lateralValues(q *queryState, cur *relation, ref sql.TableRef, conjs []*conjunct) (*relation, error) {
+	fn := ref.TableFn
+	alias := ref.Alias
+	newCols := make([]colInfo, len(fn.Columns))
+	for i, c := range fn.Columns {
+		newCols[i] = colInfo{table: alias, name: c}
+	}
+	outCols := append(append([]colInfo(nil), cur.cols...), newCols...)
+	outScope := newScope(outCols)
+	curScope := newScope(cur.cols)
+
+	// Conjuncts that become resolvable once the lateral columns exist and
+	// were not resolvable before are applied inline (e.g. t.val IS NOT
+	// NULL in the paper's out-pipe template).
+	var inline []*conjunct
+	for _, c := range conjs {
+		if c.applied {
+			continue
+		}
+		if resolvableIn(c.expr, outScope) && !resolvableIn(c.expr, curScope) {
+			inline = append(inline, c)
+		}
+	}
+
+	// Compile each VALUES cell and the inline filters once.
+	cellFns := make([][]compiledExpr, len(fn.Rows))
+	for ri, valueRow := range fn.Rows {
+		if len(valueRow) != len(fn.Columns) {
+			return nil, fmt.Errorf("engine: VALUES row arity %d, declared %d columns", len(valueRow), len(fn.Columns))
+		}
+		cellFns[ri] = make([]compiledExpr, len(valueRow))
+		for ci, vx := range valueRow {
+			cf, err := e.compile(q, curScope, vx)
+			if err != nil {
+				return nil, err
+			}
+			cellFns[ri][ci] = cf
+		}
+	}
+	pass, err := e.compilePredicates(q, outScope, inline)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &relation{cols: outCols, rows: make([][]rel.Value, 0, len(cur.rows)*len(fn.Rows))}
+	for _, lrow := range cur.rows {
+		for _, cells := range cellFns {
+			joined := make([]rel.Value, 0, len(outCols))
+			joined = append(joined, lrow...)
+			for _, cf := range cells {
+				v, err := cf(lrow)
+				if err != nil {
+					return nil, err
+				}
+				joined = append(joined, v)
+			}
+			keep, err := pass(joined)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				out.rows = append(out.rows, joined)
+			}
+		}
+	}
+	for _, c := range inline {
+		c.applied = true
+	}
+	return out, nil
+}
+
+// rightSource resolves a table reference to its rows: a CTE, a base
+// table (returned unmaterialized for index-aware scanning), or a derived
+// subquery.
+func (e *Engine) rightSource(q *queryState, ref sql.TableRef) (*relation, *rel.Table, error) {
+	switch {
+	case ref.Subquery != nil:
+		r, err := e.evalSelect(q, ref.Subquery)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ref.Alias == "" {
+			return nil, nil, fmt.Errorf("engine: derived table requires an alias")
+		}
+		return r, nil, nil
+	case ref.Table != "":
+		if cte, ok := q.ctes[ref.Table]; ok {
+			return cte, nil, nil
+		}
+		t, ok := e.cat.Table(ref.Table)
+		if !ok {
+			return nil, nil, fmt.Errorf("engine: unknown table %s", ref.Table)
+		}
+		cols := make([]colInfo, t.Schema().Len())
+		for i, c := range t.Schema().Columns {
+			cols[i] = colInfo{name: c.Name}
+		}
+		return &relation{cols: cols}, t, nil
+	default:
+		return nil, nil, fmt.Errorf("engine: empty table reference")
+	}
+}

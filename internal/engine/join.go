@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/sql"
+)
+
+// indexNLArgs bundles the precomputed join state for indexNLJoin.
+type indexNLArgs struct {
+	outCols     []colInfo
+	curScope    *scope
+	outScope    *scope
+	rightScope  *scope
+	joinEqLeft  []sql.Expr // per equi-join term: expression over cur
+	joinEqRight []int      // per equi-join term: right column position
+	rightOnly   []*conjunct
+	residual    []*conjunct
+}
+
+// indexNLJoin performs an index nested-loop join: for every outer row it
+// evaluates the equi-join expressions, probes the chosen index with the
+// key columns it covers, verifies the remaining join terms and filters,
+// and emits joined rows. kind is "INNER" or "LEFT". All predicates are
+// compiled once before the loop.
+func (e *Engine) indexNLJoin(q *queryState, cur *relation, t *rel.Table, ix *rel.Index, mapping []int, kind string, a indexNLArgs) (*relation, error) {
+	out := &relation{cols: a.outCols}
+
+	keyFns := make([]compiledExpr, len(a.joinEqLeft))
+	for i, lx := range a.joinEqLeft {
+		fn, err := e.compile(q, a.curScope, lx)
+		if err != nil {
+			return nil, err
+		}
+		keyFns[i] = fn
+	}
+	rightPass, err := e.compilePredicates(q, a.rightScope, a.rightOnly)
+	if err != nil {
+		return nil, err
+	}
+	residualPass, err := e.compilePredicates(q, a.outScope, a.residual)
+	if err != nil {
+		return nil, err
+	}
+
+	leftVals := make([]rel.Value, len(a.joinEqLeft))
+	key := make([]rel.Value, len(mapping))
+	tableName := t.Name()
+	arena := newRowArena(len(a.outCols))
+
+	for _, lrow := range cur.rows {
+		nullKey := false
+		for j, fn := range keyFns {
+			v, err := fn(lrow)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				nullKey = true
+			}
+			leftVals[j] = v
+		}
+		matched := false
+		if !nullKey {
+			for i, m := range mapping {
+				key[i] = leftVals[m]
+			}
+			var probeErr error
+			ix.Probe(key, func(rid rel.RowID) bool {
+				rvals, ok := t.Get(rid)
+				if !ok {
+					return true
+				}
+				e.pageAccess(q, tableName, rid)
+				// Verify every equi-join term (the index may cover only a
+				// subset).
+				for j, pos := range a.joinEqRight {
+					if rvals[pos].IsNull() || !rel.Equal(leftVals[j], rvals[pos]) {
+						return true
+					}
+				}
+				ok, err := rightPass(rvals)
+				if err != nil {
+					probeErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+				joined := arena.alloc()
+				copy(joined, lrow)
+				copy(joined[len(lrow):], rvals)
+				ok, err = residualPass(joined)
+				if err != nil {
+					probeErr = err
+					return false
+				}
+				if !ok {
+					return true
+				}
+				matched = true
+				out.rows = append(out.rows, joined)
+				return true
+			})
+			if probeErr != nil {
+				return nil, probeErr
+			}
+		}
+		if !matched && kind == "LEFT" {
+			joined := arena.alloc()
+			copy(joined, lrow)
+			out.rows = append(out.rows, joined)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,338 @@
+package engine
+
+import (
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/sql"
+)
+
+// accessPath describes how scanBase will read a table.
+type accessPath struct {
+	index    *rel.Index
+	kind     accessKind
+	keys     [][]rel.Value // one probe key per entry (eq: 1, in: n)
+	lo, hi   rel.Value
+	loInc    bool
+	hiInc    bool
+	consumed *conjunct // conjunct fully answered by the access path
+}
+
+type accessKind uint8
+
+const (
+	accessFullScan accessKind = iota
+	accessEq
+	accessIn
+	accessRange
+	accessNotNull
+)
+
+// stripAlias returns a copy of the expression with column references to
+// the given alias rendered unqualified, so it can be compared against the
+// normalized expression string stored on expression indexes.
+func stripAlias(e sql.Expr, alias string) sql.Expr {
+	switch v := e.(type) {
+	case *sql.ColumnRef:
+		if v.Table == alias {
+			return &sql.ColumnRef{Column: v.Column}
+		}
+		return v
+	case *sql.Unary:
+		return &sql.Unary{Op: v.Op, X: stripAlias(v.X, alias)}
+	case *sql.Binary:
+		return &sql.Binary{Op: v.Op, L: stripAlias(v.L, alias), R: stripAlias(v.R, alias)}
+	case *sql.IsNull:
+		return &sql.IsNull{X: stripAlias(v.X, alias), Not: v.Not}
+	case *sql.FuncCall:
+		args := make([]sql.Expr, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = stripAlias(a, alias)
+		}
+		return &sql.FuncCall{Name: v.Name, Args: args, Star: v.Star, Distinct: v.Distinct}
+	case *sql.Cast:
+		return &sql.Cast{X: stripAlias(v.X, alias), Type: v.Type}
+	case *sql.Subscript:
+		return &sql.Subscript{X: stripAlias(v.X, alias), Index: stripAlias(v.Index, alias)}
+	default:
+		return e
+	}
+}
+
+// matchIndexExpr finds an index matching the given side expression: a
+// plain single-column index for a column reference, or an expression
+// index whose normalized text equals the expression's.
+func matchIndexExpr(t *rel.Table, alias string, side sql.Expr) *rel.Index {
+	if cr, ok := side.(*sql.ColumnRef); ok && (cr.Table == "" || cr.Table == alias) {
+		ord := t.Schema().Ordinal(cr.Column)
+		if ord < 0 {
+			return nil
+		}
+		for _, ix := range t.Indexes() {
+			if ords := ix.ColumnOrdinals(); len(ords) >= 1 && ords[0] == ord {
+				return ix
+			}
+		}
+		return nil
+	}
+	want := stripAlias(side, alias).SQL()
+	for _, ix := range t.Indexes() {
+		if ix.Expr() != "" && ix.Expr() == want {
+			return ix
+		}
+	}
+	return nil
+}
+
+// constValue evaluates a column-free expression.
+func (e *Engine) constValue(q *queryState, x sql.Expr) (rel.Value, error) {
+	ctx := &evalCtx{eng: e, scope: newScope(nil), params: q.params, q: q}
+	return e.eval(ctx, x)
+}
+
+// chooseAccessPath inspects the pushable conjuncts for an indexable
+// predicate, preferring equality, then IN, then range, then IS NOT NULL.
+func (e *Engine) chooseAccessPath(q *queryState, t *rel.Table, alias string, conjs []*conjunct) (*accessPath, error) {
+	var rangePath, notNullPath, inPath *accessPath
+	for _, c := range conjs {
+		if c.applied {
+			continue
+		}
+		switch v := c.expr.(type) {
+		case *sql.Binary:
+			if v.Op == "=" {
+				if ix := matchIndexExpr(t, alias, v.L); ix != nil && isConstExpr(v.R) {
+					key, err := e.constValue(q, v.R)
+					if err != nil {
+						return nil, err
+					}
+					return &accessPath{index: ix, kind: accessEq, keys: [][]rel.Value{{key}}, consumed: c}, nil
+				}
+				if ix := matchIndexExpr(t, alias, v.R); ix != nil && isConstExpr(v.L) {
+					key, err := e.constValue(q, v.L)
+					if err != nil {
+						return nil, err
+					}
+					return &accessPath{index: ix, kind: accessEq, keys: [][]rel.Value{{key}}, consumed: c}, nil
+				}
+			}
+			if rangePath == nil {
+				var side, bound sql.Expr
+				op := v.Op
+				if isConstExpr(v.R) {
+					side, bound = v.L, v.R
+				} else if isConstExpr(v.L) {
+					side, bound = v.R, v.L
+					// Flip the operator when the constant is on the left.
+					switch op {
+					case "<":
+						op = ">"
+					case "<=":
+						op = ">="
+					case ">":
+						op = "<"
+					case ">=":
+						op = "<="
+					}
+				}
+				if side != nil {
+					if ix := matchIndexExpr(t, alias, side); ix != nil {
+						b, err := e.constValue(q, bound)
+						if err != nil {
+							return nil, err
+						}
+						p := &accessPath{index: ix, kind: accessRange, consumed: c}
+						switch op {
+						case "<":
+							p.hi = b
+						case "<=":
+							p.hi, p.hiInc = b, true
+						case ">":
+							p.lo = b
+						case ">=":
+							p.lo, p.loInc = b, true
+						default:
+							p = nil
+						}
+						if p != nil {
+							rangePath = p
+						}
+					}
+				}
+			}
+		case *sql.InList:
+			if !v.Not && inPath == nil {
+				if ix := matchIndexExpr(t, alias, v.X); ix != nil {
+					allConst := true
+					keys := make([][]rel.Value, 0, len(v.List))
+					for _, item := range v.List {
+						if !isConstExpr(item) {
+							allConst = false
+							break
+						}
+						kv, err := e.constValue(q, item)
+						if err != nil {
+							return nil, err
+						}
+						keys = append(keys, []rel.Value{kv})
+					}
+					if allConst {
+						inPath = &accessPath{index: ix, kind: accessIn, keys: keys, consumed: c}
+					}
+				}
+			}
+		case *sql.Between:
+			if !v.Not && rangePath == nil && isConstExpr(v.Lo) && isConstExpr(v.Hi) {
+				if ix := matchIndexExpr(t, alias, v.X); ix != nil {
+					lo, err := e.constValue(q, v.Lo)
+					if err != nil {
+						return nil, err
+					}
+					hi, err := e.constValue(q, v.Hi)
+					if err != nil {
+						return nil, err
+					}
+					rangePath = &accessPath{index: ix, kind: accessRange, lo: lo, hi: hi, loInc: true, hiInc: true, consumed: c}
+				}
+			}
+		case *sql.IsNull:
+			if v.Not && notNullPath == nil {
+				if ix := matchIndexExpr(t, alias, v.X); ix != nil {
+					notNullPath = &accessPath{index: ix, kind: accessNotNull, consumed: c}
+				}
+			}
+		}
+	}
+	if inPath != nil {
+		return inPath, nil
+	}
+	if rangePath != nil {
+		return rangePath, nil
+	}
+	if notNullPath != nil {
+		return notNullPath, nil
+	}
+	return &accessPath{kind: accessFullScan}, nil
+}
+
+// scanBase materializes a base table under an alias, pushing the given
+// single-table conjuncts into the scan and using an index when one
+// matches. The caller must already hold the table's read lock (the engine
+// acquires query locks up front).
+func (e *Engine) scanBase(q *queryState, t *rel.Table, alias string, conjs []*conjunct) (*relation, error) {
+	cols := make([]colInfo, t.Schema().Len())
+	for i, c := range t.Schema().Columns {
+		cols[i] = colInfo{table: alias, name: c.Name}
+	}
+	sc := newScope(cols)
+	path, err := e.chooseAccessPath(q, t, alias, conjs)
+	if err != nil {
+		return nil, err
+	}
+
+	// All pushed conjuncts run as filters, including the one the access
+	// path answers: index probes return candidates (the order-preserving
+	// key encoding merges the numeric domain), so predicates are always
+	// re-verified against row values.
+	var filters []*conjunct
+	for _, c := range conjs {
+		if c.applied {
+			continue
+		}
+		filters = append(filters, c)
+	}
+	pass, err := e.compilePredicates(q, sc, filters)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &relation{cols: cols}
+	emit := func(rid rel.RowID, vals []rel.Value) (bool, error) {
+		e.pageAccess(q, t.Name(), rid)
+		ok, err := pass(vals)
+		if err != nil || !ok {
+			return false, err
+		}
+		out.rows = append(out.rows, vals)
+		return true, nil
+	}
+
+	var emitErr error
+	visit := func(rid rel.RowID) bool {
+		vals, ok := t.Get(rid)
+		if !ok {
+			return true
+		}
+		if _, err := emit(rid, vals); err != nil {
+			emitErr = err
+			return false
+		}
+		return true
+	}
+
+	switch path.kind {
+	case accessEq, accessIn:
+		for _, key := range path.keys {
+			path.index.Probe(key, visit)
+			if emitErr != nil {
+				return nil, emitErr
+			}
+		}
+	case accessRange:
+		path.index.ProbeRange(path.lo, path.hi, path.loInc, path.hiInc, visit)
+	case accessNotNull:
+		path.index.ProbeRange(rel.Null, rel.Null, true, true, visit)
+	default:
+		t.Scan(func(rid rel.RowID, vals []rel.Value) bool {
+			if _, err := emit(rid, vals); err != nil {
+				emitErr = err
+				return false
+			}
+			return true
+		})
+	}
+	if emitErr != nil {
+		return nil, emitErr
+	}
+	for _, c := range conjs {
+		if !c.applied {
+			c.applied = true
+		}
+	}
+	return out, nil
+}
+
+// joinIndexFor finds an index on the base table usable for an index
+// nested-loop join given the equi-join right-column positions (which for
+// base tables equal schema ordinals). It returns the index and, for each
+// of the index's leading columns, the position into joinEqRight supplying
+// the probe value.
+func joinIndexFor(t *rel.Table, joinEqRight []int) (*rel.Index, []int) {
+	best := 0
+	var bestMap []int
+	var bestIx *rel.Index
+	for _, ix := range t.Indexes() {
+		ords := ix.ColumnOrdinals()
+		if len(ords) == 0 {
+			continue
+		}
+		var mapping []int
+		for _, ord := range ords {
+			found := -1
+			for j, pos := range joinEqRight {
+				if pos == ord {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				break
+			}
+			mapping = append(mapping, found)
+		}
+		if len(mapping) > best {
+			best = len(mapping)
+			bestMap = mapping
+			bestIx = ix
+		}
+	}
+	return bestIx, bestMap
+}

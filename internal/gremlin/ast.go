@@ -1,0 +1,260 @@
+// Package gremlin implements a hand-written parser for the subset of the
+// Gremlin graph traversal language (TinkerPop 2 dialect) that the paper's
+// translation covers: side-effect-free traversal pipes plus the update
+// operations, with closures restricted to simple comparisons (paper
+// Section 4.4's stated limitation).
+package gremlin
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StepKind enumerates supported pipes.
+type StepKind int
+
+// Step kinds, grouped as in paper Table 5.
+const (
+	// Sources.
+	StepV StepKind = iota // g.V, g.V(id), g.V('key', val)
+	StepE                 // g.E, g.E(id)
+
+	// Transform pipes.
+	StepOut      // out('lbl'...)
+	StepIn       // in('lbl'...)
+	StepBoth     // both('lbl'...)
+	StepOutE     // outE('lbl'...)
+	StepInE      // inE('lbl'...)
+	StepBothE    // bothE('lbl'...)
+	StepOutV     // outV (edge -> source vertex)
+	StepInV      // inV (edge -> target vertex)
+	StepBothV    // bothV
+	StepID       // id
+	StepLabel    // label
+	StepProperty // property('key') or bare .key access
+	StepPath     // path
+	StepCount    // count()
+
+	// Filter pipes.
+	StepHas        // has('key'), has('key', val), has('key', T.op, val)
+	StepHasNot     // hasNot('key')
+	StepInterval   // interval('key', lo, hi)
+	StepFilter     // filter{it.key op val}
+	StepDedup      // dedup()
+	StepRange      // range(lo, hi)
+	StepSimplePath // simplePath
+	StepExcept     // except('name')
+	StepRetain     // retain('name')
+	StepBack       // back(n) or back('name')
+
+	// Side effect pipes (identity semantics plus bookkeeping).
+	StepAs        // as('name')
+	StepAggregate // aggregate(x)
+	StepTable     // table(t) — identity (paper §4.4)
+	StepIterate   // iterate() — drain
+
+	// Branch pipes.
+	StepIfThenElse // ifThenElse{test}{then}{else}
+	StepLoop       // loop('name'|n){it.loops < k}
+)
+
+var stepNames = map[StepKind]string{
+	StepV: "V", StepE: "E", StepOut: "out", StepIn: "in", StepBoth: "both",
+	StepOutE: "outE", StepInE: "inE", StepBothE: "bothE", StepOutV: "outV",
+	StepInV: "inV", StepBothV: "bothV", StepID: "id", StepLabel: "label",
+	StepProperty: "property", StepPath: "path", StepCount: "count",
+	StepHas: "has", StepHasNot: "hasNot", StepInterval: "interval",
+	StepFilter: "filter", StepDedup: "dedup", StepRange: "range",
+	StepSimplePath: "simplePath", StepExcept: "except", StepRetain: "retain",
+	StepBack: "back", StepAs: "as", StepAggregate: "aggregate",
+	StepTable: "table", StepIterate: "iterate",
+	StepIfThenElse: "ifThenElse", StepLoop: "loop",
+}
+
+// String returns the pipe name.
+func (k StepKind) String() string {
+	if n, ok := stepNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("StepKind(%d)", int(k))
+}
+
+// CmpOp is a comparison operator inside has/filter/interval closures.
+type CmpOp string
+
+// Supported comparison operators.
+const (
+	OpEq  CmpOp = "=="
+	OpNeq CmpOp = "!="
+	OpLt  CmpOp = "<"
+	OpLte CmpOp = "<="
+	OpGt  CmpOp = ">"
+	OpGte CmpOp = ">="
+)
+
+// Predicate is a simple comparison on the current element: it.Key Op
+// Value, or a key-only existence test when Op is empty.
+type Predicate struct {
+	Key   string
+	Op    CmpOp
+	Value any // nil + empty Op = existence test
+}
+
+func (p *Predicate) String() string {
+	if p.Op == "" {
+		return fmt.Sprintf("it.%s", p.Key)
+	}
+	return fmt.Sprintf("it.%s %s %v", p.Key, p.Op, p.Value)
+}
+
+// Step is one pipe in a pipeline.
+type Step struct {
+	Kind   StepKind
+	Labels []string // edge labels for traversal pipes
+
+	// Filter payloads.
+	Key   string
+	Op    CmpOp
+	Value any
+	Lo    any // interval / range low
+	Hi    any // interval / range high
+
+	// Naming payloads.
+	Name  string // as/back/aggregate/except/retain/table/loop target
+	BackN int    // back(n) / loop(n) numeric form; 0 when named
+
+	// Source payloads.
+	StartIDs []int64 // V(1), E(7)
+	StartKey string  // V('key', val)
+	StartVal any
+
+	// Branch payloads.
+	Test     *Predicate
+	Then     []Step
+	Else     []Step
+	LoopMax  int // loop {it.loops < N}
+	LoopPred *Predicate
+}
+
+// Query is a parsed Gremlin query: a pipeline rooted at a source step.
+type Query struct {
+	Steps []Step
+	Text  string // original query text
+}
+
+// String reconstructs a canonical form of the query.
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("g")
+	for i := range q.Steps {
+		sb.WriteByte('.')
+		sb.WriteString(formatStep(&q.Steps[i]))
+	}
+	return sb.String()
+}
+
+func formatStep(s *Step) string {
+	switch s.Kind {
+	case StepV, StepE:
+		name := s.Kind.String()
+		if len(s.StartIDs) > 0 {
+			return fmt.Sprintf("%s(%s)", name, joinIDs(s.StartIDs))
+		}
+		if s.StartKey != "" {
+			return fmt.Sprintf("%s(%s, %s)", name, quote(s.StartKey), formatVal(s.StartVal))
+		}
+		return name
+	case StepOut, StepIn, StepBoth, StepOutE, StepInE, StepBothE:
+		if len(s.Labels) == 0 {
+			return s.Kind.String()
+		}
+		parts := make([]string, len(s.Labels))
+		for i, l := range s.Labels {
+			parts[i] = quote(l)
+		}
+		return fmt.Sprintf("%s(%s)", s.Kind, strings.Join(parts, ", "))
+	case StepHas:
+		if s.Op == "" {
+			return fmt.Sprintf("has(%s)", quote(s.Key))
+		}
+		if s.Op == OpEq {
+			return fmt.Sprintf("has(%s, %s)", quote(s.Key), formatVal(s.Value))
+		}
+		return fmt.Sprintf("has(%s, T.%s, %s)", quote(s.Key), opToken(s.Op), formatVal(s.Value))
+	case StepHasNot:
+		return fmt.Sprintf("hasNot(%s)", quote(s.Key))
+	case StepInterval:
+		return fmt.Sprintf("interval(%s, %s, %s)", quote(s.Key), formatVal(s.Lo), formatVal(s.Hi))
+	case StepFilter:
+		return fmt.Sprintf("filter{it.%s %s %s}", s.Key, s.Op, formatVal(s.Value))
+	case StepRange:
+		return fmt.Sprintf("range(%v, %v)", s.Lo, s.Hi)
+	case StepProperty:
+		return s.Key
+	case StepBack:
+		if s.Name != "" {
+			return fmt.Sprintf("back(%s)", quote(s.Name))
+		}
+		return fmt.Sprintf("back(%d)", s.BackN)
+	case StepAs, StepAggregate, StepExcept, StepRetain, StepTable:
+		return fmt.Sprintf("%s(%s)", s.Kind, quote(s.Name))
+	case StepIfThenElse:
+		return fmt.Sprintf("ifThenElse{%s}{%s}{%s}", s.Test, formatSteps(s.Then), formatSteps(s.Else))
+	case StepLoop:
+		target := quote(s.Name)
+		if s.Name == "" {
+			target = fmt.Sprintf("%d", s.BackN)
+		}
+		return fmt.Sprintf("loop(%s){it.loops < %d}", target, s.LoopMax)
+	case StepCount, StepDedup, StepIterate:
+		return s.Kind.String() + "()"
+	default:
+		return s.Kind.String()
+	}
+}
+
+func formatSteps(steps []Step) string {
+	parts := make([]string, 0, len(steps)+1)
+	parts = append(parts, "it")
+	for i := range steps {
+		parts = append(parts, formatStep(&steps[i]))
+	}
+	return strings.Join(parts, ".")
+}
+
+func opToken(op CmpOp) string {
+	switch op {
+	case OpEq:
+		return "eq"
+	case OpNeq:
+		return "neq"
+	case OpLt:
+		return "lt"
+	case OpLte:
+		return "lte"
+	case OpGt:
+		return "gt"
+	case OpGte:
+		return "gte"
+	}
+	return "?"
+}
+
+func joinIDs(ids []int64) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprint(id)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func quote(s string) string { return "'" + s + "'" }
+
+func formatVal(v any) string {
+	switch x := v.(type) {
+	case string:
+		return quote(x)
+	default:
+		return fmt.Sprint(x)
+	}
+}

@@ -1,0 +1,269 @@
+package interp
+
+import (
+	"sort"
+	"testing"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/gremlin"
+)
+
+// figure2a builds the paper's sample graph.
+func figure2a(t *testing.T) *blueprints.MemGraph {
+	t.Helper()
+	g := blueprints.NewMemGraph()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddVertex(1, map[string]any{"name": "marko", "age": 29, "tag": "w"}))
+	must(g.AddVertex(2, map[string]any{"name": "vadas", "age": 27}))
+	must(g.AddVertex(3, map[string]any{"name": "lop", "lang": "java"}))
+	must(g.AddVertex(4, map[string]any{"name": "josh", "age": 32}))
+	must(g.AddEdge(7, 1, 2, "knows", map[string]any{"weight": 0.5}))
+	must(g.AddEdge(8, 1, 4, "knows", map[string]any{"weight": 1.0}))
+	must(g.AddEdge(9, 1, 3, "created", map[string]any{"weight": 0.4}))
+	must(g.AddEdge(10, 4, 2, "likes", map[string]any{"weight": 0.2}))
+	must(g.AddEdge(11, 4, 3, "created", map[string]any{"weight": 0.8}))
+	return g
+}
+
+func eval(t *testing.T, g blueprints.Graph, src string) *Result {
+	t.Helper()
+	q, err := gremlin.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	r, err := Eval(g, q)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return r
+}
+
+func sortedInt64s(vals []any) []int64 {
+	out := make([]int64, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v.(int64))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func wantIDs(t *testing.T, r *Result, want ...int64) {
+	t.Helper()
+	got := sortedInt64s(r.Values())
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPaperRunningExample(t *testing.T) {
+	g := figure2a(t)
+	// Count distinct vertices adjacent (either direction) to a vertex with
+	// tag == 'w' (vertex 1): {2, 3, 4} -> 3.
+	r := eval(t, g, "g.V.filter{it.tag=='w'}.both.dedup().count()")
+	if r.Count() != 1 || r.Values()[0] != int64(3) {
+		t.Fatalf("count = %v", r.Values())
+	}
+}
+
+func TestSources(t *testing.T) {
+	g := figure2a(t)
+	wantIDs(t, eval(t, g, "g.V"), 1, 2, 3, 4)
+	wantIDs(t, eval(t, g, "g.V(1)"), 1)
+	wantIDs(t, eval(t, g, "g.V(1, 4)"), 1, 4)
+	wantIDs(t, eval(t, g, "g.V(99)")) // missing id -> empty
+	wantIDs(t, eval(t, g, "g.E"), 7, 8, 9, 10, 11)
+	wantIDs(t, eval(t, g, "g.E(9)"), 9)
+	wantIDs(t, eval(t, g, "g.V('name', 'marko')"), 1)
+}
+
+func TestTraversals(t *testing.T) {
+	g := figure2a(t)
+	wantIDs(t, eval(t, g, "g.V(1).out"), 2, 3, 4)
+	wantIDs(t, eval(t, g, "g.V(1).out('knows')"), 2, 4)
+	wantIDs(t, eval(t, g, "g.V(3).in"), 1, 4)
+	wantIDs(t, eval(t, g, "g.V(3).in('created')"), 1, 4)
+	wantIDs(t, eval(t, g, "g.V(4).both"), 1, 2, 3)
+	wantIDs(t, eval(t, g, "g.V(1).outE"), 7, 8, 9)
+	wantIDs(t, eval(t, g, "g.V(2).inE"), 7, 10)
+	wantIDs(t, eval(t, g, "g.V(4).bothE"), 8, 10, 11)
+	wantIDs(t, eval(t, g, "g.E(7).outV"), 1)
+	wantIDs(t, eval(t, g, "g.E(7).inV"), 2)
+	wantIDs(t, eval(t, g, "g.E(7).bothV"), 1, 2)
+	wantIDs(t, eval(t, g, "g.V(1).out.out"), 2, 3)
+}
+
+func TestFilters(t *testing.T) {
+	g := figure2a(t)
+	wantIDs(t, eval(t, g, "g.V.has('age')"), 1, 2, 4)
+	wantIDs(t, eval(t, g, "g.V.hasNot('age')"), 3)
+	wantIDs(t, eval(t, g, "g.V.has('age', 29)"), 1)
+	wantIDs(t, eval(t, g, "g.V.has('age', T.gt, 27)"), 1, 4)
+	wantIDs(t, eval(t, g, "g.V.has('age', T.lte, 29)"), 1, 2)
+	wantIDs(t, eval(t, g, "g.V.has('age', T.neq, 29)"), 2, 4)
+	wantIDs(t, eval(t, g, "g.V.filter{it.age >= 29}"), 1, 4)
+	wantIDs(t, eval(t, g, "g.V.interval('age', 27, 32)"), 1, 2) // [27, 32)
+	wantIDs(t, eval(t, g, "g.E.has('weight', T.gt, 0.45)"), 7, 8, 11)
+}
+
+func TestDedupRangeCount(t *testing.T) {
+	g := figure2a(t)
+	r := eval(t, g, "g.V(1).out.in") // via 2: {1,4}; via 4: {1}; via 3: {1,4}
+	if r.Count() != 5 {
+		t.Fatalf("out.in count = %d", r.Count())
+	}
+	wantIDs(t, eval(t, g, "g.V(1).out.in.dedup()"), 1, 4)
+	r = eval(t, g, "g.V.range(1, 2)")
+	if r.Count() != 2 {
+		t.Fatalf("range count = %d", r.Count())
+	}
+	r = eval(t, g, "g.V.range(2, 99)")
+	if r.Count() != 2 {
+		t.Fatalf("range clamp = %d", r.Count())
+	}
+	r = eval(t, g, "g.V.count()")
+	if r.Values()[0] != int64(4) {
+		t.Fatalf("count = %v", r.Values())
+	}
+}
+
+func TestIDLabelProperty(t *testing.T) {
+	g := figure2a(t)
+	wantIDs(t, eval(t, g, "g.V(2).id"), 2)
+	r := eval(t, g, "g.E(9).label")
+	if r.Values()[0] != "created" {
+		t.Fatalf("label = %v", r.Values())
+	}
+	r = eval(t, g, "g.V(1).out('knows').name")
+	names := r.Values()
+	sort.Slice(names, func(i, j int) bool { return names[i].(string) < names[j].(string) })
+	if len(names) != 2 || names[0] != "josh" || names[1] != "vadas" {
+		t.Fatalf("names = %v", names)
+	}
+	// Missing property drops the element.
+	r = eval(t, g, "g.V.lang")
+	if r.Count() != 1 || r.Values()[0] != "java" {
+		t.Fatalf("lang = %v", r.Values())
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := figure2a(t)
+	r := eval(t, g, "g.V(1).out('created').path")
+	if r.Count() != 1 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	p := r.Values()[0].([]any)
+	if len(p) != 2 || p[0] != int64(1) || p[1] != int64(3) {
+		t.Fatalf("path = %v", p)
+	}
+	// Paths() on element results.
+	r = eval(t, g, "g.V(1).out.out")
+	paths := r.Paths()
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		if len(p) != 3 || p[0] != int64(1) || p[1] != int64(4) {
+			t.Fatalf("path = %v", p)
+		}
+	}
+}
+
+func TestSimplePath(t *testing.T) {
+	g := figure2a(t)
+	// 1 -> out -> in yields paths like 1-2-1 (cyclic) and 1-2-4 (simple).
+	r := eval(t, g, "g.V(1).out.in.simplePath")
+	for _, p := range r.Paths() {
+		seen := map[any]bool{}
+		for _, x := range p {
+			if seen[x] {
+				t.Fatalf("non-simple path survived: %v", p)
+			}
+			seen[x] = true
+		}
+	}
+	wantIDs(t, eval(t, g, "g.V(1).out.in.simplePath"), 4, 4)
+}
+
+func TestAsBack(t *testing.T) {
+	g := figure2a(t)
+	// Vertices that created something, returned via back.
+	wantIDs(t, eval(t, g, "g.V.as('x').out('created').back('x')"), 1, 4)
+	// back(1) steps one element back.
+	wantIDs(t, eval(t, g, "g.V.out('created').back(1)"), 1, 4)
+	// back(2).
+	wantIDs(t, eval(t, g, "g.V(1).out('knows').out('created').back(2)"), 1)
+}
+
+func TestAggregateExceptRetain(t *testing.T) {
+	g := figure2a(t)
+	// Neighbors of 1 except 1's knows-neighbors. back(1) restores vertex 1
+	// once per knows-edge, so downstream results appear twice.
+	wantIDs(t, eval(t, g, "g.V(1).out('knows').aggregate(x).back(1).out.except(x)"), 3, 3)
+	wantIDs(t, eval(t, g, "g.V(1).out('knows').aggregate(x).back(1).out.retain(x)"), 2, 2, 4, 4)
+}
+
+func TestIfThenElse(t *testing.T) {
+	g := figure2a(t)
+	// Software vertices -> their creators; people -> who they know.
+	r := eval(t, g, "g.V.ifThenElse{it.lang == 'java'}{it.in('created')}{it.out('knows')}")
+	wantIDs(t, r, 1, 2, 4, 4) // 3 -> {1,4}; 1 -> {2,4}; 2,4 -> {} and {}... 4 knows nobody
+}
+
+func TestLoopFixedDepth(t *testing.T) {
+	g := blueprints.NewMemGraph()
+	// A chain 0 -> 1 -> 2 -> 3 -> 4.
+	for i := int64(0); i < 5; i++ {
+		if err := g.AddVertex(i, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 4; i++ {
+		if err := g.AddEdge(100+i, i, i+1, "next", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantIDs(t, eval(t, g, "g.V(0).as('s').out('next').loop('s'){it.loops < 3}"), 3)
+	wantIDs(t, eval(t, g, "g.V(0).out('next').loop(1){it.loops < 4}"), 4)
+	// Falling off the end yields nothing.
+	wantIDs(t, eval(t, g, "g.V(3).as('s').out('next').loop('s'){it.loops < 3}"))
+}
+
+func TestLoopOverCycleBounded(t *testing.T) {
+	g := blueprints.NewMemGraph()
+	for i := int64(0); i < 3; i++ {
+		_ = g.AddVertex(i, nil)
+	}
+	_ = g.AddEdge(10, 0, 1, "n", nil)
+	_ = g.AddEdge(11, 1, 2, "n", nil)
+	_ = g.AddEdge(12, 2, 0, "n", nil)
+	wantIDs(t, eval(t, g, "g.V(0).as('s').out('n').loop('s'){it.loops < 6}"), 0)
+	wantIDs(t, eval(t, g, "g.V(0).as('s').out('n').loop('s'){it.loops < 7}"), 1)
+}
+
+func TestValueItemsSkippedByTraversal(t *testing.T) {
+	g := figure2a(t)
+	// id produces values; further traversal from values yields nothing.
+	r := eval(t, g, "g.V(1).id.out")
+	if r.Count() != 0 {
+		t.Fatalf("traversal from value = %v", r.Values())
+	}
+}
+
+func TestRunningOnEmptyGraph(t *testing.T) {
+	g := blueprints.NewMemGraph()
+	r := eval(t, g, "g.V.out.count()")
+	if r.Values()[0] != int64(0) {
+		t.Fatalf("empty count = %v", r.Values())
+	}
+}

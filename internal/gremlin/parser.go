@@ -1,0 +1,599 @@
+package gremlin
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// token kinds for the Gremlin lexer.
+type gtokKind uint8
+
+const (
+	gtokEOF gtokKind = iota
+	gtokIdent
+	gtokInt
+	gtokFloat
+	gtokString
+	gtokSym // . ( ) { } , == != <= >= < >
+)
+
+type gtok struct {
+	kind gtokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]gtok, error) {
+	var toks []gtok
+	i, n := 0, len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';':
+			i++
+		case c == '\'' || c == '"':
+			quoteCh := c
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("gremlin: unterminated string at %d", start+1)
+				}
+				if src[i] == '\\' && i+1 < n {
+					sb.WriteByte(src[i+1])
+					i += 2
+					continue
+				}
+				if src[i] == quoteCh {
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, gtok{gtokString, sb.String(), start + 1})
+		case c >= '0' && c <= '9':
+			start := i
+			isFloat := false
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				i++
+			}
+			// A '.' is part of the number only when followed by a digit
+			// (so g.V(1).out lexes correctly).
+			if i+1 < n && src[i] == '.' && src[i+1] >= '0' && src[i+1] <= '9' {
+				isFloat = true
+				i++
+				for i < n && src[i] >= '0' && src[i] <= '9' {
+					i++
+				}
+			}
+			kind := gtokInt
+			if isFloat {
+				kind = gtokFloat
+			}
+			toks = append(toks, gtok{kind, src[start:i], start + 1})
+		case isGIdentStart(rune(c)):
+			start := i
+			for i < n && isGIdentPart(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, gtok{gtokIdent, src[start:i], start + 1})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=":
+				toks = append(toks, gtok{gtokSym, two, start + 1})
+				i += 2
+			default:
+				switch c {
+				case '.', '(', ')', '{', '}', ',', '<', '>', '-':
+					toks = append(toks, gtok{gtokSym, string(c), start + 1})
+					i++
+				default:
+					return nil, fmt.Errorf("gremlin: unexpected character %q at %d", c, i+1)
+				}
+			}
+		}
+	}
+	toks = append(toks, gtok{gtokEOF, "", n + 1})
+	return toks, nil
+}
+
+func isGIdentStart(r rune) bool { return r == '_' || r == '$' || unicode.IsLetter(r) }
+func isGIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Parse parses one Gremlin query of the form g.<pipe>.<pipe>... .
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &gparser{toks: toks, src: src}
+	if !p.acceptIdent("g") {
+		return nil, p.errorf("query must start with g")
+	}
+	steps, err := p.parsePipeline()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != gtokEOF {
+		return nil, p.errorf("unexpected %q after query", p.peek().text)
+	}
+	if len(steps) == 0 {
+		return nil, p.errorf("empty pipeline")
+	}
+	if steps[0].Kind != StepV && steps[0].Kind != StepE {
+		return nil, p.errorf("pipeline must start with V or E")
+	}
+	return &Query{Steps: steps, Text: src}, nil
+}
+
+type gparser struct {
+	toks []gtok
+	pos  int
+	src  string
+}
+
+func (p *gparser) peek() gtok { return p.toks[p.pos] }
+func (p *gparser) next() gtok { t := p.toks[p.pos]; p.pos++; return t }
+func (p *gparser) errorf(format string, args ...any) error {
+	return fmt.Errorf("gremlin: parse error near position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *gparser) accept(kind gtokKind, text string) bool {
+	t := p.peek()
+	if t.kind == kind && (text == "" || t.text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *gparser) acceptIdent(name string) bool { return p.accept(gtokIdent, name) }
+
+func (p *gparser) expectSym(s string) error {
+	if !p.accept(gtokSym, s) {
+		return p.errorf("expected %q, found %q", s, p.peek().text)
+	}
+	return nil
+}
+
+// parsePipeline parses .step.step... until the pipeline ends.
+func (p *gparser) parsePipeline() ([]Step, error) {
+	var steps []Step
+	for p.accept(gtokSym, ".") {
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, *step)
+	}
+	return steps, nil
+}
+
+var kindByName = map[string]StepKind{
+	"V": StepV, "E": StepE, "v": StepV, "e": StepE,
+	"out": StepOut, "in": StepIn, "both": StepBoth,
+	"outE": StepOutE, "inE": StepInE, "bothE": StepBothE,
+	"outV": StepOutV, "inV": StepInV, "bothV": StepBothV,
+	"id": StepID, "label": StepLabel, "property": StepProperty,
+	"path": StepPath, "count": StepCount,
+	"has": StepHas, "hasNot": StepHasNot, "interval": StepInterval,
+	"filter": StepFilter, "dedup": StepDedup, "range": StepRange,
+	"simplePath": StepSimplePath, "except": StepExcept, "retain": StepRetain,
+	"back": StepBack, "as": StepAs, "aggregate": StepAggregate,
+	"table": StepTable, "iterate": StepIterate,
+	"ifThenElse": StepIfThenElse, "loop": StepLoop,
+}
+
+func (p *gparser) parseStep() (*Step, error) {
+	t := p.peek()
+	if t.kind != gtokIdent {
+		return nil, p.errorf("expected pipe name, found %q", t.text)
+	}
+	p.pos++
+	kind, known := kindByName[t.text]
+	if !known {
+		// Bare property access: .name is shorthand for .property('name').
+		return &Step{Kind: StepProperty, Key: t.text}, nil
+	}
+	step := &Step{Kind: kind}
+
+	// Argument list.
+	var args []any
+	if p.accept(gtokSym, "(") {
+		for !p.accept(gtokSym, ")") {
+			if len(args) > 0 {
+				if err := p.expectSym(","); err != nil {
+					return nil, err
+				}
+			}
+			arg, err := p.parseArg()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, arg)
+		}
+	}
+
+	switch kind {
+	case StepV, StepE:
+		if err := applySourceArgs(step, args); err != nil {
+			return nil, p.errorf("%v", err)
+		}
+	case StepOut, StepIn, StepBoth, StepOutE, StepInE, StepBothE:
+		for _, a := range args {
+			s, ok := a.(string)
+			if !ok {
+				return nil, p.errorf("%s expects string edge labels", kind)
+			}
+			step.Labels = append(step.Labels, s)
+		}
+	case StepProperty:
+		if len(args) != 1 {
+			return nil, p.errorf("property expects one key argument")
+		}
+		key, ok := args[0].(string)
+		if !ok {
+			return nil, p.errorf("property key must be a string")
+		}
+		step.Key = key
+	case StepHas:
+		if err := applyHasArgs(step, args); err != nil {
+			return nil, p.errorf("%v", err)
+		}
+	case StepHasNot:
+		if len(args) != 1 {
+			return nil, p.errorf("hasNot expects one key argument")
+		}
+		key, ok := args[0].(string)
+		if !ok {
+			return nil, p.errorf("hasNot key must be a string")
+		}
+		step.Key = key
+	case StepInterval:
+		if len(args) != 3 {
+			return nil, p.errorf("interval expects (key, lo, hi)")
+		}
+		key, ok := args[0].(string)
+		if !ok {
+			return nil, p.errorf("interval key must be a string")
+		}
+		step.Key, step.Lo, step.Hi = key, args[1], args[2]
+	case StepRange:
+		if len(args) != 2 {
+			return nil, p.errorf("range expects (low, high)")
+		}
+		lo, ok1 := args[0].(int64)
+		hi, ok2 := args[1].(int64)
+		if !ok1 || !ok2 {
+			return nil, p.errorf("range bounds must be integers")
+		}
+		step.Lo, step.Hi = lo, hi
+	case StepBack:
+		if len(args) != 1 {
+			return nil, p.errorf("back expects one argument")
+		}
+		switch v := args[0].(type) {
+		case string:
+			step.Name = v
+		case int64:
+			step.BackN = int(v)
+		default:
+			return nil, p.errorf("back expects a name or step count")
+		}
+	case StepAs, StepAggregate, StepExcept, StepRetain, StepTable:
+		if len(args) != 1 {
+			return nil, p.errorf("%s expects one argument", kind)
+		}
+		switch v := args[0].(type) {
+		case string:
+			step.Name = v
+		case ident:
+			step.Name = string(v)
+		default:
+			return nil, p.errorf("%s expects a name", kind)
+		}
+	case StepFilter:
+		pred, err := p.parsePredicateClosure()
+		if err != nil {
+			return nil, err
+		}
+		step.Key, step.Op, step.Value = pred.Key, pred.Op, pred.Value
+	case StepIfThenElse:
+		test, err := p.parsePredicateClosure()
+		if err != nil {
+			return nil, err
+		}
+		step.Test = test
+		thenSteps, err := p.parsePipelineClosure()
+		if err != nil {
+			return nil, err
+		}
+		elseSteps, err := p.parsePipelineClosure()
+		if err != nil {
+			return nil, err
+		}
+		step.Then, step.Else = thenSteps, elseSteps
+	case StepLoop:
+		if len(args) != 1 {
+			return nil, p.errorf("loop expects a step name or count")
+		}
+		switch v := args[0].(type) {
+		case string:
+			step.Name = v
+		case int64:
+			step.BackN = int(v)
+		default:
+			return nil, p.errorf("loop expects a name or step count")
+		}
+		max, pred, err := p.parseLoopClosure()
+		if err != nil {
+			return nil, err
+		}
+		step.LoopMax, step.LoopPred = max, pred
+	case StepCount, StepDedup, StepIterate, StepPath, StepSimplePath,
+		StepID, StepLabel, StepOutV, StepInV, StepBothV:
+		if len(args) != 0 {
+			return nil, p.errorf("%s takes no arguments", kind)
+		}
+	}
+	return step, nil
+}
+
+// ident marks a bare identifier argument (aggregate(x), table(t1)).
+type ident string
+
+func (p *gparser) parseArg() (any, error) {
+	t := p.peek()
+	switch t.kind {
+	case gtokString:
+		p.pos++
+		return t.text, nil
+	case gtokInt:
+		p.pos++
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", t.text)
+		}
+		return v, nil
+	case gtokFloat:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float %q", t.text)
+		}
+		return v, nil
+	case gtokSym:
+		if t.text == "-" {
+			p.pos++
+			inner, err := p.parseArg()
+			if err != nil {
+				return nil, err
+			}
+			switch v := inner.(type) {
+			case int64:
+				return -v, nil
+			case float64:
+				return -v, nil
+			default:
+				return nil, p.errorf("cannot negate %v", inner)
+			}
+		}
+		return nil, p.errorf("unexpected %q in argument list", t.text)
+	case gtokIdent:
+		p.pos++
+		switch t.text {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		case "T":
+			// T.gt style comparison token.
+			if err := p.expectSym("."); err != nil {
+				return nil, err
+			}
+			op := p.next()
+			if op.kind != gtokIdent {
+				return nil, p.errorf("expected comparison token after T.")
+			}
+			cmp, err := tokenOp(op.text)
+			if err != nil {
+				return nil, p.errorf("%v", err)
+			}
+			return cmp, nil
+		default:
+			return ident(t.text), nil
+		}
+	default:
+		return nil, p.errorf("unexpected token %q in arguments", t.text)
+	}
+}
+
+func tokenOp(name string) (CmpOp, error) {
+	switch name {
+	case "eq":
+		return OpEq, nil
+	case "neq":
+		return OpNeq, nil
+	case "lt":
+		return OpLt, nil
+	case "lte":
+		return OpLte, nil
+	case "gt":
+		return OpGt, nil
+	case "gte":
+		return OpGte, nil
+	default:
+		return "", fmt.Errorf("unknown comparison token T.%s", name)
+	}
+}
+
+func applySourceArgs(step *Step, args []any) error {
+	switch len(args) {
+	case 0:
+		return nil
+	case 1:
+		id, ok := args[0].(int64)
+		if !ok {
+			return fmt.Errorf("%s(id) expects an integer id", step.Kind)
+		}
+		step.StartIDs = []int64{id}
+		return nil
+	case 2:
+		if key, ok := args[0].(string); ok {
+			step.StartKey = key
+			step.StartVal = args[1]
+			return nil
+		}
+		fallthrough
+	default:
+		// V(1, 2, 3): multiple ids.
+		ids := make([]int64, len(args))
+		for i, a := range args {
+			id, ok := a.(int64)
+			if !ok {
+				return fmt.Errorf("%s(ids...) expects integer ids", step.Kind)
+			}
+			ids[i] = id
+		}
+		step.StartIDs = ids
+		return nil
+	}
+}
+
+func applyHasArgs(step *Step, args []any) error {
+	switch len(args) {
+	case 1:
+		key, ok := args[0].(string)
+		if !ok {
+			return fmt.Errorf("has key must be a string")
+		}
+		step.Key = key
+		return nil
+	case 2:
+		key, ok := args[0].(string)
+		if !ok {
+			return fmt.Errorf("has key must be a string")
+		}
+		step.Key, step.Op, step.Value = key, OpEq, args[1]
+		return nil
+	case 3:
+		key, ok := args[0].(string)
+		if !ok {
+			return fmt.Errorf("has key must be a string")
+		}
+		op, ok := args[1].(CmpOp)
+		if !ok {
+			return fmt.Errorf("has comparison must be a T token")
+		}
+		step.Key, step.Op, step.Value = key, op, args[2]
+		return nil
+	default:
+		return fmt.Errorf("has expects 1-3 arguments")
+	}
+}
+
+// parsePredicateClosure parses {it.key op literal} or {it.key} existence.
+func (p *gparser) parsePredicateClosure() (*Predicate, error) {
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	if !p.acceptIdent("it") {
+		return nil, p.errorf("closure must reference it")
+	}
+	if err := p.expectSym("."); err != nil {
+		return nil, err
+	}
+	keyTok := p.next()
+	if keyTok.kind != gtokIdent {
+		return nil, p.errorf("expected property name after it.")
+	}
+	pred := &Predicate{Key: keyTok.text}
+	t := p.peek()
+	if t.kind == gtokSym && t.text != "}" {
+		opText := p.next().text
+		var op CmpOp
+		switch opText {
+		case "==", "!=", "<=", ">=", "<", ">":
+			op = CmpOp(opText)
+		default:
+			return nil, p.errorf("unsupported operator %q in closure", opText)
+		}
+		val, err := p.parseArg()
+		if err != nil {
+			return nil, err
+		}
+		if id, ok := val.(ident); ok {
+			return nil, p.errorf("closure values must be literals, found %s", id)
+		}
+		pred.Op, pred.Value = op, val
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	return pred, nil
+}
+
+// parsePipelineClosure parses {it.step.step...} used by ifThenElse
+// branches; {it} alone is the identity branch.
+func (p *gparser) parsePipelineClosure() ([]Step, error) {
+	if err := p.expectSym("{"); err != nil {
+		return nil, err
+	}
+	if !p.acceptIdent("it") {
+		return nil, p.errorf("branch closure must start with it")
+	}
+	steps, err := p.parsePipeline()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("}"); err != nil {
+		return nil, err
+	}
+	return steps, nil
+}
+
+// parseLoopClosure parses {it.loops < N}.
+func (p *gparser) parseLoopClosure() (int, *Predicate, error) {
+	if err := p.expectSym("{"); err != nil {
+		return 0, nil, err
+	}
+	if !p.acceptIdent("it") {
+		return 0, nil, p.errorf("loop closure must reference it")
+	}
+	if err := p.expectSym("."); err != nil {
+		return 0, nil, err
+	}
+	if !p.acceptIdent("loops") {
+		return 0, nil, p.errorf("loop closure must test it.loops")
+	}
+	opTok := p.next()
+	if opTok.kind != gtokSym || (opTok.text != "<" && opTok.text != "<=") {
+		return 0, nil, p.errorf("loop closure must be it.loops < N")
+	}
+	nTok := p.next()
+	if nTok.kind != gtokInt {
+		return 0, nil, p.errorf("loop bound must be an integer")
+	}
+	n, err := strconv.Atoi(nTok.text)
+	if err != nil {
+		return 0, nil, p.errorf("bad loop bound %q", nTok.text)
+	}
+	if opTok.text == "<=" {
+		n++
+	}
+	if err := p.expectSym("}"); err != nil {
+		return 0, nil, err
+	}
+	return n, &Predicate{Key: "loops", Op: CmpOp(opTok.text), Value: int64(n)}, nil
+}

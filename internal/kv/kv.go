@@ -1,0 +1,115 @@
+// Package kv implements the ordered key-value substrate the Titan-like
+// baseline store sits on (Titan's BerkeleyDB backend in the paper's
+// evaluation): a B-tree keyed byte-string store with prefix scans and a
+// single-writer locking discipline.
+package kv
+
+import (
+	"strings"
+	"sync"
+
+	"sqlgraph/internal/btree"
+)
+
+// Store is an ordered key/value store. A single RWMutex serializes
+// writers (BerkeleyDB-style page-level locking approximated at store
+// granularity), which is one of the concurrency bottlenecks the paper's
+// LinkBench experiment exposes.
+type Store struct {
+	mu   sync.RWMutex
+	tree *btree.Tree[string, []byte]
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{tree: btree.New[string, []byte](strings.Compare)}
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Get(key)
+}
+
+// Put stores value under key.
+func (s *Store) Put(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tree.Set(key, append([]byte(nil), value...))
+}
+
+// Delete removes key and reports whether it existed.
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tree.Delete(key)
+}
+
+// Scan calls fn for every key with the given prefix, in order, until fn
+// returns false.
+func (s *Store) Scan(prefix string, fn func(key string, value []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.tree.AscendFrom(prefix, func(k string, v []byte) bool {
+		if !strings.HasPrefix(k, prefix) {
+			return false
+		}
+		return fn(k, v)
+	})
+}
+
+// Len reports the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Len()
+}
+
+// Bytes approximates the store footprint.
+func (s *Store) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	s.tree.Ascend(func(k string, v []byte) bool {
+		n += int64(len(k) + len(v) + 16)
+		return true
+	})
+	return n
+}
+
+// Batch applies several writes atomically under one writer lock
+// (transactional batch in the BerkeleyDB sense).
+type Batch struct {
+	puts    map[string][]byte
+	deletes map[string]bool
+}
+
+// NewBatch creates an empty batch.
+func NewBatch() *Batch {
+	return &Batch{puts: map[string][]byte{}, deletes: map[string]bool{}}
+}
+
+// Put queues a write.
+func (b *Batch) Put(key string, value []byte) {
+	delete(b.deletes, key)
+	b.puts[key] = append([]byte(nil), value...)
+}
+
+// Delete queues a removal.
+func (b *Batch) Delete(key string) {
+	delete(b.puts, key)
+	b.deletes[key] = true
+}
+
+// Apply commits the batch.
+func (s *Store) Apply(b *Batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range b.deletes {
+		s.tree.Delete(k)
+	}
+	for k, v := range b.puts {
+		s.tree.Set(k, v)
+	}
+}

@@ -1,0 +1,133 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	if v, ok := s.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	if _, ok := s.Get("c"); ok {
+		t.Fatal("missing key found")
+	}
+	if !s.Delete("a") || s.Delete("a") {
+		t.Fatal("Delete semantics wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestValueCopied(t *testing.T) {
+	s := New()
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	if v, _ := s.Get("k"); string(v) != "abc" {
+		t.Fatal("Put did not copy the value")
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("oe:%04d", i), nil)
+		s.Put(fmt.Sprintf("ie:%04d", i), nil)
+	}
+	var keys []string
+	s.Scan("oe:", func(k string, _ []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 10 {
+		t.Fatalf("scan found %d keys", len(keys))
+	}
+	for i, k := range keys {
+		if k != fmt.Sprintf("oe:%04d", i) {
+			t.Fatalf("scan order wrong: %v", keys)
+		}
+	}
+	// Early stop.
+	n := 0
+	s.Scan("oe:", func(string, []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Empty prefix match.
+	n = 0
+	s.Scan("zz:", func(string, []byte) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("bogus prefix matched %d keys", n)
+	}
+}
+
+func TestBatchAtomicity(t *testing.T) {
+	s := New()
+	s.Put("keep", []byte("x"))
+	s.Put("gone", []byte("y"))
+	b := NewBatch()
+	b.Put("new1", []byte("1"))
+	b.Put("new2", []byte("2"))
+	b.Delete("gone")
+	s.Apply(b)
+	if _, ok := s.Get("gone"); ok {
+		t.Fatal("batch delete lost")
+	}
+	if v, _ := s.Get("new1"); string(v) != "1" {
+		t.Fatal("batch put lost")
+	}
+	// Put then Delete of the same key within a batch: delete wins.
+	b2 := NewBatch()
+	b2.Put("k", []byte("v"))
+	b2.Delete("k")
+	s.Apply(b2)
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("delete-after-put should win")
+	}
+	// Delete then Put: put wins.
+	b3 := NewBatch()
+	b3.Delete("k2")
+	b3.Put("k2", []byte("v2"))
+	s.Apply(b3)
+	if v, _ := s.Get("k2"); string(v) != "v2" {
+		t.Fatal("put-after-delete should win")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("w%d:%d", w, i)
+				s.Put(key, []byte("v"))
+				s.Get(key)
+				s.Scan(fmt.Sprintf("w%d:", w), func(string, []byte) bool { return false })
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8*500 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestBytes(t *testing.T) {
+	s := New()
+	if s.Bytes() != 0 {
+		t.Fatal("empty store bytes != 0")
+	}
+	s.Put("key", []byte("some value"))
+	if s.Bytes() <= 0 {
+		t.Fatal("bytes must grow")
+	}
+}

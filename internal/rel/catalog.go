@@ -1,0 +1,105 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Catalog is a database: a set of named tables and their indexes.
+// Structural changes (create/drop) take the catalog write lock; queries
+// and DML take the read lock plus the per-table locks of the tables they
+// touch.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: map[string]*Table{}}
+}
+
+// CreateTable adds a new table. Names are case-sensitive; the SQL layer
+// upper-cases identifiers before reaching the catalog.
+func (c *Catalog) CreateTable(name string, schema *Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("rel: table %s already exists", name)
+	}
+	t := NewTable(name, schema)
+	c.tables[name] = t
+	return t, nil
+}
+
+// DropTable removes a table.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("rel: table %s does not exist", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Tables returns all table names in sorted order.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateIndex builds an index over an existing table, populating it from
+// current rows.
+func (c *Catalog) CreateIndex(name, table string, unique bool, ordinals []int, expr string, keyFn KeyFunc) (*Index, error) {
+	c.mu.RLock()
+	t, ok := c.tables[table]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("rel: create index %s: table %s does not exist", name, table)
+	}
+	for _, o := range ordinals {
+		if o < 0 || o >= t.schema.Len() {
+			return nil, fmt.Errorf("rel: create index %s: ordinal %d out of range", name, o)
+		}
+	}
+	ix := NewIndex(name, table, unique, ordinals, expr, keyFn)
+	t.Lock()
+	defer t.Unlock()
+	for _, existing := range t.indexes {
+		if existing.name == name {
+			return nil, fmt.Errorf("rel: index %s already exists on %s", name, table)
+		}
+	}
+	if err := t.addIndex(ix); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// TotalBytes approximates the whole database footprint (paper Section 5.1
+// compares on-disk sizes across systems).
+func (c *Catalog) TotalBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var n int64
+	for _, t := range c.tables {
+		n += t.Bytes()
+	}
+	return n
+}

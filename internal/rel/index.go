@@ -1,0 +1,150 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlgraph/internal/btree"
+)
+
+// KeyFunc derives the indexed key values from a row. Expression indexes
+// (e.g. over JSON_VAL(ATTR,'name')) supply a custom function; plain column
+// indexes are built with ColumnsKey.
+type KeyFunc func(vals []Value) []Value
+
+// ColumnsKey returns a KeyFunc projecting the given column ordinals.
+func ColumnsKey(ordinals ...int) KeyFunc {
+	return func(vals []Value) []Value {
+		out := make([]Value, len(ordinals))
+		for i, o := range ordinals {
+			out[i] = vals[o]
+		}
+		return out
+	}
+}
+
+// Index is a secondary (or primary) B-tree index over a table. Entries
+// are order-preserving encoded byte strings (see keyenc.go) so lookups
+// are memcmp-fast and the tree is opaque to the garbage collector.
+//
+// The encoding merges the numeric domain (ints beyond 2^53 can collide),
+// so probe results are candidates: callers re-verify predicates against
+// the fetched rows (the executor always does).
+type Index struct {
+	name    string
+	table   string
+	keyFn   KeyFunc
+	unique  bool
+	colOrds []int // ordinals for plain column indexes; nil for expression indexes
+	expr    string
+	tree    *btree.Tree[string, struct{}]
+}
+
+// NewIndex creates an index. For plain column indexes pass the ordinals;
+// for expression indexes pass nil ordinals, a key function, and a
+// normalized expression string used by the planner to match predicates.
+func NewIndex(name, table string, unique bool, ordinals []int, expr string, keyFn KeyFunc) *Index {
+	if keyFn == nil {
+		keyFn = ColumnsKey(ordinals...)
+	}
+	return &Index{
+		name:    name,
+		table:   table,
+		keyFn:   keyFn,
+		unique:  unique,
+		colOrds: ordinals,
+		expr:    expr,
+		tree:    btree.New[string, struct{}](strings.Compare),
+	}
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Table returns the indexed table's name.
+func (ix *Index) Table() string { return ix.table }
+
+// Unique reports whether the index enforces key uniqueness.
+func (ix *Index) Unique() bool { return ix.unique }
+
+// ColumnOrdinals returns the indexed column ordinals for plain indexes, or
+// nil for expression indexes.
+func (ix *Index) ColumnOrdinals() []int { return ix.colOrds }
+
+// Expr returns the normalized expression string for expression indexes.
+func (ix *Index) Expr() string { return ix.expr }
+
+// Len returns the number of entries.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+func (ix *Index) insert(vals []Value, rid RowID) error {
+	key := ix.keyFn(vals)
+	prefix := EncodeKey(key)
+	if ix.unique {
+		dup := false
+		ix.tree.AscendFrom(prefix, func(entry string, _ struct{}) bool {
+			dup = entryHasKeyPrefix(entry, prefix)
+			return false
+		})
+		if dup {
+			return fmt.Errorf("rel: unique index %s on %s: duplicate key %v", ix.name, ix.table, key)
+		}
+	}
+	ix.tree.Set(encodeEntry(key, rid), struct{}{})
+	return nil
+}
+
+func (ix *Index) remove(vals []Value, rid RowID) {
+	ix.tree.Delete(encodeEntry(ix.keyFn(vals), rid))
+}
+
+// Probe calls fn with the row id of every candidate whose key starts with
+// the given component prefix, until fn returns false. Callers must hold
+// the table's read lock and re-verify values on the fetched rows.
+func (ix *Index) Probe(key []Value, fn func(rid RowID) bool) {
+	prefix := EncodeKey(key)
+	ix.tree.AscendFrom(prefix, func(entry string, _ struct{}) bool {
+		if !entryHasKeyPrefix(entry, prefix) {
+			return false
+		}
+		return fn(decodeRID(entry))
+	})
+}
+
+// ProbeRange calls fn for candidate entries with lo <= first-component <=
+// hi (per the inclusive flags). Either bound may be Null to mean
+// unbounded on that side; NULL-keyed entries never match.
+func (ix *Index) ProbeRange(lo, hi Value, loInclusive, hiInclusive bool, fn func(rid RowID) bool) {
+	start := string([]byte{tagBool}) // skip NULL entries (tagNull == 0x00)
+	var encLo string
+	if !lo.IsNull() {
+		encLo = EncodeKey([]Value{lo})
+		start = encLo
+	}
+	var encHi string
+	if !hi.IsNull() {
+		encHi = EncodeKey([]Value{hi})
+	}
+	ix.tree.AscendFrom(start, func(entry string, _ struct{}) bool {
+		if encLo != "" && !loInclusive && entryHasKeyPrefix(entry, encLo) {
+			return true // skip the excluded boundary
+		}
+		if encHi != "" {
+			if entryHasKeyPrefix(entry, encHi) {
+				if !hiInclusive {
+					return false
+				}
+			} else if entry > encHi {
+				return false
+			}
+		}
+		return fn(decodeRID(entry))
+	})
+}
+
+// CountPrefix counts entries matching the key prefix.
+func (ix *Index) CountPrefix(key []Value) int {
+	n := 0
+	ix.Probe(key, func(RowID) bool { n++; return true })
+	return n
+}

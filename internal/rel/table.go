@@ -1,0 +1,266 @@
+package rel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Type Kind // expected kind; KindNull means untyped/any
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from columns. Column names are matched
+// case-insensitively (callers normalize to upper case).
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		s.byName[c.Name] = i
+	}
+	return s
+}
+
+// Ordinal returns the position of the named column, or -1.
+func (s *Schema) Ordinal(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// RowID identifies a physical row within a table for the lifetime of that
+// row.
+type RowID int64
+
+// Table is a heap of rows plus its secondary indexes. Access is protected
+// by an RWMutex; multi-table transactions acquire table locks in sorted
+// name order (see Txn) to stay deadlock-free.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	schema  *Schema
+	rows    []rowSlot
+	byRID   map[RowID]int
+	free    []int
+	nextRID RowID
+	live    int
+	indexes []*Index
+	bytes   int64 // approximate data footprint
+}
+
+type rowSlot struct {
+	rid  RowID
+	vals []Value
+	dead bool
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{name: name, schema: schema, byRID: map[RowID]int{}}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Lock acquires the table's write lock. RLock/RUnlock/Unlock complete the
+// sync.RWMutex surface so the transaction layer can manage lock ordering.
+func (t *Table) Lock()    { t.mu.Lock() }
+func (t *Table) Unlock()  { t.mu.Unlock() }
+func (t *Table) RLock()   { t.mu.RLock() }
+func (t *Table) RUnlock() { t.mu.RUnlock() }
+
+// Live returns the number of live rows. Callers must hold at least a read
+// lock; LiveLocked is the externally synchronized variant used by the
+// planner while it already holds query locks.
+func (t *Table) Live() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// LiveLocked returns the live row count without acquiring the lock.
+func (t *Table) LiveLocked() int { return t.live }
+
+// Bytes approximates the table's data footprint including index keys.
+func (t *Table) Bytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.bytes
+}
+
+// Indexes returns the table's indexes. The returned slice must not be
+// modified.
+func (t *Table) Indexes() []*Index { return t.indexes }
+
+// insertLocked appends a row; the caller holds the write lock.
+func (t *Table) insertLocked(vals []Value) (RowID, error) {
+	if len(vals) != t.schema.Len() {
+		return 0, fmt.Errorf("rel: table %s: insert arity %d, want %d", t.name, len(vals), t.schema.Len())
+	}
+	rid := t.nextRID
+	t.nextRID++
+	var slot int
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[slot] = rowSlot{rid: rid, vals: vals}
+	} else {
+		slot = len(t.rows)
+		t.rows = append(t.rows, rowSlot{rid: rid, vals: vals})
+	}
+	t.byRID[rid] = slot
+	t.live++
+	for _, v := range vals {
+		t.bytes += int64(v.Size())
+	}
+	for _, ix := range t.indexes {
+		if err := ix.insert(vals, rid); err != nil {
+			// Undo: remove from earlier indexes and the heap.
+			for _, prev := range t.indexes {
+				if prev == ix {
+					break
+				}
+				prev.remove(vals, rid)
+			}
+			t.removeSlot(slot, rid, vals)
+			return 0, err
+		}
+	}
+	return rid, nil
+}
+
+func (t *Table) removeSlot(slot int, rid RowID, vals []Value) {
+	t.rows[slot].dead = true
+	t.rows[slot].vals = nil
+	t.free = append(t.free, slot)
+	delete(t.byRID, rid)
+	t.live--
+	for _, v := range vals {
+		t.bytes -= int64(v.Size())
+	}
+}
+
+// deleteLocked removes the row with the given rid; caller holds the write
+// lock. It returns the removed values for undo logging.
+func (t *Table) deleteLocked(rid RowID) ([]Value, bool) {
+	slot, ok := t.byRID[rid]
+	if !ok {
+		return nil, false
+	}
+	vals := t.rows[slot].vals
+	for _, ix := range t.indexes {
+		ix.remove(vals, rid)
+	}
+	t.removeSlot(slot, rid, vals)
+	return vals, true
+}
+
+// updateLocked replaces the row's values; caller holds the write lock. It
+// returns the previous values for undo logging.
+func (t *Table) updateLocked(rid RowID, vals []Value) ([]Value, error) {
+	slot, ok := t.byRID[rid]
+	if !ok {
+		return nil, fmt.Errorf("rel: table %s: update of missing row %d", t.name, rid)
+	}
+	if len(vals) != t.schema.Len() {
+		return nil, fmt.Errorf("rel: table %s: update arity %d, want %d", t.name, len(vals), t.schema.Len())
+	}
+	old := t.rows[slot].vals
+	// Skip index maintenance for indexes whose key is unchanged (the
+	// common case: updating an attribute cell leaves the id-keyed indexes
+	// alone).
+	var touched []*Index
+	for _, ix := range t.indexes {
+		if keysEqual(ix.keyFn(old), ix.keyFn(vals)) {
+			continue
+		}
+		touched = append(touched, ix)
+	}
+	for _, ix := range touched {
+		ix.remove(old, rid)
+	}
+	for i, ix := range touched {
+		if err := ix.insert(vals, rid); err != nil {
+			// Restore the old entries.
+			for j := 0; j < i; j++ {
+				touched[j].remove(vals, rid)
+			}
+			for _, prev := range touched {
+				_ = prev.insert(old, rid)
+			}
+			return nil, err
+		}
+	}
+	t.rows[slot].vals = vals
+	for _, v := range old {
+		t.bytes -= int64(v.Size())
+	}
+	for _, v := range vals {
+		t.bytes += int64(v.Size())
+	}
+	return old, nil
+}
+
+// Get returns a copy-free view of the row's values. Callers must hold a
+// read lock and must not mutate the slice.
+func (t *Table) Get(rid RowID) ([]Value, bool) {
+	slot, ok := t.byRID[rid]
+	if !ok {
+		return nil, false
+	}
+	return t.rows[slot].vals, true
+}
+
+// Scan calls fn for every live row until fn returns false. Callers must
+// hold a read lock.
+func (t *Table) Scan(fn func(rid RowID, vals []Value) bool) {
+	for i := range t.rows {
+		if t.rows[i].dead {
+			continue
+		}
+		if !fn(t.rows[i].rid, t.rows[i].vals) {
+			return
+		}
+	}
+}
+
+// keysEqual compares index key slices.
+func keysEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// addIndex attaches an index and populates it from existing rows. The
+// caller holds the write lock.
+func (t *Table) addIndex(ix *Index) error {
+	for i := range t.rows {
+		if t.rows[i].dead {
+			continue
+		}
+		if err := ix.insert(t.rows[i].vals, t.rows[i].rid); err != nil {
+			return err
+		}
+	}
+	t.indexes = append(t.indexes, ix)
+	return nil
+}

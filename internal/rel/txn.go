@@ -1,0 +1,274 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Txn is a transaction over a fixed set of tables. SQLGraph's graph update
+// operations are multi-table "stored procedures" (paper Section 4.5.2):
+// adding an edge touches OPA, IPA, OSA/ISA, and EA. Txn provides the
+// atomicity those procedures need: all table locks are acquired up front
+// in sorted name order (deadlock freedom), every mutation is undo-logged,
+// and Rollback restores the pre-transaction state exactly.
+type Txn struct {
+	cat    *Catalog
+	write  map[string]*Table
+	read   map[string]*Table
+	order  []lockedTable
+	undo   []undoRec
+	closed bool
+}
+
+type lockedTable struct {
+	t     *Table
+	write bool
+}
+
+type undoRec struct {
+	table *Table
+	kind  undoKind
+	rid   RowID
+	vals  []Value
+}
+
+type undoKind uint8
+
+const (
+	undoInsert undoKind = iota
+	undoDelete
+	undoUpdate
+)
+
+// Begin opens a transaction that will write the tables named in writeSet
+// and only read those in readSet. Locks are taken immediately, in sorted
+// name order; a name in both sets is locked for writing.
+func (c *Catalog) Begin(writeSet, readSet []string) (*Txn, error) {
+	fp, err := c.Footprint(writeSet, readSet)
+	if err != nil {
+		return nil, err
+	}
+	return fp.Begin(), nil
+}
+
+// Footprint is a pre-resolved transaction lock plan: table pointers and
+// their deadlock-free lock order, computed once. Hot callers (the graph
+// stored procedures run one per operation) build footprints at startup
+// instead of re-resolving names and re-sorting per transaction.
+type Footprint struct {
+	cat   *Catalog
+	write map[string]*Table
+	read  map[string]*Table
+	order []lockedTable
+}
+
+// Footprint resolves a lock plan.
+func (c *Catalog) Footprint(writeSet, readSet []string) (*Footprint, error) {
+	fp := &Footprint{cat: c, write: map[string]*Table{}, read: map[string]*Table{}}
+	for _, name := range writeSet {
+		t, ok := c.Table(name)
+		if !ok {
+			return nil, fmt.Errorf("rel: begin: table %s does not exist", name)
+		}
+		fp.write[name] = t
+	}
+	for _, name := range readSet {
+		if _, dup := fp.write[name]; dup {
+			continue
+		}
+		t, ok := c.Table(name)
+		if !ok {
+			return nil, fmt.Errorf("rel: begin: table %s does not exist", name)
+		}
+		fp.read[name] = t
+	}
+	names := make([]string, 0, len(fp.write)+len(fp.read))
+	for n := range fp.write {
+		names = append(names, n)
+	}
+	for n := range fp.read {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if t, ok := fp.write[n]; ok {
+			fp.order = append(fp.order, lockedTable{t, true})
+		} else {
+			fp.order = append(fp.order, lockedTable{fp.read[n], false})
+		}
+	}
+	return fp, nil
+}
+
+// Begin acquires the footprint's locks and returns a live transaction.
+func (fp *Footprint) Begin() *Txn {
+	for _, lt := range fp.order {
+		if lt.write {
+			lt.t.Lock()
+		} else {
+			lt.t.RLock()
+		}
+	}
+	return &Txn{cat: fp.cat, write: fp.write, read: fp.read, order: fp.order}
+}
+
+func (tx *Txn) table(name string, forWrite bool) (*Table, error) {
+	if t, ok := tx.write[name]; ok {
+		return t, nil
+	}
+	if forWrite {
+		return nil, fmt.Errorf("rel: txn: table %s not in write set", name)
+	}
+	if t, ok := tx.read[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("rel: txn: table %s not in read set", name)
+}
+
+// Insert adds a row to a write-set table.
+func (tx *Txn) Insert(table string, vals []Value) (RowID, error) {
+	t, err := tx.table(table, true)
+	if err != nil {
+		return 0, err
+	}
+	rid, err := t.insertLocked(vals)
+	if err != nil {
+		return 0, err
+	}
+	tx.undo = append(tx.undo, undoRec{table: t, kind: undoInsert, rid: rid})
+	return rid, nil
+}
+
+// Delete removes a row from a write-set table and reports whether it
+// existed.
+func (tx *Txn) Delete(table string, rid RowID) (bool, error) {
+	t, err := tx.table(table, true)
+	if err != nil {
+		return false, err
+	}
+	vals, ok := t.deleteLocked(rid)
+	if !ok {
+		return false, nil
+	}
+	tx.undo = append(tx.undo, undoRec{table: t, kind: undoDelete, rid: rid, vals: vals})
+	return true, nil
+}
+
+// Update replaces a row in a write-set table.
+func (tx *Txn) Update(table string, rid RowID, vals []Value) error {
+	t, err := tx.table(table, true)
+	if err != nil {
+		return err
+	}
+	old, err := t.updateLocked(rid, vals)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoRec{table: t, kind: undoUpdate, rid: rid, vals: old})
+	return nil
+}
+
+// Get reads a row from any table in the transaction's footprint.
+func (tx *Txn) Get(table string, rid RowID) ([]Value, bool, error) {
+	t, err := tx.table(table, false)
+	if err != nil {
+		return nil, false, err
+	}
+	vals, ok := t.Get(rid)
+	return vals, ok, nil
+}
+
+// Scan iterates a table in the transaction's footprint.
+func (tx *Txn) Scan(table string, fn func(rid RowID, vals []Value) bool) error {
+	t, err := tx.table(table, false)
+	if err != nil {
+		return err
+	}
+	t.Scan(fn)
+	return nil
+}
+
+// Probe looks up rows by index key within the transaction's footprint.
+func (tx *Txn) Probe(table, index string, key []Value, fn func(rid RowID, vals []Value) bool) error {
+	t, err := tx.table(table, false)
+	if err != nil {
+		return err
+	}
+	for _, ix := range t.indexes {
+		if ix.name == index {
+			ix.Probe(key, func(rid RowID) bool {
+				vals, ok := t.Get(rid)
+				if !ok {
+					return true
+				}
+				return fn(rid, vals)
+			})
+			return nil
+		}
+	}
+	return fmt.Errorf("rel: txn: no index %s on %s", index, table)
+}
+
+// Commit releases all locks, keeping the transaction's effects.
+func (tx *Txn) Commit() {
+	tx.release()
+}
+
+// Rollback undoes every mutation in reverse order and releases all locks.
+func (tx *Txn) Rollback() {
+	if tx.closed {
+		return
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		rec := tx.undo[i]
+		switch rec.kind {
+		case undoInsert:
+			rec.table.deleteLocked(rec.rid)
+		case undoDelete:
+			// Reinsert with the original rid so later undo records that
+			// reference it still apply.
+			rec.table.reinsertLocked(rec.rid, rec.vals)
+		case undoUpdate:
+			_, _ = rec.table.updateLocked(rec.rid, rec.vals)
+		}
+	}
+	tx.release()
+}
+
+func (tx *Txn) release() {
+	if tx.closed {
+		return
+	}
+	tx.closed = true
+	tx.undo = nil
+	for i := len(tx.order) - 1; i >= 0; i-- {
+		lt := tx.order[i]
+		if lt.write {
+			lt.t.Unlock()
+		} else {
+			lt.t.RUnlock()
+		}
+	}
+}
+
+// reinsertLocked restores a deleted row under its original row id (undo
+// path only).
+func (t *Table) reinsertLocked(rid RowID, vals []Value) {
+	var slot int
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[slot] = rowSlot{rid: rid, vals: vals}
+	} else {
+		slot = len(t.rows)
+		t.rows = append(t.rows, rowSlot{rid: rid, vals: vals})
+	}
+	t.byRID[rid] = slot
+	t.live++
+	for _, v := range vals {
+		t.bytes += int64(v.Size())
+	}
+	for _, ix := range t.indexes {
+		_ = ix.insert(vals, rid)
+	}
+}

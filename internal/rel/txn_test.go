@@ -1,0 +1,215 @@
+package rel
+
+import (
+	"sync"
+	"testing"
+)
+
+func txnCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	for _, name := range []string{"A", "B"} {
+		if _, err := c.CreateTable(name, testSchema()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.CreateIndex("A_NAME", "A", false, []int{1}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTxnCommit(t *testing.T) {
+	c := txnCatalog(t)
+	tx, err := c.Begin([]string{"A", "B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridA, err := tx.Insert("A", []Value{NewInt(1), NewString("x"), NewFloat(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("B", []Value{NewInt(2), NewString("y"), NewFloat(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("A", ridA, []Value{NewInt(1), NewString("x2"), NewFloat(1)}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	a, _ := c.Table("A")
+	b, _ := c.Table("B")
+	if a.Live() != 1 || b.Live() != 1 {
+		t.Fatalf("Live: A=%d B=%d", a.Live(), b.Live())
+	}
+	a.RLock()
+	vals, _ := a.Get(ridA)
+	a.RUnlock()
+	if vals[1].Str() != "x2" {
+		t.Fatalf("committed row = %v", vals)
+	}
+}
+
+func TestTxnRollback(t *testing.T) {
+	c := txnCatalog(t)
+	a, _ := c.Table("A")
+	seedRID := mustInsert(t, a, NewInt(100), NewString("seed"), NewFloat(0))
+
+	tx, err := c.Begin([]string{"A"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Insert("A", []Value{NewInt(1), NewString("x"), NewFloat(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update("A", seedRID, []Value{NewInt(100), NewString("mutated"), NewFloat(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := tx.Delete("A", seedRID); err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	tx.Rollback()
+
+	if a.Live() != 1 {
+		t.Fatalf("Live after rollback = %d, want 1", a.Live())
+	}
+	a.RLock()
+	vals, ok := a.Get(seedRID)
+	a.RUnlock()
+	if !ok || vals[1].Str() != "seed" {
+		t.Fatalf("seed row after rollback = %v, %v", vals, ok)
+	}
+	// Index must also be restored.
+	a.RLock()
+	if a.Indexes()[0].CountPrefix([]Value{NewString("seed")}) != 1 {
+		t.Fatal("index not restored by rollback")
+	}
+	if a.Indexes()[0].CountPrefix([]Value{NewString("mutated")}) != 0 {
+		t.Fatal("index holds rolled-back value")
+	}
+	a.RUnlock()
+}
+
+func TestTxnWriteSetEnforced(t *testing.T) {
+	c := txnCatalog(t)
+	tx, err := c.Begin([]string{"A"}, []string{"B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback()
+	if _, err := tx.Insert("B", []Value{NewInt(1), NewString("x"), NewFloat(0)}); err == nil {
+		t.Fatal("insert into read-only table accepted")
+	}
+	if _, _, err := tx.Get("B", 0); err != nil {
+		t.Fatalf("read of read-set table failed: %v", err)
+	}
+	if _, _, err := tx.Get("MISSING", 0); err == nil {
+		t.Fatal("read outside footprint accepted")
+	}
+}
+
+func TestTxnBeginMissingTable(t *testing.T) {
+	c := txnCatalog(t)
+	if _, err := c.Begin([]string{"NOPE"}, nil); err == nil {
+		t.Fatal("Begin with missing table accepted")
+	}
+	if _, err := c.Begin(nil, []string{"NOPE"}); err == nil {
+		t.Fatal("Begin with missing read table accepted")
+	}
+}
+
+func TestTxnProbeAndScan(t *testing.T) {
+	c := txnCatalog(t)
+	tx, _ := c.Begin([]string{"A"}, nil)
+	for i := 0; i < 5; i++ {
+		if _, err := tx.Insert("A", []Value{NewInt(int64(i)), NewString("k"), NewFloat(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	if err := tx.Scan("A", func(rid RowID, vals []Value) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("Scan saw %d rows, want 5", n)
+	}
+	n = 0
+	if err := tx.Probe("A", "A_NAME", []Value{NewString("k")}, func(rid RowID, vals []Value) bool { n++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("Probe saw %d rows, want 5", n)
+	}
+	if err := tx.Probe("A", "NO_IX", nil, nil); err == nil {
+		t.Fatal("probe on missing index accepted")
+	}
+	tx.Commit()
+}
+
+// TestTxnConcurrentTransfers runs many concurrent two-table transactions
+// and checks the catalog is consistent afterwards: no deadlock (lock
+// ordering) and no lost updates.
+func TestTxnConcurrentTransfers(t *testing.T) {
+	c := txnCatalog(t)
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Alternate lock-order stress: both orders in the write set.
+				ws := []string{"A", "B"}
+				if i%2 == 0 {
+					ws = []string{"B", "A"}
+				}
+				tx, err := c.Begin(ws, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := tx.Insert("A", []Value{NewInt(int64(w*perWorker + i)), NewString("a"), NewFloat(0)}); err != nil {
+					t.Error(err)
+					tx.Rollback()
+					return
+				}
+				if _, err := tx.Insert("B", []Value{NewInt(int64(w*perWorker + i)), NewString("b"), NewFloat(0)}); err != nil {
+					t.Error(err)
+					tx.Rollback()
+					return
+				}
+				if i%3 == 0 {
+					tx.Rollback()
+				} else {
+					tx.Commit()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	a, _ := c.Table("A")
+	b, _ := c.Table("B")
+	committed := 0
+	for i := 0; i < perWorker; i++ {
+		if i%3 != 0 {
+			committed++
+		}
+	}
+	want := committed * workers
+	if a.Live() != want || b.Live() != want {
+		t.Fatalf("Live after concurrency: A=%d B=%d, want %d", a.Live(), b.Live(), want)
+	}
+}
+
+func TestTxnDoubleCommitAndRollbackSafe(t *testing.T) {
+	c := txnCatalog(t)
+	tx, _ := c.Begin([]string{"A"}, nil)
+	tx.Commit()
+	tx.Commit()   // no-op
+	tx.Rollback() // no-op
+	tx2, _ := c.Begin([]string{"A"}, nil)
+	tx2.Rollback()
+	tx2.Rollback()
+	tx2.Commit()
+}

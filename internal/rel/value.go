@@ -1,0 +1,383 @@
+// Package rel implements the relational storage substrate SQLGraph runs
+// on: typed values, tables, B-tree indexes, a catalog, and transactional
+// multi-table updates with table-granularity locking. The SQL front-end
+// (internal/sql) and executor (internal/engine) sit on top of it.
+package rel
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"sqlgraph/internal/sqljson"
+)
+
+// Kind enumerates the dynamic types a column value can hold. The SQLGraph
+// schema needs integers (vertex/edge ids), strings (labels), JSON
+// documents (VA/EA attribute columns) and lists (traversal paths tracked
+// by the path-pipe translation).
+type Kind uint8
+
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindJSON
+	KindList
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindJSON:
+		return "JSON"
+	case KindList:
+		return "LIST"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed SQL value. The zero Value is SQL NULL.
+// The layout is deliberately compact (numerics share one word, documents
+// and lists share the aux slot): rows are copied throughout the executor
+// and value size is directly visible in query time.
+type Value struct {
+	kind Kind
+	num  uint64 // int64 bits (int/bool) or float64 bits (float)
+	s    string
+	aux  any // *sqljson.Doc for JSON, []Value for lists
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewBool returns a BOOLEAN value.
+func NewBool(b bool) Value {
+	v := Value{kind: KindBool}
+	if b {
+		v.num = 1
+	}
+	return v
+}
+
+// NewInt returns a BIGINT value.
+func NewInt(i int64) Value { return Value{kind: KindInt, num: uint64(i)} }
+
+// NewFloat returns a DOUBLE value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, num: math.Float64bits(f)} }
+
+// NewString returns a VARCHAR value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewJSON returns a JSON value wrapping doc (which may be nil: an empty
+// document).
+func NewJSON(doc *sqljson.Doc) Value {
+	if doc == nil {
+		doc = sqljson.New()
+	}
+	return Value{kind: KindJSON, aux: doc}
+}
+
+// NewList returns a LIST value. The slice is not copied.
+func NewList(vals []Value) Value {
+	if vals == nil {
+		vals = []Value{}
+	}
+	return Value{kind: KindList, aux: vals}
+}
+
+// FromAny converts a Go value (as produced by sqljson or user input) to a
+// Value.
+func FromAny(v any) Value {
+	switch x := v.(type) {
+	case nil:
+		return Null
+	case bool:
+		return NewBool(x)
+	case int:
+		return NewInt(int64(x))
+	case int32:
+		return NewInt(int64(x))
+	case int64:
+		return NewInt(x)
+	case float32:
+		return NewFloat(float64(x))
+	case float64:
+		return NewFloat(x)
+	case string:
+		return NewString(x)
+	case *sqljson.Doc:
+		return NewJSON(x)
+	case Value:
+		return x
+	case []Value:
+		return NewList(x)
+	case []any:
+		out := make([]Value, len(x))
+		for i, e := range x {
+			out[i] = FromAny(e)
+		}
+		return NewList(out)
+	default:
+		return NewString(fmt.Sprint(x))
+	}
+}
+
+// Kind returns the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload (false for non-bool values).
+func (v Value) Bool() bool { return v.kind == KindBool && v.num != 0 }
+
+// Int returns the integer payload, converting floats by truncation.
+func (v Value) Int() int64 {
+	switch v.kind {
+	case KindInt, KindBool:
+		return int64(v.num)
+	case KindFloat:
+		return int64(math.Float64frombits(v.num))
+	case KindString:
+		i, _ := strconv.ParseInt(v.s, 10, 64)
+		return i
+	default:
+		return 0
+	}
+}
+
+// Float returns the floating-point payload, converting integers.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return math.Float64frombits(v.num)
+	case KindInt, KindBool:
+		return float64(int64(v.num))
+	case KindString:
+		f, _ := strconv.ParseFloat(v.s, 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// Str returns the string payload (empty for non-strings; use String for a
+// rendered form of any value).
+func (v Value) Str() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return ""
+}
+
+// JSON returns the JSON document payload, or nil for non-JSON values.
+func (v Value) JSON() *sqljson.Doc {
+	if v.kind == KindJSON {
+		return v.aux.(*sqljson.Doc)
+	}
+	return nil
+}
+
+// List returns the list payload, or nil.
+func (v Value) List() []Value {
+	if v.kind == KindList {
+		return v.aux.([]Value)
+	}
+	return nil
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(int64(v.num), 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindJSON:
+		return v.JSON().String()
+	case KindList:
+		list := v.List()
+		parts := make([]string, len(list))
+		for i, e := range list {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	default:
+		return "?"
+	}
+}
+
+// numeric reports whether the value participates in numeric comparison.
+func (v Value) numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Compare orders two values. NULL sorts first; values of different,
+// non-numeric kinds order by kind; int and float compare numerically.
+// The total order makes values usable as B-tree index keys.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.numeric() && b.numeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			ai, bi := int64(a.num), int64(b.num)
+			switch {
+			case ai < bi:
+				return -1
+			case ai > bi:
+				return 1
+			default:
+				return 0
+			}
+		}
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind != b.kind {
+		return int(a.kind) - int(b.kind)
+	}
+	switch a.kind {
+	case KindBool:
+		return int(int64(a.num) - int64(b.num))
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindJSON:
+		return strings.Compare(a.JSON().String(), b.JSON().String())
+	case KindList:
+		al, bl := a.List(), b.List()
+		n := len(al)
+		if len(bl) < n {
+			n = len(bl)
+		}
+		for i := 0; i < n; i++ {
+			if c := Compare(al[i], bl[i]); c != 0 {
+				return c
+			}
+		}
+		return len(al) - len(bl)
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Key returns a canonical string for use as a hash-map key (DISTINCT,
+// GROUP BY, hash joins). Distinct values produce distinct keys; int and
+// float encodings collide exactly when Compare says they are equal.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00"
+	case KindBool:
+		if v.num != 0 {
+			return "\x01t"
+		}
+		return "\x01f"
+	case KindInt:
+		return "\x02i" + strconv.FormatInt(int64(v.num), 10)
+	case KindFloat:
+		// Integral floats share their key with the equivalent int so that
+		// DISTINCT and hash joins agree with Compare on numeric equality.
+		f := v.Float()
+		if f == math.Trunc(f) && math.Abs(f) < 1<<53 {
+			return "\x02i" + strconv.FormatInt(int64(f), 10)
+		}
+		return "\x02f" + strconv.FormatFloat(f, 'g', -1, 64)
+	case KindString:
+		return "\x03" + v.s
+	case KindJSON:
+		return "\x04" + v.JSON().String()
+	case KindList:
+		var sb strings.Builder
+		sb.WriteString("\x05")
+		for _, e := range v.List() {
+			k := e.Key()
+			sb.WriteString(strconv.Itoa(len(k)))
+			sb.WriteByte(':')
+			sb.WriteString(k)
+		}
+		return sb.String()
+	default:
+		return "?"
+	}
+}
+
+// Size approximates the value's serialized storage footprint in bytes.
+func (v Value) Size() int {
+	switch v.kind {
+	case KindNull:
+		return 1
+	case KindBool:
+		return 1
+	case KindInt:
+		return 8
+	case KindFloat:
+		return 8
+	case KindString:
+		return len(v.s) + 4
+	case KindJSON:
+		return v.JSON().Size() + 4
+	case KindList:
+		n := 4
+		for _, e := range v.List() {
+			n += e.Size()
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// Truthy converts the value to a SQL condition result: NULL and false are
+// false, non-zero numbers and "true" strings are true.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindBool, KindInt:
+		return v.num != 0
+	case KindFloat:
+		return v.Float() != 0
+	case KindString:
+		return v.s == "true"
+	default:
+		return false
+	}
+}

@@ -1,0 +1,398 @@
+package sql
+
+import (
+	"strings"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any scalar expression node.
+type Expr interface {
+	expr()
+	// SQL renders the expression back to SQL text (used for error messages
+	// and to match expression indexes).
+	SQL() string
+}
+
+// --- Statements ---
+
+// SelectStmt is a full query: an optional WITH clause wrapping a set-
+// operation tree of simple selects, plus ORDER BY / LIMIT.
+type SelectStmt struct {
+	With    []CTE
+	Body    SelectBody
+	OrderBy []OrderItem
+	Limit   Expr // nil when absent
+	Offset  Expr // nil when absent
+}
+
+func (*SelectStmt) stmt() {}
+
+// CTE is one WITH entry. Recursive marks `WITH RECURSIVE` queries whose
+// body unions a base case with a self-referencing recursive case.
+type CTE struct {
+	Name      string
+	Columns   []string // optional explicit column names
+	Query     *SelectStmt
+	Recursive bool
+}
+
+// SelectBody is a simple SELECT or a set operation over two bodies.
+type SelectBody interface{ body() }
+
+// SetOp combines two select bodies.
+type SetOp struct {
+	Op    string // "UNION", "UNION ALL", "INTERSECT", "EXCEPT"
+	Left  SelectBody
+	Right SelectBody
+}
+
+func (*SetOp) body() {}
+
+// SimpleSelect is one SELECT ... FROM ... WHERE ... GROUP BY ... HAVING.
+type SimpleSelect struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+}
+
+func (*SimpleSelect) body() {}
+
+// SelectItem is one output column. Star selects all columns of Table (or
+// of every FROM table when Table is empty).
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+	Table string // for "t.*"
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef is a named table, a derived table, or a lateral VALUES
+// unnesting, optionally chained with JOIN clauses.
+type TableRef struct {
+	// Exactly one of Table, Subquery, TableFn is set.
+	Table    string
+	Subquery *SelectStmt
+	TableFn  *TableFunc
+	Alias    string
+	Joins    []JoinClause
+}
+
+// TableFunc is the paper's TABLE(VALUES (e1),(e2),...) AS t(col) lateral
+// construct: each row of the preceding FROM item is expanded into one row
+// per VALUES entry, with the entry's value bound to the declared column.
+type TableFunc struct {
+	Rows    [][]Expr // each inner slice is one VALUES row
+	Columns []string // declared output column names
+}
+
+// JoinClause is one JOIN attached to a TableRef.
+type JoinClause struct {
+	Kind  string // "INNER", "LEFT"
+	Right TableRef
+	On    Expr
+}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...),(...)
+// or INSERT INTO t [(cols)] SELECT ...
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Query   *SelectStmt
+}
+
+func (*InsertStmt) stmt() {}
+
+// UpdateStmt is UPDATE t SET col = expr, ... [WHERE expr].
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// Assignment is one SET column = expr.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// CreateTableStmt is CREATE TABLE t (col TYPE, ...).
+type CreateTableStmt struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// ColumnDef is one column definition.
+type ColumnDef struct {
+	Name       string
+	Type       string // BIGINT, DOUBLE, VARCHAR, JSON, BOOLEAN, LIST
+	PrimaryKey bool
+}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX name ON t (expr, ...). Columns
+// may be plain column references or expressions (expression indexes, used
+// for JSON attribute indexes per paper Section 3.3).
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Unique bool
+	Exprs  []Expr
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// DropTableStmt is DROP TABLE t.
+type DropTableStmt struct{ Name string }
+
+func (*DropTableStmt) stmt() {}
+
+// --- Expressions ---
+
+// ColumnRef references a column, optionally qualified by table alias.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+func (*ColumnRef) expr() {}
+func (c *ColumnRef) SQL() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Literal is a constant. Val holds nil, bool, int64, float64, or string.
+type Literal struct{ Val any }
+
+func (*Literal) expr() {}
+func (l *Literal) SQL() string {
+	switch v := l.Val.(type) {
+	case nil:
+		return "NULL"
+	case string:
+		return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	case bool:
+		if v {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return toString(v)
+	}
+}
+
+// Param is a positional parameter (?), numbered from 0 in parse order.
+type Param struct{ Index int }
+
+func (*Param) expr()         {}
+func (p *Param) SQL() string { return "?" }
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string // "NOT", "-"
+	X  Expr
+}
+
+func (*Unary) expr()         {}
+func (u *Unary) SQL() string { return u.Op + " (" + u.X.SQL() + ")" }
+
+// Binary is a binary operation: arithmetic, comparison, AND/OR, LIKE, ||.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+func (*Binary) expr()         {}
+func (b *Binary) SQL() string { return "(" + b.L.SQL() + " " + b.Op + " " + b.R.SQL() + ")" }
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Not bool
+}
+
+func (*IsNull) expr() {}
+func (i *IsNull) SQL() string {
+	if i.Not {
+		return i.X.SQL() + " IS NOT NULL"
+	}
+	return i.X.SQL() + " IS NULL"
+}
+
+// InList is x [NOT] IN (e1, e2, ...).
+type InList struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+func (*InList) expr() {}
+func (i *InList) SQL() string {
+	parts := make([]string, len(i.List))
+	for j, e := range i.List {
+		parts[j] = e.SQL()
+	}
+	op := " IN ("
+	if i.Not {
+		op = " NOT IN ("
+	}
+	return i.X.SQL() + op + strings.Join(parts, ", ") + ")"
+}
+
+// InSubquery is x [NOT] IN (SELECT ...).
+type InSubquery struct {
+	X     Expr
+	Query *SelectStmt
+	Not   bool
+}
+
+func (*InSubquery) expr() {}
+func (i *InSubquery) SQL() string {
+	op := " IN (<subquery>)"
+	if i.Not {
+		op = " NOT IN (<subquery>)"
+	}
+	return i.X.SQL() + op
+}
+
+// Exists is EXISTS (SELECT ...).
+type Exists struct {
+	Query *SelectStmt
+	Not   bool
+}
+
+func (*Exists) expr() {}
+func (e *Exists) SQL() string {
+	if e.Not {
+		return "NOT EXISTS (<subquery>)"
+	}
+	return "EXISTS (<subquery>)"
+}
+
+// ScalarSubquery is (SELECT single-value).
+type ScalarSubquery struct{ Query *SelectStmt }
+
+func (*ScalarSubquery) expr()         {}
+func (s *ScalarSubquery) SQL() string { return "(<subquery>)" }
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+func (*Between) expr() {}
+func (b *Between) SQL() string {
+	op := " BETWEEN "
+	if b.Not {
+		op = " NOT BETWEEN "
+	}
+	return b.X.SQL() + op + b.Lo.SQL() + " AND " + b.Hi.SQL()
+}
+
+// FuncCall is a scalar or aggregate function call. Star marks COUNT(*);
+// Distinct marks COUNT(DISTINCT x).
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+}
+
+func (*FuncCall) expr() {}
+func (f *FuncCall) SQL() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.SQL()
+	}
+	inner := strings.Join(parts, ", ")
+	if f.Distinct {
+		inner = "DISTINCT " + inner
+	}
+	return f.Name + "(" + inner + ")"
+}
+
+// Cast is CAST(x AS TYPE).
+type Cast struct {
+	X    Expr
+	Type string
+}
+
+func (*Cast) expr()         {}
+func (c *Cast) SQL() string { return "CAST(" + c.X.SQL() + " AS " + c.Type + ")" }
+
+// Subscript is x[i], indexing a LIST value (traversal paths).
+type Subscript struct {
+	X, Index Expr
+}
+
+func (*Subscript) expr()         {}
+func (s *Subscript) SQL() string { return s.X.SQL() + "[" + s.Index.SQL() + "]" }
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr
+}
+
+// WhenClause is one WHEN cond THEN result arm.
+type WhenClause struct {
+	Cond   Expr
+	Result Expr
+}
+
+func (*CaseExpr) expr() {}
+func (c *CaseExpr) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	if c.Operand != nil {
+		sb.WriteString(" " + c.Operand.SQL())
+	}
+	for _, w := range c.Whens {
+		sb.WriteString(" WHEN " + w.Cond.SQL() + " THEN " + w.Result.SQL())
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE " + c.Else.SQL())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+func toString(v any) string {
+	switch x := v.(type) {
+	case int64:
+		return itoa(x)
+	case float64:
+		return ftoa(x)
+	default:
+		return "?"
+	}
+}

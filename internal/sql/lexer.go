@@ -1,0 +1,188 @@
+// Package sql implements the SQL front-end of the relational substrate:
+// a lexer, an abstract syntax tree, and a recursive-descent parser for the
+// dialect the Gremlin translator emits (CTEs, joins, lateral TABLE(VALUES)
+// unnesting, JSON_VAL, set operations, and basic DML/DDL).
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokParam  // ?
+	TokSymbol // punctuation and operators
+)
+
+// Token is a lexical token with its source position (1-based offsets into
+// the query text, for error messages).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords upper-cased; identifiers upper-cased unless quoted
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "OFFSET": true, "UNION": true, "ALL": true,
+	"INTERSECT": true, "EXCEPT": true, "WITH": true, "RECURSIVE": true,
+	"AS": true, "JOIN": true, "LEFT": true, "RIGHT": true, "INNER": true,
+	"OUTER": true, "ON": true, "AND": true, "OR": true, "NOT": true,
+	"IN": true, "IS": true, "NULL": true, "LIKE": true, "BETWEEN": true,
+	"TRUE": true, "FALSE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "CAST": true, "EXISTS": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "CREATE": true, "TABLE": true,
+	"INDEX": true, "UNIQUE": true, "DROP": true, "COUNT": true,
+	"TABLES": true,
+}
+
+// Lex tokenizes a SQL string.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			// Line comment.
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sql: unterminated block comment at %d", i+1)
+			}
+			i += end + 4
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sql: unterminated string literal at %d", start+1)
+				}
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start + 1})
+		case c == '"':
+			start := i
+			i++
+			j := strings.IndexByte(src[i:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("sql: unterminated quoted identifier at %d", start+1)
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[i : i+j], Pos: start + 1})
+			i += j + 1
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			start := i
+			isFloat := false
+			for i < n && (src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+			if i < n && src[i] == '.' {
+				isFloat = true
+				i++
+				for i < n && (src[i] >= '0' && src[i] <= '9') {
+					i++
+				}
+			}
+			if i < n && (src[i] == 'e' || src[i] == 'E') {
+				isFloat = true
+				i++
+				if i < n && (src[i] == '+' || src[i] == '-') {
+					i++
+				}
+				for i < n && (src[i] >= '0' && src[i] <= '9') {
+					i++
+				}
+			}
+			kind := TokInt
+			if isFloat {
+				kind = TokFloat
+			}
+			toks = append(toks, Token{Kind: kind, Text: src[start:i], Pos: start + 1})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(src[i])) {
+				i++
+			}
+			word := strings.ToUpper(src[start:i])
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: word, Pos: start + 1})
+		case c == '?':
+			toks = append(toks, Token{Kind: TokParam, Text: "?", Pos: i + 1})
+			i++
+		default:
+			start := i
+			var sym string
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=", "||":
+				sym = two
+				i += 2
+			default:
+				switch c {
+				case '(', ')', ',', '.', ';', '*', '+', '-', '/', '%', '=', '<', '>', '[', ']':
+					sym = string(c)
+					i++
+				default:
+					return nil, fmt.Errorf("sql: unexpected character %q at %d", c, i+1)
+				}
+			}
+			toks = append(toks, Token{Kind: TokSymbol, Text: sym, Pos: start + 1})
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Pos: n + 1})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,1075 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func itoa(i int64) string   { return strconv.FormatInt(i, 10) }
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Parse parses a single SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	// Allow a trailing semicolon.
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// ParseExpr parses a standalone scalar expression (used by CREATE INDEX
+// processing and tests).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks    []Token
+	pos     int
+	src     string
+	nparams int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error near position %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) at(kind TokenKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return Token{}, p.errorf("expected %s, found %s", want, p.peek())
+}
+
+func (p *parser) acceptKeyword(kw string) bool { return p.accept(TokKeyword, kw) }
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	// Accept non-reserved keywords as identifiers where unambiguous is
+	// complex; require plain identifiers.
+	if t.Kind == TokIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errorf("expected identifier, found %s", t)
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.at(TokKeyword, "SELECT") || p.at(TokKeyword, "WITH") || p.at(TokSymbol, "("):
+		return p.parseSelect()
+	case p.acceptKeyword("INSERT"):
+		return p.parseInsert()
+	case p.acceptKeyword("UPDATE"):
+		return p.parseUpdate()
+	case p.acceptKeyword("DELETE"):
+		return p.parseDelete()
+	case p.acceptKeyword("CREATE"):
+		return p.parseCreate()
+	case p.acceptKeyword("DROP"):
+		return p.parseDrop()
+	default:
+		return nil, p.errorf("expected statement, found %s", p.peek())
+	}
+}
+
+// parseSelect parses WITH? set-op-tree ORDER BY? LIMIT? OFFSET?.
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	stmt := &SelectStmt{}
+	if p.acceptKeyword("WITH") {
+		recursive := p.acceptKeyword("RECURSIVE")
+		for {
+			cte, err := p.parseCTE(recursive)
+			if err != nil {
+				return nil, err
+			}
+			stmt.With = append(stmt.With, cte)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	body, err := p.parseSetOps()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Body = body
+	if p.acceptKeyword("ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Limit = e
+	}
+	if p.acceptKeyword("OFFSET") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Offset = e
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseCTE(recursive bool) (CTE, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return CTE{}, err
+	}
+	cte := CTE{Name: name, Recursive: recursive}
+	if p.accept(TokSymbol, "(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return CTE{}, err
+			}
+			cte.Columns = append(cte.Columns, col)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return CTE{}, err
+		}
+	}
+	if _, err := p.expect(TokKeyword, "AS"); err != nil {
+		return CTE{}, err
+	}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return CTE{}, err
+	}
+	q, err := p.parseSelect()
+	if err != nil {
+		return CTE{}, err
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return CTE{}, err
+	}
+	cte.Query = q
+	return cte, nil
+}
+
+// parseSetOps parses a left-associative chain of UNION/INTERSECT/EXCEPT.
+func (p *parser) parseSetOps() (SelectBody, error) {
+	left, err := p.parseSelectCore()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.acceptKeyword("UNION"):
+			op = "UNION"
+			if p.acceptKeyword("ALL") {
+				op = "UNION ALL"
+			}
+		case p.acceptKeyword("INTERSECT"):
+			op = "INTERSECT"
+		case p.acceptKeyword("EXCEPT"):
+			op = "EXCEPT"
+		default:
+			return left, nil
+		}
+		right, err := p.parseSelectCore()
+		if err != nil {
+			return nil, err
+		}
+		left = &SetOp{Op: op, Left: left, Right: right}
+	}
+}
+
+// parseSelectCore parses one SELECT ... or a parenthesized set-op tree.
+func (p *parser) parseSelectCore() (SelectBody, error) {
+	if p.accept(TokSymbol, "(") {
+		body, err := p.parseSetOps()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return body, nil
+	}
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &SimpleSelect{}
+	sel.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.acceptKeyword("FROM") {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.From = append(sel.From, ref)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* form.
+	if p.peek().Kind == TokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == TokSymbol && p.toks[p.pos+1].Text == "." &&
+		p.toks[p.pos+2].Kind == TokSymbol && p.toks[p.pos+2].Text == "*" {
+		tbl := p.next().Text
+		p.next() // .
+		p.next() // *
+		return SelectItem{Star: true, Table: tbl}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	ref, err := p.parseTablePrimary()
+	if err != nil {
+		return TableRef{}, err
+	}
+	for {
+		var kind string
+		switch {
+		case p.acceptKeyword("LEFT"):
+			p.acceptKeyword("OUTER")
+			if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+				return TableRef{}, err
+			}
+			kind = "LEFT"
+		case p.acceptKeyword("INNER"):
+			if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+				return TableRef{}, err
+			}
+			kind = "INNER"
+		case p.acceptKeyword("JOIN"):
+			kind = "INNER"
+		default:
+			return ref, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return TableRef{}, err
+		}
+		if _, err := p.expect(TokKeyword, "ON"); err != nil {
+			return TableRef{}, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Joins = append(ref.Joins, JoinClause{Kind: kind, Right: right, On: on})
+	}
+}
+
+func (p *parser) parseTablePrimary() (TableRef, error) {
+	var ref TableRef
+	switch {
+	case p.at(TokKeyword, "TABLE") || p.at(TokKeyword, "TABLES"):
+		// TABLE(VALUES (e1),(e2),...) AS t(col,...) — also accept the
+		// TABLES spelling that appears in the paper's listings.
+		p.next()
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return ref, err
+		}
+		if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+			return ref, err
+		}
+		fn := &TableFunc{}
+		for {
+			if _, err := p.expect(TokSymbol, "("); err != nil {
+				return ref, err
+			}
+			var row []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return ref, err
+				}
+				row = append(row, e)
+				if !p.accept(TokSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return ref, err
+			}
+			fn.Rows = append(fn.Rows, row)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return ref, err
+		}
+		p.acceptKeyword("AS")
+		alias, err := p.expectIdent()
+		if err != nil {
+			return ref, err
+		}
+		ref.Alias = alias
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return ref, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return ref, err
+			}
+			fn.Columns = append(fn.Columns, col)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return ref, err
+		}
+		ref.TableFn = fn
+	case p.accept(TokSymbol, "("):
+		q, err := p.parseSelect()
+		if err != nil {
+			return ref, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return ref, err
+		}
+		ref.Subquery = q
+	default:
+		name, err := p.expectIdent()
+		if err != nil {
+			return ref, err
+		}
+		ref.Table = name
+	}
+	if ref.TableFn == nil {
+		if p.acceptKeyword("AS") {
+			alias, err := p.expectIdent()
+			if err != nil {
+				return ref, err
+			}
+			ref.Alias = alias
+		} else if p.peek().Kind == TokIdent {
+			ref.Alias = p.next().Text
+		}
+	}
+	return ref, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	if _, err := p.expect(TokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: table}
+	if p.accept(TokSymbol, "(") {
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("VALUES") {
+		for {
+			if _, err := p.expect(TokSymbol, "("); err != nil {
+				return nil, err
+			}
+			var row []Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, e)
+				if !p.accept(TokSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			stmt.Rows = append(stmt.Rows, row)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		return stmt, nil
+	}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Query = q
+	return stmt, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: table}
+	if _, err := p.expect(TokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, Assignment{Column: col, Value: e})
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: table}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	unique := p.acceptKeyword("UNIQUE")
+	switch {
+	case !unique && p.acceptKeyword("TABLE"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		stmt := &CreateTableStmt{Name: name}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			typ := "VARCHAR"
+			if p.peek().Kind == TokIdent {
+				typ = p.next().Text
+			}
+			def := ColumnDef{Name: col, Type: typ}
+			// Optional PRIMARY KEY marker (two identifiers).
+			if p.peek().Kind == TokIdent && p.peek().Text == "PRIMARY" {
+				p.next()
+				if p.peek().Kind == TokIdent && p.peek().Text == "KEY" {
+					p.next()
+					def.PrimaryKey = true
+				} else {
+					return nil, p.errorf("expected KEY after PRIMARY")
+				}
+			}
+			stmt.Columns = append(stmt.Columns, def)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return stmt, nil
+	case p.acceptKeyword("INDEX"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		// ON table (expr, ...)
+		if !p.accept(TokKeyword, "ON") {
+			return nil, p.errorf("expected ON in CREATE INDEX")
+		}
+		table, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		stmt := &CreateIndexStmt{Name: name, Table: table, Unique: unique}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Exprs = append(stmt.Exprs, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return stmt, nil
+	default:
+		return nil, p.errorf("expected TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTableStmt{Name: name}, nil
+}
+
+// --- Expression parsing (precedence climbing) ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: left, Not: not}, nil
+	}
+	notIn := false
+	if p.at(TokKeyword, "NOT") && p.pos+1 < len(p.toks) &&
+		(p.toks[p.pos+1].Text == "IN" || p.toks[p.pos+1].Text == "LIKE" || p.toks[p.pos+1].Text == "BETWEEN") {
+		p.next()
+		notIn = true
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		if p.at(TokKeyword, "SELECT") || p.at(TokKeyword, "WITH") {
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &InSubquery{X: left, Query: q, Not: notIn}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InList{X: left, List: list, Not: notIn}, nil
+	case p.acceptKeyword("LIKE"):
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		var e Expr = &Binary{Op: "LIKE", L: left, R: right}
+		if notIn {
+			e = &Unary{Op: "NOT", X: e}
+		}
+		return e, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: left, Lo: lo, Hi: hi, Not: notIn}, nil
+	}
+	for _, op := range []string{"=", "<>", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(TokSymbol, op) {
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			normalized := op
+			if op == "!=" {
+				normalized = "<>"
+			}
+			return &Binary{Op: normalized, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "+"):
+			op = "+"
+		case p.accept(TokSymbol, "-"):
+			op = "-"
+		case p.accept(TokSymbol, "||"):
+			op = "||"
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "*"):
+			op = "*"
+		case p.accept(TokSymbol, "/"):
+			op = "/"
+		case p.accept(TokSymbol, "%"):
+			op = "%"
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := x.(*Literal); ok {
+			switch v := lit.Val.(type) {
+			case int64:
+				return &Literal{Val: -v}, nil
+			case float64:
+				return &Literal{Val: -v}, nil
+			}
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokSymbol, "[") {
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "]"); err != nil {
+			return nil, err
+		}
+		e = &Subscript{X: e, Index: idx}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal %s", t.Text)
+		}
+		return &Literal{Val: v}, nil
+	case t.Kind == TokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float literal %s", t.Text)
+		}
+		return &Literal{Val: v}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &Literal{Val: t.Text}, nil
+	case t.Kind == TokParam:
+		p.next()
+		e := &Param{Index: p.nparams}
+		p.nparams++
+		return e, nil
+	case p.acceptKeyword("NULL"):
+		return &Literal{Val: nil}, nil
+	case p.acceptKeyword("TRUE"):
+		return &Literal{Val: true}, nil
+	case p.acceptKeyword("FALSE"):
+		return &Literal{Val: false}, nil
+	case p.acceptKeyword("CASE"):
+		return p.parseCase()
+	case p.acceptKeyword("CAST"):
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AS"); err != nil {
+			return nil, err
+		}
+		typ, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &Cast{X: x, Type: typ}, nil
+	case p.acceptKeyword("EXISTS"):
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &Exists{Query: q}, nil
+	case p.acceptKeyword("COUNT"):
+		// COUNT is a keyword so COUNT(*) parses cleanly.
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		if p.accept(TokSymbol, "*") {
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &FuncCall{Name: "COUNT", Star: true}, nil
+		}
+		distinct := p.acceptKeyword("DISTINCT")
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &FuncCall{Name: "COUNT", Args: []Expr{arg}, Distinct: distinct}, nil
+	case p.accept(TokSymbol, "("):
+		if p.at(TokKeyword, "SELECT") || p.at(TokKeyword, "WITH") {
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &ScalarSubquery{Query: q}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		p.next()
+		// Function call?
+		if p.accept(TokSymbol, "(") {
+			fc := &FuncCall{Name: t.Text}
+			fc.Distinct = p.acceptKeyword("DISTINCT")
+			if !p.accept(TokSymbol, ")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, arg)
+					if !p.accept(TokSymbol, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokSymbol, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return fc, nil
+		}
+		// Qualified column?
+		if p.accept(TokSymbol, ".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.Text, Column: col}, nil
+		}
+		return &ColumnRef{Column: t.Text}, nil
+	default:
+		return nil, p.errorf("expected expression, found %s", t)
+	}
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	c := &CaseExpr{}
+	if !p.at(TokKeyword, "WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Operand = op
+	}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, WhenClause{Cond: cond, Result: res})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if _, err := p.expect(TokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,370 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func mustSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt := mustParse(t, src)
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *SelectStmt", src, stmt)
+	}
+	return sel
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a1, 'it''s', 3.14, 42, ? FROM t -- comment\n/* block */ WHERE x <= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	want := []string{"SELECT", "A1", ",", "it's", ",", "3.14", ",", "42", ",", "?", "FROM", "T", "WHERE", "X", "<=", "5", ""}
+	if len(texts) != len(want) {
+		t.Fatalf("token texts = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Fatalf("tok[%d] = %q, want %q (all: %v)", i, texts[i], want[i], texts)
+		}
+	}
+	if kinds[3] != TokString || kinds[9] != TokParam || kinds[14] != TokSymbol {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", `"unterminated`, "/* unterminated", "SELECT @"} {
+		if _, err := Lex(src); err == nil {
+			t.Fatalf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "SELECT a, b AS bee, t.* FROM t1, t2 AS u WHERE a = 1 AND b <> 'x'")
+	body := sel.Body.(*SimpleSelect)
+	if len(body.Items) != 3 {
+		t.Fatalf("items = %d", len(body.Items))
+	}
+	if body.Items[1].Alias != "BEE" {
+		t.Fatalf("alias = %q", body.Items[1].Alias)
+	}
+	if !body.Items[2].Star || body.Items[2].Table != "T" {
+		t.Fatalf("t.* item = %+v", body.Items[2])
+	}
+	if len(body.From) != 2 || body.From[1].Alias != "U" {
+		t.Fatalf("from = %+v", body.From)
+	}
+	if body.Where == nil {
+		t.Fatal("missing where")
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM t")
+	body := sel.Body.(*SimpleSelect)
+	if len(body.Items) != 1 || !body.Items[0].Star {
+		t.Fatalf("items = %+v", body.Items)
+	}
+}
+
+func TestParseDistinctCountLimit(t *testing.T) {
+	sel := mustSelect(t, "SELECT DISTINCT val FROM t ORDER BY val DESC LIMIT 10 OFFSET 5")
+	body := sel.Body.(*SimpleSelect)
+	if !body.Distinct {
+		t.Fatal("distinct not parsed")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Fatalf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Fatal("limit/offset missing")
+	}
+
+	sel = mustSelect(t, "SELECT COUNT(*) FROM t")
+	fc := sel.Body.(*SimpleSelect).Items[0].Expr.(*FuncCall)
+	if fc.Name != "COUNT" || !fc.Star {
+		t.Fatalf("count = %+v", fc)
+	}
+	sel = mustSelect(t, "SELECT COUNT(DISTINCT x) FROM t")
+	fc = sel.Body.(*SimpleSelect).Items[0].Expr.(*FuncCall)
+	if !fc.Distinct || len(fc.Args) != 1 {
+		t.Fatalf("count distinct = %+v", fc)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y INNER JOIN c ON b.z = c.w")
+	body := sel.Body.(*SimpleSelect)
+	if len(body.From) != 1 {
+		t.Fatalf("from = %d refs", len(body.From))
+	}
+	joins := body.From[0].Joins
+	if len(joins) != 2 || joins[0].Kind != "LEFT" || joins[1].Kind != "INNER" {
+		t.Fatalf("joins = %+v", joins)
+	}
+	// Bare JOIN means INNER.
+	sel = mustSelect(t, "SELECT * FROM a JOIN b ON a.x = b.y")
+	if sel.Body.(*SimpleSelect).From[0].Joins[0].Kind != "INNER" {
+		t.Fatal("bare JOIN should be INNER")
+	}
+}
+
+func TestParseCTE(t *testing.T) {
+	sel := mustSelect(t, `WITH t1 AS (SELECT vid AS val FROM va), t2(v) AS (SELECT val FROM t1) SELECT COUNT(*) FROM t2`)
+	if len(sel.With) != 2 {
+		t.Fatalf("with = %d", len(sel.With))
+	}
+	if sel.With[0].Name != "T1" || sel.With[1].Columns[0] != "V" {
+		t.Fatalf("ctes = %+v", sel.With)
+	}
+}
+
+func TestParseRecursiveCTE(t *testing.T) {
+	sel := mustSelect(t, `WITH RECURSIVE r(v, d) AS (
+		SELECT val, 0 FROM seed
+		UNION ALL
+		SELECT e.outv, r.d + 1 FROM r, ea e WHERE e.inv = r.v AND r.d < 5
+	) SELECT DISTINCT v FROM r`)
+	if len(sel.With) != 1 || !sel.With[0].Recursive {
+		t.Fatalf("recursive cte = %+v", sel.With)
+	}
+	if _, ok := sel.With[0].Query.Body.(*SetOp); !ok {
+		t.Fatal("recursive body should be a set op")
+	}
+}
+
+func TestParseTableFunc(t *testing.T) {
+	sel := mustSelect(t, `SELECT t.val FROM opa p, TABLE(VALUES(p.val0),(p.val1),(p.val2)) AS t(val) WHERE t.val IS NOT NULL`)
+	body := sel.Body.(*SimpleSelect)
+	if len(body.From) != 2 {
+		t.Fatalf("from = %d", len(body.From))
+	}
+	fn := body.From[1].TableFn
+	if fn == nil || len(fn.Rows) != 3 || fn.Columns[0] != "VAL" {
+		t.Fatalf("tablefn = %+v", fn)
+	}
+	// TABLES spelling from the paper listings.
+	sel = mustSelect(t, `SELECT t.val FROM opa p, TABLES(VALUES(p.val0)) AS t(val)`)
+	if sel.Body.(*SimpleSelect).From[1].TableFn == nil {
+		t.Fatal("TABLES spelling rejected")
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM x UNION ALL SELECT b FROM y UNION SELECT c FROM z")
+	top, ok := sel.Body.(*SetOp)
+	if !ok || top.Op != "UNION" {
+		t.Fatalf("top = %+v", sel.Body)
+	}
+	inner, ok := top.Left.(*SetOp)
+	if !ok || inner.Op != "UNION ALL" {
+		t.Fatalf("inner = %+v", top.Left)
+	}
+	sel = mustSelect(t, "SELECT a FROM x INTERSECT SELECT b FROM y")
+	if sel.Body.(*SetOp).Op != "INTERSECT" {
+		t.Fatal("intersect")
+	}
+	sel = mustSelect(t, "SELECT a FROM x EXCEPT SELECT b FROM y")
+	if sel.Body.(*SetOp).Op != "EXCEPT" {
+		t.Fatal("except")
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := []string{
+		"a + b * c - d / e % f",
+		"x LIKE '%en'",
+		"x NOT LIKE 'a%'",
+		"x IN (1, 2, 3)",
+		"x NOT IN (SELECT v FROM t)",
+		"x IS NULL",
+		"x IS NOT NULL",
+		"x BETWEEN 1 AND 10",
+		"NOT (a = b)",
+		"COALESCE(a, b, c)",
+		"JSON_VAL(attr, 'name')",
+		"CAST(x AS BIGINT)",
+		"path[0]",
+		"(a || b)",
+		"CASE WHEN a = 1 THEN 'x' ELSE 'y' END",
+		"CASE a WHEN 1 THEN 'x' WHEN 2 THEN 'y' END",
+		"EXISTS (SELECT 1 FROM t)",
+		"-5",
+		"-x",
+		"a = ? AND b = ?",
+	}
+	for _, src := range cases {
+		if _, err := ParseExpr(src); err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParamNumbering(t *testing.T) {
+	e, err := ParseExpr("a = ? AND b = ? OR c = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idxs []int
+	var walk func(Expr)
+	walk = func(x Expr) {
+		switch v := x.(type) {
+		case *Binary:
+			walk(v.L)
+			walk(v.R)
+		case *Param:
+			idxs = append(idxs, v.Index)
+		}
+	}
+	walk(e)
+	if len(idxs) != 3 || idxs[0] != 0 || idxs[1] != 1 || idxs[2] != 2 {
+		t.Fatalf("param indexes = %v", idxs)
+	}
+}
+
+func TestParseDML(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").(*InsertStmt)
+	if ins.Table != "T" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	ins2 := mustParse(t, "INSERT INTO t SELECT a FROM u").(*InsertStmt)
+	if ins2.Query == nil {
+		t.Fatal("insert-select missing query")
+	}
+	upd := mustParse(t, "UPDATE t SET a = 1, b = b + 1 WHERE id = ?").(*UpdateStmt)
+	if upd.Table != "T" || len(upd.Set) != 2 || upd.Where == nil {
+		t.Fatalf("update = %+v", upd)
+	}
+	del := mustParse(t, "DELETE FROM t WHERE id = 3").(*DeleteStmt)
+	if del.Table != "T" || del.Where == nil {
+		t.Fatalf("delete = %+v", del)
+	}
+}
+
+func TestParseDDL(t *testing.T) {
+	ct := mustParse(t, "CREATE TABLE va (vid BIGINT PRIMARY KEY, attr JSON)").(*CreateTableStmt)
+	if ct.Name != "VA" || len(ct.Columns) != 2 || !ct.Columns[0].PrimaryKey || ct.Columns[1].Type != "JSON" {
+		t.Fatalf("create table = %+v", ct)
+	}
+	ci := mustParse(t, "CREATE UNIQUE INDEX ix ON t (a, JSON_VAL(attr, 'name'))").(*CreateIndexStmt)
+	if !ci.Unique || ci.Table != "T" || len(ci.Exprs) != 2 {
+		t.Fatalf("create index = %+v", ci)
+	}
+	dt := mustParse(t, "DROP TABLE t").(*DropTableStmt)
+	if dt.Name != "T" {
+		t.Fatalf("drop = %+v", dt)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t GROUP",
+		"INSERT t VALUES (1)",
+		"UPDATE t a = 1",
+		"DELETE t",
+		"CREATE VIEW v",
+		"SELECT * FROM t extra garbage ,",
+		"SELECT a FROM t WHERE a IN ()",
+		"CASE END",
+		"SELECT CAST(a, BIGINT) FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParsePaperFigure7(t *testing.T) {
+	// The full translated query from paper Figure 7 must parse.
+	q := `WITH TEMP_1 AS (
+		SELECT VID AS VAL FROM VA WHERE JSON_VAL(ATTR, 'tag') = 'w'
+	), TEMP_2_0 AS (
+		SELECT T.VAL FROM TEMP_1 V, OPA P, TABLE(VALUES(P.VAL0), (P.VAL1), (P.VAL2)) AS T(VAL)
+		WHERE V.VAL = P.VID AND T.VAL IS NOT NULL
+	), TEMP_2_1 AS (
+		SELECT COALESCE(S.VAL, P.VAL) AS VAL FROM TEMP_2_0 P LEFT OUTER JOIN OSA S ON P.VAL = S.VALID
+	), TEMP_2_2 AS (
+		SELECT T.VAL FROM TEMP_1 V, IPA P, TABLE(VALUES(P.VAL0), (P.VAL1)) AS T(VAL)
+		WHERE V.VAL = P.VID AND T.VAL IS NOT NULL
+	), TEMP_2_3 AS (
+		SELECT COALESCE(S.VAL, P.VAL) AS VAL FROM TEMP_2_2 P LEFT OUTER JOIN ISA S ON P.VAL = S.VALID
+	), TEMP_2_4 AS (
+		SELECT VAL FROM TEMP_2_1 UNION ALL SELECT VAL FROM TEMP_2_3
+	), TEMP_3 AS (
+		SELECT DISTINCT VAL AS VAL FROM TEMP_2_4
+	) SELECT COUNT(*) FROM TEMP_3`
+	sel := mustSelect(t, q)
+	if len(sel.With) != 7 {
+		t.Fatalf("with = %d, want 7", len(sel.With))
+	}
+}
+
+func TestExprSQLRendering(t *testing.T) {
+	cases := map[string]string{
+		"a = 1":                 "(A = 1)",
+		"JSON_VAL(attr,'name')": "JSON_VAL(ATTR, 'name')",
+		"x IS NOT NULL":         "X IS NOT NULL",
+		"a IN (1, 2)":           "A IN (1, 2)",
+		"COUNT(*)":              "COUNT(*)",
+		"path[0]":               "PATH[0]",
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		if got := e.SQL(); got != want {
+			t.Fatalf("SQL(%q) = %q, want %q", src, got, want)
+		}
+	}
+	// Re-parsing a rendered expression must succeed (stability).
+	for src := range cases {
+		e, _ := ParseExpr(src)
+		if _, err := ParseExpr(e.SQL()); err != nil {
+			t.Fatalf("re-parse of %q failed: %v", e.SQL(), err)
+		}
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	sel := mustSelect(t, "SELECT (SELECT COUNT(*) FROM u) FROM t")
+	item := sel.Body.(*SimpleSelect).Items[0]
+	if _, ok := item.Expr.(*ScalarSubquery); !ok {
+		t.Fatalf("item = %T", item.Expr)
+	}
+}
+
+func TestParenthesizedSetOpBody(t *testing.T) {
+	sel := mustSelect(t, "(SELECT a FROM x UNION SELECT b FROM y) INTERSECT SELECT c FROM z")
+	top := sel.Body.(*SetOp)
+	if top.Op != "INTERSECT" {
+		t.Fatalf("top op = %s", top.Op)
+	}
+	if strings.ToUpper(top.Left.(*SetOp).Op) != "UNION" {
+		t.Fatal("left should be the parenthesized union")
+	}
+}

@@ -1,0 +1,566 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlgraph/internal/gremlin"
+)
+
+// direction of a traversal step.
+type direction int
+
+const (
+	dirOut direction = iota
+	dirIn
+)
+
+// step translates one non-loop pipe.
+func (t *translator) step(s *gremlin.Step) error {
+	switch s.Kind {
+	case gremlin.StepOut:
+		return t.adjacency(s.Labels, []direction{dirOut}, false)
+	case gremlin.StepIn:
+		return t.adjacency(s.Labels, []direction{dirIn}, false)
+	case gremlin.StepBoth:
+		return t.adjacency(s.Labels, []direction{dirOut, dirIn}, false)
+	case gremlin.StepOutE:
+		return t.adjacency(s.Labels, []direction{dirOut}, true)
+	case gremlin.StepInE:
+		return t.adjacency(s.Labels, []direction{dirIn}, true)
+	case gremlin.StepBothE:
+		return t.adjacency(s.Labels, []direction{dirOut, dirIn}, true)
+	case gremlin.StepOutV, gremlin.StepInV, gremlin.StepBothV:
+		return t.edgeEndpoints(s.Kind)
+	case gremlin.StepID:
+		if t.typ == ElemValue {
+			return fmt.Errorf("translate: id on values")
+		}
+		// VAL already holds the element id; only the type changes.
+		t.typ = ElemValue
+		return nil
+	case gremlin.StepLabel:
+		if t.typ != ElemEdge {
+			return fmt.Errorf("translate: label requires edges")
+		}
+		t.cur = t.add(fmt.Sprintf(
+			"SELECT P.LBL AS VAL%s FROM %s V, EA P WHERE P.EID = V.VAL", t.extendPath(), t.cur))
+		t.bumpDepth(ElemValue)
+		return nil
+	case gremlin.StepProperty:
+		return t.property(s.Key)
+	case gremlin.StepPath:
+		if !t.track {
+			return fmt.Errorf("translate: internal: path pipe without tracking")
+		}
+		t.cur = t.add(fmt.Sprintf("SELECT (V.PATH || V.VAL) AS VAL FROM %s V", t.cur))
+		t.typ = ElemValue
+		t.track = false // paths are now plain values
+		return nil
+	case gremlin.StepCount:
+		t.cur = t.add(fmt.Sprintf("SELECT COUNT(*) AS VAL FROM %s", t.cur))
+		t.typ = ElemValue
+		t.track = false
+		t.depth = 1
+		t.typeHistReset(ElemValue)
+		return nil
+	case gremlin.StepHas, gremlin.StepFilter, gremlin.StepHasNot, gremlin.StepInterval:
+		return t.filter(s)
+	case gremlin.StepDedup:
+		if t.track {
+			t.cur = t.add(fmt.Sprintf("SELECT DISTINCT VAL, PATH FROM %s", t.cur))
+		} else {
+			t.cur = t.add(fmt.Sprintf("SELECT DISTINCT VAL FROM %s", t.cur))
+		}
+		return nil
+	case gremlin.StepRange:
+		lo := s.Lo.(int64)
+		hi := s.Hi.(int64)
+		n := hi - lo + 1
+		if n < 0 {
+			n = 0
+		}
+		t.cur = t.add(fmt.Sprintf("SELECT VAL%s FROM %s LIMIT %d OFFSET %d",
+			t.pathSel(), t.cur, n, lo))
+		return nil
+	case gremlin.StepSimplePath:
+		if !t.track {
+			return fmt.Errorf("translate: internal: simplePath without tracking")
+		}
+		t.cur = t.add(fmt.Sprintf(
+			"SELECT V.VAL AS VAL, V.PATH AS PATH FROM %s V WHERE ISSIMPLEPATH(V.PATH || V.VAL) = 1", t.cur))
+		return nil
+	case gremlin.StepExcept, gremlin.StepRetain:
+		agg, ok := t.aggs[s.Name]
+		if !ok {
+			return fmt.Errorf("translate: %s(%s) references an unknown aggregate", s.Kind, s.Name)
+		}
+		op := "NOT IN"
+		if s.Kind == gremlin.StepRetain {
+			op = "IN"
+		}
+		t.cur = t.add(fmt.Sprintf("SELECT VAL%s FROM %s WHERE VAL %s (SELECT VAL FROM %s)",
+			t.pathSel(), t.cur, op, agg))
+		return nil
+	case gremlin.StepBack:
+		return t.back(s)
+	case gremlin.StepAs:
+		t.marks[s.Name] = mark{depth: t.depth, typ: t.typ}
+		return nil
+	case gremlin.StepAggregate:
+		t.aggs[s.Name] = t.add(fmt.Sprintf("SELECT VAL FROM %s", t.cur))
+		return nil
+	case gremlin.StepTable, gremlin.StepIterate:
+		// Side-effect pipes are identity functions (paper Section 4.4).
+		return nil
+	case gremlin.StepIfThenElse:
+		return t.ifThenElse(s)
+	default:
+		return fmt.Errorf("translate: unsupported pipe %v", s.Kind)
+	}
+}
+
+// pathSel renders ", PATH" for plain column carries.
+func (t *translator) pathSel() string {
+	if !t.track {
+		return ""
+	}
+	return ", PATH"
+}
+
+// typeHist tracks the element type at each static path position; back()
+// needs it to restore the element type.
+func (t *translator) bumpDepth(newType ElemType) {
+	if t.hist == nil {
+		t.hist = []ElemType{t.typ}
+	}
+	t.hist = append(t.hist, newType)
+	t.depth++
+	t.typ = newType
+}
+
+func (t *translator) typeHistReset(typ ElemType) {
+	t.hist = []ElemType{typ}
+}
+
+// useEA reports whether adjacency steps should use the EA copy: single
+// lookup queries, or the ForceEA ablation (paper Section 3.5 / 4.3).
+func (t *translator) useEA() bool {
+	if t.opts.ForceHashTables {
+		return false
+	}
+	return t.opts.ForceEA || t.traversal <= 1
+}
+
+// adjacency translates out/in/both and their edge variants.
+func (t *translator) adjacency(labels []string, dirs []direction, toEdges bool) error {
+	if t.typ != ElemVertex {
+		return fmt.Errorf("translate: adjacency step on %s input", t.typ)
+	}
+	var branches []string
+	for _, d := range dirs {
+		if t.useEA() {
+			branches = append(branches, t.adjacencyEA(labels, d, toEdges))
+		} else {
+			name, err := t.adjacencyHash(labels, d, toEdges)
+			if err != nil {
+				return err
+			}
+			branches = append(branches, name)
+		}
+	}
+	if len(branches) == 1 {
+		t.cur = branches[0]
+	} else {
+		t.cur = t.add(fmt.Sprintf("SELECT VAL%s FROM %s UNION ALL SELECT VAL%s FROM %s",
+			t.pathSel(), branches[0], t.pathSel(), branches[1]))
+	}
+	newType := ElemVertex
+	if toEdges {
+		newType = ElemEdge
+	}
+	t.bumpDepth(newType)
+	return nil
+}
+
+// adjacencyEA emits the single-lookup EA template. Note the paper's EA
+// column naming: INV is the edge's source, OUTV its target.
+func (t *translator) adjacencyEA(labels []string, d direction, toEdges bool) string {
+	srcCol, dstCol := "INV", "OUTV"
+	if d == dirIn {
+		srcCol, dstCol = "OUTV", "INV"
+	}
+	sel := "P." + dstCol
+	if toEdges {
+		sel = "P.EID"
+	}
+	cond := fmt.Sprintf("P.%s = V.VAL", srcCol)
+	if len(labels) == 1 {
+		cond += fmt.Sprintf(" AND P.LBL = %s", lit(labels[0]))
+	} else if len(labels) > 1 {
+		quoted := make([]string, len(labels))
+		for i, l := range labels {
+			quoted[i] = lit(l)
+		}
+		cond += " AND P.LBL IN (" + strings.Join(quoted, ", ") + ")"
+	}
+	return t.add(fmt.Sprintf("SELECT %s AS VAL%s FROM %s V, EA P WHERE %s",
+		sel, t.extendPath(), t.cur, cond))
+}
+
+// adjacencyHash emits the OPA/OSA (or IPA/ISA) two-CTE template of
+// Table 8.
+func (t *translator) adjacencyHash(labels []string, d direction, toEdges bool) (string, error) {
+	primary, secondary := "OPA", "OSA"
+	cols := t.sch.OutColumns()
+	colFor := t.sch.OutColumnFor
+	if d == dirIn {
+		primary, secondary = "IPA", "ISA"
+		cols = t.sch.InColumns()
+		colFor = t.sch.InColumnFor
+	}
+
+	var primaries []string
+	if len(labels) == 0 {
+		// All labels: unnest every column triad.
+		var values []string
+		for k := 0; k < cols; k++ {
+			if toEdges {
+				values = append(values, fmt.Sprintf("(P.EID%d, P.VAL%d)", k, k))
+			} else {
+				values = append(values, fmt.Sprintf("(P.VAL%d)", k))
+			}
+		}
+		var body string
+		if toEdges {
+			body = fmt.Sprintf(
+				"SELECT T.EID AS EID, T.VAL AS VAL%s FROM %s V, %s P, TABLE(VALUES%s) AS T(EID, VAL) WHERE P.VID = V.VAL AND P.VID >= 0 AND T.VAL IS NOT NULL",
+				t.extendPath(), t.cur, primary, strings.Join(values, ", "))
+		} else {
+			body = fmt.Sprintf(
+				"SELECT T.VAL AS VAL%s FROM %s V, %s P, TABLE(VALUES%s) AS T(VAL) WHERE P.VID = V.VAL AND P.VID >= 0 AND T.VAL IS NOT NULL",
+				t.extendPath(), t.cur, primary, strings.Join(values, ", "))
+		}
+		primaries = append(primaries, t.add(body))
+	} else {
+		for _, label := range labels {
+			k := colFor(label)
+			var body string
+			if toEdges {
+				body = fmt.Sprintf(
+					"SELECT P.EID%d AS EID, P.VAL%d AS VAL%s FROM %s V, %s P WHERE P.VID = V.VAL AND P.VID >= 0 AND P.LBL%d = %s AND P.VAL%d IS NOT NULL",
+					k, k, t.extendPath(), t.cur, primary, k, lit(label), k)
+			} else {
+				body = fmt.Sprintf(
+					"SELECT P.VAL%d AS VAL%s FROM %s V, %s P WHERE P.VID = V.VAL AND P.VID >= 0 AND P.LBL%d = %s AND P.VAL%d IS NOT NULL",
+					k, t.extendPath(), t.cur, primary, k, lit(label), k)
+			}
+			primaries = append(primaries, t.add(body))
+		}
+	}
+	prim := primaries[0]
+	if len(primaries) > 1 {
+		var parts []string
+		sel := "SELECT VAL" + t.pathSel()
+		if toEdges {
+			sel = "SELECT EID, VAL" + t.pathSel()
+		}
+		for _, p := range primaries {
+			parts = append(parts, sel+" FROM "+p)
+		}
+		prim = t.add(strings.Join(parts, " UNION ALL "))
+	}
+
+	// Secondary expansion: direct values pass through COALESCE; list ids
+	// fan out into the secondary table.
+	var body string
+	pathCarry := ""
+	if t.track {
+		pathCarry = ", P.PATH AS PATH"
+	}
+	if toEdges {
+		body = fmt.Sprintf(
+			"SELECT COALESCE(S.EID, P.EID) AS VAL%s FROM %s P LEFT OUTER JOIN %s S ON P.VAL = S.VALID",
+			pathCarry, prim, secondary)
+	} else {
+		body = fmt.Sprintf(
+			"SELECT COALESCE(S.VAL, P.VAL) AS VAL%s FROM %s P LEFT OUTER JOIN %s S ON P.VAL = S.VALID",
+			pathCarry, prim, secondary)
+	}
+	return t.add(body), nil
+}
+
+// edgeEndpoints translates outV/inV/bothV. Gremlin's outV is the edge's
+// source vertex, stored in EA.INV (paper column naming).
+func (t *translator) edgeEndpoints(kind gremlin.StepKind) error {
+	if t.typ != ElemEdge {
+		return fmt.Errorf("translate: %v requires edges", kind)
+	}
+	switch kind {
+	case gremlin.StepOutV:
+		t.cur = t.add(fmt.Sprintf("SELECT P.INV AS VAL%s FROM %s V, EA P WHERE P.EID = V.VAL",
+			t.extendPath(), t.cur))
+	case gremlin.StepInV:
+		t.cur = t.add(fmt.Sprintf("SELECT P.OUTV AS VAL%s FROM %s V, EA P WHERE P.EID = V.VAL",
+			t.extendPath(), t.cur))
+	default: // bothV
+		t.cur = t.add(fmt.Sprintf(
+			"SELECT T.VAL AS VAL%s FROM %s V, EA P, TABLE(VALUES(P.INV), (P.OUTV)) AS T(VAL) WHERE P.EID = V.VAL",
+			t.extendPath(), t.cur))
+	}
+	t.bumpDepth(ElemVertex)
+	return nil
+}
+
+// property translates property access: JSON attribute lookup in VA or EA.
+func (t *translator) property(key string) error {
+	switch t.typ {
+	case ElemVertex:
+		jv := fmt.Sprintf("JSON_VAL(A.ATTR, %s)", lit(key))
+		t.cur = t.add(fmt.Sprintf(
+			"SELECT %s AS VAL%s FROM %s V, VA A WHERE A.VID = V.VAL AND %s IS NOT NULL",
+			jv, t.extendPath(), t.cur, jv))
+	case ElemEdge:
+		if key == "label" {
+			return t.step(&gremlin.Step{Kind: gremlin.StepLabel})
+		}
+		jv := fmt.Sprintf("JSON_VAL(A.ATTR, %s)", lit(key))
+		t.cur = t.add(fmt.Sprintf(
+			"SELECT %s AS VAL%s FROM %s V, EA A WHERE A.EID = V.VAL AND %s IS NOT NULL",
+			jv, t.extendPath(), t.cur, jv))
+	default:
+		return fmt.Errorf("translate: property access on values")
+	}
+	t.bumpDepth(ElemValue)
+	return nil
+}
+
+// filter translates mid-pipeline has/hasNot/filter/interval.
+func (t *translator) filter(s *gremlin.Step) error {
+	switch t.typ {
+	case ElemVertex:
+		cond, ok, err := attrCond(s, "A.ATTR")
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("translate: unsupported vertex filter %v", s.Kind)
+		}
+		t.cur = t.add(fmt.Sprintf("SELECT V.VAL AS VAL%s FROM %s V, VA A WHERE A.VID = V.VAL AND %s",
+			t.carryPath(), t.cur, cond))
+	case ElemEdge:
+		cond, err := edgeFilterCond(s)
+		if err != nil {
+			return err
+		}
+		t.cur = t.add(fmt.Sprintf("SELECT V.VAL AS VAL%s FROM %s V, EA A WHERE A.EID = V.VAL AND %s",
+			t.carryPath(), t.cur, cond))
+	default:
+		// Value filter compares VAL directly.
+		if s.Kind != gremlin.StepFilter && s.Kind != gremlin.StepHas {
+			return fmt.Errorf("translate: %v unsupported on values", s.Kind)
+		}
+		if s.Op == "" {
+			return fmt.Errorf("translate: existence test unsupported on values")
+		}
+		op, err := sqlOp(s.Op)
+		if err != nil {
+			return err
+		}
+		t.cur = t.add(fmt.Sprintf("SELECT V.VAL AS VAL%s FROM %s V WHERE V.VAL %s %s",
+			t.carryPath(), t.cur, op, lit(s.Value)))
+	}
+	return nil
+}
+
+func edgeFilterCond(s *gremlin.Step) (string, error) {
+	switch s.Kind {
+	case gremlin.StepHas, gremlin.StepFilter:
+		if s.Op == "" {
+			if s.Key == "label" {
+				return "A.LBL IS NOT NULL", nil
+			}
+			return fmt.Sprintf("JSON_VAL(A.ATTR, %s) IS NOT NULL", lit(s.Key)), nil
+		}
+		op, err := sqlOp(s.Op)
+		if err != nil {
+			return "", err
+		}
+		return edgeKeyCond(s.Key, op, s.Value, "A.ATTR", "A.LBL"), nil
+	case gremlin.StepHasNot:
+		return fmt.Sprintf("JSON_VAL(A.ATTR, %s) IS NULL", lit(s.Key)), nil
+	case gremlin.StepInterval:
+		jv := fmt.Sprintf("JSON_VAL(A.ATTR, %s)", lit(s.Key))
+		return fmt.Sprintf("%s >= %s AND %s < %s", jv, lit(s.Lo), jv, lit(s.Hi)), nil
+	default:
+		return "", fmt.Errorf("translate: unsupported edge filter %v", s.Kind)
+	}
+}
+
+// back translates back(n) / back('name') using the statically known path
+// positions (every transform pipe appends exactly one element).
+func (t *translator) back(s *gremlin.Step) error {
+	if !t.track {
+		return fmt.Errorf("translate: internal: back without tracking")
+	}
+	var targetDepth int
+	if s.Name != "" {
+		m, ok := t.marks[s.Name]
+		if !ok {
+			return fmt.Errorf("translate: back(%q) has no matching as(%q)", s.Name, s.Name)
+		}
+		targetDepth = m.depth
+	} else {
+		targetDepth = t.depth - s.BackN
+	}
+	if targetDepth < 1 || targetDepth > t.depth {
+		return fmt.Errorf("translate: back target out of range")
+	}
+	if targetDepth == t.depth {
+		return nil // back(0): identity
+	}
+	drop := t.depth - targetDepth // elements to remove from the full path
+	idx := targetDepth - 1        // 0-based index of the target in the full path
+	t.cur = t.add(fmt.Sprintf(
+		"SELECT (V.PATH || V.VAL)[%d] AS VAL, LIST_TRIM(V.PATH || V.VAL, %d) AS PATH FROM %s V",
+		idx, drop+1, t.cur))
+	t.depth = targetDepth
+	if t.hist != nil && idx < len(t.hist) {
+		t.typ = t.hist[idx]
+		t.hist = t.hist[:idx+1]
+	}
+	return nil
+}
+
+// ifThenElse splits the stream on an attribute predicate, translates both
+// branches, and unions the results (paper Section 4.3's branch handling,
+// restricted to simple predicates per Section 4.4).
+func (t *translator) ifThenElse(s *gremlin.Step) error {
+	var cond string
+	switch t.typ {
+	case ElemVertex:
+		c, ok, err := attrCond(&gremlin.Step{Kind: gremlin.StepFilter, Key: s.Test.Key, Op: s.Test.Op, Value: s.Test.Value}, "A.ATTR")
+		if err != nil || !ok {
+			return fmt.Errorf("translate: unsupported ifThenElse test: %v", err)
+		}
+		cond = c
+	case ElemEdge:
+		c, err := edgeFilterCond(&gremlin.Step{Kind: gremlin.StepFilter, Key: s.Test.Key, Op: s.Test.Op, Value: s.Test.Value})
+		if err != nil {
+			return err
+		}
+		cond = c
+	default:
+		return fmt.Errorf("translate: ifThenElse on values")
+	}
+
+	var thenIn string
+	if t.typ == ElemVertex {
+		thenIn = t.add(fmt.Sprintf("SELECT V.VAL AS VAL%s FROM %s V, VA A WHERE A.VID = V.VAL AND %s",
+			t.carryPath(), t.cur, cond))
+	} else {
+		thenIn = t.add(fmt.Sprintf("SELECT V.VAL AS VAL%s FROM %s V, EA A WHERE A.EID = V.VAL AND %s",
+			t.carryPath(), t.cur, cond))
+	}
+	elseIn := t.add(fmt.Sprintf("SELECT V.VAL AS VAL%s FROM %s V WHERE V.VAL NOT IN (SELECT VAL FROM %s)",
+		t.carryPath(), t.cur, thenIn))
+
+	savedDepth, savedType := t.depth, t.typ
+	savedHist := append([]ElemType(nil), t.hist...)
+
+	t.cur = thenIn
+	if err := t.pipeline(s.Then); err != nil {
+		return err
+	}
+	thenOut, thenDepth, thenType := t.cur, t.depth, t.typ
+
+	t.cur, t.depth, t.typ = elseIn, savedDepth, savedType
+	t.hist = savedHist
+	if err := t.pipeline(s.Else); err != nil {
+		return err
+	}
+	elseOut, elseDepth, elseType := t.cur, t.depth, t.typ
+
+	if thenType != elseType || (t.track && thenDepth != elseDepth) {
+		return fmt.Errorf("translate: ifThenElse branches diverge (%s depth %d vs %s depth %d)",
+			thenType, thenDepth, elseType, elseDepth)
+	}
+	t.depth, t.typ = thenDepth, thenType
+	t.cur = t.add(fmt.Sprintf("SELECT VAL%s FROM %s UNION ALL SELECT VAL%s FROM %s",
+		t.pathSel(), thenOut, t.pathSel(), elseOut))
+	return nil
+}
+
+// loop translates loop pipes: unrolled by default (fixed depth is known
+// statically), or via a recursive CTE over EA when Options.RecursiveLoops
+// is set (the paper's fallback strategy).
+func (t *translator) loop(steps []gremlin.Step, loopIdx int, s *gremlin.Step) error {
+	segment := loopSegment(steps, loopIdx)
+	if len(segment) == 0 {
+		return fmt.Errorf("translate: loop has an empty segment")
+	}
+	if s.LoopMax < 1 {
+		return fmt.Errorf("translate: loop bound must be positive")
+	}
+	if t.opts.RecursiveLoops && !t.track && len(segment) == 1 && t.typ == ElemVertex {
+		if rc, ok := t.recursiveLoop(&segment[0], s.LoopMax); ok {
+			t.cur = rc
+			return nil
+		}
+	}
+	// Unroll: the segment has already run once; repeat LoopMax-1 times.
+	for pass := 1; pass < s.LoopMax; pass++ {
+		if err := t.pipeline(segment); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recursiveLoop emits WITH RECURSIVE-style iteration over the EA table
+// for single-step out/in/both segments.
+func (t *translator) recursiveLoop(seg *gremlin.Step, max int) (string, bool) {
+	var dirs []direction
+	switch seg.Kind {
+	case gremlin.StepOut:
+		dirs = []direction{dirOut}
+	case gremlin.StepIn:
+		dirs = []direction{dirIn}
+	case gremlin.StepBoth:
+		dirs = []direction{dirOut, dirIn}
+	default:
+		return "", false
+	}
+	labelCond := func() string {
+		if len(seg.Labels) == 0 {
+			return ""
+		}
+		quoted := make([]string, len(seg.Labels))
+		for i, l := range seg.Labels {
+			quoted[i] = lit(l)
+		}
+		if len(quoted) == 1 {
+			return " AND P.LBL = " + quoted[0]
+		}
+		return " AND P.LBL IN (" + strings.Join(quoted, ", ") + ")"
+	}()
+	var recTerms []string
+	for _, d := range dirs {
+		srcCol, dstCol := "INV", "OUTV"
+		if d == dirIn {
+			srcCol, dstCol = "OUTV", "INV"
+		}
+		recTerms = append(recTerms, fmt.Sprintf(
+			"SELECT P.%s, R.D + 1 FROM R, EA P WHERE P.%s = R.VAL AND R.D < %d%s",
+			dstCol, srcCol, max, labelCond))
+	}
+	// The recursive CTE is inlined as a sub-select so the outer statement
+	// remains a single WITH chain.
+	// Parenthesize the recursive side so the top-level set operation is
+	// exactly base UNION ALL recursive (required by the engine's
+	// semi-naive evaluation).
+	body := fmt.Sprintf(
+		"SELECT VAL FROM (WITH RECURSIVE R(VAL, D) AS (SELECT VAL, 1 FROM %s UNION ALL (%s)) SELECT VAL FROM R WHERE D = %d) X",
+		t.cur, strings.Join(recTerms, " UNION ALL "), max)
+	return t.add(body), true
+}

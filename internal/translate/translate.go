@@ -1,0 +1,411 @@
+// Package translate compiles side-effect-free Gremlin queries into a
+// single SQL statement over the SQLGraph schema, following the CTE
+// templates of the paper's Section 4.3 and Table 8. Each pipe maps the
+// current result table (a CTE with a VAL column and, when path tracking
+// is needed, a PATH column) to a new CTE; the final statement is one
+// WITH ... SELECT handed to the relational optimizer in one shot.
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlgraph/internal/gremlin"
+)
+
+// ElemType tracks what the VAL column currently holds.
+type ElemType int
+
+// Element types.
+const (
+	ElemVertex ElemType = iota
+	ElemEdge
+	ElemValue
+)
+
+func (e ElemType) String() string {
+	switch e {
+	case ElemVertex:
+		return "vertex"
+	case ElemEdge:
+		return "edge"
+	default:
+		return "value"
+	}
+}
+
+// Schema describes the physical layout the translator emits against.
+type Schema interface {
+	OutColumns() int
+	InColumns() int
+	OutColumnFor(label string) int
+	InColumnFor(label string) int
+}
+
+// Options tune the translation (defaults reproduce the paper's choices).
+type Options struct {
+	// ForceEA answers every adjacency step from the EA table (the paper's
+	// Figure 6 comparison: EA-only path computation).
+	ForceEA bool
+	// ForceHashTables answers every adjacency step from OPA/OSA + IPA/ISA
+	// even for single-lookup queries (Table 4's other side).
+	ForceHashTables bool
+	// RecursiveLoops translates single-step loop segments into a
+	// recursive CTE instead of unrolling (paper Section 4.3's fallback
+	// for loops whose depth the engine should iterate).
+	RecursiveLoops bool
+}
+
+// Translation is the compiled form of a Gremlin query.
+type Translation struct {
+	SQL      string
+	ElemType ElemType
+}
+
+// Translate compiles a parsed Gremlin query.
+func Translate(q *gremlin.Query, sch Schema, opts Options) (*Translation, error) {
+	tr := &translator{
+		sch:   sch,
+		opts:  opts,
+		marks: map[string]mark{},
+		aggs:  map[string]string{},
+	}
+	return tr.translate(q)
+}
+
+type mark struct {
+	depth int // static path position of the marked element
+	typ   ElemType
+}
+
+type translator struct {
+	sch  Schema
+	opts Options
+
+	ctes    []cte
+	nameSeq int
+
+	cur       string // current CTE name
+	typ       ElemType
+	track     bool       // path tracking enabled
+	depth     int        // static number of elements in the full path so far (>=1)
+	hist      []ElemType // element type at each static path position
+	marks     map[string]mark
+	aggs      map[string]string // aggregate name -> CTE
+	traversal int               // total adjacency steps in the query (for the EA optimization)
+}
+
+type cte struct {
+	name string
+	body string
+}
+
+func (t *translator) fresh() string {
+	t.nameSeq++
+	return fmt.Sprintf("T%d", t.nameSeq)
+}
+
+func (t *translator) add(body string) string {
+	name := t.fresh()
+	t.ctes = append(t.ctes, cte{name: name, body: body})
+	return name
+}
+
+// pathCols renders the projection of the path column for a step that
+// appends the current element ("V" is the input alias).
+func (t *translator) pathAppend() string {
+	return "(V.PATH || V.VAL) AS PATH"
+}
+
+// carry renders ", V.PATH AS PATH" style carriers for steps that do not
+// move to a new element.
+func (t *translator) carryPath() string {
+	if !t.track {
+		return ""
+	}
+	return ", V.PATH AS PATH"
+}
+
+func (t *translator) extendPath() string {
+	if !t.track {
+		return ""
+	}
+	return ", " + t.pathAppend()
+}
+
+// needsPathTracking reports whether any pipe requires path bookkeeping.
+func needsPathTracking(steps []gremlin.Step) bool {
+	for i := range steps {
+		switch steps[i].Kind {
+		case gremlin.StepPath, gremlin.StepSimplePath, gremlin.StepBack:
+			return true
+		case gremlin.StepIfThenElse:
+			if needsPathTracking(steps[i].Then) || needsPathTracking(steps[i].Else) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// countTraversals counts adjacency steps (loop segments count their full
+// expansion) to drive the EA-vs-hash-table choice of Section 3.5.
+func countTraversals(steps []gremlin.Step) int {
+	n := 0
+	for i := range steps {
+		switch steps[i].Kind {
+		case gremlin.StepOut, gremlin.StepIn, gremlin.StepBoth,
+			gremlin.StepOutE, gremlin.StepInE, gremlin.StepBothE:
+			n++
+		case gremlin.StepLoop:
+			// The segment already ran once; each extra pass repeats it.
+			n += (steps[i].LoopMax - 1) * countTraversals(loopSegment(steps, i))
+		case gremlin.StepIfThenElse:
+			n += countTraversals(steps[i].Then) + countTraversals(steps[i].Else)
+		}
+	}
+	return n
+}
+
+func loopSegment(steps []gremlin.Step, loopIdx int) []gremlin.Step {
+	s := &steps[loopIdx]
+	if s.Name != "" {
+		for j := loopIdx - 1; j >= 0; j-- {
+			if steps[j].Kind == gremlin.StepAs && steps[j].Name == s.Name {
+				return steps[j+1 : loopIdx]
+			}
+		}
+		return nil
+	}
+	start := loopIdx - s.BackN
+	if start < 0 {
+		return nil
+	}
+	return steps[start:loopIdx]
+}
+
+func (t *translator) translate(q *gremlin.Query) (*Translation, error) {
+	if len(q.Steps) == 0 {
+		return nil, fmt.Errorf("translate: empty query")
+	}
+	t.track = needsPathTracking(q.Steps)
+	t.traversal = countTraversals(q.Steps)
+
+	rest, err := t.source(&q.Steps[0], q.Steps[1:])
+	if err != nil {
+		return nil, err
+	}
+	if err := t.pipeline(rest); err != nil {
+		return nil, err
+	}
+
+	var sb strings.Builder
+	if len(t.ctes) == 1 && !t.track {
+		sb.WriteString(t.ctes[0].body)
+	} else {
+		sb.WriteString("WITH ")
+		for i, c := range t.ctes {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.name)
+			sb.WriteString(" AS (")
+			sb.WriteString(c.body)
+			sb.WriteString(")")
+		}
+		sb.WriteString(" SELECT VAL FROM ")
+		sb.WriteString(t.ctes[len(t.ctes)-1].name)
+	}
+	return &Translation{
+		SQL:      sb.String(),
+		ElemType: t.typ,
+	}, nil
+}
+
+// pipeline translates a run of steps.
+func (t *translator) pipeline(steps []gremlin.Step) error {
+	for i := 0; i < len(steps); i++ {
+		s := &steps[i]
+		if s.Kind == gremlin.StepLoop {
+			if err := t.loop(steps, i, s); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := t.step(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lit renders a Gremlin literal as SQL.
+func lit(v any) string {
+	switch x := v.(type) {
+	case string:
+		return "'" + strings.ReplaceAll(x, "'", "''") + "'"
+	case bool:
+		if x {
+			return "TRUE"
+		}
+		return "FALSE"
+	case nil:
+		return "NULL"
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+func sqlOp(op gremlin.CmpOp) (string, error) {
+	switch op {
+	case gremlin.OpEq:
+		return "=", nil
+	case gremlin.OpNeq:
+		return "<>", nil
+	case gremlin.OpLt:
+		return "<", nil
+	case gremlin.OpLte:
+		return "<=", nil
+	case gremlin.OpGt:
+		return ">", nil
+	case gremlin.OpGte:
+		return ">=", nil
+	default:
+		return "", fmt.Errorf("translate: unsupported operator %q", op)
+	}
+}
+
+// source emits the first CTE and returns the remaining steps (merging
+// immediately-following attribute filters into the source lookup — the
+// GraphQuery rewrite of Section 4.5.1).
+func (t *translator) source(s *gremlin.Step, rest []gremlin.Step) ([]gremlin.Step, error) {
+	var conds []string
+	consumed := 0
+
+	switch s.Kind {
+	case gremlin.StepV:
+		t.typ = ElemVertex
+		conds = append(conds, "VID >= 0")
+		if len(s.StartIDs) > 0 {
+			ids := make([]string, len(s.StartIDs))
+			for i, id := range s.StartIDs {
+				ids[i] = fmt.Sprint(id)
+			}
+			conds = append(conds, "VID IN ("+strings.Join(ids, ", ")+")")
+		}
+		if s.StartKey != "" {
+			conds = append(conds, fmt.Sprintf("JSON_VAL(ATTR, %s) = %s", lit(s.StartKey), lit(s.StartVal)))
+		}
+		// GraphQuery merge: fold subsequent vertex attribute filters in.
+		for consumed < len(rest) {
+			cond, ok, err := attrCond(&rest[consumed], "ATTR")
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			conds = append(conds, cond)
+			consumed++
+		}
+		sel := "SELECT VID AS VAL"
+		if t.track {
+			sel += ", LIST() AS PATH"
+		}
+		t.cur = t.add(sel + " FROM VA WHERE " + strings.Join(conds, " AND "))
+	case gremlin.StepE:
+		t.typ = ElemEdge
+		if len(s.StartIDs) > 0 {
+			ids := make([]string, len(s.StartIDs))
+			for i, id := range s.StartIDs {
+				ids[i] = fmt.Sprint(id)
+			}
+			conds = append(conds, "EID IN ("+strings.Join(ids, ", ")+")")
+		}
+		if s.StartKey != "" {
+			conds = append(conds, edgeKeyCond(s.StartKey, "=", s.StartVal, "ATTR", "LBL"))
+		}
+		for consumed < len(rest) {
+			cond, ok, err := edgeAttrCond(&rest[consumed])
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			conds = append(conds, cond)
+			consumed++
+		}
+		sel := "SELECT EID AS VAL"
+		if t.track {
+			sel += ", LIST() AS PATH"
+		}
+		body := sel + " FROM EA"
+		if len(conds) > 0 {
+			body += " WHERE " + strings.Join(conds, " AND ")
+		}
+		t.cur = t.add(body)
+	default:
+		return nil, fmt.Errorf("translate: query must start with V or E")
+	}
+	t.depth = 1
+	t.hist = []ElemType{t.typ}
+	return rest[consumed:], nil
+}
+
+// attrCond renders a vertex attribute filter step as a condition over the
+// given JSON column, or reports it cannot.
+func attrCond(s *gremlin.Step, attrCol string) (string, bool, error) {
+	switch s.Kind {
+	case gremlin.StepHas, gremlin.StepFilter:
+		jv := fmt.Sprintf("JSON_VAL(%s, %s)", attrCol, lit(s.Key))
+		if s.Op == "" {
+			return jv + " IS NOT NULL", true, nil
+		}
+		op, err := sqlOp(s.Op)
+		if err != nil {
+			return "", false, err
+		}
+		return fmt.Sprintf("%s %s %s", jv, op, lit(s.Value)), true, nil
+	case gremlin.StepHasNot:
+		return fmt.Sprintf("JSON_VAL(%s, %s) IS NULL", attrCol, lit(s.Key)), true, nil
+	case gremlin.StepInterval:
+		jv := fmt.Sprintf("JSON_VAL(%s, %s)", attrCol, lit(s.Key))
+		return fmt.Sprintf("%s >= %s AND %s < %s", jv, lit(s.Lo), jv, lit(s.Hi)), true, nil
+	default:
+		return "", false, nil
+	}
+}
+
+// edgeAttrCond is attrCond for edges, where the pseudo-attribute "label"
+// maps to the LBL column.
+func edgeAttrCond(s *gremlin.Step) (string, bool, error) {
+	switch s.Kind {
+	case gremlin.StepHas, gremlin.StepFilter:
+		if s.Op == "" {
+			if s.Key == "label" {
+				return "LBL IS NOT NULL", true, nil
+			}
+			return fmt.Sprintf("JSON_VAL(ATTR, %s) IS NOT NULL", lit(s.Key)), true, nil
+		}
+		op, err := sqlOp(s.Op)
+		if err != nil {
+			return "", false, err
+		}
+		return edgeKeyCond(s.Key, op, s.Value, "ATTR", "LBL"), true, nil
+	case gremlin.StepHasNot:
+		return fmt.Sprintf("JSON_VAL(ATTR, %s) IS NULL", lit(s.Key)), true, nil
+	case gremlin.StepInterval:
+		jv := fmt.Sprintf("JSON_VAL(ATTR, %s)", lit(s.Key))
+		return fmt.Sprintf("%s >= %s AND %s < %s", jv, lit(s.Lo), jv, lit(s.Hi)), true, nil
+	default:
+		return "", false, nil
+	}
+}
+
+func edgeKeyCond(key, op string, val any, attrCol, lblCol string) string {
+	if key == "label" {
+		return fmt.Sprintf("%s %s %s", lblCol, op, lit(val))
+	}
+	return fmt.Sprintf("JSON_VAL(%s, %s) %s %s", attrCol, lit(key), op, lit(val))
+}
