@@ -1,10 +1,12 @@
 // Command sqlgraph is an interactive front-end to the store: it loads the
 // paper's sample graph (Figure 2a) or a generated dataset, runs Gremlin
 // queries, shows their SQL translations, and reports schema statistics.
+// With -dir it operates on a durable on-disk store instead of building
+// one in memory per run.
 //
 // Usage:
 //
-//	sqlgraph [-dataset sample|dbpedia] [-scale tiny|small|medium] <command> [args]
+//	sqlgraph [-dir path] [-dataset sample|dbpedia] [-scale tiny|small|medium] <command> [args]
 //
 // Commands:
 //
@@ -12,12 +14,20 @@
 //	translate <gremlin>  print the SQL a Gremlin query compiles to
 //	stats                print hash-table statistics (paper Table 3)
 //	demo                 run a short guided demo on the sample graph
+//	load                 bulk-load the selected dataset into -dir
+//	fsck                 verify a durable store directory (requires -dir)
+//
+// fsck recovers the graph from the snapshot and write-ahead log, then
+// checks the hybrid schema's internal invariants. It exits 0 when the
+// store is healthy and non-zero when the log is corrupt or any invariant
+// is violated.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"sqlgraph"
@@ -28,13 +38,60 @@ import (
 func main() {
 	dataset := flag.String("dataset", "sample", "graph to load: sample (paper Figure 2a) or dbpedia (synthetic)")
 	scale := flag.String("scale", "tiny", "dbpedia dataset scale: tiny, small, medium")
+	dir := flag.String("dir", "", "durable store directory (load populates it; other commands open it)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"demo"}
 	}
 
-	g, err := loadGraph(*dataset, *scale)
+	// fsck and load manage the directory themselves, before any store is
+	// opened.
+	switch args[0] {
+	case "fsck":
+		if *dir == "" {
+			log.Fatal("fsck requires -dir")
+		}
+		// An absent directory would recover as an empty (vacuously healthy)
+		// store; fail loudly instead so a typo'd path can't pass.
+		if _, err := os.Stat(*dir); err != nil {
+			log.Fatalf("fsck: %v", err)
+		}
+		violations, err := sqlgraph.Fsck(*dir)
+		if err != nil {
+			log.Fatalf("fsck: %v", err)
+		}
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Println(v)
+			}
+			log.Fatalf("fsck: %d violation(s)", len(violations))
+		}
+		fmt.Println("fsck: ok")
+		return
+	case "load":
+		if *dir == "" {
+			log.Fatal("load requires -dir")
+		}
+		g, err := buildGraph(*dataset, *scale, sqlgraph.Options{Dir: *dir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %s into %s: %d vertices, %d edges\n",
+			*dataset, *dir, g.CountVertices(), g.CountEdges())
+		if err := g.Close(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var g *sqlgraph.Graph
+	var err error
+	if *dir != "" {
+		g, err = sqlgraph.Open(sqlgraph.Options{Dir: *dir})
+	} else {
+		g, err = buildGraph(*dataset, *scale, sqlgraph.Options{})
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,14 +134,19 @@ func main() {
 	case "demo":
 		demo(g)
 	default:
-		log.Fatalf("unknown command %q (want query, translate, stats, demo)", args[0])
+		log.Fatalf("unknown command %q (want query, translate, stats, demo, load, fsck)", args[0])
+	}
+	if err := g.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 
-func loadGraph(dataset, scale string) (*sqlgraph.Graph, error) {
+// buildGraph constructs the selected dataset. With a Dir option the graph
+// is bulk-loaded into a fresh durable directory.
+func buildGraph(dataset, scale string, opts sqlgraph.Options) (*sqlgraph.Graph, error) {
 	switch dataset {
 	case "sample":
-		return sampleGraph()
+		return sampleGraph(opts)
 	case "dbpedia":
 		var s experiments.Scale
 		switch scale {
@@ -97,7 +159,10 @@ func loadGraph(dataset, scale string) (*sqlgraph.Graph, error) {
 		default:
 			return nil, fmt.Errorf("unknown scale %q", scale)
 		}
-		d := dbpedia.Generate(experiments.DBpediaConfig(s))
+		d, err := dbpedia.Generate(experiments.DBpediaConfig(s))
+		if err != nil {
+			return nil, err
+		}
 		b := sqlgraph.NewBuilder()
 		for _, v := range d.Graph.VertexIDs() {
 			attrs, _ := d.Graph.VertexAttrs(v)
@@ -112,14 +177,14 @@ func loadGraph(dataset, scale string) (*sqlgraph.Graph, error) {
 				return nil, err
 			}
 		}
-		return sqlgraph.Load(b, sqlgraph.Options{})
+		return sqlgraph.Load(b, opts)
 	default:
 		return nil, fmt.Errorf("unknown dataset %q", dataset)
 	}
 }
 
 // sampleGraph builds the paper's Figure 2a property graph.
-func sampleGraph() (*sqlgraph.Graph, error) {
+func sampleGraph(opts sqlgraph.Options) (*sqlgraph.Graph, error) {
 	b := sqlgraph.NewBuilder()
 	steps := []error{
 		b.AddVertex(1, map[string]any{"name": "marko", "age": 29}),
@@ -137,7 +202,7 @@ func sampleGraph() (*sqlgraph.Graph, error) {
 			return nil, err
 		}
 	}
-	return sqlgraph.Load(b, sqlgraph.Options{})
+	return sqlgraph.Load(b, opts)
 }
 
 func demo(g *sqlgraph.Graph) {

@@ -97,18 +97,21 @@ const (
 )
 
 // Generate builds the dataset.
-func Generate(cfg Config) *Dataset {
+func Generate(cfg Config) (*Dataset, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := blueprints.NewMemGraph()
 	d := &Dataset{Graph: g}
 
+	// The add closures record the first failure and turn the rest into
+	// no-ops; the single check at the end keeps the generation code flat.
+	var firstErr error
 	var nextV, nextE int64
 	addV := func(attrs map[string]any) int64 {
 		id := nextV
 		nextV++
-		if err := g.AddVertex(id, attrs); err != nil {
-			panic(err)
+		if err := g.AddVertex(id, attrs); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dbpedia: vertex %d: %w", id, err)
 		}
 		return id
 	}
@@ -121,8 +124,8 @@ func Generate(cfg Config) *Dataset {
 			"section":       sections[rng.Intn(len(sections))],
 			"relative-line": int64(rng.Intn(500)),
 		}
-		if err := g.AddEdge(id, out, in, label, attrs); err != nil {
-			panic(err)
+		if err := g.AddEdge(id, out, in, label, attrs); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dbpedia: edge %d (%d-[%s]->%d): %w", id, out, label, in, err)
 		}
 		return id
 	}
@@ -237,9 +240,12 @@ func Generate(cfg Config) *Dataset {
 		d.Works = append(d.Works, work)
 	}
 
+	if firstErr != nil {
+		return nil, firstErr
+	}
 	d.NumVertices = g.CountVertices()
 	d.NumEdges = g.CountEdges()
-	return d
+	return d, nil
 }
 
 var sections = []string{"External_link", "History", "Geography", "Demographics", "Infobox"}

@@ -11,8 +11,17 @@ func smallCfg() Config {
 	}
 }
 
+func mustGenerate(t *testing.T, cfg Config) *Dataset {
+	t.Helper()
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
 func TestGenerateStructure(t *testing.T) {
-	d := Generate(smallCfg())
+	d := mustGenerate(t, smallCfg())
 	if len(d.Countries) != 2 || len(d.Regions) != 4 || len(d.Districts) != 8 ||
 		len(d.Settlements) != 16 || len(d.Villages) != 32 {
 		t.Fatalf("hierarchy sizes: %d %d %d %d %d",
@@ -50,8 +59,8 @@ func TestGenerateStructure(t *testing.T) {
 }
 
 func TestGenerateDeterministic(t *testing.T) {
-	a := Generate(smallCfg())
-	b := Generate(smallCfg())
+	a := mustGenerate(t, smallCfg())
+	b := mustGenerate(t, smallCfg())
 	if a.NumVertices != b.NumVertices || a.NumEdges != b.NumEdges {
 		t.Fatalf("nondeterministic: %d/%d vs %d/%d", a.NumVertices, a.NumEdges, b.NumVertices, b.NumEdges)
 	}
@@ -64,7 +73,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGenerateAttributeShapes(t *testing.T) {
-	d := Generate(smallCfg())
+	d := mustGenerate(t, smallCfg())
 	// Some players carry 'national' (selective), all carry wikiPageID.
 	withNational := 0
 	for _, p := range d.Players {
@@ -93,7 +102,7 @@ func TestGenerateAttributeShapes(t *testing.T) {
 }
 
 func TestDefaults(t *testing.T) {
-	d := Generate(Config{Seed: 3})
+	d := mustGenerate(t, Config{Seed: 3})
 	if d.NumVertices == 0 || d.NumEdges == 0 {
 		t.Fatal("default config generated nothing")
 	}

@@ -10,7 +10,10 @@ import (
 )
 
 func BenchmarkProfileAdjacency(b *testing.B) {
-	d := dbpedia.Generate(DBpediaConfig(ScaleSmall))
+	d, err := dbpedia.Generate(DBpediaConfig(ScaleSmall))
+	if err != nil {
+		b.Fatal(err)
+	}
 	s, err := core.Load(d.Graph, core.Options{})
 	if err != nil {
 		b.Fatal(err)

@@ -67,7 +67,10 @@ type DBpediaEnv struct {
 
 // SetupDBpedia generates the dataset and loads every system.
 func SetupDBpedia(scale Scale, cost baseline.CostModel, withBaselines bool) (*DBpediaEnv, error) {
-	data := dbpedia.Generate(DBpediaConfig(scale))
+	data, err := dbpedia.Generate(DBpediaConfig(scale))
+	if err != nil {
+		return nil, err
+	}
 	store, err := core.Load(data.Graph, core.Options{})
 	if err != nil {
 		return nil, err

@@ -11,10 +11,14 @@ import (
 
 func smallDataset(t *testing.T) *dbpedia.Dataset {
 	t.Helper()
-	return dbpedia.Generate(dbpedia.Config{
+	d, err := dbpedia.Generate(dbpedia.Config{
 		Countries: 2, RegionFan: 2, DistrictFan: 2, SettlementFan: 2, VillageFan: 2,
 		Players: 120, Teams: 12, Works: 60, Seed: 7,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
 }
 
 func TestAdjacencyQueriesParseAndShape(t *testing.T) {

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/faultinject"
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/wal"
+)
+
+// The crash sweep: run a scripted workload against a durable store,
+// simulate a crash at every WAL write boundary (plus torn writes inside
+// frames of every record type, plus the commit-to-flush gap), recover,
+// and require that (a) the fsck finds zero violations and (b) the
+// recovered store's logical view equals an in-memory oracle that applied
+// exactly the committed prefix — and that the recovered store can then
+// finish the workload and still match.
+
+// wop is one scripted workload operation.
+type wop struct {
+	op      wal.OpKind
+	id      int64
+	out, in int64
+	label   string
+	key     string
+	val     any
+}
+
+// applyWop runs one operation against a store or oracle. Vacuum is a
+// physical-space operation with no logical effect, so the oracle ignores
+// it.
+func applyWop(m graphMutator, w wop) error {
+	switch w.op {
+	case wal.OpAddVertex:
+		return m.AddVertex(w.id, map[string]any{"n": w.id})
+	case wal.OpAddEdge:
+		var attrs map[string]any
+		if w.val != nil {
+			attrs = map[string]any{"w": w.val}
+		}
+		return m.AddEdge(w.id, w.out, w.in, w.label, attrs)
+	case wal.OpRemoveEdge:
+		return m.RemoveEdge(w.id)
+	case wal.OpRemoveVertex:
+		return m.RemoveVertex(w.id)
+	case wal.OpSetVertexAttr:
+		return m.SetVertexAttr(w.id, w.key, w.val)
+	case wal.OpRemoveVertexAttr:
+		return m.RemoveVertexAttr(w.id, w.key)
+	case wal.OpSetEdgeAttr:
+		return m.SetEdgeAttr(w.id, w.key, w.val)
+	case wal.OpRemoveEdgeAttr:
+		return m.RemoveEdgeAttr(w.id, w.key)
+	case wal.OpVacuum:
+		if s, ok := m.(*Store); ok {
+			_, err := s.Vacuum()
+			return err
+		}
+		return nil
+	}
+	return errors.New("unknown op")
+}
+
+// buildWorkload scripts n mixed mutations, using an oracle replica to
+// pick valid targets. Vertex ids are never reused after removal (the
+// negative-id soft delete makes a re-added id ambiguous by design — the
+// paper's scheme assumes ids are not recycled). Every op kind appears.
+func buildWorkload(n int) []wop {
+	rng := rand.New(rand.NewSource(42))
+	model := blueprints.NewMemGraph()
+	labels := []string{"a", "b", "c", "d", "e"}
+	keys := []string{"k1", "k2", "k3"}
+	attrVals := []any{int64(7), "str", 2.5, true, []any{int64(1), "x"}, map[string]any{"deep": int64(3)}}
+	nextVID, nextEID := int64(0), int64(1000)
+
+	var ops []wop
+	emit := func(w wop) {
+		if err := applyWop(model, w); err != nil {
+			panic("workload generator produced invalid op: " + err.Error())
+		}
+		ops = append(ops, w)
+	}
+	liveV := func() []int64 { return sortedIDs(model.VertexIDs()) }
+	liveE := func() []int64 { return sortedIDs(model.EdgeIDs()) }
+
+	addVertex := func() {
+		emit(wop{op: wal.OpAddVertex, id: nextVID})
+		nextVID++
+	}
+	// Seed enough vertices for edges to exist.
+	for i := 0; i < 5; i++ {
+		addVertex()
+	}
+	for len(ops) < n {
+		vs := liveV()
+		es := liveE()
+		switch p := rng.Intn(100); {
+		case p < 22:
+			addVertex()
+		case p < 52:
+			if len(vs) < 2 {
+				addVertex()
+				continue
+			}
+			out := vs[rng.Intn(len(vs))]
+			in := vs[rng.Intn(len(vs))] // self-loops allowed
+			var val any
+			if rng.Intn(2) == 0 {
+				val = attrVals[rng.Intn(len(attrVals))]
+			}
+			emit(wop{op: wal.OpAddEdge, id: nextEID, out: out, in: in, label: labels[rng.Intn(len(labels))], val: val})
+			nextEID++
+		case p < 62:
+			if len(vs) == 0 {
+				addVertex()
+				continue
+			}
+			emit(wop{op: wal.OpSetVertexAttr, id: vs[rng.Intn(len(vs))], key: keys[rng.Intn(len(keys))], val: attrVals[rng.Intn(len(attrVals))]})
+		case p < 67:
+			if len(vs) == 0 {
+				addVertex()
+				continue
+			}
+			emit(wop{op: wal.OpRemoveVertexAttr, id: vs[rng.Intn(len(vs))], key: keys[rng.Intn(len(keys))]})
+		case p < 75:
+			if len(es) == 0 {
+				addVertex()
+				continue
+			}
+			emit(wop{op: wal.OpSetEdgeAttr, id: es[rng.Intn(len(es))], key: keys[rng.Intn(len(keys))], val: attrVals[rng.Intn(len(attrVals))]})
+		case p < 79:
+			if len(es) == 0 {
+				addVertex()
+				continue
+			}
+			emit(wop{op: wal.OpRemoveEdgeAttr, id: es[rng.Intn(len(es))], key: keys[rng.Intn(len(keys))]})
+		case p < 87:
+			if len(es) == 0 {
+				addVertex()
+				continue
+			}
+			emit(wop{op: wal.OpRemoveEdge, id: es[rng.Intn(len(es))]})
+		case p < 94:
+			if len(vs) < 3 {
+				addVertex()
+				continue
+			}
+			emit(wop{op: wal.OpRemoveVertex, id: vs[rng.Intn(len(vs))]})
+		default:
+			emit(wop{op: wal.OpVacuum})
+		}
+	}
+	return ops
+}
+
+// oracleAfter replays the first k workload ops into a fresh oracle.
+func oracleAfter(t *testing.T, ops []wop, k int) *blueprints.MemGraph {
+	t.Helper()
+	g := blueprints.NewMemGraph()
+	for i := 0; i < k; i++ {
+		if err := applyWop(g, ops[i]); err != nil {
+			t.Fatalf("oracle replay op %d: %v", i, err)
+		}
+	}
+	return g
+}
+
+func sweepOptions(dir string, mode DeleteMode) Options {
+	// Two columns force label collisions, spill rows, and multi-valued
+	// lists; snapshots are disabled so every op stays in the log and the
+	// byte boundaries cover the whole workload.
+	return Options{Dir: dir, OutCols: 2, InCols: 2, DeleteMode: mode, SnapshotEvery: -1}
+}
+
+// runCrashAt opens a fresh durable store, lets it crash at the given
+// write-byte limit (or at the given commit via commitGap), and verifies
+// recovery: fsck-clean, equivalent to the oracle's committed prefix of
+// expectK ops, and able to finish the workload.
+func runCrashAt(t *testing.T, ops []wop, mode DeleteMode, byteLimit int, commitGap int, expectK int, ctx string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(sweepOptions(dir, mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byteLimit >= 0 {
+		s.WAL().SetWriteHook(faultinject.ByteLimit(byteLimit))
+	}
+	if commitGap >= 0 {
+		var commits int32
+		l := s.WAL()
+		rel.SetCommitHook(func() {
+			if int(atomic.AddInt32(&commits, 1)) == commitGap+1 {
+				l.Kill(faultinject.ErrInjected)
+			}
+		})
+		defer rel.SetCommitHook(nil)
+	}
+	crashed := false
+	for i, w := range ops {
+		if err := applyWop(s, w); err != nil {
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("%s: op %d failed with a non-injected error: %v", ctx, i, err)
+			}
+			crashed = true
+			break
+		}
+	}
+	rel.SetCommitHook(nil)
+	if !crashed && expectK != len(ops) {
+		// The final boundary's byte budget covers the whole log, so the
+		// workload legitimately completes; any earlier point must crash.
+		t.Fatalf("%s: workload completed without hitting the crash point", ctx)
+	}
+	// The crashed store is abandoned, like a dead process. Recover.
+	st, err := wal.Recover(dir)
+	if err != nil {
+		t.Fatalf("%s: recover: %v", ctx, err)
+	}
+	if len(st.Records) != expectK {
+		t.Fatalf("%s: recovered %d records, want %d", ctx, len(st.Records), expectK)
+	}
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("%s: reopen: %v", ctx, err)
+	}
+	defer s2.Close()
+	if vs := Check(s2); len(vs) != 0 {
+		t.Fatalf("%s: fsck violations after recovery: %v", ctx, vs)
+	}
+	g := oracleAfter(t, ops, expectK)
+	assertStoreMatchesOracle(t, s2, g, ctx+" (recovered prefix)")
+
+	// The recovered store must be able to finish the workload.
+	for i := expectK; i < len(ops); i++ {
+		if err := applyWop(s2, ops[i]); err != nil {
+			t.Fatalf("%s: continuing op %d after recovery: %v", ctx, i, err)
+		}
+		if err := applyWop(g, ops[i]); err != nil {
+			t.Fatalf("%s: oracle op %d: %v", ctx, i, err)
+		}
+	}
+	if vs := Check(s2); len(vs) != 0 {
+		t.Fatalf("%s: fsck violations after finishing workload: %v", ctx, vs)
+	}
+	assertStoreMatchesOracle(t, s2, g, ctx+" (finished workload)")
+}
+
+func TestCrashSweep(t *testing.T) {
+	const nOps = 220
+	ops := buildWorkload(nOps)
+	if len(ops) < 200 {
+		t.Fatalf("workload has %d ops, want >= 200", len(ops))
+	}
+	kinds := map[wal.OpKind]bool{}
+	for _, w := range ops {
+		kinds[w.op] = true
+	}
+	if len(kinds) != 9 {
+		t.Fatalf("workload exercises %d op kinds, want all 9", len(kinds))
+	}
+
+	for _, mode := range []DeleteMode{DeleteClean, DeletePaperSoft} {
+		mode := mode
+		modeName := map[DeleteMode]string{DeleteClean: "clean", DeletePaperSoft: "papersoft"}[mode]
+
+		// Clean run: enumerate the write boundaries the sweep crashes at.
+		cleanDir := t.TempDir()
+		s, err := Open(sweepOptions(cleanDir, mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range ops {
+			if err := applyWop(s, w); err != nil {
+				t.Fatalf("clean run op %d: %v", i, err)
+			}
+		}
+		if vs := Check(s); len(vs) != 0 {
+			t.Fatalf("clean run: Check violations: %v", vs)
+		}
+		assertStoreMatchesOracle(t, s, oracleAfter(t, ops, len(ops)), "clean run")
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		frames, err := wal.ScanFrames(filepath.Join(cleanDir, "wal.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frames) != len(ops) {
+			t.Fatalf("clean run wrote %d records for %d ops", len(frames), len(ops))
+		}
+
+		type point struct {
+			bytes int // crash after this many log bytes
+			k     int // committed prefix length that must survive
+			ctx   string
+		}
+		var points []point
+		// Every frame boundary: byte 0 (nothing durable) and the end of
+		// each frame (exactly i+1 records durable).
+		points = append(points, point{bytes: 0, k: 0, ctx: "boundary 0"})
+		for i, fr := range frames {
+			points = append(points, point{bytes: fr.Offset + fr.Size, k: i + 1, ctx: "boundary " + itoa(i+1)})
+		}
+		// Torn writes inside a frame: for the first frame of every record
+		// type, cut mid-frame and just past the header start.
+		tornDone := map[wal.OpKind]bool{}
+		for i, fr := range frames {
+			if tornDone[fr.Op] {
+				continue
+			}
+			tornDone[fr.Op] = true
+			points = append(points,
+				point{bytes: fr.Offset + fr.Size/2, k: i, ctx: "torn mid " + fr.Op.String()},
+				point{bytes: fr.Offset + 2, k: i, ctx: "torn header " + fr.Op.String()},
+			)
+		}
+		// In short mode (CI budget) subsample the boundary sweep but keep
+		// every torn-write point.
+		stride := 1
+		if testing.Short() {
+			stride = 13
+		}
+		for idx, p := range points {
+			if stride > 1 && idx < len(frames)+1 && idx%stride != 0 {
+				continue
+			}
+			runCrashAt(t, ops, mode, p.bytes, -1, p.k, modeName+" "+p.ctx)
+		}
+
+		// The commit-to-flush gap: the rel.Txn commits in memory, then the
+		// process dies before the WAL flush. The i-th committed op must be
+		// the one that vanishes.
+		gapStride := 17
+		if testing.Short() {
+			gapStride = 61
+		}
+		for i := 0; i < len(ops); i += gapStride {
+			runCrashAt(t, ops, mode, -1, i, i, modeName+" commit gap "+itoa(i))
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -6,6 +6,7 @@ import (
 	"sqlgraph/internal/blueprints"
 	"sqlgraph/internal/rel"
 	"sqlgraph/internal/sqljson"
+	"sqlgraph/internal/wal"
 )
 
 // The graph update operations are implemented as multi-table "stored
@@ -26,11 +27,18 @@ func (s *Store) AddVertex(id int64, attrs map[string]any) error {
 	}
 	tx := s.fpVA.Begin()
 	defer tx.Rollback()
-	if _, err := tx.Insert(TableVA, []rel.Value{rel.NewInt(id), rel.NewJSON(docFromMap(attrs))}); err != nil {
+	if vertexLiveTx(tx, id) {
 		return fmt.Errorf("%w: vertex %d", blueprints.ErrExists, id)
 	}
+	doc := docFromMap(attrs)
+	if _, err := tx.Insert(TableVA, []rel.Value{rel.NewInt(id), rel.NewJSON(doc)}); err != nil {
+		return err
+	}
+	if err := s.logAppend(wal.Record{Op: wal.OpAddVertex, ID: id, Doc: doc.String()}); err != nil {
+		return err
+	}
 	tx.Commit()
-	return nil
+	return s.logCommit()
 }
 
 // AddEdge implements blueprints.Graph: insert into EA plus both hash
@@ -46,10 +54,14 @@ func (s *Store) AddEdge(id int64, out, in int64, label string, attrs map[string]
 			return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, v)
 		}
 	}
-	if _, err := tx.Insert(TableEA, []rel.Value{
-		rel.NewInt(id), rel.NewInt(out), rel.NewInt(in), rel.NewString(label), rel.NewJSON(docFromMap(attrs)),
-	}); err != nil {
+	if _, _, ok := edgeTx(tx, id); ok {
 		return fmt.Errorf("%w: edge %d", blueprints.ErrExists, id)
+	}
+	doc := docFromMap(attrs)
+	if _, err := tx.Insert(TableEA, []rel.Value{
+		rel.NewInt(id), rel.NewInt(out), rel.NewInt(in), rel.NewString(label), rel.NewJSON(doc),
+	}); err != nil {
+		return err
 	}
 	if err := s.addAdjacent(tx, true, out, id, label, in); err != nil {
 		return err
@@ -57,8 +69,11 @@ func (s *Store) AddEdge(id int64, out, in int64, label string, attrs map[string]
 	if err := s.addAdjacent(tx, false, in, id, label, out); err != nil {
 		return err
 	}
+	if err := s.logAppend(wal.Record{Op: wal.OpAddEdge, ID: id, Out: out, In: in, Label: label, Doc: doc.String()}); err != nil {
+		return err
+	}
 	tx.Commit()
-	return nil
+	return s.logCommit()
 }
 
 func vertexLiveTx(tx *rel.Txn, id int64) bool {
@@ -190,8 +205,11 @@ func (s *Store) RemoveEdge(id int64) error {
 	if err := s.removeAdjacent(tx, false, rec.In, id, rec.Label); err != nil {
 		return err
 	}
+	if err := s.logAppend(wal.Record{Op: wal.OpRemoveEdge, ID: id}); err != nil {
+		return err
+	}
 	tx.Commit()
-	return nil
+	return s.logCommit()
 }
 
 func edgeTx(tx *rel.Txn, id int64) (blueprints.EdgeRec, rel.RowID, bool) {
@@ -365,8 +383,11 @@ func (s *Store) RemoveVertex(id int64) error {
 			}
 		}
 	}
+	if err := s.logAppend(wal.Record{Op: wal.OpRemoveVertex, ID: id}); err != nil {
+		return err
+	}
 	tx.Commit()
-	return nil
+	return s.logCommit()
 }
 
 // Vacuum physically removes rows left behind by soft deletes: negated VA
@@ -402,38 +423,74 @@ func (s *Store) Vacuum() (removed int, err error) {
 	for _, side := range []struct {
 		primary   string
 		secondary string
-		secIndex  string
 		cols      int
 	}{
-		{TableOPA, TableOSA, IndexOSAVALID, s.outCols},
-		{TableIPA, TableISA, IndexISAVALID, s.inCols},
+		{TableOPA, TableOSA, s.outCols},
+		{TableIPA, TableISA, s.inCols},
 	} {
+		// Count, per lid, the secondary rows that will survive the removal
+		// of dead-target rows: a live lid cell whose list would empty out
+		// must be cleared along with its remaining rows.
+		survivors := map[int64]int{}
+		if err := tx.Scan(side.secondary, func(rid rel.RowID, vals []rel.Value) bool {
+			if !deleted[vals[secVAL].Int()] {
+				survivors[vals[secVALID].Int()]++
+			}
+			return true
+		}); err != nil {
+			return removed, err
+		}
+
 		type change struct {
 			rid  rel.RowID
 			vals []rel.Value
 			drop bool
 		}
 		var changes []change
+		dropLids := map[int64]bool{}
 		if err := tx.Scan(side.primary, func(rid rel.RowID, vals []rel.Value) bool {
 			if vals[adjVID].Int() < 0 {
+				// Dropping the row: the secondary lists its lid cells own
+				// go with it, whatever their rows point at.
+				for k := 0; k < side.cols; k++ {
+					if vals[adjLBL(k)].IsNull() || !vals[adjEID(k)].IsNull() {
+						continue
+					}
+					if val := vals[adjVAL(k)]; !val.IsNull() && val.Int() < 0 {
+						dropLids[val.Int()] = true
+					}
+				}
 				changes = append(changes, change{rid: rid, drop: true})
 				return true
 			}
 			dirty := false
 			updated := vals
+			clearCell := func(k int) {
+				if !dirty {
+					updated = append([]rel.Value(nil), vals...)
+					dirty = true
+				}
+				updated[adjEID(k)] = rel.Null
+				updated[adjLBL(k)] = rel.Null
+				updated[adjVAL(k)] = rel.Null
+			}
 			for k := 0; k < side.cols; k++ {
 				val := vals[adjVAL(k)]
-				if val.IsNull() || val.Int() < 0 {
-					continue // empty or multi-valued (lid) cell
+				if val.IsNull() {
+					continue
 				}
-				if deleted[val.Int()] {
-					if !dirty {
-						updated = append([]rel.Value(nil), vals...)
-						dirty = true
+				if !vals[adjEID(k)].IsNull() {
+					// Single-valued cell: clear if the target is deleted.
+					if deleted[val.Int()] {
+						clearCell(k)
 					}
-					updated[adjEID(k)] = rel.Null
-					updated[adjLBL(k)] = rel.Null
-					updated[adjVAL(k)] = rel.Null
+					continue
+				}
+				if val.Int() < 0 && survivors[val.Int()] == 0 {
+					// Multi-valued cell whose whole list points at deleted
+					// vertices.
+					dropLids[val.Int()] = true
+					clearCell(k)
 				}
 			}
 			if dirty {
@@ -455,10 +512,11 @@ func (s *Store) Vacuum() (removed int, err error) {
 				return removed, err
 			}
 		}
-		// Secondary rows pointing at deleted vertices.
+		// Secondary rows pointing at deleted vertices, plus whole lists
+		// owned by dropped rows or cleared cells.
 		var deadSec []rel.RowID
 		if err := tx.Scan(side.secondary, func(rid rel.RowID, vals []rel.Value) bool {
-			if deleted[vals[secVAL].Int()] {
+			if deleted[vals[secVAL].Int()] || dropLids[vals[secVALID].Int()] {
 				deadSec = append(deadSec, rid)
 			}
 			return true
@@ -472,21 +530,32 @@ func (s *Store) Vacuum() (removed int, err error) {
 			removed++
 		}
 	}
+	if err := s.logAppend(wal.Record{Op: wal.OpVacuum}); err != nil {
+		return 0, err // rolled back
+	}
 	tx.Commit()
-	return removed, nil
+	return removed, s.logCommit()
+}
+
+// valDoc wraps an attribute value for its WAL record: Set*Attr values can
+// be any JSON type, so they travel inside a {"v": ...} envelope.
+func valDoc(val any) string {
+	return sqljson.FromMap(map[string]any{"v": val}).String()
 }
 
 // SetVertexAttr implements blueprints.Graph.
 func (s *Store) SetVertexAttr(id int64, key string, val any) error {
-	return s.mutateVertexDoc(id, func(doc *sqljson.Doc) { doc.Set(key, val) })
+	rec := wal.Record{Op: wal.OpSetVertexAttr, ID: id, Key: key, Doc: valDoc(val)}
+	return s.mutateVertexDoc(id, rec, func(doc *sqljson.Doc) { doc.Set(key, val) })
 }
 
 // RemoveVertexAttr implements blueprints.Graph.
 func (s *Store) RemoveVertexAttr(id int64, key string) error {
-	return s.mutateVertexDoc(id, func(doc *sqljson.Doc) { doc.Delete(key) })
+	rec := wal.Record{Op: wal.OpRemoveVertexAttr, ID: id, Key: key}
+	return s.mutateVertexDoc(id, rec, func(doc *sqljson.Doc) { doc.Delete(key) })
 }
 
-func (s *Store) mutateVertexDoc(id int64, mutate func(*sqljson.Doc)) error {
+func (s *Store) mutateVertexDoc(id int64, rec wal.Record, mutate func(*sqljson.Doc)) error {
 	tx := s.fpVA.Begin()
 	defer tx.Rollback()
 	var rid rel.RowID
@@ -505,21 +574,26 @@ func (s *Store) mutateVertexDoc(id int64, mutate func(*sqljson.Doc)) error {
 	if err := tx.Update(TableVA, rid, vals); err != nil {
 		return err
 	}
+	if err := s.logAppend(rec); err != nil {
+		return err
+	}
 	tx.Commit()
-	return nil
+	return s.logCommit()
 }
 
 // SetEdgeAttr implements blueprints.Graph.
 func (s *Store) SetEdgeAttr(id int64, key string, val any) error {
-	return s.mutateEdgeDoc(id, func(doc *sqljson.Doc) { doc.Set(key, val) })
+	rec := wal.Record{Op: wal.OpSetEdgeAttr, ID: id, Key: key, Doc: valDoc(val)}
+	return s.mutateEdgeDoc(id, rec, func(doc *sqljson.Doc) { doc.Set(key, val) })
 }
 
 // RemoveEdgeAttr implements blueprints.Graph.
 func (s *Store) RemoveEdgeAttr(id int64, key string) error {
-	return s.mutateEdgeDoc(id, func(doc *sqljson.Doc) { doc.Delete(key) })
+	rec := wal.Record{Op: wal.OpRemoveEdgeAttr, ID: id, Key: key}
+	return s.mutateEdgeDoc(id, rec, func(doc *sqljson.Doc) { doc.Delete(key) })
 }
 
-func (s *Store) mutateEdgeDoc(id int64, mutate func(*sqljson.Doc)) error {
+func (s *Store) mutateEdgeDoc(id int64, rec wal.Record, mutate func(*sqljson.Doc)) error {
 	tx := s.fpEA.Begin()
 	defer tx.Rollback()
 	var rid rel.RowID
@@ -538,6 +612,9 @@ func (s *Store) mutateEdgeDoc(id int64, mutate func(*sqljson.Doc)) error {
 	if err := tx.Update(TableEA, rid, vals); err != nil {
 		return err
 	}
+	if err := s.logAppend(rec); err != nil {
+		return err
+	}
 	tx.Commit()
-	return nil
+	return s.logCommit()
 }

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/core/coloring"
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/sqljson"
+	"sqlgraph/internal/wal"
+)
+
+// Durable stores log *logical* mutations: each stored procedure appends
+// its record as the last action before the rel.Txn commits (rollback
+// paths therefore never log), then flushes after the commit. Recovery
+// rebuilds the snapshot's tables and re-runs the stored procedures for
+// the log tail, which reconstructs every redundant representation (EA +
+// both hash-adjacency sides) exactly as the original execution did.
+//
+// Durability covers the graph mutation API. Raw SQL DML issued through
+// Store.Engine bypasses the log and is not replayed.
+
+// defaultSnapshotEvery is the checkpoint cadence when Options.SnapshotEvery
+// is zero.
+const defaultSnapshotEvery = 4096
+
+// openDurable recovers (or initializes) a durable store in opts.Dir.
+func openDurable(opts Options) (*Store, error) {
+	l, st, err := wal.Open(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := rebuildStore(st, opts)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	s.wal = l
+	if st.Snapshot == nil {
+		// Fresh directory: checkpoint immediately so the structural
+		// options (column widths, coloring, delete mode, assignments) are
+		// pinned on disk and later opens / fsck need no caller options.
+		if err := s.Checkpoint(); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// loadDurable bulk-loads into a fresh durable directory.
+func loadDurable(src blueprints.Graph, opts Options) (*Store, error) {
+	l, st, err := wal.Open(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if st.Snapshot != nil || len(st.Records) != 0 {
+		l.Close()
+		return nil, fmt.Errorf("core: load: directory %s already holds a store", opts.Dir)
+	}
+	memOpts := opts
+	memOpts.Dir = ""
+	s, err := loadMem(src, memOpts)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	s.opts.Dir = opts.Dir
+	s.opts.SnapshotEvery = opts.SnapshotEvery
+	s.wal = l
+	// Checkpoint the bulk-loaded state; this also persists the greedy
+	// coloring built by the analysis pass.
+	if err := s.Checkpoint(); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// rebuildStore reconstructs an in-memory store from recovered state: the
+// snapshot's rows verbatim, then the log tail replayed through the stored
+// procedures. The store has no WAL attached yet, so replay does not log.
+func rebuildStore(st *wal.RecoveredState, opts Options) (*Store, error) {
+	var s *Store
+	if snap := st.Snapshot; snap != nil {
+		// The snapshot pins the structural options.
+		opts.OutCols = snap.OutCols
+		opts.InCols = snap.InCols
+		opts.Coloring = ColoringMode(snap.Coloring)
+		opts.DeleteMode = DeleteMode(snap.DeleteMode)
+		var err error
+		if s, err = newMemStore(opts); err != nil {
+			return nil, err
+		}
+		s.outAssign = assignmentFromSnapshot(snap.OutCols, snap.OutAssign)
+		s.inAssign = assignmentFromSnapshot(snap.InCols, snap.InAssign)
+		s.nextLID = snap.NextLID
+		if err := s.restoreTables(snap.Tables); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		if s, err = newMemStore(opts); err != nil {
+			return nil, err
+		}
+	}
+	for _, rec := range st.Records {
+		if err := s.applyRecord(rec); err != nil {
+			return nil, fmt.Errorf("%w: replaying LSN %d (%s): %v", wal.ErrCorrupt, rec.LSN, rec.Op, err)
+		}
+	}
+	return s, nil
+}
+
+func assignmentFromSnapshot(cols int, byLabel map[string]int) *coloring.Assignment {
+	m := make(map[string]int, len(byLabel))
+	for k, v := range byLabel {
+		m[k] = v
+	}
+	return &coloring.Assignment{Columns: cols, MaxCols: cols, ByLabel: m}
+}
+
+// restoreTables bulk-inserts the snapshot's rows.
+func (s *Store) restoreTables(tables map[string][][]rel.Value) error {
+	tx := s.fpAll.Begin()
+	defer tx.Rollback()
+	for name, rows := range tables {
+		found := false
+		for _, t := range writeTables {
+			if t == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: snapshot names unknown table %q", name)
+		}
+		for _, row := range rows {
+			if _, err := tx.Insert(name, row); err != nil {
+				return fmt.Errorf("core: restoring %s: %w", name, err)
+			}
+		}
+	}
+	tx.Commit()
+	return nil
+}
+
+func parseAttrDoc(doc string) (map[string]any, error) {
+	d, err := sqljson.Parse(doc)
+	if err != nil {
+		return nil, err
+	}
+	return d.Map(), nil
+}
+
+// parseValDoc unwraps the {"v": ...} envelope Set*Attr records use.
+func parseValDoc(doc string) (any, error) {
+	d, err := sqljson.Parse(doc)
+	if err != nil {
+		return nil, err
+	}
+	return d.Map()["v"], nil
+}
+
+// applyRecord re-runs one logged mutation through the stored procedures.
+func (s *Store) applyRecord(rec wal.Record) error {
+	switch rec.Op {
+	case wal.OpAddVertex:
+		attrs, err := parseAttrDoc(rec.Doc)
+		if err != nil {
+			return err
+		}
+		return s.AddVertex(rec.ID, attrs)
+	case wal.OpAddEdge:
+		attrs, err := parseAttrDoc(rec.Doc)
+		if err != nil {
+			return err
+		}
+		return s.AddEdge(rec.ID, rec.Out, rec.In, rec.Label, attrs)
+	case wal.OpRemoveEdge:
+		return s.RemoveEdge(rec.ID)
+	case wal.OpRemoveVertex:
+		return s.RemoveVertex(rec.ID)
+	case wal.OpSetVertexAttr:
+		v, err := parseValDoc(rec.Doc)
+		if err != nil {
+			return err
+		}
+		return s.SetVertexAttr(rec.ID, rec.Key, v)
+	case wal.OpRemoveVertexAttr:
+		return s.RemoveVertexAttr(rec.ID, rec.Key)
+	case wal.OpSetEdgeAttr:
+		v, err := parseValDoc(rec.Doc)
+		if err != nil {
+			return err
+		}
+		return s.SetEdgeAttr(rec.ID, rec.Key, v)
+	case wal.OpRemoveEdgeAttr:
+		return s.RemoveEdgeAttr(rec.ID, rec.Key)
+	case wal.OpVacuum:
+		_, err := s.Vacuum()
+		return err
+	default:
+		return fmt.Errorf("core: unknown op %v", rec.Op)
+	}
+}
+
+// logAppend buffers the record for the mutation the caller is about to
+// commit. It must be the last fallible step before tx.Commit: a failure
+// rolls the transaction back, and after success nothing can prevent the
+// commit, so the log holds exactly the committed operations.
+func (s *Store) logAppend(rec wal.Record) error {
+	if s.wal == nil {
+		return nil
+	}
+	_, err := s.wal.Append(rec)
+	return err
+}
+
+// logCommit makes the just-committed mutation durable (group commit:
+// everything buffered since the last flush goes out in one write+fsync)
+// and checkpoints if the log has grown past the snapshot cadence. A crash
+// before the flush loses only the tail of *committed* operations — the
+// recovered state is still a consistent prefix.
+func (s *Store) logCommit() error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Flush(); err != nil {
+		return err
+	}
+	return s.maybeSnapshot()
+}
+
+func (s *Store) maybeSnapshot() error {
+	every := s.opts.SnapshotEvery
+	if every == 0 {
+		every = defaultSnapshotEvery
+	}
+	if every < 0 || s.wal.RecordsSinceSnapshot() < every {
+		return nil
+	}
+	return s.Checkpoint()
+}
+
+// Checkpoint dumps the full catalog to a new snapshot and truncates the
+// log. Read locks on every table exclude in-flight writers, and appends
+// happen only inside write transactions, so the log position observed
+// under those locks covers exactly the committed state being dumped.
+func (s *Store) Checkpoint() error {
+	if s.wal == nil {
+		return fmt.Errorf("core: checkpoint: store is not durable")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	tx := s.fpReadAll.Begin()
+	defer tx.Rollback()
+
+	snap := &wal.Snapshot{
+		LastLSN:    s.wal.LastLSN(),
+		OutCols:    s.outCols,
+		InCols:     s.inCols,
+		Coloring:   int(s.opts.Coloring),
+		DeleteMode: int(s.opts.DeleteMode),
+		OutAssign:  s.outAssign.ByLabel,
+		InAssign:   s.inAssign.ByLabel,
+		Tables:     make(map[string][][]rel.Value, len(writeTables)),
+	}
+	s.mu.Lock()
+	snap.NextLID = s.nextLID
+	s.mu.Unlock()
+	for _, name := range writeTables {
+		var rows [][]rel.Value
+		if err := tx.Scan(name, func(rid rel.RowID, vals []rel.Value) bool {
+			rows = append(rows, append([]rel.Value(nil), vals...))
+			return true
+		}); err != nil {
+			return err
+		}
+		snap.Tables[name] = rows
+	}
+	return s.wal.WriteSnapshot(snap)
+}
+
+// Close flushes and closes the WAL. In-memory stores close trivially.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
+
+// WAL exposes the log for the fault-injection tests.
+func (s *Store) WAL() *wal.Log { return s.wal }
+
+// Fsck verifies a durable store directory offline: it recovers the state
+// exactly as Open would (failing on mid-log corruption) and runs the full
+// invariant check on the result.
+func Fsck(dir string) ([]Violation, error) {
+	st, err := wal.Recover(dir)
+	if err != nil {
+		return nil, err
+	}
+	s, err := rebuildStore(st, Options{}.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	return Check(s), nil
+}

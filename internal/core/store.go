@@ -8,6 +8,7 @@ import (
 	"sqlgraph/internal/core/coloring"
 	"sqlgraph/internal/engine"
 	"sqlgraph/internal/rel"
+	"sqlgraph/internal/wal"
 )
 
 // DeleteMode selects the vertex-deletion strategy (paper Section 4.5.2).
@@ -47,6 +48,16 @@ type Options struct {
 	Coloring ColoringMode
 	// DeleteMode selects vertex deletion behavior.
 	DeleteMode DeleteMode
+	// Dir, when non-empty, makes the store durable: mutations are
+	// write-ahead logged under this directory and Open recovers whatever
+	// state the directory holds. An existing directory's snapshot pins
+	// the structural options (OutCols, InCols, Coloring, DeleteMode);
+	// the caller's values apply only to a fresh directory.
+	Dir string
+	// SnapshotEvery is the checkpoint cadence in log records: 0 means the
+	// default (4096), negative disables automatic snapshots. Only
+	// meaningful with Dir.
+	SnapshotEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,17 +84,22 @@ type Store struct {
 	mu      sync.Mutex
 	nextLID int64 // negative list-id allocator for OSA/ISA
 
+	// Durability (nil / zero for in-memory stores).
+	wal    *wal.Log
+	snapMu sync.Mutex // serializes checkpoints
+
 	prepared sync.Map // gremlin text -> *preparedQuery
 
 	// Pre-resolved transaction lock plans for the stored procedures (one
 	// transaction per graph operation; re-resolving names per call showed
 	// up in write-heavy profiles).
-	fpAll    *rel.Footprint // write: every table
-	fpVA     *rel.Footprint // write: VA
-	fpEA     *rel.Footprint // write: EA
-	fpReadVA *rel.Footprint // read: VA
-	fpReadEA *rel.Footprint // read: EA
-	fpReadEV *rel.Footprint // read: EA + VA
+	fpAll     *rel.Footprint // write: every table
+	fpVA      *rel.Footprint // write: VA
+	fpEA      *rel.Footprint // write: EA
+	fpReadVA  *rel.Footprint // read: VA
+	fpReadEA  *rel.Footprint // read: EA
+	fpReadEV  *rel.Footprint // read: EA + VA
+	fpReadAll *rel.Footprint // read: every table (checkpoint, fsck)
 }
 
 // initFootprints builds the cached lock plans; called after createSchema.
@@ -107,14 +123,27 @@ func (s *Store) initFootprints() error {
 	if s.fpReadEV, err = s.cat.Footprint(nil, []string{TableEA, TableVA}); err != nil {
 		return err
 	}
+	if s.fpReadAll, err = s.cat.Footprint(nil, writeTables); err != nil {
+		return err
+	}
 	return nil
 }
 
-// Open creates an empty store with the given options. Labels are assigned
-// to columns on first sight by hashing; for analyzed assignments use
-// Load.
+// Open creates a store with the given options. With Options.Dir empty the
+// store is purely in-memory; with a directory it is durable — existing
+// state is recovered (snapshot + WAL replay) and every mutation is logged.
+// Labels are assigned to columns on first sight by hashing; for analyzed
+// assignments use Load.
 func Open(opts Options) (*Store, error) {
 	opts = opts.withDefaults()
+	if opts.Dir != "" {
+		return openDurable(opts)
+	}
+	return newMemStore(opts)
+}
+
+// newMemStore builds an empty in-memory store (options already defaulted).
+func newMemStore(opts Options) (*Store, error) {
 	s := &Store{
 		opts:    opts,
 		cat:     rel.NewCatalog(),
@@ -147,9 +176,19 @@ func buildAssignment(c *coloring.Cooccurrence, maxCols int, mode ColoringMode) *
 
 // Load bulk-loads a property graph: it analyzes the label co-occurrence
 // structure to build the coloring hash (paper Section 3.2), sizes the
-// hash tables, and shreds every adjacency list.
+// hash tables, and shreds every adjacency list. With Options.Dir set the
+// target directory must be empty; the loaded state is checkpointed there
+// and subsequent mutations are logged.
 func Load(src blueprints.Graph, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
+	if opts.Dir != "" {
+		return loadDurable(src, opts)
+	}
+	return loadMem(src, opts)
+}
+
+// loadMem is the bulk-load path into memory (options already defaulted).
+func loadMem(src blueprints.Graph, opts Options) (*Store, error) {
 	// Pass 1: analysis. Group each vertex's out- and in-labels.
 	outCo := coloring.NewCooccurrence()
 	inCo := coloring.NewCooccurrence()

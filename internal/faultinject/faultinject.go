@@ -1,0 +1,98 @@
+// Package faultinject provides deterministic fault injection for the
+// durability tests. An Injector arms named crash points that trigger on
+// the Nth hit; ByteLimit builds a wal.WriteHook-shaped gate that simulates
+// a crash after exactly N bytes reach the log file. The package has no
+// dependencies on the packages it tests, so they can consult it from
+// test-only hooks without import cycles.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the error every injected fault returns; tests use
+// errors.Is to distinguish injected failures from real ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Injector arms named crash points. A point armed with Arm(name, after)
+// passes `after` Check calls and fails every call from the (after+1)-th
+// on — once a simulated process has crashed it stays crashed.
+type Injector struct {
+	mu     sync.Mutex
+	points map[string]*point
+}
+
+type point struct {
+	remaining int
+	triggered bool
+}
+
+// New returns an empty injector; Check on an unarmed name is a no-op.
+func New() *Injector {
+	return &Injector{points: map[string]*point{}}
+}
+
+// Arm sets the named point to fail on the (after+1)-th Check. Re-arming
+// resets the countdown and the triggered state.
+func (in *Injector) Arm(name string, after int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.points[name] = &point{remaining: after}
+}
+
+// Disarm removes the named point.
+func (in *Injector) Disarm(name string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.points, name)
+}
+
+// Check counts a hit on the named point and returns ErrInjected once the
+// armed countdown is exhausted (and on every later hit).
+func (in *Injector) Check(name string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	p, ok := in.points[name]
+	if !ok {
+		return nil
+	}
+	if p.triggered {
+		return fmt.Errorf("%w: %s", ErrInjected, name)
+	}
+	if p.remaining <= 0 {
+		p.triggered = true
+		return fmt.Errorf("%w: %s", ErrInjected, name)
+	}
+	p.remaining--
+	return nil
+}
+
+// Triggered reports whether the named point has fired.
+func (in *Injector) Triggered(name string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	p, ok := in.points[name]
+	return ok && p.triggered
+}
+
+// ByteLimit returns a write gate (matching wal.WriteHook) that lets the
+// first n bytes through across all calls, then cuts the write short and
+// fails — simulating a crash mid-write at an exact byte offset. After the
+// limit is hit every subsequent write fails outright.
+func ByteLimit(n int) func(p []byte) (int, error) {
+	var mu sync.Mutex
+	remaining := n
+	return func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if remaining >= len(p) {
+			remaining -= len(p)
+			return len(p), nil
+		}
+		allow := remaining
+		remaining = 0
+		return allow, fmt.Errorf("%w: byte limit %d reached", ErrInjected, n)
+	}
+}

@@ -1,0 +1,47 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestArmCountdownAndStickiness(t *testing.T) {
+	in := New()
+	if err := in.Check("unarmed"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	in.Arm("p", 2)
+	for i := 0; i < 2; i++ {
+		if err := in.Check("p"); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := in.Check("p"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit after countdown = %v, want ErrInjected", err)
+		}
+	}
+	if !in.Triggered("p") {
+		t.Fatal("Triggered = false after firing")
+	}
+	in.Disarm("p")
+	if err := in.Check("p"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestByteLimit(t *testing.T) {
+	gate := ByteLimit(5)
+	if n, err := gate([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	// 2 bytes of budget remain: a 4-byte write is cut to 2 and fails.
+	n, err := gate([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write: n=%d err=%v", n, err)
+	}
+	// Budget exhausted: everything fails with zero bytes allowed.
+	if n, err := gate([]byte("h")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write: n=%d err=%v", n, err)
+	}
+}

@@ -25,11 +25,16 @@ func New() *Store {
 	return &Store{tree: btree.New[string, []byte](strings.Compare)}
 }
 
-// Get returns the value for key.
+// Get returns a copy of the value for key, so callers cannot mutate the
+// stored bytes behind the tree's back.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.tree.Get(key)
+	v, ok := s.tree.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
 }
 
 // Put stores value under key.

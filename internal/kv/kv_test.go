@@ -32,6 +32,13 @@ func TestValueCopied(t *testing.T) {
 	if v, _ := s.Get("k"); string(v) != "abc" {
 		t.Fatal("Put did not copy the value")
 	}
+	// Get must also hand out a copy: writing through the returned slice
+	// must not reach the stored bytes.
+	v1, _ := s.Get("k")
+	v1[0] = 'Z'
+	if v2, _ := s.Get("k"); string(v2) != "abc" {
+		t.Fatalf("Get returned the stored slice by reference: store now holds %q", v2)
+	}
 }
 
 func TestScanPrefix(t *testing.T) {

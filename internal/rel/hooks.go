@@ -1,0 +1,56 @@
+package rel
+
+import "sync/atomic"
+
+// Test-only fault-injection hooks. Production code never sets these; the
+// durability tests use them to simulate crashes at precise points inside
+// the multi-table stored procedures:
+//
+//   - the mutate hook fires before each Insert/Delete/Update and can force
+//     the mutation to fail, exercising the undo-log rollback paths;
+//   - the commit hook fires at the top of Txn.Commit, in the window after
+//     the in-memory effects are final but before the caller flushes the
+//     WAL, exercising the commit-to-flush crash gap.
+//
+// Both are process-global atomics so tests can install them without
+// plumbing through the Catalog; they must be cleared (Set...Hook(nil))
+// before the test exits.
+
+var (
+	mutateHook atomic.Pointer[func(table string) error]
+	commitHook atomic.Pointer[func()]
+)
+
+// SetMutateHook installs (or with nil clears) a hook consulted before
+// every transactional mutation; a non-nil error aborts the mutation.
+// Test use only.
+func SetMutateHook(h func(table string) error) {
+	if h == nil {
+		mutateHook.Store(nil)
+		return
+	}
+	mutateHook.Store(&h)
+}
+
+// SetCommitHook installs (or with nil clears) a hook invoked at the top
+// of every Txn.Commit. Test use only.
+func SetCommitHook(h func()) {
+	if h == nil {
+		commitHook.Store(nil)
+		return
+	}
+	commitHook.Store(&h)
+}
+
+func checkMutateHook(table string) error {
+	if h := mutateHook.Load(); h != nil {
+		return (*h)(table)
+	}
+	return nil
+}
+
+func fireCommitHook() {
+	if h := commitHook.Load(); h != nil {
+		(*h)()
+	}
+}

@@ -131,6 +131,9 @@ func (tx *Txn) Insert(table string, vals []Value) (RowID, error) {
 	if err != nil {
 		return 0, err
 	}
+	if err := checkMutateHook(table); err != nil {
+		return 0, err
+	}
 	rid, err := t.insertLocked(vals)
 	if err != nil {
 		return 0, err
@@ -146,6 +149,9 @@ func (tx *Txn) Delete(table string, rid RowID) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	if err := checkMutateHook(table); err != nil {
+		return false, err
+	}
 	vals, ok := t.deleteLocked(rid)
 	if !ok {
 		return false, nil
@@ -158,6 +164,9 @@ func (tx *Txn) Delete(table string, rid RowID) (bool, error) {
 func (tx *Txn) Update(table string, rid RowID, vals []Value) error {
 	t, err := tx.table(table, true)
 	if err != nil {
+		return err
+	}
+	if err := checkMutateHook(table); err != nil {
 		return err
 	}
 	old, err := t.updateLocked(rid, vals)
@@ -211,6 +220,9 @@ func (tx *Txn) Probe(table, index string, key []Value, fn func(rid RowID, vals [
 
 // Commit releases all locks, keeping the transaction's effects.
 func (tx *Txn) Commit() {
+	if !tx.closed {
+		fireCommitHook()
+	}
 	tx.release()
 }
 

@@ -1,0 +1,298 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/sqljson"
+)
+
+// Snapshot is a full dump of the store: configuration, the label-to-column
+// assignments (which must survive restarts, or recovered adjacency rows
+// would disagree with the column the translator probes), the list-id
+// allocator, and every row of every table. The file is written atomically
+// (temp + rename) and carries a trailing CRC over the whole payload, so a
+// crash mid-snapshot leaves the previous snapshot intact and a damaged
+// file is detected rather than loaded.
+type Snapshot struct {
+	// LastLSN is the last log record whose effects the dump includes;
+	// recovery replays only records after it.
+	LastLSN    uint64
+	OutCols    int
+	InCols     int
+	Coloring   int
+	DeleteMode int
+	NextLID    int64
+	OutAssign  map[string]int
+	InAssign   map[string]int
+	Tables     map[string][][]rel.Value
+}
+
+const snapMagic = "SQLGSNP1"
+
+// Value tags of the snapshot row codec.
+const (
+	tagNull byte = iota
+	tagBool
+	tagInt
+	tagFloat
+	tagString
+	tagJSON
+	tagList
+)
+
+func appendValue(b []byte, v rel.Value) ([]byte, error) {
+	switch v.Kind() {
+	case rel.KindNull:
+		return append(b, tagNull), nil
+	case rel.KindBool:
+		b = append(b, tagBool)
+		if v.Bool() {
+			return append(b, 1), nil
+		}
+		return append(b, 0), nil
+	case rel.KindInt:
+		return appendZigzag(append(b, tagInt), v.Int()), nil
+	case rel.KindFloat:
+		b = append(b, tagFloat)
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Float())), nil
+	case rel.KindString:
+		return appendString(append(b, tagString), v.Str()), nil
+	case rel.KindJSON:
+		return appendString(append(b, tagJSON), v.JSON().String()), nil
+	case rel.KindList:
+		list := v.List()
+		b = binary.AppendUvarint(append(b, tagList), uint64(len(list)))
+		var err error
+		for _, e := range list {
+			if b, err = appendValue(b, e); err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("wal: snapshot: unsupported value kind %v", v.Kind())
+	}
+}
+
+func (r *byteReader) value() rel.Value {
+	switch r.byte() {
+	case tagNull:
+		return rel.Null
+	case tagBool:
+		return rel.NewBool(r.byte() != 0)
+	case tagInt:
+		return rel.NewInt(r.zigzag())
+	case tagFloat:
+		if len(r.b)-r.off < 8 {
+			r.bad = true
+			return rel.Null
+		}
+		bits := binary.LittleEndian.Uint64(r.b[r.off:])
+		r.off += 8
+		return rel.NewFloat(math.Float64frombits(bits))
+	case tagString:
+		return rel.NewString(r.str())
+	case tagJSON:
+		s := r.str()
+		if r.bad {
+			return rel.Null
+		}
+		doc, err := sqljson.Parse(s)
+		if err != nil {
+			r.bad = true
+			return rel.Null
+		}
+		return rel.NewJSON(doc)
+	case tagList:
+		n := r.uvarint()
+		if r.bad || n > uint64(len(r.b)-r.off) {
+			r.bad = true
+			return rel.Null
+		}
+		list := make([]rel.Value, 0, n)
+		for i := uint64(0); i < n && !r.bad; i++ {
+			list = append(list, r.value())
+		}
+		return rel.NewList(list)
+	default:
+		r.bad = true
+		return rel.Null
+	}
+}
+
+func appendAssign(b []byte, m map[string]int) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = binary.AppendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = appendString(b, k)
+		b = binary.AppendUvarint(b, uint64(m[k]))
+	}
+	return b
+}
+
+func (r *byteReader) assign() map[string]int {
+	n := r.uvarint()
+	if r.bad || n > uint64(len(r.b)-r.off) {
+		r.bad = true
+		return nil
+	}
+	m := make(map[string]int, n)
+	for i := uint64(0); i < n && !r.bad; i++ {
+		k := r.str()
+		m[k] = int(r.uvarint())
+	}
+	return m
+}
+
+func encodeSnapshot(s *Snapshot) ([]byte, error) {
+	b := []byte(snapMagic)
+	b = binary.AppendUvarint(b, 1) // format version
+	b = binary.AppendUvarint(b, s.LastLSN)
+	b = binary.AppendUvarint(b, uint64(s.OutCols))
+	b = binary.AppendUvarint(b, uint64(s.InCols))
+	b = append(b, byte(s.Coloring), byte(s.DeleteMode))
+	b = appendZigzag(b, s.NextLID)
+	b = appendAssign(b, s.OutAssign)
+	b = appendAssign(b, s.InAssign)
+
+	names := make([]string, 0, len(s.Tables))
+	for n := range s.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	var err error
+	for _, name := range names {
+		b = appendString(b, name)
+		rows := s.Tables[name]
+		b = binary.AppendUvarint(b, uint64(len(rows)))
+		for _, row := range rows {
+			b = binary.AppendUvarint(b, uint64(len(row)))
+			for _, v := range row {
+				if b, err = appendValue(b, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	sum := crc32.ChecksumIEEE(b[len(snapMagic):])
+	return binary.LittleEndian.AppendUint32(b, sum), nil
+}
+
+func decodeSnapshot(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: snapshot: bad magic", ErrCorrupt)
+	}
+	payload := data[len(snapMagic) : len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(data[len(snapMagic):len(data)-4]) != want {
+		return nil, fmt.Errorf("%w: snapshot: checksum mismatch", ErrCorrupt)
+	}
+	r := &byteReader{b: payload}
+	if v := r.uvarint(); v != 1 {
+		return nil, fmt.Errorf("%w: snapshot: unsupported version %d", ErrCorrupt, v)
+	}
+	s := &Snapshot{Tables: map[string][][]rel.Value{}}
+	s.LastLSN = r.uvarint()
+	s.OutCols = int(r.uvarint())
+	s.InCols = int(r.uvarint())
+	s.Coloring = int(r.byte())
+	s.DeleteMode = int(r.byte())
+	s.NextLID = r.zigzag()
+	s.OutAssign = r.assign()
+	s.InAssign = r.assign()
+	ntables := r.uvarint()
+	if r.bad || ntables > uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: snapshot: malformed header", ErrCorrupt)
+	}
+	for t := uint64(0); t < ntables; t++ {
+		name := r.str()
+		nrows := r.uvarint()
+		if r.bad || nrows > uint64(len(payload)) {
+			return nil, fmt.Errorf("%w: snapshot: malformed table %q", ErrCorrupt, name)
+		}
+		rows := make([][]rel.Value, 0, nrows)
+		for i := uint64(0); i < nrows; i++ {
+			ncols := r.uvarint()
+			if r.bad || ncols > uint64(len(payload)) {
+				break
+			}
+			row := make([]rel.Value, 0, ncols)
+			for c := uint64(0); c < ncols && !r.bad; c++ {
+				row = append(row, r.value())
+			}
+			rows = append(rows, row)
+		}
+		if r.bad {
+			return nil, fmt.Errorf("%w: snapshot: malformed rows in table %q", ErrCorrupt, name)
+		}
+		s.Tables[name] = rows
+	}
+	if r.bad || r.off != len(payload) {
+		return nil, fmt.Errorf("%w: snapshot: trailing garbage", ErrCorrupt)
+	}
+	return s, nil
+}
+
+// writeSnapshotFile writes the snapshot atomically: temp file, fsync,
+// rename, directory fsync (best effort).
+func writeSnapshotFile(dir string, s *Snapshot) error {
+	data, err := encodeSnapshot(s)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, tmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// readSnapshotFile loads a snapshot, returning (nil, nil) when the file
+// does not exist.
+func readSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	return decodeSnapshot(data)
+}

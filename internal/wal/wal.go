@@ -1,0 +1,374 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	logName  = "wal.log"
+	snapName = "snapshot.db"
+	tmpName  = "snapshot.db.tmp"
+
+	// maxRecord bounds a single record payload; a frame claiming more is
+	// treated as garbage rather than allocated.
+	maxRecord = 1 << 28
+)
+
+// ErrCorrupt marks unrecoverable log or snapshot damage: an invalid frame
+// that is *followed* by data (a torn tail, by contrast, is silently
+// truncated).
+var ErrCorrupt = errors.New("wal: corrupt")
+
+// WriteHook intercepts physical log writes for fault injection (tests
+// only). It receives the bytes about to be written and returns how many of
+// them to actually write plus an error to inject after the partial write.
+// Returning (len(p), nil) is a no-op.
+type WriteHook func(p []byte) (int, error)
+
+// Log is an append-only write-ahead log bound to a directory. Appends are
+// buffered; Flush performs the group commit (one write + fsync for
+// everything buffered since the last flush). Any I/O error is sticky: the
+// log refuses further work, like a crashed process would.
+type Log struct {
+	mu        sync.Mutex
+	f         *os.File
+	dir       string
+	buf       []byte
+	nextLSN   uint64
+	sinceSnap int
+	hook      WriteHook
+	err       error
+}
+
+// RecoveredState is what Recover reads back from a directory.
+type RecoveredState struct {
+	// Snapshot is the last durable snapshot, or nil.
+	Snapshot *Snapshot
+	// Records are the CRC-valid log records not covered by the snapshot
+	// (LSN > Snapshot.LastLSN), in LSN order.
+	Records []Record
+	// TornBytes counts trailing log bytes discarded as a torn final write.
+	TornBytes int
+	// ValidBytes is the log prefix length that parsed cleanly (the offset
+	// an appender should resume at).
+	ValidBytes int
+	// NextLSN is the LSN the next appended record must carry.
+	NextLSN uint64
+}
+
+// putFrameHeader fills the 8-byte frame header for a payload.
+func putFrameHeader(hdr []byte, payload []byte) {
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+}
+
+type frame struct {
+	rec    Record
+	offset int
+	size   int // frame size including the 8-byte header
+}
+
+// scanLog parses a log image. It returns the valid frames, the offset of
+// the first byte past them, and the number of trailing bytes dropped as a
+// torn write. A frame that fails validation mid-log (valid data after it)
+// is corruption and yields an ErrCorrupt-wrapped error instead.
+func scanLog(data []byte) (frames []frame, goodOff, torn int, err error) {
+	off := 0
+	var lastLSN uint64
+	for off < len(data) {
+		rem := len(data) - off
+		if rem < 8 {
+			return frames, off, rem, nil // torn frame header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxRecord {
+			if n > rem-8 {
+				return frames, off, rem, nil // runs past EOF: torn
+			}
+			return frames, off, 0, fmt.Errorf("%w: implausible frame length %d at offset %d", ErrCorrupt, n, off)
+		}
+		if n > rem-8 {
+			return frames, off, rem, nil // torn frame body
+		}
+		payload := data[off+8 : off+8+n]
+		atEOF := off+8+n == len(data)
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			if atEOF {
+				return frames, off, rem, nil // torn final frame
+			}
+			return frames, off, 0, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			if atEOF {
+				return frames, off, rem, nil
+			}
+			return frames, off, 0, fmt.Errorf("%w: %v (offset %d)", ErrCorrupt, derr, off)
+		}
+		if len(frames) > 0 && rec.LSN <= lastLSN {
+			return frames, off, 0, fmt.Errorf("%w: LSN %d at offset %d does not advance past %d", ErrCorrupt, rec.LSN, off, lastLSN)
+		}
+		lastLSN = rec.LSN
+		frames = append(frames, frame{rec: rec, offset: off, size: 8 + n})
+		off += 8 + n
+	}
+	return frames, off, 0, nil
+}
+
+// Recover reads a store directory without modifying it: the latest
+// snapshot plus the log tail. A torn final record is dropped (TornBytes
+// reports how much); an invalid record with valid data after it returns an
+// ErrCorrupt-wrapped error.
+func Recover(dir string) (*RecoveredState, error) {
+	snap, err := readSnapshotFile(filepath.Join(dir, snapName))
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("wal: recover: %w", err)
+	}
+	frames, goodOff, torn, err := scanLog(data)
+	if err != nil {
+		return nil, err
+	}
+	st := &RecoveredState{Snapshot: snap, TornBytes: torn, ValidBytes: goodOff}
+	var minLSN uint64
+	if snap != nil {
+		minLSN = snap.LastLSN
+	}
+	next := minLSN + 1
+	stale := 0
+	for _, fr := range frames {
+		if fr.rec.LSN <= minLSN {
+			// Already folded into the snapshot: a crash hit the window
+			// between the snapshot rename and the log truncation.
+			stale++
+			continue
+		}
+		st.Records = append(st.Records, fr.rec)
+		next = fr.rec.LSN + 1
+	}
+	if stale == len(frames) && stale > 0 {
+		// The whole log predates the snapshot; an appender restarts it.
+		st.ValidBytes = 0
+	}
+	st.NextLSN = next
+	return st, nil
+}
+
+// FrameInfo describes one valid log frame (offsets are used by the
+// crash-sweep tests to enumerate write boundaries, and by fsck reporting).
+type FrameInfo struct {
+	Offset int
+	Size   int
+	LSN    uint64
+	Op     OpKind
+}
+
+// ScanFrames lists the valid frames of a log file, ignoring a torn tail.
+// Mid-log corruption returns an error.
+func ScanFrames(path string) ([]FrameInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	frames, _, _, err := scanLog(data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FrameInfo, len(frames))
+	for i, fr := range frames {
+		out[i] = FrameInfo{Offset: fr.offset, Size: fr.size, LSN: fr.rec.LSN, Op: fr.rec.Op}
+	}
+	return out, nil
+}
+
+// Open recovers dir and returns an append-ready log positioned after the
+// last valid record. A torn tail is physically truncated; stale records
+// already covered by the snapshot are dropped with the whole log.
+func Open(dir string) (*Log, *RecoveredState, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	st, err := Recover(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	if err := f.Truncate(int64(st.ValidBytes)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: open: truncating torn tail: %w", err)
+	}
+	if _, err := f.Seek(int64(st.ValidBytes), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &Log{f: f, dir: dir, nextLSN: st.NextLSN, sinceSnap: len(st.Records)}
+	return l, st, nil
+}
+
+// SetWriteHook installs a fault-injection hook on physical log writes.
+// Test use only; must be set before concurrent use.
+func (l *Log) SetWriteHook(h WriteHook) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hook = h
+}
+
+// Kill marks the log as crashed: buffered records are dropped and every
+// further operation fails with err. Test use only.
+func (l *Log) Kill(err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err == nil {
+		l.err = err
+	}
+}
+
+// Err returns the sticky error, if the log has failed.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// LastLSN returns the LSN of the last appended record (0 if none).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// RecordsSinceSnapshot counts appends since the last snapshot rotation
+// (including records recovered from the current log at Open).
+func (l *Log) RecordsSinceSnapshot() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinceSnap
+}
+
+// Append assigns the next LSN and buffers the record. It does not touch
+// the disk; call Flush (after the in-memory transaction commits) to make
+// it durable.
+func (l *Log) Append(r Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	r.LSN = l.nextLSN
+	l.nextLSN++
+	payload := r.encodePayload(nil)
+	var hdr [8]byte
+	putFrameHeader(hdr[:], payload)
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, payload...)
+	l.sinceSnap++
+	return r.LSN, nil
+}
+
+// Flush writes every buffered record in one write and fsyncs: the group
+// commit. Concurrent operations that appended since the last flush are
+// committed together.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *Log) flushLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if len(l.buf) == 0 {
+		return nil
+	}
+	p := l.buf
+	allow := len(p)
+	var herr error
+	if l.hook != nil {
+		allow, herr = l.hook(p)
+		if allow > len(p) {
+			allow = len(p)
+		}
+		if allow < 0 {
+			allow = 0
+		}
+	}
+	if allow > 0 {
+		if _, werr := l.f.Write(p[:allow]); werr != nil {
+			l.err = werr
+			return werr
+		}
+	}
+	if herr != nil {
+		l.err = herr
+		return herr
+	}
+	l.buf = l.buf[:0]
+	if err := l.f.Sync(); err != nil {
+		l.err = err
+		return err
+	}
+	return nil
+}
+
+// WriteSnapshot durably replaces the snapshot file (write-temp, fsync,
+// rename) and resets the log, which the snapshot now supersedes. The
+// caller must hold locks that exclude concurrent appends and must pass
+// snap.LastLSN equal to the last appended LSN, so no record can be lost to
+// the truncation.
+func (l *Log) WriteSnapshot(snap *Snapshot) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if snap.LastLSN != l.nextLSN-1 {
+		return fmt.Errorf("wal: snapshot at LSN %d but log is at %d", snap.LastLSN, l.nextLSN-1)
+	}
+	if err := writeSnapshotFile(l.dir, snap); err != nil {
+		return err
+	}
+	// Everything buffered or logged is <= LastLSN and folded into the
+	// snapshot; restart the log.
+	l.buf = l.buf[:0]
+	if err := l.f.Truncate(0); err != nil {
+		l.err = err
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		l.err = err
+		return err
+	}
+	l.sinceSnap = 0
+	return nil
+}
+
+// Close flushes buffered records and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ferr := l.flushLocked()
+	cerr := l.f.Close()
+	if l.err == nil {
+		l.err = errors.New("wal: log closed")
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

@@ -45,10 +45,19 @@ type Options struct {
 	// entries to the offline Vacuum. The default additionally cleans
 	// neighbor adjacency so query results are always exact.
 	PaperSoftDelete bool
+	// Dir makes the store durable: every mutation is appended to a
+	// write-ahead log under this directory before it commits, and Open
+	// recovers the graph from the latest snapshot plus the log tail. Empty
+	// means in-memory only.
+	Dir string
+	// SnapshotEvery rewrites the snapshot and truncates the log after this
+	// many logged mutations (durable stores only). Zero picks a sensible
+	// default; negative disables automatic snapshots.
+	SnapshotEvery int
 }
 
 func (o Options) internal() core.Options {
-	opts := core.Options{OutCols: o.OutCols, InCols: o.InCols}
+	opts := core.Options{OutCols: o.OutCols, InCols: o.InCols, Dir: o.Dir, SnapshotEvery: o.SnapshotEvery}
 	if o.ModuloColoring {
 		opts.Coloring = core.ColoringModulo
 	}
@@ -303,4 +312,42 @@ func (g *Graph) Stats() (string, error) {
 	}
 	return fmt.Sprintf("%s\n%s\nVertex attributes: rows=%d keys=%d long-strings=%d",
 		out, in, va.Rows, va.DistinctKeys, va.LongStringVal), nil
+}
+
+// Close flushes and closes the write-ahead log of a durable store. It is
+// a no-op for in-memory stores.
+func (g *Graph) Close() error { return g.store.Close() }
+
+// Checkpoint writes a full snapshot and truncates the write-ahead log of
+// a durable store, independent of the SnapshotEvery cadence.
+func (g *Graph) Checkpoint() error { return g.store.Checkpoint() }
+
+// Check runs the graph fsck: it verifies the hybrid schema's internal
+// invariants (every edge has exactly one matching cell on each adjacency
+// side, spill flags match row counts, deleted vertices own no live edge
+// rows, attribute documents parse) and returns a human-readable line per
+// violation. A healthy store returns nil.
+func (g *Graph) Check() []string {
+	vs := core.Check(g.store)
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// Fsck verifies a durable store directory offline: it recovers the graph
+// from the snapshot and log (failing on any corrupt record that is not a
+// torn tail) and runs the same invariant checks as Graph.Check. It never
+// modifies the directory.
+func Fsck(dir string) ([]string, error) {
+	vs, err := core.Fsck(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out, nil
 }
