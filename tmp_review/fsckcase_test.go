@@ -1,0 +1,22 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"sqlgraph/internal/core"
+)
+
+func TestReAddAfterSoftDelete(t *testing.T) {
+	s, err := core.Open(core.Options{DeleteMode: core.DeleteClean})
+	if err != nil { t.Fatal(err) }
+	if err := s.AddVertex(1, nil); err != nil { t.Fatal(err) }
+	if err := s.RemoveVertex(1); err != nil { t.Fatal(err) }
+	if err := s.AddVertex(1, nil); err != nil { t.Fatal(err) }
+	vs := core.Check(s)
+	for _, v := range vs { fmt.Println(v) }
+	fmt.Println("violations:", len(vs))
+	// and delete again
+	err = s.RemoveVertex(1)
+	fmt.Println("second remove err:", err)
+}
