@@ -7,6 +7,11 @@
 // Usage:
 //
 //	microbench [-scale tiny|small|medium|large] [-exp all|adjacency|attributes|stats|neighbors|paths|ablations]
+//	           [-json BENCH_engine.json] [-parallel N]
+//
+// With -json, the Figure 5/6 workloads are additionally run one query
+// per statement and their per-query ns/op written to the given file
+// (see BENCH_engine.json at the repo root for the committed baseline).
 package main
 
 import (
@@ -22,6 +27,8 @@ import (
 func main() {
 	scale := flag.String("scale", "medium", "dataset scale: tiny, small, medium, large")
 	exp := flag.String("exp", "all", "experiment: all, adjacency, attributes, stats, neighbors, paths, ablations")
+	jsonPath := flag.String("json", "", "also write per-query Figure 5/6 engine timings as JSON to this file")
+	parallel := flag.Int("parallel", 0, "executor parallelism: 0 = GOMAXPROCS, 1 = serial")
 	flag.Parse()
 
 	s, err := parseScale(*scale)
@@ -33,6 +40,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	env.Store.SetParallelism(*parallel)
 	fmt.Printf("Dataset: %d vertices, %d edges; SQLGraph footprint %d bytes\n",
 		env.Data.NumVertices, env.Data.NumEdges, env.Store.TotalBytes())
 
@@ -55,6 +63,21 @@ func main() {
 		}
 		return experiments.AblationSoftDelete(os.Stdout)
 	})
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.EngineBenchJSON(env, *scale, f); err != nil {
+			f.Close()
+			log.Fatalf("engine bench json: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Wrote engine benchmark JSON to %s\n", *jsonPath)
+	}
 }
 
 func parseScale(s string) (experiments.Scale, error) {

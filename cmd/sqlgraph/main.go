@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	sqlgraph [-dir path] [-dataset sample|dbpedia] [-scale tiny|small|medium] <command> [args]
+//	sqlgraph [-dir path] [-dataset sample|dbpedia] [-scale tiny|small|medium]
+//	         [-parallel N] [-explain] <command> [args]
 //
 // Commands:
 //
@@ -39,6 +40,8 @@ func main() {
 	dataset := flag.String("dataset", "sample", "graph to load: sample (paper Figure 2a) or dbpedia (synthetic)")
 	scale := flag.String("scale", "tiny", "dbpedia dataset scale: tiny, small, medium")
 	dir := flag.String("dir", "", "durable store directory (load populates it; other commands open it)")
+	parallel := flag.Int("parallel", 0, "executor worker cap for one query: 0 = GOMAXPROCS, 1 = serial")
+	explain := flag.Bool("explain", false, "after query: print executor statistics (join strategies, morsel fan-out)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -95,6 +98,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	g.SetParallelism(*parallel)
 
 	switch args[0] {
 	case "query":
@@ -113,6 +117,9 @@ func main() {
 				break
 			}
 			fmt.Printf("  %v\n", v)
+		}
+		if *explain {
+			fmt.Printf("-- executor statistics:\n%s", res.Stats.String())
 		}
 	case "translate":
 		if len(args) < 2 {

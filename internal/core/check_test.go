@@ -166,8 +166,8 @@ func TestCheckDetectsCorruption(t *testing.T) {
 	}
 
 	cases := []struct {
-		name  string
-		code  string
+		name   string
+		code   string
 		break_ func(s *Store, tx *rel.Txn) error
 	}{
 		{"drop adjacency cell row", "ADJ_MISSING", func(s *Store, tx *rel.Txn) error {

@@ -30,6 +30,106 @@ func (s *Store) AddVertex(id int64, attrs map[string]any) error {
 	if vertexLiveTx(tx, id) {
 		return fmt.Errorf("%w: vertex %d", blueprints.ErrExists, id)
 	}
+	if vertexTombstoneTx(tx, id) {
+		// Re-adding a soft-deleted id: its tombstone rows must be purged
+		// first or fsck reports the id as both live and deleted. Purging
+		// touches the adjacency tables too, so restart under the full
+		// write footprint.
+		tx.Rollback()
+		return s.addVertexPurging(id, attrs)
+	}
+	doc := docFromMap(attrs)
+	if _, err := tx.Insert(TableVA, []rel.Value{rel.NewInt(id), rel.NewJSON(doc)}); err != nil {
+		return err
+	}
+	if err := s.logAppend(wal.Record{Op: wal.OpAddVertex, ID: id, Doc: doc.String()}); err != nil {
+		return err
+	}
+	tx.Commit()
+	return s.logCommit()
+}
+
+// vertexTombstoneTx reports whether a soft-deleted VA row exists for id.
+func vertexTombstoneTx(tx *rel.Txn, id int64) bool {
+	found := false
+	_ = tx.Probe(TableVA, IndexVAPK, []rel.Value{rel.NewInt(-id - 1)}, func(rel.RowID, []rel.Value) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// addVertexPurging is AddVertex's slow path for an id with soft-delete
+// tombstones: under the full write footprint it physically removes the
+// id's negated VA and adjacency rows (including owned secondary lists,
+// the same ownership rule Vacuum applies) and then inserts the fresh
+// vertex.
+func (s *Store) addVertexPurging(id int64, attrs map[string]any) error {
+	tx := s.fpAll.Begin()
+	defer tx.Rollback()
+	if vertexLiveTx(tx, id) {
+		return fmt.Errorf("%w: vertex %d", blueprints.ErrExists, id)
+	}
+	neg := rel.NewInt(-id - 1)
+
+	var vaRids []rel.RowID
+	if err := tx.Probe(TableVA, IndexVAPK, []rel.Value{neg}, func(rid rel.RowID, _ []rel.Value) bool {
+		vaRids = append(vaRids, rid)
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, rid := range vaRids {
+		if _, err := tx.Delete(TableVA, rid); err != nil {
+			return err
+		}
+	}
+
+	for _, side := range []struct {
+		primary, index, secondary string
+		cols                      int
+	}{
+		{TableOPA, IndexOPAVID, TableOSA, s.outCols},
+		{TableIPA, IndexIPAVID, TableISA, s.inCols},
+	} {
+		var rids []rel.RowID
+		lids := map[int64]bool{}
+		if err := tx.Probe(side.primary, side.index, []rel.Value{neg}, func(rid rel.RowID, vals []rel.Value) bool {
+			rids = append(rids, rid)
+			for k := 0; k < side.cols; k++ {
+				// A multi-valued cell (label set, edge id NULL) owns the
+				// secondary list its VAL points at.
+				if !vals[adjLBL(k)].IsNull() && vals[adjEID(k)].IsNull() {
+					lids[vals[adjVAL(k)].Int()] = true
+				}
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		for _, rid := range rids {
+			if _, err := tx.Delete(side.primary, rid); err != nil {
+				return err
+			}
+		}
+		if len(lids) > 0 {
+			var secRids []rel.RowID
+			if err := tx.Scan(side.secondary, func(rid rel.RowID, vals []rel.Value) bool {
+				if lids[vals[secVALID].Int()] {
+					secRids = append(secRids, rid)
+				}
+				return true
+			}); err != nil {
+				return err
+			}
+			for _, rid := range secRids {
+				if _, err := tx.Delete(side.secondary, rid); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
 	doc := docFromMap(attrs)
 	if _, err := tx.Insert(TableVA, []rel.Value{rel.NewInt(id), rel.NewJSON(doc)}); err != nil {
 		return err

@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+// TestFsckReAddAfterSoftDelete is the regression case found during the
+// PR 1 fsck review (it originally lived in a scratch tmp_review/
+// directory): re-adding a vertex id after a soft delete must leave the
+// store fsck-clean, and the re-added vertex must be deletable again.
+func TestFsckReAddAfterSoftDelete(t *testing.T) {
+	s, err := Open(Options{DeleteMode: DeleteClean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVertex(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveVertex(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddVertex(1, nil); err != nil {
+		t.Fatalf("re-adding vertex 1 after soft delete: %v", err)
+	}
+	if vs := Check(s); len(vs) != 0 {
+		t.Fatalf("fsck violations after re-add: %v", vs)
+	}
+	if !s.VertexExists(1) {
+		t.Fatal("re-added vertex 1 should exist")
+	}
+	if err := s.RemoveVertex(1); err != nil {
+		t.Fatalf("removing re-added vertex 1: %v", err)
+	}
+	if vs := Check(s); len(vs) != 0 {
+		t.Fatalf("fsck violations after second remove: %v", vs)
+	}
+	if s.VertexExists(1) {
+		t.Fatal("vertex 1 should be gone after second remove")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"sqlgraph/internal/engine"
 	"sqlgraph/internal/gremlin"
 	"sqlgraph/internal/rel"
 	"sqlgraph/internal/translate"
@@ -10,10 +11,13 @@ import (
 
 // Result is the outcome of a Gremlin query: the emitted objects, as plain
 // Go values (element ids for vertices and edges, payloads for values,
-// []any for paths).
+// []any for paths), plus the SQL executor's statistics for the translated
+// statement (join strategies, morsel fan-out) so benchmarks can assert
+// planner decisions.
 type Result struct {
 	Values   []any
 	ElemType translate.ElemType
+	Stats    engine.ExecStats
 }
 
 // Count returns the number of emitted objects.
@@ -52,7 +56,7 @@ func (s *Store) QueryWithOptions(gremlinText string, opts TranslateOptions) (*Re
 	if err != nil {
 		return nil, fmt.Errorf("core: executing translated SQL: %w", err)
 	}
-	out := &Result{ElemType: prep.translation.ElemType, Values: make([]any, 0, len(rows.Data))}
+	out := &Result{ElemType: prep.translation.ElemType, Values: make([]any, 0, len(rows.Data)), Stats: rows.Stats}
 	for _, row := range rows.Data {
 		out.Values = append(out.Values, valueToAny(row[0]))
 	}

@@ -401,6 +401,16 @@ func (s *Store) allocLID() int64 {
 // SQL through it).
 func (s *Store) Engine() *engine.Engine { return s.eng }
 
+// SetParallelism caps the number of workers the SQL executor's
+// morsel-parallel operators (scans, filters, hash-join probes) may use
+// per query: 0 restores the default (GOMAXPROCS), 1 forces serial
+// execution. Results are identical at any setting.
+func (s *Store) SetParallelism(n int) {
+	opts := s.eng.ExecOptionsInEffect()
+	opts.Parallelism = n
+	s.eng.SetExecOptions(opts)
+}
+
 // Catalog exposes the relational catalog (statistics, sizes).
 func (s *Store) Catalog() *rel.Catalog { return s.cat }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqlgraph/internal/rel"
@@ -15,11 +16,18 @@ import (
 // Engine executes SQL against a catalog. It is safe for concurrent use:
 // queries take read locks on the base tables they touch (in sorted name
 // order, matching the transaction layer's write ordering), DML statements
-// run as transactions.
+// run as transactions. RegisterFunc, SetIOSim, and SetExecOptions may be
+// called concurrently with queries; user-defined scalar functions must be
+// safe for concurrent calls (morsel-parallel operators evaluate
+// expressions from several goroutines).
 type Engine struct {
-	cat   *rel.Catalog
-	funcs map[string]ScalarFunc
-	iosim *IOSim // optional buffer-pool simulation (Figure 8c)
+	cat *rel.Catalog
+
+	funcsMu sync.RWMutex
+	funcs   map[string]ScalarFunc
+
+	iosim    atomic.Pointer[IOSim]       // optional buffer-pool simulation (Figure 8c)
+	execOpts atomic.Pointer[ExecOptions] // nil = defaults
 }
 
 // New creates an engine over a catalog.
@@ -31,18 +39,49 @@ func New(cat *rel.Catalog) *Engine {
 func (e *Engine) Catalog() *rel.Catalog { return e.cat }
 
 // RegisterFunc installs a user-defined scalar function (names are matched
-// case-insensitively).
+// case-insensitively). The function must be safe for concurrent calls.
 func (e *Engine) RegisterFunc(name string, fn ScalarFunc) {
+	e.funcsMu.Lock()
+	defer e.funcsMu.Unlock()
 	e.funcs[strings.ToUpper(name)] = fn
 }
 
+// scalarFunc looks up a registered scalar function.
+func (e *Engine) scalarFunc(name string) (ScalarFunc, bool) {
+	e.funcsMu.RLock()
+	defer e.funcsMu.RUnlock()
+	fn, ok := e.funcs[name]
+	return fn, ok
+}
+
 // SetIOSim attaches (or removes, with nil) a simulated buffer pool.
-func (e *Engine) SetIOSim(sim *IOSim) { e.iosim = sim }
+func (e *Engine) SetIOSim(sim *IOSim) { e.iosim.Store(sim) }
+
+// ioSim returns the active buffer-pool simulation, if any.
+func (e *Engine) ioSim() *IOSim { return e.iosim.Load() }
+
+// SetExecOptions replaces the engine's execution options (join-strategy
+// forcing, parallelism cap). A nil-equivalent zero value restores the
+// defaults: planner-chosen strategies, up to GOMAXPROCS workers.
+func (e *Engine) SetExecOptions(opts ExecOptions) {
+	e.execOpts.Store(&opts)
+}
+
+// ExecOptionsInEffect returns the current execution options.
+func (e *Engine) ExecOptionsInEffect() ExecOptions {
+	if p := e.execOpts.Load(); p != nil {
+		return *p
+	}
+	return ExecOptions{}
+}
 
 // Rows is a fully materialized query result.
 type Rows struct {
 	Columns []string
 	Data    [][]rel.Value
+	// Stats describes how the query executed (join strategies, morsel
+	// fan-out, rows per operator).
+	Stats ExecStats
 }
 
 // Scalar returns the single value of a one-row one-column result.
@@ -96,7 +135,13 @@ func (e *Engine) QueryStmt(sel *sql.SelectStmt, params ...any) (*Rows, error) {
 	unlock := e.rlockAll(tables)
 	defer unlock()
 
-	q := &queryState{ctes: map[string]*relation{}, params: toValues(params)}
+	opts := e.ExecOptionsInEffect()
+	q := &queryState{
+		ctes:   map[string]*relation{},
+		params: toValues(params),
+		par:    opts.Parallelism,
+		force:  opts.ForceJoin,
+	}
 	r, err := e.evalSelect(q, sel)
 	if err != nil {
 		return nil, err
@@ -106,7 +151,7 @@ func (e *Engine) QueryStmt(sel *sql.SelectStmt, params ...any) (*Rows, error) {
 	for i, c := range r.cols {
 		cols[i] = c.name
 	}
-	return &Rows{Columns: cols, Data: r.rows}, nil
+	return &Rows{Columns: cols, Data: r.rows, Stats: q.stats}, nil
 }
 
 func toValues(params []any) []rel.Value {
@@ -308,20 +353,27 @@ func (s *IOSim) access(table string, rid rel.RowID) bool {
 	return false
 }
 
-// pageAccess records one row access for the buffer-pool simulation.
+// pageAccess records one row access for the buffer-pool simulation. Safe
+// to call from morsel workers (the miss counter is atomic).
 func (e *Engine) pageAccess(q *queryState, table string, rid rel.RowID) {
-	if e.iosim == nil {
+	sim := e.ioSim()
+	if sim == nil {
 		return
 	}
-	if !e.iosim.access(table, rid) {
-		q.ioMisses++
+	if !sim.access(table, rid) {
+		q.addIOMiss()
 	}
 }
 
 // settleIO charges the query's accumulated miss penalty.
 func (e *Engine) settleIO(q *queryState) {
-	if e.iosim == nil || q.ioMisses == 0 {
+	sim := e.ioSim()
+	if sim == nil {
 		return
 	}
-	time.Sleep(time.Duration(q.ioMisses) * e.iosim.MissPenalty)
+	misses := atomic.LoadInt64(&q.ioMisses)
+	if misses == 0 {
+		return
+	}
+	time.Sleep(time.Duration(misses) * sim.MissPenalty)
 }

@@ -469,7 +469,7 @@ func (e *Engine) evalFunc(ctx *evalCtx, v *sql.FuncCall) (rel.Value, error) {
 		}
 		return rel.NewInt(int64(len(args[0].List()))), nil
 	}
-	if fn, ok := e.funcs[name]; ok {
+	if fn, ok := e.scalarFunc(name); ok {
 		return fn(args)
 	}
 	return rel.Null, fmt.Errorf("engine: unknown function %s", name)

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"strings"
 
 	"sqlgraph/internal/rel"
 	"sqlgraph/internal/sql"
@@ -175,19 +174,9 @@ func (e *Engine) evalSimpleSelect(q *queryState, sel *sql.SimpleSelect) (*relati
 		c.applied = true
 	}
 	if len(remaining) > 0 {
-		pass, err := e.compilePredicates(q, sc, remaining)
+		filtered, err := e.filterRows(q, sc, remaining, cur.rows)
 		if err != nil {
 			return nil, err
-		}
-		filtered := cur.rows[:0:0]
-		for _, row := range cur.rows {
-			ok, err := pass(row)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				filtered = append(filtered, row)
-			}
 		}
 		cur.rows = filtered
 	}
@@ -205,6 +194,48 @@ func (e *Engine) evalSimpleSelect(q *queryState, sel *sql.SimpleSelect) (*relati
 		dedupeRelation(out)
 	}
 	return out, nil
+}
+
+// filterRows keeps the rows passing every conjunct, preserving order.
+// Evaluation is morsel-parallel when the predicates are parallel-safe:
+// each worker compiles its own predicate closures and fills per-morsel
+// buffers that merge in input order.
+func (e *Engine) filterRows(q *queryState, sc *scope, conjs []*conjunct, rows [][]rel.Value) ([][]rel.Value, error) {
+	par := q.par
+	if !parallelSafeConjuncts(conjs) {
+		par = 1
+	}
+	morsels, _ := morselPlan(len(rows), par)
+	chunks := make([][][]rel.Value, morsels)
+
+	type worker struct {
+		pass func(row []rel.Value) (bool, error)
+	}
+	newWorker := func() (*worker, error) {
+		pass, err := e.compilePredicates(q, sc, conjs)
+		if err != nil {
+			return nil, err
+		}
+		return &worker{pass: pass}, nil
+	}
+	_, _, err := runMorsels(len(rows), par, newWorker, func(wk *worker, m, lo, hi int) error {
+		var buf [][]rel.Value
+		for i := lo; i < hi; i++ {
+			ok, err := wk.pass(rows[i])
+			if err != nil {
+				return err
+			}
+			if ok {
+				buf = append(buf, rows[i])
+			}
+		}
+		chunks[m] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeMorsels(chunks), nil
 }
 
 func dedupeRelation(r *relation) {
@@ -464,8 +495,9 @@ func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs [
 	// Base tables with an index on a join column use an index nested-loop
 	// join: probe the index once per outer row instead of materializing
 	// the whole table (this is what makes the OPA/OSA/EA traversal
-	// templates fast).
-	if baseTable != nil && len(joinEq) > 0 {
+	// templates fast). A forced strategy (benchmarks, equivalence tests)
+	// bypasses index selection.
+	if baseTable != nil && len(joinEq) > 0 && q.force == StrategyAuto {
 		if ix, mapping := joinIndexFor(baseTable, joinEqRight); ix != nil {
 			out, err := e.indexNLJoin(q, cur, baseTable, ix, mapping, kind, indexNLArgs{
 				outCols:     outCols,
@@ -523,104 +555,34 @@ func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs [
 		}
 	}
 
-	out := &relation{cols: outCols}
-	leftArity := len(cur.cols)
-	arena := newRowArena(len(outCols))
-
-	evalResidual, err := e.compilePredicates(q, outScope, residual)
-	if err != nil {
-		return nil, err
+	// Equi-join terms forced down to a nested loop are evaluated as
+	// residual predicates (same NULL semantics: a NULL-keyed comparison
+	// is not true, so the row does not match).
+	if q.force == StrategyNestedLoop && len(joinEq) > 0 {
+		residual = append(joinEq, residual...)
+		joinEq, joinEqLeft, joinEqRight = nil, nil, nil
 	}
 
+	var out *relation
 	if len(joinEq) > 0 {
-		// Hash join on the equi-join keys.
-		build := make(map[string][][]rel.Value, len(rightRel.rows))
-		for _, rrow := range rightRel.rows {
-			var kb strings.Builder
-			skip := false
-			for _, pos := range joinEqRight {
-				v := rrow[pos]
-				if v.IsNull() {
-					skip = true
-					break
-				}
-				kb.WriteString(v.Key())
-				kb.WriteByte(0xFF)
-			}
-			if skip {
-				continue
-			}
-			k := kb.String()
-			build[k] = append(build[k], rrow)
-		}
-		keyFns := make([]compiledExpr, len(joinEqLeft))
-		for i, lx := range joinEqLeft {
-			fn, err := e.compile(q, curScope, lx)
-			if err != nil {
-				return nil, err
-			}
-			keyFns[i] = fn
-		}
-		for _, lrow := range cur.rows {
-			var kb strings.Builder
-			skip := false
-			for _, fn := range keyFns {
-				v, err := fn(lrow)
-				if err != nil {
-					return nil, err
-				}
-				if v.IsNull() {
-					skip = true
-					break
-				}
-				kb.WriteString(v.Key())
-				kb.WriteByte(0xFF)
-			}
-			matched := false
-			if !skip {
-				for _, rrow := range build[kb.String()] {
-					joined := arena.alloc()
-					copy(joined, lrow)
-					copy(joined[len(lrow):], rrow)
-					ok, err := evalResidual(joined)
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						matched = true
-						out.rows = append(out.rows, joined)
-					}
-				}
-			}
-			if !matched && kind == "LEFT" {
-				joined := arena.alloc()
-				copy(joined, lrow)
-				// Right side stays NULL.
-				out.rows = append(out.rows, joined)
-			}
+		// Hash join: the default for equi-joins no index covers.
+		out, err = e.hashJoin(q, cur, rightRel, kind, hashJoinArgs{
+			outCols:     outCols,
+			curScope:    curScope,
+			outScope:    outScope,
+			joinEqLeft:  joinEqLeft,
+			joinEqRight: joinEqRight,
+			residual:    residual,
+			rightName:   alias,
+		})
+		if err != nil {
+			return nil, err
 		}
 	} else {
-		// Nested-loop (cross) join with residual filter.
-		for _, lrow := range cur.rows {
-			matched := false
-			for _, rrow := range rightRel.rows {
-				joined := arena.alloc()
-				copy(joined, lrow)
-				copy(joined[len(lrow):], rrow)
-				ok, err := evalResidual(joined)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					matched = true
-					out.rows = append(out.rows, joined)
-				}
-			}
-			if !matched && kind == "LEFT" {
-				joined := make([]rel.Value, leftArity+len(rightCols))
-				copy(joined, lrow)
-				out.rows = append(out.rows, joined)
-			}
+		// Nested-loop join: true cross joins and non-equi conditions only.
+		out, err = e.nestedLoopJoin(q, cur, rightRel, kind, outCols, outScope, residual, alias)
+		if err != nil {
+			return nil, err
 		}
 	}
 	for _, c := range joinEq {
@@ -628,6 +590,78 @@ func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs [
 	}
 	for _, c := range residual {
 		c.applied = true
+	}
+	return out, nil
+}
+
+// nestedLoopJoin compares every pair of rows, keeping pairs that pass the
+// residual predicates. The outer loop is morsel-parallel when the
+// predicates are parallel-safe.
+func (e *Engine) nestedLoopJoin(q *queryState, cur, right *relation, kind string, outCols []colInfo, outScope *scope, residual []*conjunct, rightName string) (*relation, error) {
+	leftArity := len(cur.cols)
+	width := len(outCols)
+
+	par := q.par
+	if !parallelSafeConjuncts(residual) {
+		par = 1
+	}
+	morsels, _ := morselPlan(len(cur.rows), par)
+	chunks := make([][][]rel.Value, morsels)
+
+	type worker struct {
+		resid func(row []rel.Value) (bool, error)
+		arena *rowArena
+	}
+	newWorker := func() (*worker, error) {
+		pass, err := e.compilePredicates(q, outScope, residual)
+		if err != nil {
+			return nil, err
+		}
+		return &worker{resid: pass, arena: newRowArena(width)}, nil
+	}
+	m, w, err := runMorsels(len(cur.rows), par, newWorker, func(wk *worker, m, lo, hi int) error {
+		var buf [][]rel.Value
+		for i := lo; i < hi; i++ {
+			lrow := cur.rows[i]
+			matched := false
+			for _, rrow := range right.rows {
+				joined := wk.arena.alloc()
+				copy(joined, lrow)
+				copy(joined[leftArity:], rrow)
+				ok, err := wk.resid(joined)
+				if err != nil {
+					return err
+				}
+				if ok {
+					matched = true
+					buf = append(buf, joined)
+				}
+			}
+			if !matched && kind == "LEFT" {
+				joined := wk.arena.alloc()
+				copy(joined, lrow)
+				buf = append(buf, joined)
+			}
+		}
+		chunks[m] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &relation{cols: outCols, rows: mergeMorsels(chunks)}
+	// Attaching the first FROM table crosses it with the initial empty
+	// one-row scope; that is not a join worth reporting.
+	if leftArity > 0 {
+		q.stats.Joins = append(q.stats.Joins, JoinStat{
+			Strategy:  StrategyNestedLoop,
+			Table:     rightName,
+			BuildRows: len(cur.rows),
+			ProbeRows: len(right.rows),
+			OutRows:   len(out.rows),
+			Morsels:   m,
+			Workers:   w,
+		})
 	}
 	return out, nil
 }

@@ -1,0 +1,317 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/sql"
+)
+
+// hashJoinArgs bundles the precomputed state for hashJoin.
+type hashJoinArgs struct {
+	outCols     []colInfo
+	curScope    *scope
+	outScope    *scope
+	joinEqLeft  []sql.Expr // per equi-join term: expression over cur
+	joinEqRight []int      // per equi-join term: right column position
+	residual    []*conjunct
+	rightName   string // right-side alias, for stats
+	simTable    string // synthetic IOSim table for this join's hash table
+}
+
+// nullKeySentinel marks rows whose join key contains a SQL NULL: they
+// match nothing (and for LEFT joins emit the null-extended row), exactly
+// like the index nested-loop join's null-key handling.
+const nullKeySentinel = ""
+
+// hashJoin performs an equi-join by hashing the smaller input on the
+// equi-join columns and probing from the larger one. Output order is the
+// serial nested-loop order — for each left row in input order, matching
+// right rows in input order — regardless of which side was built or how
+// many workers probed, so results are deterministic. LEFT joins emit
+// unmatched left rows null-extended; rows whose key contains NULL never
+// match.
+func (e *Engine) hashJoin(q *queryState, cur, right *relation, kind string, a hashJoinArgs) (*relation, error) {
+	if e.ioSim() != nil {
+		a.simTable = fmt.Sprintf("#hash%d", len(q.stats.Joins))
+	}
+	leftKeys, err := e.leftJoinKeys(q, cur, a)
+	if err != nil {
+		return nil, err
+	}
+	rightKeys := rightJoinKeys(right, a.joinEqRight)
+
+	stat := JoinStat{Strategy: StrategyHash, Table: a.rightName, Morsels: 1, Workers: 1}
+	var out *relation
+	if len(right.rows) <= len(cur.rows) {
+		stat.BuildSide, stat.BuildRows, stat.ProbeRows = "right", len(right.rows), len(cur.rows)
+		out, stat.Morsels, stat.Workers, err = e.hashJoinBuildRight(q, cur, right, leftKeys, rightKeys, kind, a)
+	} else {
+		stat.BuildSide, stat.BuildRows, stat.ProbeRows = "left", len(cur.rows), len(right.rows)
+		out, stat.Morsels, stat.Workers, err = e.hashJoinBuildLeft(q, cur, right, leftKeys, rightKeys, kind, a)
+	}
+	if err != nil {
+		return nil, err
+	}
+	stat.OutRows = len(out.rows)
+	q.stats.Joins = append(q.stats.Joins, stat)
+	return out, nil
+}
+
+// leftJoinKeys evaluates the left-side key expressions for every row of
+// cur, encoding each key as a canonical string (nullKeySentinel for keys
+// containing NULL). Evaluation is morsel-parallel when the expressions
+// are parallel-safe.
+func (e *Engine) leftJoinKeys(q *queryState, cur *relation, a hashJoinArgs) ([]string, error) {
+	keys := make([]string, len(cur.rows))
+	par := q.par
+	if !parallelSafeExprs(a.joinEqLeft) {
+		par = 1
+	}
+	type worker struct{ fns []compiledExpr }
+	newWorker := func() (*worker, error) {
+		fns := make([]compiledExpr, len(a.joinEqLeft))
+		for i, lx := range a.joinEqLeft {
+			fn, err := e.compile(q, a.curScope, lx)
+			if err != nil {
+				return nil, err
+			}
+			fns[i] = fn
+		}
+		return &worker{fns: fns}, nil
+	}
+	_, _, err := runMorsels(len(cur.rows), par, newWorker, func(w *worker, m, lo, hi int) error {
+		var kb strings.Builder
+		for i := lo; i < hi; i++ {
+			kb.Reset()
+			null := false
+			for _, fn := range w.fns {
+				v, err := fn(cur.rows[i])
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					null = true
+					break
+				}
+				kb.WriteString(v.Key())
+				kb.WriteByte(0xFF)
+			}
+			if null {
+				keys[i] = nullKeySentinel
+			} else {
+				keys[i] = kb.String()
+			}
+		}
+		return nil
+	})
+	return keys, err
+}
+
+// rightJoinKeys encodes the right-side key columns for every row.
+func rightJoinKeys(right *relation, positions []int) []string {
+	keys := make([]string, len(right.rows))
+	var kb strings.Builder
+	for i, row := range right.rows {
+		kb.Reset()
+		null := false
+		for _, pos := range positions {
+			v := row[pos]
+			if v.IsNull() {
+				null = true
+				break
+			}
+			kb.WriteString(v.Key())
+			kb.WriteByte(0xFF)
+		}
+		if null {
+			keys[i] = nullKeySentinel
+		} else {
+			keys[i] = kb.String()
+		}
+	}
+	return keys
+}
+
+// buildTable maps a key to the input row indices bearing it, in input
+// order. Rows with NULL-containing keys are excluded. Each insert is
+// charged to the buffer-pool model: a build side larger than the pool
+// spills, like the paper's memory sweep.
+func (e *Engine) buildTable(q *queryState, keys []string, simTable string) map[string][]int32 {
+	build := make(map[string][]int32, len(keys))
+	for i, k := range keys {
+		if k == nullKeySentinel {
+			continue
+		}
+		build[k] = append(build[k], int32(i))
+		e.hashAccess(q, simTable, i)
+	}
+	return build
+}
+
+// hashJoinBuildRight is the common case: hash the right side, probe with
+// left rows morsel-parallel, merging per-morsel outputs in order.
+func (e *Engine) hashJoinBuildRight(q *queryState, cur, right *relation, leftKeys, rightKeys []string, kind string, a hashJoinArgs) (*relation, int, int, error) {
+	build := e.buildTable(q, rightKeys, a.simTable)
+	width := len(a.outCols)
+	leftArity := len(cur.cols)
+
+	par := q.par
+	if !parallelSafeConjuncts(a.residual) {
+		par = 1
+	}
+	morsels, _ := morselPlan(len(cur.rows), par)
+	chunks := make([][][]rel.Value, morsels)
+
+	type worker struct {
+		resid func(row []rel.Value) (bool, error)
+		arena *rowArena
+	}
+	newWorker := func() (*worker, error) {
+		pass, err := e.compilePredicates(q, a.outScope, a.residual)
+		if err != nil {
+			return nil, err
+		}
+		return &worker{resid: pass, arena: newRowArena(width)}, nil
+	}
+	m, w, err := runMorsels(len(cur.rows), par, newWorker, func(wk *worker, m, lo, hi int) error {
+		buf := make([][]rel.Value, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			lrow := cur.rows[i]
+			matched := false
+			if k := leftKeys[i]; k != nullKeySentinel {
+				for _, ri := range build[k] {
+					e.hashAccess(q, a.simTable, int(ri))
+					joined := wk.arena.alloc()
+					copy(joined, lrow)
+					copy(joined[leftArity:], right.rows[ri])
+					ok, err := wk.resid(joined)
+					if err != nil {
+						return err
+					}
+					if ok {
+						matched = true
+						buf = append(buf, joined)
+					}
+				}
+			}
+			if !matched && kind == "LEFT" {
+				joined := wk.arena.alloc()
+				copy(joined, lrow)
+				buf = append(buf, joined)
+			}
+		}
+		chunks[m] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return &relation{cols: a.outCols, rows: mergeMorsels(chunks)}, m, w, nil
+}
+
+// hashJoinBuildLeft hashes the (smaller) left side and probes with right
+// rows. Matches are collected per left row and emitted in left-row order
+// so the output is identical to hashJoinBuildRight's.
+func (e *Engine) hashJoinBuildLeft(q *queryState, cur, right *relation, leftKeys, rightKeys []string, kind string, a hashJoinArgs) (*relation, int, int, error) {
+	build := e.buildTable(q, leftKeys, a.simTable)
+	width := len(a.outCols)
+	leftArity := len(cur.cols)
+
+	par := q.par
+	if !parallelSafeConjuncts(a.residual) {
+		par = 1
+	}
+	morsels, _ := morselPlan(len(right.rows), par)
+
+	type match struct {
+		left int32
+		row  []rel.Value
+	}
+	chunks := make([][]match, morsels)
+
+	type worker struct {
+		resid func(row []rel.Value) (bool, error)
+		arena *rowArena
+	}
+	newWorker := func() (*worker, error) {
+		pass, err := e.compilePredicates(q, a.outScope, a.residual)
+		if err != nil {
+			return nil, err
+		}
+		return &worker{resid: pass, arena: newRowArena(width)}, nil
+	}
+	m, w, err := runMorsels(len(right.rows), par, newWorker, func(wk *worker, m, lo, hi int) error {
+		var buf []match
+		for i := lo; i < hi; i++ {
+			k := rightKeys[i]
+			if k == nullKeySentinel {
+				continue
+			}
+			rrow := right.rows[i]
+			for _, li := range build[k] {
+				e.hashAccess(q, a.simTable, int(li))
+				joined := wk.arena.alloc()
+				copy(joined, cur.rows[li])
+				copy(joined[leftArity:], rrow)
+				ok, err := wk.resid(joined)
+				if err != nil {
+					return err
+				}
+				if ok {
+					buf = append(buf, match{left: li, row: joined})
+				}
+			}
+		}
+		chunks[m] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+
+	// Regroup matches per left row. Probing right rows in morsel order
+	// means each left row's bucket accumulates matches in right-row
+	// order; emitting buckets in left-row order restores the canonical
+	// left-major order.
+	perLeft := make([][][]rel.Value, len(cur.rows))
+	total := 0
+	for _, c := range chunks {
+		for _, mt := range c {
+			perLeft[mt.left] = append(perLeft[mt.left], mt.row)
+			total++
+		}
+	}
+	out := &relation{cols: a.outCols, rows: make([][]rel.Value, 0, total)}
+	arena := newRowArena(width)
+	for i, lrow := range cur.rows {
+		if rows := perLeft[i]; len(rows) > 0 {
+			out.rows = append(out.rows, rows...)
+		} else if kind == "LEFT" {
+			joined := arena.alloc()
+			copy(joined, lrow)
+			out.rows = append(out.rows, joined)
+		}
+	}
+	return out, m, w, nil
+}
+
+// hashAccess charges a hash-table build insert or probe hit to the
+// buffer-pool simulation: the table is modeled as pages of PageRows
+// entries under a synthetic per-join table name, so a build side that
+// exceeds the pool's capacity incurs misses the way an external hash
+// join would (keeps the Figure 8c memory sweep honest now that hash
+// joins are the default non-indexed strategy).
+func (e *Engine) hashAccess(q *queryState, simTable string, entry int) {
+	if simTable == "" {
+		return
+	}
+	sim := e.ioSim()
+	if sim == nil {
+		return
+	}
+	if !sim.access(simTable, rel.RowID(entry)) {
+		q.addIOMiss()
+	}
+}

@@ -46,6 +46,7 @@ func (e *Engine) indexNLJoin(q *queryState, cur *relation, t *rel.Table, ix *rel
 	key := make([]rel.Value, len(mapping))
 	tableName := t.Name()
 	arena := newRowArena(len(a.outCols))
+	probed := 0 // candidate rows returned by index probes
 
 	for _, lrow := range cur.rows {
 		nullKey := false
@@ -70,6 +71,7 @@ func (e *Engine) indexNLJoin(q *queryState, cur *relation, t *rel.Table, ix *rel
 				if !ok {
 					return true
 				}
+				probed++
 				e.pageAccess(q, tableName, rid)
 				// Verify every equi-join term (the index may cover only a
 				// subset).
@@ -111,5 +113,14 @@ func (e *Engine) indexNLJoin(q *queryState, cur *relation, t *rel.Table, ix *rel
 			out.rows = append(out.rows, joined)
 		}
 	}
+	q.stats.Joins = append(q.stats.Joins, JoinStat{
+		Strategy:  StrategyIndexNL,
+		Table:     tableName,
+		BuildRows: len(cur.rows), // outer rows driving index probes
+		ProbeRows: probed,
+		OutRows:   len(out.rows),
+		Morsels:   1,
+		Workers:   1,
+	})
 	return out, nil
 }

@@ -213,10 +213,30 @@ func (e *Engine) chooseAccessPath(q *queryState, t *rel.Table, alias string, con
 	return &accessPath{kind: accessFullScan}, nil
 }
 
+// accessName names an access path kind for ExecStats.
+func (k accessKind) accessName() string {
+	switch k {
+	case accessEq:
+		return "index-eq"
+	case accessIn:
+		return "index-in"
+	case accessRange:
+		return "index-range"
+	case accessNotNull:
+		return "index-notnull"
+	default:
+		return "full-scan"
+	}
+}
+
 // scanBase materializes a base table under an alias, pushing the given
 // single-table conjuncts into the scan and using an index when one
-// matches. The caller must already hold the table's read lock (the engine
-// acquires query locks up front).
+// matches. Full scans are morsel-parallel: the heap's slot array is split
+// into fixed ranges fanned out across workers, each filtering with its
+// own compiled predicates into a per-morsel buffer; buffers merge in slot
+// order, so the result is identical to a serial scan. The caller must
+// already hold the table's read lock (the engine acquires query locks up
+// front).
 func (e *Engine) scanBase(q *queryState, t *rel.Table, alias string, conjs []*conjunct) (*relation, error) {
 	cols := make([]colInfo, t.Schema().Len())
 	for i, c := range t.Schema().Columns {
@@ -239,35 +259,54 @@ func (e *Engine) scanBase(q *queryState, t *rel.Table, alias string, conjs []*co
 		}
 		filters = append(filters, c)
 	}
+
+	stat := ScanStat{Table: t.Name(), Access: path.kind.accessName(), Morsels: 1, Workers: 1}
+	var out *relation
+	if path.kind == accessFullScan {
+		out, err = e.fullScan(q, t, cols, sc, filters, &stat)
+	} else {
+		out, err = e.indexScan(q, t, cols, sc, path, filters, &stat)
+	}
+	if err != nil {
+		return nil, err
+	}
+	stat.RowsOut = len(out.rows)
+	q.stats.Scans = append(q.stats.Scans, stat)
+	for _, c := range conjs {
+		if !c.applied {
+			c.applied = true
+		}
+	}
+	return out, nil
+}
+
+// indexScan materializes the rows an index access path yields, serially
+// (probe result sizes are small by construction — that is why the index
+// was chosen).
+func (e *Engine) indexScan(q *queryState, t *rel.Table, cols []colInfo, sc *scope, path *accessPath, filters []*conjunct, stat *ScanStat) (*relation, error) {
 	pass, err := e.compilePredicates(q, sc, filters)
 	if err != nil {
 		return nil, err
 	}
-
 	out := &relation{cols: cols}
-	emit := func(rid rel.RowID, vals []rel.Value) (bool, error) {
-		e.pageAccess(q, t.Name(), rid)
-		ok, err := pass(vals)
-		if err != nil || !ok {
-			return false, err
-		}
-		out.rows = append(out.rows, vals)
-		return true, nil
-	}
-
 	var emitErr error
 	visit := func(rid rel.RowID) bool {
 		vals, ok := t.Get(rid)
 		if !ok {
 			return true
 		}
-		if _, err := emit(rid, vals); err != nil {
+		stat.RowsIn++
+		e.pageAccess(q, t.Name(), rid)
+		ok, err := pass(vals)
+		if err != nil {
 			emitErr = err
 			return false
 		}
+		if ok {
+			out.rows = append(out.rows, vals)
+		}
 		return true
 	}
-
 	switch path.kind {
 	case accessEq, accessIn:
 		for _, key := range path.keys {
@@ -280,24 +319,66 @@ func (e *Engine) scanBase(q *queryState, t *rel.Table, alias string, conjs []*co
 		path.index.ProbeRange(path.lo, path.hi, path.loInc, path.hiInc, visit)
 	case accessNotNull:
 		path.index.ProbeRange(rel.Null, rel.Null, true, true, visit)
-	default:
-		t.Scan(func(rid rel.RowID, vals []rel.Value) bool {
-			if _, err := emit(rid, vals); err != nil {
-				emitErr = err
-				return false
-			}
-			return true
-		})
 	}
 	if emitErr != nil {
 		return nil, emitErr
 	}
-	for _, c := range conjs {
-		if !c.applied {
-			c.applied = true
-		}
-	}
 	return out, nil
+}
+
+// fullScan reads every live row, morsel-parallel over slot ranges when
+// the filters are parallel-safe.
+func (e *Engine) fullScan(q *queryState, t *rel.Table, cols []colInfo, sc *scope, filters []*conjunct, stat *ScanStat) (*relation, error) {
+	slots := t.Slots()
+	par := q.par
+	if !parallelSafeConjuncts(filters) {
+		par = 1
+	}
+	morsels, _ := morselPlan(slots, par)
+	chunks := make([][][]rel.Value, morsels)
+	examined := make([]int, morsels)
+	tableName := t.Name()
+
+	type worker struct {
+		pass func(row []rel.Value) (bool, error)
+	}
+	newWorker := func() (*worker, error) {
+		pass, err := e.compilePredicates(q, sc, filters)
+		if err != nil {
+			return nil, err
+		}
+		return &worker{pass: pass}, nil
+	}
+	m, w, err := runMorsels(slots, par, newWorker, func(wk *worker, m, lo, hi int) error {
+		var buf [][]rel.Value
+		var scanErr error
+		t.ScanSlots(lo, hi, func(rid rel.RowID, vals []rel.Value) bool {
+			examined[m]++
+			e.pageAccess(q, tableName, rid)
+			ok, err := wk.pass(vals)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if ok {
+				buf = append(buf, vals)
+			}
+			return true
+		})
+		if scanErr != nil {
+			return scanErr
+		}
+		chunks[m] = buf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range examined {
+		stat.RowsIn += n
+	}
+	stat.Morsels, stat.Workers = m, w
+	return &relation{cols: cols, rows: mergeMorsels(chunks)}, nil
 }
 
 // joinIndexFor finds an index on the base table usable for an index

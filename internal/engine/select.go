@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"sqlgraph/internal/rel"
 	"sqlgraph/internal/sql"
@@ -14,13 +15,22 @@ import (
 // bound must fail cleanly rather than loop forever).
 const maxRecursionIters = 10000
 
-// queryState carries per-query evaluation state.
+// queryState carries per-query evaluation state. Operator dispatch is
+// single-goroutine; only morsel workers run concurrently, and they touch
+// nothing here except the atomic ioMisses counter (stats are aggregated
+// by the operator after its workers join).
 type queryState struct {
 	ctes     map[string]*relation
 	params   []rel.Value
 	inSets   map[*sql.SelectStmt]map[string]bool // memoized IN-subquery results
-	ioMisses int64                               // buffer-pool misses charged to this query
+	ioMisses int64                               // buffer-pool misses (atomic; morsel workers add concurrently)
+	par      int                                 // morsel-parallelism budget (0 = GOMAXPROCS, 1 = serial)
+	force    JoinStrategy                        // forced join strategy, StrategyAuto for planner's choice
+	stats    ExecStats                           // per-operator execution statistics
 }
+
+// addIOMiss atomically charges one buffer-pool miss to the query.
+func (q *queryState) addIOMiss() { atomic.AddInt64(&q.ioMisses, 1) }
 
 func (e *Engine) evalSelect(q *queryState, stmt *sql.SelectStmt) (*relation, error) {
 	// Materialize CTEs in order; later CTEs may reference earlier ones.

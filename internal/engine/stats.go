@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JoinStrategy names a join algorithm the executor can run.
+type JoinStrategy string
+
+const (
+	// StrategyAuto lets the planner choose (index-NL > hash > nested-loop).
+	StrategyAuto JoinStrategy = ""
+	// StrategyIndexNL probes a base-table index once per outer row.
+	StrategyIndexNL JoinStrategy = "index-nl"
+	// StrategyHash builds a hash table on the smaller input and probes
+	// from the larger one.
+	StrategyHash JoinStrategy = "hash"
+	// StrategyNestedLoop compares every pair of rows; the only strategy
+	// for cross joins and non-equi conditions.
+	StrategyNestedLoop JoinStrategy = "nested-loop"
+)
+
+// JoinStat records one executed join operator.
+type JoinStat struct {
+	Strategy  JoinStrategy
+	Table     string // right-side alias (or table name) being joined in
+	BuildSide string // "left" or "right" for hash joins; "" otherwise
+	BuildRows int    // rows hashed (hash) / outer rows (index-nl, nested-loop)
+	ProbeRows int    // rows probed against the build side
+	OutRows   int    // rows emitted (before later operators)
+	Morsels   int    // morsels the probe phase was split into (0 = not morselized)
+	Workers   int    // workers that executed the probe (1 = serial)
+}
+
+// ScanStat records one base-table access.
+type ScanStat struct {
+	Table   string
+	Access  string // "full-scan", "index-eq", "index-in", "index-range", "index-notnull"
+	RowsIn  int    // live rows examined
+	RowsOut int    // rows surviving pushed-down filters
+	Morsels int
+	Workers int
+}
+
+// ExecStats summarizes how a query executed: which join strategies ran,
+// what each operator examined and emitted, and how work was morselized.
+// Benchmarks use it to assert planner decisions (e.g. that a non-indexed
+// equi-join really ran as a hash join).
+type ExecStats struct {
+	Scans []ScanStat
+	Joins []JoinStat
+}
+
+// JoinStrategies returns the strategies of the executed joins, in order.
+func (s *ExecStats) JoinStrategies() []JoinStrategy {
+	out := make([]JoinStrategy, len(s.Joins))
+	for i, j := range s.Joins {
+		out[i] = j.Strategy
+	}
+	return out
+}
+
+// MaxWorkers reports the widest parallel fan-out any operator used.
+func (s *ExecStats) MaxWorkers() int {
+	w := 1
+	for _, sc := range s.Scans {
+		if sc.Workers > w {
+			w = sc.Workers
+		}
+	}
+	for _, j := range s.Joins {
+		if j.Workers > w {
+			w = j.Workers
+		}
+	}
+	return w
+}
+
+// String renders a compact one-line-per-operator plan summary.
+func (s *ExecStats) String() string {
+	var sb strings.Builder
+	for _, sc := range s.Scans {
+		fmt.Fprintf(&sb, "scan %s [%s] in=%d out=%d morsels=%d workers=%d\n",
+			sc.Table, sc.Access, sc.RowsIn, sc.RowsOut, sc.Morsels, sc.Workers)
+	}
+	for _, j := range s.Joins {
+		side := ""
+		if j.BuildSide != "" {
+			side = " build=" + j.BuildSide
+		}
+		fmt.Fprintf(&sb, "join %s [%s]%s build=%d probe=%d out=%d morsels=%d workers=%d\n",
+			j.Table, j.Strategy, side, j.BuildRows, j.ProbeRows, j.OutRows, j.Morsels, j.Workers)
+	}
+	return sb.String()
+}
+
+// ExecOptions tunes query execution. The zero value means: planner's
+// choice of join strategy, morsel parallelism up to GOMAXPROCS.
+type ExecOptions struct {
+	// Parallelism caps the number of workers morsel-parallel operators
+	// (scans, filters, hash-join probes) may use. 0 means GOMAXPROCS;
+	// 1 forces fully serial execution.
+	Parallelism int
+	// ForceJoin overrides join-strategy selection for every join in the
+	// query: StrategyHash skips index selection, StrategyNestedLoop
+	// evaluates equi-join conditions as residual predicates. Used by
+	// benchmarks and the strategy-equivalence tests.
+	ForceJoin JoinStrategy
+}

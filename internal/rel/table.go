@@ -237,6 +237,32 @@ func (t *Table) Scan(fn func(rid RowID, vals []Value) bool) {
 	}
 }
 
+// Slots returns the size of the table's physical slot array (live and
+// dead rows). With ScanSlots it lets morsel-parallel scans partition the
+// heap into contiguous slot ranges. Callers must hold a read lock.
+func (t *Table) Slots() int { return len(t.rows) }
+
+// ScanSlots calls fn for every live row in the slot range [lo, hi) until
+// fn returns false. Visiting order matches Scan's over the same range.
+// Callers must hold a read lock; concurrent ScanSlots calls on disjoint
+// ranges are safe under a shared read lock.
+func (t *Table) ScanSlots(lo, hi int, fn func(rid RowID, vals []Value) bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(t.rows) {
+		hi = len(t.rows)
+	}
+	for i := lo; i < hi; i++ {
+		if t.rows[i].dead {
+			continue
+		}
+		if !fn(t.rows[i].rid, t.rows[i].vals) {
+			return
+		}
+	}
+}
+
 // keysEqual compares index key slices.
 func keysEqual(a, b []Value) bool {
 	if len(a) != len(b) {

@@ -27,6 +27,7 @@ import (
 
 	"sqlgraph/internal/blueprints"
 	"sqlgraph/internal/core"
+	"sqlgraph/internal/engine"
 	"sqlgraph/internal/translate"
 )
 
@@ -93,6 +94,10 @@ type Result struct {
 	// Values holds the emitted objects: int64 element ids for vertices
 	// and edges, Go scalars for property values, []any for paths.
 	Values []any
+	// Stats reports how the translated SQL executed: join strategies,
+	// rows examined per operator, and morsel fan-out. Stats.String()
+	// renders a compact plan summary.
+	Stats engine.ExecStats
 }
 
 // Count returns the number of emitted objects.
@@ -166,7 +171,7 @@ func (g *Graph) Query(gremlin string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Values: r.Values}, nil
+	return &Result{Values: r.Values, Stats: r.Stats}, nil
 }
 
 // QueryWithOptions runs a query with explicit translation options.
@@ -179,7 +184,7 @@ func (g *Graph) QueryWithOptions(gremlin string, opts QueryOptions) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Values: r.Values}, nil
+	return &Result{Values: r.Values, Stats: r.Stats}, nil
 }
 
 // Translate compiles a Gremlin query to SQL without executing it.
@@ -302,6 +307,12 @@ func (g *Graph) Vacuum() (int, error) { return g.store.Vacuum() }
 
 // Bytes approximates the storage footprint.
 func (g *Graph) Bytes() int64 { return g.store.TotalBytes() }
+
+// SetParallelism caps the number of workers the SQL executor may fan a
+// single query out to (morsel-driven parallelism): 0 restores the
+// default (GOMAXPROCS), 1 forces serial execution. Query results are
+// identical at any setting.
+func (g *Graph) SetParallelism(n int) { g.store.SetParallelism(n) }
 
 // Stats summarizes the hash tables (paper Table 3): spill rows,
 // multi-value rows, label bucket sizes.
