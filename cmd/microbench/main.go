@@ -7,11 +7,19 @@
 // Usage:
 //
 //	microbench [-scale tiny|small|medium|large] [-exp all|adjacency|attributes|stats|neighbors|paths|ablations]
-//	           [-json BENCH_engine.json] [-parallel N]
+//	           [-json BENCH_engine.json] [-baseline BENCH_engine.json] [-maxratio 2.0]
+//	           [-concurrency N] [-duration 2s] [-parallel N]
 //
 // With -json, the Figure 5/6 workloads are additionally run one query
 // per statement and their per-query ns/op written to the given file
 // (see BENCH_engine.json at the repo root for the committed baseline).
+// With -baseline, the same fresh timings are compared against the given
+// committed baseline and the process exits nonzero when the geometric
+// mean exceeds -maxratio (the CI benchmark-smoke gate).
+//
+// With -concurrency N, the MVCC scaling experiment runs instead of the
+// schema experiments: 1..N snapshot-reader goroutines against a live
+// writer, reporting read throughput, p50/p99 latency, and writer ops/s.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"sqlgraph/internal/baseline"
 	"sqlgraph/internal/bench/experiments"
@@ -28,6 +37,10 @@ func main() {
 	scale := flag.String("scale", "medium", "dataset scale: tiny, small, medium, large")
 	exp := flag.String("exp", "all", "experiment: all, adjacency, attributes, stats, neighbors, paths, ablations")
 	jsonPath := flag.String("json", "", "also write per-query Figure 5/6 engine timings as JSON to this file")
+	baselinePath := flag.String("baseline", "", "compare fresh Figure 5/6 timings against this committed JSON baseline")
+	maxRatio := flag.Float64("maxratio", 2.0, "fail -baseline comparison when the geomean slowdown exceeds this")
+	concurrency := flag.Int("concurrency", 0, "run the concurrent snapshot-read experiment with up to N readers")
+	duration := flag.Duration("duration", 2*time.Second, "measurement window per concurrency point")
 	parallel := flag.Int("parallel", 0, "executor parallelism: 0 = GOMAXPROCS, 1 = serial")
 	flag.Parse()
 
@@ -43,6 +56,13 @@ func main() {
 	env.Store.SetParallelism(*parallel)
 	fmt.Printf("Dataset: %d vertices, %d edges; SQLGraph footprint %d bytes\n",
 		env.Data.NumVertices, env.Data.NumEdges, env.Store.TotalBytes())
+
+	if *concurrency > 0 {
+		if err := experiments.ConcurrencyBench(env, *concurrency, *duration, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -77,6 +97,36 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("Wrote engine benchmark JSON to %s\n", *jsonPath)
+	}
+
+	if *baselinePath != "" {
+		fresh := *jsonPath
+		if fresh == "" {
+			f, err := os.CreateTemp("", "bench_engine_*.json")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := experiments.EngineBenchJSON(env, *scale, f); err != nil {
+				f.Close()
+				log.Fatalf("engine bench json: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fresh = f.Name()
+			defer os.Remove(fresh)
+		}
+		base, err := experiments.ReadEngineBenchReport(*baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		freshReport, err := experiments.ReadEngineBenchReport(fresh)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.CompareEngineBench(base, freshReport, *maxRatio, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// ReadEngineBenchReport loads a BENCH_engine.json document.
+func ReadEngineBenchReport(path string) (*EngineBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r EngineBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareEngineBench checks a fresh benchmark run against the committed
+// baseline and returns an error if the geometric-mean per-query slowdown
+// exceeds maxRatio (the CI smoke threshold; individual queries are noisy
+// on shared runners, the geomean is not). Queries present on only one
+// side are reported but don't fail the comparison.
+func CompareEngineBench(baseline, fresh *EngineBenchReport, maxRatio float64, w io.Writer) error {
+	if baseline.Scale != fresh.Scale {
+		fmt.Fprintf(w, "note: comparing %s-scale run against %s-scale baseline\n", fresh.Scale, baseline.Scale)
+	}
+	base := map[string]int64{}
+	for _, e := range baseline.Entries {
+		base[e.Figure+"/"+e.Query] = e.NsPerOp
+	}
+	var logSum float64
+	var n int
+	worstRatio, worstName := 0.0, ""
+	for _, e := range fresh.Entries {
+		key := e.Figure + "/" + e.Query
+		b, ok := base[key]
+		if !ok || b <= 0 || e.NsPerOp <= 0 {
+			fmt.Fprintf(w, "note: %s missing from baseline, skipped\n", key)
+			continue
+		}
+		ratio := float64(e.NsPerOp) / float64(b)
+		logSum += math.Log(ratio)
+		n++
+		if ratio > worstRatio {
+			worstRatio, worstName = ratio, key
+		}
+		if ratio > maxRatio {
+			fmt.Fprintf(w, "slow: %s %.2fx baseline (%d ns vs %d ns)\n", key, ratio, e.NsPerOp, b)
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("benchmark comparison: no overlapping queries with baseline")
+	}
+	geomean := math.Exp(logSum / float64(n))
+	fmt.Fprintf(w, "benchmark vs baseline: geomean %.2fx over %d queries (worst %s at %.2fx)\n",
+		geomean, n, worstName, worstRatio)
+	if geomean > maxRatio {
+		return fmt.Errorf("benchmark regression: geomean %.2fx exceeds %.1fx threshold", geomean, maxRatio)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConcurrencyBench measures snapshot-read scaling: for reader counts
+// 1, 2, 4, ... up to maxReaders, it drives that many goroutines — each
+// pinning a snapshot, running one translated Gremlin lookup, and
+// unpinning — while a single writer continuously mutates the graph.
+// MVCC means neither side blocks the other, so aggregate read
+// throughput should grow with the reader count even under write load.
+// Reports throughput, p50/p99 read latency, and writer ops/s per point.
+func ConcurrencyBench(env *DBpediaEnv, maxReaders int, dur time.Duration, w io.Writer) error {
+	header(w, "Concurrent snapshot reads (MVCC)")
+
+	// Run each query serially so the only parallelism measured is session
+	// concurrency; morsel fan-out inside one query would fight the reader
+	// pool for cores and muddy the scaling signal.
+	restore := env.Store.Engine().ExecOptionsInEffect().Parallelism
+	env.Store.SetParallelism(1)
+	defer env.Store.SetParallelism(restore)
+
+	vids := env.Data.Graph.VertexIDs()
+	if len(vids) == 0 {
+		return fmt.Errorf("concurrency bench: empty dataset")
+	}
+	// A small fixed query set so translations stay cached; the measured
+	// path is snapshot pin -> SQL execution at the pinned version -> unpin.
+	probes := make([]string, 0, 8)
+	for i := 0; i < 8 && i < len(vids); i++ {
+		probes = append(probes, fmt.Sprintf("g.V(%d).out.count()", vids[i*len(vids)/8]))
+	}
+	maxID := vids[len(vids)-1]
+	for _, v := range vids {
+		if v > maxID {
+			maxID = v
+		}
+	}
+
+	var points []int
+	for n := 1; n < maxReaders; n *= 2 {
+		points = append(points, n)
+	}
+	points = append(points, maxReaders)
+
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %12s\n", "readers", "reads/s", "p50(us)", "p99(us)", "writes/s")
+	for _, n := range points {
+		reads, p50, p99, writes, err := concurrencyPoint(env, probes, maxID, n, dur)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-8d %12.0f %12.0f %12.0f %12.0f\n",
+			n, reads, float64(p50.Microseconds()), float64(p99.Microseconds()), writes)
+	}
+	return nil
+}
+
+// concurrencyPoint runs one (reader count, duration) measurement.
+func concurrencyPoint(env *DBpediaEnv, probes []string, maxID int64, readers int, dur time.Duration) (readsPerSec float64, p50, p99 time.Duration, writesPerSec float64, err error) {
+	store := env.Store
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+
+	fail := func(e error) {
+		if e != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = e
+			}
+			errMu.Unlock()
+		}
+	}
+
+	// Writer: one goroutine (the store serializes write transactions)
+	// cycling attribute updates and vertex/edge churn above the dataset's
+	// id range.
+	var writerOps int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		scratch := maxID + 1_000_000
+		const edgeBase = int64(1) << 40 // clear of every dataset edge id
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := scratch + i%1024
+			var e error
+			switch {
+			case i%2 == 0:
+				e = store.SetVertexAttr(maxID, "hot", i)
+			case !store.VertexExists(id):
+				if e = store.AddVertex(id, map[string]any{"scratch": true}); e == nil {
+					e = store.AddEdge(edgeBase+id, id, maxID, "scratch", nil)
+				}
+			default:
+				e = store.RemoveVertex(id) // drops its scratch edge too
+			}
+			fail(e)
+			atomic.AddInt64(&writerOps, 1)
+		}
+	}()
+
+	// Readers: pin, query, unpin.
+	latCh := make(chan []time.Duration, readers)
+	var readerOps int64
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, 4096)
+			for i := r; ; i++ {
+				select {
+				case <-stop:
+					latCh <- lats
+					return
+				default:
+				}
+				t0 := time.Now()
+				snap := store.Snapshot()
+				_, e := snap.Query(probes[i%len(probes)])
+				snap.Close()
+				lats = append(lats, time.Since(t0))
+				fail(e)
+				atomic.AddInt64(&readerOps, 1)
+			}
+		}(r)
+	}
+
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	close(latCh)
+
+	if firstErr != nil {
+		return 0, 0, 0, 0, firstErr
+	}
+	var all []time.Duration
+	for lats := range latCh {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("concurrency bench: no reads completed in %v", dur)
+	}
+	p50 = all[len(all)*50/100]
+	p99 = all[len(all)*99/100]
+	secs := dur.Seconds()
+	return float64(readerOps) / secs, p50, p99, float64(writerOps) / secs, nil
+}

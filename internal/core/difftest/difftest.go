@@ -1,0 +1,269 @@
+// Package difftest is a differential testing harness for the Gremlin
+// execution paths: it generates random property graphs and random
+// Gremlin pipelines, runs every pipeline through the translate-to-SQL
+// path and through the naive reference interpreter (gremlin/interp),
+// and requires identical result multisets. The two implementations
+// share essentially no code, so any divergence is a real bug in one of
+// them.
+//
+// The shrunk corpus runs in ordinary `go test`; the full corpus is
+// behind `-tags slow`.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/core"
+	"sqlgraph/internal/gremlin"
+	"sqlgraph/internal/gremlin/interp"
+)
+
+// edge labels and the attribute domains the generators draw from. The
+// label pool is deliberately tight so random walks collide and multi-hop
+// pipelines return non-empty results.
+var (
+	edgeLabels = []string{"a", "b", "c", "d"}
+	nameVals   = []string{"n0", "n1", "n2", "n3", "n4"}
+)
+
+// GenGraph builds a random property graph: nV in [10, 40), ~3x edges,
+// every vertex carries an int attribute "k" and optionally a string
+// "name", every edge a float "w". Self loops and parallel edges are
+// allowed (MemGraph permitting).
+func GenGraph(rng *rand.Rand) *blueprints.MemGraph {
+	g := blueprints.NewMemGraph()
+	nV := 10 + rng.Intn(30)
+	for i := 0; i < nV; i++ {
+		attrs := map[string]any{"k": int64(rng.Intn(5))}
+		if rng.Intn(2) == 0 {
+			attrs["name"] = nameVals[rng.Intn(len(nameVals))]
+		}
+		if err := g.AddVertex(int64(i), attrs); err != nil {
+			panic(err) // ids are unique by construction
+		}
+	}
+	nE := nV * 3
+	for i := 0; i < nE; i++ {
+		attrs := map[string]any{"w": float64(rng.Intn(100)) / 100}
+		_ = g.AddEdge(int64(1000+i), int64(rng.Intn(nV)), int64(rng.Intn(nV)),
+			edgeLabels[rng.Intn(len(edgeLabels))], attrs)
+	}
+	return g
+}
+
+// GenPipeline emits one random Gremlin pipeline drawn from the step
+// grammar both execution paths support: vertex/edge sources, labeled
+// hops, edge hops with endpoint steps, attribute predicates, closures,
+// dedup/simplePath, bounded loops, and count terminals.
+func GenPipeline(rng *rand.Rand, numVertices int) string {
+	q := "g"
+	edgeCtx := false
+	switch rng.Intn(10) {
+	case 0, 1, 2, 3:
+		q += ".V"
+	case 4, 5, 6:
+		q += fmt.Sprintf(".V(%d)", rng.Intn(numVertices))
+	case 7:
+		q += fmt.Sprintf(".V(%d, %d)", rng.Intn(numVertices), rng.Intn(numVertices))
+	case 8:
+		q += ".E"
+		edgeCtx = true
+	default:
+		q += fmt.Sprintf(".V('name', '%s')", nameVals[rng.Intn(len(nameVals))])
+	}
+	steps := 1 + rng.Intn(4)
+	deduped := false // dedup() before a path-dependent step is rejected by the translator
+	for i := 0; i < steps; i++ {
+		if edgeCtx {
+			switch rng.Intn(4) {
+			case 0:
+				q += ".inV"
+				edgeCtx = false
+			case 1:
+				q += ".outV"
+				edgeCtx = false
+			case 2:
+				q += ".bothV"
+				edgeCtx = false
+			default:
+				q += fmt.Sprintf(".has('w', T.%s, 0.%d)", pick(rng, "gt", "lt"), 1+rng.Intn(9))
+			}
+			continue
+		}
+		switch rng.Intn(12) {
+		case 0, 1:
+			q += "." + pick(rng, "out", "in", "both") + labelArgs(rng)
+		case 2:
+			q += "." + pick(rng, "outE", "inE", "bothE") + labelArgs(rng)
+			edgeCtx = true
+		case 3:
+			q += fmt.Sprintf(".has('k', %d)", rng.Intn(5))
+		case 4:
+			q += fmt.Sprintf(".has('k', T.%s, %d)", pick(rng, "gt", "lt", "neq"), rng.Intn(5))
+		case 5:
+			q += fmt.Sprintf(".has('name', '%s')", nameVals[rng.Intn(len(nameVals))])
+		case 6:
+			q += "." + pick(rng, "has", "hasNot") + "('name')"
+		case 7:
+			q += fmt.Sprintf(".filter{it.k %s %d}", pick(rng, "<=", ">", "=="), rng.Intn(5))
+		case 8:
+			q += ".dedup()"
+			deduped = true
+		case 9:
+			if deduped {
+				q += ".dedup()"
+				continue
+			}
+			q += ".out.in.simplePath"
+		case 10:
+			mark := fmt.Sprintf("s%d", i)
+			q += fmt.Sprintf(".as('%s').out%s.loop('%s'){it.loops < %d}",
+				mark, labelArgs(rng), mark, 2+rng.Intn(2))
+		default:
+			q += "." + pick(rng, "out", "in") + labelArgs(rng)
+		}
+	}
+	if rng.Intn(2) == 0 {
+		q += ".count()"
+	}
+	return q
+}
+
+func pick(rng *rand.Rand, opts ...string) string { return opts[rng.Intn(len(opts))] }
+
+func labelArgs(rng *rand.Rand) string {
+	switch rng.Intn(3) {
+	case 0:
+		return ""
+	case 1:
+		return fmt.Sprintf("('%s')", edgeLabels[rng.Intn(len(edgeLabels))])
+	default:
+		return fmt.Sprintf("('%s', '%s')",
+			edgeLabels[rng.Intn(len(edgeLabels))], edgeLabels[rng.Intn(len(edgeLabels))])
+	}
+}
+
+// Check runs one pipeline through both paths and returns an error on any
+// divergence: execution error on either side, or differing result
+// multisets.
+func Check(s *core.Store, oracle blueprints.Graph, query string, opts core.TranslateOptions) error {
+	q, err := gremlin.Parse(query)
+	if err != nil {
+		return fmt.Errorf("parse %q: %w", query, err)
+	}
+	want, err := interp.Eval(oracle, q)
+	if err != nil {
+		return fmt.Errorf("oracle %q: %w", query, err)
+	}
+	got, err := s.QueryWithOptions(query, opts)
+	if err != nil {
+		sql := "?"
+		if tr, terr := s.Translate(query, opts); terr == nil {
+			sql = tr.SQL
+		}
+		return fmt.Errorf("store %q: %w\nSQL: %s", query, err, sql)
+	}
+	wc := canonical(normalize(want.Values()))
+	gc := canonical(got.Values)
+	if len(wc) != len(gc) {
+		return fmt.Errorf("%q: oracle %d values %v, store %d values %v", query, len(wc), wc, len(gc), gc)
+	}
+	for i := range wc {
+		if wc[i] != gc[i] {
+			return fmt.Errorf("%q mismatch:\noracle: %v\nstore:  %v", query, wc, gc)
+		}
+	}
+	return nil
+}
+
+// Run generates `graphs` random graphs from consecutive seeds starting
+// at seed0 and `pipelines` random pipelines per graph, checking each
+// against the oracle under every translation mode in opts. Returns the
+// first divergence with its reproduction seed.
+func Run(seed0 int64, graphs, pipelines int, opts []core.TranslateOptions) error {
+	for gi := 0; gi < graphs; gi++ {
+		seed := seed0 + int64(gi)
+		rng := rand.New(rand.NewSource(seed))
+		g := GenGraph(rng)
+		s, err := core.Load(g, core.Options{OutCols: 3, InCols: 3})
+		if err != nil {
+			return fmt.Errorf("seed %d: load: %w", seed, err)
+		}
+		nV := g.CountVertices()
+		for pi := 0; pi < pipelines; pi++ {
+			query := GenPipeline(rng, nV)
+			for _, o := range opts {
+				if err := Check(s, g, query, o); err != nil {
+					return fmt.Errorf("seed %d pipeline %d (opts %+v): %w", seed, pi, o, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckSnapshot runs one pipeline against a pinned snapshot and the
+// oracle graph frozen at the same logical state.
+func CheckSnapshot(snap *core.Snap, oracle blueprints.Graph, query string) error {
+	q, err := gremlin.Parse(query)
+	if err != nil {
+		return fmt.Errorf("parse %q: %w", query, err)
+	}
+	want, err := interp.Eval(oracle, q)
+	if err != nil {
+		return fmt.Errorf("oracle %q: %w", query, err)
+	}
+	got, err := snap.Query(query)
+	if err != nil {
+		return fmt.Errorf("snapshot %q: %w", query, err)
+	}
+	wc := canonical(normalize(want.Values()))
+	gc := canonical(got.Values)
+	if len(wc) != len(gc) {
+		return fmt.Errorf("%q: oracle %d values %v, snapshot %d values %v", query, len(wc), wc, len(gc), gc)
+	}
+	for i := range wc {
+		if wc[i] != gc[i] {
+			return fmt.Errorf("%q mismatch:\noracle: %v\nsnapshot: %v", query, wc, gc)
+		}
+	}
+	return nil
+}
+
+// canonical renders a multiset of values order-independently.
+func canonical(vals []any) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = fmt.Sprintf("%T:%v", v, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// normalize converts interpreter outputs to the store's value domain
+// (int64 ids, nested []any paths).
+func normalize(vals []any) []any {
+	out := make([]any, len(vals))
+	for i, v := range vals {
+		out[i] = normalizeVal(v)
+	}
+	return out
+}
+
+func normalizeVal(v any) any {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = normalizeVal(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

@@ -1,0 +1,63 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"sqlgraph/internal/core"
+)
+
+// allModes exercises the default translation plus both forced adjacency
+// representations — the differential property must hold in every mode.
+var allModes = []core.TranslateOptions{
+	{},
+	{ForceEA: true},
+	{ForceHashTables: true},
+}
+
+// TestDifferentialShrunk is the always-on corpus: a handful of random
+// graphs, a few dozen random pipelines each, against the interpreter
+// oracle. The full corpus runs with -tags slow.
+func TestDifferentialShrunk(t *testing.T) {
+	if err := Run(1, 4, 25, allModes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialSnapshot runs the same differential property through
+// the snapshot read path: pin a snapshot, mutate the store, and check
+// translated queries on the snapshot still match the oracle's frozen
+// copy of the graph.
+func TestDifferentialSnapshot(t *testing.T) {
+	rngSeed := int64(99)
+	rng := rand.New(rand.NewSource(rngSeed))
+	g := GenGraph(rng)
+	s, err := core.Load(g, core.Options{OutCols: 3, InCols: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	defer snap.Close()
+
+	// Mutate the store; the oracle keeps the pre-mutation graph.
+	if err := s.AddVertex(5000, map[string]any{"k": int64(1), "name": "n0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEdge(6000, 5000, 0, "a", map[string]any{"w": 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveVertex(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+
+	nV := g.CountVertices()
+	for pi := 0; pi < 25; pi++ {
+		query := GenPipeline(rng, nV)
+		if err := CheckSnapshot(snap, g, query); err != nil {
+			t.Fatalf("seed %d pipeline %d: %v", rngSeed, pi, err)
+		}
+	}
+}

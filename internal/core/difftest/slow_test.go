@@ -1,0 +1,18 @@
+//go:build slow
+
+package difftest
+
+import "testing"
+
+// TestDifferentialFull is the full corpus: dozens of random graphs and
+// hundreds of pipelines per graph, in every translation mode. Run with
+//
+//	go test -tags slow ./internal/core/difftest/
+func TestDifferentialFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full differential corpus")
+	}
+	if err := Run(100, 24, 150, allModes); err != nil {
+		t.Fatal(err)
+	}
+}

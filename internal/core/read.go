@@ -12,17 +12,28 @@ import (
 // paper's micro-benchmark (Table 4) shows EA beats the hash adjacency
 // tables for simple neighbor lookups, which is exactly why the schema
 // keeps the redundant adjacency copy there (Section 3.5).
+//
+// Every read takes an asOf version: rel.Latest for the Store's own
+// methods, a pinned snapshot version for Snap's (snapshot.go).
 
 // VertexExists implements blueprints.Graph.
 func (s *Store) VertexExists(id int64) bool {
-	tx := s.fpReadVA.Begin()
+	return s.vertexExistsAt(id, rel.Latest)
+}
+
+func (s *Store) vertexExistsAt(id int64, asOf rel.Version) bool {
+	tx := s.fpReadVA.BeginAt(asOf)
 	defer tx.Rollback()
 	return vertexLiveTx(tx, id)
 }
 
 // VertexAttrs implements blueprints.Graph.
 func (s *Store) VertexAttrs(id int64) (map[string]any, error) {
-	tx := s.fpReadVA.Begin()
+	return s.vertexAttrsAt(id, rel.Latest)
+}
+
+func (s *Store) vertexAttrsAt(id int64, asOf rel.Version) (map[string]any, error) {
+	tx := s.fpReadVA.BeginAt(asOf)
 	defer tx.Rollback()
 	var out map[string]any
 	found := false
@@ -39,7 +50,11 @@ func (s *Store) VertexAttrs(id int64) (map[string]any, error) {
 
 // Edge implements blueprints.Graph.
 func (s *Store) Edge(id int64) (blueprints.EdgeRec, error) {
-	tx := s.fpReadEA.Begin()
+	return s.edgeAt(id, rel.Latest)
+}
+
+func (s *Store) edgeAt(id int64, asOf rel.Version) (blueprints.EdgeRec, error) {
+	tx := s.fpReadEA.BeginAt(asOf)
 	defer tx.Rollback()
 	rec, _, ok := edgeTx(tx, id)
 	if !ok {
@@ -50,7 +65,11 @@ func (s *Store) Edge(id int64) (blueprints.EdgeRec, error) {
 
 // EdgeAttrs implements blueprints.Graph.
 func (s *Store) EdgeAttrs(id int64) (map[string]any, error) {
-	tx := s.fpReadEA.Begin()
+	return s.edgeAttrsAt(id, rel.Latest)
+}
+
+func (s *Store) edgeAttrsAt(id int64, asOf rel.Version) (map[string]any, error) {
+	tx := s.fpReadEA.BeginAt(asOf)
 	defer tx.Rollback()
 	var out map[string]any
 	found := false
@@ -67,16 +86,16 @@ func (s *Store) EdgeAttrs(id int64) (map[string]any, error) {
 
 // OutEdges implements blueprints.Graph via the EA (INV, LBL) index.
 func (s *Store) OutEdges(v int64, labels ...string) ([]blueprints.EdgeRec, error) {
-	return s.incident(v, labels, IndexEAInLbl)
+	return s.incidentAt(v, labels, IndexEAInLbl, rel.Latest)
 }
 
 // InEdges implements blueprints.Graph via the EA (OUTV, LBL) index.
 func (s *Store) InEdges(v int64, labels ...string) ([]blueprints.EdgeRec, error) {
-	return s.incident(v, labels, IndexEAOutLbl)
+	return s.incidentAt(v, labels, IndexEAOutLbl, rel.Latest)
 }
 
-func (s *Store) incident(v int64, labels []string, index string) ([]blueprints.EdgeRec, error) {
-	tx := s.fpReadEV.Begin()
+func (s *Store) incidentAt(v int64, labels []string, index string, asOf rel.Version) ([]blueprints.EdgeRec, error) {
+	tx := s.fpReadEV.BeginAt(asOf)
 	defer tx.Rollback()
 	if !vertexLiveTx(tx, v) {
 		return nil, fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, v)
@@ -129,7 +148,11 @@ func (s *Store) OutEdgesWithAttrs(v int64, limit int) ([]blueprints.EdgeRec, []m
 
 // VertexIDs implements blueprints.Graph (live vertices only, sorted).
 func (s *Store) VertexIDs() []int64 {
-	tx := s.fpReadVA.Begin()
+	return s.vertexIDsAt(rel.Latest)
+}
+
+func (s *Store) vertexIDsAt(asOf rel.Version) []int64 {
+	tx := s.fpReadVA.BeginAt(asOf)
 	defer tx.Rollback()
 	var out []int64
 	_ = tx.Scan(TableVA, func(rid rel.RowID, vals []rel.Value) bool {
@@ -144,7 +167,11 @@ func (s *Store) VertexIDs() []int64 {
 
 // EdgeIDs implements blueprints.Graph (sorted).
 func (s *Store) EdgeIDs() []int64 {
-	tx := s.fpReadEA.Begin()
+	return s.edgeIDsAt(rel.Latest)
+}
+
+func (s *Store) edgeIDsAt(asOf rel.Version) []int64 {
+	tx := s.fpReadEA.BeginAt(asOf)
 	defer tx.Rollback()
 	var out []int64
 	_ = tx.Scan(TableEA, func(rid rel.RowID, vals []rel.Value) bool {
@@ -159,8 +186,12 @@ func (s *Store) EdgeIDs() []int64 {
 // uses a JSON expression index when CreateVertexAttrIndex has been called
 // for the key.
 func (s *Store) VerticesByAttr(key string, val any) ([]int64, error) {
-	rows, err := s.eng.Query(
-		fmt.Sprintf("SELECT VID FROM VA WHERE VID >= 0 AND JSON_VAL(ATTR, '%s') = ?", escapeSQL(key)), val)
+	return s.verticesByAttrAt(key, val, rel.Latest)
+}
+
+func (s *Store) verticesByAttrAt(key string, val any, asOf rel.Version) ([]int64, error) {
+	rows, err := s.eng.QueryAt(
+		fmt.Sprintf("SELECT VID FROM VA WHERE VID >= 0 AND JSON_VAL(ATTR, '%s') = ?", escapeSQL(key)), asOf, val)
 	if err != nil {
 		return nil, err
 	}
@@ -184,4 +215,12 @@ func (s *Store) CountEdges() int {
 		return 0
 	}
 	return t.Live()
+}
+
+func (s *Store) countEdgesAt(asOf rel.Version) int {
+	tx := s.fpReadEA.BeginAt(asOf)
+	defer tx.Rollback()
+	n := 0
+	_ = tx.Scan(TableEA, func(rel.RowID, []rel.Value) bool { n++; return true })
+	return n
 }

@@ -129,8 +129,36 @@ func (s *Stmt) Query(params ...any) (*Rows, error) {
 	return s.eng.QueryStmt(s.sel, params...)
 }
 
-// QueryStmt executes an already-parsed SELECT.
+// QueryAt executes the prepared statement against the state visible at
+// the given snapshot version.
+func (s *Stmt) QueryAt(asOf rel.Version, params ...any) (*Rows, error) {
+	return s.eng.QueryStmtAt(s.sel, asOf, params...)
+}
+
+// QueryStmt executes an already-parsed SELECT against the latest state.
 func (e *Engine) QueryStmt(sel *sql.SelectStmt, params ...any) (*Rows, error) {
+	return e.QueryStmtAt(sel, rel.Latest, params...)
+}
+
+// QueryAt parses and executes a SELECT against the state visible at the
+// given snapshot version (which the caller must have pinned with
+// rel.Catalog.Pin). Base-table scans, index probes, and join probes all
+// read the pinned version, so any number of QueryAt calls at the same
+// version observe one consistent state regardless of concurrent writers.
+func (e *Engine) QueryAt(sqlText string, asOf rel.Version, params ...any) (*Rows, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: QueryAt requires a SELECT statement; use Exec")
+	}
+	return e.QueryStmtAt(sel, asOf, params...)
+}
+
+// QueryStmtAt executes an already-parsed SELECT at a snapshot version.
+func (e *Engine) QueryStmtAt(sel *sql.SelectStmt, asOf rel.Version, params ...any) (*Rows, error) {
 	tables := e.baseTablesOf(sel)
 	unlock := e.rlockAll(tables)
 	defer unlock()
@@ -141,6 +169,7 @@ func (e *Engine) QueryStmt(sel *sql.SelectStmt, params ...any) (*Rows, error) {
 		params: toValues(params),
 		par:    opts.Parallelism,
 		force:  opts.ForceJoin,
+		asOf:   asOf,
 	}
 	r, err := e.evalSelect(q, sel)
 	if err != nil {

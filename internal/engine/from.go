@@ -498,7 +498,7 @@ func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs [
 	// templates fast). A forced strategy (benchmarks, equivalence tests)
 	// bypasses index selection.
 	if baseTable != nil && len(joinEq) > 0 && q.force == StrategyAuto {
-		if ix, mapping := joinIndexFor(baseTable, joinEqRight); ix != nil {
+		if ix, mapping := joinIndexFor(baseTable, joinEqRight, q.asOf); ix != nil {
 			out, err := e.indexNLJoin(q, cur, baseTable, ix, mapping, kind, indexNLArgs{
 				outCols:     outCols,
 				curScope:    curScope,

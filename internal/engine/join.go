@@ -66,11 +66,9 @@ func (e *Engine) indexNLJoin(q *queryState, cur *relation, t *rel.Table, ix *rel
 				key[i] = leftVals[m]
 			}
 			var probeErr error
-			ix.Probe(key, func(rid rel.RowID) bool {
-				rvals, ok := t.Get(rid)
-				if !ok {
-					return true
-				}
+			// ProbeAt resolves entries to the images visible at the query's
+			// snapshot version and filters stale entries (see Table.ProbeAt).
+			t.ProbeAt(ix, key, q.asOf, func(rid rel.RowID, rvals []rel.Value) bool {
 				probed++
 				e.pageAccess(q, tableName, rid)
 				// Verify every equi-join term (the index may cover only a

@@ -57,17 +57,25 @@ func stripAlias(e sql.Expr, alias string) sql.Expr {
 	}
 }
 
-// matchIndexExpr finds an index matching the given side expression: a
-// plain single-column index for a column reference, or an expression
-// index whose normalized text equals the expression's.
-func matchIndexExpr(t *rel.Table, alias string, side sql.Expr) *rel.Index {
+// indexUsableAt reports whether an index can serve reads at the given
+// snapshot version: indexes created after a snapshot was pinned don't
+// cover its historical row images and must be skipped for it.
+func indexUsableAt(ix *rel.Index, asOf rel.Version) bool {
+	return asOf == rel.Latest || ix.Born() <= asOf
+}
+
+// matchIndexExpr finds an index matching the given side expression and
+// usable at the query's snapshot version: a plain single-column index for
+// a column reference, or an expression index whose normalized text equals
+// the expression's.
+func matchIndexExpr(t *rel.Table, alias string, side sql.Expr, asOf rel.Version) *rel.Index {
 	if cr, ok := side.(*sql.ColumnRef); ok && (cr.Table == "" || cr.Table == alias) {
 		ord := t.Schema().Ordinal(cr.Column)
 		if ord < 0 {
 			return nil
 		}
 		for _, ix := range t.Indexes() {
-			if ords := ix.ColumnOrdinals(); len(ords) >= 1 && ords[0] == ord {
+			if ords := ix.ColumnOrdinals(); len(ords) >= 1 && ords[0] == ord && indexUsableAt(ix, asOf) {
 				return ix
 			}
 		}
@@ -75,7 +83,7 @@ func matchIndexExpr(t *rel.Table, alias string, side sql.Expr) *rel.Index {
 	}
 	want := stripAlias(side, alias).SQL()
 	for _, ix := range t.Indexes() {
-		if ix.Expr() != "" && ix.Expr() == want {
+		if ix.Expr() != "" && ix.Expr() == want && indexUsableAt(ix, asOf) {
 			return ix
 		}
 	}
@@ -99,14 +107,14 @@ func (e *Engine) chooseAccessPath(q *queryState, t *rel.Table, alias string, con
 		switch v := c.expr.(type) {
 		case *sql.Binary:
 			if v.Op == "=" {
-				if ix := matchIndexExpr(t, alias, v.L); ix != nil && isConstExpr(v.R) {
+				if ix := matchIndexExpr(t, alias, v.L, q.asOf); ix != nil && isConstExpr(v.R) {
 					key, err := e.constValue(q, v.R)
 					if err != nil {
 						return nil, err
 					}
 					return &accessPath{index: ix, kind: accessEq, keys: [][]rel.Value{{key}}, consumed: c}, nil
 				}
-				if ix := matchIndexExpr(t, alias, v.R); ix != nil && isConstExpr(v.L) {
+				if ix := matchIndexExpr(t, alias, v.R, q.asOf); ix != nil && isConstExpr(v.L) {
 					key, err := e.constValue(q, v.L)
 					if err != nil {
 						return nil, err
@@ -134,7 +142,7 @@ func (e *Engine) chooseAccessPath(q *queryState, t *rel.Table, alias string, con
 					}
 				}
 				if side != nil {
-					if ix := matchIndexExpr(t, alias, side); ix != nil {
+					if ix := matchIndexExpr(t, alias, side, q.asOf); ix != nil {
 						b, err := e.constValue(q, bound)
 						if err != nil {
 							return nil, err
@@ -160,7 +168,7 @@ func (e *Engine) chooseAccessPath(q *queryState, t *rel.Table, alias string, con
 			}
 		case *sql.InList:
 			if !v.Not && inPath == nil {
-				if ix := matchIndexExpr(t, alias, v.X); ix != nil {
+				if ix := matchIndexExpr(t, alias, v.X, q.asOf); ix != nil {
 					allConst := true
 					keys := make([][]rel.Value, 0, len(v.List))
 					for _, item := range v.List {
@@ -181,7 +189,7 @@ func (e *Engine) chooseAccessPath(q *queryState, t *rel.Table, alias string, con
 			}
 		case *sql.Between:
 			if !v.Not && rangePath == nil && isConstExpr(v.Lo) && isConstExpr(v.Hi) {
-				if ix := matchIndexExpr(t, alias, v.X); ix != nil {
+				if ix := matchIndexExpr(t, alias, v.X, q.asOf); ix != nil {
 					lo, err := e.constValue(q, v.Lo)
 					if err != nil {
 						return nil, err
@@ -195,7 +203,7 @@ func (e *Engine) chooseAccessPath(q *queryState, t *rel.Table, alias string, con
 			}
 		case *sql.IsNull:
 			if v.Not && notNullPath == nil {
-				if ix := matchIndexExpr(t, alias, v.X); ix != nil {
+				if ix := matchIndexExpr(t, alias, v.X, q.asOf); ix != nil {
 					notNullPath = &accessPath{index: ix, kind: accessNotNull, consumed: c}
 				}
 			}
@@ -290,11 +298,11 @@ func (e *Engine) indexScan(q *queryState, t *rel.Table, cols []colInfo, sc *scop
 	}
 	out := &relation{cols: cols}
 	var emitErr error
-	visit := func(rid rel.RowID) bool {
-		vals, ok := t.Get(rid)
-		if !ok {
-			return true
-		}
+	// Probes go through the table layer (ProbeAt/ProbeRangeAt), which
+	// resolves each candidate entry to the row image visible at the
+	// query's snapshot version and drops stale entries for superseded
+	// images — a probe visits each matching row exactly once per version.
+	visit := func(rid rel.RowID, vals []rel.Value) bool {
 		stat.RowsIn++
 		e.pageAccess(q, t.Name(), rid)
 		ok, err := pass(vals)
@@ -310,15 +318,15 @@ func (e *Engine) indexScan(q *queryState, t *rel.Table, cols []colInfo, sc *scop
 	switch path.kind {
 	case accessEq, accessIn:
 		for _, key := range path.keys {
-			path.index.Probe(key, visit)
+			t.ProbeAt(path.index, key, q.asOf, visit)
 			if emitErr != nil {
 				return nil, emitErr
 			}
 		}
 	case accessRange:
-		path.index.ProbeRange(path.lo, path.hi, path.loInc, path.hiInc, visit)
+		t.ProbeRangeAt(path.index, path.lo, path.hi, path.loInc, path.hiInc, q.asOf, visit)
 	case accessNotNull:
-		path.index.ProbeRange(rel.Null, rel.Null, true, true, visit)
+		t.ProbeRangeAt(path.index, rel.Null, rel.Null, true, true, q.asOf, visit)
 	}
 	if emitErr != nil {
 		return nil, emitErr
@@ -352,7 +360,7 @@ func (e *Engine) fullScan(q *queryState, t *rel.Table, cols []colInfo, sc *scope
 	m, w, err := runMorsels(slots, par, newWorker, func(wk *worker, m, lo, hi int) error {
 		var buf [][]rel.Value
 		var scanErr error
-		t.ScanSlots(lo, hi, func(rid rel.RowID, vals []rel.Value) bool {
+		t.ScanSlotsAt(lo, hi, q.asOf, func(rid rel.RowID, vals []rel.Value) bool {
 			examined[m]++
 			e.pageAccess(q, tableName, rid)
 			ok, err := wk.pass(vals)
@@ -383,16 +391,16 @@ func (e *Engine) fullScan(q *queryState, t *rel.Table, cols []colInfo, sc *scope
 
 // joinIndexFor finds an index on the base table usable for an index
 // nested-loop join given the equi-join right-column positions (which for
-// base tables equal schema ordinals). It returns the index and, for each
-// of the index's leading columns, the position into joinEqRight supplying
-// the probe value.
-func joinIndexFor(t *rel.Table, joinEqRight []int) (*rel.Index, []int) {
+// base tables equal schema ordinals) and the query's snapshot version. It
+// returns the index and, for each of the index's leading columns, the
+// position into joinEqRight supplying the probe value.
+func joinIndexFor(t *rel.Table, joinEqRight []int, asOf rel.Version) (*rel.Index, []int) {
 	best := 0
 	var bestMap []int
 	var bestIx *rel.Index
 	for _, ix := range t.Indexes() {
 		ords := ix.ColumnOrdinals()
-		if len(ords) == 0 {
+		if len(ords) == 0 || !indexUsableAt(ix, asOf) {
 			continue
 		}
 		var mapping []int

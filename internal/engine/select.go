@@ -26,6 +26,7 @@ type queryState struct {
 	ioMisses int64                               // buffer-pool misses (atomic; morsel workers add concurrently)
 	par      int                                 // morsel-parallelism budget (0 = GOMAXPROCS, 1 = serial)
 	force    JoinStrategy                        // forced join strategy, StrategyAuto for planner's choice
+	asOf     rel.Version                         // snapshot version for base-table reads (zero = latest)
 	stats    ExecStats                           // per-operator execution statistics
 }
 

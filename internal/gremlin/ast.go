@@ -186,6 +186,9 @@ func formatStep(s *Step) string {
 	case StepInterval:
 		return fmt.Sprintf("interval(%s, %s, %s)", quote(s.Key), formatVal(s.Lo), formatVal(s.Hi))
 	case StepFilter:
+		if s.Op == "" && s.Value == nil {
+			return fmt.Sprintf("filter{it.%s}", s.Key) // existence test
+		}
 		return fmt.Sprintf("filter{it.%s %s %s}", s.Key, s.Op, formatVal(s.Value))
 	case StepRange:
 		return fmt.Sprintf("range(%v, %v)", s.Lo, s.Hi)
@@ -248,7 +251,21 @@ func joinIDs(ids []int64) string {
 	return strings.Join(parts, ", ")
 }
 
-func quote(s string) string { return "'" + s + "'" }
+// quote renders a string literal, escaping the characters the lexer
+// treats specially so String() output always re-parses to the same
+// value (the FuzzParse round-trip property).
+func quote(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('\'')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' || s[i] == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(s[i])
+	}
+	sb.WriteByte('\'')
+	return sb.String()
+}
 
 func formatVal(v any) string {
 	switch x := v.(type) {

@@ -1,0 +1,75 @@
+package gremlin
+
+import (
+	"testing"
+)
+
+// FuzzParse fuzzes the Gremlin parser. Properties:
+//
+//  1. Parse never panics, whatever the input.
+//  2. Anything Parse accepts renders (String) to a form Parse accepts
+//     again, and the rendering is a fixed point (stable round trip).
+//
+// Run with: go test -fuzz=FuzzParse ./internal/gremlin/
+// Crashers get minimized into testdata/fuzz and, once fixed, folded
+// into parser_test.go as permanent regressions.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// The valid dialect, one seed per construct family.
+		"g.V",
+		"g.E.count()",
+		"g.V(1, 4)",
+		"g.V('name', 'marko')",
+		"g.V(1).out('knows', 'created').in.both('likes')",
+		"g.V(1).outE('created').inV.dedup()",
+		"g.E(7).bothV.id",
+		"g.V.has('age', T.gte, 29).hasNot('lang')",
+		"g.V.has('age')",
+		"g.V.interval('age', 20, 30)",
+		"g.V.filter{it.age >= 29 && it.name == 'marko'}",
+		"g.V.name",
+		"g.V(1).out.in.simplePath.path",
+		"g.V.dedup().range(0, 4).count()",
+		"g.V(1).as('x').out.back('x')",
+		"g.V(1).as('s').out('next').loop('s'){it.loops < 5}.dedup().count()",
+		"g.V.ifThenElse{it.a == 1}{it.out}{it.in}.count()",
+		"g.V.aggregate('seen').out.except('seen')",
+		"g.V.out.retain('seen')",
+		`g.V.has("name", "it\'s")`,
+		"g.V.table.iterate",
+		// Near-misses and hostile shapes.
+		"",
+		"g",
+		"g.V(",
+		"g.V)",
+		"g.V..out",
+		"g.V.out(",
+		"g.V.filter{",
+		"g.V.filter{it.x == 'open",
+		"g.V.loop('x'){it.count<3}",
+		"g.V.has('a', T.weird, 1)",
+		"g.V.filter{it.x ~ 1}",
+		"g.V(9999999999999999999999)",
+		"g.V('\\'','\\\\')",
+		"g.V.filter{it.é == 1}",
+		"g.V.out.\x00",
+		"g.V.range(-1, -5)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src) // must never panic
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round trip: Parse(%q) ok but re-parse of %q failed: %v", src, rendered, err)
+		}
+		if again := q2.String(); again != rendered {
+			t.Fatalf("rendering not a fixed point for %q: %q vs %q", src, rendered, again)
+		}
+	})
+}

@@ -144,7 +144,17 @@ type gparser struct {
 }
 
 func (p *gparser) peek() gtok { return p.toks[p.pos] }
-func (p *gparser) next() gtok { t := p.toks[p.pos]; p.pos++; return t }
+
+// next consumes a token but never advances past the EOF sentinel, so a
+// parse function that keeps consuming on truncated input reports a
+// clean error instead of running off the token slice.
+func (p *gparser) next() gtok {
+	t := p.toks[p.pos]
+	if t.kind != gtokEOF {
+		p.pos++
+	}
+	return t
+}
 func (p *gparser) errorf(format string, args ...any) error {
 	return fmt.Errorf("gremlin: parse error near position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
 }

@@ -209,6 +209,9 @@ func TestParseErrors(t *testing.T) {
 		"g.V.filter{it.x == 'open",   // unterminated string
 		"g.V.back()",                 // back needs target
 		"g.V.has('age', T.weird, 1)", // unknown token
+		"g.ifThenElse{it.",           // FuzzParse crasher: next() ran past EOF
+		"g.V.filter{it.",             // same class, predicate closure
+		"g.V.loop('x'){it.",          // same class, loop closure
 	}
 	for _, src := range bad {
 		if _, err := Parse(src); err == nil {
@@ -250,5 +253,27 @@ func TestEscapedStrings(t *testing.T) {
 	q := mustParse(t, `g.V.has('name', 'it\'s')`)
 	if q.Steps[1].Value != "it's" {
 		t.Fatalf("escape = %+v", q.Steps[1])
+	}
+}
+
+// TestRoundTripEscapedStrings is a FuzzParse regression: String() used
+// to render string values unescaped, so a parsed 'it\'s' printed as
+// 'it's' — which no longer parses.
+func TestRoundTripEscapedStrings(t *testing.T) {
+	for _, src := range []string{
+		`g.V.has('name', 'it\'s')`,
+		`g.V.has('name', 'a\\b')`,
+		`g.V('k', '\'\\')`,
+		"g.V.filter{it.A}", // FuzzParse: existence filter rendered as "it.A  <nil>"
+	} {
+		q := mustParse(t, src)
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", rendered, src, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("round trip unstable: %q vs %q", rendered, q2.String())
+		}
 	}
 }

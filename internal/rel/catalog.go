@@ -13,11 +13,12 @@ import (
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	mvcc   mvccState // version clock, snapshot pins, writer mutex, GC (mvcc.go)
 }
 
 // NewCatalog creates an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: map[string]*Table{}}
+	return &Catalog{tables: map[string]*Table{}, mvcc: newMVCCState()}
 }
 
 // CreateTable adds a new table. Names are case-sensitive; the SQL layer
@@ -81,6 +82,11 @@ func (c *Catalog) CreateIndex(name, table string, unique bool, ordinals []int, e
 	ix := NewIndex(name, table, unique, ordinals, expr, keyFn)
 	t.Lock()
 	defer t.Unlock()
+	// Stamp the creation version under the table lock: no writer can be
+	// mid-flight on this table, so the index covers exactly the states at
+	// versions >= born (older snapshots must not use it — historical
+	// images are not back-indexed).
+	ix.born = c.CurrentVersion()
 	for _, existing := range t.indexes {
 		if existing.name == name {
 			return nil, fmt.Errorf("rel: index %s already exists on %s", name, table)

@@ -1,7 +1,6 @@
 package rel
 
 import (
-	"fmt"
 	"strings"
 
 	"sqlgraph/internal/btree"
@@ -37,6 +36,7 @@ type Index struct {
 	unique  bool
 	colOrds []int // ordinals for plain column indexes; nil for expression indexes
 	expr    string
+	born    Version // version at which the index was created (see mvcc.go)
 	tree    *btree.Tree[string, struct{}]
 }
 
@@ -74,47 +74,54 @@ func (ix *Index) ColumnOrdinals() []int { return ix.colOrds }
 // Expr returns the normalized expression string for expression indexes.
 func (ix *Index) Expr() string { return ix.expr }
 
-// Len returns the number of entries.
+// Len returns the number of entries, including entries retained for
+// superseded images awaiting garbage collection.
 func (ix *Index) Len() int { return ix.tree.Len() }
 
-func (ix *Index) insert(vals []Value, rid RowID) error {
-	key := ix.keyFn(vals)
-	prefix := EncodeKey(key)
-	if ix.unique {
-		dup := false
-		ix.tree.AscendFrom(prefix, func(entry string, _ struct{}) bool {
-			dup = entryHasKeyPrefix(entry, prefix)
-			return false
-		})
-		if dup {
-			return fmt.Errorf("rel: unique index %s on %s: duplicate key %v", ix.name, ix.table, key)
-		}
-	}
-	ix.tree.Set(encodeEntry(key, rid), struct{}{})
-	return nil
+// Born returns the version at which the index was created. Snapshots
+// pinned before that version must not use it: historical images are not
+// back-indexed (the planner enforces this).
+func (ix *Index) Born() Version { return ix.born }
+
+// insert adds an entry for the row image. Uniqueness is NOT checked here:
+// the tree legitimately holds entries for superseded images and logically
+// deleted rows, so only the table layer — which can see row liveness —
+// can decide whether a key collision is real (Table.findDuplicateLocked).
+func (ix *Index) insert(vals []Value, rid RowID) {
+	ix.tree.Set(ix.entryFor(vals, rid), struct{}{})
 }
 
 func (ix *Index) remove(vals []Value, rid RowID) {
-	ix.tree.Delete(encodeEntry(ix.keyFn(vals), rid))
+	ix.tree.Delete(ix.entryFor(vals, rid))
 }
 
-// Probe calls fn with the row id of every candidate whose key starts with
-// the given component prefix, until fn returns false. Callers must hold
-// the table's read lock and re-verify values on the fetched rows.
-func (ix *Index) Probe(key []Value, fn func(rid RowID) bool) {
+// entryFor returns the exact tree entry an image of the row produces.
+func (ix *Index) entryFor(vals []Value, rid RowID) string {
+	return encodeEntry(ix.keyFn(vals), rid)
+}
+
+// removeEntry deletes one exact tree entry (deferred cleanup path).
+func (ix *Index) removeEntry(entry string) {
+	ix.tree.Delete(entry)
+}
+
+// probeEntries calls fn with every (entry, rid) whose key starts with the
+// given component prefix, until fn returns false. Entries may be stale —
+// callers filter against row visibility (see Table.ProbeAt).
+func (ix *Index) probeEntries(key []Value, fn func(entry string, rid RowID) bool) {
 	prefix := EncodeKey(key)
 	ix.tree.AscendFrom(prefix, func(entry string, _ struct{}) bool {
 		if !entryHasKeyPrefix(entry, prefix) {
 			return false
 		}
-		return fn(decodeRID(entry))
+		return fn(entry, decodeRID(entry))
 	})
 }
 
-// ProbeRange calls fn for candidate entries with lo <= first-component <=
-// hi (per the inclusive flags). Either bound may be Null to mean
-// unbounded on that side; NULL-keyed entries never match.
-func (ix *Index) ProbeRange(lo, hi Value, loInclusive, hiInclusive bool, fn func(rid RowID) bool) {
+// probeRangeEntries calls fn for entries with lo <= first-component <= hi
+// (per the inclusive flags). Either bound may be Null to mean unbounded on
+// that side; NULL-keyed entries never match.
+func (ix *Index) probeRangeEntries(lo, hi Value, loInclusive, hiInclusive bool, fn func(entry string, rid RowID) bool) {
 	start := string([]byte{tagBool}) // skip NULL entries (tagNull == 0x00)
 	var encLo string
 	if !lo.IsNull() {
@@ -138,11 +145,28 @@ func (ix *Index) ProbeRange(lo, hi Value, loInclusive, hiInclusive bool, fn func
 				return false
 			}
 		}
-		return fn(decodeRID(entry))
+		return fn(entry, decodeRID(entry))
 	})
 }
 
-// CountPrefix counts entries matching the key prefix.
+// Probe calls fn with the row id of every candidate whose key starts with
+// the given component prefix, until fn returns false. Callers must hold
+// the table's read lock and re-verify values on the fetched rows; entries
+// can be stale under MVCC, so prefer Table.ProbeAt, which filters them.
+func (ix *Index) Probe(key []Value, fn func(rid RowID) bool) {
+	ix.probeEntries(key, func(_ string, rid RowID) bool { return fn(rid) })
+}
+
+// ProbeRange calls fn for candidate entries with lo <= first-component <=
+// hi (per the inclusive flags). Either bound may be Null to mean
+// unbounded on that side; NULL-keyed entries never match. As with Probe,
+// prefer Table.ProbeRangeAt, which filters stale entries.
+func (ix *Index) ProbeRange(lo, hi Value, loInclusive, hiInclusive bool, fn func(rid RowID) bool) {
+	ix.probeRangeEntries(lo, hi, loInclusive, hiInclusive, func(_ string, rid RowID) bool { return fn(rid) })
+}
+
+// CountPrefix counts entries matching the key prefix, including any stale
+// entries awaiting garbage collection (an upper bound on matching rows).
 func (ix *Index) CountPrefix(key []Value) int {
 	n := 0
 	ix.Probe(key, func(RowID) bool { n++; return true })

@@ -39,12 +39,19 @@ func (s *Schema) Ordinal(name string) int {
 func (s *Schema) Len() int { return len(s.Columns) }
 
 // RowID identifies a physical row within a table for the lifetime of that
-// row.
+// row. RowIDs are never reused, which lets deferred cleanup records refer
+// to rows by id without ABA hazards.
 type RowID int64
 
 // Table is a heap of rows plus its secondary indexes. Access is protected
 // by an RWMutex; multi-table transactions acquire table locks in sorted
 // name order (see Txn) to stay deadlock-free.
+//
+// Rows are multi-versioned: each slot carries the version at which its
+// current image was written and, for logically deleted rows, the version
+// at which it died; superseded images hang off the slot newest-first (see
+// mvcc.go). Readers pass a Version to the *At accessors to see a
+// consistent historical state.
 type Table struct {
 	mu      sync.RWMutex
 	name    string
@@ -55,13 +62,53 @@ type Table struct {
 	nextRID RowID
 	live    int
 	indexes []*Index
-	bytes   int64 // approximate data footprint
+	bytes   int64        // approximate live-data footprint
+	garbage []garbageRec // deferred cleanup, eligible per record (mvcc.go)
 }
 
 type rowSlot struct {
 	rid  RowID
 	vals []Value
-	dead bool
+	born Version   // version that wrote the current image
+	died Version   // nonzero: version that logically deleted the row
+	prev *verImage // superseded images, newest first
+	dead bool      // slot is physically free
+}
+
+// verImage is a superseded row image kept for pinned snapshots. Its
+// lifetime in the chain ends once no pin can see it (gcHistory).
+type verImage struct {
+	vals []Value
+	born Version
+	prev *verImage
+}
+
+// visibleAt returns the row image visible at version v, or false if the
+// row does not exist at v. Latest means current state.
+func (s *rowSlot) visibleAt(v Version) ([]Value, bool) {
+	if s.dead {
+		return nil, false
+	}
+	if v == Latest {
+		if s.died != 0 {
+			return nil, false
+		}
+		return s.vals, true
+	}
+	if s.born <= v {
+		if s.died != 0 && s.died <= v {
+			return nil, false
+		}
+		return s.vals, true
+	}
+	// Walk newest-first: the first image born at or before v is the one
+	// visible there (its successor was already seen to be younger than v).
+	for img := s.prev; img != nil; img = img.prev {
+		if img.born <= v {
+			return img.vals, true
+		}
+	}
+	return nil, false
 }
 
 // NewTable creates an empty table.
@@ -94,7 +141,7 @@ func (t *Table) Live() int {
 // LiveLocked returns the live row count without acquiring the lock.
 func (t *Table) LiveLocked() int { return t.live }
 
-// Bytes approximates the table's data footprint including index keys.
+// Bytes approximates the table's live-data footprint including index keys.
 func (t *Table) Bytes() int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -105,10 +152,43 @@ func (t *Table) Bytes() int64 {
 // modified.
 func (t *Table) Indexes() []*Index { return t.indexes }
 
-// insertLocked appends a row; the caller holds the write lock.
-func (t *Table) insertLocked(vals []Value) (RowID, error) {
+// findDuplicateLocked reports whether a unique index already holds the
+// key derived from vals for a live row other than self (pass self < 0 for
+// inserts). Uniqueness is checked at the table layer because the tree may
+// legitimately contain stale entries for superseded images and logically
+// deleted rows; only entries backed by a currently live image count.
+func (t *Table) findDuplicateLocked(ix *Index, vals []Value, self RowID) bool {
+	dup := false
+	ix.probeEntries(ix.keyFn(vals), func(entry string, rid RowID) bool {
+		if rid == self {
+			return true
+		}
+		slot, ok := t.byRID[rid]
+		if !ok {
+			return true
+		}
+		s := &t.rows[slot]
+		if s.dead || s.died != 0 {
+			return true
+		}
+		if ix.entryFor(s.vals, rid) != entry {
+			return true // stale entry for a superseded image
+		}
+		dup = true
+		return false
+	})
+	return dup
+}
+
+// insertLocked appends a row born at ver; the caller holds the write lock.
+func (t *Table) insertLocked(vals []Value, ver Version) (RowID, error) {
 	if len(vals) != t.schema.Len() {
 		return 0, fmt.Errorf("rel: table %s: insert arity %d, want %d", t.name, len(vals), t.schema.Len())
+	}
+	for _, ix := range t.indexes {
+		if ix.unique && t.findDuplicateLocked(ix, vals, -1) {
+			return 0, fmt.Errorf("rel: unique index %s on %s: duplicate key %v", ix.name, ix.table, ix.keyFn(vals))
+		}
 	}
 	rid := t.nextRID
 	t.nextRID++
@@ -116,10 +196,10 @@ func (t *Table) insertLocked(vals []Value) (RowID, error) {
 	if n := len(t.free); n > 0 {
 		slot = t.free[n-1]
 		t.free = t.free[:n-1]
-		t.rows[slot] = rowSlot{rid: rid, vals: vals}
+		t.rows[slot] = rowSlot{rid: rid, vals: vals, born: ver}
 	} else {
 		slot = len(t.rows)
-		t.rows = append(t.rows, rowSlot{rid: rid, vals: vals})
+		t.rows = append(t.rows, rowSlot{rid: rid, vals: vals, born: ver})
 	}
 	t.byRID[rid] = slot
 	t.live++
@@ -127,24 +207,13 @@ func (t *Table) insertLocked(vals []Value) (RowID, error) {
 		t.bytes += int64(v.Size())
 	}
 	for _, ix := range t.indexes {
-		if err := ix.insert(vals, rid); err != nil {
-			// Undo: remove from earlier indexes and the heap.
-			for _, prev := range t.indexes {
-				if prev == ix {
-					break
-				}
-				prev.remove(vals, rid)
-			}
-			t.removeSlot(slot, rid, vals)
-			return 0, err
-		}
+		ix.insert(vals, rid)
 	}
 	return rid, nil
 }
 
 func (t *Table) removeSlot(slot int, rid RowID, vals []Value) {
-	t.rows[slot].dead = true
-	t.rows[slot].vals = nil
+	t.rows[slot] = rowSlot{dead: true}
 	t.free = append(t.free, slot)
 	delete(t.byRID, rid)
 	t.live--
@@ -153,32 +222,60 @@ func (t *Table) removeSlot(slot int, rid RowID, vals []Value) {
 	}
 }
 
-// deleteLocked removes the row with the given rid; caller holds the write
-// lock. It returns the removed values for undo logging.
-func (t *Table) deleteLocked(rid RowID) ([]Value, bool) {
+// deleteLocked removes the row with the given rid at version ver; the
+// caller holds the write lock. Rows created by the same version (and
+// never version-updated) are removed physically — no snapshot can see
+// them. Otherwise the row is only marked dead at ver and a gcSlot record
+// defers physical reclamation until every pin has passed ver. It returns
+// an undo record (table field unset) and any garbage produced.
+func (t *Table) deleteLocked(rid RowID, ver Version) (undoRec, []garbageRec, bool) {
 	slot, ok := t.byRID[rid]
 	if !ok {
-		return nil, false
+		return undoRec{}, nil, false
 	}
-	vals := t.rows[slot].vals
-	for _, ix := range t.indexes {
-		ix.remove(vals, rid)
+	s := &t.rows[slot]
+	if s.dead || s.died != 0 {
+		return undoRec{}, nil, false
 	}
-	t.removeSlot(slot, rid, vals)
-	return vals, true
+	vals := s.vals
+	// Physical removal is safe when no snapshot can see the row: either
+	// the deleting version itself created it (and never version-pushed an
+	// older image), or the call is non-transactional (ver == 0, direct
+	// table manipulation with no snapshot readers).
+	if ver == 0 || (s.born == ver && s.prev == nil) {
+		for _, ix := range t.indexes {
+			ix.remove(vals, rid)
+		}
+		t.removeSlot(slot, rid, vals)
+		return undoRec{kind: undoDelete, rid: rid, vals: vals, born: ver, phys: true}, nil, true
+	}
+	s.died = ver
+	t.live--
+	for _, v := range vals {
+		t.bytes -= int64(v.Size())
+	}
+	return undoRec{kind: undoDelete, rid: rid, vals: vals},
+		[]garbageRec{{after: ver, kind: gcSlot, rid: rid}}, true
 }
 
-// updateLocked replaces the row's values; caller holds the write lock. It
-// returns the previous values for undo logging.
-func (t *Table) updateLocked(rid RowID, vals []Value) ([]Value, error) {
+// updateLocked replaces the row's values at version ver; the caller holds
+// the write lock. Updating a row the same version already wrote mutates
+// in place (no snapshot can see the intermediate image); updating a
+// committed row pushes the old image onto the history chain, keeps its
+// index entries alive for pinned snapshots, and defers their removal.
+func (t *Table) updateLocked(rid RowID, vals []Value, ver Version) (undoRec, []garbageRec, error) {
 	slot, ok := t.byRID[rid]
 	if !ok {
-		return nil, fmt.Errorf("rel: table %s: update of missing row %d", t.name, rid)
+		return undoRec{}, nil, fmt.Errorf("rel: table %s: update of missing row %d", t.name, rid)
 	}
 	if len(vals) != t.schema.Len() {
-		return nil, fmt.Errorf("rel: table %s: update arity %d, want %d", t.name, len(vals), t.schema.Len())
+		return undoRec{}, nil, fmt.Errorf("rel: table %s: update arity %d, want %d", t.name, len(vals), t.schema.Len())
 	}
-	old := t.rows[slot].vals
+	s := &t.rows[slot]
+	if s.dead || s.died != 0 {
+		return undoRec{}, nil, fmt.Errorf("rel: table %s: update of missing row %d", t.name, rid)
+	}
+	old := s.vals
 	// Skip index maintenance for indexes whose key is unchanged (the
 	// common case: updating an attribute cell leaves the id-keyed indexes
 	// alone).
@@ -190,48 +287,177 @@ func (t *Table) updateLocked(rid RowID, vals []Value) ([]Value, error) {
 		touched = append(touched, ix)
 	}
 	for _, ix := range touched {
-		ix.remove(old, rid)
-	}
-	for i, ix := range touched {
-		if err := ix.insert(vals, rid); err != nil {
-			// Restore the old entries.
-			for j := 0; j < i; j++ {
-				touched[j].remove(vals, rid)
-			}
-			for _, prev := range touched {
-				_ = prev.insert(old, rid)
-			}
-			return nil, err
+		if ix.unique && t.findDuplicateLocked(ix, vals, rid) {
+			return undoRec{}, nil, fmt.Errorf("rel: unique index %s on %s: duplicate key %v", ix.name, ix.table, ix.keyFn(vals))
 		}
 	}
-	t.rows[slot].vals = vals
+	var rec undoRec
+	var garbage []garbageRec
+	if ver == 0 || s.born == ver {
+		// Same-version overwrite (or non-transactional call): in place.
+		for _, ix := range touched {
+			ix.remove(old, rid)
+		}
+		for _, ix := range touched {
+			ix.insert(vals, rid)
+		}
+		rec = undoRec{kind: undoUpdate, rid: rid, vals: old}
+	} else {
+		img := &verImage{vals: old, born: s.born, prev: s.prev}
+		s.prev = img
+		s.born = ver
+		for _, ix := range touched {
+			ix.insert(vals, rid)
+			garbage = append(garbage, garbageRec{
+				after: ver, kind: gcIndexEntry, ix: ix, entry: ix.entryFor(old, rid), rid: rid,
+			})
+		}
+		garbage = append(garbage, garbageRec{after: ver, kind: gcHistory, rid: rid})
+		rec = undoRec{kind: undoUpdateVer, rid: rid, vals: old, born: img.born, prev: img.prev}
+	}
+	s.vals = vals
 	for _, v := range old {
 		t.bytes -= int64(v.Size())
 	}
 	for _, v := range vals {
 		t.bytes += int64(v.Size())
 	}
-	return old, nil
+	return rec, garbage, nil
 }
 
-// Get returns a copy-free view of the row's values. Callers must hold a
-// read lock and must not mutate the slice.
+// revertInsertLocked physically removes a row inserted by the rolling-back
+// transaction. Any later same-transaction updates have already been
+// reverted, so the slot holds the insert-time image with no history.
+func (t *Table) revertInsertLocked(rid RowID) {
+	slot, ok := t.byRID[rid]
+	if !ok {
+		return
+	}
+	vals := t.rows[slot].vals
+	for _, ix := range t.indexes {
+		ix.remove(vals, rid)
+	}
+	t.removeSlot(slot, rid, vals)
+}
+
+// revertDeleteLocked undoes deleteLocked.
+func (t *Table) revertDeleteLocked(rec undoRec) {
+	if rec.phys {
+		t.reinsertLocked(rec.rid, rec.vals, rec.born, nil)
+		return
+	}
+	slot, ok := t.byRID[rec.rid]
+	if !ok {
+		return
+	}
+	s := &t.rows[slot]
+	s.died = 0
+	t.live++
+	for _, v := range s.vals {
+		t.bytes += int64(v.Size())
+	}
+}
+
+// revertUpdateLocked undoes an in-place (same-version) update.
+func (t *Table) revertUpdateLocked(rid RowID, old []Value) {
+	slot, ok := t.byRID[rid]
+	if !ok {
+		return
+	}
+	s := &t.rows[slot]
+	cur := s.vals
+	for _, ix := range t.indexes {
+		if keysEqual(ix.keyFn(cur), ix.keyFn(old)) {
+			continue
+		}
+		ix.remove(cur, rid)
+		ix.insert(old, rid)
+	}
+	s.vals = old
+	for _, v := range cur {
+		t.bytes -= int64(v.Size())
+	}
+	for _, v := range old {
+		t.bytes += int64(v.Size())
+	}
+}
+
+// revertVersionUpdateLocked undoes a version-push update: the old image
+// comes back off the history chain and index entries added for the new
+// image are removed — unless an older retained image happens to share the
+// same entry (a key the row held before), in which case the entry stays.
+func (t *Table) revertVersionUpdateLocked(rec undoRec) {
+	slot, ok := t.byRID[rec.rid]
+	if !ok {
+		return
+	}
+	s := &t.rows[slot]
+	cur := s.vals
+	s.vals = rec.vals
+	s.born = rec.born
+	s.prev = rec.prev
+	for _, ix := range t.indexes {
+		if keysEqual(ix.keyFn(cur), ix.keyFn(rec.vals)) {
+			continue
+		}
+		entry := ix.entryFor(cur, rec.rid)
+		if !t.entryInChainLocked(s, ix, entry, rec.rid) {
+			ix.removeEntry(entry)
+		}
+	}
+	for _, v := range cur {
+		t.bytes -= int64(v.Size())
+	}
+	for _, v := range rec.vals {
+		t.bytes += int64(v.Size())
+	}
+}
+
+// entryInChainLocked reports whether any image of the slot (current or
+// historical) produces the given index entry.
+func (t *Table) entryInChainLocked(s *rowSlot, ix *Index, entry string, rid RowID) bool {
+	if ix.entryFor(s.vals, rid) == entry {
+		return true
+	}
+	for img := s.prev; img != nil; img = img.prev {
+		if ix.entryFor(img.vals, rid) == entry {
+			return true
+		}
+	}
+	return false
+}
+
+// Get returns a copy-free view of the row's current values. Callers must
+// hold a read lock and must not mutate the slice.
 func (t *Table) Get(rid RowID) ([]Value, bool) {
+	return t.GetAt(rid, Latest)
+}
+
+// GetAt returns the row image visible at version v. Callers must hold a
+// read lock and must not mutate the slice.
+func (t *Table) GetAt(rid RowID, v Version) ([]Value, bool) {
 	slot, ok := t.byRID[rid]
 	if !ok {
 		return nil, false
 	}
-	return t.rows[slot].vals, true
+	return t.rows[slot].visibleAt(v)
 }
 
 // Scan calls fn for every live row until fn returns false. Callers must
 // hold a read lock.
 func (t *Table) Scan(fn func(rid RowID, vals []Value) bool) {
+	t.ScanAt(Latest, fn)
+}
+
+// ScanAt calls fn for every row visible at version v until fn returns
+// false. Callers must hold a read lock.
+func (t *Table) ScanAt(v Version, fn func(rid RowID, vals []Value) bool) {
 	for i := range t.rows {
-		if t.rows[i].dead {
+		vals, ok := t.rows[i].visibleAt(v)
+		if !ok {
 			continue
 		}
-		if !fn(t.rows[i].rid, t.rows[i].vals) {
+		if !fn(t.rows[i].rid, vals) {
 			return
 		}
 	}
@@ -247,6 +473,11 @@ func (t *Table) Slots() int { return len(t.rows) }
 // Callers must hold a read lock; concurrent ScanSlots calls on disjoint
 // ranges are safe under a shared read lock.
 func (t *Table) ScanSlots(lo, hi int, fn func(rid RowID, vals []Value) bool) {
+	t.ScanSlotsAt(lo, hi, Latest, fn)
+}
+
+// ScanSlotsAt is ScanSlots against the state visible at version v.
+func (t *Table) ScanSlotsAt(lo, hi int, v Version, fn func(rid RowID, vals []Value) bool) {
 	if lo < 0 {
 		lo = 0
 	}
@@ -254,13 +485,55 @@ func (t *Table) ScanSlots(lo, hi int, fn func(rid RowID, vals []Value) bool) {
 		hi = len(t.rows)
 	}
 	for i := lo; i < hi; i++ {
-		if t.rows[i].dead {
+		vals, ok := t.rows[i].visibleAt(v)
+		if !ok {
 			continue
 		}
-		if !fn(t.rows[i].rid, t.rows[i].vals) {
+		if !fn(t.rows[i].rid, vals) {
 			return
 		}
 	}
+}
+
+// ProbeAt calls fn for every row visible at version v whose image matches
+// an index entry with the given key prefix. Stale entries — ones whose
+// row image at v no longer (or never did) produce that exact entry — are
+// filtered here, so callers see each matching row at most once per entry
+// it genuinely owns at v. Callers must hold a read lock.
+func (t *Table) ProbeAt(ix *Index, key []Value, v Version, fn func(rid RowID, vals []Value) bool) {
+	ix.probeEntries(key, func(entry string, rid RowID) bool {
+		slot, ok := t.byRID[rid]
+		if !ok {
+			return true
+		}
+		vals, ok := t.rows[slot].visibleAt(v)
+		if !ok {
+			return true
+		}
+		if ix.entryFor(vals, rid) != entry {
+			return true
+		}
+		return fn(rid, vals)
+	})
+}
+
+// ProbeRangeAt is ProbeAt over a first-component range (see
+// Index.ProbeRange for bound semantics).
+func (t *Table) ProbeRangeAt(ix *Index, lo, hi Value, loInclusive, hiInclusive bool, v Version, fn func(rid RowID, vals []Value) bool) {
+	ix.probeRangeEntries(lo, hi, loInclusive, hiInclusive, func(entry string, rid RowID) bool {
+		slot, ok := t.byRID[rid]
+		if !ok {
+			return true
+		}
+		vals, ok := t.rows[slot].visibleAt(v)
+		if !ok {
+			return true
+		}
+		if ix.entryFor(vals, rid) != entry {
+			return true
+		}
+		return fn(rid, vals)
+	})
 }
 
 // keysEqual compares index key slices.
@@ -276,17 +549,55 @@ func keysEqual(a, b []Value) bool {
 	return true
 }
 
-// addIndex attaches an index and populates it from existing rows. The
-// caller holds the write lock.
+// addIndex attaches an index and populates it from rows currently live.
+// Historical images are not back-indexed, so the planner must not use the
+// index for snapshots older than its creation version. The caller holds
+// the write lock.
 func (t *Table) addIndex(ix *Index) error {
 	for i := range t.rows {
-		if t.rows[i].dead {
+		s := &t.rows[i]
+		if s.dead || s.died != 0 {
 			continue
 		}
-		if err := ix.insert(t.rows[i].vals, t.rows[i].rid); err != nil {
-			return err
+		if ix.unique && t.hasEntryForKeyLocked(ix, s.vals) {
+			return fmt.Errorf("rel: unique index %s on %s: duplicate key %v", ix.name, ix.table, ix.keyFn(s.vals))
 		}
+		ix.insert(s.vals, s.rid)
 	}
 	t.indexes = append(t.indexes, ix)
 	return nil
+}
+
+// hasEntryForKeyLocked reports whether the index already has any entry
+// with the exact key derived from vals (used only while populating a
+// fresh unique index, where every entry belongs to a live row).
+func (t *Table) hasEntryForKeyLocked(ix *Index, vals []Value) bool {
+	found := false
+	ix.probeEntries(ix.keyFn(vals), func(string, RowID) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// reinsertLocked restores a deleted row under its original row id (undo
+// path only).
+func (t *Table) reinsertLocked(rid RowID, vals []Value, born Version, prev *verImage) {
+	var slot int
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[slot] = rowSlot{rid: rid, vals: vals, born: born, prev: prev}
+	} else {
+		slot = len(t.rows)
+		t.rows = append(t.rows, rowSlot{rid: rid, vals: vals, born: born, prev: prev})
+	}
+	t.byRID[rid] = slot
+	t.live++
+	for _, v := range vals {
+		t.bytes += int64(v.Size())
+	}
+	for _, ix := range t.indexes {
+		ix.insert(vals, rid)
+	}
 }

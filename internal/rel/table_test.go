@@ -17,7 +17,7 @@ func mustInsert(t *testing.T, tb *Table, vals ...Value) RowID {
 	t.Helper()
 	tb.Lock()
 	defer tb.Unlock()
-	rid, err := tb.insertLocked(vals)
+	rid, err := tb.insertLocked(vals, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestTableInsertArityMismatch(t *testing.T) {
 	tb := NewTable("T", testSchema())
 	tb.Lock()
 	defer tb.Unlock()
-	if _, err := tb.insertLocked([]Value{NewInt(1)}); err == nil {
+	if _, err := tb.insertLocked([]Value{NewInt(1)}, 0); err == nil {
 		t.Fatal("arity mismatch accepted")
 	}
 }
@@ -74,10 +74,10 @@ func TestTableDeleteAndSlotReuse(t *testing.T) {
 	mustInsert(t, tb, NewInt(2), NewString("b"), NewFloat(0))
 
 	tb.Lock()
-	vals, ok := tb.deleteLocked(rid)
+	rec, _, ok := tb.deleteLocked(rid, 0)
 	tb.Unlock()
-	if !ok || vals[0].Int() != 1 {
-		t.Fatalf("delete = %v, %v", vals, ok)
+	if !ok || rec.vals[0].Int() != 1 {
+		t.Fatalf("delete = %v, %v", rec.vals, ok)
 	}
 	if tb.Live() != 1 {
 		t.Fatalf("Live = %d, want 1", tb.Live())
@@ -96,7 +96,7 @@ func TestTableDeleteAndSlotReuse(t *testing.T) {
 	}
 
 	tb.Lock()
-	if _, ok := tb.deleteLocked(rid); ok {
+	if _, _, ok := tb.deleteLocked(rid, 0); ok {
 		t.Fatal("double delete returned ok")
 	}
 	tb.Unlock()
@@ -106,10 +106,10 @@ func TestTableUpdate(t *testing.T) {
 	tb := NewTable("T", testSchema())
 	rid := mustInsert(t, tb, NewInt(1), NewString("a"), NewFloat(0))
 	tb.Lock()
-	old, err := tb.updateLocked(rid, []Value{NewInt(1), NewString("z"), NewFloat(9)})
+	rec, _, err := tb.updateLocked(rid, []Value{NewInt(1), NewString("z"), NewFloat(9)}, 0)
 	tb.Unlock()
-	if err != nil || old[1].Str() != "a" {
-		t.Fatalf("update: %v, %v", old, err)
+	if err != nil || rec.vals[1].Str() != "a" {
+		t.Fatalf("update: %v, %v", rec.vals, err)
 	}
 	tb.RLock()
 	vals, _ := tb.Get(rid)
@@ -118,10 +118,10 @@ func TestTableUpdate(t *testing.T) {
 		t.Fatalf("post-update row = %v", vals)
 	}
 	tb.Lock()
-	if _, err := tb.updateLocked(999, vals); err == nil {
+	if _, _, err := tb.updateLocked(999, vals, 0); err == nil {
 		t.Fatal("update of missing row accepted")
 	}
-	if _, err := tb.updateLocked(rid, vals[:1]); err == nil {
+	if _, _, err := tb.updateLocked(rid, vals[:1], 0); err == nil {
 		t.Fatal("update arity mismatch accepted")
 	}
 	tb.Unlock()
@@ -138,7 +138,7 @@ func TestTableBytesTracking(t *testing.T) {
 		t.Fatal("bytes should grow on insert")
 	}
 	tb.Lock()
-	tb.deleteLocked(rid)
+	tb.deleteLocked(rid, 0)
 	tb.Unlock()
 	if tb.Bytes() != 0 {
 		t.Fatalf("bytes after delete = %d, want 0", tb.Bytes())
@@ -186,7 +186,7 @@ func TestIndexMaintainedAcrossUpdateDelete(t *testing.T) {
 	tb.Unlock()
 	rid := mustInsert(t, tb, NewInt(1), NewString("old"), NewFloat(0))
 	tb.Lock()
-	_, err := tb.updateLocked(rid, []Value{NewInt(1), NewString("new"), NewFloat(0)})
+	_, _, err := tb.updateLocked(rid, []Value{NewInt(1), NewString("new"), NewFloat(0)}, 0)
 	tb.Unlock()
 	if err != nil {
 		t.Fatal(err)
@@ -200,7 +200,7 @@ func TestIndexMaintainedAcrossUpdateDelete(t *testing.T) {
 	}
 	tb.RUnlock()
 	tb.Lock()
-	tb.deleteLocked(rid)
+	tb.deleteLocked(rid, 0)
 	tb.Unlock()
 	tb.RLock()
 	if ix.Len() != 0 {
@@ -214,11 +214,11 @@ func TestUniqueIndex(t *testing.T) {
 	ix := NewIndex("PK", "T", true, []int{0}, "", nil)
 	tb.Lock()
 	_ = tb.addIndex(ix)
-	_, err := tb.insertLocked([]Value{NewInt(1), NewString("a"), NewFloat(0)})
+	_, err := tb.insertLocked([]Value{NewInt(1), NewString("a"), NewFloat(0)}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = tb.insertLocked([]Value{NewInt(1), NewString("b"), NewFloat(0)})
+	_, err = tb.insertLocked([]Value{NewInt(1), NewString("b"), NewFloat(0)}, 0)
 	tb.Unlock()
 	if err == nil {
 		t.Fatal("duplicate key accepted by unique index")

@@ -11,13 +11,23 @@ import (
 // atomicity those procedures need: all table locks are acquired up front
 // in sorted name order (deadlock freedom), every mutation is undo-logged,
 // and Rollback restores the pre-transaction state exactly.
+//
+// Write transactions are additionally serialized on the catalog's writer
+// mutex and stamped with the next version of the catalog clock; their
+// commit publishes that version (see mvcc.go). Read-only transactions can
+// be opened at a pinned historical version with BeginAt, in which case
+// Get/Scan/Probe observe the state as of that version.
 type Txn struct {
-	cat    *Catalog
-	write  map[string]*Table
-	read   map[string]*Table
-	order  []lockedTable
-	undo   []undoRec
-	closed bool
+	cat     *Catalog
+	write   map[string]*Table
+	read    map[string]*Table
+	order   []lockedTable
+	undo    []undoRec
+	garbage map[*Table][]garbageRec
+	ver     Version // nonzero for write transactions: the version being written
+	asOf    Version // read version for read-only transactions (Latest otherwise)
+	writer  bool    // holds the catalog writer mutex
+	closed  bool
 }
 
 type lockedTable struct {
@@ -29,7 +39,10 @@ type undoRec struct {
 	table *Table
 	kind  undoKind
 	rid   RowID
-	vals  []Value
+	vals  []Value   // prior values (delete/update)
+	born  Version   // prior born version (version-push update, physical delete)
+	prev  *verImage // prior history chain (version-push update)
+	phys  bool      // delete removed the slot physically
 }
 
 type undoKind uint8
@@ -37,7 +50,8 @@ type undoKind uint8
 const (
 	undoInsert undoKind = iota
 	undoDelete
-	undoUpdate
+	undoUpdate    // in-place (same-version) update
+	undoUpdateVer // version-push update of a committed row
 )
 
 // Begin opens a transaction that will write the tables named in writeSet
@@ -100,8 +114,26 @@ func (c *Catalog) Footprint(writeSet, readSet []string) (*Footprint, error) {
 	return fp, nil
 }
 
-// Begin acquires the footprint's locks and returns a live transaction.
+// Begin acquires the footprint's locks and returns a live transaction
+// reading the latest state. Transactions with a write set first acquire
+// the catalog writer mutex — the store has a single serialized writer —
+// and are stamped with the next clock version.
 func (fp *Footprint) Begin() *Txn {
+	return fp.BeginAt(Latest)
+}
+
+// BeginAt is Begin with an explicit read version for read-only
+// transactions: Get/Scan/Probe observe the state as of asOf (which the
+// caller must have pinned via Catalog.Pin). Transactions with a write set
+// always read Latest; asOf is ignored for them.
+func (fp *Footprint) BeginAt(asOf Version) *Txn {
+	tx := &Txn{cat: fp.cat, write: fp.write, read: fp.read, order: fp.order, asOf: asOf}
+	if len(fp.write) > 0 {
+		fp.cat.mvcc.writerMu.Lock()
+		tx.writer = true
+		tx.ver = fp.cat.nextVersion()
+		tx.asOf = Latest
+	}
 	for _, lt := range fp.order {
 		if lt.write {
 			lt.t.Lock()
@@ -109,8 +141,12 @@ func (fp *Footprint) Begin() *Txn {
 			lt.t.RLock()
 		}
 	}
-	return &Txn{cat: fp.cat, write: fp.write, read: fp.read, order: fp.order}
+	return tx
 }
+
+// Version returns the version a write transaction is writing (zero for
+// read-only transactions).
+func (tx *Txn) Version() Version { return tx.ver }
 
 func (tx *Txn) table(name string, forWrite bool) (*Table, error) {
 	if t, ok := tx.write[name]; ok {
@@ -125,6 +161,16 @@ func (tx *Txn) table(name string, forWrite bool) (*Table, error) {
 	return nil, fmt.Errorf("rel: txn: table %s not in read set", name)
 }
 
+func (tx *Txn) addGarbage(t *Table, recs []garbageRec) {
+	if len(recs) == 0 {
+		return
+	}
+	if tx.garbage == nil {
+		tx.garbage = map[*Table][]garbageRec{}
+	}
+	tx.garbage[t] = append(tx.garbage[t], recs...)
+}
+
 // Insert adds a row to a write-set table.
 func (tx *Txn) Insert(table string, vals []Value) (RowID, error) {
 	t, err := tx.table(table, true)
@@ -134,7 +180,7 @@ func (tx *Txn) Insert(table string, vals []Value) (RowID, error) {
 	if err := checkMutateHook(table); err != nil {
 		return 0, err
 	}
-	rid, err := t.insertLocked(vals)
+	rid, err := t.insertLocked(vals, tx.ver)
 	if err != nil {
 		return 0, err
 	}
@@ -152,11 +198,13 @@ func (tx *Txn) Delete(table string, rid RowID) (bool, error) {
 	if err := checkMutateHook(table); err != nil {
 		return false, err
 	}
-	vals, ok := t.deleteLocked(rid)
+	rec, garbage, ok := t.deleteLocked(rid, tx.ver)
 	if !ok {
 		return false, nil
 	}
-	tx.undo = append(tx.undo, undoRec{table: t, kind: undoDelete, rid: rid, vals: vals})
+	rec.table = t
+	tx.undo = append(tx.undo, rec)
+	tx.addGarbage(t, garbage)
 	return true, nil
 }
 
@@ -169,11 +217,13 @@ func (tx *Txn) Update(table string, rid RowID, vals []Value) error {
 	if err := checkMutateHook(table); err != nil {
 		return err
 	}
-	old, err := t.updateLocked(rid, vals)
+	rec, garbage, err := t.updateLocked(rid, vals, tx.ver)
 	if err != nil {
 		return err
 	}
-	tx.undo = append(tx.undo, undoRec{table: t, kind: undoUpdate, rid: rid, vals: old})
+	rec.table = t
+	tx.undo = append(tx.undo, rec)
+	tx.addGarbage(t, garbage)
 	return nil
 }
 
@@ -183,7 +233,7 @@ func (tx *Txn) Get(table string, rid RowID) ([]Value, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	vals, ok := t.Get(rid)
+	vals, ok := t.GetAt(rid, tx.asOf)
 	return vals, ok, nil
 }
 
@@ -193,7 +243,7 @@ func (tx *Txn) Scan(table string, fn func(rid RowID, vals []Value) bool) error {
 	if err != nil {
 		return err
 	}
-	t.Scan(fn)
+	t.ScanAt(tx.asOf, fn)
 	return nil
 }
 
@@ -205,28 +255,39 @@ func (tx *Txn) Probe(table, index string, key []Value, fn func(rid RowID, vals [
 	}
 	for _, ix := range t.indexes {
 		if ix.name == index {
-			ix.Probe(key, func(rid RowID) bool {
-				vals, ok := t.Get(rid)
-				if !ok {
-					return true
-				}
-				return fn(rid, vals)
-			})
+			t.ProbeAt(ix, key, tx.asOf, fn)
 			return nil
 		}
 	}
 	return fmt.Errorf("rel: txn: no index %s on %s", index, table)
 }
 
-// Commit releases all locks, keeping the transaction's effects.
+// Commit publishes the transaction's effects: the version clock advances
+// to the transaction's version, deferred-cleanup records are handed to
+// their tables, and all locks are released. Garbage collection then runs
+// outside the locks.
 func (tx *Txn) Commit() {
-	if !tx.closed {
-		fireCommitHook()
+	if tx.closed {
+		return
+	}
+	fireCommitHook()
+	for t, recs := range tx.garbage {
+		t.addGarbageLocked(recs)
+		tx.cat.noteGarbage(t)
+	}
+	collect := tx.ver != 0 && len(tx.garbage) > 0
+	if tx.ver != 0 {
+		tx.cat.advanceClock(tx.ver)
 	}
 	tx.release()
+	if collect {
+		tx.cat.runGC()
+	}
 }
 
 // Rollback undoes every mutation in reverse order and releases all locks.
+// The clock does not advance and no garbage is published, so it is as if
+// the transaction's version was never written.
 func (tx *Txn) Rollback() {
 	if tx.closed {
 		return
@@ -235,15 +296,16 @@ func (tx *Txn) Rollback() {
 		rec := tx.undo[i]
 		switch rec.kind {
 		case undoInsert:
-			rec.table.deleteLocked(rec.rid)
+			rec.table.revertInsertLocked(rec.rid)
 		case undoDelete:
-			// Reinsert with the original rid so later undo records that
-			// reference it still apply.
-			rec.table.reinsertLocked(rec.rid, rec.vals)
+			rec.table.revertDeleteLocked(rec)
 		case undoUpdate:
-			_, _ = rec.table.updateLocked(rec.rid, rec.vals)
+			rec.table.revertUpdateLocked(rec.rid, rec.vals)
+		case undoUpdateVer:
+			rec.table.revertVersionUpdateLocked(rec)
 		}
 	}
+	tx.garbage = nil
 	tx.release()
 }
 
@@ -253,6 +315,7 @@ func (tx *Txn) release() {
 	}
 	tx.closed = true
 	tx.undo = nil
+	tx.garbage = nil
 	for i := len(tx.order) - 1; i >= 0; i-- {
 		lt := tx.order[i]
 		if lt.write {
@@ -261,26 +324,8 @@ func (tx *Txn) release() {
 			lt.t.RUnlock()
 		}
 	}
-}
-
-// reinsertLocked restores a deleted row under its original row id (undo
-// path only).
-func (t *Table) reinsertLocked(rid RowID, vals []Value) {
-	var slot int
-	if n := len(t.free); n > 0 {
-		slot = t.free[n-1]
-		t.free = t.free[:n-1]
-		t.rows[slot] = rowSlot{rid: rid, vals: vals}
-	} else {
-		slot = len(t.rows)
-		t.rows = append(t.rows, rowSlot{rid: rid, vals: vals})
-	}
-	t.byRID[rid] = slot
-	t.live++
-	for _, v := range vals {
-		t.bytes += int64(v.Size())
-	}
-	for _, ix := range t.indexes {
-		_ = ix.insert(vals, rid)
+	if tx.writer {
+		tx.writer = false
+		tx.cat.mvcc.writerMu.Unlock()
 	}
 }

@@ -67,11 +67,16 @@ func (t *translator) step(s *gremlin.Step) error {
 	case gremlin.StepHas, gremlin.StepFilter, gremlin.StepHasNot, gremlin.StepInterval:
 		return t.filter(s)
 	case gremlin.StepDedup:
-		if t.track {
-			t.cur = t.add(fmt.Sprintf("SELECT DISTINCT VAL, PATH FROM %s", t.cur))
-		} else {
-			t.cur = t.add(fmt.Sprintf("SELECT DISTINCT VAL FROM %s", t.cur))
+		// Gremlin dedups on the element, not its path, so a DISTINCT over
+		// (VAL, PATH) would keep one row per distinct path and overcount
+		// downstream. Collapse to VAL and stop tracking; if a later step
+		// still needs paths there is no single representative to keep, so
+		// refuse rather than answer wrongly.
+		if t.track && needsPathTracking(t.rest) {
+			return fmt.Errorf("translate: dedup() before a path-dependent step is unsupported")
 		}
+		t.cur = t.add(fmt.Sprintf("SELECT DISTINCT VAL FROM %s", t.cur))
+		t.track = false
 		return nil
 	case gremlin.StepRange:
 		lo := s.Lo.(int64)
@@ -157,6 +162,10 @@ func (t *translator) adjacency(labels []string, dirs []direction, toEdges bool) 
 	if t.typ != ElemVertex {
 		return fmt.Errorf("translate: adjacency step on %s input", t.typ)
 	}
+	// A label argument list is a membership test: out('a', 'a') matches an
+	// 'a'-edge once. The hash-table translation expands one branch per
+	// label, so duplicates would double-count rows.
+	labels = uniqueLabels(labels)
 	var branches []string
 	for _, d := range dirs {
 		if t.useEA() {
@@ -563,4 +572,20 @@ func (t *translator) recursiveLoop(seg *gremlin.Step, max int) (string, bool) {
 		"SELECT VAL FROM (WITH RECURSIVE R(VAL, D) AS (SELECT VAL, 1 FROM %s UNION ALL (%s)) SELECT VAL FROM R WHERE D = %d) X",
 		t.cur, strings.Join(recTerms, " UNION ALL "), max)
 	return t.add(body), true
+}
+
+// uniqueLabels drops duplicate labels, preserving first-seen order.
+func uniqueLabels(labels []string) []string {
+	if len(labels) < 2 {
+		return labels
+	}
+	seen := make(map[string]bool, len(labels))
+	out := labels[:0:0]
+	for _, l := range labels {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
 }

@@ -87,9 +87,10 @@ type translator struct {
 
 	cur       string // current CTE name
 	typ       ElemType
-	track     bool       // path tracking enabled
-	depth     int        // static number of elements in the full path so far (>=1)
-	hist      []ElemType // element type at each static path position
+	track     bool           // path tracking enabled
+	rest      []gremlin.Step // steps after the one being translated (innermost pipeline first)
+	depth     int            // static number of elements in the full path so far (>=1)
+	hist      []ElemType     // element type at each static path position
 	marks     map[string]mark
 	aggs      map[string]string // aggregate name -> CTE
 	traversal int               // total adjacency steps in the query (for the EA optimization)
@@ -224,8 +225,14 @@ func (t *translator) translate(q *gremlin.Query) (*Translation, error) {
 
 // pipeline translates a run of steps.
 func (t *translator) pipeline(steps []gremlin.Step) error {
+	outer := t.rest
+	defer func() { t.rest = outer }()
 	for i := 0; i < len(steps); i++ {
 		s := &steps[i]
+		// Expose the downstream steps (this pipeline's tail, then the
+		// enclosing pipeline's) so steps like dedup() can check whether
+		// path tracking is still needed.
+		t.rest = append(append([]gremlin.Step{}, steps[i+1:]...), outer...)
 		if s.Kind == gremlin.StepLoop {
 			if err := t.loop(steps, i, s); err != nil {
 				return err

@@ -301,6 +301,106 @@ func (g *Graph) CountVertices() int { return g.store.CountVertices() }
 // CountEdges returns the number of edges.
 func (g *Graph) CountEdges() int { return g.store.CountEdges() }
 
+// Snapshot pins the current version of the graph and returns a
+// consistent read-only view of it. Any number of snapshots can be read
+// concurrently — with each other and with writers: mutations made after
+// Snapshot returns are invisible to the view, and the snapshot never
+// blocks them. Call Close when done so superseded row versions can be
+// reclaimed.
+//
+//	snap := g.Snapshot()
+//	defer snap.Close()
+//	res, err := snap.Query("g.V.count")  // frozen even if writers proceed
+func (g *Graph) Snapshot() *Snapshot {
+	return &Snapshot{snap: g.store.Snapshot()}
+}
+
+// Snapshot is a pinned, immutable view of the whole graph at one
+// version, safe for concurrent use from multiple goroutines.
+type Snapshot struct {
+	snap *core.Snap
+}
+
+// Version reports the store version the snapshot reads at.
+func (s *Snapshot) Version() uint64 { return s.snap.Version() }
+
+// Close releases the snapshot. Idempotent; reads after Close fail.
+func (s *Snapshot) Close() { s.snap.Close() }
+
+// Query runs a side-effect-free Gremlin query against the snapshot.
+func (s *Snapshot) Query(gremlin string) (*Result, error) {
+	r, err := s.snap.Query(gremlin)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Values: r.Values, Stats: r.Stats}, nil
+}
+
+// QueryWithOptions runs a query against the snapshot with explicit
+// translation options.
+func (s *Snapshot) QueryWithOptions(gremlin string, opts QueryOptions) (*Result, error) {
+	r, err := s.snap.QueryWithOptions(gremlin, translate.Options{
+		ForceEA:         opts.ForceEA,
+		ForceHashTables: opts.ForceHashTables,
+		RecursiveLoops:  opts.RecursiveLoops,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Values: r.Values, Stats: r.Stats}, nil
+}
+
+// VertexExists reports whether the vertex was live at the snapshot.
+func (s *Snapshot) VertexExists(id int64) bool { return s.snap.VertexExists(id) }
+
+// VertexAttrs returns a vertex's attributes at the snapshot.
+func (s *Snapshot) VertexAttrs(id int64) (map[string]any, error) {
+	return s.snap.VertexAttrs(id)
+}
+
+// EdgeByID returns an edge's endpoints and label at the snapshot.
+func (s *Snapshot) EdgeByID(id int64) (Edge, error) {
+	rec, err := s.snap.Edge(id)
+	if err != nil {
+		return Edge{}, err
+	}
+	return Edge{ID: rec.ID, From: rec.Out, To: rec.In, Label: rec.Label}, nil
+}
+
+// EdgeAttrs returns an edge's attributes at the snapshot.
+func (s *Snapshot) EdgeAttrs(id int64) (map[string]any, error) {
+	return s.snap.EdgeAttrs(id)
+}
+
+// OutEdges lists a vertex's outgoing edges at the snapshot.
+func (s *Snapshot) OutEdges(v int64, labels ...string) ([]Edge, error) {
+	recs, err := s.snap.OutEdges(v, labels...)
+	return toEdges(recs), err
+}
+
+// InEdges lists a vertex's incoming edges at the snapshot.
+func (s *Snapshot) InEdges(v int64, labels ...string) ([]Edge, error) {
+	recs, err := s.snap.InEdges(v, labels...)
+	return toEdges(recs), err
+}
+
+// VertexIDs lists live vertex ids at the snapshot, sorted.
+func (s *Snapshot) VertexIDs() []int64 { return s.snap.VertexIDs() }
+
+// EdgeIDs lists edge ids at the snapshot, sorted.
+func (s *Snapshot) EdgeIDs() []int64 { return s.snap.EdgeIDs() }
+
+// VerticesByAttr finds vertices by attribute value at the snapshot.
+func (s *Snapshot) VerticesByAttr(key string, val any) ([]int64, error) {
+	return s.snap.VerticesByAttr(key, val)
+}
+
+// CountVertices counts live vertices at the snapshot.
+func (s *Snapshot) CountVertices() int { return s.snap.CountVertices() }
+
+// CountEdges counts edges at the snapshot.
+func (s *Snapshot) CountEdges() int { return s.snap.CountEdges() }
+
 // Vacuum physically reclaims rows left by soft deletes (the offline
 // cleanup the paper describes but leaves unimplemented).
 func (g *Graph) Vacuum() (int, error) { return g.store.Vacuum() }
