@@ -8,7 +8,7 @@
 //
 //	microbench [-scale tiny|small|medium|large] [-exp all|adjacency|attributes|stats|neighbors|paths|ablations]
 //	           [-json BENCH_engine.json] [-baseline BENCH_engine.json] [-maxratio 2.0]
-//	           [-concurrency N] [-duration 2s] [-parallel N]
+//	           [-concurrency N] [-http N] [-serve addr] [-duration 2s] [-parallel N]
 //
 // With -json, the Figure 5/6 workloads are additionally run one query
 // per statement and their per-query ns/op written to the given file
@@ -20,17 +20,30 @@
 // With -concurrency N, the MVCC scaling experiment runs instead of the
 // schema experiments: 1..N snapshot-reader goroutines against a live
 // writer, reporting read throughput, p50/p99 latency, and writer ops/s.
+//
+// With -http N, an in-process HTTP server (the same serving layer as
+// sqlgraphd) is booted over the benchmark store and driven with N
+// concurrent clients per workload for -duration, reporting reqs/s and
+// p50/p99 end-to-end latency. The per-workload p50s are folded into the
+// -json report and the -baseline comparison as figure "http" entries,
+// so server-side regressions trip the same geomean gate.
+//
+// With -serve addr, the benchmark dataset is served over HTTP on addr
+// (blocking) so external load generators can drive it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"sqlgraph/internal/baseline"
 	"sqlgraph/internal/bench/experiments"
+	"sqlgraph/internal/server"
 )
 
 func main() {
@@ -40,6 +53,8 @@ func main() {
 	baselinePath := flag.String("baseline", "", "compare fresh Figure 5/6 timings against this committed JSON baseline")
 	maxRatio := flag.Float64("maxratio", 2.0, "fail -baseline comparison when the geomean slowdown exceeds this")
 	concurrency := flag.Int("concurrency", 0, "run the concurrent snapshot-read experiment with up to N readers")
+	httpClients := flag.Int("http", 0, "drive an in-process HTTP server with N concurrent clients")
+	serveAddr := flag.String("serve", "", "serve the benchmark dataset over HTTP on this address (blocks)")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per concurrency point")
 	parallel := flag.Int("parallel", 0, "executor parallelism: 0 = GOMAXPROCS, 1 = serial")
 	flag.Parse()
@@ -56,6 +71,12 @@ func main() {
 	env.Store.SetParallelism(*parallel)
 	fmt.Printf("Dataset: %d vertices, %d edges; SQLGraph footprint %d bytes\n",
 		env.Data.NumVertices, env.Data.NumEdges, env.Store.TotalBytes())
+
+	if *serveAddr != "" {
+		srv := server.New(env.Store, server.Config{})
+		fmt.Printf("Serving on http://%s (POST /query, GET /vertex/{id}, GET /metrics, ...)\n", *serveAddr)
+		log.Fatal(http.ListenAndServe(*serveAddr, srv.Handler()))
+	}
 
 	if *concurrency > 0 {
 		if err := experiments.ConcurrencyBench(env, *concurrency, *duration, os.Stdout); err != nil {
@@ -84,12 +105,31 @@ func main() {
 		return experiments.AblationSoftDelete(os.Stdout)
 	})
 
+	var httpEntries []experiments.EngineBenchEntry
+	if *httpClients > 0 {
+		httpEntries, err = experiments.HTTPLoadBench(env, *httpClients, *duration, os.Stdout)
+		if err != nil {
+			log.Fatalf("http bench: %v", err)
+		}
+	}
+
+	if *jsonPath == "" && *baselinePath == "" {
+		return
+	}
+	fresh, err := experiments.EngineBenchReportData(env, *scale)
+	if err != nil {
+		log.Fatalf("engine bench: %v", err)
+	}
+	fresh.Entries = append(fresh.Entries, httpEntries...)
+
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := experiments.EngineBenchJSON(env, *scale, f); err != nil {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fresh); err != nil {
 			f.Close()
 			log.Fatalf("engine bench json: %v", err)
 		}
@@ -100,31 +140,11 @@ func main() {
 	}
 
 	if *baselinePath != "" {
-		fresh := *jsonPath
-		if fresh == "" {
-			f, err := os.CreateTemp("", "bench_engine_*.json")
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := experiments.EngineBenchJSON(env, *scale, f); err != nil {
-				f.Close()
-				log.Fatalf("engine bench json: %v", err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			fresh = f.Name()
-			defer os.Remove(fresh)
-		}
 		base, err := experiments.ReadEngineBenchReport(*baselinePath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		freshReport, err := experiments.ReadEngineBenchReport(fresh)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := experiments.CompareEngineBench(base, freshReport, *maxRatio, os.Stdout); err != nil {
+		if err := experiments.CompareEngineBench(base, fresh, *maxRatio, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -1,0 +1,173 @@
+// Command sqlgraphd serves a sqlgraph store over HTTP: Gremlin queries,
+// SQL translation, point reads, mutations, statistics, and health, with
+// admission control, per-request deadlines, MVCC snapshot sessions, and
+// graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	sqlgraphd [-addr :8080] [-dir path] [-dataset sample|dbpedia] [-scale tiny|small|medium]
+//	          [-inflight 64] [-queue 64] [-timeout 30s] [-session-ttl 60s]
+//	          [-max-body 1048576] [-parallel N]
+//
+// With -dir the daemon opens (or creates) a durable store there; without
+// it, the selected dataset is built in memory (sample = the paper's
+// Figure 2a graph — handy for the quickstart).
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus text metrics
+//	GET  /stats                 schema statistics, sizes, pin counts
+//	GET  /check                 online graph fsck
+//	POST /query                 {"gremlin": "...", "session": "...", "explain": true}
+//	POST /translate             {"gremlin": "..."}
+//	POST /sessions              pin a snapshot session (TTL lease)
+//	GET|DELETE /sessions/{id}   inspect / close a session
+//	GET  /vertex/{id}[/out|/in] point reads (?session=ID reads a session snapshot)
+//	GET  /edge/{id}
+//	POST /vertex, /edge         insert
+//	DELETE /vertex/{id}, /edge/{id}
+//	PATCH /vertex/{id}/attrs    {"set": {...}, "remove": [...]}
+//	PATCH /edge/{id}/attrs
+//	POST /admin/vacuum          reclaim soft-deleted rows
+//	POST /admin/checkpoint      snapshot + truncate the WAL (durable stores)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sqlgraph/internal/bench/dbpedia"
+	"sqlgraph/internal/bench/experiments"
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/core"
+	"sqlgraph/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "durable store directory (empty = in-memory dataset)")
+	dataset := flag.String("dataset", "sample", "in-memory dataset: sample (paper Figure 2a) or dbpedia")
+	scale := flag.String("scale", "tiny", "dbpedia dataset scale: tiny, small, medium")
+	inflight := flag.Int("inflight", 64, "max concurrently executing requests")
+	queue := flag.Int("queue", 0, "max requests queued for admission (0 = same as -inflight)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	sessionTTL := flag.Duration("session-ttl", 60*time.Second, "snapshot session lease; each use renews it")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size cap in bytes")
+	parallel := flag.Int("parallel", 0, "executor worker cap per query: 0 = GOMAXPROCS, 1 = serial")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	flag.Parse()
+
+	store, err := openStore(*dir, *dataset, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store.SetParallelism(*parallel)
+
+	srv := server.New(store, server.Config{
+		MaxInFlight:    *inflight,
+		MaxQueue:       *queue,
+		RequestTimeout: *timeout,
+		SessionTTL:     *sessionTTL,
+		MaxBodyBytes:   *maxBody,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	go func() {
+		log.Printf("sqlgraphd listening on %s (%d vertices, %d edges)",
+			*addr, store.CountVertices(), store.CountEdges())
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down: draining in-flight requests (budget %v)", *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting connections first, then drain the serving layer
+	// (admitted work, sessions, snapshot pins), then close the store.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if pins := store.PinnedSnapshots(); pins != 0 {
+		log.Printf("warning: %d snapshot pin(s) leaked", pins)
+	}
+	if err := store.Close(); err != nil {
+		log.Fatalf("store close: %v", err)
+	}
+	log.Printf("sqlgraphd stopped")
+}
+
+// openStore opens the durable directory (seeding a fresh one with the
+// named dataset) or builds the dataset in memory when no -dir is given.
+func openStore(dir, dataset, scale string) (*core.Store, error) {
+	var opts core.Options
+	if dir != "" {
+		if _, err := os.Stat(filepath.Join(dir, "wal.log")); err == nil {
+			return core.Open(core.Options{Dir: dir})
+		}
+		if _, err := os.Stat(filepath.Join(dir, "snapshot.db")); err == nil {
+			return core.Open(core.Options{Dir: dir})
+		}
+		opts.Dir = dir // fresh directory: bulk-load the dataset into it
+	}
+	switch dataset {
+	case "sample":
+		return core.Load(figure2a(), opts)
+	case "dbpedia":
+		var s experiments.Scale
+		switch scale {
+		case "tiny":
+			s = experiments.ScaleTiny
+		case "small":
+			s = experiments.ScaleSmall
+		case "medium":
+			s = experiments.ScaleMedium
+		default:
+			return nil, fmt.Errorf("unknown scale %q", scale)
+		}
+		d, err := dbpedia.Generate(experiments.DBpediaConfig(s))
+		if err != nil {
+			return nil, err
+		}
+		return core.Load(d.Graph, opts)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want sample or dbpedia)", dataset)
+	}
+}
+
+// figure2a builds the paper's Figure 2a sample graph.
+func figure2a() *blueprints.MemGraph {
+	g := blueprints.NewMemGraph()
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	must(g.AddVertex(1, map[string]any{"name": "marko", "age": 29}))
+	must(g.AddVertex(2, map[string]any{"name": "vadas", "age": 27}))
+	must(g.AddVertex(3, map[string]any{"name": "lop", "lang": "java"}))
+	must(g.AddVertex(4, map[string]any{"name": "josh", "age": 32}))
+	must(g.AddEdge(7, 1, 2, "knows", map[string]any{"weight": 0.5}))
+	must(g.AddEdge(8, 1, 4, "knows", map[string]any{"weight": 1.0}))
+	must(g.AddEdge(9, 1, 3, "created", map[string]any{"weight": 0.4}))
+	must(g.AddEdge(10, 4, 2, "likes", map[string]any{"weight": 0.2}))
+	must(g.AddEdge(11, 4, 3, "created", map[string]any{"weight": 0.8}))
+	return g
+}

@@ -35,6 +35,19 @@ type EngineBenchReport struct {
 // ns/op plus the executor's strategy decisions as JSON. Timings follow
 // the paper's warm-cache methodology (first run discarded).
 func EngineBenchJSON(env *DBpediaEnv, scaleName string, w io.Writer) error {
+	report, err := EngineBenchReportData(env, scaleName)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// EngineBenchReportData runs the engine workloads and returns the report
+// in memory, so callers can fold in additional entries (e.g. the HTTP
+// serving-layer bench) before writing or comparing against a baseline.
+func EngineBenchReportData(env *DBpediaEnv, scaleName string) (*EngineBenchReport, error) {
 	report := EngineBenchReport{
 		Scale:       scaleName,
 		Parallelism: env.Store.Engine().ExecOptionsInEffect().Parallelism,
@@ -84,15 +97,13 @@ func EngineBenchJSON(env *DBpediaEnv, scaleName string, w io.Writer) error {
 	}
 	for i, gq := range queries.BenchmarkQueries(env.Data) {
 		if err := run("fig5", fmt.Sprintf("q%d", i+1), gq, translate.Options{}); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	for i, gq := range queries.PathQueries(env.Data) {
 		if err := run("fig6", fmt.Sprintf("lq%d", i+1), gq, translate.Options{ForceHashTables: true}); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	return &report, nil
 }

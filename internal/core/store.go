@@ -414,6 +414,11 @@ func (s *Store) SetParallelism(n int) {
 // Catalog exposes the relational catalog (statistics, sizes).
 func (s *Store) Catalog() *rel.Catalog { return s.cat }
 
+// PinnedSnapshots reports the number of distinct store versions still
+// pinned by open snapshots. A quiesced store (every Snap closed) reports
+// zero; the serving layer exposes this as a leak gauge.
+func (s *Store) PinnedSnapshots() int { return s.cat.PinnedVersions() }
+
 // OutColumns and InColumns report the hash-table widths.
 func (s *Store) OutColumns() int { return s.outCols }
 func (s *Store) InColumns() int  { return s.inCols }

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission errors. Handlers translate ErrSaturated into 429 with a
+// Retry-After hint and ErrShuttingDown into 503.
+var (
+	ErrSaturated    = errors.New("server: admission queue full")
+	ErrShuttingDown = errors.New("server: shutting down")
+)
+
+// admission bounds the number of in-flight queries. Up to limit requests
+// run concurrently; up to maxQueue more wait in FIFO order for a slot.
+// Anything beyond that is rejected immediately (the caller answers 429)
+// so saturation produces fast, bounded back-pressure instead of a pile
+// of blocked goroutines.
+type admission struct {
+	mu       sync.Mutex
+	limit    int
+	maxQueue int
+	inflight int
+	queue    []*waiter
+	closed   bool
+}
+
+// waiter is one queued request. granted/abandoned are guarded by the
+// admission mutex; ch is closed exactly once, under that mutex, either
+// to hand the waiter a slot (granted) or to wake it for rejection.
+type waiter struct {
+	ch        chan struct{}
+	granted   bool
+	abandoned bool
+}
+
+func newAdmission(limit, maxQueue int) *admission {
+	return &admission{limit: limit, maxQueue: maxQueue}
+}
+
+// Acquire blocks until the request is admitted, the context ends, or the
+// controller rejects it. On nil return the caller holds one slot and
+// must Release it exactly once.
+func (a *admission) Acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrShuttingDown
+	}
+	if a.inflight < a.limit {
+		a.inflight++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.mu.Unlock()
+		return ErrSaturated
+	}
+	w := &waiter{ch: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		a.mu.Lock()
+		granted := w.granted
+		a.mu.Unlock()
+		if !granted {
+			return ErrShuttingDown
+		}
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced with cancellation: we own a slot we will
+			// never use, so pass it to the next waiter.
+			a.mu.Unlock()
+			a.Release()
+		} else {
+			w.abandoned = true
+			a.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// Release frees one slot, handing it to the oldest live waiter (FIFO) if
+// any is queued.
+func (a *admission) Release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		if w.abandoned {
+			continue
+		}
+		// Transfer the slot: inflight stays constant.
+		w.granted = true
+		close(w.ch)
+		return
+	}
+	if a.inflight > 0 {
+		a.inflight--
+	}
+}
+
+// InFlight reports the number of admitted requests.
+func (a *admission) InFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Queued reports the number of live queued waiters.
+func (a *admission) Queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, w := range a.queue {
+		if !w.abandoned {
+			n++
+		}
+	}
+	return n
+}
+
+// Close starts shutdown: new Acquire calls fail with ErrShuttingDown and
+// queued waiters are woken rejected. Already-admitted requests keep
+// their slots and finish normally.
+func (a *admission) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	a.closed = true
+	for _, w := range a.queue {
+		if !w.abandoned {
+			close(w.ch) // granted stays false: rejection
+		}
+	}
+	a.queue = nil
+}

@@ -1,0 +1,462 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/core"
+	"sqlgraph/internal/translate"
+)
+
+// ---- request/response shapes --------------------------------------------
+
+// queryOptions mirrors the translation options at the wire.
+type queryOptions struct {
+	ForceEA         bool `json:"force_ea,omitempty"`
+	ForceHashTables bool `json:"force_hash_tables,omitempty"`
+	RecursiveLoops  bool `json:"recursive_loops,omitempty"`
+}
+
+func (o queryOptions) internal() translate.Options {
+	return translate.Options{ForceEA: o.ForceEA, ForceHashTables: o.ForceHashTables, RecursiveLoops: o.RecursiveLoops}
+}
+
+// queryRequest is the /query (and /translate) body.
+type queryRequest struct {
+	Gremlin string       `json:"gremlin"`
+	Session string       `json:"session,omitempty"`
+	Options queryOptions `json:"options,omitempty"`
+	Explain bool         `json:"explain,omitempty"`
+}
+
+// queryResponse is the /query result. Version is the MVCC version the
+// query read at.
+type queryResponse struct {
+	Count   int    `json:"count"`
+	Values  []any  `json:"values"`
+	Version uint64 `json:"version"`
+	Stats   string `json:"stats,omitempty"`
+}
+
+type translateResponse struct {
+	SQL      string `json:"sql"`
+	ElemType string `json:"elem_type"`
+}
+
+type sessionResponse struct {
+	Session string `json:"session"`
+	Version uint64 `json:"version"`
+	TTLMs   int64  `json:"ttl_ms"`
+}
+
+type vertexBody struct {
+	ID    int64          `json:"id"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+type edgeBody struct {
+	ID    int64          `json:"id"`
+	From  int64          `json:"from"`
+	To    int64          `json:"to"`
+	Label string         `json:"label"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+type attrPatch struct {
+	Set    map[string]any `json:"set,omitempty"`
+	Remove []string       `json:"remove,omitempty"`
+}
+
+type edgeList struct {
+	Count int        `json:"count"`
+	Edges []edgeBody `json:"edges"`
+}
+
+// ---- decoding helpers ---------------------------------------------------
+
+// decode reads a JSON body, answering 413 for oversized bodies and 400
+// for anything unparsable. Unknown fields are rejected so typos fail
+// loudly instead of silently running with defaults.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+// pathID parses the {id} path segment.
+func pathID(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad id: "+r.PathValue("id"))
+		return 0, false
+	}
+	return id, true
+}
+
+// readView is the slice of the point-read API shared by the live store
+// and a pinned snapshot.
+type readView interface {
+	VertexExists(int64) bool
+	VertexAttrs(int64) (map[string]any, error)
+	Edge(int64) (blueprints.EdgeRec, error)
+	EdgeAttrs(int64) (map[string]any, error)
+	OutEdges(int64, ...string) ([]blueprints.EdgeRec, error)
+	InEdges(int64, ...string) ([]blueprints.EdgeRec, error)
+}
+
+// acquireRead resolves the view a read request runs on: the session's
+// pinned snapshot when ?session= names one, otherwise a fresh snapshot
+// pinned for just this request. release must be called when done.
+func (s *Server) acquireRead(r *http.Request) (view readView, release func(), err error) {
+	if id := r.URL.Query().Get("session"); id != "" {
+		sess, err := s.sess.Acquire(id)
+		if err != nil {
+			return nil, nil, err
+		}
+		return sess.snap, func() { s.sess.Done(sess) }, nil
+	}
+	snap := s.store.Snapshot()
+	return snap, snap.Close, nil
+}
+
+// ---- health, metrics, stats ---------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.WriteHeader(http.StatusOK)
+	s.met.write(w)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.run(w, r, func() (any, int, error) {
+		out, in, va, err := s.store.Stats()
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		return map[string]any{
+			"hash_tables":      map[string]any{"out": out.String(), "in": in.String()},
+			"vertex_attr_rows": va.Rows,
+			"vertices":         s.store.CountVertices(),
+			"edges":            s.store.CountEdges(),
+			"bytes":            s.store.TotalBytes(),
+			"pinned_snapshots": s.store.PinnedSnapshots(),
+			"sessions_open":    s.sess.Open(),
+			"version":          uint64(s.store.Catalog().CurrentVersion()),
+		}, http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	s.run(w, r, func() (any, int, error) {
+		vs := core.Check(s.store)
+		out := make([]string, len(vs))
+		for i, v := range vs {
+			out[i] = v.String()
+		}
+		return map[string]any{"violations": out, "healthy": len(out) == 0}, http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleVacuum(w http.ResponseWriter, r *http.Request) {
+	s.run(w, r, func() (any, int, error) {
+		n, err := s.store.Vacuum()
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		return map[string]any{"removed": n}, http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	s.run(w, r, func() (any, int, error) {
+		if err := s.store.Checkpoint(); err != nil {
+			return nil, statusFor(err), err
+		}
+		return map[string]any{"checkpointed": true}, http.StatusOK, nil
+	})
+}
+
+// ---- query & translate --------------------------------------------------
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.run(w, r, func() (any, int, error) {
+		var (
+			res *core.Result
+			ver uint64
+			err error
+		)
+		if req.Session != "" {
+			sess, aerr := s.sess.Acquire(req.Session)
+			if aerr != nil {
+				return nil, statusFor(aerr), aerr
+			}
+			defer s.sess.Done(sess)
+			ver = sess.snap.Version()
+			res, err = sess.snap.QueryWithOptions(req.Gremlin, req.Options.internal())
+		} else {
+			snap := s.store.Snapshot()
+			defer snap.Close()
+			ver = snap.Version()
+			res, err = snap.QueryWithOptions(req.Gremlin, req.Options.internal())
+		}
+		if err != nil {
+			s.met.observeExec(nil, err)
+			return nil, statusFor(err), err
+		}
+		s.met.observeExec(&res.Stats, nil)
+		vals := res.Values
+		if vals == nil {
+			vals = []any{}
+		}
+		resp := queryResponse{Count: len(vals), Values: vals, Version: ver}
+		if req.Explain {
+			resp.Stats = res.Stats.String()
+		}
+		return resp, http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.run(w, r, func() (any, int, error) {
+		tr, err := s.store.Translate(req.Gremlin, req.Options.internal())
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		return translateResponse{SQL: tr.SQL, ElemType: tr.ElemType.String()}, http.StatusOK, nil
+	})
+}
+
+// ---- sessions -----------------------------------------------------------
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.run(w, r, func() (any, int, error) {
+		sess, err := s.sess.Create(s.store)
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		return sessionResponse{Session: sess.id, Version: sess.snap.Version(), TTLMs: s.cfg.SessionTTL.Milliseconds()},
+			http.StatusCreated, nil
+	})
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.run(w, r, func() (any, int, error) {
+		sess, err := s.sess.Acquire(id)
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		defer s.sess.Done(sess)
+		return sessionResponse{Session: sess.id, Version: sess.snap.Version(), TTLMs: s.cfg.SessionTTL.Milliseconds()},
+			http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.run(w, r, func() (any, int, error) {
+		if err := s.sess.Close(id); err != nil {
+			return nil, statusFor(err), err
+		}
+		return map[string]any{"closed": id}, http.StatusOK, nil
+	})
+}
+
+// ---- point reads --------------------------------------------------------
+
+func (s *Server) handleVertexGet(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	s.run(w, r, func() (any, int, error) {
+		view, release, err := s.acquireRead(r)
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		defer release()
+		attrs, err := view.VertexAttrs(id)
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		return vertexBody{ID: id, Attrs: attrs}, http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleVertexEdges(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	var labels []string
+	if l := r.URL.Query().Get("label"); l != "" {
+		labels = []string{l}
+	}
+	outgoing := r.URL.Path[len(r.URL.Path)-4:] == "/out"
+	s.run(w, r, func() (any, int, error) {
+		view, release, err := s.acquireRead(r)
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		defer release()
+		var recs []blueprints.EdgeRec
+		if outgoing {
+			recs, err = view.OutEdges(id, labels...)
+		} else {
+			recs, err = view.InEdges(id, labels...)
+		}
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		list := edgeList{Count: len(recs), Edges: make([]edgeBody, len(recs))}
+		for i, rec := range recs {
+			list.Edges[i] = edgeBody{ID: rec.ID, From: rec.Out, To: rec.In, Label: rec.Label}
+		}
+		return list, http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleEdgeGet(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	s.run(w, r, func() (any, int, error) {
+		view, release, err := s.acquireRead(r)
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		defer release()
+		rec, err := view.Edge(id)
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		attrs, err := view.EdgeAttrs(id)
+		if err != nil {
+			return nil, statusFor(err), err
+		}
+		return edgeBody{ID: rec.ID, From: rec.Out, To: rec.In, Label: rec.Label, Attrs: attrs}, http.StatusOK, nil
+	})
+}
+
+// ---- mutations ----------------------------------------------------------
+
+func (s *Server) handleVertexAdd(w http.ResponseWriter, r *http.Request) {
+	var body vertexBody
+	if !s.decode(w, r, &body) {
+		return
+	}
+	s.run(w, r, func() (any, int, error) {
+		if err := s.store.AddVertex(body.ID, body.Attrs); err != nil {
+			return nil, statusFor(err), err
+		}
+		return vertexBody{ID: body.ID, Attrs: body.Attrs}, http.StatusCreated, nil
+	})
+}
+
+func (s *Server) handleVertexDelete(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	s.run(w, r, func() (any, int, error) {
+		if err := s.store.RemoveVertex(id); err != nil {
+			return nil, statusFor(err), err
+		}
+		return map[string]any{"removed": id}, http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleEdgeAdd(w http.ResponseWriter, r *http.Request) {
+	var body edgeBody
+	if !s.decode(w, r, &body) {
+		return
+	}
+	s.run(w, r, func() (any, int, error) {
+		if err := s.store.AddEdge(body.ID, body.From, body.To, body.Label, body.Attrs); err != nil {
+			return nil, statusFor(err), err
+		}
+		return body, http.StatusCreated, nil
+	})
+}
+
+func (s *Server) handleEdgeDelete(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	s.run(w, r, func() (any, int, error) {
+		if err := s.store.RemoveEdge(id); err != nil {
+			return nil, statusFor(err), err
+		}
+		return map[string]any{"removed": id}, http.StatusOK, nil
+	})
+}
+
+// handleVertexAttrs and handleEdgeAttrs apply a {"set": {...},
+// "remove": [...]} patch. Sets are applied in sorted key order so a
+// patch is deterministic.
+func (s *Server) handleVertexAttrs(w http.ResponseWriter, r *http.Request) {
+	s.handleAttrPatch(w, r, s.store.SetVertexAttr, s.store.RemoveVertexAttr)
+}
+
+func (s *Server) handleEdgeAttrs(w http.ResponseWriter, r *http.Request) {
+	s.handleAttrPatch(w, r, s.store.SetEdgeAttr, s.store.RemoveEdgeAttr)
+}
+
+func (s *Server) handleAttrPatch(w http.ResponseWriter, r *http.Request,
+	set func(int64, string, any) error, remove func(int64, string) error) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	var patch attrPatch
+	if !s.decode(w, r, &patch) {
+		return
+	}
+	s.run(w, r, func() (any, int, error) {
+		keys := make([]string, 0, len(patch.Set))
+		for k := range patch.Set {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := set(id, k, patch.Set[k]); err != nil {
+				return nil, statusFor(err), err
+			}
+		}
+		for _, k := range patch.Remove {
+			if err := remove(id, k); err != nil {
+				return nil, statusFor(err), err
+			}
+		}
+		return map[string]any{"id": id, "set": len(keys), "removed": len(patch.Remove)}, http.StatusOK, nil
+	})
+}

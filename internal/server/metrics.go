@@ -1,0 +1,185 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"sqlgraph/internal/engine"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (powers of
+// four from 250µs to ~16s, plus +Inf). Coarse on purpose: the histogram
+// is for spotting saturation, the load harness measures exact quantiles.
+var latencyBuckets = []float64{0.00025, 0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384}
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts [10]uint64 // len(latencyBuckets)+1, last bucket is +Inf
+	sum    float64
+	total  uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && s > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += s
+	h.total++
+}
+
+// metrics aggregates the serving counters exposed on /metrics. One
+// mutex guards everything: each observation is a handful of integer
+// adds, far cheaper than the request it describes.
+type metrics struct {
+	mu sync.Mutex
+
+	requests map[string]uint64 // "route|code" -> count
+	latency  map[string]*histogram
+
+	admitted      uint64
+	rejected      uint64 // 429s
+	shutdownDrops uint64 // 503s during drain
+	panics        uint64
+
+	queries      uint64
+	queryErrors  uint64
+	scanOps      uint64
+	scanRows     uint64
+	joinOps      map[string]uint64 // strategy -> joins executed
+	joinRows     uint64
+	maxFanout    int
+	sessionsOpen func() int // live gauges supplied by the server
+	pinnedSnaps  func() int
+	inFlight     func() int
+	queued       func() int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[string]uint64{},
+		latency:  map[string]*histogram{},
+		joinOps:  map[string]uint64{},
+	}
+}
+
+// observeRequest records one finished HTTP request.
+func (m *metrics) observeRequest(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[fmt.Sprintf("%s|%d", route, code)]++
+	h := m.latency[route]
+	if h == nil {
+		h = &histogram{}
+		m.latency[route] = h
+	}
+	h.observe(d)
+}
+
+// observeExec folds one query's executor statistics into the aggregates.
+func (m *metrics) observeExec(stats *engine.ExecStats, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries++
+	if err != nil {
+		m.queryErrors++
+		return
+	}
+	for _, sc := range stats.Scans {
+		m.scanOps++
+		m.scanRows += uint64(sc.RowsIn)
+	}
+	for _, j := range stats.Joins {
+		m.joinOps[string(j.Strategy)]++
+		m.joinRows += uint64(j.OutRows)
+	}
+	if w := stats.MaxWorkers(); w > m.maxFanout {
+		m.maxFanout = w
+	}
+}
+
+func (m *metrics) addPanic()        { m.mu.Lock(); m.panics++; m.mu.Unlock() }
+func (m *metrics) addAdmitted()     { m.mu.Lock(); m.admitted++; m.mu.Unlock() }
+func (m *metrics) addRejected()     { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) addShutdownDrop() { m.mu.Lock(); m.shutdownDrops++; m.mu.Unlock() }
+
+// write renders the Prometheus text exposition format (counters and
+// gauges only, no client library needed).
+func (m *metrics) write(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# TYPE sqlgraphd_requests_total counter")
+	for _, k := range sortedKeys(m.requests) {
+		route, code := splitKey(k)
+		fmt.Fprintf(w, "sqlgraphd_requests_total{route=%q,code=%q} %d\n", route, code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# TYPE sqlgraphd_request_seconds histogram")
+	routes := make([]string, 0, len(m.latency))
+	for r := range m.latency {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		h := m.latency[r]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "sqlgraphd_request_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, ub, cum)
+		}
+		fmt.Fprintf(w, "sqlgraphd_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, h.total)
+		fmt.Fprintf(w, "sqlgraphd_request_seconds_sum{route=%q} %g\n", r, h.sum)
+		fmt.Fprintf(w, "sqlgraphd_request_seconds_count{route=%q} %d\n", r, h.total)
+	}
+
+	gauge := func(name string, fn func() int) {
+		if fn == nil {
+			return
+		}
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, fn())
+	}
+	gauge("sqlgraphd_in_flight", m.inFlight)
+	gauge("sqlgraphd_admission_queued", m.queued)
+	gauge("sqlgraphd_sessions_open", m.sessionsOpen)
+	gauge("sqlgraphd_snapshot_pins", m.pinnedSnaps)
+
+	fmt.Fprintf(w, "# TYPE sqlgraphd_admission_admitted_total counter\nsqlgraphd_admission_admitted_total %d\n", m.admitted)
+	fmt.Fprintf(w, "# TYPE sqlgraphd_admission_rejected_total counter\nsqlgraphd_admission_rejected_total %d\n", m.rejected)
+	fmt.Fprintf(w, "# TYPE sqlgraphd_shutdown_rejected_total counter\nsqlgraphd_shutdown_rejected_total %d\n", m.shutdownDrops)
+	fmt.Fprintf(w, "# TYPE sqlgraphd_panics_total counter\nsqlgraphd_panics_total %d\n", m.panics)
+
+	fmt.Fprintf(w, "# TYPE sqlgraphd_queries_total counter\nsqlgraphd_queries_total %d\n", m.queries)
+	fmt.Fprintf(w, "# TYPE sqlgraphd_query_errors_total counter\nsqlgraphd_query_errors_total %d\n", m.queryErrors)
+	fmt.Fprintf(w, "# TYPE sqlgraphd_exec_scans_total counter\nsqlgraphd_exec_scans_total %d\n", m.scanOps)
+	fmt.Fprintf(w, "# TYPE sqlgraphd_exec_scan_rows_total counter\nsqlgraphd_exec_scan_rows_total %d\n", m.scanRows)
+	fmt.Fprintln(w, "# TYPE sqlgraphd_exec_joins_total counter")
+	for _, s := range sortedKeys(m.joinOps) {
+		fmt.Fprintf(w, "sqlgraphd_exec_joins_total{strategy=%q} %d\n", s, m.joinOps[s])
+	}
+	fmt.Fprintf(w, "# TYPE sqlgraphd_exec_join_rows_total counter\nsqlgraphd_exec_join_rows_total %d\n", m.joinRows)
+	fmt.Fprintf(w, "# TYPE sqlgraphd_exec_max_workers gauge\nsqlgraphd_exec_max_workers %d\n", m.maxFanout)
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func splitKey(k string) (route, code string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == '|' {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}

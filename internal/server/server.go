@@ -1,0 +1,376 @@
+// Package server is the HTTP serving layer over a sqlgraph store: a
+// stdlib-only JSON API exposing Gremlin queries, translation, point
+// reads, mutations, statistics, and health, built for concurrent
+// multi-client traffic.
+//
+// Reads run on pinned MVCC snapshots — one per request, or one per
+// client-held session with a TTL lease (see session.go) — so they never
+// block the store's serialized writer. Production-shaped robustness is
+// layered as middleware: admission control bounds in-flight work (429 +
+// Retry-After on saturation), every request carries a context deadline
+// (504 on expiry), panics become 500s, and graceful shutdown drains
+// admitted requests before unpinning every snapshot.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/core"
+)
+
+// Config tunes the serving layer. Zero values pick production-shaped
+// defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing requests (default 64).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for admission beyond MaxInFlight;
+	// anything past that is answered 429 immediately (default MaxInFlight).
+	MaxQueue int
+	// RequestTimeout is the default per-request deadline; requests may
+	// shorten (never extend) it with "timeout_ms" (default 30s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request body size; larger bodies get 413
+	// (default 1 MiB).
+	MaxBodyBytes int64
+	// SessionTTL is the snapshot-session lease; every use renews it, and
+	// an unused session expires and unpins (default 60s).
+	SessionTTL time.Duration
+	// MaxSessions bounds concurrently open sessions (default 1024).
+	MaxSessions int
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// ErrorLog receives panic stacks and drain warnings (default
+	// log.Default()).
+	ErrorLog *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = c.MaxInFlight
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 60 * time.Second
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.ErrorLog == nil {
+		c.ErrorLog = log.Default()
+	}
+	return c
+}
+
+// Server serves one store over HTTP. Create with New, expose with
+// Handler, and stop with Close (which drains in-flight requests and
+// unpins every snapshot; the store itself is not closed).
+type Server struct {
+	store *core.Store
+	cfg   Config
+	adm   *admission
+	met   *metrics
+	sess  *sessions
+	mux   *http.ServeMux
+
+	closed atomic.Bool
+	wg     sync.WaitGroup // in-flight handlers and abandoned workers
+}
+
+// New builds a Server over an open store.
+func New(store *core.Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		store: store,
+		cfg:   cfg,
+		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		met:   newMetrics(),
+		sess:  newSessions(cfg.SessionTTL, cfg.MaxSessions),
+		mux:   http.NewServeMux(),
+	}
+	s.met.inFlight = s.adm.InFlight
+	s.met.queued = s.adm.Queued
+	s.met.sessionsOpen = s.sess.Open
+	s.met.pinnedSnaps = store.PinnedSnapshots
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	// Health and metrics bypass admission so they stay responsive under
+	// saturation (that is when you need them).
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+
+	admit := func(route string, h http.HandlerFunc) http.HandlerFunc {
+		return s.instrument(route, s.gated(h))
+	}
+	s.mux.HandleFunc("POST /query", admit("/query", s.handleQuery))
+	s.mux.HandleFunc("POST /translate", admit("/translate", s.handleTranslate))
+
+	s.mux.HandleFunc("POST /sessions", admit("/sessions", s.handleSessionCreate))
+	s.mux.HandleFunc("GET /sessions/{id}", admit("/sessions/{id}", s.handleSessionGet))
+	s.mux.HandleFunc("DELETE /sessions/{id}", admit("/sessions/{id}", s.handleSessionDelete))
+
+	s.mux.HandleFunc("GET /vertex/{id}", admit("/vertex/{id}", s.handleVertexGet))
+	s.mux.HandleFunc("GET /vertex/{id}/out", admit("/vertex/{id}/out", s.handleVertexEdges))
+	s.mux.HandleFunc("GET /vertex/{id}/in", admit("/vertex/{id}/in", s.handleVertexEdges))
+	s.mux.HandleFunc("GET /edge/{id}", admit("/edge/{id}", s.handleEdgeGet))
+
+	s.mux.HandleFunc("POST /vertex", admit("/vertex", s.handleVertexAdd))
+	s.mux.HandleFunc("DELETE /vertex/{id}", admit("/vertex/{id}", s.handleVertexDelete))
+	s.mux.HandleFunc("PATCH /vertex/{id}/attrs", admit("/vertex/{id}/attrs", s.handleVertexAttrs))
+	s.mux.HandleFunc("POST /edge", admit("/edge", s.handleEdgeAdd))
+	s.mux.HandleFunc("DELETE /edge/{id}", admit("/edge/{id}", s.handleEdgeDelete))
+	s.mux.HandleFunc("PATCH /edge/{id}/attrs", admit("/edge/{id}/attrs", s.handleEdgeAttrs))
+
+	s.mux.HandleFunc("GET /stats", admit("/stats", s.handleStats))
+	s.mux.HandleFunc("GET /check", admit("/check", s.handleCheck))
+	s.mux.HandleFunc("POST /admin/vacuum", admit("/admin/vacuum", s.handleVacuum))
+	s.mux.HandleFunc("POST /admin/checkpoint", admit("/admin/checkpoint", s.handleCheckpoint))
+}
+
+// Handler returns the root handler (panic recovery wraps everything).
+func (s *Server) Handler() http.Handler { return s.recovered(s.mux) }
+
+// Sessions reports the number of open snapshot sessions.
+func (s *Server) Sessions() int { return s.sess.Open() }
+
+// InFlight reports the number of admitted requests.
+func (s *Server) InFlight() int { return s.adm.InFlight() }
+
+// Close drains the server: new requests are rejected (503), queued
+// requests are woken rejected, admitted requests (including workers
+// whose clients already timed out) run to completion or until ctx
+// expires, and every session snapshot is unpinned. The store is left
+// open for the caller. Close is idempotent; only the first call drains.
+func (s *Server) Close(ctx context.Context) error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.adm.Close()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+	s.sess.Shutdown()
+	return err
+}
+
+// recovered is the outermost middleware: any panic in request handling
+// becomes a 500 instead of tearing the daemon down.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.addPanic()
+				s.cfg.ErrorLog.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// instrument records per-route request counts and latency and tracks
+// the handler in the drain group.
+func (s *Server) instrument(route string, next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.wg.Add(1)
+		defer s.wg.Done()
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next(sw, r)
+		s.met.observeRequest(route, sw.code, time.Since(t0))
+	}
+}
+
+// gated applies the request deadline and body cap, and fails fast
+// during shutdown. It is the gate every store-touching route passes;
+// admission itself happens in run, after the (cheap) body decode.
+func (s *Server) gated(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.closed.Load() {
+			s.met.addShutdownDrop()
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(r))
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		next(w, r)
+	}
+}
+
+// timeoutFor derives the request deadline: the configured default,
+// optionally shortened by a timeout_ms query parameter or X-Timeout-Ms
+// header.
+func (s *Server) timeoutFor(r *http.Request) time.Duration {
+	d := s.cfg.RequestTimeout
+	raw := r.URL.Query().Get("timeout_ms")
+	if raw == "" {
+		raw = r.Header.Get("X-Timeout-Ms")
+	}
+	if raw != "" {
+		var ms int64
+		if _, err := fmt.Sscanf(raw, "%d", &ms); err == nil && ms > 0 {
+			if t := time.Duration(ms) * time.Millisecond; t < d {
+				d = t
+			}
+		}
+	}
+	return d
+}
+
+// run admits the request, executes fn on a worker goroutine, and waits
+// for it or the request deadline, whichever comes first. The admission
+// slot and the drain group follow the worker, not the handler: a query
+// the client gave up on still occupies a slot until it finishes, so
+// MaxInFlight truly bounds executing work, and Close waits for it
+// before declaring the store quiesced. fn must not touch the
+// ResponseWriter.
+func (s *Server) run(w http.ResponseWriter, r *http.Request, fn func() (any, int, error)) {
+	switch err := s.adm.Acquire(r.Context()); {
+	case err == nil:
+		s.met.addAdmitted()
+	case errors.Is(err, ErrSaturated):
+		s.met.addRejected()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.5)))
+		writeError(w, http.StatusTooManyRequests, "server saturated, retry later")
+		return
+	case errors.Is(err, ErrShuttingDown):
+		s.met.addShutdownDrop()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	default: // context expired while queued for admission
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded waiting for admission")
+		return
+	}
+	type outcome struct {
+		body any
+		code int
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.adm.Release()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.addPanic()
+				s.cfg.ErrorLog.Printf("server: panic in %s %s worker: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				ch <- outcome{nil, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec)}
+			}
+		}()
+		body, code, err := fn()
+		ch <- outcome{body, code, err}
+	}()
+
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			writeError(w, out.code, out.err.Error())
+			return
+		}
+		writeJSON(w, out.code, out.body)
+	case <-r.Context().Done():
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	}
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.code = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg, Status: code})
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if body == nil {
+		return
+	}
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+// statusFor maps store and session errors onto HTTP codes: unparsable
+// or untranslatable Gremlin is the client's fault (400, with the parse
+// position in the message), missing elements are 404, duplicate ids
+// 409, dead sessions 410, and anything else is ours (500).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, blueprints.ErrNotFound), errors.Is(err, ErrNoSession):
+		return http.StatusNotFound
+	case errors.Is(err, blueprints.ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrSessionGone), errors.Is(err, core.ErrSnapshotClosed):
+		return http.StatusGone
+	case errors.Is(err, ErrTooManySessions):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	}
+	msg := err.Error()
+	if strings.HasPrefix(msg, "gremlin:") || strings.HasPrefix(msg, "translate:") ||
+		strings.HasPrefix(msg, "core: vertex ids") || strings.HasPrefix(msg, "core: edge ids") ||
+		strings.HasPrefix(msg, "core: checkpoint: store is not durable") {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}

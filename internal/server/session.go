@@ -1,0 +1,227 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+
+	"sqlgraph/internal/core"
+)
+
+// Session errors. ErrSessionGone maps to 410 (the lease expired or the
+// client closed it), ErrNoSession to 404, ErrTooManySessions to 429.
+var (
+	ErrSessionGone     = errors.New("server: session closed or expired")
+	ErrNoSession       = errors.New("server: no such session")
+	ErrTooManySessions = errors.New("server: session limit reached")
+)
+
+// session is one client-held snapshot lease. A session pins the store
+// version it was created at; every use extends the lease by the table's
+// TTL. refs counts in-progress requests so the janitor never closes a
+// snapshot out from under a running query: expiry marks the session
+// gone (new requests get 410) and the last active request unpins.
+type session struct {
+	id      string
+	snap    *core.Snap
+	expires time.Time // guarded by sessions.mu
+	refs    int       // guarded by sessions.mu
+	gone    bool      // guarded by sessions.mu
+}
+
+// sessions is the lease table. Expired and explicitly-closed sessions
+// linger as tombstones (gone=true, snapshot unpinned) for one grace
+// period so clients get a truthful 410 rather than 404; the janitor
+// removes tombstones after tombstoneFor.
+type sessions struct {
+	mu    sync.Mutex
+	m     map[string]*session
+	ttl   time.Duration
+	max   int
+	stop  chan struct{}
+	done  chan struct{}
+	nowFn func() time.Time // test hook
+}
+
+// tombstoneFor is how long a gone session stays answerable with 410.
+const tombstoneFor = 10 * time.Minute
+
+func newSessions(ttl time.Duration, max int) *sessions {
+	st := &sessions{
+		m:     map[string]*session{},
+		ttl:   ttl,
+		max:   max,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		nowFn: time.Now,
+	}
+	go st.janitor()
+	return st
+}
+
+// Create pins a fresh snapshot and returns its lease.
+func (st *sessions) Create(store *core.Store) (*session, error) {
+	id := newSessionID()
+	st.mu.Lock()
+	live := 0
+	for _, s := range st.m {
+		if !s.gone {
+			live++
+		}
+	}
+	if live >= st.max {
+		st.mu.Unlock()
+		return nil, ErrTooManySessions
+	}
+	s := &session{id: id, expires: st.nowFn().Add(st.ttl)}
+	st.m[id] = s
+	st.mu.Unlock()
+
+	// Pin outside the table lock; the entry is not handed out until snap
+	// is set here, and Acquire treats a nil snap as not-yet-ready.
+	snap := store.Snapshot()
+	st.mu.Lock()
+	if s.gone {
+		// Closed (shutdown) while we were pinning.
+		st.mu.Unlock()
+		snap.Close()
+		return nil, ErrShuttingDown
+	}
+	s.snap = snap
+	st.mu.Unlock()
+	return s, nil
+}
+
+// Acquire looks up a session for one request, extends its lease, and
+// takes a reference. The caller must call Done with the session when
+// the request finishes.
+func (st *sessions) Acquire(id string) (*session, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.m[id]
+	if !ok {
+		return nil, ErrNoSession
+	}
+	if s.gone || s.snap == nil || st.nowFn().After(s.expires) {
+		return nil, ErrSessionGone
+	}
+	s.refs++
+	s.expires = st.nowFn().Add(st.ttl)
+	return s, nil
+}
+
+// Done releases one reference taken by Acquire.
+func (st *sessions) Done(s *session) {
+	st.mu.Lock()
+	s.refs--
+	unpin := s.gone && s.refs == 0 && s.snap != nil
+	st.mu.Unlock()
+	if unpin {
+		s.snap.Close()
+	}
+}
+
+// Close marks one session gone. Idempotent; unknown ids return
+// ErrNoSession, already-gone ids ErrSessionGone.
+func (st *sessions) Close(id string) error {
+	st.mu.Lock()
+	s, ok := st.m[id]
+	if !ok {
+		st.mu.Unlock()
+		return ErrNoSession
+	}
+	err := st.markGoneLocked(s)
+	st.mu.Unlock()
+	return err
+}
+
+// markGoneLocked transitions a session to the tombstone state and
+// unpins its snapshot once no request is using it.
+func (st *sessions) markGoneLocked(s *session) error {
+	if s.gone {
+		return ErrSessionGone
+	}
+	s.gone = true
+	s.expires = st.nowFn().Add(tombstoneFor)
+	if s.refs == 0 && s.snap != nil {
+		s.snap.Close()
+	}
+	return nil
+}
+
+// Open counts live (non-tombstone) sessions.
+func (st *sessions) Open() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, s := range st.m {
+		if !s.gone {
+			n++
+		}
+	}
+	return n
+}
+
+// sweep expires overdue leases and drops old tombstones.
+func (st *sessions) sweep() {
+	st.mu.Lock()
+	now := st.nowFn()
+	for id, s := range st.m {
+		if s.gone {
+			if now.After(s.expires) {
+				delete(st.m, id)
+			}
+			continue
+		}
+		if now.After(s.expires) {
+			st.markGoneLocked(s)
+		}
+	}
+	st.mu.Unlock()
+}
+
+func (st *sessions) janitor() {
+	defer close(st.done)
+	period := st.ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-t.C:
+			st.sweep()
+		}
+	}
+}
+
+// Shutdown stops the janitor and closes every session, unpinning all
+// snapshots (in-use ones as their last request finishes).
+func (st *sessions) Shutdown() {
+	close(st.stop)
+	<-st.done
+	st.mu.Lock()
+	for id, s := range st.m {
+		if !s.gone {
+			st.markGoneLocked(s)
+		}
+		delete(st.m, id)
+	}
+	st.mu.Unlock()
+}
+
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,10 @@
+//go:build !slow
+
+package server
+
+import "time"
+
+// soakDuration is the load window of the concurrent soak test. The
+// default keeps `go test -race ./internal/server` fast; build with
+// `-tags slow` for the full-length run.
+const soakDuration = 1500 * time.Millisecond

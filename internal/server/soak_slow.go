@@ -1,0 +1,8 @@
+//go:build slow
+
+package server
+
+import "time"
+
+// soakDuration under -tags slow: the full-length soak.
+const soakDuration = 10 * time.Second

@@ -401,6 +401,11 @@ func (s *Snapshot) CountVertices() int { return s.snap.CountVertices() }
 // CountEdges counts edges at the snapshot.
 func (s *Snapshot) CountEdges() int { return s.snap.CountEdges() }
 
+// PinnedSnapshots reports how many distinct store versions are still
+// pinned by open snapshots. Zero means every Snapshot has been closed
+// and the garbage collector can reclaim all superseded row images.
+func (g *Graph) PinnedSnapshots() int { return g.store.PinnedSnapshots() }
+
 // Vacuum physically reclaims rows left by soft deletes (the offline
 // cleanup the paper describes but leaves unimplemented).
 func (g *Graph) Vacuum() (int, error) { return g.store.Vacuum() }
