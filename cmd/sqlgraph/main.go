@@ -41,7 +41,7 @@ func main() {
 	scale := flag.String("scale", "tiny", "dbpedia dataset scale: tiny, small, medium")
 	dir := flag.String("dir", "", "durable store directory (load populates it; other commands open it)")
 	parallel := flag.Int("parallel", 0, "executor worker cap for one query: 0 = GOMAXPROCS, 1 = serial")
-	explain := flag.Bool("explain", false, "after query: print executor statistics (join strategies, morsel fan-out)")
+	explain := flag.Bool("explain", false, "after query: print the timed plan tree and executor statistics")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -119,6 +119,10 @@ func main() {
 			fmt.Printf("  %v\n", v)
 		}
 		if *explain {
+			if res.Trace != nil {
+				// Same timed plan tree the server returns for explain.
+				fmt.Printf("-- explain analyze:\n%s", res.Trace.Text())
+			}
 			fmt.Printf("-- executor statistics:\n%s", res.Stats.String())
 		}
 	case "translate":

@@ -7,7 +7,8 @@
 //
 //	sqlgraphd [-addr :8080] [-dir path] [-dataset sample|dbpedia] [-scale tiny|small|medium]
 //	          [-inflight 64] [-queue 64] [-timeout 30s] [-session-ttl 60s]
-//	          [-max-body 1048576] [-parallel N]
+//	          [-max-body 1048576] [-parallel N] [-slow-query 250ms]
+//	          [-trace-buffer 128] [-pprof] [-log-json]
 //
 // With -dir the daemon opens (or creates) a durable store there; without
 // it, the selected dataset is built in memory (sample = the paper's
@@ -31,6 +32,13 @@
 //	PATCH /edge/{id}/attrs
 //	POST /admin/vacuum          reclaim soft-deleted rows
 //	POST /admin/checkpoint      snapshot + truncate the WAL (durable stores)
+//	GET  /debug/queries[/{id}]  recent / slow query traces (?format=text)
+//	GET  /debug/pprof/          Go profiling endpoints (only with -pprof)
+//
+// Logging is structured (log/slog): one summary line per HTTP request
+// with method, path, status, duration, trace id, and admission wait,
+// plus slow-query warnings above the -slow-query threshold. -log-json
+// switches from the human text handler to JSON lines.
 package main
 
 import (
@@ -38,11 +46,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
-	"path/filepath"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -65,11 +73,28 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body size cap in bytes")
 	parallel := flag.Int("parallel", 0, "executor worker cap per query: 0 = GOMAXPROCS, 1 = serial")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "slow-query log threshold (negative disables)")
+	traceBuffer := flag.Int("trace-buffer", 128, "recent traces retained per kind at /debug/queries")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logJSON := flag.Bool("log-json", false, "emit JSON log lines instead of text")
 	flag.Parse()
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, slog.Any("error", err))
+		os.Exit(1)
+	}
 
 	store, err := openStore(*dir, *dataset, *scale)
 	if err != nil {
-		log.Fatal(err)
+		fatal("open store", err)
 	}
 	store.SetParallelism(*parallel)
 
@@ -79,39 +104,46 @@ func main() {
 		RequestTimeout: *timeout,
 		SessionTTL:     *sessionTTL,
 		MaxBodyBytes:   *maxBody,
+		Logger:         logger,
+		SlowQuery:      *slowQuery,
+		TraceBuffer:    *traceBuffer,
+		EnablePprof:    *enablePprof,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	go func() {
-		log.Printf("sqlgraphd listening on %s (%d vertices, %d edges)",
-			*addr, store.CountVertices(), store.CountEdges())
+		logger.Info("sqlgraphd listening",
+			slog.String("addr", *addr),
+			slog.Int("vertices", store.CountVertices()),
+			slog.Int("edges", store.CountEdges()),
+			slog.Bool("pprof", *enablePprof))
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			fatal("listen", err)
 		}
 	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down: draining in-flight requests (budget %v)", *drain)
+	logger.Info("shutting down: draining in-flight requests", slog.Duration("budget", *drain))
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Stop accepting connections first, then drain the serving layer
 	// (admitted work, sessions, snapshot pins), then close the store.
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", slog.Any("error", err))
 	}
 	if err := srv.Close(ctx); err != nil {
-		log.Printf("drain: %v", err)
+		logger.Error("drain", slog.Any("error", err))
 	}
 	if pins := store.PinnedSnapshots(); pins != 0 {
-		log.Printf("warning: %d snapshot pin(s) leaked", pins)
+		logger.Warn("snapshot pins leaked", slog.Int("pins", pins))
 	}
 	if err := store.Close(); err != nil {
-		log.Fatalf("store close: %v", err)
+		fatal("store close", err)
 	}
-	log.Printf("sqlgraphd stopped")
+	logger.Info("sqlgraphd stopped")
 }
 
 // openStore opens the durable directory (seeding a fresh one with the
@@ -129,7 +161,7 @@ func openStore(dir, dataset, scale string) (*core.Store, error) {
 	}
 	switch dataset {
 	case "sample":
-		return core.Load(figure2a(), opts)
+		return figure2a(opts)
 	case "dbpedia":
 		var s experiments.Scale
 		switch scale {
@@ -152,12 +184,13 @@ func openStore(dir, dataset, scale string) (*core.Store, error) {
 	}
 }
 
-// figure2a builds the paper's Figure 2a sample graph.
-func figure2a() *blueprints.MemGraph {
+// figure2a loads the paper's Figure 2a sample graph.
+func figure2a(opts core.Options) (*core.Store, error) {
 	g := blueprints.NewMemGraph()
-	must := func(err error) {
-		if err != nil {
-			log.Fatal(err)
+	var err error
+	must := func(e error) {
+		if err == nil {
+			err = e
 		}
 	}
 	must(g.AddVertex(1, map[string]any{"name": "marko", "age": 29}))
@@ -169,5 +202,8 @@ func figure2a() *blueprints.MemGraph {
 	must(g.AddEdge(9, 1, 3, "created", map[string]any{"weight": 0.4}))
 	must(g.AddEdge(10, 4, 2, "likes", map[string]any{"weight": 0.2}))
 	must(g.AddEdge(11, 4, 3, "created", map[string]any{"weight": 0.8}))
-	return g
+	if err != nil {
+		return nil, err
+	}
+	return core.Load(g, opts)
 }

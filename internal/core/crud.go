@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sqlgraph/internal/blueprints"
 	"sqlgraph/internal/rel"
@@ -21,7 +22,7 @@ func docFromMap(attrs map[string]any) *sqljson.Doc {
 var writeTables = []string{TableEA, TableIPA, TableISA, TableOPA, TableOSA, TableVA}
 
 // AddVertex implements blueprints.Graph.
-func (s *Store) AddVertex(id int64, attrs map[string]any) error {
+func (s *Store) AddVertex(id int64, attrs map[string]any) (err error) {
 	if id < 0 {
 		return fmt.Errorf("core: vertex ids must be non-negative (negative ids mark deletions)")
 	}
@@ -38,15 +39,17 @@ func (s *Store) AddVertex(id int64, attrs map[string]any) error {
 		tx.Rollback()
 		return s.addVertexPurging(id, attrs)
 	}
+	w := s.startWrite("AddVertex")
+	defer func() { w.done(err) }()
 	doc := docFromMap(attrs)
 	if _, err := tx.Insert(TableVA, []rel.Value{rel.NewInt(id), rel.NewJSON(doc)}); err != nil {
 		return err
 	}
-	if err := s.logAppend(wal.Record{Op: wal.OpAddVertex, ID: id, Doc: doc.String()}); err != nil {
+	if err := s.logAppend(w, wal.Record{Op: wal.OpAddVertex, ID: id, Doc: doc.String()}); err != nil {
 		return err
 	}
 	tx.Commit()
-	return s.logCommit()
+	return s.logCommit(w)
 }
 
 // vertexTombstoneTx reports whether a soft-deleted VA row exists for id.
@@ -64,7 +67,9 @@ func vertexTombstoneTx(tx *rel.Txn, id int64) bool {
 // id's negated VA and adjacency rows (including owned secondary lists,
 // the same ownership rule Vacuum applies) and then inserts the fresh
 // vertex.
-func (s *Store) addVertexPurging(id int64, attrs map[string]any) error {
+func (s *Store) addVertexPurging(id int64, attrs map[string]any) (err error) {
+	w := s.startWrite("AddVertex purge")
+	defer func() { w.done(err) }()
 	tx := s.fpAll.Begin()
 	defer tx.Rollback()
 	if vertexLiveTx(tx, id) {
@@ -134,19 +139,21 @@ func (s *Store) addVertexPurging(id int64, attrs map[string]any) error {
 	if _, err := tx.Insert(TableVA, []rel.Value{rel.NewInt(id), rel.NewJSON(doc)}); err != nil {
 		return err
 	}
-	if err := s.logAppend(wal.Record{Op: wal.OpAddVertex, ID: id, Doc: doc.String()}); err != nil {
+	if err := s.logAppend(w, wal.Record{Op: wal.OpAddVertex, ID: id, Doc: doc.String()}); err != nil {
 		return err
 	}
 	tx.Commit()
-	return s.logCommit()
+	return s.logCommit(w)
 }
 
 // AddEdge implements blueprints.Graph: insert into EA plus both hash
 // adjacency sides.
-func (s *Store) AddEdge(id int64, out, in int64, label string, attrs map[string]any) error {
+func (s *Store) AddEdge(id int64, out, in int64, label string, attrs map[string]any) (err error) {
 	if id < 0 {
 		return fmt.Errorf("core: edge ids must be non-negative")
 	}
+	w := s.startWrite("AddEdge")
+	defer func() { w.done(err) }()
 	tx := s.fpAll.Begin()
 	defer tx.Rollback()
 	for _, v := range []int64{out, in} {
@@ -169,11 +176,11 @@ func (s *Store) AddEdge(id int64, out, in int64, label string, attrs map[string]
 	if err := s.addAdjacent(tx, false, in, id, label, out); err != nil {
 		return err
 	}
-	if err := s.logAppend(wal.Record{Op: wal.OpAddEdge, ID: id, Out: out, In: in, Label: label, Doc: doc.String()}); err != nil {
+	if err := s.logAppend(w, wal.Record{Op: wal.OpAddEdge, ID: id, Out: out, In: in, Label: label, Doc: doc.String()}); err != nil {
 		return err
 	}
 	tx.Commit()
-	return s.logCommit()
+	return s.logCommit(w)
 }
 
 func vertexLiveTx(tx *rel.Txn, id int64) bool {
@@ -289,7 +296,9 @@ func (s *Store) addAdjacent(tx *rel.Txn, outgoing bool, vid, eid int64, label st
 }
 
 // RemoveEdge implements blueprints.Graph.
-func (s *Store) RemoveEdge(id int64) error {
+func (s *Store) RemoveEdge(id int64) (err error) {
+	w := s.startWrite("RemoveEdge")
+	defer func() { w.done(err) }()
 	tx := s.fpAll.Begin()
 	defer tx.Rollback()
 	rec, rid, ok := edgeTx(tx, id)
@@ -305,11 +314,11 @@ func (s *Store) RemoveEdge(id int64) error {
 	if err := s.removeAdjacent(tx, false, rec.In, id, rec.Label); err != nil {
 		return err
 	}
-	if err := s.logAppend(wal.Record{Op: wal.OpRemoveEdge, ID: id}); err != nil {
+	if err := s.logAppend(w, wal.Record{Op: wal.OpRemoveEdge, ID: id}); err != nil {
 		return err
 	}
 	tx.Commit()
-	return s.logCommit()
+	return s.logCommit(w)
 }
 
 func edgeTx(tx *rel.Txn, id int64) (blueprints.EdgeRec, rel.RowID, bool) {
@@ -396,7 +405,9 @@ func (s *Store) removeAdjacent(tx *rel.Txn, outgoing bool, vid, eid int64, label
 // delete (paper Section 4.5.2). In DeleteClean mode it also cleans the
 // neighbors' adjacency entries; in DeletePaperSoft mode it only negates
 // ids and drops EA rows, as in the paper.
-func (s *Store) RemoveVertex(id int64) error {
+func (s *Store) RemoveVertex(id int64) (err error) {
+	w := s.startWrite("RemoveVertex")
+	defer func() { w.done(err) }()
 	tx := s.fpAll.Begin()
 	defer tx.Rollback()
 
@@ -483,11 +494,11 @@ func (s *Store) RemoveVertex(id int64) error {
 			}
 		}
 	}
-	if err := s.logAppend(wal.Record{Op: wal.OpRemoveVertex, ID: id}); err != nil {
+	if err := s.logAppend(w, wal.Record{Op: wal.OpRemoveVertex, ID: id}); err != nil {
 		return err
 	}
 	tx.Commit()
-	return s.logCommit()
+	return s.logCommit(w)
 }
 
 // Vacuum physically removes rows left behind by soft deletes: negated VA
@@ -495,6 +506,12 @@ func (s *Store) RemoveVertex(id int64) error {
 // cells that still reference deleted vertices. The paper leaves this
 // "off-line cleanup process" unimplemented; we provide it.
 func (s *Store) Vacuum() (removed int, err error) {
+	w := s.startWrite("Vacuum")
+	vacT := time.Now()
+	defer func() {
+		s.tracer.ObserveVacuum(time.Since(vacT))
+		w.done(err)
+	}()
 	tx, err := s.cat.Begin(writeTables, nil)
 	if err != nil {
 		return 0, err
@@ -630,11 +647,11 @@ func (s *Store) Vacuum() (removed int, err error) {
 			removed++
 		}
 	}
-	if err := s.logAppend(wal.Record{Op: wal.OpVacuum}); err != nil {
+	if err := s.logAppend(w, wal.Record{Op: wal.OpVacuum}); err != nil {
 		return 0, err // rolled back
 	}
 	tx.Commit()
-	return removed, s.logCommit()
+	return removed, s.logCommit(w)
 }
 
 // valDoc wraps an attribute value for its WAL record: Set*Attr values can
@@ -655,7 +672,9 @@ func (s *Store) RemoveVertexAttr(id int64, key string) error {
 	return s.mutateVertexDoc(id, rec, func(doc *sqljson.Doc) { doc.Delete(key) })
 }
 
-func (s *Store) mutateVertexDoc(id int64, rec wal.Record, mutate func(*sqljson.Doc)) error {
+func (s *Store) mutateVertexDoc(id int64, rec wal.Record, mutate func(*sqljson.Doc)) (err error) {
+	w := s.startWrite(rec.Op.String())
+	defer func() { w.done(err) }()
 	tx := s.fpVA.Begin()
 	defer tx.Rollback()
 	var rid rel.RowID
@@ -674,11 +693,11 @@ func (s *Store) mutateVertexDoc(id int64, rec wal.Record, mutate func(*sqljson.D
 	if err := tx.Update(TableVA, rid, vals); err != nil {
 		return err
 	}
-	if err := s.logAppend(rec); err != nil {
+	if err := s.logAppend(w, rec); err != nil {
 		return err
 	}
 	tx.Commit()
-	return s.logCommit()
+	return s.logCommit(w)
 }
 
 // SetEdgeAttr implements blueprints.Graph.
@@ -693,7 +712,9 @@ func (s *Store) RemoveEdgeAttr(id int64, key string) error {
 	return s.mutateEdgeDoc(id, rec, func(doc *sqljson.Doc) { doc.Delete(key) })
 }
 
-func (s *Store) mutateEdgeDoc(id int64, rec wal.Record, mutate func(*sqljson.Doc)) error {
+func (s *Store) mutateEdgeDoc(id int64, rec wal.Record, mutate func(*sqljson.Doc)) (err error) {
+	w := s.startWrite(rec.Op.String())
+	defer func() { w.done(err) }()
 	tx := s.fpEA.Begin()
 	defer tx.Rollback()
 	var rid rel.RowID
@@ -712,9 +733,9 @@ func (s *Store) mutateEdgeDoc(id int64, rec wal.Record, mutate func(*sqljson.Doc
 	if err := tx.Update(TableEA, rid, vals); err != nil {
 		return err
 	}
-	if err := s.logAppend(rec); err != nil {
+	if err := s.logAppend(w, rec); err != nil {
 		return err
 	}
 	tx.Commit()
-	return s.logCommit()
+	return s.logCommit(w)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"sqlgraph/internal/blueprints"
 	"sqlgraph/internal/core/coloring"
@@ -208,12 +209,17 @@ func (s *Store) applyRecord(rec wal.Record) error {
 // logAppend buffers the record for the mutation the caller is about to
 // commit. It must be the last fallible step before tx.Commit: a failure
 // rolls the transaction back, and after success nothing can prevent the
-// commit, so the log holds exactly the committed operations.
-func (s *Store) logAppend(rec wal.Record) error {
+// commit, so the log holds exactly the committed operations. The append
+// is timed into the write trace and the WAL counters.
+func (s *Store) logAppend(w *writeOp, rec wal.Record) error {
 	if s.wal == nil {
 		return nil
 	}
+	t := time.Now()
 	_, err := s.wal.Append(rec)
+	d := time.Since(t)
+	s.tracer.ObserveWALAppend(d)
+	w.observe("wal-append", t, d)
 	return err
 }
 
@@ -221,12 +227,18 @@ func (s *Store) logAppend(rec wal.Record) error {
 // everything buffered since the last flush goes out in one write+fsync)
 // and checkpoints if the log has grown past the snapshot cadence. A crash
 // before the flush loses only the tail of *committed* operations — the
-// recovered state is still a consistent prefix.
-func (s *Store) logCommit() error {
+// recovered state is still a consistent prefix. The fsync is timed into
+// the write trace and the WAL counters.
+func (s *Store) logCommit(w *writeOp) error {
 	if s.wal == nil {
 		return nil
 	}
-	if err := s.wal.Flush(); err != nil {
+	t := time.Now()
+	err := s.wal.Flush()
+	d := time.Since(t)
+	s.tracer.ObserveWALFsync(d)
+	w.observe("wal-fsync", t, d)
+	if err != nil {
 		return err
 	}
 	return s.maybeSnapshot()
@@ -247,15 +259,22 @@ func (s *Store) maybeSnapshot() error {
 // log. Read locks on every table exclude in-flight writers, and appends
 // happen only inside write transactions, so the log position observed
 // under those locks covers exactly the committed state being dumped.
-func (s *Store) Checkpoint() error {
+func (s *Store) Checkpoint() (err error) {
 	if s.wal == nil {
 		return fmt.Errorf("core: checkpoint: store is not durable")
 	}
+	w := s.startWrite("Checkpoint")
+	cpT := time.Now()
+	defer func() {
+		s.tracer.ObserveCheckpoint(time.Since(cpT))
+		w.done(err)
+	}()
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	tx := s.fpReadAll.Begin()
 	defer tx.Rollback()
 
+	dumpT := time.Now()
 	snap := &wal.Snapshot{
 		LastLSN:    s.wal.LastLSN(),
 		OutCols:    s.outCols,
@@ -279,7 +298,11 @@ func (s *Store) Checkpoint() error {
 		}
 		snap.Tables[name] = rows
 	}
-	return s.wal.WriteSnapshot(snap)
+	w.observe("dump", dumpT, time.Since(dumpT))
+	wrT := time.Now()
+	err = s.wal.WriteSnapshot(snap)
+	w.observe("snapshot-write", wrT, time.Since(wrT))
+	return err
 }
 
 // Close flushes and closes the WAL. In-memory stores close trivially.

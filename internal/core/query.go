@@ -1,11 +1,11 @@
 package core
 
 import (
-	"fmt"
-
 	"sqlgraph/internal/engine"
 	"sqlgraph/internal/gremlin"
 	"sqlgraph/internal/rel"
+	"sqlgraph/internal/sql"
+	"sqlgraph/internal/trace"
 	"sqlgraph/internal/translate"
 )
 
@@ -13,18 +13,25 @@ import (
 // Go values (element ids for vertices and edges, payloads for values,
 // []any for paths), plus the SQL executor's statistics for the translated
 // statement (join strategies, morsel fan-out) so benchmarks can assert
-// planner decisions.
+// planner decisions, and the query's span tree (parse → translate → plan
+// → execute with one child per operator).
 type Result struct {
 	Values   []any
 	ElemType translate.ElemType
 	Stats    engine.ExecStats
+	Trace    *trace.Trace
 }
 
 // Count returns the number of emitted objects.
 func (r *Result) Count() int { return len(r.Values) }
 
+// preparedQuery caches a translation together with its parsed SQL, so a
+// cache hit skips Gremlin parsing, translation, and SQL parsing. The AST
+// is shared across executions safely: the engine never mutates statement
+// nodes (per-query state lives in its own structures).
 type preparedQuery struct {
 	translation *translate.Translation
+	stmt        *sql.SelectStmt
 }
 
 // TranslateOptions mirrors translate.Options at the store API surface.
@@ -38,29 +45,10 @@ func (s *Store) Query(gremlinText string) (*Result, error) {
 }
 
 // QueryWithOptions executes a Gremlin query with explicit translation
-// options (ablation modes).
+// options (ablation modes). Tracing is always on (it is cheap — see
+// internal/trace); the span tree rides on the Result.
 func (s *Store) QueryWithOptions(gremlinText string, opts TranslateOptions) (*Result, error) {
-	key := fmt.Sprintf("%+v|%s", opts, gremlinText)
-	var prep *preparedQuery
-	if cached, ok := s.prepared.Load(key); ok {
-		prep = cached.(*preparedQuery)
-	} else {
-		tr, err := s.Translate(gremlinText, opts)
-		if err != nil {
-			return nil, err
-		}
-		prep = &preparedQuery{translation: tr}
-		s.prepared.Store(key, prep)
-	}
-	rows, err := s.eng.Query(prep.translation.SQL)
-	if err != nil {
-		return nil, fmt.Errorf("core: executing translated SQL: %w", err)
-	}
-	out := &Result{ElemType: prep.translation.ElemType, Values: make([]any, 0, len(rows.Data)), Stats: rows.Stats}
-	for _, row := range rows.Data {
-		out.Values = append(out.Values, valueToAny(row[0]))
-	}
-	return out, nil
+	return s.queryTraced(gremlinText, opts, "", rel.Latest)
 }
 
 // Translate compiles a Gremlin query to SQL without executing it.

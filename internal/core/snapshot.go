@@ -60,27 +60,7 @@ func (sn *Snap) QueryWithOptions(gremlinText string, opts TranslateOptions) (*Re
 	if !sn.ok() {
 		return nil, ErrSnapshotClosed
 	}
-	key := fmt.Sprintf("%+v|%s", opts, gremlinText)
-	var prep *preparedQuery
-	if cached, ok := sn.s.prepared.Load(key); ok {
-		prep = cached.(*preparedQuery)
-	} else {
-		tr, err := sn.s.Translate(gremlinText, opts)
-		if err != nil {
-			return nil, err
-		}
-		prep = &preparedQuery{translation: tr}
-		sn.s.prepared.Store(key, prep)
-	}
-	rows, err := sn.s.eng.QueryAt(prep.translation.SQL, sn.ver)
-	if err != nil {
-		return nil, fmt.Errorf("core: executing translated SQL: %w", err)
-	}
-	out := &Result{ElemType: prep.translation.ElemType, Values: make([]any, 0, len(rows.Data)), Stats: rows.Stats}
-	for _, row := range rows.Data {
-		out.Values = append(out.Values, valueToAny(row[0]))
-	}
-	return out, nil
+	return sn.s.queryTraced(gremlinText, opts, "", sn.ver)
 }
 
 // VertexExists reports whether the vertex was live at the snapshot.

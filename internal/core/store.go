@@ -8,6 +8,7 @@ import (
 	"sqlgraph/internal/core/coloring"
 	"sqlgraph/internal/engine"
 	"sqlgraph/internal/rel"
+	"sqlgraph/internal/trace"
 	"sqlgraph/internal/wal"
 )
 
@@ -88,7 +89,8 @@ type Store struct {
 	wal    *wal.Log
 	snapMu sync.Mutex // serializes checkpoints
 
-	prepared sync.Map // gremlin text -> *preparedQuery
+	prepared sync.Map        // gremlin text -> *preparedQuery
+	tracer   *trace.Recorder // trace rings + write-path counters (never nil)
 
 	// Pre-resolved transaction lock plans for the stored procedures (one
 	// transaction per graph operation; re-resolving names per call showed
@@ -150,6 +152,7 @@ func newMemStore(opts Options) (*Store, error) {
 		outCols: opts.OutCols,
 		inCols:  opts.InCols,
 		nextLID: -1,
+		tracer:  trace.NewRecorder(0, 0),
 	}
 	empty := coloring.NewCooccurrence()
 	s.outAssign = buildAssignment(empty, opts.OutCols, opts.Coloring)
@@ -216,6 +219,7 @@ func loadMem(src blueprints.Graph, opts Options) (*Store, error) {
 		outCols:   outAssign.Columns,
 		inCols:    inAssign.Columns,
 		nextLID:   -1,
+		tracer:    trace.NewRecorder(0, 0),
 	}
 	if s.outCols < 1 {
 		s.outCols = 1

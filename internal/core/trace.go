@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sqlgraph/internal/engine"
+	"sqlgraph/internal/gremlin"
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/sql"
+	"sqlgraph/internal/trace"
+	"sqlgraph/internal/translate"
+)
+
+// Tracer exposes the store's trace recorder: the recent/slow query rings,
+// write-path traces, and WAL/checkpoint counters.
+func (s *Store) Tracer() *trace.Recorder { return s.tracer }
+
+// QueryTraced is QueryWithOptions with an explicit trace id (usually from
+// an incoming W3C traceparent; empty mints a fresh one). The returned
+// Result carries the full span tree; the trace is also retained in the
+// store's ring buffer for /debug/queries, success or failure.
+func (s *Store) QueryTraced(gremlinText string, opts TranslateOptions, traceID string) (*Result, error) {
+	return s.queryTraced(gremlinText, opts, traceID, rel.Latest)
+}
+
+// QueryTraced mirrors Store.QueryTraced for a pinned snapshot.
+func (sn *Snap) QueryTraced(gremlinText string, opts TranslateOptions, traceID string) (*Result, error) {
+	if !sn.ok() {
+		return nil, ErrSnapshotClosed
+	}
+	return sn.s.queryTraced(gremlinText, opts, traceID, sn.ver)
+}
+
+// queryTraced is the one Gremlin execution path: parse → translate → plan
+// on a prepared-cache miss (a hit collapses the three into one "plan
+// [cached]" span), then execute with per-operator spans lifted from the
+// executor's stats. ver is rel.Latest for the store head or a pinned
+// snapshot version.
+func (s *Store) queryTraced(gremlinText string, opts TranslateOptions, traceID string, ver rel.Version) (*Result, error) {
+	b := trace.NewBuilder(traceID, "query", gremlinText)
+	res, err := s.runQuery(b, gremlinText, opts, ver)
+	tr := b.Finish(err)
+	s.tracer.Record(tr)
+	if err != nil {
+		return nil, err
+	}
+	res.Trace = tr
+	return res, nil
+}
+
+func (s *Store) runQuery(b *trace.Builder, gremlinText string, opts TranslateOptions, ver rel.Version) (*Result, error) {
+	key := fmt.Sprintf("%+v|%s", opts, gremlinText)
+	var prep *preparedQuery
+	if cached, ok := s.prepared.Load(key); ok {
+		prep = cached.(*preparedQuery)
+		sp := b.Begin("plan")
+		sp.Detail = "cached"
+		b.End(sp)
+	} else {
+		sp := b.Begin("parse")
+		q, err := gremlin.Parse(gremlinText)
+		b.End(sp)
+		if err != nil {
+			return nil, err
+		}
+		sp = b.Begin("translate")
+		tr, err := translate.Translate(q, s, opts)
+		b.End(sp)
+		if err != nil {
+			return nil, err
+		}
+		sp = b.Begin("plan")
+		stmt, err := sql.Parse(tr.SQL)
+		b.End(sp)
+		if err != nil {
+			return nil, fmt.Errorf("core: parsing translated SQL: %w", err)
+		}
+		sel, ok := stmt.(*sql.SelectStmt)
+		if !ok {
+			return nil, fmt.Errorf("core: translated SQL is not a SELECT")
+		}
+		prep = &preparedQuery{translation: tr, stmt: sel}
+		s.prepared.Store(key, prep)
+	}
+	b.SetSQL(prep.translation.SQL)
+
+	sp := b.Begin("execute")
+	rows, err := s.eng.QueryStmtAt(prep.stmt, ver)
+	b.End(sp)
+	if err != nil {
+		return nil, fmt.Errorf("core: executing translated SQL: %w", err)
+	}
+	attachOperatorSpans(b, sp, &rows.Stats)
+
+	out := &Result{ElemType: prep.translation.ElemType, Values: make([]any, 0, len(rows.Data)), Stats: rows.Stats}
+	for _, row := range rows.Data {
+		out.Values = append(out.Values, valueToAny(row[0]))
+	}
+	return out, nil
+}
+
+// attachOperatorSpans lifts the executor's per-operator timings into
+// children of the execute span. Stat offsets are relative to the query's
+// start inside QueryStmtAt, which is itself inside the execute span, so
+// children always nest within their parent.
+func attachOperatorSpans(b *trace.Builder, exec *trace.Span, st *engine.ExecStats) {
+	for i := range st.Scans {
+		sc := &st.Scans[i]
+		detail := fmt.Sprintf("%s %s workers=%d", sc.Table, sc.Access, sc.Workers)
+		b.Child(exec, "scan", detail, sc.StartNs, sc.Nanos, int64(sc.RowsIn), int64(sc.RowsOut))
+	}
+	for i := range st.Joins {
+		j := &st.Joins[i]
+		detail := fmt.Sprintf("%s %s", j.Table, j.Strategy)
+		if j.BuildSide != "" {
+			detail += " build=" + j.BuildSide
+		}
+		if j.Workers > 1 {
+			detail += fmt.Sprintf(" workers=%d", j.Workers)
+		}
+		b.Child(exec, "join", detail, j.StartNs, j.Nanos, int64(j.BuildRows+j.ProbeRows), int64(j.OutRows))
+	}
+	for i := range st.Ops {
+		op := &st.Ops[i]
+		detail := ""
+		if op.Kind == "agg" {
+			detail = fmt.Sprintf("groups=%d", op.Groups)
+		}
+		b.Child(exec, op.Kind, detail, op.StartNs, op.Nanos, int64(op.RowsIn), int64(op.RowsOut))
+	}
+}
+
+// writeOp traces one graph mutation or maintenance operation (kind
+// "write"): WAL append and fsync times appear as child spans, and the
+// finished trace lands in the recorder's write ring. A nil *writeOp is
+// valid and inert.
+type writeOp struct {
+	s *Store
+	b *trace.Builder
+}
+
+// startWrite opens a write trace named after the operation.
+func (s *Store) startWrite(name string) *writeOp {
+	return &writeOp{s: s, b: trace.NewBuilder("", "write", name)}
+}
+
+// observe attaches a measured child span.
+func (w *writeOp) observe(name string, start time.Time, d time.Duration) {
+	if w != nil {
+		w.b.Observe(name, "", start, d)
+	}
+}
+
+// done seals the trace with the mutation's outcome and records it.
+func (w *writeOp) done(err error) {
+	if w != nil {
+		w.s.tracer.Record(w.b.Finish(err))
+	}
+}

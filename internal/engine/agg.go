@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"sqlgraph/internal/rel"
 	"sqlgraph/internal/sql"
@@ -79,6 +80,7 @@ func hasAggregates(sel *sql.SimpleSelect) bool {
 // aggregate groups the input rows and evaluates the select list with
 // aggregate results bound.
 func (e *Engine) aggregate(q *queryState, in *relation, sel *sql.SimpleSelect) (*relation, error) {
+	opT := time.Now()
 	sc := newScope(in.cols)
 
 	var aggCalls []*sql.FuncCall
@@ -179,8 +181,16 @@ func (e *Engine) aggregate(q *queryState, in *relation, sel *sql.SimpleSelect) (
 		}
 		out.rows = append(out.rows, outRow)
 	}
+	q.stats.Ops = append(q.stats.Ops, OpStat{
+		Kind:    "agg",
+		RowsIn:  len(in.rows),
+		RowsOut: len(out.rows),
+		Groups:  len(order),
+		StartNs: q.sinceStart(opT),
+		Nanos:   time.Since(opT).Nanoseconds(),
+	})
 	if sel.Distinct {
-		dedupeRelation(out)
+		q.timedDedupe(out)
 	}
 	return out, nil
 }

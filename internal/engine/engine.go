@@ -170,6 +170,7 @@ func (e *Engine) QueryStmtAt(sel *sql.SelectStmt, asOf rel.Version, params ...an
 		par:    opts.Parallelism,
 		force:  opts.ForceJoin,
 		asOf:   asOf,
+		t0:     time.Now(),
 	}
 	r, err := e.evalSelect(q, sel)
 	if err != nil {

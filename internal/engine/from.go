@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"sqlgraph/internal/rel"
 	"sqlgraph/internal/sql"
@@ -191,9 +192,23 @@ func (e *Engine) evalSimpleSelect(q *queryState, sel *sql.SimpleSelect) (*relati
 		return nil, err
 	}
 	if sel.Distinct {
-		dedupeRelation(out)
+		q.timedDedupe(out)
 	}
 	return out, nil
+}
+
+// timedDedupe removes duplicate rows and records a "dedup" operator stat.
+func (q *queryState) timedDedupe(r *relation) {
+	opT := time.Now()
+	in := len(r.rows)
+	dedupeRelation(r)
+	q.stats.Ops = append(q.stats.Ops, OpStat{
+		Kind:    "dedup",
+		RowsIn:  in,
+		RowsOut: len(r.rows),
+		StartNs: q.sinceStart(opT),
+		Nanos:   time.Since(opT).Nanoseconds(),
+	})
 }
 
 // filterRows keeps the rows passing every conjunct, preserving order.
@@ -598,6 +613,7 @@ func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs [
 // residual predicates. The outer loop is morsel-parallel when the
 // predicates are parallel-safe.
 func (e *Engine) nestedLoopJoin(q *queryState, cur, right *relation, kind string, outCols []colInfo, outScope *scope, residual []*conjunct, rightName string) (*relation, error) {
+	opT := time.Now()
 	leftArity := len(cur.cols)
 	width := len(outCols)
 
@@ -661,6 +677,8 @@ func (e *Engine) nestedLoopJoin(q *queryState, cur, right *relation, kind string
 			OutRows:   len(out.rows),
 			Morsels:   m,
 			Workers:   w,
+			StartNs:   q.sinceStart(opT),
+			Nanos:     time.Since(opT).Nanoseconds(),
 		})
 	}
 	return out, nil

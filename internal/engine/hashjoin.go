@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"sqlgraph/internal/rel"
 	"sqlgraph/internal/sql"
@@ -33,6 +34,7 @@ const nullKeySentinel = ""
 // unmatched left rows null-extended; rows whose key contains NULL never
 // match.
 func (e *Engine) hashJoin(q *queryState, cur, right *relation, kind string, a hashJoinArgs) (*relation, error) {
+	opT := time.Now()
 	if e.ioSim() != nil {
 		a.simTable = fmt.Sprintf("#hash%d", len(q.stats.Joins))
 	}
@@ -55,6 +57,8 @@ func (e *Engine) hashJoin(q *queryState, cur, right *relation, kind string, a ha
 		return nil, err
 	}
 	stat.OutRows = len(out.rows)
+	stat.StartNs = q.sinceStart(opT)
+	stat.Nanos = time.Since(opT).Nanoseconds()
 	q.stats.Joins = append(q.stats.Joins, stat)
 	return out, nil
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"time"
+
 	"sqlgraph/internal/rel"
 	"sqlgraph/internal/sql"
 )
@@ -23,6 +25,7 @@ type indexNLArgs struct {
 // and emits joined rows. kind is "INNER" or "LEFT". All predicates are
 // compiled once before the loop.
 func (e *Engine) indexNLJoin(q *queryState, cur *relation, t *rel.Table, ix *rel.Index, mapping []int, kind string, a indexNLArgs) (*relation, error) {
+	opT := time.Now()
 	out := &relation{cols: a.outCols}
 
 	keyFns := make([]compiledExpr, len(a.joinEqLeft))
@@ -119,6 +122,8 @@ func (e *Engine) indexNLJoin(q *queryState, cur *relation, t *rel.Table, ix *rel
 		OutRows:   len(out.rows),
 		Morsels:   1,
 		Workers:   1,
+		StartNs:   q.sinceStart(opT),
+		Nanos:     time.Since(opT).Nanoseconds(),
 	})
 	return out, nil
 }

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"time"
+
 	"sqlgraph/internal/rel"
 	"sqlgraph/internal/sql"
 )
@@ -269,6 +271,7 @@ func (e *Engine) scanBase(q *queryState, t *rel.Table, alias string, conjs []*co
 	}
 
 	stat := ScanStat{Table: t.Name(), Access: path.kind.accessName(), Morsels: 1, Workers: 1}
+	opT := time.Now()
 	var out *relation
 	if path.kind == accessFullScan {
 		out, err = e.fullScan(q, t, cols, sc, filters, &stat)
@@ -278,6 +281,8 @@ func (e *Engine) scanBase(q *queryState, t *rel.Table, alias string, conjs []*co
 	if err != nil {
 		return nil, err
 	}
+	stat.StartNs = q.sinceStart(opT)
+	stat.Nanos = time.Since(opT).Nanoseconds()
 	stat.RowsOut = len(out.rows)
 	q.stats.Scans = append(q.stats.Scans, stat)
 	for _, c := range conjs {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"sqlgraph/internal/rel"
 	"sqlgraph/internal/sql"
@@ -27,11 +28,21 @@ type queryState struct {
 	par      int                                 // morsel-parallelism budget (0 = GOMAXPROCS, 1 = serial)
 	force    JoinStrategy                        // forced join strategy, StrategyAuto for planner's choice
 	asOf     rel.Version                         // snapshot version for base-table reads (zero = latest)
+	t0       time.Time                           // query start; anchors operator StartNs offsets
 	stats    ExecStats                           // per-operator execution statistics
 }
 
 // addIOMiss atomically charges one buffer-pool miss to the query.
 func (q *queryState) addIOMiss() { atomic.AddInt64(&q.ioMisses, 1) }
+
+// sinceStart returns t's offset from the query start, or 0 when the
+// state was built without a clock (DML expression evaluation).
+func (q *queryState) sinceStart(t time.Time) int64 {
+	if q.t0.IsZero() {
+		return 0
+	}
+	return t.Sub(q.t0).Nanoseconds()
+}
 
 func (e *Engine) evalSelect(q *queryState, stmt *sql.SelectStmt) (*relation, error) {
 	// Materialize CTEs in order; later CTEs may reference earlier ones.
@@ -133,6 +144,7 @@ func (e *Engine) applyLimit(q *queryState, r *relation, limit, offset sql.Expr) 
 }
 
 func (e *Engine) orderRows(q *queryState, r *relation, items []sql.OrderItem) error {
+	opT := time.Now()
 	sc := newScope(r.cols)
 	type sortKey struct {
 		keys []rel.Value
@@ -174,6 +186,13 @@ func (e *Engine) orderRows(q *queryState, r *relation, items []sql.OrderItem) er
 	for i := range keyed {
 		r.rows[i] = keyed[i].row
 	}
+	q.stats.Ops = append(q.stats.Ops, OpStat{
+		Kind:    "sort",
+		RowsIn:  len(r.rows),
+		RowsOut: len(r.rows),
+		StartNs: q.sinceStart(opT),
+		Nanos:   time.Since(opT).Nanoseconds(),
+	})
 	return nil
 }
 

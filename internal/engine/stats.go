@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
 // JoinStrategy names a join algorithm the executor can run.
@@ -31,6 +32,8 @@ type JoinStat struct {
 	OutRows   int    // rows emitted (before later operators)
 	Morsels   int    // morsels the probe phase was split into (0 = not morselized)
 	Workers   int    // workers that executed the probe (1 = serial)
+	StartNs   int64  // operator start, relative to query start
+	Nanos     int64  // operator wall time
 }
 
 // ScanStat records one base-table access.
@@ -41,15 +44,30 @@ type ScanStat struct {
 	RowsOut int    // rows surviving pushed-down filters
 	Morsels int
 	Workers int
+	StartNs int64 // operator start, relative to query start
+	Nanos   int64 // operator wall time
+}
+
+// OpStat records a non-scan, non-join operator: aggregation, sort, or
+// duplicate elimination.
+type OpStat struct {
+	Kind    string // "agg", "sort", "dedup"
+	RowsIn  int
+	RowsOut int
+	Groups  int   // aggregation groups (agg only)
+	StartNs int64 // operator start, relative to query start
+	Nanos   int64 // operator wall time
 }
 
 // ExecStats summarizes how a query executed: which join strategies ran,
-// what each operator examined and emitted, and how work was morselized.
-// Benchmarks use it to assert planner decisions (e.g. that a non-indexed
-// equi-join really ran as a hash join).
+// what each operator examined and emitted, how work was morselized, and
+// how long each operator took. Benchmarks use it to assert planner
+// decisions (e.g. that a non-indexed equi-join really ran as a hash
+// join); tracing lifts the timings into per-operator spans.
 type ExecStats struct {
 	Scans []ScanStat
 	Joins []JoinStat
+	Ops   []OpStat
 }
 
 // JoinStrategies returns the strategies of the executed joins, in order.
@@ -77,22 +95,39 @@ func (s *ExecStats) MaxWorkers() int {
 	return w
 }
 
-// String renders a compact one-line-per-operator plan summary.
+// String renders a compact one-line-per-operator plan summary, timing
+// included — the same operator lines the server's EXPLAIN ANALYZE span
+// tree carries.
 func (s *ExecStats) String() string {
 	var sb strings.Builder
 	for _, sc := range s.Scans {
-		fmt.Fprintf(&sb, "scan %s [%s] in=%d out=%d morsels=%d workers=%d\n",
-			sc.Table, sc.Access, sc.RowsIn, sc.RowsOut, sc.Morsels, sc.Workers)
+		fmt.Fprintf(&sb, "scan %s [%s] in=%d out=%d morsels=%d workers=%d time=%s\n",
+			sc.Table, sc.Access, sc.RowsIn, sc.RowsOut, sc.Morsels, sc.Workers, fmtNanos(sc.Nanos))
 	}
 	for _, j := range s.Joins {
 		side := ""
 		if j.BuildSide != "" {
 			side = " build=" + j.BuildSide
 		}
-		fmt.Fprintf(&sb, "join %s [%s]%s build=%d probe=%d out=%d morsels=%d workers=%d\n",
-			j.Table, j.Strategy, side, j.BuildRows, j.ProbeRows, j.OutRows, j.Morsels, j.Workers)
+		fmt.Fprintf(&sb, "join %s [%s]%s build=%d probe=%d out=%d morsels=%d workers=%d time=%s\n",
+			j.Table, j.Strategy, side, j.BuildRows, j.ProbeRows, j.OutRows, j.Morsels, j.Workers, fmtNanos(j.Nanos))
+	}
+	for _, op := range s.Ops {
+		switch op.Kind {
+		case "agg":
+			fmt.Fprintf(&sb, "agg groups=%d in=%d out=%d time=%s\n",
+				op.Groups, op.RowsIn, op.RowsOut, fmtNanos(op.Nanos))
+		default: // sort, dedup
+			fmt.Fprintf(&sb, "%s in=%d out=%d time=%s\n",
+				op.Kind, op.RowsIn, op.RowsOut, fmtNanos(op.Nanos))
+		}
 	}
 	return sb.String()
+}
+
+// fmtNanos renders an operator wall time rounded to the microsecond.
+func fmtNanos(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
 }
 
 // ExecOptions tunes query execution. The zero value means: planner's

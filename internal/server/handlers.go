@@ -10,6 +10,7 @@ import (
 
 	"sqlgraph/internal/blueprints"
 	"sqlgraph/internal/core"
+	"sqlgraph/internal/trace"
 	"sqlgraph/internal/translate"
 )
 
@@ -35,12 +36,20 @@ type queryRequest struct {
 }
 
 // queryResponse is the /query result. Version is the MVCC version the
-// query read at.
+// query read at; TraceID names the trace retained at /debug/queries/{id}.
+// The explain fields (SQL, Plan, PlanText, Stats) are populated only
+// when the request sets "explain": the translated SQL, the timed span
+// tree (EXPLAIN ANALYZE as JSON), its pretty-printed text form, and the
+// legacy executor-stats string.
 type queryResponse struct {
-	Count   int    `json:"count"`
-	Values  []any  `json:"values"`
-	Version uint64 `json:"version"`
-	Stats   string `json:"stats,omitempty"`
+	Count    int          `json:"count"`
+	Values   []any        `json:"values"`
+	Version  uint64       `json:"version"`
+	TraceID  string       `json:"trace_id,omitempty"`
+	SQL      string       `json:"sql,omitempty"`
+	Plan     *trace.Trace `json:"plan,omitempty"`
+	PlanText string       `json:"plan_text,omitempty"`
+	Stats    string       `json:"stats,omitempty"`
 }
 
 type translateResponse struct {
@@ -195,12 +204,53 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// ---- trace inspection ---------------------------------------------------
+
+// debugQueriesResponse is the GET /debug/queries body: recent query and
+// write traces plus the slow-query log, all newest first.
+type debugQueriesResponse struct {
+	Recent    []*trace.Trace `json:"recent"`
+	Slow      []*trace.Trace `json:"slow"`
+	Writes    []*trace.Trace `json:"writes"`
+	SlowCount uint64         `json:"slow_count"`
+}
+
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	rec := s.store.Tracer()
+	writeJSON(w, http.StatusOK, debugQueriesResponse{
+		Recent:    rec.Queries(),
+		Slow:      rec.Slow(),
+		Writes:    rec.Writes(),
+		SlowCount: rec.SlowCount(),
+	})
+}
+
+func (s *Server) handleDebugQueryGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t := s.store.Tracer().Get(id)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no retained trace with id "+id)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, t.Text())
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
+}
+
 // ---- query & translate --------------------------------------------------
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if !s.decode(w, r, &req) {
 		return
+	}
+	traceID := ""
+	if st := stateFrom(r.Context()); st != nil {
+		traceID = st.traceID
 	}
 	s.run(w, r, func() (any, int, error) {
 		var (
@@ -215,25 +265,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 			defer s.sess.Done(sess)
 			ver = sess.snap.Version()
-			res, err = sess.snap.QueryWithOptions(req.Gremlin, req.Options.internal())
+			res, err = sess.snap.QueryTraced(req.Gremlin, req.Options.internal(), traceID)
 		} else {
 			snap := s.store.Snapshot()
 			defer snap.Close()
 			ver = snap.Version()
-			res, err = snap.QueryWithOptions(req.Gremlin, req.Options.internal())
+			res, err = snap.QueryTraced(req.Gremlin, req.Options.internal(), traceID)
 		}
 		if err != nil {
 			s.met.observeExec(nil, err)
 			return nil, statusFor(err), err
 		}
 		s.met.observeExec(&res.Stats, nil)
+		s.met.observeTrace(res.Trace)
 		vals := res.Values
 		if vals == nil {
 			vals = []any{}
 		}
 		resp := queryResponse{Count: len(vals), Values: vals, Version: ver}
-		if req.Explain {
-			resp.Stats = res.Stats.String()
+		if tr := res.Trace; tr != nil {
+			resp.TraceID = tr.ID
+			if req.Explain {
+				resp.SQL = tr.SQL
+				resp.Plan = tr
+				resp.PlanText = tr.Text()
+				resp.Stats = res.Stats.String()
+			}
 		}
 		return resp, http.StatusOK, nil
 	})

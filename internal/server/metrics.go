@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sqlgraph/internal/engine"
+	"sqlgraph/internal/trace"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds (powers of
@@ -41,6 +42,7 @@ type metrics struct {
 
 	requests map[string]uint64 // "route|code" -> count
 	latency  map[string]*histogram
+	stages   map[string]*histogram // query stage (parse|translate|plan|execute) -> latency
 
 	admitted      uint64
 	rejected      uint64 // 429s
@@ -58,12 +60,18 @@ type metrics struct {
 	pinnedSnaps  func() int
 	inFlight     func() int
 	queued       func() int
+
+	// Scraped live from the store's trace recorder (atomic counters, so
+	// no lock coordination with the query path is needed).
+	slowCount  func() uint64
+	writeStats func() trace.WriteStats
 }
 
 func newMetrics() *metrics {
 	return &metrics{
 		requests: map[string]uint64{},
 		latency:  map[string]*histogram{},
+		stages:   map[string]*histogram{},
 		joinOps:  map[string]uint64{},
 	}
 }
@@ -103,6 +111,25 @@ func (m *metrics) observeExec(stats *engine.ExecStats, err error) {
 	}
 }
 
+// observeTrace folds one query trace's stage timings (parse, translate,
+// plan, execute — the root span's direct children) into the per-stage
+// latency histograms.
+func (m *metrics) observeTrace(t *trace.Trace) {
+	if t == nil || t.Root == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, sp := range t.Root.Children {
+		h := m.stages[sp.Name]
+		if h == nil {
+			h = &histogram{}
+			m.stages[sp.Name] = h
+		}
+		h.observe(time.Duration(sp.DurNs))
+	}
+}
+
 func (m *metrics) addPanic()        { m.mu.Lock(); m.panics++; m.mu.Unlock() }
 func (m *metrics) addAdmitted()     { m.mu.Lock(); m.admitted++; m.mu.Unlock() }
 func (m *metrics) addRejected()     { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
@@ -138,6 +165,24 @@ func (m *metrics) write(w io.Writer) {
 		fmt.Fprintf(w, "sqlgraphd_request_seconds_count{route=%q} %d\n", r, h.total)
 	}
 
+	fmt.Fprintln(w, "# TYPE sqlgraphd_query_stage_seconds histogram")
+	stages := make([]string, 0, len(m.stages))
+	for st := range m.stages {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	for _, st := range stages {
+		h := m.stages[st]
+		cum := uint64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "sqlgraphd_query_stage_seconds_bucket{stage=%q,le=\"%g\"} %d\n", st, ub, cum)
+		}
+		fmt.Fprintf(w, "sqlgraphd_query_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", st, h.total)
+		fmt.Fprintf(w, "sqlgraphd_query_stage_seconds_sum{stage=%q} %g\n", st, h.sum)
+		fmt.Fprintf(w, "sqlgraphd_query_stage_seconds_count{stage=%q} %d\n", st, h.total)
+	}
+
 	gauge := func(name string, fn func() int) {
 		if fn == nil {
 			return
@@ -164,6 +209,22 @@ func (m *metrics) write(w io.Writer) {
 	}
 	fmt.Fprintf(w, "# TYPE sqlgraphd_exec_join_rows_total counter\nsqlgraphd_exec_join_rows_total %d\n", m.joinRows)
 	fmt.Fprintf(w, "# TYPE sqlgraphd_exec_max_workers gauge\nsqlgraphd_exec_max_workers %d\n", m.maxFanout)
+
+	if m.slowCount != nil {
+		fmt.Fprintf(w, "# TYPE sqlgraphd_slow_queries_total counter\nsqlgraphd_slow_queries_total %d\n", m.slowCount())
+	}
+	if m.writeStats != nil {
+		ws := m.writeStats()
+		sec := func(ns int64) float64 { return float64(ns) / 1e9 }
+		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_appends_total counter\nsqlgraphd_wal_appends_total %d\n", ws.WALAppends)
+		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_append_seconds_total counter\nsqlgraphd_wal_append_seconds_total %g\n", sec(ws.WALAppendNs))
+		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_fsyncs_total counter\nsqlgraphd_wal_fsyncs_total %d\n", ws.WALFsyncs)
+		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_fsync_seconds_total counter\nsqlgraphd_wal_fsync_seconds_total %g\n", sec(ws.WALFsyncNs))
+		fmt.Fprintf(w, "# TYPE sqlgraphd_checkpoints_total counter\nsqlgraphd_checkpoints_total %d\n", ws.Checkpoints)
+		fmt.Fprintf(w, "# TYPE sqlgraphd_checkpoint_seconds_total counter\nsqlgraphd_checkpoint_seconds_total %g\n", sec(ws.CheckpointNs))
+		fmt.Fprintf(w, "# TYPE sqlgraphd_vacuums_total counter\nsqlgraphd_vacuums_total %d\n", ws.Vacuums)
+		fmt.Fprintf(w, "# TYPE sqlgraphd_vacuum_seconds_total counter\nsqlgraphd_vacuum_seconds_total %g\n", sec(ws.VacuumNs))
+	}
 }
 
 func sortedKeys(m map[string]uint64) []string {

@@ -18,7 +18,9 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"strings"
 	"sync"
@@ -27,6 +29,7 @@ import (
 
 	"sqlgraph/internal/blueprints"
 	"sqlgraph/internal/core"
+	"sqlgraph/internal/trace"
 )
 
 // Config tunes the serving layer. Zero values pick production-shaped
@@ -50,9 +53,24 @@ type Config struct {
 	MaxSessions int
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
-	// ErrorLog receives panic stacks and drain warnings (default
-	// log.Default()).
+	// ErrorLog is the legacy logger field. When Logger is unset and
+	// ErrorLog is set, a text slog handler is layered over its writer so
+	// existing configurations keep capturing server output.
 	ErrorLog *log.Logger
+	// Logger receives the structured request log: one summary line per
+	// HTTP request plus panic stacks and slow-query warnings (default:
+	// derived from ErrorLog if set, else slog.Default()).
+	Logger *slog.Logger
+	// SlowQuery is the threshold above which a query trace lands in the
+	// slow-query log (default 250ms; negative disables slow capture).
+	SlowQuery time.Duration
+	// TraceBuffer is how many recent traces per kind the /debug/queries
+	// rings retain (default 128).
+	TraceBuffer int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ when set.
+	// Off by default: profiles expose internals, so turning them on is a
+	// deliberate operator decision.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -77,8 +95,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
-	if c.ErrorLog == nil {
-		c.ErrorLog = log.Default()
+	if c.Logger == nil {
+		if c.ErrorLog != nil {
+			c.Logger = slog.New(slog.NewTextHandler(c.ErrorLog.Writer(), nil))
+		} else {
+			c.Logger = slog.Default()
+		}
 	}
 	return c
 }
@@ -113,6 +135,17 @@ func New(store *core.Store, cfg Config) *Server {
 	s.met.queued = s.adm.Queued
 	s.met.sessionsOpen = s.sess.Open
 	s.met.pinnedSnaps = store.PinnedSnapshots
+	// Wire the store's trace recorder: retention, slow threshold, and the
+	// structured logger for slow-query warnings. The metrics endpoint
+	// scrapes the recorder's counters live rather than mirroring them.
+	rec := store.Tracer()
+	if cfg.TraceBuffer > 0 {
+		rec.SetRingSize(cfg.TraceBuffer)
+	}
+	rec.SetSlowThreshold(cfg.SlowQuery)
+	rec.SetLogger(cfg.Logger)
+	s.met.slowCount = rec.SlowCount
+	s.met.writeStats = rec.WriteStats
 	s.routes()
 	return s
 }
@@ -149,6 +182,19 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /check", admit("/check", s.handleCheck))
 	s.mux.HandleFunc("POST /admin/vacuum", admit("/admin/vacuum", s.handleVacuum))
 	s.mux.HandleFunc("POST /admin/checkpoint", admit("/admin/checkpoint", s.handleCheckpoint))
+
+	// Trace inspection bypasses admission for the same reason /metrics
+	// does: the slow-query log is most valuable when the server is busy.
+	s.mux.HandleFunc("GET /debug/queries", s.instrument("/debug/queries", s.handleDebugQueries))
+	s.mux.HandleFunc("GET /debug/queries/{id}", s.instrument("/debug/queries/{id}", s.handleDebugQueryGet))
+
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
 // Handler returns the root handler (panic recovery wraps everything).
@@ -193,7 +239,11 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.met.addPanic()
-				s.cfg.ErrorLog.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				s.cfg.Logger.Error("panic serving request",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", rec),
+					slog.String("stack", string(debug.Stack())))
 				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
 			}
 		}()
@@ -201,16 +251,57 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 	})
 }
 
-// instrument records per-route request counts and latency and tracks
-// the handler in the drain group.
+// reqState carries per-request observability state between middleware
+// layers: the trace id adopted from (or minted for) the request, and the
+// time it spent queued for admission. run writes admissionWait before
+// the handler returns, so instrument's read after next() never races.
+type reqState struct {
+	traceID       string
+	admissionWait time.Duration
+}
+
+type reqStateKey struct{}
+
+// stateFrom returns the request's observability state, or nil outside
+// the instrument middleware (direct handler tests).
+func stateFrom(ctx context.Context) *reqState {
+	st, _ := ctx.Value(reqStateKey{}).(*reqState)
+	return st
+}
+
+// traceIDFor adopts the trace-id from an incoming W3C traceparent
+// header, or mints a fresh one.
+func traceIDFor(r *http.Request) string {
+	if id := trace.ParseTraceparent(r.Header.Get("traceparent")); id != "" {
+		return id
+	}
+	return trace.NewID()
+}
+
+// instrument is the observability middleware: it resolves the request's
+// trace id (honoring an incoming traceparent), echoes it in the response
+// headers, records per-route counts and latency, tracks the handler in
+// the drain group, and emits one structured summary line per request.
 func (s *Server) instrument(route string, next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.wg.Add(1)
 		defer s.wg.Done()
 		t0 := time.Now()
+		st := &reqState{traceID: traceIDFor(r)}
+		r = r.WithContext(context.WithValue(r.Context(), reqStateKey{}, st))
+		w.Header().Set("X-Trace-Id", st.traceID)
+		w.Header().Set("Traceparent", trace.Traceparent(st.traceID))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		next(sw, r)
-		s.met.observeRequest(route, sw.code, time.Since(t0))
+		d := time.Since(t0)
+		s.met.observeRequest(route, sw.code, d)
+		s.cfg.Logger.Info("request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.code),
+			slog.Duration("dur", d),
+			slog.String("trace_id", st.traceID),
+			slog.Duration("admission_wait", st.admissionWait))
 	}
 }
 
@@ -260,7 +351,12 @@ func (s *Server) timeoutFor(r *http.Request) time.Duration {
 // before declaring the store quiesced. fn must not touch the
 // ResponseWriter.
 func (s *Server) run(w http.ResponseWriter, r *http.Request, fn func() (any, int, error)) {
-	switch err := s.adm.Acquire(r.Context()); {
+	admT := time.Now()
+	err := s.adm.Acquire(r.Context())
+	if st := stateFrom(r.Context()); st != nil {
+		st.admissionWait = time.Since(admT)
+	}
+	switch {
 	case err == nil:
 		s.met.addAdmitted()
 	case errors.Is(err, ErrSaturated):
@@ -289,7 +385,11 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, fn func() (any, int
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.met.addPanic()
-				s.cfg.ErrorLog.Printf("server: panic in %s %s worker: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				s.cfg.Logger.Error("panic in request worker",
+					slog.String("method", r.Method),
+					slog.String("path", r.URL.Path),
+					slog.Any("panic", rec),
+					slog.String("stack", string(debug.Stack())))
 				ch <- outcome{nil, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec)}
 			}
 		}()

@@ -109,6 +109,35 @@ func (e *testEnv) doJSON(t testing.TB, method, path string, body any) (int, []by
 	return resp.StatusCode, raw
 }
 
+// goldenTraceID pins the trace id in golden responses: the golden
+// queries send a traceparent carrying it, so the server adopts it
+// instead of minting a random one and the bodies stay byte-stable.
+const goldenTraceID = "0af7651916cd43dd8448eb211c80319c"
+
+// doJSONTraced is doJSON with a fixed W3C traceparent attached.
+func (e *testEnv) doJSONTraced(t testing.TB, method, path string, body any) (int, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(method, e.ts.URL+path, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", "00-"+goldenTraceID+"-b7ad6b7169203331-01")
+	resp, err := e.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
 func decodeInto[T any](t testing.TB, raw []byte) T {
 	t.Helper()
 	var v T
@@ -144,7 +173,7 @@ func TestGoldenQueries(t *testing.T) {
 	}
 	for _, q := range queries {
 		t.Run(q.name, func(t *testing.T) {
-			code, body := env.doJSON(t, "POST", "/query", map[string]any{"gremlin": q.gremlin})
+			code, body := env.doJSONTraced(t, "POST", "/query", map[string]any{"gremlin": q.gremlin})
 			if code != http.StatusOK {
 				t.Fatalf("query %q: %d %s", q.gremlin, code, body)
 			}
@@ -473,7 +502,7 @@ func TestCheckpointOnDurableStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer store.Close()
-	srv := New(store, Config{})
+	srv := New(store, Config{ErrorLog: log.New(io.Discard, "", 0)})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	defer srv.Close(context.Background())
@@ -556,7 +585,7 @@ func TestShutdownRejectsNewRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(store, Config{})
+	srv := New(store, Config{ErrorLog: log.New(io.Discard, "", 0)})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	if err := srv.Close(context.Background()); err != nil {

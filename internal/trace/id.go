@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"math/rand/v2"
+	"strings"
+)
+
+const hexDigits = "0123456789abcdef"
+
+func appendHex64(dst []byte, v uint64) []byte {
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hexDigits[(v>>uint(shift))&0xF])
+	}
+	return dst
+}
+
+// NewID mints a 128-bit lowercase-hex trace id (the W3C trace-id shape).
+func NewID() string {
+	buf := make([]byte, 0, 32)
+	buf = appendHex64(buf, rand.Uint64())
+	buf = appendHex64(buf, rand.Uint64())
+	return string(buf)
+}
+
+// newSpanID mints a 64-bit lowercase-hex parent-id for traceparent.
+func newSpanID() string {
+	return string(appendHex64(make([]byte, 0, 16), rand.Uint64()))
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceparent extracts the trace-id from a W3C traceparent header
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>"). It returns
+// "" when the header is absent or malformed, or when the trace-id is
+// all zeros (which the spec forbids).
+func ParseTraceparent(h string) string {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 {
+		return ""
+	}
+	ver, id, parent, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(ver) != 2 || len(id) != 32 || len(parent) != 16 || len(flags) != 2 {
+		return ""
+	}
+	if !isHex(ver) || !isHex(id) || !isHex(parent) || !isHex(flags) {
+		return ""
+	}
+	if ver == "ff" || id == strings.Repeat("0", 32) {
+		return ""
+	}
+	return id
+}
+
+// Traceparent formats a W3C traceparent header carrying the given
+// trace-id with a fresh parent-id and the sampled flag set.
+func Traceparent(traceID string) string {
+	return "00-" + traceID + "-" + newSpanID() + "-01"
+}

@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"log/slog"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Ring is a lock-free bounded buffer of finished traces: writers claim a
+// slot with one atomic add and publish with one atomic pointer store, so
+// recording never contends with readers or other writers. The sequence
+// number lives in the slot entry, not the trace, so one trace can sit in
+// several rings (recent + slow) without Add mutating shared state.
+type Ring struct {
+	slots []atomic.Pointer[ringEntry]
+	seq   atomic.Uint64
+}
+
+type ringEntry struct {
+	seq uint64
+	t   *Trace
+}
+
+// NewRing creates a ring retaining the last n traces.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[ringEntry], n)}
+}
+
+// Add publishes a finished trace, evicting the oldest when full. The
+// trace must not be mutated after Add.
+func (r *Ring) Add(t *Trace) {
+	seq := r.seq.Add(1)
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(&ringEntry{seq: seq, t: t})
+}
+
+// Snapshot returns the retained traces, newest first. Concurrent Adds
+// may or may not be observed; every returned trace is fully published.
+func (r *Ring) Snapshot() []*Trace {
+	entries := make([]*ringEntry, 0, len(r.slots))
+	for i := range r.slots {
+		if e := r.slots[i].Load(); e != nil {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq > entries[j].seq })
+	out := make([]*Trace, len(entries))
+	for i, e := range entries {
+		out[i] = e.t
+	}
+	return out
+}
+
+// Get returns the newest retained trace with the given id, or nil.
+func (r *Ring) Get(id string) *Trace {
+	var best *ringEntry
+	for i := range r.slots {
+		if e := r.slots[i].Load(); e != nil && e.t.ID == id {
+			if best == nil || e.seq > best.seq {
+				best = e
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.t
+}
+
+// DefaultSlowThreshold is the slow-query threshold when none is set.
+const DefaultSlowThreshold = 250 * time.Millisecond
+
+// DefaultRingSize is the per-kind trace retention when none is set.
+const DefaultRingSize = 128
+
+// Recorder retains recent traces per kind plus a slow log, and keeps the
+// write-path counters (WAL appends, fsyncs, checkpoints, vacuums) the
+// metrics endpoint exposes. All methods are safe for concurrent use. The
+// rings sit behind atomic pointers so retention can be resized after
+// construction (SetRingSize) without locking the record path.
+type Recorder struct {
+	queries atomic.Pointer[Ring]
+	writes  atomic.Pointer[Ring]
+	slow    atomic.Pointer[Ring]
+
+	slowNs    atomic.Int64
+	slowCount atomic.Uint64
+	logger    atomic.Pointer[slog.Logger]
+
+	walAppends   atomic.Uint64
+	walAppendNs  atomic.Int64
+	walFsyncs    atomic.Uint64
+	walFsyncNs   atomic.Int64
+	checkpoints  atomic.Uint64
+	checkpointNs atomic.Int64
+	vacuums      atomic.Uint64
+	vacuumNs     atomic.Int64
+}
+
+// NewRecorder creates a recorder retaining n traces per kind (0 = the
+// default) with the given slow threshold (0 = the default, negative =
+// slow logging disabled).
+func NewRecorder(n int, slowThreshold time.Duration) *Recorder {
+	r := &Recorder{}
+	r.SetRingSize(n)
+	r.SetSlowThreshold(slowThreshold)
+	return r
+}
+
+// SetRingSize replaces the trace rings with fresh ones retaining n
+// traces per kind (0 restores the default). Previously retained traces
+// are discarded; in-flight Records land in whichever generation of ring
+// they loaded, so nothing blocks and nothing tears.
+func (r *Recorder) SetRingSize(n int) {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	r.queries.Store(NewRing(n))
+	r.writes.Store(NewRing(n))
+	r.slow.Store(NewRing(n))
+}
+
+// SetSlowThreshold changes the slow-trace threshold (0 restores the
+// default, negative disables slow capture).
+func (r *Recorder) SetSlowThreshold(d time.Duration) {
+	if d == 0 {
+		d = DefaultSlowThreshold
+	}
+	r.slowNs.Store(d.Nanoseconds())
+}
+
+// SlowThreshold reports the active threshold (negative = disabled).
+func (r *Recorder) SlowThreshold() time.Duration {
+	return time.Duration(r.slowNs.Load())
+}
+
+// SetLogger attaches a structured logger for slow-trace log lines.
+func (r *Recorder) SetLogger(l *slog.Logger) { r.logger.Store(l) }
+
+// Record publishes a finished trace: queries and writes land in their
+// rings; anything over the slow threshold is additionally retained in
+// the slow ring, counted, and logged. The Slow flag is set before the
+// trace is published to any ring, so readers never observe a mutation.
+func (r *Recorder) Record(t *Trace) {
+	if t == nil {
+		return
+	}
+	slow := false
+	if thresh := r.slowNs.Load(); thresh >= 0 && t.DurNs >= thresh {
+		t.Slow = true
+		slow = true
+	}
+	if t.Kind == "write" {
+		r.writes.Load().Add(t)
+	} else {
+		r.queries.Load().Add(t)
+	}
+	if slow {
+		r.slow.Load().Add(t)
+		r.slowCount.Add(1)
+		if l := r.logger.Load(); l != nil {
+			l.Warn("slow "+t.Kind,
+				slog.String("trace_id", t.ID),
+				slog.String("name", t.Name),
+				slog.Duration("dur", t.Duration()),
+				slog.String("error", t.Err))
+		}
+	}
+}
+
+// Queries returns the retained query traces, newest first.
+func (r *Recorder) Queries() []*Trace { return r.queries.Load().Snapshot() }
+
+// Writes returns the retained write traces, newest first.
+func (r *Recorder) Writes() []*Trace { return r.writes.Load().Snapshot() }
+
+// Slow returns the retained slow traces, newest first.
+func (r *Recorder) Slow() []*Trace { return r.slow.Load().Snapshot() }
+
+// SlowCount reports how many traces crossed the slow threshold.
+func (r *Recorder) SlowCount() uint64 { return r.slowCount.Load() }
+
+// Get finds a retained trace by id (queries, then writes, then slow).
+func (r *Recorder) Get(id string) *Trace {
+	if t := r.queries.Load().Get(id); t != nil {
+		return t
+	}
+	if t := r.writes.Load().Get(id); t != nil {
+		return t
+	}
+	return r.slow.Load().Get(id)
+}
+
+// ObserveWALAppend charges one WAL buffer append.
+func (r *Recorder) ObserveWALAppend(d time.Duration) {
+	r.walAppends.Add(1)
+	r.walAppendNs.Add(d.Nanoseconds())
+}
+
+// ObserveWALFsync charges one group-commit flush+fsync.
+func (r *Recorder) ObserveWALFsync(d time.Duration) {
+	r.walFsyncs.Add(1)
+	r.walFsyncNs.Add(d.Nanoseconds())
+}
+
+// ObserveCheckpoint charges one checkpoint (snapshot dump + log reset).
+func (r *Recorder) ObserveCheckpoint(d time.Duration) {
+	r.checkpoints.Add(1)
+	r.checkpointNs.Add(d.Nanoseconds())
+}
+
+// ObserveVacuum charges one vacuum pass.
+func (r *Recorder) ObserveVacuum(d time.Duration) {
+	r.vacuums.Add(1)
+	r.vacuumNs.Add(d.Nanoseconds())
+}
+
+// WriteStats is a snapshot of the write-path counters.
+type WriteStats struct {
+	WALAppends   uint64
+	WALAppendNs  int64
+	WALFsyncs    uint64
+	WALFsyncNs   int64
+	Checkpoints  uint64
+	CheckpointNs int64
+	Vacuums      uint64
+	VacuumNs     int64
+}
+
+// WriteStats returns the current write-path counters.
+func (r *Recorder) WriteStats() WriteStats {
+	return WriteStats{
+		WALAppends:   r.walAppends.Load(),
+		WALAppendNs:  r.walAppendNs.Load(),
+		WALFsyncs:    r.walFsyncs.Load(),
+		WALFsyncNs:   r.walFsyncNs.Load(),
+		Checkpoints:  r.checkpoints.Load(),
+		CheckpointNs: r.checkpointNs.Load(),
+		Vacuums:      r.vacuums.Load(),
+		VacuumNs:     r.vacuumNs.Load(),
+	}
+}

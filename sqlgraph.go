@@ -28,6 +28,7 @@ import (
 	"sqlgraph/internal/blueprints"
 	"sqlgraph/internal/core"
 	"sqlgraph/internal/engine"
+	"sqlgraph/internal/trace"
 	"sqlgraph/internal/translate"
 )
 
@@ -98,6 +99,10 @@ type Result struct {
 	// rows examined per operator, and morsel fan-out. Stats.String()
 	// renders a compact plan summary.
 	Stats engine.ExecStats
+	// Trace is the query's span tree — parse → translate → plan →
+	// execute with one timed child per operator. Trace.Text() renders
+	// the EXPLAIN ANALYZE plan tree.
+	Trace *trace.Trace
 }
 
 // Count returns the number of emitted objects.
@@ -171,7 +176,7 @@ func (g *Graph) Query(gremlin string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Values: r.Values, Stats: r.Stats}, nil
+	return &Result{Values: r.Values, Stats: r.Stats, Trace: r.Trace}, nil
 }
 
 // QueryWithOptions runs a query with explicit translation options.
@@ -184,7 +189,7 @@ func (g *Graph) QueryWithOptions(gremlin string, opts QueryOptions) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Values: r.Values, Stats: r.Stats}, nil
+	return &Result{Values: r.Values, Stats: r.Stats, Trace: r.Trace}, nil
 }
 
 // Translate compiles a Gremlin query to SQL without executing it.
@@ -333,7 +338,7 @@ func (s *Snapshot) Query(gremlin string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Values: r.Values, Stats: r.Stats}, nil
+	return &Result{Values: r.Values, Stats: r.Stats, Trace: r.Trace}, nil
 }
 
 // QueryWithOptions runs a query against the snapshot with explicit
@@ -347,7 +352,7 @@ func (s *Snapshot) QueryWithOptions(gremlin string, opts QueryOptions) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Values: r.Values, Stats: r.Stats}, nil
+	return &Result{Values: r.Values, Stats: r.Stats, Trace: r.Trace}, nil
 }
 
 // VertexExists reports whether the vertex was live at the snapshot.
