@@ -8,7 +8,7 @@
 //
 //	microbench [-scale tiny|small|medium|large] [-exp all|adjacency|attributes|stats|neighbors|paths|ablations]
 //	           [-json BENCH_engine.json] [-baseline BENCH_engine.json] [-maxratio 2.0]
-//	           [-concurrency N] [-http N] [-serve addr] [-duration 2s] [-parallel N]
+//	           [-concurrency N] [-http N] [-replicas N] [-serve addr] [-duration 2s] [-parallel N]
 //
 // With -json, the Figure 5/6 workloads are additionally run one query
 // per statement and their per-query ns/op written to the given file
@@ -27,6 +27,13 @@
 // p50/p99 end-to-end latency. The per-workload p50s are folded into the
 // -json report and the -baseline comparison as figure "http" entries,
 // so server-side regressions trip the same geomean gate.
+//
+// With -replicas N, the streaming-replication read-scaling experiment
+// runs: a durable primary is bulk-loaded, and for each point 1..N
+// followers bootstrap from /snapshot and tail /wal while concurrent
+// clients round-robin point reads across the fleet under live write
+// churn. The per-point p50s join the -json report and -baseline gate
+// as figure "replication" entries.
 //
 // With -serve addr, the benchmark dataset is served over HTTP on addr
 // (blocking) so external load generators can drive it.
@@ -54,6 +61,7 @@ func main() {
 	maxRatio := flag.Float64("maxratio", 2.0, "fail -baseline comparison when the geomean slowdown exceeds this")
 	concurrency := flag.Int("concurrency", 0, "run the concurrent snapshot-read experiment with up to N readers")
 	httpClients := flag.Int("http", 0, "drive an in-process HTTP server with N concurrent clients")
+	replicas := flag.Int("replicas", 0, "measure read scaling across 1..N streaming-replication followers")
 	serveAddr := flag.String("serve", "", "serve the benchmark dataset over HTTP on this address (blocks)")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per concurrency point")
 	parallel := flag.Int("parallel", 0, "executor parallelism: 0 = GOMAXPROCS, 1 = serial")
@@ -111,6 +119,17 @@ func main() {
 		if err != nil {
 			log.Fatalf("http bench: %v", err)
 		}
+	}
+	if *replicas > 0 {
+		clients := *httpClients
+		if clients <= 0 {
+			clients = 8
+		}
+		replEntries, err := experiments.ReplicationLoadBench(env, *replicas, clients, *duration, os.Stdout)
+		if err != nil {
+			log.Fatalf("replication bench: %v", err)
+		}
+		httpEntries = append(httpEntries, replEntries...)
 	}
 
 	if *jsonPath == "" && *baselinePath == "" {

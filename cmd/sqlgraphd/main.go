@@ -6,13 +6,20 @@
 // Usage:
 //
 //	sqlgraphd [-addr :8080] [-dir path] [-dataset sample|dbpedia] [-scale tiny|small|medium]
-//	          [-inflight 64] [-queue 64] [-timeout 30s] [-session-ttl 60s]
+//	          [-replica-of addr] [-inflight 64] [-queue 64] [-timeout 30s] [-session-ttl 60s]
 //	          [-max-body 1048576] [-parallel N] [-slow-query 250ms]
 //	          [-trace-buffer 128] [-pprof] [-log-json]
 //
 // With -dir the daemon opens (or creates) a durable store there; without
 // it, the selected dataset is built in memory (sample = the paper's
 // Figure 2a graph — handy for the quickstart).
+//
+// With -replica-of the daemon runs as a read-only follower: it
+// bootstraps from the primary's /snapshot into -dir (required), tails
+// the primary's /wal stream with checksum verification and
+// backoff-capped reconnects, and serves reads from its own durable
+// copy. Mutations are refused with 421 pointing at the primary.
+// /healthz and /metrics expose role, applied LSN, and staleness.
 //
 // Endpoints (all JSON):
 //
@@ -64,6 +71,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dir := flag.String("dir", "", "durable store directory (empty = in-memory dataset)")
+	replicaOf := flag.String("replica-of", "", "primary address to follow (read-only replica mode; requires -dir)")
 	dataset := flag.String("dataset", "sample", "in-memory dataset: sample (paper Figure 2a) or dbpedia")
 	scale := flag.String("scale", "tiny", "dbpedia dataset scale: tiny, small, medium")
 	inflight := flag.Int("inflight", 64, "max concurrently executing requests")
@@ -92,9 +100,30 @@ func main() {
 		os.Exit(1)
 	}
 
-	store, err := openStore(*dir, *dataset, *scale)
-	if err != nil {
-		fatal("open store", err)
+	var store *core.Store
+	var rep *server.Replicator
+	if *replicaOf != "" {
+		if *dir == "" {
+			fatal("replica mode", errors.New("-replica-of requires -dir for the follower's durable copy"))
+		}
+		bootCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		var err error
+		rep, err = server.NewReplicator(bootCtx, server.ReplicaConfig{
+			Primary: *replicaOf,
+			Dir:     *dir,
+			Logger:  logger,
+		})
+		cancel()
+		if err != nil {
+			fatal("replica bootstrap", err)
+		}
+		store = rep.Store()
+	} else {
+		var err error
+		store, err = openStore(*dir, *dataset, *scale)
+		if err != nil {
+			fatal("open store", err)
+		}
 	}
 	store.SetParallelism(*parallel)
 
@@ -109,11 +138,20 @@ func main() {
 		TraceBuffer:    *traceBuffer,
 		EnablePprof:    *enablePprof,
 	})
+	if rep != nil {
+		srv.AttachReplica(rep)
+		rep.Start()
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
+	role := "primary"
+	if rep != nil {
+		role = "replica of " + rep.PrimaryURL()
+	}
 	go func() {
 		logger.Info("sqlgraphd listening",
 			slog.String("addr", *addr),
+			slog.String("role", role),
 			slog.Int("vertices", store.CountVertices()),
 			slog.Int("edges", store.CountEdges()),
 			slog.Bool("pprof", *enablePprof))
@@ -136,6 +174,10 @@ func main() {
 	}
 	if err := srv.Close(ctx); err != nil {
 		logger.Error("drain", slog.Any("error", err))
+	}
+	if rep != nil {
+		rep.Stop()
+		store = rep.Store() // a resync may have swapped the live store
 	}
 	if pins := store.PinnedSnapshots(); pins != 0 {
 		logger.Warn("snapshot pins leaked", slog.Int("pins", pins))

@@ -271,10 +271,27 @@ func (s *Store) Checkpoint() (err error) {
 	}()
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+
+	dumpT := time.Now()
+	snap, err := s.dumpSnapshot()
+	if err != nil {
+		return err
+	}
+	w.observe("dump", dumpT, time.Since(dumpT))
+	wrT := time.Now()
+	err = s.wal.WriteSnapshot(snap)
+	w.observe("snapshot-write", wrT, time.Since(wrT))
+	return err
+}
+
+// dumpSnapshot collects the full catalog as a snapshot value. The caller
+// must hold snapMu; the read locks the footprint transaction takes on
+// every table exclude in-flight writers, so the log position observed
+// here covers exactly the committed state being dumped.
+func (s *Store) dumpSnapshot() (*wal.Snapshot, error) {
 	tx := s.fpReadAll.Begin()
 	defer tx.Rollback()
 
-	dumpT := time.Now()
 	snap := &wal.Snapshot{
 		LastLSN:    s.wal.LastLSN(),
 		OutCols:    s.outCols,
@@ -294,15 +311,11 @@ func (s *Store) Checkpoint() (err error) {
 			rows = append(rows, append([]rel.Value(nil), vals...))
 			return true
 		}); err != nil {
-			return err
+			return nil, err
 		}
 		snap.Tables[name] = rows
 	}
-	w.observe("dump", dumpT, time.Since(dumpT))
-	wrT := time.Now()
-	err = s.wal.WriteSnapshot(snap)
-	w.observe("snapshot-write", wrT, time.Since(wrT))
-	return err
+	return snap, nil
 }
 
 // Close flushes and closes the WAL. In-memory stores close trivially.

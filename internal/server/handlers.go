@@ -139,14 +139,35 @@ func (s *Server) acquireRead(r *http.Request) (view readView, release func(), er
 		}
 		return sess.snap, func() { s.sess.Done(sess) }, nil
 	}
-	snap := s.store.Snapshot()
+	snap := s.st().Snapshot()
 	return snap, snap.Close, nil
 }
 
 // ---- health, metrics, stats ---------------------------------------------
 
+// handleHealth answers liveness plus role detail. The body stays a
+// single small JSON object and always carries "status":"ok" with a 200,
+// so load-balancer probes that just match the status line or the "ok"
+// token keep their fast path; orchestration that cares about roles
+// reads the rest. A degraded follower is still "ok" — it serves reads —
+// with its staleness spelled out in lag_seconds/connected.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	body := map[string]any{"status": "ok"}
+	if rep := s.replica.Load(); rep != nil {
+		st := rep.Status()
+		body["role"] = "replica"
+		body["primary"] = st.Primary
+		body["state"] = st.State
+		body["connected"] = st.Connected
+		body["applied_lsn"] = st.AppliedLSN
+		body["primary_lsn"] = st.PrimaryLSN
+		body["lag_seconds"] = st.LagSeconds
+	} else {
+		body["role"] = "primary"
+		body["applied_lsn"] = s.st().AppliedLSN()
+		body["durable"] = s.st().Dir() != ""
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -157,26 +178,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.run(w, r, func() (any, int, error) {
-		out, in, va, err := s.store.Stats()
+		out, in, va, err := s.st().Stats()
 		if err != nil {
 			return nil, statusFor(err), err
 		}
 		return map[string]any{
 			"hash_tables":      map[string]any{"out": out.String(), "in": in.String()},
 			"vertex_attr_rows": va.Rows,
-			"vertices":         s.store.CountVertices(),
-			"edges":            s.store.CountEdges(),
-			"bytes":            s.store.TotalBytes(),
-			"pinned_snapshots": s.store.PinnedSnapshots(),
+			"vertices":         s.st().CountVertices(),
+			"edges":            s.st().CountEdges(),
+			"bytes":            s.st().TotalBytes(),
+			"pinned_snapshots": s.st().PinnedSnapshots(),
 			"sessions_open":    s.sess.Open(),
-			"version":          uint64(s.store.Catalog().CurrentVersion()),
+			"version":          uint64(s.st().Catalog().CurrentVersion()),
 		}, http.StatusOK, nil
 	})
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	s.run(w, r, func() (any, int, error) {
-		vs := core.Check(s.store)
+		vs := core.Check(s.st())
 		out := make([]string, len(vs))
 		for i, v := range vs {
 			out[i] = v.String()
@@ -187,7 +208,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleVacuum(w http.ResponseWriter, r *http.Request) {
 	s.run(w, r, func() (any, int, error) {
-		n, err := s.store.Vacuum()
+		n, err := s.st().Vacuum()
 		if err != nil {
 			return nil, statusFor(err), err
 		}
@@ -197,7 +218,7 @@ func (s *Server) handleVacuum(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	s.run(w, r, func() (any, int, error) {
-		if err := s.store.Checkpoint(); err != nil {
+		if err := s.st().Checkpoint(); err != nil {
 			return nil, statusFor(err), err
 		}
 		return map[string]any{"checkpointed": true}, http.StatusOK, nil
@@ -216,7 +237,7 @@ type debugQueriesResponse struct {
 }
 
 func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
-	rec := s.store.Tracer()
+	rec := s.st().Tracer()
 	writeJSON(w, http.StatusOK, debugQueriesResponse{
 		Recent:    rec.Queries(),
 		Slow:      rec.Slow(),
@@ -227,7 +248,7 @@ func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDebugQueryGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	t := s.store.Tracer().Get(id)
+	t := s.st().Tracer().Get(id)
 	if t == nil {
 		writeError(w, http.StatusNotFound, "no retained trace with id "+id)
 		return
@@ -267,7 +288,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			ver = sess.snap.Version()
 			res, err = sess.snap.QueryTraced(req.Gremlin, req.Options.internal(), traceID)
 		} else {
-			snap := s.store.Snapshot()
+			snap := s.st().Snapshot()
 			defer snap.Close()
 			ver = snap.Version()
 			res, err = snap.QueryTraced(req.Gremlin, req.Options.internal(), traceID)
@@ -302,7 +323,7 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.run(w, r, func() (any, int, error) {
-		tr, err := s.store.Translate(req.Gremlin, req.Options.internal())
+		tr, err := s.st().Translate(req.Gremlin, req.Options.internal())
 		if err != nil {
 			return nil, statusFor(err), err
 		}
@@ -314,7 +335,7 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.run(w, r, func() (any, int, error) {
-		sess, err := s.sess.Create(s.store)
+		sess, err := s.sess.Create(s.st())
 		if err != nil {
 			return nil, statusFor(err), err
 		}
@@ -431,7 +452,7 @@ func (s *Server) handleVertexAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.run(w, r, func() (any, int, error) {
-		if err := s.store.AddVertex(body.ID, body.Attrs); err != nil {
+		if err := s.st().AddVertex(body.ID, body.Attrs); err != nil {
 			return nil, statusFor(err), err
 		}
 		return vertexBody{ID: body.ID, Attrs: body.Attrs}, http.StatusCreated, nil
@@ -444,7 +465,7 @@ func (s *Server) handleVertexDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.run(w, r, func() (any, int, error) {
-		if err := s.store.RemoveVertex(id); err != nil {
+		if err := s.st().RemoveVertex(id); err != nil {
 			return nil, statusFor(err), err
 		}
 		return map[string]any{"removed": id}, http.StatusOK, nil
@@ -457,7 +478,7 @@ func (s *Server) handleEdgeAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.run(w, r, func() (any, int, error) {
-		if err := s.store.AddEdge(body.ID, body.From, body.To, body.Label, body.Attrs); err != nil {
+		if err := s.st().AddEdge(body.ID, body.From, body.To, body.Label, body.Attrs); err != nil {
 			return nil, statusFor(err), err
 		}
 		return body, http.StatusCreated, nil
@@ -470,7 +491,7 @@ func (s *Server) handleEdgeDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.run(w, r, func() (any, int, error) {
-		if err := s.store.RemoveEdge(id); err != nil {
+		if err := s.st().RemoveEdge(id); err != nil {
 			return nil, statusFor(err), err
 		}
 		return map[string]any{"removed": id}, http.StatusOK, nil
@@ -481,11 +502,11 @@ func (s *Server) handleEdgeDelete(w http.ResponseWriter, r *http.Request) {
 // "remove": [...]} patch. Sets are applied in sorted key order so a
 // patch is deterministic.
 func (s *Server) handleVertexAttrs(w http.ResponseWriter, r *http.Request) {
-	s.handleAttrPatch(w, r, s.store.SetVertexAttr, s.store.RemoveVertexAttr)
+	s.handleAttrPatch(w, r, s.st().SetVertexAttr, s.st().RemoveVertexAttr)
 }
 
 func (s *Server) handleEdgeAttrs(w http.ResponseWriter, r *http.Request) {
-	s.handleAttrPatch(w, r, s.store.SetEdgeAttr, s.store.RemoveEdgeAttr)
+	s.handleAttrPatch(w, r, s.st().SetEdgeAttr, s.st().RemoveEdgeAttr)
 }
 
 func (s *Server) handleAttrPatch(w http.ResponseWriter, r *http.Request,

@@ -65,6 +65,9 @@ type metrics struct {
 	// no lock coordination with the query path is needed).
 	slowCount  func() uint64
 	writeStats func() trace.WriteStats
+
+	// Set when this server is a follower (Server.AttachReplica).
+	replica func() ReplicaStatus
 }
 
 func newMetrics() *metrics {
@@ -224,6 +227,20 @@ func (m *metrics) write(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE sqlgraphd_checkpoint_seconds_total counter\nsqlgraphd_checkpoint_seconds_total %g\n", sec(ws.CheckpointNs))
 		fmt.Fprintf(w, "# TYPE sqlgraphd_vacuums_total counter\nsqlgraphd_vacuums_total %d\n", ws.Vacuums)
 		fmt.Fprintf(w, "# TYPE sqlgraphd_vacuum_seconds_total counter\nsqlgraphd_vacuum_seconds_total %g\n", sec(ws.VacuumNs))
+	}
+
+	if m.replica != nil {
+		st := m.replica()
+		conn := 0
+		if st.Connected {
+			conn = 1
+		}
+		fmt.Fprintf(w, "# TYPE sqlgraphd_replica_applied_lsn gauge\nsqlgraphd_replica_applied_lsn %d\n", st.AppliedLSN)
+		fmt.Fprintf(w, "# TYPE sqlgraphd_replica_primary_lsn gauge\nsqlgraphd_replica_primary_lsn %d\n", st.PrimaryLSN)
+		fmt.Fprintf(w, "# TYPE sqlgraphd_replica_lag_seconds gauge\nsqlgraphd_replica_lag_seconds %g\n", st.LagSeconds)
+		fmt.Fprintf(w, "# TYPE sqlgraphd_replica_connected gauge\nsqlgraphd_replica_connected %d\n", conn)
+		fmt.Fprintf(w, "# TYPE sqlgraphd_replica_reconnects_total counter\nsqlgraphd_replica_reconnects_total %d\n", st.Reconnects)
+		fmt.Fprintf(w, "# TYPE sqlgraphd_replica_resyncs_total counter\nsqlgraphd_replica_resyncs_total %d\n", st.Resyncs)
 	}
 }
 

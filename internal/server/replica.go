@@ -1,0 +1,518 @@
+package server
+
+// Streaming WAL replication. The primary exposes its checksummed log as
+// a chunked HTTP stream (GET /wal?from=lsn) plus a bootstrap snapshot
+// (GET /snapshot); a Replicator tails that stream into its own durable
+// store and re-applies each record through the stored procedures, which
+// assign the same LSNs the primary did — so the follower's local log
+// position doubles as its replication cursor, persisted atomically with
+// the data (see core.ApplyReplicated). Robustness:
+//
+//   - The wire format is the log format: every frame is CRC-verified on
+//     receive, and a connection cut mid-frame is detected as a torn
+//     stream, never applied.
+//   - Reconnects use jittered exponential backoff and resume from the
+//     follower's applied LSN; redelivered records are skipped by LSN.
+//   - If the primary has checkpointed past the follower's position
+//     (410 on /wal) the follower re-bootstraps from /snapshot, swapping
+//     the freshly installed store under live read traffic.
+//   - A follower that loses its primary keeps serving snapshot reads,
+//     reports the growing lag on /healthz and /metrics, and resumes
+//     automatically when the primary returns.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlgraph/internal/core"
+	"sqlgraph/internal/wal"
+)
+
+// ---- primary side: /wal and /snapshot -----------------------------------
+
+// primaryOnly refuses mutations on a follower with 421 Misdirected
+// Request, pointing the client at the primary. Reads are unaffected.
+func (s *Server) primaryOnly(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if rep := s.replica.Load(); rep != nil {
+			w.Header().Set("Location", rep.PrimaryURL())
+			writeError(w, http.StatusMisdirectedRequest,
+				"read-only replica: send writes to primary "+rep.PrimaryURL())
+			return
+		}
+		next(w, r)
+	}
+}
+
+// handleSnapshot serves a consistent point-in-time snapshot for replica
+// bootstrap. The primary's log is not truncated, so a tail started at
+// X-Snapshot-LSN+1 has no gap.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	data, lsn, err := s.st().SnapshotBytes()
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Snapshot-LSN", strconv.FormatUint(lsn, 10))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleWALStream streams log frames from ?from= onward as a chunked
+// octet stream, holding the connection open and pushing new frames as
+// the primary commits. While idle it interleaves heartbeat frames
+// carrying the primary's last LSN, so followers can measure lag and
+// liveness. A from already folded into the primary's snapshot gets 410:
+// the follower must re-bootstrap.
+func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	store := s.st()
+	if store.Dir() == "" {
+		writeError(w, http.StatusBadRequest, "wal streaming requires a durable store")
+		return
+	}
+	from := uint64(1)
+	if raw := r.URL.Query().Get("from"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad from: "+raw)
+			return
+		}
+		from = v
+	}
+	tail, err := wal.OpenTail(store.Dir(), from)
+	if errors.Is(err, wal.ErrGap) {
+		writeError(w, http.StatusGone, err.Error())
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	defer tail.Close()
+
+	fl, canFlush := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	send := func(b []byte) bool {
+		if _, err := w.Write(b); err != nil {
+			return false
+		}
+		if canFlush {
+			fl.Flush()
+		}
+		return true
+	}
+	heartbeat := func() []byte {
+		return wal.AppendWireFrame(nil, wal.Record{LSN: s.st().AppliedLSN(), Op: wal.OpHeartbeat})
+	}
+	// Immediate heartbeat: the follower learns the primary's position
+	// (and that the link is up) before the first record arrives.
+	if !send(heartbeat()) {
+		return
+	}
+	lastSend := time.Now()
+	ctx := r.Context()
+	for {
+		// s.closed makes streams exit during shutdown so Close's drain
+		// (which waits on the instrument wait-group) can complete.
+		if s.closed.Load() || ctx.Err() != nil {
+			return
+		}
+		b, _, err := tail.Next()
+		if err != nil {
+			// Gap (a checkpoint overtook this tail) or I/O failure. The
+			// response is already streaming, so just cut it; the follower
+			// reconnects and gets the 410 verdict on a fresh request.
+			return
+		}
+		if len(b) > 0 {
+			if !send(b) {
+				return
+			}
+			lastSend = time.Now()
+			continue // keep draining without sleeping while behind
+		}
+		if time.Since(lastSend) >= s.cfg.ReplicationHeartbeat {
+			if !send(heartbeat()) {
+				return
+			}
+			lastSend = time.Now()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(s.cfg.ReplicationPoll):
+		}
+	}
+}
+
+// ---- follower side: Replicator ------------------------------------------
+
+// ReplicaConfig tunes a Replicator. Primary and Dir are required.
+type ReplicaConfig struct {
+	// Primary is the primary's base URL (scheme optional, http assumed).
+	Primary string
+	// Dir is the follower's own durable directory.
+	Dir string
+	// Client issues the long-lived streaming requests (default: a client
+	// with no overall timeout — the stream is meant to live forever).
+	Client *http.Client
+	// BackoffBase/BackoffMax bound the jittered exponential reconnect
+	// backoff (defaults 100ms / 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	Logger      *slog.Logger
+}
+
+// ReplicaStatus is a point-in-time view of replication health.
+type ReplicaStatus struct {
+	Primary    string  `json:"primary"`
+	State      string  `json:"state"` // streaming | bootstrapping | degraded
+	Connected  bool    `json:"connected"`
+	AppliedLSN uint64  `json:"applied_lsn"`
+	PrimaryLSN uint64  `json:"primary_lsn"`
+	LagSeconds float64 `json:"lag_seconds"`
+	Reconnects uint64  `json:"reconnects"`
+	Resyncs    uint64  `json:"resyncs"`
+}
+
+// Replicator tails a primary's WAL into a local durable store.
+type Replicator struct {
+	cfg    ReplicaConfig
+	client *http.Client
+	log    *slog.Logger
+
+	store  atomic.Pointer[core.Store]
+	onSwap func(*core.Store) // set by Server.AttachReplica
+
+	mu           sync.Mutex
+	state        string
+	connected    bool
+	primaryLSN   uint64
+	lastCaughtUp time.Time
+	reconnects   uint64
+	resyncs      uint64
+
+	cancel   context.CancelFunc
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewReplicator opens the follower's local store, bootstrapping it from
+// the primary's /snapshot when the directory is empty. With existing
+// local state an unreachable primary is NOT an error: the follower
+// starts degraded, serves its stale reads, and Run keeps retrying. With
+// no local state there is nothing to serve, so bootstrap failure is
+// fatal.
+func NewReplicator(ctx context.Context, cfg ReplicaConfig) (*Replicator, error) {
+	if cfg.Primary == "" || cfg.Dir == "" {
+		return nil, fmt.Errorf("server: replicator needs a primary URL and a directory")
+	}
+	if !strings.Contains(cfg.Primary, "://") {
+		cfg.Primary = "http://" + cfg.Primary
+	}
+	cfg.Primary = strings.TrimRight(cfg.Primary, "/")
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 100 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	rep := &Replicator{
+		cfg:          cfg,
+		client:       cfg.Client,
+		log:          cfg.Logger,
+		state:        "degraded",
+		lastCaughtUp: time.Now(),
+	}
+	if rep.client == nil {
+		rep.client = &http.Client{}
+	}
+	if hasStoreState(cfg.Dir) {
+		st, err := core.Open(core.Options{Dir: cfg.Dir})
+		if err != nil {
+			return nil, fmt.Errorf("server: replica open %s: %w", cfg.Dir, err)
+		}
+		rep.store.Store(st)
+		return rep, nil
+	}
+	if err := rep.resync(ctx); err != nil {
+		return nil, fmt.Errorf("server: replica bootstrap from %s: %w", cfg.Primary, err)
+	}
+	return rep, nil
+}
+
+func hasStoreState(dir string) bool {
+	for _, name := range []string{"snapshot.db", "wal.log"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Store returns the follower's current store (it changes across
+// re-bootstraps). The caller owns closing the final store after Stop.
+func (rep *Replicator) Store() *core.Store { return rep.store.Load() }
+
+// PrimaryURL reports the primary this follower tails.
+func (rep *Replicator) PrimaryURL() string { return rep.cfg.Primary }
+
+// Status reports replication health. Lag is zero while connected and
+// caught up to the primary's last advertised LSN; otherwise it is the
+// time since the follower was last known caught up — i.e. the staleness
+// bound on reads it is serving.
+func (rep *Replicator) Status() ReplicaStatus {
+	applied := rep.Store().AppliedLSN()
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	st := ReplicaStatus{
+		Primary:    rep.cfg.Primary,
+		State:      rep.state,
+		Connected:  rep.connected,
+		AppliedLSN: applied,
+		PrimaryLSN: rep.primaryLSN,
+		Reconnects: rep.reconnects,
+		Resyncs:    rep.resyncs,
+	}
+	if !(rep.connected && applied >= rep.primaryLSN) {
+		st.LagSeconds = time.Since(rep.lastCaughtUp).Seconds()
+	}
+	return st
+}
+
+// Start launches the tailing loop. Stop cancels it and waits.
+func (rep *Replicator) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	rep.cancel = cancel
+	rep.done = make(chan struct{})
+	go rep.run(ctx)
+}
+
+// Stop halts tailing. It does not close the store — readers may still
+// be serving from it; close Store() once the HTTP layer has drained.
+func (rep *Replicator) Stop() {
+	rep.stopOnce.Do(func() {
+		if rep.cancel != nil {
+			rep.cancel()
+			<-rep.done
+		}
+	})
+}
+
+// run reconnects forever with jittered exponential backoff, resuming
+// each attempt from the follower's applied LSN. Any successful
+// connection resets the backoff.
+func (rep *Replicator) run(ctx context.Context) {
+	defer close(rep.done)
+	backoff := rep.cfg.BackoffBase
+	for {
+		connected, err := rep.streamOnce(ctx)
+		rep.setConnected(false, "degraded")
+		if ctx.Err() != nil {
+			return
+		}
+		if connected {
+			backoff = rep.cfg.BackoffBase
+		}
+		if err != nil {
+			rep.log.Warn("replication stream interrupted",
+				slog.String("primary", rep.cfg.Primary),
+				slog.Uint64("applied_lsn", rep.Store().AppliedLSN()),
+				slog.Duration("retry_in", backoff),
+				slog.Any("error", err))
+		}
+		// Full jitter in [backoff/2, backoff): concurrent followers that
+		// lost the same primary spread their reconnects.
+		delay := backoff/2 + rand.N(backoff/2)
+		if !connected || err != nil {
+			backoff = min(backoff*2, rep.cfg.BackoffMax)
+		} else {
+			delay = 0 // clean EOF (primary restarting): retry immediately
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+// streamOnce opens one /wal stream and applies it until it breaks.
+// connected reports whether the primary was reached at all (backoff
+// reset). A clean EOF returns (true, nil).
+func (rep *Replicator) streamOnce(ctx context.Context) (connected bool, err error) {
+	from := rep.Store().AppliedLSN() + 1
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		rep.cfg.Primary+"/wal?from="+strconv.FormatUint(from, 10), nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := rep.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		// The primary checkpointed past our position: the log records we
+		// need are gone. Re-bootstrap from its snapshot.
+		rep.log.Info("replication gap, re-bootstrapping from snapshot",
+			slog.String("primary", rep.cfg.Primary), slog.Uint64("from", from))
+		return true, rep.resync(ctx)
+	default:
+		return false, fmt.Errorf("primary /wal: status %d", resp.StatusCode)
+	}
+	rep.setConnected(true, "streaming")
+	rep.mu.Lock()
+	rep.reconnects++
+	rep.mu.Unlock()
+
+	sr := wal.NewStreamReader(resp.Body)
+	for {
+		rec, rerr := sr.Next()
+		if rerr == io.EOF {
+			return true, nil // primary closed cleanly (shutdown/restart)
+		}
+		if rerr != nil {
+			// Torn mid-frame or failed checksum: nothing partial was
+			// applied; reconnect resumes from the applied LSN.
+			return true, rerr
+		}
+		if rec.Op == wal.OpHeartbeat {
+			rep.notePrimaryLSN(rec.LSN)
+			continue
+		}
+		if _, aerr := rep.Store().ApplyReplicated(rec); aerr != nil {
+			if errors.Is(aerr, core.ErrReplicaGap) {
+				rep.log.Warn("replication sequence break, re-bootstrapping",
+					slog.Any("error", aerr))
+				return true, rep.resync(ctx)
+			}
+			return true, aerr
+		}
+		rep.notePrimaryLSN(rec.LSN)
+	}
+}
+
+// resync replaces the local store with a fresh bootstrap from the
+// primary's snapshot. The swap happens under live read traffic: the new
+// store is installed and published first (via onSwap), while in-flight
+// readers finish on the old store's snapshots.
+func (rep *Replicator) resync(ctx context.Context) error {
+	rep.setState("bootstrapping")
+	rep.mu.Lock()
+	rep.resyncs++
+	rep.mu.Unlock()
+
+	data, snapLSN, err := rep.fetchSnapshot(ctx)
+	if err != nil {
+		rep.setState("degraded")
+		return err
+	}
+	// Close the old store's log before rewriting its directory. Reads on
+	// it still work (the WAL is write-path only), and Close is idempotent
+	// so a failed resync can retry this path safely.
+	if old := rep.Store(); old != nil {
+		if err := old.Close(); err != nil {
+			rep.setState("degraded")
+			return err
+		}
+	}
+	if _, err := wal.InstallSnapshot(rep.cfg.Dir, data); err != nil {
+		rep.setState("degraded")
+		return err
+	}
+	st, err := core.Open(core.Options{Dir: rep.cfg.Dir})
+	if err != nil {
+		rep.setState("degraded")
+		return err
+	}
+	rep.store.Store(st)
+	if rep.onSwap != nil {
+		rep.onSwap(st)
+	}
+	rep.mu.Lock()
+	if snapLSN > rep.primaryLSN {
+		rep.primaryLSN = snapLSN
+	}
+	rep.lastCaughtUp = time.Now()
+	rep.mu.Unlock()
+	rep.log.Info("replica bootstrapped",
+		slog.String("primary", rep.cfg.Primary), slog.Uint64("snapshot_lsn", snapLSN))
+	return nil
+}
+
+func (rep *Replicator) fetchSnapshot(ctx context.Context) ([]byte, uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.cfg.Primary+"/snapshot", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := rep.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("primary /snapshot: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	lsn, _ := strconv.ParseUint(resp.Header.Get("X-Snapshot-LSN"), 10, 64)
+	return data, lsn, nil
+}
+
+func (rep *Replicator) setState(state string) {
+	rep.mu.Lock()
+	rep.state = state
+	rep.mu.Unlock()
+}
+
+func (rep *Replicator) setConnected(c bool, state string) {
+	rep.mu.Lock()
+	rep.connected = c
+	rep.state = state
+	rep.mu.Unlock()
+}
+
+// notePrimaryLSN folds a heartbeat or applied record into the lag
+// tracking: the primary is at least at lsn, and if we have applied
+// everything it advertised, we are caught up as of now.
+func (rep *Replicator) notePrimaryLSN(lsn uint64) {
+	applied := rep.Store().AppliedLSN()
+	rep.mu.Lock()
+	if lsn > rep.primaryLSN {
+		rep.primaryLSN = lsn
+	}
+	if rep.connected && applied >= rep.primaryLSN {
+		rep.lastCaughtUp = time.Now()
+	}
+	rep.mu.Unlock()
+}

@@ -71,6 +71,13 @@ type Config struct {
 	// Off by default: profiles expose internals, so turning them on is a
 	// deliberate operator decision.
 	EnablePprof bool
+	// ReplicationPoll is how often an idle /wal stream re-checks the log
+	// for new frames (default 25ms).
+	ReplicationPoll time.Duration
+	// ReplicationHeartbeat is how often an idle /wal stream emits a
+	// heartbeat frame so followers can measure lag and liveness
+	// (default 500ms).
+	ReplicationHeartbeat time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +102,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.ReplicationPoll <= 0 {
+		c.ReplicationPoll = 25 * time.Millisecond
+	}
+	if c.ReplicationHeartbeat <= 0 {
+		c.ReplicationHeartbeat = 500 * time.Millisecond
+	}
 	if c.Logger == nil {
 		if c.ErrorLog != nil {
 			c.Logger = slog.New(slog.NewTextHandler(c.ErrorLog.Writer(), nil))
@@ -109,12 +122,17 @@ func (c Config) withDefaults() Config {
 // Handler, and stop with Close (which drains in-flight requests and
 // unpins every snapshot; the store itself is not closed).
 type Server struct {
-	store *core.Store
-	cfg   Config
-	adm   *admission
-	met   *metrics
-	sess  *sessions
-	mux   *http.ServeMux
+	// store is swappable: a replica re-bootstrapping from a primary
+	// snapshot installs a fresh store under live traffic. Handlers grab
+	// it once per request via st(); in-flight readers keep their pinned
+	// snapshot on the old store, which stays valid in memory.
+	store   atomic.Pointer[core.Store]
+	replica atomic.Pointer[Replicator]
+	cfg     Config
+	adm     *admission
+	met     *metrics
+	sess    *sessions
+	mux     *http.ServeMux
 
 	closed atomic.Bool
 	wg     sync.WaitGroup // in-flight handlers and abandoned workers
@@ -124,30 +142,57 @@ type Server struct {
 func New(store *core.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		store: store,
-		cfg:   cfg,
-		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-		met:   newMetrics(),
-		sess:  newSessions(cfg.SessionTTL, cfg.MaxSessions),
-		mux:   http.NewServeMux(),
+		cfg:  cfg,
+		adm:  newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		met:  newMetrics(),
+		sess: newSessions(cfg.SessionTTL, cfg.MaxSessions),
+		mux:  http.NewServeMux(),
 	}
+	s.store.Store(store)
 	s.met.inFlight = s.adm.InFlight
 	s.met.queued = s.adm.Queued
 	s.met.sessionsOpen = s.sess.Open
-	s.met.pinnedSnaps = store.PinnedSnapshots
-	// Wire the store's trace recorder: retention, slow threshold, and the
-	// structured logger for slow-query warnings. The metrics endpoint
-	// scrapes the recorder's counters live rather than mirroring them.
-	rec := store.Tracer()
-	if cfg.TraceBuffer > 0 {
-		rec.SetRingSize(cfg.TraceBuffer)
-	}
-	rec.SetSlowThreshold(cfg.SlowQuery)
-	rec.SetLogger(cfg.Logger)
-	s.met.slowCount = rec.SlowCount
-	s.met.writeStats = rec.WriteStats
+	// Store-derived gauges read through st() so they follow store swaps.
+	s.met.pinnedSnaps = func() int { return s.st().PinnedSnapshots() }
+	s.met.slowCount = func() uint64 { return s.st().Tracer().SlowCount() }
+	s.met.writeStats = func() trace.WriteStats { return s.st().Tracer().WriteStats() }
+	s.configureTracer(store)
 	s.routes()
 	return s
+}
+
+// st returns the store currently being served.
+func (s *Server) st() *core.Store { return s.store.Load() }
+
+// SetStore atomically replaces the served store (replica re-bootstrap).
+// The old store is not closed here: in-flight requests and open sessions
+// may still hold its snapshots.
+func (s *Server) SetStore(store *core.Store) {
+	s.configureTracer(store)
+	s.store.Store(store)
+}
+
+// configureTracer wires the store's trace recorder: retention, slow
+// threshold, and the structured logger for slow-query warnings. The
+// metrics endpoint scrapes the recorder's counters live rather than
+// mirroring them.
+func (s *Server) configureTracer(store *core.Store) {
+	rec := store.Tracer()
+	if s.cfg.TraceBuffer > 0 {
+		rec.SetRingSize(s.cfg.TraceBuffer)
+	}
+	rec.SetSlowThreshold(s.cfg.SlowQuery)
+	rec.SetLogger(s.cfg.Logger)
+}
+
+// AttachReplica marks this server as a read-only follower fed by rep:
+// mutations are refused with 421 pointing at the primary, /healthz and
+// /metrics report replication state, and rep's re-bootstraps swap the
+// served store.
+func (s *Server) AttachReplica(rep *Replicator) {
+	s.replica.Store(rep)
+	rep.onSwap = s.SetStore
+	s.met.replica = rep.Status
 }
 
 func (s *Server) routes() {
@@ -158,6 +203,11 @@ func (s *Server) routes() {
 
 	admit := func(route string, h http.HandlerFunc) http.HandlerFunc {
 		return s.instrument(route, s.gated(h))
+	}
+	// Mutations are refused on followers: there is one serialized writer,
+	// and it lives on the primary.
+	mutate := func(route string, h http.HandlerFunc) http.HandlerFunc {
+		return s.instrument(route, s.gated(s.primaryOnly(h)))
 	}
 	s.mux.HandleFunc("POST /query", admit("/query", s.handleQuery))
 	s.mux.HandleFunc("POST /translate", admit("/translate", s.handleTranslate))
@@ -171,17 +221,25 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /vertex/{id}/in", admit("/vertex/{id}/in", s.handleVertexEdges))
 	s.mux.HandleFunc("GET /edge/{id}", admit("/edge/{id}", s.handleEdgeGet))
 
-	s.mux.HandleFunc("POST /vertex", admit("/vertex", s.handleVertexAdd))
-	s.mux.HandleFunc("DELETE /vertex/{id}", admit("/vertex/{id}", s.handleVertexDelete))
-	s.mux.HandleFunc("PATCH /vertex/{id}/attrs", admit("/vertex/{id}/attrs", s.handleVertexAttrs))
-	s.mux.HandleFunc("POST /edge", admit("/edge", s.handleEdgeAdd))
-	s.mux.HandleFunc("DELETE /edge/{id}", admit("/edge/{id}", s.handleEdgeDelete))
-	s.mux.HandleFunc("PATCH /edge/{id}/attrs", admit("/edge/{id}/attrs", s.handleEdgeAttrs))
+	s.mux.HandleFunc("POST /vertex", mutate("/vertex", s.handleVertexAdd))
+	s.mux.HandleFunc("DELETE /vertex/{id}", mutate("/vertex/{id}", s.handleVertexDelete))
+	s.mux.HandleFunc("PATCH /vertex/{id}/attrs", mutate("/vertex/{id}/attrs", s.handleVertexAttrs))
+	s.mux.HandleFunc("POST /edge", mutate("/edge", s.handleEdgeAdd))
+	s.mux.HandleFunc("DELETE /edge/{id}", mutate("/edge/{id}", s.handleEdgeDelete))
+	s.mux.HandleFunc("PATCH /edge/{id}/attrs", mutate("/edge/{id}/attrs", s.handleEdgeAttrs))
 
 	s.mux.HandleFunc("GET /stats", admit("/stats", s.handleStats))
 	s.mux.HandleFunc("GET /check", admit("/check", s.handleCheck))
-	s.mux.HandleFunc("POST /admin/vacuum", admit("/admin/vacuum", s.handleVacuum))
-	s.mux.HandleFunc("POST /admin/checkpoint", admit("/admin/checkpoint", s.handleCheckpoint))
+	s.mux.HandleFunc("POST /admin/vacuum", mutate("/admin/vacuum", s.handleVacuum))
+	s.mux.HandleFunc("POST /admin/checkpoint", mutate("/admin/checkpoint", s.handleCheckpoint))
+
+	// Replication: a follower bootstraps from /snapshot, then tails /wal.
+	// Both bypass admission — /wal connections are long-lived (they would
+	// permanently occupy admission slots), and both must stay available
+	// while the primary is saturated with queries, or replicas fall
+	// behind exactly when write volume is highest.
+	s.mux.HandleFunc("GET /wal", s.instrument("/wal", s.handleWALStream))
+	s.mux.HandleFunc("GET /snapshot", s.instrument("/snapshot", s.handleSnapshot))
 
 	// Trace inspection bypasses admission for the same reason /metrics
 	// does: the slow-query log is most valuable when the server is busy.
@@ -429,6 +487,14 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	return sw.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so chunked streams (the /wal
+// endpoint) push frames to the client instead of sitting in the buffer.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // errorResponse is the uniform error body.
 type errorResponse struct {
 	Error  string `json:"error"`
@@ -469,7 +535,8 @@ func statusFor(err error) int {
 	msg := err.Error()
 	if strings.HasPrefix(msg, "gremlin:") || strings.HasPrefix(msg, "translate:") ||
 		strings.HasPrefix(msg, "core: vertex ids") || strings.HasPrefix(msg, "core: edge ids") ||
-		strings.HasPrefix(msg, "core: checkpoint: store is not durable") {
+		strings.HasPrefix(msg, "core: checkpoint: store is not durable") ||
+		strings.HasPrefix(msg, "core: snapshot export") {
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

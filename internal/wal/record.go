@@ -43,6 +43,12 @@ const (
 	OpVacuum
 )
 
+// OpHeartbeat is a wire-only opcode: replication streams emit it while
+// idle so followers learn the primary's current LSN and that the link is
+// alive. Record.LSN carries the primary's last assigned LSN; heartbeats
+// are never written to a log file and never applied.
+const OpHeartbeat OpKind = 255
+
 // String returns the opcode's name.
 func (op OpKind) String() string {
 	switch op {
@@ -64,6 +70,8 @@ func (op OpKind) String() string {
 		return "RemoveEdgeAttr"
 	case OpVacuum:
 		return "Vacuum"
+	case OpHeartbeat:
+		return "Heartbeat"
 	default:
 		return fmt.Sprintf("OpKind(%d)", uint8(op))
 	}
@@ -119,7 +127,7 @@ func (r *Record) encodePayload(b []byte) []byte {
 	case OpRemoveVertexAttr, OpRemoveEdgeAttr:
 		b = appendZigzag(b, r.ID)
 		b = appendString(b, r.Key)
-	case OpVacuum:
+	case OpVacuum, OpHeartbeat:
 	}
 	return b
 }
@@ -195,7 +203,7 @@ func decodeRecord(p []byte) (Record, error) {
 	case OpRemoveVertexAttr, OpRemoveEdgeAttr:
 		rec.ID = r.zigzag()
 		rec.Key = r.str()
-	case OpVacuum:
+	case OpVacuum, OpHeartbeat:
 	default:
 		return rec, fmt.Errorf("wal: unknown opcode %d", uint8(rec.Op))
 	}

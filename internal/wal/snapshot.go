@@ -254,6 +254,13 @@ func writeSnapshotFile(dir string, s *Snapshot) error {
 	if err != nil {
 		return err
 	}
+	return writeSnapshotBytes(dir, data)
+}
+
+// writeSnapshotBytes installs already-encoded snapshot bytes with the
+// same atomic temp+fsync+rename protocol (replication bootstrap reuses
+// it for snapshots received over the wire).
+func writeSnapshotBytes(dir string, data []byte) error {
 	tmp := filepath.Join(dir, tmpName)
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {

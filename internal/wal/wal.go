@@ -43,8 +43,10 @@ type Log struct {
 	dir       string
 	buf       []byte
 	nextLSN   uint64
+	snapLSN   uint64 // LastLSN of the snapshot the log starts after
 	sinceSnap int
 	hook      WriteHook
+	closed    bool
 	err       error
 }
 
@@ -217,6 +219,9 @@ func Open(dir string) (*Log, *RecoveredState, error) {
 		return nil, nil, fmt.Errorf("wal: open: %w", err)
 	}
 	l := &Log{f: f, dir: dir, nextLSN: st.NextLSN, sinceSnap: len(st.Records)}
+	if st.Snapshot != nil {
+		l.snapLSN = st.Snapshot.LastLSN
+	}
 	return l, st, nil
 }
 
@@ -250,6 +255,15 @@ func (l *Log) LastLSN() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.nextLSN - 1
+}
+
+// SnapshotLSN returns the LastLSN of the snapshot the current log file
+// starts after (0 when the directory has never been checkpointed). The
+// log holds exactly the records in (SnapshotLSN, LastLSN].
+func (l *Log) SnapshotLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapLSN
 }
 
 // RecordsSinceSnapshot counts appends since the last snapshot rotation
@@ -354,15 +368,26 @@ func (l *Log) WriteSnapshot(snap *Snapshot) error {
 		l.err = err
 		return err
 	}
+	l.snapLSN = snap.LastLSN
 	l.sinceSnap = 0
 	return nil
 }
 
-// Close flushes buffered records and closes the file.
+// Close flushes buffered records and closes the file. Close is
+// idempotent — the second and later calls return nil — and safe after
+// Kill: a killed log skips the flush (its buffer is already condemned)
+// and just releases the file handle.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	ferr := l.flushLocked()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var ferr error
+	if l.err == nil {
+		ferr = l.flushLocked()
+	}
 	cerr := l.f.Close()
 	if l.err == nil {
 		l.err = errors.New("wal: log closed")
