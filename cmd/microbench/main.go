@@ -8,7 +8,7 @@
 //
 //	microbench [-scale tiny|small|medium|large] [-exp all|adjacency|attributes|stats|neighbors|paths|ablations]
 //	           [-json BENCH_engine.json] [-baseline BENCH_engine.json] [-maxratio 2.0]
-//	           [-concurrency N] [-http N] [-replicas N] [-serve addr] [-duration 2s] [-parallel N]
+//	           [-concurrency N] [-http N] [-replicas N] [-linkbench N] [-serve addr] [-duration 2s] [-parallel N]
 //
 // With -json, the Figure 5/6 workloads are additionally run one query
 // per statement and their per-query ns/op written to the given file
@@ -34,6 +34,14 @@
 // clients round-robin point reads across the fleet under live write
 // churn. The per-point p50s join the -json report and -baseline gate
 // as figure "replication" entries.
+//
+// With -linkbench N, the LinkBench operation mix is driven by N
+// concurrent requesters against a durable store twice — synchronous WAL
+// versus group commit — reporting throughput and the fsyncs-per-mutation
+// amortization ratio. The group-commit per-op p50s join the -json report
+// and -baseline gate as figure "linkbench" entries, and the run fails
+// outright when >= 8 requesters cannot amortize below 0.5 fsyncs per
+// mutation.
 //
 // With -serve addr, the benchmark dataset is served over HTTP on addr
 // (blocking) so external load generators can drive it.
@@ -62,6 +70,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 0, "run the concurrent snapshot-read experiment with up to N readers")
 	httpClients := flag.Int("http", 0, "drive an in-process HTTP server with N concurrent clients")
 	replicas := flag.Int("replicas", 0, "measure read scaling across 1..N streaming-replication followers")
+	linkbenchN := flag.Int("linkbench", 0, "run the durable LinkBench write bench with N concurrent requesters (sync vs group-commit WAL)")
 	serveAddr := flag.String("serve", "", "serve the benchmark dataset over HTTP on this address (blocks)")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per concurrency point")
 	parallel := flag.Int("parallel", 0, "executor parallelism: 0 = GOMAXPROCS, 1 = serial")
@@ -130,6 +139,13 @@ func main() {
 			log.Fatalf("replication bench: %v", err)
 		}
 		httpEntries = append(httpEntries, replEntries...)
+	}
+	if *linkbenchN > 0 {
+		lbEntries, err := experiments.LinkBenchDurable(*linkbenchN, 200, os.Stdout)
+		if err != nil {
+			log.Fatalf("linkbench bench: %v", err)
+		}
+		httpEntries = append(httpEntries, lbEntries...)
 	}
 
 	if *jsonPath == "" && *baselinePath == "" {

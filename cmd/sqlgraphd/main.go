@@ -6,6 +6,7 @@
 // Usage:
 //
 //	sqlgraphd [-addr :8080] [-dir path] [-dataset sample|dbpedia] [-scale tiny|small|medium]
+//	          [-group-commit 2ms] [-group-commit-batch 128]
 //	          [-replica-of addr] [-inflight 64] [-queue 64] [-timeout 30s] [-session-ttl 60s]
 //	          [-max-body 1048576] [-parallel N] [-slow-query 250ms]
 //	          [-trace-buffer 128] [-pprof] [-log-json]
@@ -34,6 +35,7 @@
 //	GET  /vertex/{id}[/out|/in] point reads (?session=ID reads a session snapshot)
 //	GET  /edge/{id}
 //	POST /vertex, /edge         insert
+//	POST /batch                 {"ops":[{"op":"add_vertex",...},...]} — one writer txn + one fsync
 //	DELETE /vertex/{id}, /edge/{id}
 //	PATCH /vertex/{id}/attrs    {"set": {...}, "remove": [...]}
 //	PATCH /edge/{id}/attrs
@@ -66,11 +68,14 @@ import (
 	"sqlgraph/internal/blueprints"
 	"sqlgraph/internal/core"
 	"sqlgraph/internal/server"
+	"sqlgraph/internal/wal"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dir := flag.String("dir", "", "durable store directory (empty = in-memory dataset)")
+	gcDelay := flag.Duration("group-commit", 0, "WAL group-commit window: batch concurrent commits for up to this long into one fsync (0 = synchronous; requires -dir)")
+	gcBatch := flag.Int("group-commit-batch", 128, "flush the group-commit window early at this many pending records (with -group-commit)")
 	replicaOf := flag.String("replica-of", "", "primary address to follow (read-only replica mode; requires -dir)")
 	dataset := flag.String("dataset", "sample", "in-memory dataset: sample (paper Figure 2a) or dbpedia")
 	scale := flag.String("scale", "tiny", "dbpedia dataset scale: tiny, small, medium")
@@ -119,8 +124,12 @@ func main() {
 		}
 		store = rep.Store()
 	} else {
+		var gc wal.GroupCommit
+		if *gcDelay > 0 {
+			gc = wal.GroupCommit{MaxDelay: *gcDelay, MaxBatch: *gcBatch}
+		}
 		var err error
-		store, err = openStore(*dir, *dataset, *scale)
+		store, err = openStore(*dir, *dataset, *scale, gc)
 		if err != nil {
 			fatal("open store", err)
 		}
@@ -190,14 +199,15 @@ func main() {
 
 // openStore opens the durable directory (seeding a fresh one with the
 // named dataset) or builds the dataset in memory when no -dir is given.
-func openStore(dir, dataset, scale string) (*core.Store, error) {
+func openStore(dir, dataset, scale string, gc wal.GroupCommit) (*core.Store, error) {
 	var opts core.Options
+	opts.GroupCommit = gc
 	if dir != "" {
 		if _, err := os.Stat(filepath.Join(dir, "wal.log")); err == nil {
-			return core.Open(core.Options{Dir: dir})
+			return core.Open(core.Options{Dir: dir, GroupCommit: gc})
 		}
 		if _, err := os.Stat(filepath.Join(dir, "snapshot.db")); err == nil {
-			return core.Open(core.Options{Dir: dir})
+			return core.Open(core.Options{Dir: dir, GroupCommit: gc})
 		}
 		opts.Dir = dir // fresh directory: bulk-load the dataset into it
 	}

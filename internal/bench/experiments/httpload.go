@@ -101,6 +101,26 @@ func HTTPLoadBench(env *DBpediaEnv, clients int, dur time.Duration, w io.Writer)
 			},
 		},
 		{
+			name: "batch_write",
+			desc: "POST /batch six-op transactional batch (add 2 vertices + edge, then remove all) in one writer txn",
+			req: func(i int) (string, string, string) {
+				// Self-contained per request: unique ids keyed off i, and the
+				// batch removes everything it adds, so concurrent batches
+				// never conflict and the store does not grow.
+				a := scratch + 1_000_000 + int64(i)*3
+				b, e := a+1, a+2
+				body := fmt.Sprintf(`{"ops":[`+
+					`{"op":"add_vertex","id":%d,"attrs":{"bench":true}},`+
+					`{"op":"add_vertex","id":%d,"attrs":{"bench":true}},`+
+					`{"op":"add_edge","id":%d,"from":%d,"to":%d,"label":"bench"},`+
+					`{"op":"remove_edge","id":%d},`+
+					`{"op":"remove_vertex","id":%d},`+
+					`{"op":"remove_vertex","id":%d}]}`,
+					a, b, e, a, b, e, a, b)
+				return "POST", "/batch", body
+			},
+		},
+		{
 			name: "mixed_rw",
 			desc: "90% reads with vertex add/remove churn through the serialized writer",
 			req: func(i int) (string, string, string) {

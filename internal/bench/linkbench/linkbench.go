@@ -8,6 +8,7 @@ package linkbench
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -137,19 +138,40 @@ var PaperMix = []MixEntry{
 	{OpGetLinkList, 50.7},
 }
 
-// OpStats aggregates latencies for one operation type.
+// OpStats aggregates latencies for one operation type. Every sample is
+// retained (runs are bounded at thousands of ops) so percentiles are
+// exact rather than estimated.
 type OpStats struct {
-	Count int64
-	Total time.Duration
-	Max   time.Duration
+	Count   int64
+	Total   time.Duration
+	Max     time.Duration
+	Samples []time.Duration
 }
 
 // Mean returns the average latency.
-func (s OpStats) Mean() time.Duration {
+func (s *OpStats) Mean() time.Duration {
 	if s.Count == 0 {
 		return 0
 	}
 	return s.Total / time.Duration(s.Count)
+}
+
+// Percentile returns the p-th latency percentile (nearest-rank over the
+// recorded samples), e.g. Percentile(50) and Percentile(99).
+func (s *OpStats) Percentile(p float64) time.Duration {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.Samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(len(sorted))+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
 }
 
 // Results is the outcome of a driver run.
@@ -216,6 +238,7 @@ func (d *Driver) Run(requesters, opsPerRequester int) *Results {
 				st := local[op]
 				st.Count++
 				st.Total += dt
+				st.Samples = append(st.Samples, dt)
 				if dt > st.Max {
 					st.Max = dt
 				}
@@ -228,6 +251,7 @@ func (d *Driver) Run(requesters, opsPerRequester int) *Results {
 				agg := res.PerOp[op]
 				agg.Count += st.Count
 				agg.Total += st.Total
+				agg.Samples = append(agg.Samples, st.Samples...)
 				if st.Max > agg.Max {
 					agg.Max = st.Max
 				}

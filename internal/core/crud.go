@@ -72,9 +72,43 @@ func (s *Store) addVertexPurging(id int64, attrs map[string]any) (err error) {
 	defer func() { w.done(err) }()
 	tx := s.fpAll.Begin()
 	defer tx.Rollback()
-	if vertexLiveTx(tx, id) {
-		return fmt.Errorf("%w: vertex %d", blueprints.ErrExists, id)
+	doc, err := s.addVertexTx(tx, id, attrs)
+	if err != nil {
+		return err
 	}
+	if err := s.logAppend(w, wal.Record{Op: wal.OpAddVertex, ID: id, Doc: doc}); err != nil {
+		return err
+	}
+	tx.Commit()
+	return s.logCommit(w)
+}
+
+// addVertexTx inserts a vertex under a full-footprint transaction,
+// purging soft-delete tombstones for the id first. It returns the
+// attribute document for the caller's WAL record.
+func (s *Store) addVertexTx(tx *rel.Txn, id int64, attrs map[string]any) (string, error) {
+	if id < 0 {
+		return "", fmt.Errorf("core: vertex ids must be non-negative (negative ids mark deletions)")
+	}
+	if vertexLiveTx(tx, id) {
+		return "", fmt.Errorf("%w: vertex %d", blueprints.ErrExists, id)
+	}
+	if vertexTombstoneTx(tx, id) {
+		if err := s.purgeVertexTx(tx, id); err != nil {
+			return "", err
+		}
+	}
+	doc := docFromMap(attrs)
+	if _, err := tx.Insert(TableVA, []rel.Value{rel.NewInt(id), rel.NewJSON(doc)}); err != nil {
+		return "", err
+	}
+	return doc.String(), nil
+}
+
+// purgeVertexTx physically removes the id's soft-delete remains: negated
+// VA and adjacency rows plus the secondary lists their multi-valued cells
+// own (the same ownership rule Vacuum applies).
+func (s *Store) purgeVertexTx(tx *rel.Txn, id int64) error {
 	neg := rel.NewInt(-id - 1)
 
 	var vaRids []rel.RowID
@@ -134,16 +168,7 @@ func (s *Store) addVertexPurging(id int64, attrs map[string]any) (err error) {
 			}
 		}
 	}
-
-	doc := docFromMap(attrs)
-	if _, err := tx.Insert(TableVA, []rel.Value{rel.NewInt(id), rel.NewJSON(doc)}); err != nil {
-		return err
-	}
-	if err := s.logAppend(w, wal.Record{Op: wal.OpAddVertex, ID: id, Doc: doc.String()}); err != nil {
-		return err
-	}
-	tx.Commit()
-	return s.logCommit(w)
+	return nil
 }
 
 // AddEdge implements blueprints.Graph: insert into EA plus both hash
@@ -156,31 +181,45 @@ func (s *Store) AddEdge(id int64, out, in int64, label string, attrs map[string]
 	defer func() { w.done(err) }()
 	tx := s.fpAll.Begin()
 	defer tx.Rollback()
+	doc, err := s.addEdgeTx(tx, id, out, in, label, attrs)
+	if err != nil {
+		return err
+	}
+	if err := s.logAppend(w, wal.Record{Op: wal.OpAddEdge, ID: id, Out: out, In: in, Label: label, Doc: doc}); err != nil {
+		return err
+	}
+	tx.Commit()
+	return s.logCommit(w)
+}
+
+// addEdgeTx inserts an edge (EA plus both hash-adjacency sides) under a
+// full-footprint transaction and returns the attribute document for the
+// caller's WAL record.
+func (s *Store) addEdgeTx(tx *rel.Txn, id, out, in int64, label string, attrs map[string]any) (string, error) {
+	if id < 0 {
+		return "", fmt.Errorf("core: edge ids must be non-negative")
+	}
 	for _, v := range []int64{out, in} {
 		if !vertexLiveTx(tx, v) {
-			return fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, v)
+			return "", fmt.Errorf("%w: vertex %d", blueprints.ErrNotFound, v)
 		}
 	}
 	if _, _, ok := edgeTx(tx, id); ok {
-		return fmt.Errorf("%w: edge %d", blueprints.ErrExists, id)
+		return "", fmt.Errorf("%w: edge %d", blueprints.ErrExists, id)
 	}
 	doc := docFromMap(attrs)
 	if _, err := tx.Insert(TableEA, []rel.Value{
 		rel.NewInt(id), rel.NewInt(out), rel.NewInt(in), rel.NewString(label), rel.NewJSON(doc),
 	}); err != nil {
-		return err
+		return "", err
 	}
 	if err := s.addAdjacent(tx, true, out, id, label, in); err != nil {
-		return err
+		return "", err
 	}
 	if err := s.addAdjacent(tx, false, in, id, label, out); err != nil {
-		return err
+		return "", err
 	}
-	if err := s.logAppend(w, wal.Record{Op: wal.OpAddEdge, ID: id, Out: out, In: in, Label: label, Doc: doc.String()}); err != nil {
-		return err
-	}
-	tx.Commit()
-	return s.logCommit(w)
+	return doc.String(), nil
 }
 
 func vertexLiveTx(tx *rel.Txn, id int64) bool {
@@ -301,6 +340,19 @@ func (s *Store) RemoveEdge(id int64) (err error) {
 	defer func() { w.done(err) }()
 	tx := s.fpAll.Begin()
 	defer tx.Rollback()
+	if err := s.removeEdgeTx(tx, id); err != nil {
+		return err
+	}
+	if err := s.logAppend(w, wal.Record{Op: wal.OpRemoveEdge, ID: id}); err != nil {
+		return err
+	}
+	tx.Commit()
+	return s.logCommit(w)
+}
+
+// removeEdgeTx deletes an edge from EA and both adjacency sides under a
+// full-footprint transaction.
+func (s *Store) removeEdgeTx(tx *rel.Txn, id int64) error {
 	rec, rid, ok := edgeTx(tx, id)
 	if !ok {
 		return fmt.Errorf("%w: edge %d", blueprints.ErrNotFound, id)
@@ -311,14 +363,7 @@ func (s *Store) RemoveEdge(id int64) (err error) {
 	if err := s.removeAdjacent(tx, true, rec.Out, id, rec.Label); err != nil {
 		return err
 	}
-	if err := s.removeAdjacent(tx, false, rec.In, id, rec.Label); err != nil {
-		return err
-	}
-	if err := s.logAppend(w, wal.Record{Op: wal.OpRemoveEdge, ID: id}); err != nil {
-		return err
-	}
-	tx.Commit()
-	return s.logCommit(w)
+	return s.removeAdjacent(tx, false, rec.In, id, rec.Label)
 }
 
 func edgeTx(tx *rel.Txn, id int64) (blueprints.EdgeRec, rel.RowID, bool) {
@@ -410,7 +455,21 @@ func (s *Store) RemoveVertex(id int64) (err error) {
 	defer func() { w.done(err) }()
 	tx := s.fpAll.Begin()
 	defer tx.Rollback()
+	if err := s.removeVertexTx(tx, id); err != nil {
+		return err
+	}
+	if err := s.logAppend(w, wal.Record{Op: wal.OpRemoveVertex, ID: id}); err != nil {
+		return err
+	}
+	tx.Commit()
+	return s.logCommit(w)
+}
 
+// removeVertexTx soft-deletes a vertex under a full-footprint
+// transaction: EA rows of incident edges are dropped (and, in DeleteClean
+// mode, the other endpoints' adjacency entries cleaned), then the
+// vertex's own VA and adjacency ids are negated.
+func (s *Store) removeVertexTx(tx *rel.Txn, id int64) error {
 	// Locate the vertex row.
 	var vaRID rel.RowID
 	var vaVals []rel.Value
@@ -494,11 +553,7 @@ func (s *Store) RemoveVertex(id int64) (err error) {
 			}
 		}
 	}
-	if err := s.logAppend(w, wal.Record{Op: wal.OpRemoveVertex, ID: id}); err != nil {
-		return err
-	}
-	tx.Commit()
-	return s.logCommit(w)
+	return nil
 }
 
 // Vacuum physically removes rows left behind by soft deletes: negated VA
@@ -677,6 +732,19 @@ func (s *Store) mutateVertexDoc(id int64, rec wal.Record, mutate func(*sqljson.D
 	defer func() { w.done(err) }()
 	tx := s.fpVA.Begin()
 	defer tx.Rollback()
+	if err := mutateVertexDocTx(tx, id, mutate); err != nil {
+		return err
+	}
+	if err := s.logAppend(w, rec); err != nil {
+		return err
+	}
+	tx.Commit()
+	return s.logCommit(w)
+}
+
+// mutateVertexDocTx rewrites a vertex's attribute document under any
+// transaction whose footprint covers VA.
+func mutateVertexDocTx(tx *rel.Txn, id int64, mutate func(*sqljson.Doc)) error {
 	var rid rel.RowID
 	var vals []rel.Value
 	found := false
@@ -690,14 +758,7 @@ func (s *Store) mutateVertexDoc(id int64, rec wal.Record, mutate func(*sqljson.D
 	doc := vals[vaATTR].JSON().Clone()
 	mutate(doc)
 	vals[vaATTR] = rel.NewJSON(doc)
-	if err := tx.Update(TableVA, rid, vals); err != nil {
-		return err
-	}
-	if err := s.logAppend(w, rec); err != nil {
-		return err
-	}
-	tx.Commit()
-	return s.logCommit(w)
+	return tx.Update(TableVA, rid, vals)
 }
 
 // SetEdgeAttr implements blueprints.Graph.
@@ -717,6 +778,19 @@ func (s *Store) mutateEdgeDoc(id int64, rec wal.Record, mutate func(*sqljson.Doc
 	defer func() { w.done(err) }()
 	tx := s.fpEA.Begin()
 	defer tx.Rollback()
+	if err := mutateEdgeDocTx(tx, id, mutate); err != nil {
+		return err
+	}
+	if err := s.logAppend(w, rec); err != nil {
+		return err
+	}
+	tx.Commit()
+	return s.logCommit(w)
+}
+
+// mutateEdgeDocTx rewrites an edge's attribute document under any
+// transaction whose footprint covers EA.
+func mutateEdgeDocTx(tx *rel.Txn, id int64, mutate func(*sqljson.Doc)) error {
 	var rid rel.RowID
 	var vals []rel.Value
 	found := false
@@ -730,12 +804,5 @@ func (s *Store) mutateEdgeDoc(id int64, rec wal.Record, mutate func(*sqljson.Doc
 	doc := vals[eaATTR].JSON().Clone()
 	mutate(doc)
 	vals[eaATTR] = rel.NewJSON(doc)
-	if err := tx.Update(TableEA, rid, vals); err != nil {
-		return err
-	}
-	if err := s.logAppend(w, rec); err != nil {
-		return err
-	}
-	tx.Commit()
-	return s.logCommit(w)
+	return tx.Update(TableEA, rid, vals)
 }

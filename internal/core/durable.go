@@ -36,7 +36,8 @@ func openDurable(opts Options) (*Store, error) {
 		l.Close()
 		return nil, err
 	}
-	s.wal = l
+	s.opts.GroupCommit = opts.GroupCommit
+	s.attachWAL(l)
 	if st.Snapshot == nil {
 		// Fresh directory: checkpoint immediately so the structural
 		// options (column widths, coloring, delete mode, assignments) are
@@ -68,7 +69,8 @@ func loadDurable(src blueprints.Graph, opts Options) (*Store, error) {
 	}
 	s.opts.Dir = opts.Dir
 	s.opts.SnapshotEvery = opts.SnapshotEvery
-	s.wal = l
+	s.opts.GroupCommit = opts.GroupCommit
+	s.attachWAL(l)
 	// Checkpoint the bulk-loaded state; this also persists the greedy
 	// coloring built by the analysis pass.
 	if err := s.Checkpoint(); err != nil {
@@ -206,41 +208,69 @@ func (s *Store) applyRecord(rec wal.Record) error {
 	}
 }
 
+// attachWAL binds the log to the store: physical fsyncs are charged to
+// the WAL counters (one observation per flush, however many commits it
+// covered), and the group-commit flusher is started when the options ask
+// for one.
+func (s *Store) attachWAL(l *wal.Log) {
+	s.wal = l
+	tracer := s.tracer
+	l.SetSyncObserver(func(d time.Duration, records int) {
+		tracer.ObserveWALFsync(d)
+		tracer.ObserveWALFlush(records)
+	})
+	if s.opts.GroupCommit.Enabled() {
+		l.EnableGroupCommit(s.opts.GroupCommit)
+	}
+}
+
 // logAppend buffers the record for the mutation the caller is about to
 // commit. It must be the last fallible step before tx.Commit: a failure
 // rolls the transaction back, and after success nothing can prevent the
 // commit, so the log holds exactly the committed operations. The append
-// is timed into the write trace and the WAL counters.
+// is timed into the write trace and the WAL counters; the assigned LSN is
+// kept on the writeOp for logCommit's durability wait.
 func (s *Store) logAppend(w *writeOp, rec wal.Record) error {
 	if s.wal == nil {
 		return nil
 	}
 	t := time.Now()
-	_, err := s.wal.Append(rec)
+	lsn, err := s.wal.Append(rec)
 	d := time.Since(t)
 	s.tracer.ObserveWALAppend(d)
 	w.observe("wal-append", t, d)
+	if err == nil && w != nil {
+		w.lsn = lsn
+	}
 	return err
 }
 
-// logCommit makes the just-committed mutation durable (group commit:
-// everything buffered since the last flush goes out in one write+fsync)
-// and checkpoints if the log has grown past the snapshot cadence. A crash
-// before the flush loses only the tail of *committed* operations — the
-// recovered state is still a consistent prefix. The fsync is timed into
-// the write trace and the WAL counters.
+// logCommit makes the just-committed mutation durable — it blocks until
+// the operation's LSN is covered by a flush. Under group commit many
+// writers share one write+fsync; the physical sync itself is charged to
+// the WAL counters by the log's sync observer, so fsyncs-per-mutation is
+// directly readable from WriteStats. The wait appears in the write trace
+// as "wal-fsync", plus a "wal-batch" span recording how many records the
+// covering flush amortized over. A crash before the flush loses only the
+// tail of *committed* operations — the recovered state is still a
+// consistent prefix. Afterwards the store checkpoints if the log has
+// grown past the snapshot cadence.
 func (s *Store) logCommit(w *writeOp) error {
 	if s.wal == nil {
 		return nil
 	}
+	var lsn uint64
+	if w != nil {
+		lsn = w.lsn
+	}
 	t := time.Now()
-	err := s.wal.Flush()
+	batch, err := s.wal.Commit(lsn)
 	d := time.Since(t)
-	s.tracer.ObserveWALFsync(d)
 	w.observe("wal-fsync", t, d)
 	if err != nil {
 		return err
 	}
+	w.observeDetail("wal-batch", fmt.Sprintf("records=%d", batch), t, d)
 	return s.maybeSnapshot()
 }
 

@@ -138,6 +138,9 @@ func attachOperatorSpans(b *trace.Builder, exec *trace.Span, st *engine.ExecStat
 type writeOp struct {
 	s *Store
 	b *trace.Builder
+	// lsn is the last WAL LSN this operation appended; logCommit waits
+	// for it to become durable.
+	lsn uint64
 }
 
 // startWrite opens a write trace named after the operation.
@@ -149,6 +152,13 @@ func (s *Store) startWrite(name string) *writeOp {
 func (w *writeOp) observe(name string, start time.Time, d time.Duration) {
 	if w != nil {
 		w.b.Observe(name, "", start, d)
+	}
+}
+
+// observeDetail attaches a measured child span with a detail string.
+func (w *writeOp) observeDetail(name, detail string, start time.Time, d time.Duration) {
+	if w != nil {
+		w.b.Observe(name, detail, start, d)
 	}
 }
 

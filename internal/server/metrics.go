@@ -223,6 +223,18 @@ func (m *metrics) write(w io.Writer) {
 		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_append_seconds_total counter\nsqlgraphd_wal_append_seconds_total %g\n", sec(ws.WALAppendNs))
 		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_fsyncs_total counter\nsqlgraphd_wal_fsyncs_total %d\n", ws.WALFsyncs)
 		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_fsync_seconds_total counter\nsqlgraphd_wal_fsync_seconds_total %g\n", sec(ws.WALFsyncNs))
+		// Records-per-fsync histogram: the group-commit batch size. sum /
+		// count is the mean records amortized per physical sync.
+		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_flush_records histogram\n")
+		cum := uint64(0)
+		for i, le := range trace.FlushBatchBuckets {
+			cum += ws.WALFlushSizes[i]
+			fmt.Fprintf(w, "sqlgraphd_wal_flush_records_bucket{le=%q} %d\n", fmt.Sprint(le), cum)
+		}
+		cum += ws.WALFlushSizes[len(trace.FlushBatchBuckets)]
+		fmt.Fprintf(w, "sqlgraphd_wal_flush_records_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(w, "sqlgraphd_wal_flush_records_sum %d\n", ws.WALFlushRecords)
+		fmt.Fprintf(w, "sqlgraphd_wal_flush_records_count %d\n", cum)
 		fmt.Fprintf(w, "# TYPE sqlgraphd_checkpoints_total counter\nsqlgraphd_checkpoints_total %d\n", ws.Checkpoints)
 		fmt.Fprintf(w, "# TYPE sqlgraphd_checkpoint_seconds_total counter\nsqlgraphd_checkpoint_seconds_total %g\n", sec(ws.CheckpointNs))
 		fmt.Fprintf(w, "# TYPE sqlgraphd_vacuums_total counter\nsqlgraphd_vacuums_total %d\n", ws.Vacuums)

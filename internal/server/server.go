@@ -227,6 +227,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /edge", mutate("/edge", s.handleEdgeAdd))
 	s.mux.HandleFunc("DELETE /edge/{id}", mutate("/edge/{id}", s.handleEdgeDelete))
 	s.mux.HandleFunc("PATCH /edge/{id}/attrs", mutate("/edge/{id}/attrs", s.handleEdgeAttrs))
+	s.mux.HandleFunc("POST /batch", mutate("/batch", s.handleBatch))
 
 	s.mux.HandleFunc("GET /stats", admit("/stats", s.handleStats))
 	s.mux.HandleFunc("GET /check", admit("/check", s.handleCheck))
@@ -536,7 +537,10 @@ func statusFor(err error) int {
 	if strings.HasPrefix(msg, "gremlin:") || strings.HasPrefix(msg, "translate:") ||
 		strings.HasPrefix(msg, "core: vertex ids") || strings.HasPrefix(msg, "core: edge ids") ||
 		strings.HasPrefix(msg, "core: checkpoint: store is not durable") ||
-		strings.HasPrefix(msg, "core: snapshot export") {
+		strings.HasPrefix(msg, "core: snapshot export") ||
+		strings.HasPrefix(msg, "core: batch op") {
+		// Batch errors not already mapped by errors.Is above are the
+		// request's fault: invalid ids, unparsable docs, unbatchable ops.
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError

@@ -90,15 +90,23 @@ type Recorder struct {
 	slowCount atomic.Uint64
 	logger    atomic.Pointer[slog.Logger]
 
-	walAppends   atomic.Uint64
-	walAppendNs  atomic.Int64
-	walFsyncs    atomic.Uint64
-	walFsyncNs   atomic.Int64
-	checkpoints  atomic.Uint64
-	checkpointNs atomic.Int64
-	vacuums      atomic.Uint64
-	vacuumNs     atomic.Int64
+	walAppends    atomic.Uint64
+	walAppendNs   atomic.Int64
+	walFsyncs     atomic.Uint64
+	walFsyncNs    atomic.Int64
+	walFlushRecs  atomic.Uint64
+	walFlushSizes [len(FlushBatchBuckets) + 1]atomic.Uint64
+	checkpoints   atomic.Uint64
+	checkpointNs  atomic.Int64
+	vacuums       atomic.Uint64
+	vacuumNs      atomic.Int64
 }
+
+// FlushBatchBuckets are the upper bounds (inclusive) of the
+// records-per-fsync histogram; flushes larger than the last bound land in
+// a +Inf overflow bucket. Exported so /metrics renders matching `le`
+// labels.
+var FlushBatchBuckets = [...]uint64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // NewRecorder creates a recorder retaining n traces per kind (0 = the
 // default) with the given slow threshold (0 = the default, negative =
@@ -206,6 +214,20 @@ func (r *Recorder) ObserveWALFsync(d time.Duration) {
 	r.walFsyncNs.Add(d.Nanoseconds())
 }
 
+// ObserveWALFlush records how many records one physical flush+fsync
+// covered (the group-commit batch size).
+func (r *Recorder) ObserveWALFlush(records int) {
+	if records <= 0 {
+		return
+	}
+	r.walFlushRecs.Add(uint64(records))
+	i := 0
+	for i < len(FlushBatchBuckets) && uint64(records) > FlushBatchBuckets[i] {
+		i++
+	}
+	r.walFlushSizes[i].Add(1)
+}
+
 // ObserveCheckpoint charges one checkpoint (snapshot dump + log reset).
 func (r *Recorder) ObserveCheckpoint(d time.Duration) {
 	r.checkpoints.Add(1)
@@ -224,22 +246,34 @@ type WriteStats struct {
 	WALAppendNs  int64
 	WALFsyncs    uint64
 	WALFsyncNs   int64
-	Checkpoints  uint64
-	CheckpointNs int64
-	Vacuums      uint64
-	VacuumNs     int64
+	// WALFlushRecords is the total records covered by all fsyncs;
+	// WALFlushRecords/WALFsyncs is the mean group-commit batch size.
+	WALFlushRecords uint64
+	// WALFlushSizes counts flushes per batch-size bucket: index i counts
+	// flushes of at most FlushBatchBuckets[i] records, the final index
+	// anything larger (+Inf).
+	WALFlushSizes [len(FlushBatchBuckets) + 1]uint64
+	Checkpoints   uint64
+	CheckpointNs  int64
+	Vacuums       uint64
+	VacuumNs      int64
 }
 
 // WriteStats returns the current write-path counters.
 func (r *Recorder) WriteStats() WriteStats {
-	return WriteStats{
-		WALAppends:   r.walAppends.Load(),
-		WALAppendNs:  r.walAppendNs.Load(),
-		WALFsyncs:    r.walFsyncs.Load(),
-		WALFsyncNs:   r.walFsyncNs.Load(),
-		Checkpoints:  r.checkpoints.Load(),
-		CheckpointNs: r.checkpointNs.Load(),
-		Vacuums:      r.vacuums.Load(),
-		VacuumNs:     r.vacuumNs.Load(),
+	st := WriteStats{
+		WALAppends:      r.walAppends.Load(),
+		WALAppendNs:     r.walAppendNs.Load(),
+		WALFsyncs:       r.walFsyncs.Load(),
+		WALFsyncNs:      r.walFsyncNs.Load(),
+		WALFlushRecords: r.walFlushRecs.Load(),
+		Checkpoints:     r.checkpoints.Load(),
+		CheckpointNs:    r.checkpointNs.Load(),
+		Vacuums:         r.vacuums.Load(),
+		VacuumNs:        r.vacuumNs.Load(),
 	}
+	for i := range r.walFlushSizes {
+		st.WALFlushSizes[i] = r.walFlushSizes[i].Load()
+	}
+	return st
 }

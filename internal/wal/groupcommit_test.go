@@ -1,0 +1,259 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sqlgraph/internal/faultinject"
+)
+
+// TestGroupCommitConcurrentWriters is the -race durability contract: N
+// writers append and commit concurrently through the accumulation
+// window, every Commit return means the record's LSN is covered by a
+// durable flush, and recovery sees every record in LSN order.
+func TestGroupCommitConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.EnableGroupCommit(GroupCommit{MaxDelay: 500 * time.Microsecond, MaxBatch: 16})
+
+	var flushes atomic.Int64
+	l.SetSyncObserver(func(time.Duration, int) { flushes.Add(1) })
+
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				lsn, err := l.Append(Record{Op: OpAddVertex, ID: int64(w*perWriter + i)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := l.Commit(lsn); err != nil {
+					errs <- err
+					return
+				}
+				if durable := l.DurableLSN(); durable < lsn {
+					errs <- errors.New("Commit returned with DurableLSN behind the committed record")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	total := int64(writers * perWriter)
+	if got := flushes.Load(); got >= total {
+		t.Fatalf("group commit did no amortization: %d flushes for %d commits", got, total)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(st.Records)) != total {
+		t.Fatalf("recovered %d records, want %d", len(st.Records), total)
+	}
+	for i, r := range st.Records {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d, want consecutive from 1", i, r.LSN)
+		}
+	}
+}
+
+// TestGroupCommitKillMidBatchFsync crashes the log partway through a
+// batched flush: committers racing that flush either return durable or
+// fail with the injected error, and recovery yields a consecutive-LSN
+// prefix — never a gap, never a torn mid-log record accepted as valid.
+func TestGroupCommitKillMidBatchFsync(t *testing.T) {
+	for _, limit := range []int{0, 1, 37, 150, 400} {
+		dir := t.TempDir()
+		l, _, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.EnableGroupCommit(GroupCommit{MaxDelay: 200 * time.Microsecond, MaxBatch: 8})
+		l.SetWriteHook(faultinject.ByteLimit(limit))
+
+		const writers, perWriter = 4, 20
+		var wg sync.WaitGroup
+		var durableMax atomic.Uint64
+		var failed atomic.Int64
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					lsn, err := l.Append(Record{Op: OpAddVertex, ID: int64(w*perWriter + i)})
+					if err != nil {
+						failed.Add(1)
+						return
+					}
+					if _, err := l.Commit(lsn); err != nil {
+						failed.Add(1)
+						return
+					}
+					// This record is promised durable; remember the highest
+					// such promise to check against recovery.
+					for {
+						cur := durableMax.Load()
+						if lsn <= cur || durableMax.CompareAndSwap(cur, lsn) {
+							break
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if failed.Load() == 0 {
+			t.Fatalf("limit %d: no writer observed the injected crash", limit)
+		}
+		// The crashed log is abandoned, like a dead process.
+		st, err := Recover(dir)
+		if err != nil {
+			t.Fatalf("limit %d: recover: %v", limit, err)
+		}
+		for i, r := range st.Records {
+			if r.LSN != uint64(i+1) {
+				t.Fatalf("limit %d: record %d has LSN %d, want consecutive prefix", limit, i, r.LSN)
+			}
+		}
+		if promised := durableMax.Load(); uint64(len(st.Records)) < promised {
+			t.Fatalf("limit %d: Commit promised durability through LSN %d but only %d records recovered",
+				limit, promised, len(st.Records))
+		}
+	}
+}
+
+// TestCommitPiggybacksOnCoveringFlush pins the cross-writer amortization
+// of the *synchronous* pipeline: a flush led by one committer covers
+// every record appended before it, so the other committers return
+// without a second fsync.
+func TestCommitPiggybacksOnCoveringFlush(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var fsyncs atomic.Int64
+	l.SetSyncObserver(func(time.Duration, int) { fsyncs.Add(1) })
+
+	lsn1, err := l.Append(Record{Op: OpAddVertex, ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn2, err := l.Append(Record{Op: OpAddVertex, ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := l.Commit(lsn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch != 2 {
+		t.Fatalf("leading flush covered %d records, want 2", batch)
+	}
+	if _, err := l.Commit(lsn1); err != nil {
+		t.Fatal(err)
+	}
+	if got := fsyncs.Load(); got != 1 {
+		t.Fatalf("two commits cost %d fsyncs, want 1", got)
+	}
+	if l.DurableLSN() != lsn2 {
+		t.Fatalf("DurableLSN = %d, want %d", l.DurableLSN(), lsn2)
+	}
+}
+
+// TestGroupCommitWindowBatches drives sequential commits through a wide
+// window and checks the flusher actually accumulates them rather than
+// flushing one-by-one.
+func TestGroupCommitWindowBatches(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.EnableGroupCommit(GroupCommit{MaxDelay: 5 * time.Millisecond, MaxBatch: 1024})
+	var fsyncs atomic.Int64
+	l.SetSyncObserver(func(time.Duration, int) { fsyncs.Add(1) })
+
+	const n = 12
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := l.Append(Record{Op: OpAddVertex, ID: int64(i)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := l.Commit(lsn); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := fsyncs.Load(); got > n/2 {
+		t.Fatalf("window flushed %d times for %d concurrent commits", got, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := Recover(dir); err != nil || len(st.Records) != n {
+		t.Fatalf("recovered %d records (err=%v), want %d", len(st.Records), err, n)
+	}
+}
+
+// TestGroupCommitMaxBatchEarlyWake: with a long window but a small batch
+// cap, hitting the cap flushes early instead of waiting out the delay.
+func TestGroupCommitMaxBatchEarlyWake(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.EnableGroupCommit(GroupCommit{MaxDelay: 10 * time.Second, MaxBatch: 4})
+
+	var lastLSN uint64
+	for i := 0; i < 4; i++ {
+		lsn, err := l.Append(Record{Op: OpAddVertex, ID: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLSN = lsn
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Commit(lastLSN)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Commit did not return: MaxBatch early wake never fired")
+	}
+	if l.DurableLSN() < lastLSN {
+		t.Fatalf("DurableLSN = %d after full batch, want >= %d", l.DurableLSN(), lastLSN)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 const (
@@ -33,21 +34,56 @@ var ErrCorrupt = errors.New("wal: corrupt")
 // Returning (len(p), nil) is a no-op.
 type WriteHook func(p []byte) (int, error)
 
+// GroupCommit configures the cross-writer group-commit window. The zero
+// value keeps the log synchronous: each committer that finds no flush in
+// flight leads its own (batching only with writers that happen to
+// overlap). When enabled, a dedicated flusher goroutine accumulates
+// appends for up to MaxDelay — or until MaxBatch records are pending —
+// and makes them durable with one write+fsync; committers are pure
+// waiters on their LSN.
+type GroupCommit struct {
+	// MaxDelay bounds how long a committed record may wait for
+	// companions before the flusher syncs it.
+	MaxDelay time.Duration
+	// MaxBatch flushes the window early once this many records are
+	// pending (0 = no record cap).
+	MaxBatch int
+}
+
+// Enabled reports whether the options ask for a dedicated flusher.
+func (g GroupCommit) Enabled() bool { return g.MaxDelay > 0 || g.MaxBatch > 0 }
+
 // Log is an append-only write-ahead log bound to a directory. Appends are
-// buffered; Flush performs the group commit (one write + fsync for
-// everything buffered since the last flush). Any I/O error is sticky: the
-// log refuses further work, like a crashed process would.
+// buffered; Commit (or Flush) performs the group commit: one write +
+// fsync for everything buffered since the last flush. The physical
+// write+fsync happens outside the log mutex — the buffer is swapped under
+// the lock, so concurrent Appends land in the next batch instead of
+// blocking on the disk. Any I/O error is sticky: the log refuses further
+// work, like a crashed process would.
 type Log struct {
 	mu        sync.Mutex
+	cond      *sync.Cond // signals durable advancing, flush completion, or a sticky error
 	f         *os.File
 	dir       string
 	buf       []byte
+	spare     []byte // recycled buffer; appends land here while a flush is in flight
+	pending   int    // records in buf (appended, not yet handed to a flush)
 	nextLSN   uint64
+	durable   uint64 // highest LSN covered by a completed fsync or snapshot
 	snapLSN   uint64 // LastLSN of the snapshot the log starts after
 	sinceSnap int
+	flushing  bool // a leader or the flusher owns the swapped-out batch
+	lastBatch int  // records covered by the most recently completed flush
 	hook      WriteHook
+	syncObs   func(d time.Duration, records int) // observes each physical fsync
 	closed    bool
 	err       error
+
+	gc          GroupCommit
+	kickC       chan struct{} // tells the flusher records are pending
+	fullC       chan struct{} // tells the flusher MaxBatch has been reached
+	stopC       chan struct{}
+	flusherDone chan struct{}
 }
 
 // RecoveredState is what Recover reads back from a directory.
@@ -218,11 +254,70 @@ func Open(dir string) (*Log, *RecoveredState, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("wal: open: %w", err)
 	}
-	l := &Log{f: f, dir: dir, nextLSN: st.NextLSN, sinceSnap: len(st.Records)}
+	l := &Log{f: f, dir: dir, nextLSN: st.NextLSN, durable: st.NextLSN - 1, sinceSnap: len(st.Records)}
+	l.cond = sync.NewCond(&l.mu)
 	if st.Snapshot != nil {
 		l.snapLSN = st.Snapshot.LastLSN
 	}
 	return l, st, nil
+}
+
+// EnableGroupCommit starts the dedicated flusher goroutine with the given
+// accumulation window. Call at most once, right after Open, before any
+// concurrent use; Close stops the flusher.
+func (l *Log) EnableGroupCommit(gc GroupCommit) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.flusherDone != nil || l.closed || !gc.Enabled() {
+		return
+	}
+	l.gc = gc
+	l.kickC = make(chan struct{}, 1)
+	l.fullC = make(chan struct{}, 1)
+	l.stopC = make(chan struct{})
+	l.flusherDone = make(chan struct{})
+	go l.flusherLoop()
+}
+
+// flusherLoop waits for appends, lets companions accumulate for the
+// configured window, and flushes each batch with one write+fsync. A kick
+// token is sent exactly when pending goes 0→1, so every pending record is
+// covered by a current or future loop iteration.
+func (l *Log) flusherLoop() {
+	defer close(l.flusherDone)
+	for {
+		select {
+		case <-l.stopC:
+			return
+		case <-l.kickC:
+		}
+		if d := l.gc.MaxDelay; d > 0 {
+			select {
+			case <-l.fullC: // drain a stale full signal from a prior batch
+			default:
+			}
+			l.mu.Lock()
+			full := l.gc.MaxBatch > 0 && l.pending >= l.gc.MaxBatch
+			l.mu.Unlock()
+			if !full {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-l.fullC:
+					t.Stop()
+				case <-l.stopC:
+					t.Stop()
+					return // Close flushes the remainder
+				}
+			}
+		}
+		l.mu.Lock()
+		err := l.flushBatchLocked()
+		l.mu.Unlock()
+		if err != nil {
+			return // sticky error: waiters have been woken with l.err set
+		}
+	}
 }
 
 // SetWriteHook installs a fault-injection hook on physical log writes.
@@ -234,13 +329,34 @@ func (l *Log) SetWriteHook(h WriteHook) {
 }
 
 // Kill marks the log as crashed: buffered records are dropped and every
-// further operation fails with err. Test use only.
+// further operation fails with err. Commit waiters are woken. Test use
+// only.
 func (l *Log) Kill(err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.err == nil {
 		l.err = err
 	}
+	if l.cond != nil {
+		l.cond.Broadcast()
+	}
+}
+
+// SetSyncObserver installs a callback invoked after every successful
+// physical fsync with its duration and the number of records it covered.
+// Must be set before concurrent use.
+func (l *Log) SetSyncObserver(fn func(d time.Duration, records int)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncObs = fn
+}
+
+// DurableLSN returns the highest LSN covered by a completed fsync or
+// snapshot. Commit(lsn) returns only once DurableLSN() >= lsn.
+func (l *Log) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
 }
 
 // Err returns the sticky error, if the log has failed.
@@ -291,30 +407,109 @@ func (l *Log) Append(r Record) (uint64, error) {
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
 	l.sinceSnap++
+	l.pending++
+	if l.kickC != nil {
+		if l.pending == 1 {
+			select {
+			case l.kickC <- struct{}{}:
+			default:
+			}
+		}
+		if l.gc.MaxBatch > 0 && l.pending >= l.gc.MaxBatch {
+			select {
+			case l.fullC <- struct{}{}:
+			default:
+			}
+		}
+	}
 	return r.LSN, nil
 }
 
-// Flush writes every buffered record in one write and fsyncs: the group
-// commit. Concurrent operations that appended since the last flush are
-// committed together.
+// Commit blocks until the record at lsn is durable and returns the size
+// of the flush batch observed when durability was confirmed (how many
+// records the fsync amortized over). In synchronous mode the first
+// committer to find no flush in flight becomes the leader — it swaps the
+// buffer out under the lock and performs the write+fsync outside it —
+// and overlapping committers wait to be covered. With EnableGroupCommit
+// every committer is a pure waiter on the dedicated flusher.
+func (l *Log) Commit(lsn uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.err != nil {
+			return 0, l.err
+		}
+		if l.durable >= lsn {
+			return l.lastBatch, nil
+		}
+		if l.flusherDone != nil || l.flushing {
+			l.cond.Wait()
+			continue
+		}
+		if err := l.flushBatchLocked(); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// Flush blocks until every record appended so far is durable. Used by
+// Close and by callers that want a full barrier rather than a single
+// LSN's durability.
 func (l *Log) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.flushLocked()
+	return l.flushAllLocked()
 }
 
-func (l *Log) flushLocked() error {
+// flushAllLocked drives (or waits out) flushes until the last appended
+// LSN is durable. Caller holds l.mu.
+func (l *Log) flushAllLocked() error {
+	target := l.nextLSN - 1
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.durable >= target {
+			return nil
+		}
+		if l.flushing {
+			l.cond.Wait()
+			continue
+		}
+		if err := l.flushBatchLocked(); err != nil {
+			return err
+		}
+	}
+}
+
+// flushBatchLocked swaps the pending buffer out, releases l.mu for the
+// physical write+fsync (concurrent Appends proceed into the spare
+// buffer), then republishes the durable watermark and wakes waiters. The
+// caller must hold l.mu with l.flushing false; the flushing flag
+// guarantees at most one flush is in flight. Returns with l.mu held.
+func (l *Log) flushBatchLocked() error {
 	if l.err != nil {
 		return l.err
 	}
-	if len(l.buf) == 0 {
+	if l.pending == 0 {
 		return nil
 	}
 	p := l.buf
+	n := l.pending
+	target := l.nextLSN - 1
+	l.buf = l.spare[:0]
+	l.spare = nil
+	l.pending = 0
+	l.flushing = true
+	hook := l.hook
+	f := l.f
+	obs := l.syncObs
+	l.mu.Unlock()
+
 	allow := len(p)
-	var herr error
-	if l.hook != nil {
-		allow, herr = l.hook(p)
+	var herr, ferr error
+	if hook != nil {
+		allow, herr = hook(p)
 		if allow > len(p) {
 			allow = len(p)
 		}
@@ -323,19 +518,36 @@ func (l *Log) flushLocked() error {
 		}
 	}
 	if allow > 0 {
-		if _, werr := l.f.Write(p[:allow]); werr != nil {
-			l.err = werr
-			return werr
+		if _, werr := f.Write(p[:allow]); werr != nil {
+			ferr = werr
 		}
 	}
-	if herr != nil {
-		l.err = herr
-		return herr
+	if ferr == nil {
+		ferr = herr
 	}
-	l.buf = l.buf[:0]
-	if err := l.f.Sync(); err != nil {
-		l.err = err
-		return err
+	var d time.Duration
+	if ferr == nil {
+		t := time.Now()
+		ferr = f.Sync()
+		d = time.Since(t)
+	}
+
+	l.mu.Lock()
+	l.flushing = false
+	l.cond.Broadcast()
+	if ferr != nil {
+		if l.err == nil {
+			l.err = ferr
+		}
+		return ferr
+	}
+	if target > l.durable {
+		l.durable = target
+	}
+	l.lastBatch = n
+	l.spare = p[:0]
+	if obs != nil {
+		obs(d, n)
 	}
 	return nil
 }
@@ -348,6 +560,12 @@ func (l *Log) flushLocked() error {
 func (l *Log) WriteSnapshot(snap *Snapshot) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// An in-flight flush would write its batch into the truncated file;
+	// wait it out first (it covers only LSNs <= LastLSN, which the
+	// snapshot is about to supersede anyway).
+	for l.flushing {
+		l.cond.Wait()
+	}
 	if l.err != nil {
 		return l.err
 	}
@@ -360,38 +578,56 @@ func (l *Log) WriteSnapshot(snap *Snapshot) error {
 	// Everything buffered or logged is <= LastLSN and folded into the
 	// snapshot; restart the log.
 	l.buf = l.buf[:0]
+	l.pending = 0
 	if err := l.f.Truncate(0); err != nil {
 		l.err = err
+		l.cond.Broadcast()
 		return err
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		l.err = err
+		l.cond.Broadcast()
 		return err
 	}
 	l.snapLSN = snap.LastLSN
 	l.sinceSnap = 0
+	if snap.LastLSN > l.durable {
+		l.durable = snap.LastLSN
+	}
+	l.cond.Broadcast()
 	return nil
 }
 
-// Close flushes buffered records and closes the file. Close is
-// idempotent — the second and later calls return nil — and safe after
-// Kill: a killed log skips the flush (its buffer is already condemned)
-// and just releases the file handle.
+// Close stops the group-commit flusher (if any), flushes buffered
+// records, and closes the file. Close is idempotent — the second and
+// later calls return nil — and safe after Kill: a killed log skips the
+// flush (its buffer is already condemned) and just releases the file
+// handle.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
+	stop, done := l.stopC, l.flusherDone
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var ferr error
 	if l.err == nil {
-		ferr = l.flushLocked()
+		ferr = l.flushAllLocked()
 	}
 	cerr := l.f.Close()
 	if l.err == nil {
 		l.err = errors.New("wal: log closed")
 	}
+	l.cond.Broadcast()
 	if ferr != nil {
 		return ferr
 	}
