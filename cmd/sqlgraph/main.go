@@ -54,6 +54,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "executor worker cap for one query: 0 = GOMAXPROCS, 1 = serial")
 	workers := flag.Int("workers", 1, "load: concurrent batch writers feeding the group-commit WAL pipeline (1 = single-threaded bulk load)")
 	explain := flag.Bool("explain", false, "after query: print the timed plan tree and executor statistics")
+	forcePlan := flag.Int("force-plan", 0, "join-order pin: 0 = cost-based, -1 = syntactic FROM order, k>=1 = k-th enumerated order")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -117,6 +118,7 @@ func main() {
 		log.Fatal(err)
 	}
 	g.SetParallelism(*parallel)
+	g.SetForcePlan(*forcePlan)
 
 	switch args[0] {
 	case "query":
@@ -160,6 +162,29 @@ func main() {
 		}
 		fmt.Println(s)
 		fmt.Printf("Footprint: %d bytes, %d vertices, %d edges\n", g.Bytes(), g.CountVertices(), g.CountEdges())
+		fmt.Println("Optimizer statistics:")
+		for _, td := range g.OptimizerStats(8) {
+			fmt.Printf("  %s: rows=%d (as of v%d)\n", td.Table, td.Rows, td.AsOf)
+			for _, c := range td.Cols {
+				line := fmt.Sprintf("    col%d non-null=%d non-neg=%d", c.Ordinal, c.NonNull, c.NonNeg)
+				if c.NDV > 0 {
+					line += fmt.Sprintf(" ndv=%.0f", c.NDV)
+				}
+				if c.HistMin != "" {
+					line += fmt.Sprintf(" hist=[%s, %s]", c.HistMin, c.HistMax)
+				}
+				fmt.Println(line)
+			}
+			for _, gr := range td.Groups {
+				line := fmt.Sprintf("    label %s count=%d", gr.Key, gr.Count)
+				for _, col := range []string{"col1", "col2"} {
+					if v, ok := gr.NDV[col]; ok {
+						line += fmt.Sprintf(" %s-ndv=%.0f", map[string]string{"col1": "src", "col2": "dst"}[col], v)
+					}
+				}
+				fmt.Println(line)
+			}
+		}
 	case "demo":
 		demo(g)
 	default:

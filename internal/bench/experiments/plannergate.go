@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"sqlgraph/internal/bench/queries"
+	"sqlgraph/internal/translate"
+)
+
+// PlannerGate is the cost-based-planner regression gate: every Figure 5
+// and Figure 6 query is timed under the cost-based planner (ForcePlan 0)
+// and pinned to the legacy syntactic join order (ForcePlan -1), and the
+// run fails when a figure's geometric-mean ratio (cost-based over
+// syntactic) exceeds maxRatio — i.e. chosen plans must never be
+// meaningfully slower than the old fixed order. The Figure 5 multi-hop
+// subset (two or more traversal steps, where join order matters most) is
+// reported separately. Timings are best-of-N to shed scheduler noise.
+func PlannerGate(env *DBpediaEnv, maxRatio float64, w io.Writer) error {
+	fmt.Fprintf(w, "\n== Planner gate: cost-based vs syntactic join order (max ratio %.2f) ==\n", maxRatio)
+	defer env.Store.SetForcePlan(0)
+
+	one := func(gq string, opts translate.Options, forcePlan int) (time.Duration, error) {
+		env.Store.SetForcePlan(forcePlan)
+		// Settle the heap first: the two modes allocate differently, and
+		// without this a hash-heavy plan's garbage is collected inside the
+		// other mode's timed window.
+		runtime.GC()
+		t0 := time.Now()
+		if _, err := env.Store.QueryWithOptions(gq, opts); err != nil {
+			return 0, err
+		}
+		return time.Since(t0), nil
+	}
+	// measure interleaves the two modes round by round (A B, A B, ...)
+	// and keeps each mode's best, so cache warmup and scheduler drift hit
+	// both sides of the ratio equally.
+	measure := func(gq string, opts translate.Options) (syn, cost time.Duration, err error) {
+		for _, fp := range []int{-1, 0} { // warmup, untimed
+			if _, err = one(gq, opts, fp); err != nil {
+				return
+			}
+		}
+		const rounds = 5
+		for i := 0; i < rounds; i++ {
+			var s, c time.Duration
+			if s, err = one(gq, opts, -1); err != nil {
+				return
+			}
+			if c, err = one(gq, opts, 0); err != nil {
+				return
+			}
+			if i == 0 || s < syn {
+				syn = s
+			}
+			if i == 0 || c < cost {
+				cost = c
+			}
+		}
+		return
+	}
+
+	type figAcc struct {
+		logSum float64
+		n      int
+	}
+	accs := map[string]*figAcc{}
+	add := func(fig string, ratio float64) {
+		a := accs[fig]
+		if a == nil {
+			a = &figAcc{}
+			accs[fig] = a
+		}
+		a.logSum += math.Log(ratio)
+		a.n++
+	}
+	geomean := func(fig string) (float64, bool) {
+		a := accs[fig]
+		if a == nil || a.n == 0 {
+			return 0, false
+		}
+		return math.Exp(a.logSum / float64(a.n)), true
+	}
+
+	check := func(fig, name, gq string, opts translate.Options) error {
+		syn, cost, err := measure(gq, opts)
+		if err != nil {
+			return fmt.Errorf("%s %s: %w", fig, name, err)
+		}
+		ratio := float64(cost) / float64(syn)
+		add(fig, ratio)
+		if fig == "fig5" && hopCount(gq) >= 2 {
+			add("fig5-multihop", ratio)
+		}
+		fmt.Fprintf(w, "  %-6s %-5s cost=%-12v syntactic=%-12v ratio=%.3f\n", fig, name, cost, syn, ratio)
+		return nil
+	}
+
+	for i, gq := range queries.BenchmarkQueries(env.Data) {
+		if err := check("fig5", fmt.Sprintf("q%d", i+1), gq, translate.Options{}); err != nil {
+			return err
+		}
+	}
+	for i, gq := range queries.PathQueries(env.Data) {
+		if err := check("fig6", fmt.Sprintf("lq%d", i+1), gq, translate.Options{ForceHashTables: true}); err != nil {
+			return err
+		}
+	}
+
+	var failures []string
+	for _, fig := range []string{"fig5", "fig6"} {
+		g, ok := geomean(fig)
+		if !ok {
+			continue
+		}
+		verdict := "ok"
+		if g > maxRatio {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s geomean %.3f > %.2f", fig, g, maxRatio))
+		}
+		fmt.Fprintf(w, "  %s geomean ratio (cost-based / syntactic): %.3f [%s]\n", fig, g, verdict)
+	}
+	if g, ok := geomean("fig5-multihop"); ok {
+		note := "cost-based planning wins"
+		if g >= 1 {
+			note = "no multi-hop win this run"
+		}
+		fmt.Fprintf(w, "  fig5 multi-hop geomean ratio: %.3f (%s)\n", g, note)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("planner gate: %s", strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// hopCount counts traversal steps in a Gremlin pipeline — the join depth
+// the planner gets to reorder.
+func hopCount(gq string) int {
+	n := 0
+	for _, step := range []string{".out", ".in", ".both"} {
+		n += strings.Count(gq, step)
+	}
+	return n
+}

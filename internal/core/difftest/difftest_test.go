@@ -24,6 +24,17 @@ func TestDifferentialShrunk(t *testing.T) {
 	}
 }
 
+// TestDifferentialPlanEquivalence is the plan-space sweep: every
+// pipeline re-runs under the syntactic join order and every order the
+// cost-based planner enumerated, crossed with every forced join
+// strategy, and must reproduce the oracle's result multiset each time.
+// The full corpus runs with -tags slow.
+func TestDifferentialPlanEquivalence(t *testing.T) {
+	if err := RunPlans(7, 3, 15, []core.TranslateOptions{{}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestDifferentialSnapshot runs the same differential property through
 // the snapshot read path: pin a snapshot, mutate the store, and check
 // translated queries on the snapshot still match the oracle's frozen

@@ -16,3 +16,14 @@ func TestDifferentialFull(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDifferentialPlanEquivalenceFull is the full plan-space sweep: more
+// graphs and pipelines, in every translation mode.
+func TestDifferentialPlanEquivalenceFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full plan-equivalence corpus")
+	}
+	if err := RunPlans(200, 12, 60, allModes); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -112,6 +112,12 @@ func rebuildStore(st *wal.RecoveredState, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("%w: replaying LSN %d (%s): %v", wal.ErrCorrupt, rec.LSN, rec.Op, err)
 		}
 	}
+	// Snapshot restore and replay both commit through observed
+	// transactions, so counters are already exact; the rebuild populates
+	// the histograms the snapshot does not carry.
+	if err := s.optStats.RebuildAll(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -311,7 +317,12 @@ func (s *Store) Checkpoint() (err error) {
 	wrT := time.Now()
 	err = s.wal.WriteSnapshot(snap)
 	w.observe("snapshot-write", wrT, time.Since(wrT))
-	return err
+	if err != nil {
+		return err
+	}
+	// Checkpoint is the histogram refresh cadence: equi-height histograms
+	// are rebuild-only, so piggyback on the full-scan moment.
+	return s.optStats.RebuildAll()
 }
 
 // dumpSnapshot collects the full catalog as a snapshot value. The caller

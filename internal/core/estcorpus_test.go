@@ -1,0 +1,142 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"sqlgraph/internal/blueprints"
+	"sqlgraph/internal/engine"
+)
+
+// The estimate-vs-actual regression corpus: a committed set of Gremlin
+// queries over a deterministic graph, each with a pinned maximum q-error
+// (max(est,act)/min(est,act), floored at 1) across every operator the
+// planner estimated. A cost-model or statistics regression that degrades
+// an estimate past its pinned bound fails the test; improvements should
+// tighten the bound in testdata/est_corpus.json.
+
+type estCase struct {
+	Name    string  `json:"name"`
+	Gremlin string  `json:"gremlin"`
+	MaxQ    float64 `json:"max_q"`
+}
+
+// estCorpusGraph builds the deterministic graph the corpus queries run
+// on: 200 vertices (k = i mod 5, name on even ids), a dense "a" ring,
+// a sparser "b" fan, and a rare "c" label.
+func estCorpusGraph(t *testing.T) *Store {
+	t.Helper()
+	g := blueprints.NewMemGraph()
+	const nV = 200
+	for i := 0; i < nV; i++ {
+		attrs := map[string]any{"k": int64(i % 5)}
+		if i%2 == 0 {
+			attrs["name"] = fmt.Sprintf("n%d", i%10)
+		}
+		if err := g.AddVertex(int64(i), attrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eid := int64(1000)
+	addEdge := func(from, to int, label string) {
+		if err := g.AddEdge(eid, int64(from), int64(to), label, map[string]any{"w": float64(eid%100) / 100}); err != nil {
+			t.Fatal(err)
+		}
+		eid++
+	}
+	for i := 0; i < nV; i++ {
+		addEdge(i, (i*7+1)%nV, "a")
+		if i%2 == 0 {
+			addEdge(i, (i*13+2)%nV, "b")
+		}
+		if i%20 == 0 {
+			addEdge(i, (i*3+5)%nV, "c")
+		}
+	}
+	s, err := Load(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// qerr is the symmetric ratio error, floored at 1. Zero counts are
+// smoothed to 1 so empty-but-predicted-small operators don't explode.
+func qerr(est int64, act int) float64 {
+	e, a := float64(est), float64(act)
+	if e < 1 {
+		e = 1
+	}
+	if a < 1 {
+		a = 1
+	}
+	if e > a {
+		return e / a
+	}
+	return a / e
+}
+
+// maxQError folds the worst per-operator q-error of one execution.
+// Operators the planner did not estimate (est = -1) are skipped.
+func maxQError(st *engine.ExecStats) (worst float64, ops []string) {
+	worst = 1
+	note := func(kind, name string, est int64, act int) {
+		q := qerr(est, act)
+		ops = append(ops, fmt.Sprintf("%s %s est=%d act=%d q=%.2f", kind, name, est, act, q))
+		if q > worst {
+			worst = q
+		}
+	}
+	for i := range st.CTEs {
+		c := &st.CTEs[i]
+		if c.EstRows >= 0 {
+			note("cte", c.Name, c.EstRows, c.Rows)
+		}
+	}
+	for i := range st.Scans {
+		sc := &st.Scans[i]
+		if sc.EstRows >= 0 {
+			note("scan", sc.Table, sc.EstRows, sc.RowsOut)
+		}
+	}
+	for i := range st.Joins {
+		j := &st.Joins[i]
+		if j.EstRows >= 0 {
+			note("join", j.Table, j.EstRows, j.OutRows)
+		}
+	}
+	return worst, ops
+}
+
+func TestEstimateCorpus(t *testing.T) {
+	raw, err := os.ReadFile("testdata/est_corpus.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []estCase
+	if err := json.Unmarshal(raw, &cases); err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("empty corpus")
+	}
+	s := estCorpusGraph(t)
+	for _, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			res, err := s.QueryTraced(c.Gremlin, TranslateOptions{}, "")
+			if err != nil {
+				t.Fatalf("%s: %v", c.Gremlin, err)
+			}
+			worst, ops := maxQError(&res.Stats)
+			if len(ops) == 0 {
+				t.Fatalf("%s: no estimated operators — planner hints lost?", c.Gremlin)
+			}
+			if worst > c.MaxQ {
+				t.Errorf("%s: worst q-error %.2f exceeds pinned bound %.2f\n%v",
+					c.Gremlin, worst, c.MaxQ, ops)
+			}
+		})
+	}
+}

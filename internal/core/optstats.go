@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/stats"
+)
+
+// Optimizer statistics wiring. Every store carries a stats.Collection
+// attached as the catalog's change observer, so the cost-based planner
+// (internal/engine) sees maintained row counts, NDV sketches, and
+// per-edge-label degree summaries. Histograms are rebuild-only; they are
+// refreshed at bulk load, crash recovery, and every checkpoint.
+
+// optStatsConfig describes which statistics the planner needs per table.
+//
+//   - VA: row count + NDV/histogram on VID (vertex lookups, soft-delete
+//     guard selectivity via the always-on NonNeg counters).
+//   - EA: NDV on EID/INV/OUTV/LBL, histograms on the endpoint columns,
+//     and per-label group stats (edge count plus distinct sources and
+//     targets per label — the out/in-degree summaries).
+//   - OPA/IPA: NDV on VID (adjacency rows per vertex).
+//   - OSA/ISA: NDV on the list id (multi-value fan-out).
+func optStatsConfig() stats.Config {
+	return stats.Config{Tables: []stats.TableSpec{
+		{Name: TableVA, NDVCols: []int{vaVID}, HistCols: []int{vaVID}, GroupCol: -1},
+		{Name: TableEA, NDVCols: []int{eaEID, eaINV, eaOUTV, eaLBL}, HistCols: []int{eaINV, eaOUTV},
+			GroupCol: eaLBL, GroupNDVCols: []int{eaINV, eaOUTV}},
+		{Name: TableOPA, NDVCols: []int{adjVID}, GroupCol: -1},
+		{Name: TableIPA, NDVCols: []int{adjVID}, GroupCol: -1},
+		{Name: TableOSA, NDVCols: []int{secVALID}, GroupCol: -1},
+		{Name: TableISA, NDVCols: []int{secVALID}, GroupCol: -1},
+	}}
+}
+
+// initOptStats builds the collection and plugs it into both consumers:
+// the catalog (incremental maintenance on every commit) and the engine
+// (the planner's StatsProvider). Called by newMemStore before any row
+// exists, so incremental counters are exact from the first insert.
+func (s *Store) initOptStats() {
+	s.optStats = stats.NewCollection(s.cat, optStatsConfig())
+	s.cat.SetChangeObserver(s.optStats)
+	s.eng.SetStatsProvider(s.optStats)
+}
+
+// OptimizerStats exposes the planner statistics (server /stats section,
+// CLI `sqlgraph stats`, invariant tests).
+func (s *Store) OptimizerStats() *stats.Collection { return s.optStats }
+
+// RefreshStats rebuilds every tracked table's statistics from a scan,
+// including the rebuild-only histograms.
+func (s *Store) RefreshStats() error { return s.optStats.RebuildAll() }
+
+// ---- translate.GraphStats ----
+//
+// The Gremlin translator type-asserts its Schema to GraphStats and, when
+// present, threads per-CTE cardinality hints into the planner. All
+// methods answer from the maintained collection — no scans.
+
+// VertexCount returns the live (non-soft-deleted) vertex count.
+func (s *Store) VertexCount() float64 { return s.liveRows(TableVA, vaVID) }
+
+// EdgeCount returns the live edge count.
+func (s *Store) EdgeCount() float64 { return s.liveRows(TableEA, eaEID) }
+
+// liveRows estimates live rows as rows × frac(idCol >= 0): soft deletes
+// negate ids in place, and the NonNeg counters track that guard exactly.
+func (s *Store) liveRows(table string, idCol int) float64 {
+	rows, ok := s.optStats.TableRows(table)
+	if !ok || rows <= 0 {
+		return 0
+	}
+	if frac, ok := s.optStats.FracNonNeg(table, idCol); ok {
+		return float64(rows) * frac
+	}
+	return float64(rows)
+}
+
+// OutFanout estimates out-edges per frontier vertex for a labeled
+// traversal: the summed per-label edge counts over the live vertex
+// count. An empty label set means all labels.
+func (s *Store) OutFanout(labels []string) float64 { return s.fanout(labels) }
+
+// InFanout is the in-edge analogue. Labeled edge counts are symmetric
+// (every edge has one source and one target), so the per-label totals
+// are shared; only the traversal direction differs for the caller.
+func (s *Store) InFanout(labels []string) float64 { return s.fanout(labels) }
+
+func (s *Store) fanout(labels []string) float64 {
+	vcount := s.VertexCount()
+	if vcount <= 0 {
+		return 0
+	}
+	if len(labels) == 0 {
+		return s.EdgeCount() / vcount
+	}
+	var edges float64
+	for _, lbl := range labels {
+		if n, ok := s.optStats.GroupCount(TableEA, rel.NewString(lbl)); ok {
+			edges += float64(n)
+		}
+	}
+	return edges / vcount
+}

@@ -8,6 +8,7 @@ import (
 	"sqlgraph/internal/core/coloring"
 	"sqlgraph/internal/engine"
 	"sqlgraph/internal/rel"
+	"sqlgraph/internal/stats"
 	"sqlgraph/internal/trace"
 	"sqlgraph/internal/wal"
 )
@@ -97,6 +98,7 @@ type Store struct {
 
 	prepared sync.Map        // gremlin text -> *preparedQuery
 	tracer   *trace.Recorder // trace rings + write-path counters (never nil)
+	optStats *stats.Collection // planner statistics (never nil)
 
 	// Pre-resolved transaction lock plans for the stored procedures (one
 	// transaction per graph operation; re-resolving names per call showed
@@ -170,6 +172,7 @@ func newMemStore(opts Options) (*Store, error) {
 	}
 	s.eng = engine.New(s.cat)
 	registerUDFs(s.eng)
+	s.initOptStats()
 	if err := s.initFootprints(); err != nil {
 		return nil, err
 	}
@@ -238,6 +241,7 @@ func loadMem(src blueprints.Graph, opts Options) (*Store, error) {
 	}
 	s.eng = engine.New(s.cat)
 	registerUDFs(s.eng)
+	s.initOptStats()
 	if err := s.initFootprints(); err != nil {
 		return nil, err
 	}
@@ -290,6 +294,11 @@ func loadMem(src blueprints.Graph, opts Options) (*Store, error) {
 		}
 	}
 	tx.Commit()
+	// The observer maintained counters through the bulk commit; a rebuild
+	// additionally populates the rebuild-only histograms.
+	if err := s.optStats.RebuildAll(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -418,6 +427,16 @@ func (s *Store) Engine() *engine.Engine { return s.eng }
 func (s *Store) SetParallelism(n int) {
 	opts := s.eng.ExecOptionsInEffect()
 	opts.Parallelism = n
+	s.eng.SetExecOptions(opts)
+}
+
+// SetForcePlan pins the planner's join-order choice for subsequent
+// queries: 0 restores cost-based planning, -1 forces the syntactic FROM
+// order, k >= 1 pins the k-th enumerated order (wrapping modulo the
+// enumeration count). Results are identical at any setting.
+func (s *Store) SetForcePlan(k int) {
+	opts := s.eng.ExecOptionsInEffect()
+	opts.ForcePlan = k
 	s.eng.SetExecOptions(opts)
 }
 

@@ -86,7 +86,7 @@ func (s *Store) runQuery(b *trace.Builder, gremlinText string, opts TranslateOpt
 	b.SetSQL(prep.translation.SQL)
 
 	sp := b.Begin("execute")
-	rows, err := s.eng.QueryStmtAt(prep.stmt, ver)
+	rows, err := s.eng.QueryStmtHintedAt(prep.stmt, ver, prep.translation.Hints)
 	b.End(sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: executing translated SQL: %w", err)
@@ -105,9 +105,20 @@ func (s *Store) runQuery(b *trace.Builder, gremlinText string, opts TranslateOpt
 // start inside QueryStmtAt, which is itself inside the execute span, so
 // children always nest within their parent.
 func attachOperatorSpans(b *trace.Builder, exec *trace.Span, st *engine.ExecStats) {
+	for i := range st.CTEs {
+		c := &st.CTEs[i]
+		detail := c.Name
+		if c.EstRows >= 0 {
+			detail += fmt.Sprintf(" est=%d act=%d", c.EstRows, c.Rows)
+		}
+		b.Child(exec, "cte", detail, c.StartNs, c.Nanos, int64(c.Rows), int64(c.Rows))
+	}
 	for i := range st.Scans {
 		sc := &st.Scans[i]
 		detail := fmt.Sprintf("%s %s workers=%d", sc.Table, sc.Access, sc.Workers)
+		if sc.EstRows >= 0 {
+			detail += fmt.Sprintf(" est=%d act=%d", sc.EstRows, sc.RowsOut)
+		}
 		b.Child(exec, "scan", detail, sc.StartNs, sc.Nanos, int64(sc.RowsIn), int64(sc.RowsOut))
 	}
 	for i := range st.Joins {
@@ -118,6 +129,15 @@ func attachOperatorSpans(b *trace.Builder, exec *trace.Span, st *engine.ExecStat
 		}
 		if j.Workers > 1 {
 			detail += fmt.Sprintf(" workers=%d", j.Workers)
+		}
+		if j.EstRows >= 0 {
+			detail += fmt.Sprintf(" est=%d act=%d cost=%.0f", j.EstRows, j.OutRows, j.EstCost)
+		}
+		if j.AltStrategy != engine.StrategyAuto {
+			detail += fmt.Sprintf(" alt=%s", j.AltStrategy)
+			if j.AltCost >= 0 {
+				detail += fmt.Sprintf("(cost=%.0f)", j.AltCost)
+			}
 		}
 		b.Child(exec, "join", detail, j.StartNs, j.Nanos, int64(j.BuildRows+j.ProbeRows), int64(j.OutRows))
 	}

@@ -26,9 +26,15 @@ type Engine struct {
 	funcsMu sync.RWMutex
 	funcs   map[string]ScalarFunc
 
-	iosim    atomic.Pointer[IOSim]       // optional buffer-pool simulation (Figure 8c)
-	execOpts atomic.Pointer[ExecOptions] // nil = defaults
+	iosim     atomic.Pointer[IOSim]        // optional buffer-pool simulation (Figure 8c)
+	execOpts  atomic.Pointer[ExecOptions]  // nil = defaults
+	statsProv atomic.Pointer[statsProvBox] // optimizer statistics, nil = legacy planning
+	planCache sync.Map                     // *sql.SimpleSelect -> *planCacheEntry (see planner.go)
 }
+
+// statsProvBox wraps a StatsProvider so a nil provider can be stored
+// distinctly from "no provider attached".
+type statsProvBox struct{ p StatsProvider }
 
 // New creates an engine over a catalog.
 func New(cat *rel.Catalog) *Engine {
@@ -73,6 +79,27 @@ func (e *Engine) ExecOptionsInEffect() ExecOptions {
 		return *p
 	}
 	return ExecOptions{}
+}
+
+// SetStatsProvider attaches (or removes, with nil) optimizer statistics.
+// With a provider attached, reorderable FROM clauses are planned with the
+// cost model in planner.go; without one, the legacy syntactic join order
+// and heuristic strategy selection apply. Safe to call concurrently with
+// queries.
+func (e *Engine) SetStatsProvider(p StatsProvider) {
+	if p == nil {
+		e.statsProv.Store(nil)
+		return
+	}
+	e.statsProv.Store(&statsProvBox{p: p})
+}
+
+// statsProvider returns the attached stats provider, if any.
+func (e *Engine) statsProvider() StatsProvider {
+	if b := e.statsProv.Load(); b != nil {
+		return b.p
+	}
+	return nil
 }
 
 // Rows is a fully materialized query result.
@@ -159,18 +186,29 @@ func (e *Engine) QueryAt(sqlText string, asOf rel.Version, params ...any) (*Rows
 
 // QueryStmtAt executes an already-parsed SELECT at a snapshot version.
 func (e *Engine) QueryStmtAt(sel *sql.SelectStmt, asOf rel.Version, params ...any) (*Rows, error) {
+	return e.QueryStmtHintedAt(sel, asOf, nil, params...)
+}
+
+// QueryStmtHintedAt executes an already-parsed SELECT at a snapshot
+// version with graph-level cardinality hints: hints maps CTE names to the
+// translator's estimated row counts, which the planner folds into join
+// costing and EXPLAIN ANALYZE reports as est= on cte lines.
+func (e *Engine) QueryStmtHintedAt(sel *sql.SelectStmt, asOf rel.Version, hints map[string]float64, params ...any) (*Rows, error) {
 	tables := e.baseTablesOf(sel)
 	unlock := e.rlockAll(tables)
 	defer unlock()
 
 	opts := e.ExecOptionsInEffect()
 	q := &queryState{
-		ctes:   map[string]*relation{},
-		params: toValues(params),
-		par:    opts.Parallelism,
-		force:  opts.ForceJoin,
-		asOf:   asOf,
-		t0:     time.Now(),
+		ctes:      map[string]*relation{},
+		params:    toValues(params),
+		par:       opts.Parallelism,
+		force:     opts.ForceJoin,
+		asOf:      asOf,
+		t0:        time.Now(),
+		provider:  e.statsProvider(),
+		forcePlan: opts.ForcePlan,
+		hints:     hints,
 	}
 	r, err := e.evalSelect(q, sel)
 	if err != nil {

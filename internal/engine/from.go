@@ -153,9 +153,22 @@ func (e *Engine) evalSimpleSelect(q *queryState, sel *sql.SimpleSelect) (*relati
 
 	// Unit relation: one row, no columns (SELECT without FROM).
 	cur := &relation{rows: [][]rel.Value{{}}}
-	for _, ref := range sel.From {
+	refs := sel.From
+	var steps []*stepPlan
+	if fp := e.planFrom(q, sel, conjs); fp != nil {
+		refs = fp.orderedRefs(sel.From)
+		steps = fp.steps
+		if fp.variants > q.stats.PlanVariants {
+			q.stats.PlanVariants = fp.variants
+		}
+	}
+	for i, ref := range refs {
+		var sp *stepPlan
+		if i < len(steps) {
+			sp = steps[i]
+		}
 		var err error
-		cur, err = e.joinRef(q, cur, ref, conjs)
+		cur, err = e.joinRef(q, cur, ref, conjs, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -391,15 +404,17 @@ func projectionPlan(sc *scope, inCols []colInfo, items []sql.SelectItem) ([]colI
 	return outCols, plan, nil
 }
 
-// joinRef folds one FROM item (plus its JOIN chain) into cur.
-func (e *Engine) joinRef(q *queryState, cur *relation, ref sql.TableRef, conjs []*conjunct) (*relation, error) {
-	out, err := e.joinOne(q, cur, ref, conjs, "INNER", nil)
+// joinRef folds one FROM item (plus its JOIN chain) into cur. sp is the
+// planner's decision for the primary reference (nil = legacy heuristics);
+// explicit JOIN chains are never reordered and always run legacy.
+func (e *Engine) joinRef(q *queryState, cur *relation, ref sql.TableRef, conjs []*conjunct, sp *stepPlan) (*relation, error) {
+	out, err := e.joinOne(q, cur, ref, conjs, "INNER", nil, sp)
 	if err != nil {
 		return nil, err
 	}
 	for _, jc := range ref.Joins {
 		onConjs := splitConjuncts(jc.On, nil)
-		out, err = e.joinOne(q, out, jc.Right, onConjs, jc.Kind, onConjs)
+		out, err = e.joinOne(q, out, jc.Right, onConjs, jc.Kind, onConjs, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -432,10 +447,32 @@ func (e *Engine) joinRef(q *queryState, cur *relation, ref sql.TableRef, conjs [
 	return out, nil
 }
 
+// stampJoin annotates the JoinStat the just-executed join recorded (if
+// any; the first FROM fold records none). With a planner step the
+// estimates come from the cost model; on the legacy path only the
+// considered-but-not-costed alternative strategy is recorded.
+func (q *queryState) stampJoin(nBefore int, sp *stepPlan, legacyAlt JoinStrategy) {
+	if len(q.stats.Joins) <= nBefore {
+		return
+	}
+	j := &q.stats.Joins[len(q.stats.Joins)-1]
+	if sp != nil {
+		j.EstRows = sp.estRows
+		j.EstCost = sp.cost
+		if sp.altStrategy != StrategyAuto {
+			j.AltStrategy = sp.altStrategy
+			j.AltCost = sp.altCost
+		}
+		return
+	}
+	j.AltStrategy = legacyAlt
+}
+
 // joinOne joins one primary table reference into cur. For INNER joins the
 // conjunct pool is the statement's WHERE (or the ON clause); for LEFT
-// joins it is the ON clause only.
-func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs []*conjunct, kind string, onOnly []*conjunct) (*relation, error) {
+// joins it is the ON clause only. sp, when non-nil, carries the cost-based
+// planner's strategy choice and estimates for this step.
+func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs []*conjunct, kind string, onOnly []*conjunct, sp *stepPlan) (*relation, error) {
 	if ref.TableFn != nil {
 		if kind != "INNER" {
 			return nil, fmt.Errorf("engine: TABLE(VALUES) requires inner join semantics")
@@ -511,9 +548,11 @@ func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs [
 	// join: probe the index once per outer row instead of materializing
 	// the whole table (this is what makes the OPA/OSA/EA traversal
 	// templates fast). A forced strategy (benchmarks, equivalence tests)
-	// bypasses index selection.
-	if baseTable != nil && len(joinEq) > 0 && q.force == StrategyAuto {
+	// bypasses index selection, as does a planner step that costed hash
+	// as the clear winner.
+	if baseTable != nil && len(joinEq) > 0 && q.force == StrategyAuto && (sp == nil || sp.strategy != StrategyHash) {
 		if ix, mapping := joinIndexFor(baseTable, joinEqRight, q.asOf); ix != nil {
+			nJoins := len(q.stats.Joins)
 			out, err := e.indexNLJoin(q, cur, baseTable, ix, mapping, kind, indexNLArgs{
 				outCols:     outCols,
 				curScope:    curScope,
@@ -527,6 +566,7 @@ func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs [
 			if err != nil {
 				return nil, err
 			}
+			q.stampJoin(nJoins, sp, StrategyHash)
 			for _, c := range joinEq {
 				c.applied = true
 			}
@@ -543,6 +583,9 @@ func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs [
 	// Filter the right side with its own predicates (possibly via index
 	// when the right side is a base table).
 	if baseTable != nil {
+		if sp != nil && sp.estScan >= 0 {
+			q.scanEst, q.scanEstValid = sp.estScan, true
+		}
 		rightRel, err = e.scanBase(q, baseTable, alias, rightOnly)
 		if err != nil {
 			return nil, err
@@ -573,12 +616,15 @@ func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs [
 	// Equi-join terms forced down to a nested loop are evaluated as
 	// residual predicates (same NULL semantics: a NULL-keyed comparison
 	// is not true, so the row does not match).
+	demotedEq := false
 	if q.force == StrategyNestedLoop && len(joinEq) > 0 {
 		residual = append(joinEq, residual...)
 		joinEq, joinEqLeft, joinEqRight = nil, nil, nil
+		demotedEq = true
 	}
 
 	var out *relation
+	nJoins := len(q.stats.Joins)
 	if len(joinEq) > 0 {
 		// Hash join: the default for equi-joins no index covers.
 		out, err = e.hashJoin(q, cur, rightRel, kind, hashJoinArgs{
@@ -593,12 +639,18 @@ func (e *Engine) joinOne(q *queryState, cur *relation, ref sql.TableRef, conjs [
 		if err != nil {
 			return nil, err
 		}
+		q.stampJoin(nJoins, sp, StrategyNestedLoop)
 	} else {
 		// Nested-loop join: true cross joins and non-equi conditions only.
 		out, err = e.nestedLoopJoin(q, cur, rightRel, kind, outCols, outScope, residual, alias)
 		if err != nil {
 			return nil, err
 		}
+		legacyAlt := StrategyAuto
+		if demotedEq {
+			legacyAlt = StrategyHash
+		}
+		q.stampJoin(nJoins, sp, legacyAlt)
 	}
 	for _, c := range joinEq {
 		c.applied = true
@@ -679,6 +731,9 @@ func (e *Engine) nestedLoopJoin(q *queryState, cur, right *relation, kind string
 			Workers:   w,
 			StartNs:   q.sinceStart(opT),
 			Nanos:     time.Since(opT).Nanoseconds(),
+			EstRows:   -1,
+			EstCost:   -1,
+			AltCost:   -1,
 		})
 	}
 	return out, nil

@@ -44,7 +44,7 @@ func (e *Engine) hashJoin(q *queryState, cur, right *relation, kind string, a ha
 	}
 	rightKeys := rightJoinKeys(right, a.joinEqRight)
 
-	stat := JoinStat{Strategy: StrategyHash, Table: a.rightName, Morsels: 1, Workers: 1}
+	stat := JoinStat{Strategy: StrategyHash, Table: a.rightName, Morsels: 1, Workers: 1, EstRows: -1, EstCost: -1, AltCost: -1}
 	var out *relation
 	if len(right.rows) <= len(cur.rows) {
 		stat.BuildSide, stat.BuildRows, stat.ProbeRows = "right", len(right.rows), len(cur.rows)

@@ -124,6 +124,9 @@ func (e *Engine) indexNLJoin(q *queryState, cur *relation, t *rel.Table, ix *rel
 		Workers:   1,
 		StartNs:   q.sinceStart(opT),
 		Nanos:     time.Since(opT).Nanoseconds(),
+		EstRows:   -1,
+		EstCost:   -1,
+		AltCost:   -1,
 	})
 	return out, nil
 }

@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/stats"
+)
+
+// newPlannerEngine builds a two-table schema where cost-based reordering
+// has a clear win: BIG carries an index on its join column, so scanning
+// the filtered SMALL side first and probing BIG's index beats the
+// syntactic order (scan all of BIG, then hash SMALL).
+func newPlannerEngine(t *testing.T, rows int) *Engine {
+	t.Helper()
+	e := New(rel.NewCatalog())
+	mustExec := func(q string, args ...any) {
+		t.Helper()
+		if _, err := e.Exec(q, args...); err != nil {
+			t.Fatalf("Exec(%s): %v", q, err)
+		}
+	}
+	mustExec("CREATE TABLE BIG (K BIGINT, V BIGINT)")
+	mustExec("CREATE INDEX BIG_K ON BIG (K)")
+	mustExec("CREATE TABLE SMALL (K BIGINT, ID BIGINT)")
+
+	// Attach stats before loading so the commit observer maintains them.
+	coll := stats.NewCollection(e.Catalog(), stats.Config{Tables: []stats.TableSpec{
+		{Name: "BIG", NDVCols: []int{0, 1}},
+		{Name: "SMALL", NDVCols: []int{0, 1}},
+	}})
+	e.Catalog().SetChangeObserver(coll)
+	e.SetStatsProvider(coll)
+
+	for i := 0; i < rows; i++ {
+		mustExec("INSERT INTO BIG VALUES (?, ?)", int64(i), int64(i*7))
+	}
+	for i := 0; i < 10; i++ {
+		mustExec("INSERT INTO SMALL VALUES (?, ?)", int64(i*100), int64(i))
+	}
+	return e
+}
+
+const plannerQuery = "SELECT BIG.V FROM BIG, SMALL WHERE BIG.K = SMALL.K AND SMALL.ID = 3 ORDER BY BIG.V"
+
+func TestPlannerReordersToIndexProbe(t *testing.T) {
+	e := newPlannerEngine(t, 2000)
+
+	r, err := e.Query(plannerQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Data) != 1 || r.Data[0][0].Int() != 300*7 {
+		t.Fatalf("wrong result: %v", r.Data)
+	}
+	if r.Stats.PlanVariants != 2 {
+		t.Fatalf("PlanVariants = %d, want 2", r.Stats.PlanVariants)
+	}
+	if len(r.Stats.Joins) != 1 {
+		t.Fatalf("joins = %+v", r.Stats.Joins)
+	}
+	j := r.Stats.Joins[0]
+	// The planner must flip the order: SMALL is scanned first, BIG joined
+	// in via its K index.
+	if j.Table != "BIG" || j.Strategy != StrategyIndexNL {
+		t.Fatalf("join = %+v, want index-nl into BIG", j)
+	}
+	if j.EstRows < 0 || j.EstCost < 0 {
+		t.Fatalf("planner estimates not stamped: %+v", j)
+	}
+	if j.AltStrategy != StrategyHash || j.AltCost < 0 {
+		t.Fatalf("losing alternative not reported: %+v", j)
+	}
+	if len(r.Stats.Scans) == 0 || r.Stats.Scans[0].Table != "SMALL" {
+		t.Fatalf("scans = %+v, want SMALL scanned first", r.Stats.Scans)
+	}
+	if r.Stats.Scans[0].EstRows < 0 {
+		t.Fatalf("scan estimate not stamped: %+v", r.Stats.Scans[0])
+	}
+
+	out := r.Stats.String()
+	for _, want := range []string{"est=", "cost=", "alt=hash(cost="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ExecStats.String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlannerForcePlanPinsOrder(t *testing.T) {
+	e := newPlannerEngine(t, 500)
+
+	// ForcePlan -1: legacy syntactic order (SMALL hash-joined into BIG).
+	e.SetExecOptions(ExecOptions{ForcePlan: -1})
+	r, err := e.Query(plannerQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.PlanVariants != 0 {
+		t.Fatalf("ForcePlan=-1 still planned: variants=%d", r.Stats.PlanVariants)
+	}
+	if len(r.Stats.Joins) != 1 || r.Stats.Joins[0].Table != "SMALL" {
+		t.Fatalf("syntactic order not preserved: %+v", r.Stats.Joins)
+	}
+	want := r.Data
+
+	// Every pinned order and forced strategy returns identical rows.
+	for k := 1; k <= 2; k++ {
+		for _, force := range []JoinStrategy{StrategyAuto, StrategyHash, StrategyNestedLoop} {
+			e.SetExecOptions(ExecOptions{ForcePlan: k, ForceJoin: force})
+			r, err := e.Query(plannerQuery)
+			if err != nil {
+				t.Fatalf("ForcePlan=%d ForceJoin=%q: %v", k, force, err)
+			}
+			if !reflect.DeepEqual(r.Data, want) {
+				t.Fatalf("ForcePlan=%d ForceJoin=%q diverged: %v vs %v", k, force, r.Data, want)
+			}
+			wantJoined := "SMALL" // pinned order 1 = syntactic: BIG scanned, SMALL joined in
+			if k == 2 {
+				wantJoined = "BIG"
+			}
+			if got := r.Stats.Joins[0].Table; got != wantJoined {
+				t.Fatalf("ForcePlan=%d joined %s in, want %s", k, got, wantJoined)
+			}
+		}
+	}
+	// Pinned orders wrap modulo the enumeration count.
+	e.SetExecOptions(ExecOptions{ForcePlan: 3})
+	r, err = e.Query(plannerQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Joins[0].Table != "SMALL" {
+		t.Fatalf("ForcePlan=3 should wrap to order 1: %+v", r.Stats.Joins)
+	}
+}
+
+func TestPlannerDeclinesUnsafeReorders(t *testing.T) {
+	e := newPlannerEngine(t, 50)
+
+	// A bare column name both core relations own makes pushdown
+	// order-sensitive; the planner must leave the FROM order alone.
+	r, err := e.Query("SELECT BIG.V FROM BIG, SMALL WHERE K >= 0 AND BIG.K = SMALL.K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.PlanVariants != 0 {
+		t.Fatalf("reordered despite ambiguous bare column: variants=%d", r.Stats.PlanVariants)
+	}
+
+	// Star projections pin output column order.
+	r, err = e.Query("SELECT * FROM BIG, SMALL WHERE BIG.K = SMALL.K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.PlanVariants != 0 {
+		t.Fatalf("reordered despite star projection: variants=%d", r.Stats.PlanVariants)
+	}
+}
+
+func TestLegacyAltStrategyReported(t *testing.T) {
+	e := newPlannerEngine(t, 100)
+	e.SetStatsProvider(nil) // legacy heuristic planning
+
+	// Equi-join with an index on the joined-in side: index-NL runs, hash
+	// was the alternative.
+	r, err := e.Query("SELECT BIG.V FROM SMALL, BIG WHERE BIG.K = SMALL.K AND SMALL.ID = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := r.Stats.Joins[0]
+	if j.Strategy != StrategyIndexNL || j.AltStrategy != StrategyHash {
+		t.Fatalf("legacy index join alt = %+v", j)
+	}
+	if j.EstRows != -1 || j.AltCost != -1 {
+		t.Fatalf("legacy join must not fake estimates: %+v", j)
+	}
+
+	// Equi-join without a usable index: hash runs, nested-loop was the
+	// alternative.
+	r, err = e.Query("SELECT BIG.V FROM SMALL, BIG WHERE SMALL.ID = BIG.V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j = r.Stats.Joins[0]
+	if j.Strategy != StrategyHash || j.AltStrategy != StrategyNestedLoop {
+		t.Fatalf("legacy hash join alt = %+v", j)
+	}
+
+	// Forced nested loop demotes the equi-term; hash is the alternative.
+	e.SetExecOptions(ExecOptions{ForceJoin: StrategyNestedLoop})
+	r, err = e.Query("SELECT BIG.V FROM SMALL, BIG WHERE SMALL.ID = BIG.V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j = r.Stats.Joins[0]
+	if j.Strategy != StrategyNestedLoop || j.AltStrategy != StrategyHash {
+		t.Fatalf("forced nested-loop alt = %+v", j)
+	}
+	if !strings.Contains(r.Stats.String(), "alt=hash") {
+		t.Fatalf("String() missing alt: %s", r.Stats.String())
+	}
+}
+
+func TestCTEStatsAndHints(t *testing.T) {
+	e := newPlannerEngine(t, 30)
+	stmt, err := e.Prepare("WITH FRONTIER AS (SELECT K FROM SMALL) SELECT COUNT(*) FROM FRONTIER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.QueryStmtHintedAt(stmt.sel, rel.Latest, map[string]float64{"FRONTIER": 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stats.CTEs) != 1 {
+		t.Fatalf("CTEs = %+v", r.Stats.CTEs)
+	}
+	c := r.Stats.CTEs[0]
+	if c.Name != "FRONTIER" || c.EstRows != 12 || c.Rows != 10 {
+		t.Fatalf("CTEStat = %+v", c)
+	}
+	if !strings.Contains(r.Stats.String(), "cte FRONTIER est=12 act=10") {
+		t.Fatalf("String() missing cte line: %s", r.Stats.String())
+	}
+
+	// Without hints the estimate is unknown, not fabricated.
+	r, err = e.QueryStmtAt(stmt.sel, rel.Latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.CTEs[0].EstRows != -1 {
+		t.Fatalf("unhinted CTE est = %d, want -1", r.Stats.CTEs[0].EstRows)
+	}
+}
+
+func TestPlannerEnumerationBounds(t *testing.T) {
+	if got := len(enumerateOrders(3)); got != 6 {
+		t.Fatalf("enumerateOrders(3) = %d orders", got)
+	}
+	if got := enumerateOrders(maxExhaustiveRels + 1); got != nil {
+		t.Fatalf("enumerateOrders past bound returned %d orders", len(got))
+	}
+	orders := enumerateOrders(4)
+	if !reflect.DeepEqual(orders[0], []int{0, 1, 2, 3}) {
+		t.Fatalf("identity must come first: %v", orders[0])
+	}
+	seen := map[string]bool{}
+	for _, o := range orders {
+		seen[fmt.Sprint(o)] = true
+	}
+	if len(seen) != 24 {
+		t.Fatalf("duplicate orders: %d distinct of %d", len(seen), len(orders))
+	}
+}

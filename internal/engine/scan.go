@@ -270,7 +270,11 @@ func (e *Engine) scanBase(q *queryState, t *rel.Table, alias string, conjs []*co
 		filters = append(filters, c)
 	}
 
-	stat := ScanStat{Table: t.Name(), Access: path.kind.accessName(), Morsels: 1, Workers: 1}
+	stat := ScanStat{Table: t.Name(), Access: path.kind.accessName(), Morsels: 1, Workers: 1, EstRows: -1}
+	if q.scanEstValid {
+		stat.EstRows = q.scanEst
+		q.scanEst, q.scanEstValid = 0, false
+	}
 	opT := time.Now()
 	var out *relation
 	if path.kind == accessFullScan {

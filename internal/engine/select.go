@@ -30,6 +30,15 @@ type queryState struct {
 	asOf     rel.Version                         // snapshot version for base-table reads (zero = latest)
 	t0       time.Time                           // query start; anchors operator StartNs offsets
 	stats    ExecStats                           // per-operator execution statistics
+
+	// Cost-based planner state. All fields are zero-value-safe so DML
+	// expression evaluation (which builds bare queryStates) stays on the
+	// legacy syntactic path.
+	provider     StatsProvider      // optimizer statistics, nil = legacy planning
+	forcePlan    int                // ExecOptions.ForcePlan (0 auto, -1 syntactic, k>=1 pinned)
+	hints        map[string]float64 // graph-level CTE cardinality hints from the translator
+	scanEst      int64              // planner row estimate for the next base scan...
+	scanEstValid bool               // ...consumed (and reset) by scanBase
 }
 
 // addIOMiss atomically charges one buffer-pool miss to the query.
@@ -61,6 +70,7 @@ func (e *Engine) evalSelect(q *queryState, stmt *sql.SelectStmt) (*relation, err
 		}
 	}()
 	for _, cte := range stmt.With {
+		cteT := time.Now()
 		var r *relation
 		var err error
 		if cte.Recursive && referencesTable(cte.Query.Body, cte.Name) {
@@ -71,6 +81,17 @@ func (e *Engine) evalSelect(q *queryState, stmt *sql.SelectStmt) (*relation, err
 		if err != nil {
 			return nil, fmt.Errorf("in CTE %s: %w", cte.Name, err)
 		}
+		est := int64(-1)
+		if h, ok := q.hints[cte.Name]; ok {
+			est = roundEst(h)
+		}
+		q.stats.CTEs = append(q.stats.CTEs, CTEStat{
+			Name:    cte.Name,
+			EstRows: est,
+			Rows:    len(r.rows),
+			StartNs: q.sinceStart(cteT),
+			Nanos:   time.Since(cteT).Nanoseconds(),
+		})
 		if len(cte.Columns) > 0 {
 			if len(cte.Columns) != len(r.cols) {
 				return nil, fmt.Errorf("engine: CTE %s declares %d columns, query yields %d", cte.Name, len(cte.Columns), len(r.cols))

@@ -34,6 +34,16 @@ type JoinStat struct {
 	Workers   int    // workers that executed the probe (1 = serial)
 	StartNs   int64  // operator start, relative to query start
 	Nanos     int64  // operator wall time
+
+	// Cost-based planner annotations. EstRows/EstCost are the planner's
+	// estimates for this join (-1 when the planner did not cost it);
+	// AltStrategy/AltCost describe the best strategy it considered but
+	// rejected (AltCost -1 when the alternative was not costed, e.g.
+	// legacy heuristic planning).
+	EstRows     int64
+	EstCost     float64
+	AltStrategy JoinStrategy
+	AltCost     float64
 }
 
 // ScanStat records one base-table access.
@@ -46,6 +56,16 @@ type ScanStat struct {
 	Workers int
 	StartNs int64 // operator start, relative to query start
 	Nanos   int64 // operator wall time
+	EstRows int64 // planner-estimated output rows (-1 when not costed)
+}
+
+// CTEStat records one materialized common table expression.
+type CTEStat struct {
+	Name    string
+	EstRows int64 // graph-level cardinality hint (-1 when none)
+	Rows    int   // rows actually materialized
+	StartNs int64
+	Nanos   int64
 }
 
 // OpStat records a non-scan, non-join operator: aggregation, sort, or
@@ -68,6 +88,12 @@ type ExecStats struct {
 	Scans []ScanStat
 	Joins []JoinStat
 	Ops   []OpStat
+	CTEs  []CTEStat
+	// PlanVariants is the number of distinct join orders the planner
+	// enumerated for the largest reorderable FROM clause in the query
+	// (0 when nothing was reorderable). The plan-equivalence differential
+	// tester sweeps ExecOptions.ForcePlan over 1..PlanVariants.
+	PlanVariants int
 }
 
 // JoinStrategies returns the strategies of the executed joins, in order.
@@ -100,17 +126,43 @@ func (s *ExecStats) MaxWorkers() int {
 // tree carries.
 func (s *ExecStats) String() string {
 	var sb strings.Builder
+	for _, c := range s.CTEs {
+		est := ""
+		if c.EstRows >= 0 {
+			est = fmt.Sprintf(" est=%d", c.EstRows)
+		}
+		fmt.Fprintf(&sb, "cte %s%s act=%d time=%s\n", c.Name, est, c.Rows, fmtNanos(c.Nanos))
+	}
 	for _, sc := range s.Scans {
-		fmt.Fprintf(&sb, "scan %s [%s] in=%d out=%d morsels=%d workers=%d time=%s\n",
-			sc.Table, sc.Access, sc.RowsIn, sc.RowsOut, sc.Morsels, sc.Workers, fmtNanos(sc.Nanos))
+		est := ""
+		if sc.EstRows >= 0 {
+			est = fmt.Sprintf(" est=%d", sc.EstRows)
+		}
+		fmt.Fprintf(&sb, "scan %s [%s] in=%d out=%d%s morsels=%d workers=%d time=%s\n",
+			sc.Table, sc.Access, sc.RowsIn, sc.RowsOut, est, sc.Morsels, sc.Workers, fmtNanos(sc.Nanos))
 	}
 	for _, j := range s.Joins {
 		side := ""
 		if j.BuildSide != "" {
 			side = " build=" + j.BuildSide
 		}
-		fmt.Fprintf(&sb, "join %s [%s]%s build=%d probe=%d out=%d morsels=%d workers=%d time=%s\n",
-			j.Table, j.Strategy, side, j.BuildRows, j.ProbeRows, j.OutRows, j.Morsels, j.Workers, fmtNanos(j.Nanos))
+		est := ""
+		if j.EstRows >= 0 {
+			est = fmt.Sprintf(" est=%d", j.EstRows)
+			if j.EstCost >= 0 {
+				est += fmt.Sprintf(" cost=%.0f", j.EstCost)
+			}
+		}
+		alt := ""
+		if j.AltStrategy != StrategyAuto {
+			if j.AltCost >= 0 {
+				alt = fmt.Sprintf(" alt=%s(cost=%.0f)", j.AltStrategy, j.AltCost)
+			} else {
+				alt = fmt.Sprintf(" alt=%s", j.AltStrategy)
+			}
+		}
+		fmt.Fprintf(&sb, "join %s [%s]%s build=%d probe=%d out=%d%s%s morsels=%d workers=%d time=%s\n",
+			j.Table, j.Strategy, side, j.BuildRows, j.ProbeRows, j.OutRows, est, alt, j.Morsels, j.Workers, fmtNanos(j.Nanos))
 	}
 	for _, op := range s.Ops {
 		switch op.Kind {
@@ -142,4 +194,13 @@ type ExecOptions struct {
 	// evaluates equi-join conditions as residual predicates. Used by
 	// benchmarks and the strategy-equivalence tests.
 	ForceJoin JoinStrategy
+	// ForcePlan pins the join order for reorderable FROM clauses:
+	//   0  — cost-based planning when a stats provider is attached,
+	//        legacy syntactic order otherwise;
+	//  -1  — always the syntactic order (cost-based planning off);
+	//  k≥1 — the k-th enumerated order (1 = syntactic), wrapping modulo
+	//        the number of enumerated orders. Pinned orders neutralize
+	//        per-join strategy choices so ForceJoin composes with them.
+	// Used by the plan-equivalence differential tester.
+	ForcePlan int
 }

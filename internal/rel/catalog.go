@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Catalog is a database: a set of named tables and their indexes.
@@ -13,7 +14,8 @@ import (
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
-	mvcc   mvccState // version clock, snapshot pins, writer mutex, GC (mvcc.go)
+	mvcc   mvccState                   // version clock, snapshot pins, writer mutex, GC (mvcc.go)
+	obs    atomic.Pointer[observerBox] // commit-time change observer (observer.go)
 }
 
 // NewCatalog creates an empty catalog.

@@ -1,0 +1,67 @@
+package rel
+
+// ChangeKind classifies one committed row mutation.
+type ChangeKind uint8
+
+// Change kinds.
+const (
+	ChangeInsert ChangeKind = iota
+	ChangeDelete
+	ChangeUpdate
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeInsert:
+		return "insert"
+	case ChangeDelete:
+		return "delete"
+	default:
+		return "update"
+	}
+}
+
+// Change is one committed row mutation: Old is nil for inserts, New is
+// nil for deletes, updates carry both. The value slices are the live
+// transaction's own; observers must consume them synchronously and must
+// not mutate or retain them past the ObserveCommit call.
+type Change struct {
+	Table string
+	Kind  ChangeKind
+	Old   []Value
+	New   []Value
+}
+
+// ChangeObserver receives every committed logical row change, in
+// transaction order. ObserveCommit runs inside Commit while the
+// transaction still holds its table write locks and the catalog writer
+// mutex, so observers see changes exactly serialized with respect to
+// both writers and rebuild scans that hold table read locks; they must
+// be fast and must not take table locks themselves.
+type ChangeObserver interface {
+	ObserveCommit(ver Version, changes []Change)
+}
+
+// observerBox wraps the interface so it can live in an atomic.Pointer.
+type observerBox struct{ o ChangeObserver }
+
+// SetChangeObserver attaches (or, with nil, detaches) the catalog's
+// commit observer. Attach while no write transaction is in flight
+// (e.g. at store open, before the catalog is shared): transactions
+// capture their change list per-operation, so one attached mid-flight
+// would observe a partial transaction.
+func (c *Catalog) SetChangeObserver(o ChangeObserver) {
+	if o == nil {
+		c.obs.Store(nil)
+		return
+	}
+	c.obs.Store(&observerBox{o: o})
+}
+
+// observer returns the attached observer, if any.
+func (c *Catalog) observer() ChangeObserver {
+	if b := c.obs.Load(); b != nil {
+		return b.o
+	}
+	return nil
+}

@@ -23,6 +23,7 @@ type Txn struct {
 	read    map[string]*Table
 	order   []lockedTable
 	undo    []undoRec
+	redo    []Change // logical changes for the commit observer (nil when detached)
 	garbage map[*Table][]garbageRec
 	ver     Version // nonzero for write transactions: the version being written
 	asOf    Version // read version for read-only transactions (Latest otherwise)
@@ -185,6 +186,9 @@ func (tx *Txn) Insert(table string, vals []Value) (RowID, error) {
 		return 0, err
 	}
 	tx.undo = append(tx.undo, undoRec{table: t, kind: undoInsert, rid: rid})
+	if tx.cat.observer() != nil {
+		tx.redo = append(tx.redo, Change{Table: table, Kind: ChangeInsert, New: vals})
+	}
 	return rid, nil
 }
 
@@ -205,6 +209,9 @@ func (tx *Txn) Delete(table string, rid RowID) (bool, error) {
 	rec.table = t
 	tx.undo = append(tx.undo, rec)
 	tx.addGarbage(t, garbage)
+	if tx.cat.observer() != nil {
+		tx.redo = append(tx.redo, Change{Table: table, Kind: ChangeDelete, Old: rec.vals})
+	}
 	return true, nil
 }
 
@@ -224,6 +231,9 @@ func (tx *Txn) Update(table string, rid RowID, vals []Value) error {
 	rec.table = t
 	tx.undo = append(tx.undo, rec)
 	tx.addGarbage(t, garbage)
+	if tx.cat.observer() != nil {
+		tx.redo = append(tx.redo, Change{Table: table, Kind: ChangeUpdate, Old: rec.vals, New: vals})
+	}
 	return nil
 }
 
@@ -271,6 +281,14 @@ func (tx *Txn) Commit() {
 		return
 	}
 	fireCommitHook()
+	// Deliver the change list while the table write locks are still held:
+	// the observer's view is exactly serialized with both other writers
+	// and any stats rebuild holding a table read lock.
+	if len(tx.redo) > 0 {
+		if o := tx.cat.observer(); o != nil {
+			o.ObserveCommit(tx.ver, tx.redo)
+		}
+	}
 	for t, recs := range tx.garbage {
 		t.addGarbageLocked(recs)
 		tx.cat.noteGarbage(t)
@@ -315,6 +333,7 @@ func (tx *Txn) release() {
 	}
 	tx.closed = true
 	tx.undo = nil
+	tx.redo = nil
 	tx.garbage = nil
 	for i := len(tx.order) - 1; i >= 0; i-- {
 		lt := tx.order[i]

@@ -191,6 +191,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"pinned_snapshots": s.st().PinnedSnapshots(),
 			"sessions_open":    s.sess.Open(),
 			"version":          uint64(s.st().Catalog().CurrentVersion()),
+			"optimizer":        s.st().OptimizerStats().Describe(16),
 		}, http.StatusOK, nil
 	})
 }

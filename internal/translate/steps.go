@@ -2,6 +2,7 @@ package translate
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"sqlgraph/internal/gremlin"
@@ -14,6 +15,61 @@ const (
 	dirOut direction = iota
 	dirIn
 )
+
+// estimateStep advances the running cardinality estimate past one pipe,
+// so the CTEs the pipe emits snapshot the pipe's output estimate. The
+// model is deliberately coarse (uniform-fanout traversals, fixed filter
+// selectivities): hints only steer join costing and EXPLAIN's est=
+// column, never correctness.
+func (t *translator) estimateStep(s *gremlin.Step) {
+	if t.gstats == nil {
+		return
+	}
+	switch s.Kind {
+	case gremlin.StepOut, gremlin.StepOutE:
+		t.est *= t.gstats.OutFanout(s.Labels)
+	case gremlin.StepIn, gremlin.StepInE:
+		t.est *= t.gstats.InFanout(s.Labels)
+	case gremlin.StepBoth, gremlin.StepBothE:
+		t.est *= t.gstats.OutFanout(s.Labels) + t.gstats.InFanout(s.Labels)
+	case gremlin.StepBothV:
+		t.est *= 2
+	case gremlin.StepHas, gremlin.StepFilter:
+		if s.Op == gremlin.OpEq {
+			t.est *= hintSelEq
+		} else {
+			t.est *= hintSelFilter
+		}
+	case gremlin.StepHasNot, gremlin.StepInterval:
+		t.est *= hintSelFilter
+	case gremlin.StepDedup:
+		switch t.typ {
+		case ElemVertex:
+			t.est = math.Min(t.est, t.gstats.VertexCount())
+		case ElemEdge:
+			t.est = math.Min(t.est, t.gstats.EdgeCount())
+		}
+	case gremlin.StepCount:
+		t.est = 1
+	case gremlin.StepRange:
+		if lo, ok := s.Lo.(int64); ok {
+			if hi, ok := s.Hi.(int64); ok {
+				n := float64(hi - lo + 1)
+				if n < 0 {
+					n = 0
+				}
+				t.est = math.Min(t.est, n)
+			}
+		}
+	case gremlin.StepExcept, gremlin.StepRetain:
+		t.est *= 0.5
+	case gremlin.StepSimplePath:
+		t.est *= 0.9
+	}
+	if t.est < 0 {
+		t.est = 0
+	}
+}
 
 // step translates one non-loop pipe.
 func (t *translator) step(s *gremlin.Step) error {
@@ -463,6 +519,11 @@ func (t *translator) ifThenElse(s *gremlin.Step) error {
 		return fmt.Errorf("translate: ifThenElse on values")
 	}
 
+	// The predicate splits the stream; estimate half down each branch and
+	// sum the branch outputs at the union.
+	savedEst := t.est
+	t.est = savedEst * 0.5
+
 	var thenIn string
 	if t.typ == ElemVertex {
 		thenIn = t.add(fmt.Sprintf("SELECT V.VAL AS VAL%s FROM %s V, VA A WHERE A.VID = V.VAL AND %s",
@@ -482,8 +543,10 @@ func (t *translator) ifThenElse(s *gremlin.Step) error {
 		return err
 	}
 	thenOut, thenDepth, thenType := t.cur, t.depth, t.typ
+	thenEst := t.est
 
 	t.cur, t.depth, t.typ = elseIn, savedDepth, savedType
+	t.est = savedEst * 0.5
 	t.hist = savedHist
 	if err := t.pipeline(s.Else); err != nil {
 		return err
@@ -495,6 +558,7 @@ func (t *translator) ifThenElse(s *gremlin.Step) error {
 			thenType, thenDepth, elseType, elseDepth)
 	}
 	t.depth, t.typ = thenDepth, thenType
+	t.est += thenEst
 	t.cur = t.add(fmt.Sprintf("SELECT VAL%s FROM %s UNION ALL SELECT VAL%s FROM %s",
 		t.pathSel(), thenOut, t.pathSel(), elseOut))
 	return nil
@@ -512,10 +576,17 @@ func (t *translator) loop(steps []gremlin.Step, loopIdx int, s *gremlin.Step) er
 		return fmt.Errorf("translate: loop bound must be positive")
 	}
 	if t.opts.RecursiveLoops && !t.track && len(segment) == 1 && t.typ == ElemVertex {
+		// Advance the estimate for the remaining passes before the
+		// recursive CTE is emitted (restored if the fallback unrolls).
+		savedEst := t.est
+		for pass := 1; pass < s.LoopMax; pass++ {
+			t.estimateStep(&segment[0])
+		}
 		if rc, ok := t.recursiveLoop(&segment[0], s.LoopMax); ok {
 			t.cur = rc
 			return nil
 		}
+		t.est = savedEst
 	}
 	// Unroll: the segment has already run once; repeat LoopMax-1 times.
 	for pass := 1; pass < s.LoopMax; pass++ {

@@ -42,6 +42,32 @@ type Schema interface {
 	InColumnFor(label string) int
 }
 
+// GraphStats exposes graph-level cardinalities. When the Schema value
+// also implements it (discovered by type assertion, so translation
+// Options — and with them the prepared-query cache key — are unchanged),
+// the translator maintains a running frontier estimate and snapshots it
+// per emitted CTE into Translation.Hints; the engine's cost-based planner
+// folds those hints into join costing, and EXPLAIN ANALYZE reports them
+// as est= on cte lines.
+type GraphStats interface {
+	// VertexCount returns the live vertex count.
+	VertexCount() float64
+	// EdgeCount returns the live edge count.
+	EdgeCount() float64
+	// OutFanout estimates the out-edges per frontier vertex matching the
+	// label set (empty = all labels); InFanout the in-edge analogue.
+	OutFanout(labels []string) float64
+	InFanout(labels []string) float64
+}
+
+// Hint-model selectivities for predicates the translator cannot cost
+// (coarse on purpose: hints are advisory, and the estimate-vs-actual
+// corpus pins per-query q-error bounds rather than exact numbers).
+const (
+	hintSelEq     = 0.1  // attribute equality
+	hintSelFilter = 0.25 // any other attribute predicate
+)
+
 // Options tune the translation (defaults reproduce the paper's choices).
 type Options struct {
 	// ForceEA answers every adjacency step from the EA table (the paper's
@@ -60,6 +86,9 @@ type Options struct {
 type Translation struct {
 	SQL      string
 	ElemType ElemType
+	// Hints maps emitted CTE names to the translator's estimated row
+	// counts (nil when the Schema does not implement GraphStats).
+	Hints map[string]float64
 }
 
 // Translate compiles a parsed Gremlin query.
@@ -69,6 +98,10 @@ func Translate(q *gremlin.Query, sch Schema, opts Options) (*Translation, error)
 		opts:  opts,
 		marks: map[string]mark{},
 		aggs:  map[string]string{},
+	}
+	if gs, ok := sch.(GraphStats); ok && gs != nil {
+		tr.gstats = gs
+		tr.hints = map[string]float64{}
 	}
 	return tr.translate(q)
 }
@@ -94,6 +127,10 @@ type translator struct {
 	marks     map[string]mark
 	aggs      map[string]string // aggregate name -> CTE
 	traversal int               // total adjacency steps in the query (for the EA optimization)
+
+	gstats GraphStats         // nil = no cardinality hints
+	est    float64            // running frontier cardinality estimate
+	hints  map[string]float64 // CTE name -> estimate snapshot at add()
 }
 
 type cte struct {
@@ -109,6 +146,9 @@ func (t *translator) fresh() string {
 func (t *translator) add(body string) string {
 	name := t.fresh()
 	t.ctes = append(t.ctes, cte{name: name, body: body})
+	if t.hints != nil {
+		t.hints[name] = t.est
+	}
 	return name
 }
 
@@ -220,6 +260,7 @@ func (t *translator) translate(q *gremlin.Query) (*Translation, error) {
 	return &Translation{
 		SQL:      sb.String(),
 		ElemType: t.typ,
+		Hints:    t.hints,
 	}, nil
 }
 
@@ -239,6 +280,7 @@ func (t *translator) pipeline(steps []gremlin.Step) error {
 			}
 			continue
 		}
+		t.estimateStep(s)
 		if err := t.step(s); err != nil {
 			return err
 		}
@@ -292,6 +334,15 @@ func (t *translator) source(s *gremlin.Step, rest []gremlin.Step) ([]gremlin.Ste
 	switch s.Kind {
 	case gremlin.StepV:
 		t.typ = ElemVertex
+		if t.gstats != nil {
+			t.est = t.gstats.VertexCount()
+			if len(s.StartIDs) > 0 {
+				t.est = float64(len(s.StartIDs))
+			}
+			if s.StartKey != "" {
+				t.est *= hintSelEq
+			}
+		}
 		conds = append(conds, "VID >= 0")
 		if len(s.StartIDs) > 0 {
 			ids := make([]string, len(s.StartIDs))
@@ -313,6 +364,9 @@ func (t *translator) source(s *gremlin.Step, rest []gremlin.Step) ([]gremlin.Ste
 				break
 			}
 			conds = append(conds, cond)
+			if t.gstats != nil {
+				t.est *= hintSelFilter
+			}
 			consumed++
 		}
 		sel := "SELECT VID AS VAL"
@@ -322,6 +376,15 @@ func (t *translator) source(s *gremlin.Step, rest []gremlin.Step) ([]gremlin.Ste
 		t.cur = t.add(sel + " FROM VA WHERE " + strings.Join(conds, " AND "))
 	case gremlin.StepE:
 		t.typ = ElemEdge
+		if t.gstats != nil {
+			t.est = t.gstats.EdgeCount()
+			if len(s.StartIDs) > 0 {
+				t.est = float64(len(s.StartIDs))
+			}
+			if s.StartKey != "" {
+				t.est *= hintSelEq
+			}
+		}
 		if len(s.StartIDs) > 0 {
 			ids := make([]string, len(s.StartIDs))
 			for i, id := range s.StartIDs {
@@ -341,6 +404,9 @@ func (t *translator) source(s *gremlin.Step, rest []gremlin.Step) ([]gremlin.Ste
 				break
 			}
 			conds = append(conds, cond)
+			if t.gstats != nil {
+				t.est *= hintSelFilter
+			}
 			consumed++
 		}
 		sel := "SELECT EID AS VAL"
