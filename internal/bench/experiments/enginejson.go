@@ -12,7 +12,7 @@ import (
 
 // EngineBenchEntry is one query's machine-readable benchmark result.
 type EngineBenchEntry struct {
-	Figure     string   `json:"figure"` // "fig5" (Gremlin workload) or "fig6" (path plans)
+	Figure     string   `json:"figure"` // "fig5" (Gremlin), "fig6" (path plans), "ordergroup" (sort/group pushdown)
 	Query      string   `json:"query"`  // q1..q20 / lq1..lq11
 	Gremlin    string   `json:"gremlin"`
 	NsPerOp    int64    `json:"ns_per_op"`
@@ -102,6 +102,11 @@ func EngineBenchReportData(env *DBpediaEnv, scaleName string) (*EngineBenchRepor
 	}
 	for i, gq := range queries.PathQueries(env.Data) {
 		if err := run("fig6", fmt.Sprintf("lq%d", i+1), gq, translate.Options{ForceHashTables: true}); err != nil {
+			return nil, err
+		}
+	}
+	for i, gq := range queries.OrderGroupQueries(env.Data) {
+		if err := run("ordergroup", fmt.Sprintf("og%d", i+1), gq, translate.Options{}); err != nil {
 			return nil, err
 		}
 	}

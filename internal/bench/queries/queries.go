@@ -292,6 +292,35 @@ func BenchmarkQueries(d *dbpedia.Dataset) []string {
 
 const nationalFrance = "http://dbpedia.org/resource/France"
 
+// OrderGroupQueries builds the order/group workload: sorted pagination
+// (ORDER BY ... LIMIT) and grouped aggregation (GROUP BY) shapes that
+// the translator must compile into single SQL statements — the figure
+// guards the pushdown templates against regressing into tail
+// evaluation or slow plans.
+func OrderGroupQueries(d *dbpedia.Dataset) []string {
+	pick := func(ids []int64, i int) int64 {
+		if len(ids) == 0 {
+			return 0
+		}
+		return ids[i%len(ids)]
+	}
+	isPartOf, team, typ := dbpedia.LabelIsPartOf, dbpedia.LabelTeam, dbpedia.LabelType
+	return []string{
+		// og1: top-of-list pagination over a 1-hop neighborhood.
+		fmt.Sprintf("g.V(%d).in('%s').order{it.label}.range(0, 24).count()", d.TypeTeam, typ),
+		// og2: unkeyed order over ids after a 2-hop expansion.
+		fmt.Sprintf("g.V(%d).both('%s').both('%s').dedup().order().range(0, 49).count()", pick(d.Teams, 5), team, team),
+		// og3: group sizes by attribute over a large selective scan.
+		"g.V.has('genre').groupCount{it.genre}.count()",
+		// og4: grouped aggregation of values (LISTAGG shape).
+		fmt.Sprintf("g.V(%d).in('%s').groupBy{it.national}{it.wikiPageID}.count()", d.TypePerson, typ),
+		// og5: edge-context grouping through the LBL column.
+		fmt.Sprintf("g.V(%d).in('%s').outE.groupCount{it.label}.count()", pick(d.Regions, 2), isPartOf),
+		// og6: closure filter + keyed sort, all pushdown.
+		"g.V.filter{it.populationDensitySqMi * 2 >= 200}.order{it.populationDensitySqMi}.range(0, 9).count()",
+	}
+}
+
 // PathQueries renders the 11 adjacency queries as Gremlin (Figures 6 and
 // 8b reuse the Table 1 workload).
 func PathQueries(d *dbpedia.Dataset) []string {

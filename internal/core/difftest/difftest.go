@@ -11,6 +11,7 @@
 package difftest
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -20,6 +21,12 @@ import (
 	"sqlgraph/internal/gremlin"
 	"sqlgraph/internal/gremlin/interp"
 )
+
+// ErrDivergence marks a genuine disagreement between the SQL path and
+// the interpreter oracle (as opposed to harness failures like a graph
+// that would not load). Run uses it to drive shrinking: a candidate
+// reproduces the bug iff its Check error wraps ErrDivergence.
+var ErrDivergence = errors.New("difftest: divergence")
 
 // edge labels and the attribute domains the generators draw from. The
 // label pool is deliberately tight so random walks collide and multi-hop
@@ -54,10 +61,99 @@ func GenGraph(rng *rand.Rand) *blueprints.MemGraph {
 	return g
 }
 
+// genVertexExpr emits a random closure expression over a vertex item,
+// bounded at the given combinator depth, and reports whether it forces
+// the translator's tail fallback (a data-dependent divisor). Divisors
+// are constructed to never be zero — it.k is 0..4 — so a generated
+// closure never raises a division error on either path.
+func genVertexExpr(rng *rand.Rand, depth int) (string, bool) {
+	if depth > 0 && rng.Intn(3) == 0 {
+		l, t1 := genVertexExpr(rng, depth-1)
+		r, t2 := genVertexExpr(rng, depth-1)
+		switch rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%s && %s", l, r), t1 || t2
+		case 1:
+			return fmt.Sprintf("%s || %s", l, r), t1 || t2
+		case 2:
+			return fmt.Sprintf("!(%s)", l), t1
+		default:
+			return fmt.Sprintf("!(%s) && %s", l, r), t1 || t2
+		}
+	}
+	switch rng.Intn(9) {
+	case 0:
+		return fmt.Sprintf("it.k %s %d", pick(rng, "<", "<=", ">", ">=", "==", "!="), rng.Intn(5)), false
+	case 1:
+		return fmt.Sprintf("it.k %s %d %s %d", pick(rng, "+", "-"), 1+rng.Intn(3),
+			pick(rng, "<", ">", "=="), rng.Intn(6)), false
+	case 2:
+		return fmt.Sprintf("it.k * %d >= %d", 1+rng.Intn(3), rng.Intn(8)), false
+	case 3:
+		return fmt.Sprintf("it.k %s %d == %d", pick(rng, "/", "%"), 2+rng.Intn(2), rng.Intn(3)), false
+	case 4:
+		// Data-dependent divisor: forces the tail fallback, never zero.
+		return fmt.Sprintf("%d / (it.k + 1) >= %d", 2+rng.Intn(8), 1+rng.Intn(3)), true
+	case 5:
+		return fmt.Sprintf("it.name %s '%s'", pick(rng, "==", "!=", "<", ">="),
+			nameVals[rng.Intn(len(nameVals))]), false
+	case 6:
+		return fmt.Sprintf("it.name.contains('%s')", pick(rng, "n", "0", "1", "3")), false
+	case 7:
+		return fmt.Sprintf("it.name.startsWith('n%d')", rng.Intn(5)), false
+	default:
+		return fmt.Sprintf("it.id %% %d == %d", 2+rng.Intn(3), rng.Intn(2)), false
+	}
+}
+
+// genEdgeExpr is genVertexExpr for edge items (it.w float, it.label).
+func genEdgeExpr(rng *rand.Rand, depth int) (string, bool) {
+	if depth > 0 && rng.Intn(3) == 0 {
+		l, t1 := genEdgeExpr(rng, depth-1)
+		r, t2 := genEdgeExpr(rng, depth-1)
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s && %s", l, r), t1 || t2
+		}
+		return fmt.Sprintf("%s || !(%s)", l, r), t1 || t2
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("it.w %s 0.%d", pick(rng, "<", "<=", ">", ">="), 1+rng.Intn(9)), false
+	case 1:
+		return fmt.Sprintf("it.w * 2.0 %s 1.0", pick(rng, "<", ">")), false
+	case 2:
+		return fmt.Sprintf("it.label %s '%s'", pick(rng, "==", "!="), edgeLabels[rng.Intn(len(edgeLabels))]), false
+	case 3:
+		return fmt.Sprintf("it.label.contains('%s')", edgeLabels[rng.Intn(len(edgeLabels))]), false
+	case 4:
+		return fmt.Sprintf("it.label.startsWith('%s')", edgeLabels[rng.Intn(len(edgeLabels))]), false
+	default:
+		// it.w is in [0, 0.99], so the divisor stays in [0.5, 1.49].
+		return fmt.Sprintf("1.0 / (it.w + 0.5) %s 1.0", pick(rng, ">", "<=")), true
+	}
+}
+
+// pushdownVertexExpr draws a vertex closure guaranteed to compile into
+// SQL (used where a tail fallback would make the whole step a hard
+// error, e.g. ifThenElse tests).
+func pushdownVertexExpr(rng *rand.Rand, depth int) string {
+	for {
+		e, tail := genVertexExpr(rng, depth)
+		if !tail {
+			return e
+		}
+	}
+}
+
 // GenPipeline emits one random Gremlin pipeline drawn from the step
 // grammar both execution paths support: vertex/edge sources, labeled
-// hops, edge hops with endpoint steps, attribute predicates, closures,
-// dedup/simplePath, bounded loops, and count terminals.
+// hops, edge hops with endpoint steps, attribute predicates, general
+// closures (filter/ifThenElse/order/groupBy/groupCount), aggregates
+// with except/retain, dedup/simplePath, bounded loops with closure
+// bounds, and range/count terminals. Once a closure that forces the
+// translator's tail fallback has been emitted, later steps are drawn
+// only from the tail-evaluable subset (no paths, marks, loops, or
+// branches), so every generated pipeline is executable on both paths.
 func GenPipeline(rng *rand.Rand, numVertices int) string {
 	q := "g"
 	edgeCtx := false
@@ -75,10 +171,11 @@ func GenPipeline(rng *rand.Rand, numVertices int) string {
 		q += fmt.Sprintf(".V('name', '%s')", nameVals[rng.Intn(len(nameVals))])
 	}
 	steps := 1 + rng.Intn(4)
-	deduped := false // dedup() before a path-dependent step is rejected by the translator
+	deduped := false  // dedup() before a path-dependent step is rejected by the translator
+	tailMode := false // a tail-fallback closure restricts the remaining grammar
 	for i := 0; i < steps; i++ {
 		if edgeCtx {
-			switch rng.Intn(4) {
+			switch rng.Intn(7) {
 			case 0:
 				q += ".inV"
 				edgeCtx = false
@@ -88,12 +185,30 @@ func GenPipeline(rng *rand.Rand, numVertices int) string {
 			case 2:
 				q += ".bothV"
 				edgeCtx = false
+			case 3:
+				expr, tail := genEdgeExpr(rng, 1+rng.Intn(2))
+				q += fmt.Sprintf(".filter{%s}", expr)
+				tailMode = tailMode || tail
+			case 4:
+				q += ".order{it.w}"
+				deduped = true // like dedup, order refuses later path steps
+			case 5:
+				key := pick(rng, "it.label", "it.w")
+				if rng.Intn(2) == 0 {
+					q += fmt.Sprintf(".groupCount{%s}", key)
+				} else {
+					q += fmt.Sprintf(".groupBy{%s}{%s}", key, pick(rng, "it.w", "it.label", "it.id"))
+				}
+				if rng.Intn(2) == 0 {
+					q += ".count()"
+				}
+				return q
 			default:
 				q += fmt.Sprintf(".has('w', T.%s, 0.%d)", pick(rng, "gt", "lt"), 1+rng.Intn(9))
 			}
 			continue
 		}
-		switch rng.Intn(12) {
+		switch rng.Intn(18) {
 		case 0, 1:
 			q += "." + pick(rng, "out", "in", "both") + labelArgs(rng)
 		case 2:
@@ -109,25 +224,87 @@ func GenPipeline(rng *rand.Rand, numVertices int) string {
 			q += "." + pick(rng, "has", "hasNot") + "('name')"
 		case 7:
 			q += fmt.Sprintf(".filter{it.k %s %d}", pick(rng, "<=", ">", "=="), rng.Intn(5))
-		case 8:
+		case 8, 9:
+			expr, tail := genVertexExpr(rng, 1+rng.Intn(2))
+			q += fmt.Sprintf(".filter{%s}", expr)
+			tailMode = tailMode || tail
+		case 10:
 			q += ".dedup()"
 			deduped = true
-		case 9:
-			if deduped {
+		case 11:
+			if deduped || tailMode {
 				q += ".dedup()"
+				deduped = true
 				continue
 			}
 			q += ".out.in.simplePath"
-		case 10:
+		case 12:
+			if tailMode {
+				q += fmt.Sprintf(".has('k', T.lte, %d)", 1+rng.Intn(4))
+				continue
+			}
 			mark := fmt.Sprintf("s%d", i)
-			q += fmt.Sprintf(".as('%s').out%s.loop('%s'){it.loops < %d}",
-				mark, labelArgs(rng), mark, 2+rng.Intn(2))
+			bound := pick(rng,
+				fmt.Sprintf("it.loops < %d", 2+rng.Intn(2)),
+				fmt.Sprintf("it.loops <= %d", 1+rng.Intn(2)),
+				fmt.Sprintf("it.loops + 1 < %d", 3+rng.Intn(2)))
+			q += fmt.Sprintf(".as('%s').out%s.loop('%s'){%s}", mark, labelArgs(rng), mark, bound)
+		case 13:
+			if tailMode {
+				q += ".dedup()"
+				deduped = true
+				continue
+			}
+			q += fmt.Sprintf(".ifThenElse{%s}{it.out%s}{it.in%s}",
+				pushdownVertexExpr(rng, 1), labelArgs(rng), labelArgs(rng))
+		case 14:
+			if tailMode {
+				continue
+			}
+			name := fmt.Sprintf("ag%d", i)
+			q += fmt.Sprintf(".aggregate('%s').out%s.%s('%s')",
+				name, labelArgs(rng), pick(rng, "except", "retain"), name)
+		case 15:
+			if rng.Intn(2) == 0 {
+				q += ".order()"
+			} else {
+				expr, tail := genVertexExpr(rng, 1)
+				q += fmt.Sprintf(".order{%s}", expr)
+				tailMode = tailMode || tail
+			}
+			deduped = true // like dedup, order refuses later path steps
+		case 16:
+			key := pick(rng, "it.k", "it.name", "it.id % 3")
+			if rng.Intn(2) == 0 {
+				q += fmt.Sprintf(".groupCount{%s}", key)
+			} else {
+				q += fmt.Sprintf(".groupBy{%s}{%s}", key, pick(rng, "it.k", "it.name", "it.id"))
+			}
+			if rng.Intn(2) == 0 {
+				q += ".count()"
+			}
+			return q
 		default:
 			q += "." + pick(rng, "out", "in") + labelArgs(rng)
 		}
 	}
-	if rng.Intn(2) == 0 {
+	switch rng.Intn(6) {
+	case 0, 1:
 		q += ".count()"
+	case 2:
+		// Pagination: deterministic on both paths only after a sort.
+		if edgeCtx {
+			q += ".order{it.w}"
+		} else if rng.Intn(2) == 0 {
+			q += ".order()"
+		} else {
+			q += fmt.Sprintf(".order{%s}", pick(rng, "it.k", "it.name"))
+		}
+		q += fmt.Sprintf(".range(%d, %d)", rng.Intn(3), 3+rng.Intn(8))
+	case 3:
+		// An unordered cut has no deterministic contents, but its size is
+		// comparable.
+		q += fmt.Sprintf(".range(%d, %d).count()", rng.Intn(3), 2+rng.Intn(8))
 	}
 	return q
 }
@@ -146,43 +323,123 @@ func labelArgs(rng *rand.Rand) string {
 	}
 }
 
-// Check runs one pipeline through both paths and returns an error on any
-// divergence: execution error on either side, or differing result
-// multisets.
+// Check runs one pipeline through both paths and returns an error on
+// any divergence: a one-sided execution error, or differing results.
+// When the pipeline ends in a sort (order/groupBy/groupCount followed
+// only by order-preserving steps) the comparison is ordered and
+// element-wise; otherwise it is a multiset comparison. Both paths
+// rejecting the pipeline counts as agreement — random generation can
+// produce pipelines neither implementation accepts (e.g. dedup before
+// path), and what matters is that they refuse together.
 func Check(s *core.Store, oracle blueprints.Graph, query string, opts core.TranslateOptions) error {
 	q, err := gremlin.Parse(query)
 	if err != nil {
 		return fmt.Errorf("parse %q: %w", query, err)
 	}
-	want, err := interp.Eval(oracle, q)
-	if err != nil {
-		return fmt.Errorf("oracle %q: %w", query, err)
-	}
-	got, err := s.QueryWithOptions(query, opts)
-	if err != nil {
-		sql := "?"
-		if tr, terr := s.Translate(query, opts); terr == nil {
-			sql = tr.SQL
+	want, werr := interp.Eval(oracle, q)
+	got, gerr := s.QueryWithOptions(query, opts)
+	if werr != nil || gerr != nil {
+		if werr != nil && gerr != nil {
+			return nil
 		}
-		return fmt.Errorf("store %q: %w\nSQL: %s", query, err, sql)
+		if gerr != nil {
+			sql := "?"
+			if tr, terr := s.Translate(query, opts); terr == nil {
+				sql = tr.SQL
+			}
+			return fmt.Errorf("%w: store failed %q (oracle succeeded): %v\nSQL: %s",
+				ErrDivergence, query, gerr, sql)
+		}
+		return fmt.Errorf("%w: oracle failed %q (store succeeded): %v", ErrDivergence, query, werr)
 	}
-	wc := canonical(normalize(want.Values()))
-	gc := canonical(got.Values)
+	return compareResults(query, "store", normalize(want.Values()), got.Values, orderedResult(q.Steps))
+}
+
+// orderedResult reports whether the pipeline's output order is pinned
+// identically on both paths: it contains a top-level sorting step
+// (order, or groupBy/groupCount which emit groups ordered by key) and
+// every later step preserves relative order. Everything else is
+// compared as a multiset, since SQL row order is an implementation
+// detail there.
+func orderedResult(steps []gremlin.Step) bool {
+	last := -1
+	for i := range steps {
+		switch steps[i].Kind {
+		case gremlin.StepOrder, gremlin.StepGroupBy, gremlin.StepGroupCount:
+			last = i
+		}
+	}
+	if last < 0 {
+		return false
+	}
+	for i := last + 1; i < len(steps); i++ {
+		switch steps[i].Kind {
+		case gremlin.StepRange, gremlin.StepDedup, gremlin.StepCount,
+			gremlin.StepTable, gremlin.StepIterate:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func compareResults(query, side string, want, got []any, ordered bool) error {
+	mode := "multiset"
+	if ordered {
+		mode = "ordered"
+	}
+	wc := render(want, ordered)
+	gc := render(got, ordered)
 	if len(wc) != len(gc) {
-		return fmt.Errorf("%q: oracle %d values %v, store %d values %v", query, len(wc), wc, len(gc), gc)
+		return fmt.Errorf("%w: %q (%s): oracle %d values %v, %s %d values %v",
+			ErrDivergence, query, mode, len(wc), wc, side, len(gc), gc)
 	}
 	for i := range wc {
 		if wc[i] != gc[i] {
-			return fmt.Errorf("%q mismatch:\noracle: %v\nstore:  %v", query, wc, gc)
+			return fmt.Errorf("%w: %q (%s) mismatch at %d:\noracle: %v\n%s: %v",
+				ErrDivergence, query, mode, i, wc, side, gc)
 		}
 	}
 	return nil
 }
 
+// Shrink greedily minimizes a diverging query: it repeatedly drops one
+// pipeline step (never the source), keeping any candidate for which
+// still() reports the divergence reproduces, until no single-step
+// removal does. Candidates are re-rendered through the AST and
+// re-parsed, so the result is always a valid query.
+func Shrink(query string, still func(string) bool) string {
+	for {
+		q, err := gremlin.Parse(query)
+		if err != nil || len(q.Steps) <= 1 {
+			return query
+		}
+		improved := false
+		for i := 1; i < len(q.Steps); i++ {
+			steps := make([]gremlin.Step, 0, len(q.Steps)-1)
+			steps = append(steps, q.Steps[:i]...)
+			steps = append(steps, q.Steps[i+1:]...)
+			cand := (&gremlin.Query{Steps: steps}).String()
+			if _, err := gremlin.Parse(cand); err != nil {
+				continue
+			}
+			if still(cand) {
+				query = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return query
+		}
+	}
+}
+
 // Run generates `graphs` random graphs from consecutive seeds starting
 // at seed0 and `pipelines` random pipelines per graph, checking each
-// against the oracle under every translation mode in opts. Returns the
-// first divergence with its reproduction seed.
+// against the oracle under every translation mode in opts. The first
+// divergence is shrunk to a minimal reproducing pipeline and returned
+// with its reproduction seed.
 func Run(seed0 int64, graphs, pipelines int, opts []core.TranslateOptions) error {
 	for gi := 0; gi < graphs; gi++ {
 		seed := seed0 + int64(gi)
@@ -196,9 +453,19 @@ func Run(seed0 int64, graphs, pipelines int, opts []core.TranslateOptions) error
 		for pi := 0; pi < pipelines; pi++ {
 			query := GenPipeline(rng, nV)
 			for _, o := range opts {
-				if err := Check(s, g, query, o); err != nil {
-					return fmt.Errorf("seed %d pipeline %d (opts %+v): %w", seed, pi, o, err)
+				err := Check(s, g, query, o)
+				if err == nil {
+					continue
 				}
+				if errors.Is(err, ErrDivergence) {
+					shrunk := Shrink(query, func(cand string) bool {
+						return errors.Is(Check(s, g, cand, o), ErrDivergence)
+					})
+					if shrunk != query {
+						err = fmt.Errorf("%w\nshrunk repro %q: %v", err, shrunk, Check(s, g, shrunk, o))
+					}
+				}
+				return fmt.Errorf("seed %d pipeline %d (opts %+v): %w", seed, pi, o, err)
 			}
 		}
 	}
@@ -206,40 +473,42 @@ func Run(seed0 int64, graphs, pipelines int, opts []core.TranslateOptions) error
 }
 
 // CheckSnapshot runs one pipeline against a pinned snapshot and the
-// oracle graph frozen at the same logical state.
+// oracle graph frozen at the same logical state, with the same
+// both-error and ordered-comparison rules as Check.
 func CheckSnapshot(snap *core.Snap, oracle blueprints.Graph, query string) error {
 	q, err := gremlin.Parse(query)
 	if err != nil {
 		return fmt.Errorf("parse %q: %w", query, err)
 	}
-	want, err := interp.Eval(oracle, q)
-	if err != nil {
-		return fmt.Errorf("oracle %q: %w", query, err)
-	}
-	got, err := snap.Query(query)
-	if err != nil {
-		return fmt.Errorf("snapshot %q: %w", query, err)
-	}
-	wc := canonical(normalize(want.Values()))
-	gc := canonical(got.Values)
-	if len(wc) != len(gc) {
-		return fmt.Errorf("%q: oracle %d values %v, snapshot %d values %v", query, len(wc), wc, len(gc), gc)
-	}
-	for i := range wc {
-		if wc[i] != gc[i] {
-			return fmt.Errorf("%q mismatch:\noracle: %v\nsnapshot: %v", query, wc, gc)
+	want, werr := interp.Eval(oracle, q)
+	got, gerr := snap.Query(query)
+	if werr != nil || gerr != nil {
+		if werr != nil && gerr != nil {
+			return nil
 		}
+		if gerr != nil {
+			return fmt.Errorf("%w: snapshot failed %q (oracle succeeded): %v", ErrDivergence, query, gerr)
+		}
+		return fmt.Errorf("%w: oracle failed %q (snapshot succeeded): %v", ErrDivergence, query, werr)
 	}
-	return nil
+	return compareResults(query, "snapshot", normalize(want.Values()), got.Values, orderedResult(q.Steps))
 }
 
 // canonical renders a multiset of values order-independently.
 func canonical(vals []any) []string {
+	return render(vals, false)
+}
+
+// render stringifies values for comparison; unless ordered, the result
+// is sorted so comparisons are order-independent.
+func render(vals []any, ordered bool) []string {
 	out := make([]string, len(vals))
 	for i, v := range vals {
 		out[i] = fmt.Sprintf("%T:%v", v, v)
 	}
-	sort.Strings(out)
+	if !ordered {
+		sort.Strings(out)
+	}
 	return out
 }
 

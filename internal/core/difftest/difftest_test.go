@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"sqlgraph/internal/core"
@@ -19,8 +20,56 @@ var allModes = []core.TranslateOptions{
 // graphs, a few dozen random pipelines each, against the interpreter
 // oracle. The full corpus runs with -tags slow.
 func TestDifferentialShrunk(t *testing.T) {
-	if err := Run(1, 4, 25, allModes); err != nil {
+	if err := Run(1, 6, 40, allModes); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestGeneratorCoversNewConstructs pins the generator's reach: across a
+// fixed-seed sample it must emit every new pipe and every closure
+// operator, including the tail-fallback trigger shapes. Without this, a
+// generator regression could silently stop exercising a construct and
+// the differential property would hold vacuously.
+func TestGeneratorCoversNewConstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var sb strings.Builder
+	for i := 0; i < 600; i++ {
+		sb.WriteString(GenPipeline(rng, 20))
+		sb.WriteByte('\n')
+	}
+	corpus := sb.String()
+	for _, want := range []string{
+		".filter{", ".order()", ".order{", ".groupCount{", ".groupBy{",
+		".ifThenElse{", ".loop(", ".aggregate(", ".range(", ".dedup()",
+		".simplePath", ".count()",
+		// closure operators and builtins
+		" && ", " || ", "!(", " + ", " - ", " * ", " / ", " % ",
+		" < ", " <= ", " > ", " >= ", " == ", " != ",
+		".contains(", ".startsWith(",
+		// it projections
+		"it.k", "it.name", "it.id", "it.w", "it.label", "it.loops",
+		// tail-fallback triggers: data-dependent divisors
+		"/ (it.k + 1)", "/ (it.w + 0.5)",
+	} {
+		if !strings.Contains(corpus, want) {
+			t.Errorf("600-pipeline sample never emitted %q", want)
+		}
+	}
+}
+
+// TestShrinkMinimizes drives the shrinker with a synthetic reproduction
+// predicate and checks it peels every irrelevant step.
+func TestShrinkMinimizes(t *testing.T) {
+	start := "g.V.out('a').has('k', 1).order().dedup().count()"
+	got := Shrink(start, func(q string) bool {
+		return strings.Contains(q, ".order()")
+	})
+	if got != "g.V.order()" {
+		t.Fatalf("Shrink(%q) = %q, want g.V.order()", start, got)
+	}
+	// A predicate nothing satisfies leaves the query untouched.
+	if got := Shrink(start, func(string) bool { return false }); got != start {
+		t.Fatalf("non-reproducing shrink changed the query: %q", got)
 	}
 }
 

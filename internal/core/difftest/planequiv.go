@@ -39,18 +39,23 @@ func CheckPlans(s *core.Store, oracle blueprints.Graph, query string, opts core.
 	if err != nil {
 		return fmt.Errorf("parse %q: %w", query, err)
 	}
-	want, err := interp.Eval(oracle, q)
-	if err != nil {
-		return fmt.Errorf("oracle %q: %w", query, err)
-	}
-	wc := canonical(normalize(want.Values()))
+	want, werr := interp.Eval(oracle, q)
 
 	defer setExec(s, 0, engine.StrategyAuto)
 	setExec(s, 0, engine.StrategyAuto)
 	base, err := s.QueryWithOptions(query, opts)
-	if err != nil {
-		return fmt.Errorf("store %q (cost-based): %w", query, err)
+	if werr != nil {
+		// Both paths must refuse together; there is no plan space to walk
+		// for a refused pipeline.
+		if err != nil {
+			return nil
+		}
+		return fmt.Errorf("%w: oracle failed %q (store succeeded): %v", ErrDivergence, query, werr)
 	}
+	if err != nil {
+		return fmt.Errorf("%w: store failed %q (cost-based, oracle succeeded): %v", ErrDivergence, query, err)
+	}
+	wc := canonical(normalize(want.Values()))
 	if err := compareCanonical(wc, canonical(base.Values), query, "cost-based"); err != nil {
 		return err
 	}
@@ -77,12 +82,13 @@ func CheckPlans(s *core.Store, oracle blueprints.Graph, query string, opts core.
 
 func compareCanonical(want, got []string, query, label string) error {
 	if len(want) != len(got) {
-		return fmt.Errorf("%q (%s): oracle %d values %v, store %d values %v",
-			query, label, len(want), want, len(got), got)
+		return fmt.Errorf("%w: %q (%s): oracle %d values %v, store %d values %v",
+			ErrDivergence, query, label, len(want), want, len(got), got)
 	}
 	for i := range want {
 		if want[i] != got[i] {
-			return fmt.Errorf("%q (%s) mismatch:\noracle: %v\nstore:  %v", query, label, want, got)
+			return fmt.Errorf("%w: %q (%s) mismatch:\noracle: %v\nstore:  %v",
+				ErrDivergence, query, label, want, got)
 		}
 	}
 	return nil

@@ -1,0 +1,518 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sqlgraph/internal/engine"
+	"sqlgraph/internal/gremlin"
+	"sqlgraph/internal/gremlin/expr"
+	"sqlgraph/internal/rel"
+	"sqlgraph/internal/translate"
+)
+
+// The tail executor evaluates the suffix of a Gremlin pipeline that the
+// translator refused to push into SQL (translate.ErrTailEval: a closure
+// whose division semantics depend on row data). The SQL prefix still
+// runs as one statement; the tail then streams over its rows with
+// versioned point reads against the same snapshot, so the combined
+// result is equivalent to a single-statement execution. Each tail pipe
+// reports a "tail-<pipe>" OpStat so EXPLAIN-style consumers (and tests)
+// can see exactly which steps ran outside SQL.
+
+// tailItem is one stream element: an element id, or a computed value.
+type tailItem struct {
+	id  int64
+	val rel.Value // payload when the stream type is ElemValue
+}
+
+// tailEnv adapts a tail item to the closure evaluator, with the same
+// resolution rules as the translator's SQL rendering: `it`/`it.id` are
+// the element id, properties come from the attribute table at the
+// query's snapshot version, and on edges the property "label" is the
+// edge label.
+type tailEnv struct {
+	s      *Store
+	ver    rel.Version
+	typ    translate.ElemType
+	it     tailItem
+	attrs  map[string]any
+	loaded bool
+}
+
+func (te *tailEnv) rawAttrs() map[string]any {
+	if !te.loaded {
+		te.loaded = true
+		if te.typ == translate.ElemVertex {
+			te.attrs, _ = te.s.vertexAttrsAt(te.it.id, te.ver)
+		} else {
+			te.attrs, _ = te.s.edgeAttrsAt(te.it.id, te.ver)
+		}
+	}
+	return te.attrs
+}
+
+func (te *tailEnv) Prop(name string) rel.Value {
+	if te.typ == translate.ElemValue {
+		return rel.Null
+	}
+	if te.typ == translate.ElemEdge && name == "label" {
+		rec, err := te.s.edgeAt(te.it.id, te.ver)
+		if err != nil {
+			return rel.Null
+		}
+		return rel.NewString(rec.Label)
+	}
+	if v, ok := te.rawAttrs()[name]; ok {
+		return rel.FromAny(v)
+	}
+	return rel.Null
+}
+
+func (te *tailEnv) ID() rel.Value {
+	if te.typ == translate.ElemValue {
+		return rel.Null
+	}
+	return rel.NewInt(te.it.id)
+}
+
+// Loops is unreachable: loop closures resolve to static bounds at parse
+// time and the loop pipe itself is never tail-evaluated.
+func (te *tailEnv) Loops() rel.Value { return rel.Null }
+
+func (te *tailEnv) Self() rel.Value {
+	if te.typ == translate.ElemValue {
+		return te.it.val
+	}
+	return rel.NewInt(te.it.id)
+}
+
+// tailState threads the stream through the pipes.
+type tailState struct {
+	s     *Store
+	ver   rel.Version
+	typ   translate.ElemType
+	items []tailItem
+}
+
+func (ts *tailState) env(it tailItem) *tailEnv {
+	return &tailEnv{s: ts.s, ver: ts.ver, typ: ts.typ, it: it}
+}
+
+func (ts *tailState) itemKey(it tailItem) string {
+	if ts.typ == translate.ElemValue {
+		return it.val.Key()
+	}
+	return fmt.Sprint(it.id)
+}
+
+// runTail executes the untranslated suffix over the SQL prefix's rows.
+// It returns the final stream, its element type, and one OpStat per pipe.
+func (s *Store) runTail(rows [][]rel.Value, typ translate.ElemType, steps []gremlin.Step, ver rel.Version) ([]tailItem, translate.ElemType, []engine.OpStat, error) {
+	ts := &tailState{s: s, ver: ver, typ: typ}
+	ts.items = make([]tailItem, len(rows))
+	for i, row := range rows {
+		if typ == translate.ElemValue {
+			ts.items[i] = tailItem{val: row[0]}
+		} else {
+			ts.items[i] = tailItem{id: row[0].Int()}
+		}
+	}
+	start := time.Now()
+	var ops []engine.OpStat
+	for i := range steps {
+		st := &steps[i]
+		opT := time.Now()
+		in := len(ts.items)
+		if err := ts.step(st); err != nil {
+			return nil, 0, nil, err
+		}
+		ops = append(ops, engine.OpStat{
+			Kind:    fmt.Sprintf("tail-%v", st.Kind),
+			RowsIn:  in,
+			RowsOut: len(ts.items),
+			StartNs: opT.Sub(start).Nanoseconds(),
+			Nanos:   time.Since(opT).Nanoseconds(),
+		})
+	}
+	return ts.items, ts.typ, ops, nil
+}
+
+func (ts *tailState) step(s *gremlin.Step) error {
+	switch s.Kind {
+	case gremlin.StepFilter:
+		if s.Key == "" && s.FilterExpr != nil {
+			return ts.exprFilter(s.FilterExpr)
+		}
+		return ts.predFilter(s)
+	case gremlin.StepHas, gremlin.StepHasNot, gremlin.StepInterval:
+		return ts.predFilter(s)
+	case gremlin.StepOrder:
+		return ts.order(s.KeyExpr)
+	case gremlin.StepGroupBy:
+		return ts.group(s.KeyExpr, s.ValueExpr)
+	case gremlin.StepGroupCount:
+		return ts.group(s.KeyExpr, nil)
+	case gremlin.StepRange:
+		// Mirror the SQL template exactly: LIMIT max(0, hi-lo+1) OFFSET lo.
+		lo := s.Lo.(int64)
+		hi := s.Hi.(int64)
+		n := hi - lo + 1
+		if n < 0 {
+			n = 0
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > int64(len(ts.items)) {
+			lo = int64(len(ts.items))
+		}
+		end := lo + n
+		if end > int64(len(ts.items)) {
+			end = int64(len(ts.items))
+		}
+		ts.items = ts.items[lo:end]
+		return nil
+	case gremlin.StepDedup:
+		seen := map[string]bool{}
+		out := ts.items[:0]
+		for _, it := range ts.items {
+			k := ts.itemKey(it)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, it)
+			}
+		}
+		ts.items = out
+		return nil
+	case gremlin.StepCount:
+		ts.items = []tailItem{{val: rel.NewInt(int64(len(ts.items)))}}
+		ts.typ = translate.ElemValue
+		return nil
+	case gremlin.StepID:
+		if ts.typ == translate.ElemValue {
+			return fmt.Errorf("core: tail id on values")
+		}
+		for i := range ts.items {
+			ts.items[i].val = rel.NewInt(ts.items[i].id)
+		}
+		ts.typ = translate.ElemValue
+		return nil
+	case gremlin.StepLabel:
+		if ts.typ != translate.ElemEdge {
+			return fmt.Errorf("core: tail label requires edges")
+		}
+		for i := range ts.items {
+			rec, err := ts.s.edgeAt(ts.items[i].id, ts.ver)
+			if err != nil {
+				return err
+			}
+			ts.items[i].val = rel.NewString(rec.Label)
+		}
+		ts.typ = translate.ElemValue
+		return nil
+	case gremlin.StepProperty:
+		return ts.property(s.Key)
+	case gremlin.StepOut, gremlin.StepIn, gremlin.StepBoth,
+		gremlin.StepOutE, gremlin.StepInE, gremlin.StepBothE:
+		return ts.adjacency(s)
+	case gremlin.StepOutV, gremlin.StepInV, gremlin.StepBothV:
+		return ts.edgeEnds(s.Kind)
+	case gremlin.StepTable, gremlin.StepIterate:
+		return nil
+	default:
+		return fmt.Errorf("core: pipe %v is not tail-evaluable", s.Kind)
+	}
+}
+
+func (ts *tailState) exprFilter(n expr.Node) error {
+	out := ts.items[:0]
+	for _, it := range ts.items {
+		v, err := expr.Eval(n, ts.env(it))
+		if err != nil {
+			return err
+		}
+		if expr.Truthy(v) {
+			out = append(out, it)
+		}
+	}
+	ts.items = out
+	return nil
+}
+
+// predFilter evaluates a simple predicate step with the translator's
+// exact SQL semantics: comparisons through rel.Compare after dropping
+// NULLs; on edges the key "label" resolves to the edge label for
+// comparisons and existence tests but to the (absent) raw attribute for
+// hasNot and interval, matching the SQL the translator emits.
+func (ts *tailState) predFilter(s *gremlin.Step) error {
+	if ts.typ == translate.ElemValue {
+		if s.Kind != gremlin.StepFilter && s.Kind != gremlin.StepHas {
+			return fmt.Errorf("core: tail %v unsupported on values", s.Kind)
+		}
+		if s.Op == "" {
+			return fmt.Errorf("core: tail existence test unsupported on values")
+		}
+	}
+	out := ts.items[:0]
+	for _, it := range ts.items {
+		keep, err := ts.predMatch(s, it)
+		if err != nil {
+			return err
+		}
+		if keep {
+			out = append(out, it)
+		}
+	}
+	ts.items = out
+	return nil
+}
+
+func (ts *tailState) predMatch(s *gremlin.Step, it tailItem) (bool, error) {
+	env := ts.env(it)
+	switch s.Kind {
+	case gremlin.StepHasNot:
+		_, present := env.rawAttrs()[s.Key]
+		return !present, nil
+	case gremlin.StepInterval:
+		v := rel.Null
+		if raw, ok := env.rawAttrs()[s.Key]; ok {
+			v = rel.FromAny(raw)
+		}
+		if v.IsNull() {
+			return false, nil
+		}
+		return rel.Compare(v, rel.FromAny(s.Lo)) >= 0 && rel.Compare(v, rel.FromAny(s.Hi)) < 0, nil
+	default: // has / filter
+		var v rel.Value
+		if ts.typ == translate.ElemValue {
+			v = it.val
+		} else {
+			v = env.Prop(s.Key)
+		}
+		if s.Op == "" {
+			return !v.IsNull(), nil
+		}
+		if v.IsNull() {
+			return false, nil
+		}
+		c := rel.Compare(v, rel.FromAny(s.Value))
+		switch s.Op {
+		case gremlin.OpEq:
+			return c == 0, nil
+		case gremlin.OpNeq:
+			return c != 0, nil
+		case gremlin.OpLt:
+			return c < 0, nil
+		case gremlin.OpLte:
+			return c <= 0, nil
+		case gremlin.OpGt:
+			return c > 0, nil
+		case gremlin.OpGte:
+			return c >= 0, nil
+		default:
+			return false, fmt.Errorf("core: tail unsupported operator %q", s.Op)
+		}
+	}
+}
+
+// order mirrors the SQL ORDER BY (OKEY, VAL) template: stable sort on
+// (closure key, element value), rel.Compare ascending.
+func (ts *tailState) order(keyExpr expr.Node) error {
+	type keyed struct {
+		it  tailItem
+		key rel.Value
+		val rel.Value
+	}
+	ks := make([]keyed, len(ts.items))
+	for i, it := range ts.items {
+		env := ts.env(it)
+		k := keyed{it: it, val: env.Self()}
+		if keyExpr != nil {
+			kv, err := expr.Eval(keyExpr, env)
+			if err != nil {
+				return err
+			}
+			k.key = kv
+		} else {
+			k.key = k.val
+		}
+		ks[i] = k
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		if c := rel.Compare(ks[i].key, ks[j].key); c != 0 {
+			return c < 0
+		}
+		return rel.Compare(ks[i].val, ks[j].val) < 0
+	})
+	for i := range ks {
+		ts.items[i] = ks[i].it
+	}
+	return nil
+}
+
+// group mirrors the SQL GROUP BY templates: groupCount (valExpr nil)
+// emits one (key, count) list per group, groupBy one (key, sorted
+// values) list, with the group lists themselves sorted (ORDER BY VAL).
+func (ts *tailState) group(keyExpr, valExpr expr.Node) error {
+	type bucket struct {
+		key   rel.Value
+		count int64
+		vals  []rel.Value
+	}
+	var order []string
+	buckets := map[string]*bucket{}
+	for _, it := range ts.items {
+		env := ts.env(it)
+		kv, err := expr.Eval(keyExpr, env)
+		if err != nil {
+			return err
+		}
+		gk := kv.Key()
+		b := buckets[gk]
+		if b == nil {
+			b = &bucket{key: kv}
+			buckets[gk] = b
+			order = append(order, gk)
+		}
+		b.count++
+		if valExpr != nil {
+			vv, err := expr.Eval(valExpr, env)
+			if err != nil {
+				return err
+			}
+			if !vv.IsNull() {
+				b.vals = append(b.vals, vv)
+			}
+		}
+	}
+	lists := make([]rel.Value, 0, len(order))
+	for _, gk := range order {
+		b := buckets[gk]
+		elems := []rel.Value{b.key}
+		if valExpr == nil {
+			elems = append(elems, rel.NewInt(b.count))
+		} else {
+			sort.SliceStable(b.vals, func(i, j int) bool { return rel.Compare(b.vals[i], b.vals[j]) < 0 })
+			elems = append(elems, b.vals...)
+		}
+		lists = append(lists, rel.NewList(elems))
+	}
+	sort.SliceStable(lists, func(i, j int) bool { return rel.Compare(lists[i], lists[j]) < 0 })
+	ts.items = make([]tailItem, len(lists))
+	for i, l := range lists {
+		ts.items[i] = tailItem{val: l}
+	}
+	ts.typ = translate.ElemValue
+	return nil
+}
+
+func (ts *tailState) property(key string) error {
+	switch ts.typ {
+	case translate.ElemEdge:
+		if key == "label" {
+			return ts.step(&gremlin.Step{Kind: gremlin.StepLabel})
+		}
+		fallthrough
+	case translate.ElemVertex:
+		var out []tailItem
+		for _, it := range ts.items {
+			// The SQL template filters on the value being non-null.
+			if raw, ok := ts.env(it).rawAttrs()[key]; ok {
+				v := rel.FromAny(raw)
+				if !v.IsNull() {
+					out = append(out, tailItem{val: v})
+				}
+			}
+		}
+		ts.items = out
+		ts.typ = translate.ElemValue
+		return nil
+	default:
+		return fmt.Errorf("core: tail property access on values")
+	}
+}
+
+func (ts *tailState) adjacency(s *gremlin.Step) error {
+	if ts.typ != translate.ElemVertex {
+		return fmt.Errorf("core: tail adjacency step on %s input", ts.typ)
+	}
+	labels := uniqueTailLabels(s.Labels)
+	toEdges := s.Kind == gremlin.StepOutE || s.Kind == gremlin.StepInE || s.Kind == gremlin.StepBothE
+	outDir := s.Kind == gremlin.StepOut || s.Kind == gremlin.StepOutE || s.Kind == gremlin.StepBoth || s.Kind == gremlin.StepBothE
+	inDir := s.Kind == gremlin.StepIn || s.Kind == gremlin.StepInE || s.Kind == gremlin.StepBoth || s.Kind == gremlin.StepBothE
+	var out []tailItem
+	for _, it := range ts.items {
+		if outDir {
+			recs, err := ts.s.incidentAt(it.id, labels, IndexEAInLbl, ts.ver)
+			if err != nil {
+				return err
+			}
+			for _, rec := range recs {
+				if toEdges {
+					out = append(out, tailItem{id: rec.ID})
+				} else {
+					out = append(out, tailItem{id: rec.In})
+				}
+			}
+		}
+		if inDir {
+			recs, err := ts.s.incidentAt(it.id, labels, IndexEAOutLbl, ts.ver)
+			if err != nil {
+				return err
+			}
+			for _, rec := range recs {
+				if toEdges {
+					out = append(out, tailItem{id: rec.ID})
+				} else {
+					out = append(out, tailItem{id: rec.Out})
+				}
+			}
+		}
+	}
+	ts.items = out
+	if toEdges {
+		ts.typ = translate.ElemEdge
+	}
+	return nil
+}
+
+func (ts *tailState) edgeEnds(kind gremlin.StepKind) error {
+	if ts.typ != translate.ElemEdge {
+		return fmt.Errorf("core: tail %v requires edges", kind)
+	}
+	var out []tailItem
+	for _, it := range ts.items {
+		rec, err := ts.s.edgeAt(it.id, ts.ver)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case gremlin.StepOutV:
+			out = append(out, tailItem{id: rec.Out})
+		case gremlin.StepInV:
+			out = append(out, tailItem{id: rec.In})
+		default: // bothV
+			out = append(out, tailItem{id: rec.Out}, tailItem{id: rec.In})
+		}
+	}
+	ts.items = out
+	ts.typ = translate.ElemVertex
+	return nil
+}
+
+func uniqueTailLabels(labels []string) []string {
+	if len(labels) < 2 {
+		return labels
+	}
+	seen := make(map[string]bool, len(labels))
+	out := labels[:0:0]
+	for _, l := range labels {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}

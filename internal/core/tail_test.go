@@ -1,0 +1,185 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// hasTailOps reports whether the executed statement fell back to the
+// post-SQL tail executor, and which tail pipes ran.
+func tailOps(r *Result) []string {
+	var out []string
+	for _, op := range r.Stats.Ops {
+		if strings.HasPrefix(op.Kind, "tail-") {
+			out = append(out, op.Kind)
+		}
+	}
+	return out
+}
+
+func TestTailFallbackFilter(t *testing.T) {
+	s := loadFigure2a(t, Options{})
+	defer s.Close()
+
+	// A data-dependent divisor cannot be pushed into SQL (the engine
+	// raises division-by-zero per row); the filter runs in the tail.
+	// 60/29=2, 60/27=2, 60/32=1; lop has no age so the division is NULL.
+	res, err := s.Query("g.V.filter{60 / it.age >= 2}.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]any(nil), res.Values...)
+	want := []any{int64(1), int64(2)}
+	sortAnyInts(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	ops := tailOps(res)
+	if len(ops) == 0 || ops[0] != "tail-filter" {
+		t.Fatalf("expected tail-filter op, got %v", ops)
+	}
+}
+
+func TestTailContinuesPipeline(t *testing.T) {
+	s := loadFigure2a(t, Options{})
+	defer s.Close()
+
+	// Everything after the fallback point runs in the tail: adjacency,
+	// label projection, dedup, order.
+	res, err := s.Query("g.V.filter{60 / it.age >= 2}.outE.label.dedup.order()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []any{"created", "knows"}
+	if !reflect.DeepEqual(res.Values, want) {
+		t.Fatalf("got %v want %v", res.Values, want)
+	}
+	wantOps := []string{"tail-filter", "tail-outE", "tail-label", "tail-dedup", "tail-order"}
+	if !reflect.DeepEqual(tailOps(res), wantOps) {
+		t.Fatalf("tail ops %v want %v", tailOps(res), wantOps)
+	}
+}
+
+func TestTailGroupCount(t *testing.T) {
+	s := loadFigure2a(t, Options{})
+	defer s.Close()
+
+	res, err := s.Query("g.V.filter{60 / (it.age + 0) >= 1}.groupCount{it.age}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ages 29, 27, 32 each form a singleton group, ordered by key.
+	want := []any{
+		[]any{int64(27), int64(1)},
+		[]any{int64(29), int64(1)},
+		[]any{int64(32), int64(1)},
+	}
+	if !reflect.DeepEqual(res.Values, want) {
+		t.Fatalf("got %v want %v", res.Values, want)
+	}
+}
+
+func TestTailRangeMirrorsSQLClamping(t *testing.T) {
+	s := loadFigure2a(t, Options{})
+	defer s.Close()
+
+	res, err := s.Query("g.V.filter{120 / it.age >= 1}.order{it.age}.range(1, 5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ordered by age: 2 (27), 1 (29), 4 (32); offset 1 keeps [1, 4].
+	want := []any{int64(1), int64(4)}
+	if !reflect.DeepEqual(res.Values, want) {
+		t.Fatalf("got %v want %v", res.Values, want)
+	}
+}
+
+func TestTailDivisionByZeroSurfaces(t *testing.T) {
+	s := loadFigure2a(t, Options{})
+	defer s.Close()
+
+	if _, err := s.Query("g.V.filter{1 / (it.age - it.age) == 1}"); err == nil {
+		t.Fatal("expected division-by-zero error from the tail")
+	}
+}
+
+func TestTailUnsupportedSuffixStaysError(t *testing.T) {
+	s := loadFigure2a(t, Options{})
+	defer s.Close()
+
+	// path after the fallback point is not tail-evaluable; the original
+	// translation error must surface rather than a wrong answer.
+	if _, err := s.Query("g.V.filter{60 / it.age >= 2}.out.path"); err == nil {
+		t.Fatal("expected an error for a non-tail-evaluable suffix")
+	}
+}
+
+func TestOrderGroupPushdownNoTail(t *testing.T) {
+	s := loadFigure2a(t, Options{})
+	defer s.Close()
+
+	// order + range and groupCount compile to pure SQL: no tail ops.
+	res, err := s.Query("g.V.order{it.name}.range(0, 1).id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []any{int64(4), int64(3)} // josh, lop
+	if !reflect.DeepEqual(res.Values, want) {
+		t.Fatalf("got %v want %v", res.Values, want)
+	}
+	if ops := tailOps(res); len(ops) != 0 {
+		t.Fatalf("expected pure SQL execution, got tail ops %v", ops)
+	}
+
+	res, err = s.Query("g.E.groupCount{it.label}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []any{
+		[]any{"created", int64(2)},
+		[]any{"knows", int64(2)},
+		[]any{"likes", int64(1)},
+	}
+	if !reflect.DeepEqual(res.Values, want) {
+		t.Fatalf("got %v want %v", res.Values, want)
+	}
+	if ops := tailOps(res); len(ops) != 0 {
+		t.Fatalf("expected pure SQL execution, got tail ops %v", ops)
+	}
+}
+
+func TestTailSnapshotIsolation(t *testing.T) {
+	s := loadFigure2a(t, Options{})
+	defer s.Close()
+
+	snap := s.Snapshot()
+	defer snap.Close()
+
+	// Mutate after pinning; the tail's point reads must see the snapshot.
+	if err := s.AddVertex(50, map[string]any{"age": 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RemoveVertex(2); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := snap.QueryTraced("g.V.filter{60 / it.age >= 2}.id", TranslateOptions{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]any(nil), res.Values...)
+	sortAnyInts(got)
+	want := []any{int64(1), int64(2)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot tail read got %v want %v", got, want)
+	}
+}
+
+func sortAnyInts(vals []any) {
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j-1].(int64) > vals[j].(int64); j-- {
+			vals[j-1], vals[j] = vals[j], vals[j-1]
+		}
+	}
+}

@@ -65,7 +65,7 @@ func (s *Store) runQuery(b *trace.Builder, gremlinText string, opts TranslateOpt
 			return nil, err
 		}
 		sp = b.Begin("translate")
-		tr, err := translate.Translate(q, s, opts)
+		tr, tail, err := translate.TranslateWithTail(q, s, opts)
 		b.End(sp)
 		if err != nil {
 			return nil, err
@@ -80,7 +80,7 @@ func (s *Store) runQuery(b *trace.Builder, gremlinText string, opts TranslateOpt
 		if !ok {
 			return nil, fmt.Errorf("core: translated SQL is not a SELECT")
 		}
-		prep = &preparedQuery{translation: tr, stmt: sel}
+		prep = &preparedQuery{translation: tr, stmt: sel, tail: tail}
 		s.prepared.Store(key, prep)
 	}
 	b.SetSQL(prep.translation.SQL)
@@ -93,7 +93,31 @@ func (s *Store) runQuery(b *trace.Builder, gremlinText string, opts TranslateOpt
 	}
 	attachOperatorSpans(b, sp, &rows.Stats)
 
-	out := &Result{ElemType: prep.translation.ElemType, Values: make([]any, 0, len(rows.Data)), Stats: rows.Stats}
+	out := &Result{ElemType: prep.translation.ElemType, Stats: rows.Stats}
+	if len(prep.tail) > 0 {
+		tsp := b.Begin("tail")
+		items, typ, ops, terr := s.runTail(rows.Data, prep.translation.ElemType, prep.tail, ver)
+		b.End(tsp)
+		if terr != nil {
+			return nil, terr
+		}
+		for i := range ops {
+			op := &ops[i]
+			b.Child(tsp, op.Kind, "", op.StartNs, op.Nanos, int64(op.RowsIn), int64(op.RowsOut))
+		}
+		out.Stats.Ops = append(out.Stats.Ops, ops...)
+		out.ElemType = typ
+		out.Values = make([]any, 0, len(items))
+		for _, it := range items {
+			if typ == translate.ElemValue {
+				out.Values = append(out.Values, valueToAny(it.val))
+			} else {
+				out.Values = append(out.Values, it.id)
+			}
+		}
+		return out, nil
+	}
+	out.Values = make([]any, 0, len(rows.Data))
 	for _, row := range rows.Data {
 		out.Values = append(out.Values, valueToAny(row[0]))
 	}

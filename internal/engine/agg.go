@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 
 func isAggregateName(name string) bool {
 	switch strings.ToUpper(name) {
-	case "COUNT", "SUM", "MIN", "MAX", "AVG":
+	case "COUNT", "SUM", "MIN", "MAX", "AVG", "LISTAGG":
 		return true
 	}
 	return false
@@ -210,6 +211,7 @@ func (e *Engine) computeAggregate(q *queryState, sc *scope, rows [][]rel.Value, 
 	var sumF float64
 	allInt := true
 	var minV, maxV rel.Value
+	var listVals []rel.Value
 	seen := map[string]bool{}
 
 	for _, row := range rows {
@@ -245,6 +247,9 @@ func (e *Engine) computeAggregate(q *queryState, sc *scope, rows [][]rel.Value, 
 		if maxV.IsNull() || rel.Compare(v, maxV) > 0 {
 			maxV = v
 		}
+		if name == "LISTAGG" {
+			listVals = append(listVals, v)
+		}
 	}
 
 	switch name {
@@ -267,6 +272,12 @@ func (e *Engine) computeAggregate(q *queryState, sc *scope, rows [][]rel.Value, 
 		return minV, nil
 	case "MAX":
 		return maxV, nil
+	case "LISTAGG":
+		// Deterministic output independent of row order: non-null values
+		// sorted ascending. (Standard LISTAGG requires WITHIN GROUP; a
+		// fixed ascending order serves the same purpose here.)
+		sort.SliceStable(listVals, func(i, j int) bool { return rel.Compare(listVals[i], listVals[j]) < 0 })
+		return rel.NewList(listVals), nil
 	default:
 		return rel.Null, fmt.Errorf("engine: unknown aggregate %s", name)
 	}

@@ -383,7 +383,7 @@ func (e *Engine) evalCase(ctx *evalCtx, v *sql.CaseExpr) (rel.Value, error) {
 func (e *Engine) evalFunc(ctx *evalCtx, v *sql.FuncCall) (rel.Value, error) {
 	name := strings.ToUpper(v.Name)
 	switch name {
-	case "COUNT", "SUM", "MIN", "MAX", "AVG":
+	case "COUNT", "SUM", "MIN", "MAX", "AVG", "LISTAGG":
 		return rel.Null, fmt.Errorf("engine: aggregate %s used outside aggregation context", name)
 	}
 	args := make([]rel.Value, len(v.Args))
@@ -463,6 +463,20 @@ func (e *Engine) evalFunc(ctx *evalCtx, v *sql.FuncCall) (rel.Value, error) {
 		// LIST(a, b, ...) constructs a LIST value (used to seed traversal
 		// paths in the translation).
 		return rel.NewList(args), nil
+	case "CONTAINS", "STARTSWITH":
+		// String predicates backing the Gremlin closure methods
+		// it.x.contains(y) / it.x.startsWith(y). NULL unless both sides
+		// are strings, matching the closure evaluator.
+		if len(args) != 2 {
+			return rel.Null, fmt.Errorf("engine: %s takes 2 arguments", name)
+		}
+		if args[0].Kind() != rel.KindString || args[1].Kind() != rel.KindString {
+			return rel.Null, nil
+		}
+		if name == "CONTAINS" {
+			return rel.NewBool(strings.Contains(args[0].Str(), args[1].Str())), nil
+		}
+		return rel.NewBool(strings.HasPrefix(args[0].Str(), args[1].Str())), nil
 	case "CARDINALITY":
 		if args[0].Kind() != rel.KindList {
 			return rel.Null, nil

@@ -8,6 +8,8 @@ package gremlin
 import (
 	"fmt"
 	"strings"
+
+	"sqlgraph/internal/gremlin/expr"
 )
 
 // StepKind enumerates supported pipes.
@@ -56,6 +58,11 @@ const (
 	// Branch pipes.
 	StepIfThenElse // ifThenElse{test}{then}{else}
 	StepLoop       // loop('name'|n){it.loops < k}
+
+	// Ordering and grouping pipes.
+	StepOrder      // order() or order{keyExpr}
+	StepGroupBy    // groupBy{keyExpr}{valueExpr}
+	StepGroupCount // groupCount{keyExpr}
 )
 
 var stepNames = map[StepKind]string{
@@ -69,6 +76,7 @@ var stepNames = map[StepKind]string{
 	StepBack: "back", StepAs: "as", StepAggregate: "aggregate",
 	StepTable: "table", StepIterate: "iterate",
 	StepIfThenElse: "ifThenElse", StepLoop: "loop",
+	StepOrder: "order", StepGroupBy: "groupBy", StepGroupCount: "groupCount",
 }
 
 // String returns the pipe name.
@@ -104,7 +112,7 @@ func (p *Predicate) String() string {
 	if p.Op == "" {
 		return fmt.Sprintf("it.%s", p.Key)
 	}
-	return fmt.Sprintf("it.%s %s %v", p.Key, p.Op, p.Value)
+	return fmt.Sprintf("it.%s %s %s", p.Key, p.Op, formatVal(p.Value))
 }
 
 // Step is one pipe in a pipeline.
@@ -134,6 +142,17 @@ type Step struct {
 	Else     []Step
 	LoopMax  int // loop {it.loops < N}
 	LoopPred *Predicate
+
+	// Closure expression payloads. FilterExpr carries a general
+	// filter{...} body (when it reduces to a simple predicate the
+	// Key/Op/Value fields above are ALSO populated and take precedence,
+	// preserving the original simple-closure semantics). TestExpr is the
+	// ifThenElse test; KeyExpr/ValueExpr are the order/groupBy/groupCount
+	// closures (a nil KeyExpr on order means order() by value).
+	FilterExpr expr.Node
+	TestExpr   expr.Node
+	KeyExpr    expr.Node
+	ValueExpr  expr.Node
 }
 
 // Query is a parsed Gremlin query: a pipeline rooted at a source step.
@@ -186,6 +205,9 @@ func formatStep(s *Step) string {
 	case StepInterval:
 		return fmt.Sprintf("interval(%s, %s, %s)", quote(s.Key), formatVal(s.Lo), formatVal(s.Hi))
 	case StepFilter:
+		if s.Key == "" && s.FilterExpr != nil {
+			return fmt.Sprintf("filter{%s}", s.FilterExpr)
+		}
 		if s.Op == "" && s.Value == nil {
 			return fmt.Sprintf("filter{it.%s}", s.Key) // existence test
 		}
@@ -202,6 +224,9 @@ func formatStep(s *Step) string {
 	case StepAs, StepAggregate, StepExcept, StepRetain, StepTable:
 		return fmt.Sprintf("%s(%s)", s.Kind, quote(s.Name))
 	case StepIfThenElse:
+		if s.Test == nil && s.TestExpr != nil {
+			return fmt.Sprintf("ifThenElse{%s}{%s}{%s}", s.TestExpr, formatSteps(s.Then), formatSteps(s.Else))
+		}
 		return fmt.Sprintf("ifThenElse{%s}{%s}{%s}", s.Test, formatSteps(s.Then), formatSteps(s.Else))
 	case StepLoop:
 		target := quote(s.Name)
@@ -209,6 +234,15 @@ func formatStep(s *Step) string {
 			target = fmt.Sprintf("%d", s.BackN)
 		}
 		return fmt.Sprintf("loop(%s){it.loops < %d}", target, s.LoopMax)
+	case StepOrder:
+		if s.KeyExpr == nil {
+			return "order()"
+		}
+		return fmt.Sprintf("order{%s}", s.KeyExpr)
+	case StepGroupBy:
+		return fmt.Sprintf("groupBy{%s}{%s}", s.KeyExpr, s.ValueExpr)
+	case StepGroupCount:
+		return fmt.Sprintf("groupCount{%s}", s.KeyExpr)
 	case StepCount, StepDedup, StepIterate:
 		return s.Kind.String() + "()"
 	default:
@@ -271,6 +305,10 @@ func formatVal(v any) string {
 	switch x := v.(type) {
 	case string:
 		return quote(x)
+	case float64:
+		// Never exponent notation: the lexer has no exponent syntax, and
+		// String() output must re-parse (the FuzzParse round trip).
+		return expr.FormatFloat(x)
 	default:
 		return fmt.Sprint(x)
 	}

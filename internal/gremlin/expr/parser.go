@@ -1,0 +1,405 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatLit renders a literal value in closure syntax. Floats always
+// carry a decimal point (never exponent notation — the lexer has no
+// exponent syntax) so that rendering round-trips through Parse.
+func FormatLit(v any) string {
+	switch x := v.(type) {
+	case string:
+		return "'" + escapeString(x) + "'"
+	case float64:
+		return FormatFloat(x)
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case int64:
+		return strconv.FormatInt(x, 10)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// FormatFloat renders a float with a guaranteed decimal point and no
+// exponent, so the result re-lexes as a float literal.
+func FormatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'f', -1, 64)
+	if !strings.ContainsAny(s, ".") {
+		s += ".0"
+	}
+	return s
+}
+
+func escapeString(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r == '\'' || r == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokSym
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\\' && i+1 < len(src) {
+					b.WriteByte(src[i+1])
+					i += 2
+					continue
+				}
+				if src[i] == '\'' {
+					closed = true
+					i++
+					break
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("expr: unterminated string at offset %d", start)
+			}
+			toks = append(toks, token{tokString, b.String(), start})
+		case c >= '0' && c <= '9':
+			start := i
+			isFloat := false
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+			if i < len(src) && src[i] == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9' {
+				isFloat = true
+				i++
+				for i < len(src) && (src[i] >= '0' && src[i] <= '9') {
+					i++
+				}
+			}
+			if isFloat {
+				toks = append(toks, token{tokFloat, src[start:i], start})
+			} else {
+				toks = append(toks, token{tokInt, src[start:i], start})
+			}
+		case isIdentStart(c):
+			start := i
+			for i < len(src) && isIdentPart(src[i]) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, src[start:i], start})
+		default:
+			if i+1 < len(src) {
+				two := src[i : i+2]
+				switch two {
+				case "&&", "||", "==", "!=", "<=", ">=":
+					toks = append(toks, token{tokSym, two, i})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '.', '(', ')', ',', '<', '>', '!', '+', '-', '*', '/', '%':
+				toks = append(toks, token{tokSym, string(c), i})
+				i++
+			default:
+				return nil, fmt.Errorf("expr: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) acceptSym(s string) bool {
+	if t := p.peek(); t.kind == tokSym && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("expr: "+format, args...)
+}
+
+// Parse parses a closure body. Grammar (lowest to highest binding):
+//
+//	or    := and ( "||" and )*
+//	and   := not ( "&&" not )*
+//	not   := "!" not | cmp
+//	cmp   := add ( ("=="|"!="|"<"|"<="|">"|">=") add )?
+//	add   := mul ( ("+"|"-") mul )*
+//	mul   := unary ( ("*"|"/"|"%") unary )*
+//	unary := "-" unary | postfix
+//	postfix := primary ( "." ("contains"|"startsWith") "(" or ")" )*
+//	primary := literal | "it" ( "." ident )? | "(" or ")"
+func Parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if p.peek().kind == tokEOF {
+		return nil, p.errf("empty expression")
+	}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf("unexpected %q at offset %d", t.text, t.pos)
+	}
+	return n, nil
+}
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSym("||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptSym("&&") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.acceptSym("!") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "!", X: x}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Node, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokSym {
+		switch t.text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.acceptSym("+") {
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "+", L: l, R: r}
+		} else if p.acceptSym("-") {
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: "-", L: l, R: r}
+		} else {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSym || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.acceptSym("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Node, error) {
+	n, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		// A method call is ".contains(" or ".startsWith(". A lone "."
+		// after a primary is otherwise an error (it property access is
+		// handled inside parsePrimary).
+		if t := p.peek(); t.kind != tokSym || t.text != "." {
+			return n, nil
+		}
+		p.next()
+		name := p.next()
+		if name.kind != tokIdent || (name.text != "contains" && name.text != "startsWith") {
+			return nil, p.errf("unknown method %q at offset %d (want contains or startsWith)", name.text, name.pos)
+		}
+		if !p.acceptSym("(") {
+			return nil, p.errf("expected ( after .%s", name.text)
+		}
+		arg, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptSym(")") {
+			return nil, p.errf("expected ) closing %s(...)", name.text)
+		}
+		n = &Call{Recv: n, Name: name.text, Arg: arg}
+	}
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad int literal %q", t.text)
+		}
+		return &Lit{Val: v}, nil
+	case tokFloat:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float literal %q", t.text)
+		}
+		return &Lit{Val: v}, nil
+	case tokString:
+		return &Lit{Val: t.text}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return &Lit{Val: true}, nil
+		case "false":
+			return &Lit{Val: false}, nil
+		case "it":
+			// `it` or `it.<field>`. The field must not be a method name
+			// — `it.contains('x')` is a method call on the bare element,
+			// handled by parsePostfix after we return bare `it`.
+			if t2 := p.peek(); t2.kind == tokSym && t2.text == "." {
+				if t3 := p.toks[p.i+1]; t3.kind == tokIdent && t3.text != "contains" && t3.text != "startsWith" {
+					p.next() // "."
+					p.next() // field
+					return &It{Field: t3.text}, nil
+				}
+			}
+			return &It{}, nil
+		default:
+			return nil, p.errf("unexpected identifier %q at offset %d", t.text, t.pos)
+		}
+	case tokSym:
+		if t.text == "(" {
+			n, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.acceptSym(")") {
+				return nil, p.errf("expected ) at offset %d", p.peek().pos)
+			}
+			return n, nil
+		}
+	}
+	return nil, p.errf("unexpected %q at offset %d", t.text, t.pos)
+}

@@ -37,6 +37,42 @@ func FuzzParse(f *testing.F) {
 		"g.V.out.retain('seen')",
 		`g.V.has("name", "it\'s")`,
 		"g.V.table.iterate",
+		// Closure-expression grammar: arithmetic, logic, builtins.
+		"g.V.filter{it.age * 2 + 1 >= 59 || !(it.name == 'x')}",
+		"g.V.filter{60 / it.age % 3 == 2}",
+		"g.V.filter{it.name.contains('ar') && it.name.startsWith('m')}",
+		"g.V.filter{(it.a + it.b) * (it.c - 1) < -2}",
+		"g.V.filter{it.w > 0.25 && it.w <= 0.75}",
+		"g.V.filter{it.id % 2 == 0}",
+		"g.V.ifThenElse{it.age / 2 > 14 && it.lang != 'java'}{it.out}{it.in}",
+		"g.V.as('s').out.loop('s'){it.loops + 1 < 4}",
+		// order/groupBy/groupCount pipes.
+		"g.V.order()",
+		"g.V.order{it.age}.range(0, 9)",
+		"g.V.order{100 / it.age}",
+		"g.E.order{it.w}",
+		"g.V.groupCount{it.age}",
+		"g.V.groupBy{it.lang}{it.name}",
+		"g.E.groupCount{it.label}.count()",
+		"g.V.id.groupCount{it}",
+		// Hostile shapes over the new grammar.
+		"g.V.order{",
+		"g.V.order{}",
+		"g.V.order{it.age",
+		"g.V.groupBy{it.a}",
+		"g.V.groupBy{it.a}{",
+		"g.V.groupCount{it.a}{it.b}",
+		"g.V.filter{1 == 2 == 3}",
+		"g.V.filter{it.a && }",
+		"g.V.filter{((((it.a))))}",
+		"g.V.filter{it.a.contains}",
+		"g.V.filter{it.a.contains(1)}",
+		"g.V.filter{'x'.startsWith('y')}",
+		"g.V.filter{it.loops < 2}",
+		"g.V.filter{-  -1 == 1}",
+		"g.V.filter{9999999999999999999999 > it.a}",
+		"g.V.filter{0.000000000000000001 < it.w}",
+		"g.V.filter{1e309 > it.w}",
 		// Near-misses and hostile shapes.
 		"",
 		"g",

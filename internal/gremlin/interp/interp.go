@@ -14,6 +14,7 @@ import (
 
 	"sqlgraph/internal/blueprints"
 	"sqlgraph/internal/gremlin"
+	"sqlgraph/internal/gremlin/expr"
 )
 
 // ItemKind classifies objects flowing through the pipeline.
@@ -337,7 +338,19 @@ func (e *env) step(items []Item, s *gremlin.Step) ([]Item, error) {
 	case gremlin.StepHasNot:
 		return e.filterItems(items, s.Key, "", nil, true)
 	case gremlin.StepFilter:
+		// Simple closures reduced to Key/Op/Value keep the original
+		// attribute-lookup semantics; general closures evaluate the
+		// expression per item.
+		if s.Key == "" && s.FilterExpr != nil {
+			return e.exprFilter(items, s.FilterExpr)
+		}
 		return e.filterItems(items, s.Key, s.Op, s.Value, false)
+	case gremlin.StepOrder:
+		return e.orderItems(items, s.KeyExpr)
+	case gremlin.StepGroupBy:
+		return e.groupItems(items, s.KeyExpr, s.ValueExpr)
+	case gremlin.StepGroupCount:
+		return e.groupItems(items, s.KeyExpr, nil)
 	case gremlin.StepInterval:
 		var out []Item
 		for _, it := range items {
@@ -460,11 +473,20 @@ func (e *env) step(items []Item, s *gremlin.Step) ([]Item, error) {
 	case gremlin.StepIfThenElse:
 		var out []Item
 		for _, it := range items {
-			attrs, err := e.attrsOf(it)
-			if err != nil {
-				attrs = nil
+			var takeThen bool
+			if s.Test == nil && s.TestExpr != nil {
+				v, err := e.evalClosure(s.TestExpr, it)
+				if err != nil {
+					return nil, err
+				}
+				takeThen = expr.Truthy(v)
+			} else {
+				attrs, err := e.attrsOf(it)
+				if err != nil {
+					attrs = nil
+				}
+				takeThen = evalPredicate(attrs, s.Test)
 			}
-			takeThen := evalPredicate(attrs, s.Test)
 			branch := s.Else
 			if takeThen {
 				branch = s.Then
@@ -559,6 +581,15 @@ func (e *env) filterItems(items []Item, key string, op gremlin.CmpOp, val any, w
 			continue
 		}
 		v, present := attrs[key]
+		// On edges, has/filter against "label" resolves the edge label —
+		// the translator renders these against the LBL column. hasNot
+		// (wantAbsent) keeps raw attribute semantics, mirroring the SQL
+		// template's JSON_VAL(ATTR, 'label') IS NULL.
+		if !wantAbsent && key == "label" && it.Kind == EdgeItem {
+			if rec, err := e.g.Edge(it.ID); err == nil {
+				v, present = rec.Label, true
+			}
+		}
 		if wantAbsent {
 			if !present {
 				out = append(out, it)

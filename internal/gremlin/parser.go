@@ -5,6 +5,9 @@ import (
 	"strconv"
 	"strings"
 	"unicode"
+
+	"sqlgraph/internal/gremlin/expr"
+	"sqlgraph/internal/rel"
 )
 
 // token kinds for the Gremlin lexer.
@@ -88,12 +91,12 @@ func lex(src string) ([]gtok, error) {
 				two = src[i : i+2]
 			}
 			switch two {
-			case "==", "!=", "<=", ">=":
+			case "==", "!=", "<=", ">=", "&&", "||":
 				toks = append(toks, gtok{gtokSym, two, start + 1})
 				i += 2
 			default:
 				switch c {
-				case '.', '(', ')', '{', '}', ',', '<', '>', '-':
+				case '.', '(', ')', '{', '}', ',', '<', '>', '-', '!', '+', '*', '/', '%':
 					toks = append(toks, gtok{gtokSym, string(c), start + 1})
 					i++
 				default:
@@ -203,6 +206,7 @@ var kindByName = map[string]StepKind{
 	"back": StepBack, "as": StepAs, "aggregate": StepAggregate,
 	"table": StepTable, "iterate": StepIterate,
 	"ifThenElse": StepIfThenElse, "loop": StepLoop,
+	"order": StepOrder, "groupBy": StepGroupBy, "groupCount": StepGroupCount,
 }
 
 func (p *gparser) parseStep() (*Step, error) {
@@ -278,7 +282,15 @@ func (p *gparser) parseStep() (*Step, error) {
 		if !ok {
 			return nil, p.errorf("interval key must be a string")
 		}
-		step.Key, step.Lo, step.Hi = key, args[1], args[2]
+		lo, err := valueArg(args[1])
+		if err != nil {
+			return nil, p.errorf("interval lo: %v", err)
+		}
+		hi, err := valueArg(args[2])
+		if err != nil {
+			return nil, p.errorf("interval hi: %v", err)
+		}
+		step.Key, step.Lo, step.Hi = key, lo, hi
 	case StepRange:
 		if len(args) != 2 {
 			return nil, p.errorf("range expects (low, high)")
@@ -314,17 +326,27 @@ func (p *gparser) parseStep() (*Step, error) {
 			return nil, p.errorf("%s expects a name", kind)
 		}
 	case StepFilter:
-		pred, err := p.parsePredicateClosure()
+		node, err := p.parseExprClosure("filter")
 		if err != nil {
 			return nil, err
 		}
-		step.Key, step.Op, step.Value = pred.Key, pred.Op, pred.Value
+		step.FilterExpr = node
+		// Simple closures reduce to the legacy Key/Op/Value predicate so
+		// existing semantics (existence tests, attribute-column merging
+		// in the translator) are preserved bit for bit.
+		if pred := simplePredicate(node); pred != nil {
+			step.Key, step.Op, step.Value = pred.Key, pred.Op, pred.Value
+		}
 	case StepIfThenElse:
-		test, err := p.parsePredicateClosure()
+		node, err := p.parseExprClosure("ifThenElse")
 		if err != nil {
 			return nil, err
 		}
-		step.Test = test
+		step.TestExpr = node
+		if pred := simplePredicate(node); pred != nil {
+			step.Test = pred
+			step.TestExpr = nil
+		}
 		thenSteps, err := p.parsePipelineClosure()
 		if err != nil {
 			return nil, err
@@ -334,6 +356,39 @@ func (p *gparser) parseStep() (*Step, error) {
 			return nil, err
 		}
 		step.Then, step.Else = thenSteps, elseSteps
+	case StepOrder:
+		if len(args) != 0 {
+			return nil, p.errorf("order takes no arguments")
+		}
+		if p.peek().kind == gtokSym && p.peek().text == "{" {
+			node, err := p.parseExprClosure("order")
+			if err != nil {
+				return nil, err
+			}
+			step.KeyExpr = node
+		}
+	case StepGroupBy:
+		if len(args) != 0 {
+			return nil, p.errorf("groupBy takes no arguments")
+		}
+		key, err := p.parseExprClosure("groupBy")
+		if err != nil {
+			return nil, err
+		}
+		val, err := p.parseExprClosure("groupBy")
+		if err != nil {
+			return nil, err
+		}
+		step.KeyExpr, step.ValueExpr = key, val
+	case StepGroupCount:
+		if len(args) != 0 {
+			return nil, p.errorf("groupCount takes no arguments")
+		}
+		key, err := p.parseExprClosure("groupCount")
+		if err != nil {
+			return nil, err
+		}
+		step.KeyExpr = key
 	case StepLoop:
 		if len(args) != 1 {
 			return nil, p.errorf("loop expects a step name or count")
@@ -346,11 +401,12 @@ func (p *gparser) parseStep() (*Step, error) {
 		default:
 			return nil, p.errorf("loop expects a name or step count")
 		}
-		max, pred, err := p.parseLoopClosure()
+		max, err := p.parseLoopClosure()
 		if err != nil {
 			return nil, err
 		}
-		step.LoopMax, step.LoopPred = max, pred
+		step.LoopMax = max
+		step.LoopPred = &Predicate{Key: "loops", Op: OpLt, Value: int64(max)}
 	case StepCount, StepDedup, StepIterate, StepPath, StepSimplePath,
 		StepID, StepLabel, StepOutV, StepInV, StepBothV:
 		if len(args) != 0 {
@@ -461,8 +517,12 @@ func applySourceArgs(step *Step, args []any) error {
 		return nil
 	case 2:
 		if key, ok := args[0].(string); ok {
+			val, err := valueArg(args[1])
+			if err != nil {
+				return fmt.Errorf("%s(key, value): %w", step.Kind, err)
+			}
 			step.StartKey = key
-			step.StartVal = args[1]
+			step.StartVal = val
 			return nil
 		}
 		fallthrough
@@ -481,6 +541,16 @@ func applySourceArgs(step *Step, args []any) error {
 	}
 }
 
+// valueArg validates an argument used as a comparison value: a T.xx
+// comparison token is only legal in has()'s operator slot, never as a
+// value (it would render unquoted and break the String() round trip).
+func valueArg(v any) (any, error) {
+	if op, ok := v.(CmpOp); ok {
+		return nil, fmt.Errorf("comparison token T.%s is not a value", opToken(op))
+	}
+	return v, nil
+}
+
 func applyHasArgs(step *Step, args []any) error {
 	switch len(args) {
 	case 1:
@@ -495,7 +565,11 @@ func applyHasArgs(step *Step, args []any) error {
 		if !ok {
 			return fmt.Errorf("has key must be a string")
 		}
-		step.Key, step.Op, step.Value = key, OpEq, args[1]
+		val, err := valueArg(args[1])
+		if err != nil {
+			return fmt.Errorf("has(key, value): %w", err)
+		}
+		step.Key, step.Op, step.Value = key, OpEq, val
 		return nil
 	case 3:
 		key, ok := args[0].(string)
@@ -506,52 +580,114 @@ func applyHasArgs(step *Step, args []any) error {
 		if !ok {
 			return fmt.Errorf("has comparison must be a T token")
 		}
-		step.Key, step.Op, step.Value = key, op, args[2]
+		val, err := valueArg(args[2])
+		if err != nil {
+			return fmt.Errorf("has(key, T.%s, value): %w", opToken(op), err)
+		}
+		step.Key, step.Op, step.Value = key, op, val
 		return nil
 	default:
 		return fmt.Errorf("has expects 1-3 arguments")
 	}
 }
 
-// parsePredicateClosure parses {it.key op literal} or {it.key} existence.
-func (p *gparser) parsePredicateClosure() (*Predicate, error) {
+// parseExprClosure parses {<expr>}: it extracts the brace-delimited body
+// from the source text (strings were already lexed, so counting brace
+// tokens is safe) and hands it to the expression parser. `it.loops` is
+// only legal inside loop closures, which use parseLoopClosure instead.
+func (p *gparser) parseExprClosure(pipe string) (expr.Node, error) {
+	node, err := p.rawExprClosure(pipe)
+	if err != nil {
+		return nil, err
+	}
+	if expr.UsesLoops(node) {
+		return nil, p.errorf("it.loops is only valid inside loop closures")
+	}
+	return node, nil
+}
+
+func (p *gparser) rawExprClosure(pipe string) (expr.Node, error) {
+	open := p.peek()
 	if err := p.expectSym("{"); err != nil {
 		return nil, err
 	}
-	if !p.acceptIdent("it") {
-		return nil, p.errorf("closure must reference it")
+	depth := 1
+	var close gtok
+	for depth > 0 {
+		t := p.next()
+		if t.kind == gtokEOF {
+			return nil, p.errorf("unterminated %s closure", pipe)
+		}
+		if t.kind == gtokSym {
+			switch t.text {
+			case "{":
+				depth++
+			case "}":
+				depth--
+				if depth == 0 {
+					close = t
+				}
+			}
+		}
 	}
-	if err := p.expectSym("."); err != nil {
-		return nil, err
+	// Token positions are 1-based start offsets: the body is everything
+	// strictly between the braces.
+	body := p.src[open.pos : close.pos-1]
+	node, err := expr.Parse(body)
+	if err != nil {
+		return nil, fmt.Errorf("gremlin: %s closure near position %d: %w", pipe, open.pos, err)
 	}
-	keyTok := p.next()
-	if keyTok.kind != gtokIdent {
-		return nil, p.errorf("expected property name after it.")
-	}
-	pred := &Predicate{Key: keyTok.text}
-	t := p.peek()
-	if t.kind == gtokSym && t.text != "}" {
-		opText := p.next().text
-		var op CmpOp
-		switch opText {
-		case "==", "!=", "<=", ">=", "<", ">":
-			op = CmpOp(opText)
+	return node, nil
+}
+
+// simplePredicate reduces an expression to the legacy single-comparison
+// Predicate when it has that exact shape: `it.key` (existence test) or
+// `it.key op literal`. Reserved accessors (id, loops) never reduce — they
+// carry element semantics, not attribute lookups.
+func simplePredicate(n expr.Node) *Predicate {
+	switch x := n.(type) {
+	case *expr.It:
+		if x.Field != "" && x.Field != "id" && x.Field != "loops" {
+			return &Predicate{Key: x.Field}
+		}
+	case *expr.Binary:
+		switch x.Op {
+		case "==", "!=", "<", "<=", ">", ">=":
 		default:
-			return nil, p.errorf("unsupported operator %q in closure", opText)
+			return nil
 		}
-		val, err := p.parseArg()
-		if err != nil {
-			return nil, err
+		it, ok := x.L.(*expr.It)
+		if !ok || it.Field == "" || it.Field == "id" || it.Field == "loops" {
+			return nil
 		}
-		if id, ok := val.(ident); ok {
-			return nil, p.errorf("closure values must be literals, found %s", id)
+		val, ok := litValue(x.R)
+		if !ok {
+			return nil
 		}
-		pred.Op, pred.Value = op, val
+		return &Predicate{Key: it.Field, Op: CmpOp(x.Op), Value: val}
 	}
-	if err := p.expectSym("}"); err != nil {
-		return nil, err
+	return nil
+}
+
+// litValue unwraps a literal or negated numeric literal.
+func litValue(n expr.Node) (any, bool) {
+	switch x := n.(type) {
+	case *expr.Lit:
+		return x.Val, true
+	case *expr.Unary:
+		if x.Op != "-" {
+			return nil, false
+		}
+		if lit, ok := x.X.(*expr.Lit); ok {
+			switch v := lit.Val.(type) {
+			case int64:
+				return -v, true
+			case float64:
+				return -v, true
+			}
+		}
 	}
-	return pred, nil
+	return nil, false
 }
 
 // parsePipelineClosure parses {it.step.step...} used by ifThenElse
@@ -573,37 +709,44 @@ func (p *gparser) parsePipelineClosure() ([]Step, error) {
 	return steps, nil
 }
 
-// parseLoopClosure parses {it.loops < N}.
-func (p *gparser) parseLoopClosure() (int, *Predicate, error) {
-	if err := p.expectSym("{"); err != nil {
-		return 0, nil, err
-	}
-	if !p.acceptIdent("it") {
-		return 0, nil, p.errorf("loop closure must reference it")
-	}
-	if err := p.expectSym("."); err != nil {
-		return 0, nil, err
-	}
-	if !p.acceptIdent("loops") {
-		return 0, nil, p.errorf("loop closure must test it.loops")
-	}
-	opTok := p.next()
-	if opTok.kind != gtokSym || (opTok.text != "<" && opTok.text != "<=") {
-		return 0, nil, p.errorf("loop closure must be it.loops < N")
-	}
-	nTok := p.next()
-	if nTok.kind != gtokInt {
-		return 0, nil, p.errorf("loop bound must be an integer")
-	}
-	n, err := strconv.Atoi(nTok.text)
+// maxLoopBound caps loop termination closures: the closure must become
+// false for some iteration counter in [1, maxLoopBound].
+const maxLoopBound = 1024
+
+// parseLoopClosure parses a loop termination closure — any expression
+// over it.loops, e.g. {it.loops < 3} or {it.loops < 4 && it.loops != 2}.
+// The closure is probed against successive iteration counters to find
+// the first value where it turns false; that becomes the unroll bound.
+// (Looping continues while the closure is true, so a closure that never
+// turns false is rejected rather than unrolled forever.)
+func (p *gparser) parseLoopClosure() (int, error) {
+	node, err := p.rawExprClosure("loop")
 	if err != nil {
-		return 0, nil, p.errorf("bad loop bound %q", nTok.text)
+		return 0, err
 	}
-	if opTok.text == "<=" {
-		n++
+	if !expr.UsesLoops(node) {
+		return 0, p.errorf("loop closure must reference it.loops")
 	}
-	if err := p.expectSym("}"); err != nil {
-		return 0, nil, err
+	if !expr.OnlyLoops(node) {
+		return 0, p.errorf("loop closure may only reference it.loops")
 	}
-	return n, &Predicate{Key: "loops", Op: CmpOp(opTok.text), Value: int64(n)}, nil
+	for n := 1; n <= maxLoopBound; n++ {
+		v, err := expr.Eval(node, loopEnv{n: int64(n)})
+		if err != nil {
+			return 0, p.errorf("loop closure: %v", err)
+		}
+		if !expr.Truthy(v) {
+			return n, nil
+		}
+	}
+	return 0, p.errorf("loop closure never terminates within %d iterations", maxLoopBound)
 }
+
+// loopEnv evaluates loop closures: only it.loops resolves (OnlyLoops is
+// checked before probing, so the other accessors are unreachable).
+type loopEnv struct{ n int64 }
+
+func (e loopEnv) Prop(string) rel.Value { return rel.Null }
+func (e loopEnv) ID() rel.Value         { return rel.Null }
+func (e loopEnv) Loops() rel.Value      { return rel.NewInt(e.n) }
+func (e loopEnv) Self() rel.Value       { return rel.Null }

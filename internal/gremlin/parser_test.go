@@ -194,6 +194,37 @@ func TestParseAppendixExample(t *testing.T) {
 	}
 }
 
+func TestParseOrderGroup(t *testing.T) {
+	q := mustParse(t, "g.V.order()")
+	if q.Steps[1].Kind != StepOrder || q.Steps[1].KeyExpr != nil {
+		t.Fatalf("order() = %+v", q.Steps[1])
+	}
+	q = mustParse(t, "g.V.order{it.age}")
+	if q.Steps[1].Kind != StepOrder || q.Steps[1].KeyExpr == nil {
+		t.Fatalf("order{key} = %+v", q.Steps[1])
+	}
+	q = mustParse(t, "g.V.groupCount{it.age / 2}")
+	if q.Steps[1].Kind != StepGroupCount || q.Steps[1].KeyExpr == nil || q.Steps[1].ValueExpr != nil {
+		t.Fatalf("groupCount = %+v", q.Steps[1])
+	}
+	q = mustParse(t, "g.V.groupBy{it.lang}{it.name}")
+	if q.Steps[1].Kind != StepGroupBy || q.Steps[1].KeyExpr == nil || q.Steps[1].ValueExpr == nil {
+		t.Fatalf("groupBy = %+v", q.Steps[1])
+	}
+
+	for _, bad := range []string{
+		"g.V.order{}",              // empty key closure
+		"g.V.order{it.age",        // unterminated
+		"g.V.groupBy{it.a}",        // missing value closure
+		"g.V.groupCount{it.a}{it}", // groupCount takes one closure
+		"g.V.groupCount{it.loops}", // it.loops outside a loop closure
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",
@@ -212,6 +243,14 @@ func TestParseErrors(t *testing.T) {
 		"g.ifThenElse{it.",           // FuzzParse crasher: next() ran past EOF
 		"g.V.filter{it.",             // same class, predicate closure
 		"g.V.loop('x'){it.",          // same class, loop closure
+		// FuzzParse: a T token in a value slot used to be stored as the
+		// value and render unquoted ("has('', >)"), breaking the String()
+		// round trip. All four value positions must reject it.
+		"g.V.has('k', T.gt)",
+		"g.V.has('k', T.gt, T.lt)",
+		"g.V.interval('k', T.gt, 3)",
+		"g.V.interval('k', 1, T.lt)",
+		"g.V('name', T.eq)",
 	}
 	for _, src := range bad {
 		if _, err := Parse(src); err == nil {
@@ -228,6 +267,16 @@ func TestRoundTripString(t *testing.T) {
 		"g.V('key', 'val').as('x').out.back('x')",
 		"g.V.ifThenElse{it.a == 1}{it.out}{it.in}.count()",
 		"g.V(1).as('s').out('isPartOf').loop('s'){it.loops < 5}.dedup().count()",
+		// Closure-expression grammar and the order/group pipes.
+		"g.V.filter{it.age * 2 + 1 >= 59 || !(it.name == 'marko')}",
+		"g.V.filter{60 / it.age % 3 == 2 && it.w > 0.25}",
+		"g.V.filter{it.name.contains('ar') && it.name.startsWith('m')}",
+		"g.V.filter{-1 < it.k}",
+		"g.V.order().range(0, 9)",
+		"g.V.order{100 / it.age}",
+		"g.E.groupCount{it.label}.count()",
+		"g.V.groupBy{it.lang}{it.name}",
+		"g.V.ifThenElse{it.age / 2 > 14}{it.out}{it.in}",
 	}
 	for _, src := range queries {
 		q := mustParse(t, src)

@@ -1,0 +1,170 @@
+package translate
+
+import (
+	"fmt"
+
+	"sqlgraph/internal/gremlin/expr"
+)
+
+// renderExpr compiles a closure expression into a SQL scalar expression
+// over the current element. The caller's template must bind V to the
+// current CTE and — for vertex/edge inputs — A to the matching attribute
+// table row (VA or EA), which is where `it.<prop>` resolves. The SQL
+// engine's expression semantics (3VL AND/OR, null propagation, mixed
+// int/float arithmetic, division-by-zero errors) are the reference
+// semantics the closure evaluator copies, so rendering is a direct
+// syntax mapping; the one case that cannot map — `/` or `%` whose
+// divisor is not a nonzero numeric literal — returns ErrTailEval.
+func (t *translator) renderExpr(n expr.Node) (string, error) {
+	switch x := n.(type) {
+	case *expr.Lit:
+		return sqlExprLit(x.Val), nil
+	case *expr.It:
+		return t.renderIt(x)
+	case *expr.Unary:
+		sub, err := t.renderExpr(x.X)
+		if err != nil {
+			return "", err
+		}
+		if x.Op == "!" {
+			return fmt.Sprintf("(NOT %s)", sub), nil
+		}
+		return fmt.Sprintf("(- %s)", sub), nil
+	case *expr.Binary:
+		if x.Op == "/" || x.Op == "%" {
+			if err := checkDivisor(x); err != nil {
+				return "", err
+			}
+		}
+		l, err := t.renderExpr(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := t.renderExpr(x.R)
+		if err != nil {
+			return "", err
+		}
+		op := x.Op
+		switch x.Op {
+		case "&&":
+			op = "AND"
+		case "||":
+			op = "OR"
+		case "==":
+			op = "="
+		case "!=":
+			op = "<>"
+		}
+		return fmt.Sprintf("(%s %s %s)", l, op, r), nil
+	case *expr.Call:
+		recv, err := t.renderExpr(x.Recv)
+		if err != nil {
+			return "", err
+		}
+		arg, err := t.renderExpr(x.Arg)
+		if err != nil {
+			return "", err
+		}
+		fn := "CONTAINS"
+		if x.Name == "startsWith" {
+			fn = "STARTSWITH"
+		}
+		return fmt.Sprintf("%s(%s, %s)", fn, recv, arg), nil
+	default:
+		return "", fmt.Errorf("translate: unsupported closure node %T", n)
+	}
+}
+
+func (t *translator) renderIt(x *expr.It) (string, error) {
+	switch x.Field {
+	case "":
+		return "V.VAL", nil
+	case "loops":
+		// Loop closures are resolved to a static bound at parse time;
+		// it.loops anywhere else has no SQL counterpart.
+		return "", fmt.Errorf("translate: it.loops outside a loop closure")
+	case "id":
+		if t.typ == ElemValue {
+			return "NULL", nil
+		}
+		return "V.VAL", nil
+	default:
+		switch t.typ {
+		case ElemVertex:
+			return fmt.Sprintf("JSON_VAL(A.ATTR, %s)", lit(x.Field)), nil
+		case ElemEdge:
+			if x.Field == "label" {
+				return "A.LBL", nil
+			}
+			return fmt.Sprintf("JSON_VAL(A.ATTR, %s)", lit(x.Field)), nil
+		default:
+			// Plain values carry no attributes.
+			return "NULL", nil
+		}
+	}
+}
+
+// checkDivisor enforces the pushdown precondition for `/` and `%`: the
+// divisor must be a numeric literal (optionally negated) that does not
+// trigger the engine's division-by-zero error. Anything else — a
+// data-dependent divisor, or a literal zero — is flagged ErrTailEval so
+// the per-row error surfaces from the closure evaluator, matching the
+// interpreter exactly, instead of from deep inside a SQL scan.
+func checkDivisor(b *expr.Binary) error {
+	v, ok := numericLit(b.R)
+	if !ok {
+		return fmt.Errorf("%w: non-literal divisor in %s", ErrTailEval, b.String())
+	}
+	var zero bool
+	switch n := v.(type) {
+	case int64:
+		zero = n == 0
+	case float64:
+		if b.Op == "%" {
+			// Modulo truncates the divisor to int first.
+			zero = int64(n) == 0
+		} else {
+			zero = n == 0
+		}
+	}
+	if zero {
+		return fmt.Errorf("%w: zero divisor in %s", ErrTailEval, b.String())
+	}
+	return nil
+}
+
+// numericLit unwraps an optionally-negated numeric literal.
+func numericLit(n expr.Node) (any, bool) {
+	neg := false
+	if u, ok := n.(*expr.Unary); ok && u.Op == "-" {
+		n = u.X
+		neg = true
+	}
+	l, ok := n.(*expr.Lit)
+	if !ok {
+		return nil, false
+	}
+	switch v := l.Val.(type) {
+	case int64:
+		if neg {
+			return -v, true
+		}
+		return v, true
+	case float64:
+		if neg {
+			return -v, true
+		}
+		return v, true
+	}
+	return nil, false
+}
+
+// sqlExprLit renders a closure literal as SQL. Unlike lit(), floats are
+// rendered in fixed-point notation (the SQL lexer does not accept
+// exponent forms) with a forced decimal point so they stay floats.
+func sqlExprLit(v any) string {
+	if f, ok := v.(float64); ok {
+		return expr.FormatFloat(f)
+	}
+	return lit(v)
+}

@@ -1,0 +1,176 @@
+package translate
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sqlgraph/internal/gremlin"
+)
+
+// SQL-shape tests for the closure/order/group templates, pinned across
+// all three storage modes: the acceptance bar is that order+range and
+// groupCount shapes are SQL pushdown (never tail fallback), and that the
+// refuse-and-fallback decision points fire exactly where designed.
+
+var allOpts = []Options{{}, {ForceEA: true}, {ForceHashTables: true}}
+
+func TestClosureFilterTemplates(t *testing.T) {
+	for _, opts := range allOpts {
+		// Vertex closures join VA and compile operators 1:1.
+		sql := tr(t, "g.V.out.filter{it.age * 2 >= 60 && it.name != 'lop'}", opts).SQL
+		wants(t, sql,
+			"VA A WHERE A.VID = V.VAL",
+			"((JSON_VAL(A.ATTR, 'age') * 2) >= 60)",
+			"(JSON_VAL(A.ATTR, 'name') <> 'lop')",
+			" AND ",
+		)
+		// Edge closures join EA; it.label is the LBL column.
+		sql = tr(t, "g.E.filter{it.label == 'knows' || it.weight > 0.5}", opts).SQL
+		wants(t, sql, "EA A WHERE A.EID = V.VAL", "(A.LBL = 'knows')", "(JSON_VAL(A.ATTR, 'weight') > 0.5)", " OR ")
+		// Value closures compare VAL directly, no attribute join.
+		sql = tr(t, "g.V.id.filter{it > 2}", opts).SQL
+		wants(t, sql, "V WHERE (V.VAL > 2)")
+		// String builtins map to scalar functions.
+		sql = tr(t, "g.V.filter{it.name.startsWith('ma') && it.name.contains('rko')}", opts).SQL
+		wants(t, sql, "STARTSWITH(JSON_VAL(A.ATTR, 'name'), 'ma')", "CONTAINS(JSON_VAL(A.ATTR, 'name'), 'rko')")
+		// Negation renders through SQL NOT; unary minus stays prefix.
+		sql = tr(t, "g.V.filter{!(it.age == 29) && it.k > -1}", opts).SQL
+		wants(t, sql, "(NOT (JSON_VAL(A.ATTR, 'age') = 29))", "> (- 1)")
+	}
+}
+
+func TestOrderTemplates(t *testing.T) {
+	for _, opts := range allOpts {
+		// order() sorts the value column in place.
+		sql := tr(t, "g.V.out.order()", opts).SQL
+		wants(t, sql, "ORDER BY VAL")
+		rejects(t, sql, "OKEY")
+		// order{key} computes the key, sorts on (key, element), then
+		// projects the key away — three CTEs.
+		sql = tr(t, "g.V.order{it.age}", opts).SQL
+		wants(t, sql,
+			"JSON_VAL(A.ATTR, 'age') AS OKEY",
+			"ORDER BY OKEY, VAL",
+		)
+		if !strings.Contains(sql, "SELECT VAL FROM T3") {
+			t.Fatalf("keyed order must strip OKEY via a final projection:\n%s", sql)
+		}
+		// order + range is the paginate shape: pushdown, ORDER BY before
+		// LIMIT/OFFSET.
+		sql = tr(t, "g.V.order{it.name}.range(0, 9)", opts).SQL
+		ob := strings.Index(sql, "ORDER BY OKEY, VAL")
+		lim := strings.Index(sql, "LIMIT 10 OFFSET 0")
+		if ob < 0 || lim < 0 || lim < ob {
+			t.Fatalf("order+range must push ORDER BY before LIMIT (order@%d limit@%d):\n%s", ob, lim, sql)
+		}
+		// Edge keys resolve label via LBL.
+		sql = tr(t, "g.E.order{it.label}", opts).SQL
+		wants(t, sql, "A.LBL AS OKEY", "EA A WHERE A.EID = V.VAL")
+	}
+}
+
+func TestGroupTemplates(t *testing.T) {
+	for _, opts := range allOpts {
+		// groupCount packs (key, COUNT(*)) per group and orders groups.
+		sql := tr(t, "g.V.out.groupCount{it.age}", opts).SQL
+		wants(t, sql,
+			"(LIST() || JSON_VAL(A.ATTR, 'age') || COUNT(*)) AS VAL",
+			"GROUP BY JSON_VAL(A.ATTR, 'age')",
+			"ORDER BY VAL",
+		)
+		// groupBy aggregates values with LISTAGG.
+		sql = tr(t, "g.V.groupBy{it.lang}{it.name}", opts).SQL
+		wants(t, sql,
+			"(LIST() || JSON_VAL(A.ATTR, 'lang') || LISTAGG(JSON_VAL(A.ATTR, 'name'))) AS VAL",
+			"GROUP BY JSON_VAL(A.ATTR, 'lang')",
+		)
+		// Edge label grouping goes through LBL.
+		sql = tr(t, "g.E.groupCount{it.label}", opts).SQL
+		wants(t, sql, "(LIST() || A.LBL || COUNT(*)) AS VAL", "GROUP BY A.LBL")
+		// Value-typed input groups on VAL itself, no attribute join.
+		sql = tr(t, "g.V.id.groupCount{it}", opts).SQL
+		wants(t, sql, "(LIST() || V.VAL || COUNT(*)) AS VAL", "V GROUP BY V.VAL")
+		rejects(t, sql, "VA A")
+	}
+}
+
+func TestClosureIfThenElseTemplate(t *testing.T) {
+	// A general closure test reuses the branch-union template with the
+	// compiled condition on the then-side.
+	sql := tr(t, "g.V.ifThenElse{it.age > 28 && it.age < 33}{it.out}{it.in}", Options{ForceEA: true}).SQL
+	wants(t, sql,
+		"((JSON_VAL(A.ATTR, 'age') > 28) AND (JSON_VAL(A.ATTR, 'age') < 33))",
+		"NOT IN (SELECT VAL FROM",
+		"UNION ALL",
+	)
+}
+
+func TestTailEvalDecisionPoints(t *testing.T) {
+	sch := fakeSchema{}
+	mustSplit := func(q string, wantTail int) {
+		t.Helper()
+		parsed, err := gremlin.Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		for _, opts := range allOpts {
+			if _, err := Translate(parsed, sch, opts); !errors.Is(err, ErrTailEval) {
+				t.Fatalf("%q: want ErrTailEval, got %v", q, err)
+			}
+			trn, tail, err := TranslateWithTail(parsed, sch, opts)
+			if err != nil {
+				t.Fatalf("%q: split failed: %v", q, err)
+			}
+			if len(tail) != wantTail {
+				t.Fatalf("%q: tail has %d steps, want %d", q, len(tail), wantTail)
+			}
+			if trn.SQL == "" {
+				t.Fatalf("%q: empty prefix SQL", q)
+			}
+		}
+	}
+	// Data-dependent divisor: the filter and everything after it move to
+	// the tail.
+	mustSplit("g.V.filter{60 / it.age >= 2}", 1)
+	mustSplit("g.V.out.filter{60 / it.age >= 2}.out.count()", 3)
+	// Literal zero divisor raises per-row errors; same fallback.
+	mustSplit("g.V.filter{it.age % 0 == 1}", 1)
+	// The divisor rule also fires inside order/group key closures.
+	mustSplit("g.V.order{100 / it.age}", 1)
+	mustSplit("g.V.groupCount{it.age / (it.k + 1)}", 1)
+
+	// A nonzero literal divisor stays pushdown.
+	for _, opts := range allOpts {
+		sql := tr(t, "g.V.filter{it.age / 2 >= 14}", opts).SQL
+		wants(t, sql, "(JSON_VAL(A.ATTR, 'age') / 2)")
+		sql = tr(t, "g.V.filter{it.age % 7 == 1}", opts).SQL
+		wants(t, sql, "(JSON_VAL(A.ATTR, 'age') % 7)")
+	}
+
+	// Suffixes the tail executor cannot run keep the original error.
+	parsed, err := gremlin.Parse("g.V.as('x').out.filter{60 / it.age >= 2}.back('x')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := TranslateWithTail(parsed, sch, Options{}); !errors.Is(err, ErrTailEval) {
+		t.Fatalf("non-tail-evaluable suffix: want original ErrTailEval, got %v", err)
+	}
+}
+
+func TestOrderGroupPathRefusal(t *testing.T) {
+	// Like dedup, order/group collapse the PATH column; a later
+	// path-dependent step has no representative path to keep.
+	for _, q := range []string{
+		"g.V.out.order().out.path",
+		"g.V.out.groupCount{it.age}.path",
+	} {
+		err := trErr(t, q, Options{})
+		if !strings.Contains(err.Error(), "path-dependent") {
+			t.Fatalf("%q: unexpected error %v", q, err)
+		}
+	}
+	// order before a path pipe that already consumed tracking is fine.
+	sql := tr(t, "g.V.out.path.order()", Options{}).SQL
+	wants(t, sql, "ORDER BY VAL")
+}

@@ -65,6 +65,10 @@ func (t *translator) estimateStep(s *gremlin.Step) {
 		t.est *= 0.5
 	case gremlin.StepSimplePath:
 		t.est *= 0.9
+	case gremlin.StepGroupBy, gremlin.StepGroupCount:
+		// One output row per distinct key; model the collapse like a
+		// coarse filter but never below one group.
+		t.est = math.Max(1, t.est*hintSelFilter)
 	}
 	if t.est < 0 {
 		t.est = 0
@@ -174,6 +178,10 @@ func (t *translator) step(s *gremlin.Step) error {
 	case gremlin.StepTable, gremlin.StepIterate:
 		// Side-effect pipes are identity functions (paper Section 4.4).
 		return nil
+	case gremlin.StepOrder:
+		return t.order(s)
+	case gremlin.StepGroupBy, gremlin.StepGroupCount:
+		return t.group(s)
 	case gremlin.StepIfThenElse:
 		return t.ifThenElse(s)
 	default:
@@ -402,6 +410,9 @@ func (t *translator) property(key string) error {
 
 // filter translates mid-pipeline has/hasNot/filter/interval.
 func (t *translator) filter(s *gremlin.Step) error {
+	if s.Kind == gremlin.StepFilter && s.Key == "" && s.FilterExpr != nil {
+		return t.exprFilter(s)
+	}
 	switch t.typ {
 	case ElemVertex:
 		cond, ok, err := attrCond(s, "A.ATTR")
@@ -435,6 +446,100 @@ func (t *translator) filter(s *gremlin.Step) error {
 		t.cur = t.add(fmt.Sprintf("SELECT V.VAL AS VAL%s FROM %s V WHERE V.VAL %s %s",
 			t.carryPath(), t.cur, op, lit(s.Value)))
 	}
+	return nil
+}
+
+// exprFilter translates a general closure filter: the closure compiles
+// to a WHERE condition over the element and its attribute row, so SQL's
+// three-valued WHERE gives exactly the evaluator's truthy-or-drop rule.
+func (t *translator) exprFilter(s *gremlin.Step) error {
+	cond, err := t.renderExpr(s.FilterExpr)
+	if err != nil {
+		return err
+	}
+	switch t.typ {
+	case ElemVertex:
+		t.cur = t.add(fmt.Sprintf("SELECT V.VAL AS VAL%s FROM %s V, VA A WHERE A.VID = V.VAL AND %s",
+			t.carryPath(), t.cur, cond))
+	case ElemEdge:
+		t.cur = t.add(fmt.Sprintf("SELECT V.VAL AS VAL%s FROM %s V, EA A WHERE A.EID = V.VAL AND %s",
+			t.carryPath(), t.cur, cond))
+	default:
+		t.cur = t.add(fmt.Sprintf("SELECT V.VAL AS VAL%s FROM %s V WHERE %s",
+			t.carryPath(), t.cur, cond))
+	}
+	return nil
+}
+
+// order translates order() / order{key}. The sort happens inside the
+// emitted CTE; every downstream template scans its input in order, so
+// the ordering survives until a dedup or aggregation. A keyed order
+// needs three CTEs — compute the key alongside the element, sort on
+// (key, element), then project the key away — because ORDER BY resolves
+// against the projected columns only.
+func (t *translator) order(s *gremlin.Step) error {
+	if t.track && needsPathTracking(t.rest) {
+		return fmt.Errorf("translate: order() before a path-dependent step is unsupported")
+	}
+	if s.KeyExpr == nil {
+		t.cur = t.add(fmt.Sprintf("SELECT VAL FROM %s ORDER BY VAL", t.cur))
+		t.track = false
+		return nil
+	}
+	key, err := t.renderExpr(s.KeyExpr)
+	if err != nil {
+		return err
+	}
+	switch t.typ {
+	case ElemVertex:
+		t.cur = t.add(fmt.Sprintf("SELECT V.VAL AS VAL, %s AS OKEY FROM %s V, VA A WHERE A.VID = V.VAL",
+			key, t.cur))
+	case ElemEdge:
+		t.cur = t.add(fmt.Sprintf("SELECT V.VAL AS VAL, %s AS OKEY FROM %s V, EA A WHERE A.EID = V.VAL",
+			key, t.cur))
+	default:
+		t.cur = t.add(fmt.Sprintf("SELECT V.VAL AS VAL, %s AS OKEY FROM %s V", key, t.cur))
+	}
+	t.cur = t.add(fmt.Sprintf("SELECT VAL, OKEY FROM %s ORDER BY OKEY, VAL", t.cur))
+	t.cur = t.add(fmt.Sprintf("SELECT VAL FROM %s", t.cur))
+	t.track = false
+	return nil
+}
+
+// group translates groupBy{key}{value} and groupCount{key} into a GROUP
+// BY CTE whose VAL packs each group into one list — (key, count) for
+// groupCount, (key, sorted values) for groupBy — followed by an ORDER BY
+// VAL strip for a deterministic group order.
+func (t *translator) group(s *gremlin.Step) error {
+	if t.track && needsPathTracking(t.rest) {
+		return fmt.Errorf("translate: %v before a path-dependent step is unsupported", s.Kind)
+	}
+	key, err := t.renderExpr(s.KeyExpr)
+	if err != nil {
+		return err
+	}
+	agg := "COUNT(*)"
+	if s.Kind == gremlin.StepGroupBy {
+		val, err := t.renderExpr(s.ValueExpr)
+		if err != nil {
+			return err
+		}
+		agg = fmt.Sprintf("LISTAGG(%s)", val)
+	}
+	sel := fmt.Sprintf("SELECT (LIST() || %s || %s) AS VAL", key, agg)
+	switch t.typ {
+	case ElemVertex:
+		t.cur = t.add(fmt.Sprintf("%s FROM %s V, VA A WHERE A.VID = V.VAL GROUP BY %s", sel, t.cur, key))
+	case ElemEdge:
+		t.cur = t.add(fmt.Sprintf("%s FROM %s V, EA A WHERE A.EID = V.VAL GROUP BY %s", sel, t.cur, key))
+	default:
+		t.cur = t.add(fmt.Sprintf("%s FROM %s V GROUP BY %s", sel, t.cur, key))
+	}
+	t.cur = t.add(fmt.Sprintf("SELECT VAL FROM %s ORDER BY VAL", t.cur))
+	t.typ = ElemValue
+	t.track = false
+	t.depth = 1
+	t.typeHistReset(ElemValue)
 	return nil
 }
 
@@ -501,22 +606,31 @@ func (t *translator) back(s *gremlin.Step) error {
 // branches, and unions the results (paper Section 4.3's branch handling,
 // restricted to simple predicates per Section 4.4).
 func (t *translator) ifThenElse(s *gremlin.Step) error {
+	if t.typ == ElemValue {
+		return fmt.Errorf("translate: ifThenElse on values")
+	}
 	var cond string
-	switch t.typ {
-	case ElemVertex:
+	switch {
+	case s.Test == nil && s.TestExpr != nil:
+		// General closure test: compiled like an expression filter; the
+		// then-branch template below binds the same V/A aliases.
+		c, err := t.renderExpr(s.TestExpr)
+		if err != nil {
+			return err
+		}
+		cond = c
+	case t.typ == ElemVertex:
 		c, ok, err := attrCond(&gremlin.Step{Kind: gremlin.StepFilter, Key: s.Test.Key, Op: s.Test.Op, Value: s.Test.Value}, "A.ATTR")
 		if err != nil || !ok {
 			return fmt.Errorf("translate: unsupported ifThenElse test: %v", err)
 		}
 		cond = c
-	case ElemEdge:
+	default:
 		c, err := edgeFilterCond(&gremlin.Step{Kind: gremlin.StepFilter, Key: s.Test.Key, Op: s.Test.Op, Value: s.Test.Value})
 		if err != nil {
 			return err
 		}
 		cond = c
-	default:
-		return fmt.Errorf("translate: ifThenElse on values")
 	}
 
 	// The predicate splits the stream; estimate half down each branch and
