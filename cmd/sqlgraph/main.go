@@ -17,6 +17,13 @@
 //	demo                 run a short guided demo on the sample graph
 //	load                 bulk-load the selected dataset into -dir
 //	fsck                 verify a durable store directory (requires -dir)
+//	top                  live dashboard over a running sqlgraphd
+//
+// top polls a live server's /debug/history and /debug/events endpoints
+// and repaints a terminal dashboard (qps, p50/p99 latency, admission
+// queue, WAL fsync rate, MVCC GC backlog, replica lag, recent lifecycle
+// events). It accepts -addr (default http://127.0.0.1:8080), -interval,
+// -window, and -once to print a single frame and exit.
 //
 // load accepts -workers N: the dataset is partitioned into batches
 // applied concurrently through the group-commit WAL pipeline (vertices
@@ -61,9 +68,12 @@ func main() {
 		args = []string{"demo"}
 	}
 
-	// fsck and load manage the directory themselves, before any store is
-	// opened.
+	// top talks to a live server, and fsck and load manage the directory
+	// themselves — none of them open a store here.
 	switch args[0] {
+	case "top":
+		runTop(args[1:])
+		return
 	case "fsck":
 		if *dir == "" {
 			log.Fatal("fsck requires -dir")
@@ -188,7 +198,7 @@ func main() {
 	case "demo":
 		demo(g)
 	default:
-		log.Fatalf("unknown command %q (want query, translate, stats, demo, load, fsck)", args[0])
+		log.Fatalf("unknown command %q (want query, translate, stats, demo, load, fsck, top)", args[0])
 	}
 	if err := g.Close(); err != nil {
 		log.Fatal(err)

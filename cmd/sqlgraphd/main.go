@@ -9,7 +9,8 @@
 //	          [-group-commit 2ms] [-group-commit-batch 128]
 //	          [-replica-of addr] [-inflight 64] [-queue 64] [-timeout 30s] [-session-ttl 60s]
 //	          [-max-body 1048576] [-parallel N] [-slow-query 250ms]
-//	          [-trace-buffer 128] [-pprof] [-log-json]
+//	          [-trace-buffer 128] [-sample-interval 1s] [-sample-retention 600]
+//	          [-event-buffer 256] [-pprof] [-log-json]
 //
 // With -dir the daemon opens (or creates) a durable store there; without
 // it, the selected dataset is built in memory (sample = the paper's
@@ -42,6 +43,8 @@
 //	POST /admin/vacuum          reclaim soft-deleted rows
 //	POST /admin/checkpoint      snapshot + truncate the WAL (durable stores)
 //	GET  /debug/queries[/{id}]  recent / slow query traces (?format=text)
+//	GET  /debug/events          lifecycle event journal (?format=text)
+//	GET  /debug/history         sampled metrics ring (?window=5m)
 //	GET  /debug/pprof/          Go profiling endpoints (only with -pprof)
 //
 // Logging is structured (log/slog): one summary line per HTTP request
@@ -88,6 +91,9 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "slow-query log threshold (negative disables)")
 	traceBuffer := flag.Int("trace-buffer", 128, "recent traces retained per kind at /debug/queries")
+	sampleInterval := flag.Duration("sample-interval", time.Second, "metrics history sampler cadence for /debug/history and `sqlgraph top` (negative disables)")
+	sampleRetention := flag.Int("sample-retention", 0, "history samples retained (0 = default 600, i.e. 10 minutes at 1s)")
+	eventBuffer := flag.Int("event-buffer", 0, "lifecycle events retained at /debug/events (0 = default 256)")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "emit JSON log lines instead of text")
 	flag.Parse()
@@ -137,15 +143,18 @@ func main() {
 	store.SetParallelism(*parallel)
 
 	srv := server.New(store, server.Config{
-		MaxInFlight:    *inflight,
-		MaxQueue:       *queue,
-		RequestTimeout: *timeout,
-		SessionTTL:     *sessionTTL,
-		MaxBodyBytes:   *maxBody,
-		Logger:         logger,
-		SlowQuery:      *slowQuery,
-		TraceBuffer:    *traceBuffer,
-		EnablePprof:    *enablePprof,
+		MaxInFlight:     *inflight,
+		MaxQueue:        *queue,
+		RequestTimeout:  *timeout,
+		SessionTTL:      *sessionTTL,
+		MaxBodyBytes:    *maxBody,
+		Logger:          logger,
+		SlowQuery:       *slowQuery,
+		TraceBuffer:     *traceBuffer,
+		SampleInterval:  *sampleInterval,
+		SampleRetention: *sampleRetention,
+		EventBuffer:     *eventBuffer,
+		EnablePprof:     *enablePprof,
 	})
 	if rep != nil {
 		srv.AttachReplica(rep)

@@ -565,6 +565,7 @@ func (s *Store) Vacuum() (removed int, err error) {
 	vacT := time.Now()
 	defer func() {
 		s.tracer.ObserveVacuum(time.Since(vacT))
+		s.events.Load().RecordDur("vacuum", fmt.Sprintf("removed=%d", removed), time.Since(vacT), err)
 		w.done(err)
 	}()
 	tx, err := s.cat.Begin(writeTables, nil)

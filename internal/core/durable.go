@@ -301,8 +301,10 @@ func (s *Store) Checkpoint() (err error) {
 	}
 	w := s.startWrite("Checkpoint")
 	cpT := time.Now()
+	s.events.Load().Record("checkpoint-start", fmt.Sprintf("lsn=%d", s.wal.LastLSN()))
 	defer func() {
 		s.tracer.ObserveCheckpoint(time.Since(cpT))
+		s.events.Load().RecordDur("checkpoint", fmt.Sprintf("lsn=%d", s.wal.LastLSN()), time.Since(cpT), err)
 		w.done(err)
 	}()
 	s.snapMu.Lock()

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sqlgraph/internal/blueprints"
 	"sqlgraph/internal/core/coloring"
 	"sqlgraph/internal/engine"
+	"sqlgraph/internal/metrics"
 	"sqlgraph/internal/rel"
 	"sqlgraph/internal/stats"
 	"sqlgraph/internal/trace"
@@ -96,9 +98,16 @@ type Store struct {
 	wal    *wal.Log
 	snapMu sync.Mutex // serializes checkpoints
 
-	prepared sync.Map        // gremlin text -> *preparedQuery
-	tracer   *trace.Recorder // trace rings + write-path counters (never nil)
+	prepared sync.Map          // gremlin text -> *preparedQuery
+	tracer   *trace.Recorder   // trace rings + write-path counters (never nil)
 	optStats *stats.Collection // planner statistics (never nil)
+
+	// Telemetry (telemetry.go): prepared-statement cache and tail-executor
+	// counters, plus the lifecycle event journal.
+	preparedHits   atomic.Uint64
+	preparedMisses atomic.Uint64
+	tailQueries    atomic.Uint64
+	events         atomic.Pointer[metrics.Journal] // never nil after construction
 
 	// Pre-resolved transaction lock plans for the stored procedures (one
 	// transaction per graph operation; re-resolving names per call showed
@@ -173,6 +182,7 @@ func newMemStore(opts Options) (*Store, error) {
 	s.eng = engine.New(s.cat)
 	registerUDFs(s.eng)
 	s.initOptStats()
+	s.SetEventJournal(metrics.NewJournal(0))
 	if err := s.initFootprints(); err != nil {
 		return nil, err
 	}
@@ -242,6 +252,7 @@ func loadMem(src blueprints.Graph, opts Options) (*Store, error) {
 	s.eng = engine.New(s.cat)
 	registerUDFs(s.eng)
 	s.initOptStats()
+	s.SetEventJournal(metrics.NewJournal(0))
 	if err := s.initFootprints(); err != nil {
 		return nil, err
 	}

@@ -53,11 +53,13 @@ func (s *Store) runQuery(b *trace.Builder, gremlinText string, opts TranslateOpt
 	key := fmt.Sprintf("%+v|%s", opts, gremlinText)
 	var prep *preparedQuery
 	if cached, ok := s.prepared.Load(key); ok {
+		s.preparedHits.Add(1)
 		prep = cached.(*preparedQuery)
 		sp := b.Begin("plan")
 		sp.Detail = "cached"
 		b.End(sp)
 	} else {
+		s.preparedMisses.Add(1)
 		sp := b.Begin("parse")
 		q, err := gremlin.Parse(gremlinText)
 		b.End(sp)
@@ -95,6 +97,7 @@ func (s *Store) runQuery(b *trace.Builder, gremlinText string, opts TranslateOpt
 
 	out := &Result{ElemType: prep.translation.ElemType, Stats: rows.Stats}
 	if len(prep.tail) > 0 {
+		s.tailQueries.Add(1)
 		tsp := b.Begin("tail")
 		items, typ, ops, terr := s.runTail(rows.Data, prep.translation.ElemType, prep.tail, ver)
 		b.End(tsp)

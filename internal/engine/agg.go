@@ -137,7 +137,7 @@ func (e *Engine) aggregate(q *queryState, in *relation, sel *sql.SimpleSelect) (
 			return nil, fmt.Errorf("engine: SELECT * is not allowed with aggregation")
 		}
 		if !resolvableIn(item.Expr, sc) {
-			return nil, fmt.Errorf("engine: unknown column in select item %s", item.Expr.SQL())
+			return nil, fmt.Errorf("%w in select item %s", ErrUnknownColumn, item.Expr.SQL())
 		}
 		name := item.Alias
 		table := ""

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,6 +13,12 @@ import (
 	"sqlgraph/internal/rel"
 	"sqlgraph/internal/sql"
 )
+
+// ErrUnknownColumn marks a query referencing a column that does not
+// exist in any table in scope. It is the query's fault, not the
+// engine's: callers serving user-authored queries should map it to a
+// client error.
+var ErrUnknownColumn = errors.New("engine: unknown column")
 
 // Engine executes SQL against a catalog. It is safe for concurrent use:
 // queries take read locks on the base tables they touch (in sorted name
@@ -30,6 +37,28 @@ type Engine struct {
 	execOpts  atomic.Pointer[ExecOptions]  // nil = defaults
 	statsProv atomic.Pointer[statsProvBox] // optimizer statistics, nil = legacy planning
 	planCache sync.Map                     // *sql.SimpleSelect -> *planCacheEntry (see planner.go)
+
+	planHits          atomic.Uint64 // plan cache hits
+	planMisses        atomic.Uint64 // plan cache misses (no entry for the statement)
+	planInvalidations atomic.Uint64 // entries discarded for a stale stats/as-of/hints stamp
+}
+
+// PlanCacheStats is a snapshot of the plan-cache counters.
+type PlanCacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+}
+
+// PlanCacheStats reports plan-cache hit/miss/invalidation totals.
+// Invalidations count cached entries discarded because their stamp
+// (stats version, as-of, ForcePlan, hints) no longer matched.
+func (e *Engine) PlanCacheStats() PlanCacheStats {
+	return PlanCacheStats{
+		Hits:          e.planHits.Load(),
+		Misses:        e.planMisses.Load(),
+		Invalidations: e.planInvalidations.Load(),
+	}
 }
 
 // statsProvBox wraps a StatsProvider so a nil provider can be stored

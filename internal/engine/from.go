@@ -182,7 +182,7 @@ func (e *Engine) evalSimpleSelect(q *queryState, sel *sql.SimpleSelect) (*relati
 			continue
 		}
 		if !resolvableIn(c.expr, sc) {
-			return nil, fmt.Errorf("engine: unknown column in WHERE term %s", c.expr.SQL())
+			return nil, fmt.Errorf("%w in WHERE term %s", ErrUnknownColumn, c.expr.SQL())
 		}
 		remaining = append(remaining, c)
 		c.applied = true

@@ -140,8 +140,12 @@ func (e *Engine) planFrom(q *queryState, sel *sql.SimpleSelect, conjs []*conjunc
 		if c, ok := e.planCache.Load(sel); ok {
 			ce := c.(*planCacheEntry)
 			if ce.version == ver && ce.asOf == q.asOf && ce.forcePlan == q.forcePlan && ce.hintsSig == sig {
+				e.planHits.Add(1)
 				return ce.plan
 			}
+			e.planInvalidations.Add(1)
+		} else {
+			e.planMisses.Add(1)
 		}
 	}
 	plan := e.planFromFresh(q, sel, conjs)

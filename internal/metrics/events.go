@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one structured lifecycle record: a checkpoint, vacuum,
+// snapshot install, replica state transition, admission saturation
+// episode, or slow query. Events are immutable once published.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail,omitempty"`
+	DurMs  float64   `json:"dur_ms,omitempty"`
+	Err    string    `json:"error,omitempty"`
+}
+
+// Text renders the event as one human-readable line.
+func (e Event) Text() string {
+	s := fmt.Sprintf("%s %-22s", e.Time.Format(time.RFC3339Nano), e.Kind)
+	if e.DurMs > 0 {
+		s += fmt.Sprintf(" %.3fms", e.DurMs)
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	if e.Err != "" {
+		s += " error=" + e.Err
+	}
+	return s
+}
+
+// DefaultJournalSize is the event retention when none is configured.
+const DefaultJournalSize = 256
+
+// Journal is a lock-free bounded ring of lifecycle events, following
+// the same atomic-slot discipline as trace.Ring: a writer claims a slot
+// with one atomic add and publishes with one atomic pointer store, so
+// recording never contends with readers or other writers. Events are
+// optionally mirrored to a structured logger. A nil *Journal is valid
+// and inert, so instrumented subsystems need no nil checks.
+type Journal struct {
+	slots  []atomic.Pointer[Event]
+	seq    atomic.Uint64
+	logger atomic.Pointer[slog.Logger]
+}
+
+// NewJournal creates a journal retaining the last n events.
+func NewJournal(n int) *Journal {
+	if n < 1 {
+		n = DefaultJournalSize
+	}
+	return &Journal{slots: make([]atomic.Pointer[Event], n)}
+}
+
+// SetLogger attaches a structured logger; every recorded event is
+// mirrored as one info line.
+func (j *Journal) SetLogger(l *slog.Logger) {
+	if j == nil {
+		return
+	}
+	j.logger.Store(l)
+}
+
+// Record publishes an instantaneous event.
+func (j *Journal) Record(kind, detail string) {
+	j.RecordDur(kind, detail, 0, nil)
+}
+
+// RecordDur publishes an event with a duration and an optional error.
+func (j *Journal) RecordDur(kind, detail string, d time.Duration, err error) {
+	if j == nil {
+		return
+	}
+	e := &Event{
+		Seq:    j.seq.Add(1),
+		Time:   time.Now(),
+		Kind:   kind,
+		Detail: detail,
+	}
+	if d > 0 {
+		e.DurMs = float64(d.Nanoseconds()) / 1e6
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	j.slots[(e.Seq-1)%uint64(len(j.slots))].Store(e)
+	if l := j.logger.Load(); l != nil {
+		attrs := []any{slog.String("kind", kind)}
+		if detail != "" {
+			attrs = append(attrs, slog.String("detail", detail))
+		}
+		if d > 0 {
+			attrs = append(attrs, slog.Duration("dur", d))
+		}
+		if err != nil {
+			attrs = append(attrs, slog.Any("error", err))
+		}
+		l.Info("event", attrs...)
+	}
+}
+
+// Replay re-records events captured by another journal (newest first,
+// as returned by Events), preserving their payloads and timestamps but
+// assigning fresh sequence numbers here. Used when a subsystem journals
+// into a private ring before the shared one is wired up — e.g. replica
+// bootstrap events recorded before the server attaches.
+func (j *Journal) Replay(events []Event) {
+	if j == nil {
+		return
+	}
+	for i := len(events) - 1; i >= 0; i-- { // oldest first
+		e := events[i]
+		e.Seq = j.seq.Add(1)
+		j.slots[(e.Seq-1)%uint64(len(j.slots))].Store(&e)
+	}
+}
+
+// Events returns the retained events, newest first. Concurrent Records
+// may or may not be observed; every returned event is fully published.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(j.slots))
+	for i := range j.slots {
+		if e := j.slots[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq > out[b].Seq })
+	return out
+}
+
+// Total reports how many events were ever recorded (including evicted
+// ones), so readers can tell when the ring has wrapped.
+func (j *Journal) Total() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.seq.Load()
+}

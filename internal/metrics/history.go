@@ -1,0 +1,132 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sample is one timestamped snapshot of every registered series.
+type Sample struct {
+	T      time.Time          `json:"t"`
+	Values map[string]float64 `json:"v"`
+}
+
+// DefaultSampleInterval is the sampler cadence when none is configured.
+const DefaultSampleInterval = time.Second
+
+// DefaultSampleRetention is the ring size when none is configured: with
+// the default cadence, ten minutes of history.
+const DefaultSampleRetention = 600
+
+// Sampler periodically snapshots every registered counter and gauge
+// into a timestamped ring. One goroutine writes; readers (the
+// /debug/history endpoint, `sqlgraph top`) take lock-free snapshots of
+// the slot array, same discipline as the event journal.
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	slots    []atomic.Pointer[Sample]
+	seq      atomic.Uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewSampler creates a sampler over reg with the given cadence and ring
+// size (zero or negative values pick the defaults).
+func NewSampler(reg *Registry, interval time.Duration, retain int) *Sampler {
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	if retain <= 0 {
+		retain = DefaultSampleRetention
+	}
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		slots:    make([]atomic.Pointer[Sample], retain),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Interval reports the sampling cadence.
+func (s *Sampler) Interval() time.Duration { return s.interval }
+
+// Retention reports the ring size in samples.
+func (s *Sampler) Retention() int { return len(s.slots) }
+
+// SampleNow takes one snapshot immediately (Start's first tick; also
+// used by tests and by headless single-frame renders).
+func (s *Sampler) SampleNow() {
+	sm := &Sample{T: time.Now(), Values: s.reg.Snapshot()}
+	seq := s.seq.Add(1)
+	s.slots[(seq-1)%uint64(len(s.slots))].Store(sm)
+}
+
+// Start launches the sampling goroutine, taking an immediate first
+// sample so fresh servers have history before the first full interval.
+func (s *Sampler) Start() {
+	s.SampleNow()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.SampleNow()
+			}
+		}
+	}()
+}
+
+// Stop halts the sampling goroutine and waits for it. Idempotent.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		<-s.done
+	})
+}
+
+// History returns the retained samples no older than window, oldest
+// first. The window is clamped to [interval, retention*interval];
+// window <= 0 means everything retained.
+func (s *Sampler) History(window time.Duration) []Sample {
+	max := s.interval * time.Duration(len(s.slots))
+	if window <= 0 || window > max {
+		window = max
+	}
+	if window < s.interval {
+		window = s.interval
+	}
+	cutoff := time.Now().Add(-window)
+	out := make([]Sample, 0, len(s.slots))
+	for i := range s.slots {
+		if sm := s.slots[i].Load(); sm != nil && !sm.T.Before(cutoff) {
+			out = append(out, *sm)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].T.Before(out[b].T) })
+	// A fresh server inside its first interval would return nothing for a
+	// tiny window; always include at least the newest sample when one
+	// exists, so dashboards never render an empty frame against a live
+	// sampler.
+	if len(out) == 0 {
+		var newest *Sample
+		for i := range s.slots {
+			if sm := s.slots[i].Load(); sm != nil && (newest == nil || sm.T.After(newest.T)) {
+				newest = sm
+			}
+		}
+		if newest != nil {
+			out = append(out, *newest)
+		}
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package metrics
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	c.Add(3)
+	r.GaugeFunc("test_depth", "Depth.", func() float64 { return 7 })
+	r.CounterFunc("test_seconds_total", "Seconds.", func() float64 { return 1.5 })
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 3",
+		"# TYPE test_depth gauge",
+		"test_depth 7",
+		"test_seconds_total 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Metrics render sorted by name.
+	if strings.Index(out, "test_depth") > strings.Index(out, "test_ops_total") {
+		t.Errorf("metrics not sorted by name:\n%s", out)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_requests_total", "Requests.", "route", "code")
+	v.With("/query", "200").Add(2)
+	v.With("/query", "400").Add(1)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `test_requests_total{route="/query",code="200"} 2`) {
+		t.Errorf("vec series missing:\n%s", out)
+	}
+	if !strings.Contains(out, `test_requests_total{route="/query",code="400"} 1`) {
+		t.Errorf("vec series missing:\n%s", out)
+	}
+	if got := strings.Count(out, "# TYPE test_requests_total counter"); got != 1 {
+		t.Errorf("TYPE line emitted %d times", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05) // bucket 0.1
+	h.Observe(0.5)  // bucket 1
+	h.Observe(100)  // +Inf
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 2`,
+		`test_seconds_bucket{le="10"} 2`,
+		`test_seconds_bucket{le="+Inf"} 3`,
+		`test_seconds_count 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "test_seconds_sum 100.55") {
+		t.Errorf("histogram sum wrong:\n%s", out)
+	}
+}
+
+func TestHistogramBoundInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_h", "H.", []float64{1, 2})
+	h.Observe(1) // exactly on a bound lands in that bucket
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `test_h_bucket{le="1"} 1`) {
+		t.Errorf("bound not inclusive:\n%s", b.String())
+	}
+}
+
+func TestSnapshotMatchesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_a_total", "A.").Add(5)
+	v := r.CounterVec("test_b_total", "B.", "k")
+	v.With("x").Add(2)
+	h := r.Histogram("test_c_seconds", "C.", []float64{1})
+	h.Observe(0.5)
+
+	snap := r.Snapshot()
+	for key, want := range map[string]float64{
+		"test_a_total":                     5,
+		`test_b_total{k="x"}`:              2,
+		`test_c_seconds_bucket{le="1"}`:    1,
+		`test_c_seconds_bucket{le="+Inf"}`: 1,
+		"test_c_seconds_count":             1,
+		"test_c_seconds_sum":               0.5,
+	} {
+		if snap[key] != want {
+			t.Errorf("snapshot[%q] = %v, want %v (snap: %v)", key, snap[key], want, snap)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_dup", "First.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("test_dup", "Second.")
+}
+
+func TestJournalOrderAndEviction(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Record("evt", strings.Repeat("x", i+1))
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	// Newest first: seqs 10, 9, 8, 7.
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if evs[i].Seq != want {
+			t.Errorf("event %d has seq %d, want %d", i, evs[i].Seq, want)
+		}
+	}
+	if j.Total() != 10 {
+		t.Errorf("total %d, want 10", j.Total())
+	}
+}
+
+func TestJournalDurAndError(t *testing.T) {
+	j := NewJournal(4)
+	j.RecordDur("checkpoint", "lsn=9", 42*time.Millisecond, errors.New("boom"))
+	e := j.Events()[0]
+	if e.DurMs != 42 || e.Err != "boom" || e.Kind != "checkpoint" {
+		t.Fatalf("event: %+v", e)
+	}
+	if txt := e.Text(); !strings.Contains(txt, "checkpoint") || !strings.Contains(txt, "error=boom") {
+		t.Fatalf("text: %q", txt)
+	}
+}
+
+func TestNilJournalIsInert(t *testing.T) {
+	var j *Journal
+	j.Record("a", "b") // must not panic
+	j.RecordDur("a", "b", time.Second, nil)
+	j.SetLogger(nil)
+	if j.Events() != nil || j.Total() != 0 {
+		t.Fatal("nil journal should report nothing")
+	}
+}
+
+func TestSamplerHistoryWindow(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ticks_total", "Ticks.")
+	s := NewSampler(r, 2*time.Millisecond, 8)
+	s.Start()
+	defer s.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.seq.Load() < 12 { // ensure the ring wrapped
+		c.Inc()
+		if time.Now().After(deadline) {
+			t.Fatal("sampler never ticked enough")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	all := s.History(0)
+	if len(all) == 0 || len(all) > 8 {
+		t.Fatalf("full history has %d samples, want 1..8", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].T.Before(all[i-1].T) {
+			t.Fatal("history not oldest-first")
+		}
+	}
+	// A huge window clamps to the retention.
+	if got := s.History(24 * time.Hour); len(got) > 8 {
+		t.Fatalf("clamped history has %d samples", len(got))
+	}
+	// A tiny window still returns at least the newest sample.
+	if got := s.History(time.Nanosecond); len(got) == 0 {
+		t.Fatal("tiny window returned nothing")
+	}
+	if _, ok := all[len(all)-1].Values["test_ticks_total"]; !ok {
+		t.Fatalf("sample missing registered series: %v", all[len(all)-1].Values)
+	}
+}
+
+// TestConcurrentScrape exercises the registry's lock-free guarantee
+// under -race: observers on every metric type race with renders and
+// snapshots.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Ops.")
+	v := r.CounterVec("test_routes_total", "Routes.", "route")
+	h := r.Histogram("test_lat_seconds", "Lat.", []float64{0.001, 0.1, 1})
+	hv := r.HistogramVec("test_stage_seconds", "Stage.", []float64{0.001, 0.1}, "stage")
+	r.GaugeFunc("test_depth", "Depth.", func() float64 { return float64(c.Value()) })
+	j := NewJournal(16)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				v.With("/q").Add(1)
+				h.Observe(0.01)
+				hv.Observe(0.5, "execute")
+				j.Record("tick", "")
+			}
+		}(i)
+	}
+	for i := 0; i < 100; i++ {
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		if !strings.Contains(b.String(), "test_ops_total") {
+			t.Fatal("render dropped a metric")
+		}
+		_ = r.Snapshot()
+		_ = j.Events()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,430 @@
+// Package metrics is a stdlib-only typed telemetry registry: counters,
+// callback gauges, labeled counter vectors, and fixed-bucket histograms,
+// rendered in the Prometheus text exposition format with # HELP and
+// # TYPE lines on every series.
+//
+// The registry is built so that scraping never contends with the paths
+// being measured: every owned metric is a set of atomics (one atomic add
+// per observation), labeled vectors live in sync.Maps iterated lock-free
+// by Range, and the registration list itself sits behind an atomic
+// pointer — formatting takes no lock that any writer can block on. Gauges
+// and derived counters are callbacks into subsystems that keep their own
+// atomic (or briefly-locked) state, so the registry holds no stale
+// mirrors.
+//
+// On top of the registry sit two further surfaces: a lock-free lifecycle
+// event journal (events.go) and a history sampler that snapshots every
+// registered series on a cadence into a timestamped ring (history.go).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// desc is the metadata every metric carries into the exposition.
+type desc struct {
+	name string
+	help string
+	typ  string // counter | gauge | histogram
+}
+
+func (d desc) Name() string { return d.name }
+
+// seriesFn receives one rendered series: the metric name suffix
+// ("_bucket", "_sum", ... or "" for scalars), the formatted label pairs
+// (`route="/query",code="200"` or ""), the value, and whether it should
+// render as an integer.
+type seriesFn func(suffix, labels string, v float64, integer bool)
+
+// metric is anything the registry can expose. emit drives both the
+// Prometheus renderer and the history sampler from the same series set,
+// so /metrics and /debug/history can never disagree about naming.
+type metric interface {
+	meta() desc
+	emit(f seriesFn)
+}
+
+// Registry holds the registered metrics. Registration is rare and takes
+// a small mutex; rendering loads the current metric list with one atomic
+// pointer read and then touches only atomics and callbacks.
+type Registry struct {
+	mu   sync.Mutex
+	list atomic.Pointer[[]metric]
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	empty := []metric{}
+	r.list.Store(&empty)
+	return r
+}
+
+// register appends m, keeping the list sorted by name. Duplicate names
+// panic: the completeness lint-test depends on every registered name
+// appearing exactly once.
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.list.Load()
+	for _, ex := range old {
+		if ex.meta().name == m.meta().name {
+			panic("metrics: duplicate registration of " + m.meta().name)
+		}
+	}
+	next := make([]metric, 0, len(old)+1)
+	next = append(next, old...)
+	next = append(next, m)
+	sort.Slice(next, func(i, j int) bool { return next[i].meta().name < next[j].meta().name })
+	r.list.Store(&next)
+}
+
+// Names returns the registered metric names, sorted.
+func (r *Registry) Names() []string {
+	list := *r.list.Load()
+	out := make([]string, len(list))
+	for i, m := range list {
+		out[i] = m.meta().name
+	}
+	return out
+}
+
+// WritePrometheus renders the text exposition format: every metric gets
+// a # HELP and # TYPE line followed by its series.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	var b strings.Builder
+	for _, m := range *r.list.Load() {
+		d := m.meta()
+		fmt.Fprintf(&b, "# HELP %s %s\n", d.name, d.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", d.name, d.typ)
+		m.emit(func(suffix, labels string, v float64, integer bool) {
+			b.WriteString(d.name)
+			b.WriteString(suffix)
+			if labels != "" {
+				b.WriteByte('{')
+				b.WriteString(labels)
+				b.WriteByte('}')
+			}
+			if integer {
+				fmt.Fprintf(&b, " %d\n", int64(v))
+			} else {
+				fmt.Fprintf(&b, " %g\n", v)
+			}
+		})
+	}
+	_, _ = io.WriteString(w, b.String())
+}
+
+// Snapshot captures every series as fully-qualified name -> value (the
+// same names WritePrometheus emits, labels included). The history
+// sampler stores these; `sqlgraph top` diffs them.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64, 64)
+	for _, m := range *r.list.Load() {
+		d := m.meta()
+		m.emit(func(suffix, labels string, v float64, _ bool) {
+			key := d.name + suffix
+			if labels != "" {
+				key += "{" + labels + "}"
+			}
+			out[key] = v
+		})
+	}
+	return out
+}
+
+// ---- counters ------------------------------------------------------------
+
+// Counter is a monotonically increasing integral counter.
+type Counter struct {
+	d desc
+	v atomic.Uint64
+}
+
+func (c *Counter) meta() desc      { return c.d }
+func (c *Counter) Inc()            { c.v.Add(1) }
+func (c *Counter) Add(n uint64)    { c.v.Add(n) }
+func (c *Counter) Value() uint64   { return c.v.Load() }
+func (c *Counter) emit(f seriesFn) { f("", "", float64(c.v.Load()), true) }
+
+// Counter registers and returns an owned counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{d: desc{name, help, "counter"}}
+	r.register(c)
+	return c
+}
+
+// funcMetric renders a single series from a callback. It backs both
+// CounterFunc and GaugeFunc: the subsystem owns the atomic state, the
+// registry just reads it at scrape time.
+type funcMetric struct {
+	d  desc
+	fn func() float64
+}
+
+func (m *funcMetric) meta() desc      { return m.d }
+func (m *funcMetric) emit(f seriesFn) { f("", "", m.fn(), false) }
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time (for subsystems that keep their own atomic counters).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&funcMetric{d: desc{name, help, "counter"}, fn: fn})
+}
+
+// GaugeFunc registers a callback gauge. All gauges are callbacks: a
+// gauge mirrors live state, so the source of truth stays in the
+// subsystem that owns it.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&funcMetric{d: desc{name, help, "gauge"}, fn: fn})
+}
+
+// ---- labeled vectors -----------------------------------------------------
+
+// labelKey joins label values into the map key and the rendered form.
+func formatLabels(keys, values []string) string {
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, values[i])
+	}
+	return b.String()
+}
+
+// CounterVec is a family of counters keyed by label values. Children are
+// created on first use and live in a sync.Map, so both observation and
+// scrape iteration are lock-free.
+type CounterVec struct {
+	d    desc
+	keys []string
+	m    sync.Map // rendered label pairs -> *atomic.Uint64
+}
+
+func (v *CounterVec) meta() desc { return v.d }
+
+// With returns the child counter cell for the given label values (one
+// per key, in registration order).
+func (v *CounterVec) With(values ...string) *atomic.Uint64 {
+	if len(values) != len(v.keys) {
+		panic("metrics: label cardinality mismatch for " + v.d.name)
+	}
+	k := formatLabels(v.keys, values)
+	if c, ok := v.m.Load(k); ok {
+		return c.(*atomic.Uint64)
+	}
+	c, _ := v.m.LoadOrStore(k, &atomic.Uint64{})
+	return c.(*atomic.Uint64)
+}
+
+func (v *CounterVec) emit(f seriesFn) {
+	type row struct {
+		labels string
+		v      uint64
+	}
+	var rows []row
+	v.m.Range(func(k, c any) bool {
+		rows = append(rows, row{k.(string), c.(*atomic.Uint64).Load()})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].labels < rows[j].labels })
+	for _, r := range rows {
+		f("", r.labels, float64(r.v), true)
+	}
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, keys ...string) *CounterVec {
+	v := &CounterVec{d: desc{name, help, "counter"}, keys: keys}
+	r.register(v)
+	return v
+}
+
+// LabeledValue is one series produced by a VecFunc callback.
+type LabeledValue struct {
+	Values []string // one per label key
+	Value  float64
+}
+
+// vecFunc renders a labeled family from a callback (e.g. per-follower
+// replication lag read from the primary's live stream table).
+type vecFunc struct {
+	d    desc
+	keys []string
+	fn   func() []LabeledValue
+}
+
+func (m *vecFunc) meta() desc { return m.d }
+
+func (m *vecFunc) emit(f seriesFn) {
+	rows := m.fn()
+	sort.Slice(rows, func(i, j int) bool {
+		return strings.Join(rows[i].Values, "\x00") < strings.Join(rows[j].Values, "\x00")
+	})
+	for _, r := range rows {
+		f("", formatLabels(m.keys, r.Values), r.Value, false)
+	}
+}
+
+// GaugeVecFunc registers a labeled gauge family whose series are read
+// from fn at scrape time.
+func (r *Registry) GaugeVecFunc(name, help string, keys []string, fn func() []LabeledValue) {
+	r.register(&vecFunc{d: desc{name, help, "gauge"}, keys: keys, fn: fn})
+}
+
+// ---- histograms ----------------------------------------------------------
+
+// histData is one histogram's atomic state: per-bucket counts (the last
+// bucket is +Inf), a CAS-accumulated float sum, and a total count.
+type histData struct {
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	total   atomic.Uint64
+}
+
+func newHistData(n int) *histData { return &histData{counts: make([]atomic.Uint64, n+1)} }
+
+func (h *histData) observe(bounds []float64, v float64) {
+	i := sort.SearchFloat64s(bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// emitHist renders cumulative buckets, _sum, and _count with the given
+// extra label prefix ("" or `route="/query"`).
+func emitHist(f seriesFn, bounds []float64, prefix string, counts []uint64, sum float64, total uint64) {
+	sep := ""
+	if prefix != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, ub := range bounds {
+		cum += counts[i]
+		f("_bucket", fmt.Sprintf("%s%sle=\"%g\"", prefix, sep, ub), float64(cum), true)
+	}
+	f("_bucket", prefix+sep+`le="+Inf"`, float64(total), true)
+	f("_sum", prefix, sum, false)
+	f("_count", prefix, float64(total), true)
+}
+
+func (h *histData) snapshot() (counts []uint64, sum float64, total uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, math.Float64frombits(h.sumBits.Load()), h.total.Load()
+}
+
+// Histogram is an owned fixed-bucket histogram.
+type Histogram struct {
+	d      desc
+	bounds []float64
+	data   *histData
+}
+
+func (h *Histogram) meta() desc { return h.d }
+
+// Observe records one value (seconds for latency histograms).
+func (h *Histogram) Observe(v float64) { h.data.observe(h.bounds, v) }
+
+func (h *Histogram) emit(f seriesFn) {
+	counts, sum, total := h.data.snapshot()
+	emitHist(f, h.bounds, "", counts, sum, total)
+}
+
+// Histogram registers an owned histogram with the given upper bounds
+// (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := &Histogram{d: desc{name, help, "histogram"}, bounds: bounds, data: newHistData(len(bounds))}
+	r.register(h)
+	return h
+}
+
+// HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct {
+	d      desc
+	keys   []string
+	bounds []float64
+	m      sync.Map // rendered label pairs -> *histData
+}
+
+func (v *HistogramVec) meta() desc { return v.d }
+
+// Observe records one value into the child for the given label values.
+func (v *HistogramVec) Observe(value float64, labelValues ...string) {
+	if len(labelValues) != len(v.keys) {
+		panic("metrics: label cardinality mismatch for " + v.d.name)
+	}
+	k := formatLabels(v.keys, labelValues)
+	h, ok := v.m.Load(k)
+	if !ok {
+		h, _ = v.m.LoadOrStore(k, newHistData(len(v.bounds)))
+	}
+	h.(*histData).observe(v.bounds, value)
+}
+
+func (v *HistogramVec) emit(f seriesFn) {
+	var keys []string
+	v.m.Range(func(k, _ any) bool { keys = append(keys, k.(string)); return true })
+	sort.Strings(keys)
+	for _, k := range keys {
+		h, _ := v.m.Load(k)
+		counts, sum, total := h.(*histData).snapshot()
+		emitHist(f, v.bounds, k, counts, sum, total)
+	}
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, keys ...string) *HistogramVec {
+	v := &HistogramVec{d: desc{name, help, "histogram"}, keys: keys, bounds: bounds}
+	r.register(v)
+	return v
+}
+
+// HistSnapshot is a point-in-time histogram read supplied by a
+// HistogramFunc callback: per-bucket (non-cumulative) counts aligned
+// with the registered bounds plus one overflow bucket, the value sum,
+// and the total observation count.
+type HistSnapshot struct {
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+type histFunc struct {
+	d      desc
+	bounds []float64
+	fn     func() HistSnapshot
+}
+
+func (m *histFunc) meta() desc { return m.d }
+
+func (m *histFunc) emit(f seriesFn) {
+	s := m.fn()
+	counts := s.Counts
+	if len(counts) < len(m.bounds)+1 {
+		padded := make([]uint64, len(m.bounds)+1)
+		copy(padded, counts)
+		counts = padded
+	}
+	emitHist(f, m.bounds, "", counts, s.Sum, s.Count)
+}
+
+// HistogramFunc registers a histogram whose buckets are read from fn at
+// scrape time (for subsystems that keep their own atomic bucket arrays,
+// like the trace recorder's WAL flush stats).
+func (r *Registry) HistogramFunc(name, help string, bounds []float64, fn func() HistSnapshot) {
+	r.register(&histFunc{d: desc{name, help, "histogram"}, bounds: bounds, fn: fn})
+}

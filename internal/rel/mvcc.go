@@ -1,6 +1,10 @@
 package rel
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // Multi-version concurrency control for the relational layer.
 //
@@ -39,20 +43,25 @@ const firstVersion Version = 1
 
 // mvccState is the catalog's concurrency bookkeeping.
 type mvccState struct {
-	verMu sync.Mutex      // guards clock and pins
-	clock Version         // last committed version
-	pins  map[Version]int // pinned snapshot versions, refcounted
+	verMu    sync.Mutex            // guards clock, pins, and pinTimes
+	clock    Version               // last committed version
+	pins     map[Version]int       // pinned snapshot versions, refcounted
+	pinTimes map[Version]time.Time // when each version was first pinned
 
 	writerMu sync.Mutex // serializes write transactions (single-writer)
 
 	gcMu      sync.Mutex
 	gcPending map[*Table]struct{} // tables with garbage awaiting collection
+
+	gcApplied   atomic.Uint64 // garbage records applied (all kinds)
+	gcReclaimed atomic.Uint64 // heap row slots reclaimed (gcSlot applications)
 }
 
 func newMVCCState() mvccState {
 	return mvccState{
 		clock:     firstVersion,
 		pins:      map[Version]int{},
+		pinTimes:  map[Version]time.Time{},
 		gcPending: map[*Table]struct{}{},
 	}
 }
@@ -73,6 +82,9 @@ func (c *Catalog) Pin() Version {
 	defer c.mvcc.verMu.Unlock()
 	v := c.mvcc.clock
 	c.mvcc.pins[v]++
+	if c.mvcc.pins[v] == 1 {
+		c.mvcc.pinTimes[v] = time.Now()
+	}
 	return v
 }
 
@@ -83,6 +95,7 @@ func (c *Catalog) Unpin(v Version) {
 	if n, ok := c.mvcc.pins[v]; ok {
 		if n <= 1 {
 			delete(c.mvcc.pins, v)
+			delete(c.mvcc.pinTimes, v)
 		} else {
 			c.mvcc.pins[v] = n - 1
 		}
@@ -97,6 +110,56 @@ func (c *Catalog) PinnedVersions() int {
 	c.mvcc.verMu.Lock()
 	defer c.mvcc.verMu.Unlock()
 	return len(c.mvcc.pins)
+}
+
+// OldestPinAge reports how long the longest-held pin has been open, or
+// zero when nothing is pinned. A growing age is the canonical sign of a
+// leaked snapshot holding back version GC.
+func (c *Catalog) OldestPinAge() time.Duration {
+	c.mvcc.verMu.Lock()
+	defer c.mvcc.verMu.Unlock()
+	var oldest time.Time
+	for _, t := range c.mvcc.pinTimes {
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest)
+}
+
+// GCStats is a snapshot of the version-GC counters.
+type GCStats struct {
+	// Backlog is the number of garbage records queued across all tables,
+	// waiting for pins to advance.
+	Backlog int
+	// Applied counts garbage records ever applied (all kinds).
+	Applied uint64
+	// ReclaimedRows counts heap row slots physically reclaimed.
+	ReclaimedRows uint64
+}
+
+// GCStats reports the version-GC backlog and lifetime reclamation
+// counters.
+func (c *Catalog) GCStats() GCStats {
+	st := GCStats{
+		Applied:       c.mvcc.gcApplied.Load(),
+		ReclaimedRows: c.mvcc.gcReclaimed.Load(),
+	}
+	c.mu.RLock()
+	tables := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		tables = append(tables, t)
+	}
+	c.mu.RUnlock()
+	for _, t := range tables {
+		t.mu.RLock()
+		st.Backlog += len(t.garbage)
+		t.mu.RUnlock()
+	}
+	return st
 }
 
 // minPinned returns the oldest version any snapshot still needs: the
@@ -158,7 +221,10 @@ func (c *Catalog) runGC() {
 
 	min := c.minPinned()
 	for _, t := range pending {
-		if t.collectGarbage(min) > 0 {
+		remaining, applied, reclaimed := t.collectGarbage(min)
+		c.mvcc.gcApplied.Add(applied)
+		c.mvcc.gcReclaimed.Add(reclaimed)
+		if remaining > 0 {
 			c.noteGarbage(t)
 		}
 	}
@@ -196,8 +262,9 @@ func (t *Table) addGarbageLocked(recs []garbageRec) {
 }
 
 // collectGarbage applies every garbage record whose after-version is
-// covered by min, returning how many records remain.
-func (t *Table) collectGarbage(min Version) int {
+// covered by min, returning how many records remain, how many were
+// applied, and how many heap row slots were reclaimed.
+func (t *Table) collectGarbage(min Version) (remaining int, applied, reclaimed uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	kept := t.garbage[:0]
@@ -206,6 +273,10 @@ func (t *Table) collectGarbage(min Version) int {
 			kept = append(kept, g)
 			continue
 		}
+		applied++
+		if g.kind == gcSlot {
+			reclaimed++
+		}
 		t.applyGarbageLocked(g, min)
 	}
 	// Zero the tail so dropped records don't pin memory.
@@ -213,7 +284,7 @@ func (t *Table) collectGarbage(min Version) int {
 		t.garbage[i] = garbageRec{}
 	}
 	t.garbage = kept
-	return len(t.garbage)
+	return len(t.garbage), applied, reclaimed
 }
 
 func (t *Table) applyGarbageLocked(g garbageRec, min Version) {

@@ -5,6 +5,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
@@ -38,6 +39,12 @@ func fuzzSetup(t testing.TB) http.Handler {
 // client's fault (4xx), and nothing may panic (a panic would surface as
 // a 500 via the recovery middleware and fail here).
 //
+// Inputs starting with "GET /debug/" are instead routed as GET requests
+// to the debug surface (/debug/events, /debug/history and friends), so
+// the fuzzer also hammers the observability endpoints' query-string
+// parsing. Those responses may be text/plain (?format=text), so the
+// JSON content-type invariant only applies to the POST /query path.
+//
 // Crashers found by fuzzing are committed under
 // testdata/fuzz/FuzzServerRequest and replayed by `go test -run
 // FuzzServerRequest` as regression seeds.
@@ -66,12 +73,36 @@ func FuzzServerRequest(f *testing.F) {
 		`[{"gremlin":"g.V.count"}]`,
 		`{"gremlin":"g.V.has('name', 'marko')"}`,
 		strings.Repeat(`{"gremlin":"g.V.count"}`, 100),
+		"GET /debug/events",
+		"GET /debug/events?format=text",
+		"GET /debug/events?format=%00%ff",
+		"GET /debug/history",
+		"GET /debug/history?window=1s",
+		"GET /debug/history?window=-5m",
+		"GET /debug/history?window=banana",
+		"GET /debug/history?window=9999999h&window=1s",
+		"GET /debug/queries?kind=slow&limit=nope",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		h := fuzzSetup(t)
+		if target, ok := strings.CutPrefix(string(body), "GET /debug/"); ok {
+			target = "/debug/" + target
+			// Only well-formed request targets reach a real server; skip
+			// the rest rather than fight httptest.NewRequest's panic.
+			if !validRequestTarget(target) {
+				t.Skip()
+			}
+			req := httptest.NewRequest("GET", target, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code >= 500 {
+				t.Fatalf("GET %q produced %d: %s", target, rec.Code, rec.Body)
+			}
+			return
+		}
 		req := httptest.NewRequest("POST", "/query", strings.NewReader(string(body)))
 		rec := httptest.NewRecorder()
 		h.ServeHTTP(rec, req)
@@ -82,4 +113,11 @@ func FuzzServerRequest(f *testing.F) {
 			t.Fatalf("non-JSON response %q for %q", ct, body)
 		}
 	})
+}
+
+// validRequestTarget reports whether target parses as an origin-form
+// request URI that httptest.NewRequest will accept without panicking.
+func validRequestTarget(target string) bool {
+	u, err := url.ParseRequestURI(target)
+	return err == nil && u.Path != "" && !strings.ContainsAny(target, " \x00\n\r")
 }

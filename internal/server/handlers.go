@@ -7,9 +7,11 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"time"
 
 	"sqlgraph/internal/blueprints"
 	"sqlgraph/internal/core"
+	"sqlgraph/internal/metrics"
 	"sqlgraph/internal/trace"
 	"sqlgraph/internal/translate"
 )
@@ -261,6 +263,56 @@ func (s *Server) handleDebugQueryGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, t)
+}
+
+// debugEventsResponse is the GET /debug/events body: retained lifecycle
+// events newest first, plus the total ever recorded (so a reader can
+// tell when the ring has evicted).
+type debugEventsResponse struct {
+	Events []metrics.Event `json:"events"`
+	Total  uint64          `json:"total"`
+}
+
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	evs := s.events.Events()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		for _, e := range evs {
+			fmt.Fprintln(w, e.Text())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, debugEventsResponse{Events: evs, Total: s.events.Total()})
+}
+
+// debugHistoryResponse is the GET /debug/history body: sampler metadata
+// plus the retained samples inside the requested window, oldest first.
+type debugHistoryResponse struct {
+	IntervalMs float64          `json:"interval_ms"`
+	Retention  int              `json:"retention"`
+	Samples    []metrics.Sample `json:"samples"`
+}
+
+func (s *Server) handleDebugHistory(w http.ResponseWriter, r *http.Request) {
+	if s.sampler == nil {
+		writeError(w, http.StatusNotFound, "history sampling is disabled")
+		return
+	}
+	var window time.Duration
+	if raw := r.URL.Query().Get("window"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad window: "+raw)
+			return
+		}
+		window = d
+	}
+	writeJSON(w, http.StatusOK, debugHistoryResponse{
+		IntervalMs: float64(s.sampler.Interval()) / float64(time.Millisecond),
+		Retention:  s.sampler.Retention(),
+		Samples:    s.sampler.History(window),
+	})
 }
 
 // ---- query & translate --------------------------------------------------

@@ -1,13 +1,14 @@
 package server
 
 import (
-	"fmt"
 	"io"
-	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqlgraph/internal/engine"
+	"sqlgraph/internal/metrics"
 	"sqlgraph/internal/trace"
 )
 
@@ -16,260 +17,303 @@ import (
 // is for spotting saturation, the load harness measures exact quantiles.
 var latencyBuckets = []float64{0.00025, 0.001, 0.004, 0.016, 0.064, 0.256, 1.024, 4.096, 16.384}
 
-// histogram is a fixed-bucket latency histogram.
-type histogram struct {
-	counts [10]uint64 // len(latencyBuckets)+1, last bucket is +Inf
-	sum    float64
-	total  uint64
+// telemetry is the serving layer's view over the metrics registry: typed
+// handles for the counters the request path touches, plus registered
+// callbacks that scrape the store's own atomic counters (trace recorder,
+// MVCC, plan cache, WAL) live. Everything /metrics serves is rendered
+// from the registry, so every series carries HELP/TYPE and appears in
+// /debug/history samples under the same name.
+type telemetry struct {
+	reg *metrics.Registry
+
+	requests *metrics.CounterVec   // route, code
+	latency  *metrics.HistogramVec // per-route request latency
+	stages   *metrics.HistogramVec // query stage (parse|translate|plan|execute) latency
+
+	admitted      *metrics.Counter
+	rejected      *metrics.Counter // 429s
+	shutdownDrops *metrics.Counter // 503s during drain
+	panics        *metrics.Counter
+
+	queries     *metrics.Counter
+	queryErrors *metrics.Counter
+	scanOps     *metrics.Counter
+	scanRows    *metrics.Counter
+	joins       *metrics.CounterVec // strategy
+	joinRows    *metrics.Counter
+	maxFanout   atomic.Int64 // high-water morsel parallelism, rendered as a gauge
+
+	// replicaOnce guards the follower gauge registration: AttachReplica
+	// runs again after a replicator restart, but each series registers
+	// exactly once (the callbacks read the current replicator).
+	replicaOnce sync.Once
 }
 
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	i := 0
-	for i < len(latencyBuckets) && s > latencyBuckets[i] {
-		i++
+// newTelemetry builds the registry and registers every series. Gauges
+// and store-derived counters read through s.st() at scrape time so they
+// follow replica store swaps; nothing is mirrored.
+func newTelemetry(s *Server) *telemetry {
+	reg := metrics.NewRegistry()
+	t := &telemetry{reg: reg}
+
+	t.requests = reg.CounterVec("sqlgraphd_requests_total",
+		"HTTP requests finished, by route and status code.", "route", "code")
+	t.latency = reg.HistogramVec("sqlgraphd_request_seconds",
+		"HTTP request latency in seconds, by route.", latencyBuckets, "route")
+	t.stages = reg.HistogramVec("sqlgraphd_query_stage_seconds",
+		"Query stage latency in seconds (parse, translate, plan, execute, tail).", latencyBuckets, "stage")
+
+	t.admitted = reg.Counter("sqlgraphd_admission_admitted_total",
+		"Requests admitted past the concurrency gate.")
+	t.rejected = reg.Counter("sqlgraphd_admission_rejected_total",
+		"Requests rejected 429 because the admission queue was full.")
+	t.shutdownDrops = reg.Counter("sqlgraphd_shutdown_rejected_total",
+		"Requests rejected 503 during shutdown drain.")
+	t.panics = reg.Counter("sqlgraphd_panics_total",
+		"Panics recovered in request handling.")
+
+	t.queries = reg.Counter("sqlgraphd_queries_total",
+		"Gremlin queries executed (including failures).")
+	t.queryErrors = reg.Counter("sqlgraphd_query_errors_total",
+		"Gremlin queries that returned an error.")
+	t.scanOps = reg.Counter("sqlgraphd_exec_scans_total",
+		"Relational scan operators executed.")
+	t.scanRows = reg.Counter("sqlgraphd_exec_scan_rows_total",
+		"Rows read by scan operators.")
+	t.joins = reg.CounterVec("sqlgraphd_exec_joins_total",
+		"Join operators executed, by strategy.", "strategy")
+	t.joinRows = reg.Counter("sqlgraphd_exec_join_rows_total",
+		"Rows produced by join operators.")
+	reg.GaugeFunc("sqlgraphd_exec_max_workers",
+		"High-water morsel-parallel worker count observed in one query.",
+		func() float64 { return float64(t.maxFanout.Load()) })
+
+	// Serving-layer gauges.
+	reg.GaugeFunc("sqlgraphd_in_flight",
+		"Requests currently admitted and executing.",
+		func() float64 { return float64(s.adm.InFlight()) })
+	reg.GaugeFunc("sqlgraphd_admission_queued",
+		"Requests waiting for admission.",
+		func() float64 { return float64(s.adm.Queued()) })
+	reg.GaugeFunc("sqlgraphd_sessions_open",
+		"Open snapshot sessions.",
+		func() float64 { return float64(s.sess.Open()) })
+
+	// MVCC: snapshot pins and version GC. A growing oldest-pin age or GC
+	// backlog means some reader is holding back physical reclamation.
+	reg.GaugeFunc("sqlgraphd_snapshot_pins",
+		"Distinct store versions pinned by open snapshots.",
+		func() float64 { return float64(s.st().PinnedSnapshots()) })
+	reg.GaugeFunc("sqlgraphd_mvcc_oldest_pin_age_seconds",
+		"Age of the longest-held snapshot pin in seconds (0 when nothing is pinned).",
+		func() float64 { return s.st().OldestPinAge().Seconds() })
+	reg.GaugeFunc("sqlgraphd_mvcc_gc_backlog_records",
+		"Version-GC garbage records queued, waiting for pins to advance.",
+		func() float64 { return float64(s.st().GCStats().Backlog) })
+	reg.CounterFunc("sqlgraphd_mvcc_gc_applied_total",
+		"Version-GC garbage records applied (index entries, slots, history chains).",
+		func() float64 { return float64(s.st().GCStats().Applied) })
+	reg.CounterFunc("sqlgraphd_mvcc_gc_reclaimed_rows_total",
+		"Heap row slots physically reclaimed by version GC.",
+		func() float64 { return float64(s.st().GCStats().ReclaimedRows) })
+
+	// Plan and prepared-statement caches.
+	reg.CounterFunc("sqlgraphd_plan_cache_hits_total",
+		"SQL plan cache hits.",
+		func() float64 { return float64(s.st().PlanCacheStats().Hits) })
+	reg.CounterFunc("sqlgraphd_plan_cache_misses_total",
+		"SQL plan cache misses (statement planned for the first time).",
+		func() float64 { return float64(s.st().PlanCacheStats().Misses) })
+	reg.CounterFunc("sqlgraphd_plan_cache_invalidations_total",
+		"SQL plan cache entries discarded for a stale statistics version or changed execution stamp.",
+		func() float64 { return float64(s.st().PlanCacheStats().Invalidations) })
+	reg.CounterFunc("sqlgraphd_prepared_cache_hits_total",
+		"Prepared Gremlin statement cache hits (parse+translate skipped).",
+		func() float64 { h, _ := s.st().PreparedCacheStats(); return float64(h) })
+	reg.CounterFunc("sqlgraphd_prepared_cache_misses_total",
+		"Prepared Gremlin statement cache misses.",
+		func() float64 { _, m := s.st().PreparedCacheStats(); return float64(m) })
+	reg.CounterFunc("sqlgraphd_tail_fallback_queries_total",
+		"Queries that fell back to the tail executor for steps SQL cannot express.",
+		func() float64 { return float64(s.st().TailQueries()) })
+
+	// Slow queries and the write path, scraped from the trace recorder's
+	// atomic counters.
+	reg.CounterFunc("sqlgraphd_slow_queries_total",
+		"Traces that crossed the slow-query threshold.",
+		func() float64 { return float64(s.st().Tracer().SlowCount()) })
+	ws := func() trace.WriteStats { return s.st().Tracer().WriteStats() }
+	reg.CounterFunc("sqlgraphd_wal_appends_total",
+		"WAL records appended.",
+		func() float64 { return float64(ws().WALAppends) })
+	reg.CounterFunc("sqlgraphd_wal_append_seconds_total",
+		"Total seconds spent appending WAL records.",
+		func() float64 { return float64(ws().WALAppendNs) / 1e9 })
+	reg.CounterFunc("sqlgraphd_wal_fsyncs_total",
+		"Physical WAL flush+fsync operations (group commits).",
+		func() float64 { return float64(ws().WALFsyncs) })
+	reg.CounterFunc("sqlgraphd_wal_fsync_seconds_total",
+		"Total seconds spent in WAL flush+fsync.",
+		func() float64 { return float64(ws().WALFsyncNs) / 1e9 })
+	reg.GaugeFunc("sqlgraphd_wal_buffered_records",
+		"WAL records appended but not yet flushed (group-commit backpressure).",
+		func() float64 { return float64(s.st().WALBuffered()) })
+
+	// Records-per-fsync histogram: the group-commit batch size. sum /
+	// count is the mean records amortized per physical sync.
+	flushBounds := make([]float64, len(trace.FlushBatchBuckets))
+	for i, b := range trace.FlushBatchBuckets {
+		flushBounds[i] = float64(b)
 	}
-	h.counts[i]++
-	h.sum += s
-	h.total++
+	reg.HistogramFunc("sqlgraphd_wal_flush_records",
+		"Records covered per physical WAL flush (group-commit batch size).",
+		flushBounds, func() metrics.HistSnapshot {
+			st := ws()
+			h := metrics.HistSnapshot{Counts: st.WALFlushSizes[:], Sum: float64(st.WALFlushRecords)}
+			for _, c := range st.WALFlushSizes {
+				h.Count += c
+			}
+			return h
+		})
+	// Flush latency histogram: how long each group commit's write+fsync
+	// took (named _flush_seconds to stay distinct from the
+	// _fsync_seconds_total running sum above).
+	reg.HistogramFunc("sqlgraphd_wal_flush_seconds",
+		"Latency of physical WAL flush+fsync operations in seconds.",
+		trace.FsyncLatencyBuckets[:], func() metrics.HistSnapshot {
+			st := ws()
+			return metrics.HistSnapshot{
+				Counts: st.WALFsyncLatencies[:],
+				Sum:    float64(st.WALFsyncNs) / 1e9,
+				Count:  st.WALFsyncs,
+			}
+		})
+
+	reg.CounterFunc("sqlgraphd_checkpoints_total",
+		"Checkpoints completed (snapshot dump + log reset).",
+		func() float64 { return float64(ws().Checkpoints) })
+	reg.CounterFunc("sqlgraphd_checkpoint_seconds_total",
+		"Total seconds spent checkpointing.",
+		func() float64 { return float64(ws().CheckpointNs) / 1e9 })
+	reg.CounterFunc("sqlgraphd_vacuums_total",
+		"Vacuum passes completed.",
+		func() float64 { return float64(ws().Vacuums) })
+	reg.CounterFunc("sqlgraphd_vacuum_seconds_total",
+		"Total seconds spent vacuuming.",
+		func() float64 { return float64(ws().VacuumNs) / 1e9 })
+
+	// Primary-side replication: one lag series per connected /wal stream,
+	// measured as records the primary has committed but not yet sent to
+	// that follower.
+	reg.GaugeFunc("sqlgraphd_wal_streams_active",
+		"Open /wal replication streams.",
+		func() float64 {
+			n := 0
+			s.walStreams.Range(func(_, _ any) bool { n++; return true })
+			return float64(n)
+		})
+	reg.CounterFunc("sqlgraphd_wal_streams_total",
+		"Total /wal replication streams ever opened.",
+		func() float64 { return float64(s.walStreamSeq.Load()) })
+	reg.GaugeVecFunc("sqlgraphd_wal_stream_lag_records",
+		"Committed records not yet sent to each follower's /wal stream.",
+		[]string{"peer"}, func() []metrics.LabeledValue {
+			applied := s.st().AppliedLSN()
+			var out []metrics.LabeledValue
+			s.walStreams.Range(func(_, v any) bool {
+				st := v.(*walStreamInfo)
+				lag := float64(0)
+				if sent := st.sentLSN.Load(); applied > sent {
+					lag = float64(applied - sent)
+				}
+				out = append(out, metrics.LabeledValue{Values: []string{st.peer}, Value: lag})
+				return true
+			})
+			return out
+		})
+
+	return t
 }
 
-// metrics aggregates the serving counters exposed on /metrics. One
-// mutex guards everything: each observation is a handful of integer
-// adds, far cheaper than the request it describes.
-type metrics struct {
-	mu sync.Mutex
-
-	requests map[string]uint64 // "route|code" -> count
-	latency  map[string]*histogram
-	stages   map[string]*histogram // query stage (parse|translate|plan|execute) -> latency
-
-	admitted      uint64
-	rejected      uint64 // 429s
-	shutdownDrops uint64 // 503s during drain
-	panics        uint64
-
-	queries      uint64
-	queryErrors  uint64
-	scanOps      uint64
-	scanRows     uint64
-	joinOps      map[string]uint64 // strategy -> joins executed
-	joinRows     uint64
-	maxFanout    int
-	sessionsOpen func() int // live gauges supplied by the server
-	pinnedSnaps  func() int
-	inFlight     func() int
-	queued       func() int
-
-	// Scraped live from the store's trace recorder (atomic counters, so
-	// no lock coordination with the query path is needed).
-	slowCount  func() uint64
-	writeStats func() trace.WriteStats
-
-	// Set when this server is a follower (Server.AttachReplica).
-	replica func() ReplicaStatus
+// registerReplica adds the follower-side replication gauges on the
+// first AttachReplica; later calls (replicator restarts) are no-ops
+// because status already follows the server's current replicator.
+func (t *telemetry) registerReplica(status func() ReplicaStatus) {
+	t.replicaOnce.Do(func() { t.registerReplicaGauges(status) })
 }
 
-func newMetrics() *metrics {
-	return &metrics{
-		requests: map[string]uint64{},
-		latency:  map[string]*histogram{},
-		stages:   map[string]*histogram{},
-		joinOps:  map[string]uint64{},
-	}
+func (t *telemetry) registerReplicaGauges(status func() ReplicaStatus) {
+	t.reg.GaugeFunc("sqlgraphd_replica_applied_lsn",
+		"Last LSN applied by this follower.",
+		func() float64 { return float64(status().AppliedLSN) })
+	t.reg.GaugeFunc("sqlgraphd_replica_primary_lsn",
+		"Last LSN advertised by the primary.",
+		func() float64 { return float64(status().PrimaryLSN) })
+	t.reg.GaugeFunc("sqlgraphd_replica_lag_seconds",
+		"Staleness bound in seconds on reads this follower serves (0 when caught up).",
+		func() float64 { return status().LagSeconds })
+	t.reg.GaugeFunc("sqlgraphd_replica_connected",
+		"1 while the /wal stream to the primary is up.",
+		func() float64 {
+			if status().Connected {
+				return 1
+			}
+			return 0
+		})
+	t.reg.CounterFunc("sqlgraphd_replica_reconnects_total",
+		"Successful connections to the primary's /wal stream.",
+		func() float64 { return float64(status().Reconnects) })
+	t.reg.CounterFunc("sqlgraphd_replica_resyncs_total",
+		"Full re-bootstraps from the primary's snapshot.",
+		func() float64 { return float64(status().Resyncs) })
 }
 
 // observeRequest records one finished HTTP request.
-func (m *metrics) observeRequest(route string, code int, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[fmt.Sprintf("%s|%d", route, code)]++
-	h := m.latency[route]
-	if h == nil {
-		h = &histogram{}
-		m.latency[route] = h
-	}
-	h.observe(d)
+func (t *telemetry) observeRequest(route string, code int, d time.Duration) {
+	t.requests.With(route, strconv.Itoa(code)).Add(1)
+	t.latency.Observe(d.Seconds(), route)
 }
 
 // observeExec folds one query's executor statistics into the aggregates.
-func (m *metrics) observeExec(stats *engine.ExecStats, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.queries++
+func (t *telemetry) observeExec(stats *engine.ExecStats, err error) {
+	t.queries.Inc()
 	if err != nil {
-		m.queryErrors++
+		t.queryErrors.Inc()
 		return
 	}
 	for _, sc := range stats.Scans {
-		m.scanOps++
-		m.scanRows += uint64(sc.RowsIn)
+		t.scanOps.Inc()
+		t.scanRows.Add(uint64(sc.RowsIn))
 	}
 	for _, j := range stats.Joins {
-		m.joinOps[string(j.Strategy)]++
-		m.joinRows += uint64(j.OutRows)
+		t.joins.With(string(j.Strategy)).Add(1)
+		t.joinRows.Add(uint64(j.OutRows))
 	}
-	if w := stats.MaxWorkers(); w > m.maxFanout {
-		m.maxFanout = w
+	w := int64(stats.MaxWorkers())
+	for {
+		cur := t.maxFanout.Load()
+		if w <= cur || t.maxFanout.CompareAndSwap(cur, w) {
+			break
+		}
 	}
 }
 
 // observeTrace folds one query trace's stage timings (parse, translate,
 // plan, execute — the root span's direct children) into the per-stage
 // latency histograms.
-func (m *metrics) observeTrace(t *trace.Trace) {
-	if t == nil || t.Root == nil {
+func (t *telemetry) observeTrace(tr *trace.Trace) {
+	if tr == nil || tr.Root == nil {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, sp := range t.Root.Children {
-		h := m.stages[sp.Name]
-		if h == nil {
-			h = &histogram{}
-			m.stages[sp.Name] = h
-		}
-		h.observe(time.Duration(sp.DurNs))
+	for _, sp := range tr.Root.Children {
+		t.stages.Observe(time.Duration(sp.DurNs).Seconds(), sp.Name)
 	}
 }
 
-func (m *metrics) addPanic()        { m.mu.Lock(); m.panics++; m.mu.Unlock() }
-func (m *metrics) addAdmitted()     { m.mu.Lock(); m.admitted++; m.mu.Unlock() }
-func (m *metrics) addRejected()     { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
-func (m *metrics) addShutdownDrop() { m.mu.Lock(); m.shutdownDrops++; m.mu.Unlock() }
+func (t *telemetry) addPanic()        { t.panics.Inc() }
+func (t *telemetry) addAdmitted()     { t.admitted.Inc() }
+func (t *telemetry) addRejected()     { t.rejected.Inc() }
+func (t *telemetry) addShutdownDrop() { t.shutdownDrops.Inc() }
 
-// write renders the Prometheus text exposition format (counters and
-// gauges only, no client library needed).
-func (m *metrics) write(w io.Writer) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	fmt.Fprintln(w, "# TYPE sqlgraphd_requests_total counter")
-	for _, k := range sortedKeys(m.requests) {
-		route, code := splitKey(k)
-		fmt.Fprintf(w, "sqlgraphd_requests_total{route=%q,code=%q} %d\n", route, code, m.requests[k])
-	}
-
-	fmt.Fprintln(w, "# TYPE sqlgraphd_request_seconds histogram")
-	routes := make([]string, 0, len(m.latency))
-	for r := range m.latency {
-		routes = append(routes, r)
-	}
-	sort.Strings(routes)
-	for _, r := range routes {
-		h := m.latency[r]
-		cum := uint64(0)
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "sqlgraphd_request_seconds_bucket{route=%q,le=\"%g\"} %d\n", r, ub, cum)
-		}
-		fmt.Fprintf(w, "sqlgraphd_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", r, h.total)
-		fmt.Fprintf(w, "sqlgraphd_request_seconds_sum{route=%q} %g\n", r, h.sum)
-		fmt.Fprintf(w, "sqlgraphd_request_seconds_count{route=%q} %d\n", r, h.total)
-	}
-
-	fmt.Fprintln(w, "# TYPE sqlgraphd_query_stage_seconds histogram")
-	stages := make([]string, 0, len(m.stages))
-	for st := range m.stages {
-		stages = append(stages, st)
-	}
-	sort.Strings(stages)
-	for _, st := range stages {
-		h := m.stages[st]
-		cum := uint64(0)
-		for i, ub := range latencyBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "sqlgraphd_query_stage_seconds_bucket{stage=%q,le=\"%g\"} %d\n", st, ub, cum)
-		}
-		fmt.Fprintf(w, "sqlgraphd_query_stage_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", st, h.total)
-		fmt.Fprintf(w, "sqlgraphd_query_stage_seconds_sum{stage=%q} %g\n", st, h.sum)
-		fmt.Fprintf(w, "sqlgraphd_query_stage_seconds_count{stage=%q} %d\n", st, h.total)
-	}
-
-	gauge := func(name string, fn func() int) {
-		if fn == nil {
-			return
-		}
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, fn())
-	}
-	gauge("sqlgraphd_in_flight", m.inFlight)
-	gauge("sqlgraphd_admission_queued", m.queued)
-	gauge("sqlgraphd_sessions_open", m.sessionsOpen)
-	gauge("sqlgraphd_snapshot_pins", m.pinnedSnaps)
-
-	fmt.Fprintf(w, "# TYPE sqlgraphd_admission_admitted_total counter\nsqlgraphd_admission_admitted_total %d\n", m.admitted)
-	fmt.Fprintf(w, "# TYPE sqlgraphd_admission_rejected_total counter\nsqlgraphd_admission_rejected_total %d\n", m.rejected)
-	fmt.Fprintf(w, "# TYPE sqlgraphd_shutdown_rejected_total counter\nsqlgraphd_shutdown_rejected_total %d\n", m.shutdownDrops)
-	fmt.Fprintf(w, "# TYPE sqlgraphd_panics_total counter\nsqlgraphd_panics_total %d\n", m.panics)
-
-	fmt.Fprintf(w, "# TYPE sqlgraphd_queries_total counter\nsqlgraphd_queries_total %d\n", m.queries)
-	fmt.Fprintf(w, "# TYPE sqlgraphd_query_errors_total counter\nsqlgraphd_query_errors_total %d\n", m.queryErrors)
-	fmt.Fprintf(w, "# TYPE sqlgraphd_exec_scans_total counter\nsqlgraphd_exec_scans_total %d\n", m.scanOps)
-	fmt.Fprintf(w, "# TYPE sqlgraphd_exec_scan_rows_total counter\nsqlgraphd_exec_scan_rows_total %d\n", m.scanRows)
-	fmt.Fprintln(w, "# TYPE sqlgraphd_exec_joins_total counter")
-	for _, s := range sortedKeys(m.joinOps) {
-		fmt.Fprintf(w, "sqlgraphd_exec_joins_total{strategy=%q} %d\n", s, m.joinOps[s])
-	}
-	fmt.Fprintf(w, "# TYPE sqlgraphd_exec_join_rows_total counter\nsqlgraphd_exec_join_rows_total %d\n", m.joinRows)
-	fmt.Fprintf(w, "# TYPE sqlgraphd_exec_max_workers gauge\nsqlgraphd_exec_max_workers %d\n", m.maxFanout)
-
-	if m.slowCount != nil {
-		fmt.Fprintf(w, "# TYPE sqlgraphd_slow_queries_total counter\nsqlgraphd_slow_queries_total %d\n", m.slowCount())
-	}
-	if m.writeStats != nil {
-		ws := m.writeStats()
-		sec := func(ns int64) float64 { return float64(ns) / 1e9 }
-		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_appends_total counter\nsqlgraphd_wal_appends_total %d\n", ws.WALAppends)
-		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_append_seconds_total counter\nsqlgraphd_wal_append_seconds_total %g\n", sec(ws.WALAppendNs))
-		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_fsyncs_total counter\nsqlgraphd_wal_fsyncs_total %d\n", ws.WALFsyncs)
-		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_fsync_seconds_total counter\nsqlgraphd_wal_fsync_seconds_total %g\n", sec(ws.WALFsyncNs))
-		// Records-per-fsync histogram: the group-commit batch size. sum /
-		// count is the mean records amortized per physical sync.
-		fmt.Fprintf(w, "# TYPE sqlgraphd_wal_flush_records histogram\n")
-		cum := uint64(0)
-		for i, le := range trace.FlushBatchBuckets {
-			cum += ws.WALFlushSizes[i]
-			fmt.Fprintf(w, "sqlgraphd_wal_flush_records_bucket{le=%q} %d\n", fmt.Sprint(le), cum)
-		}
-		cum += ws.WALFlushSizes[len(trace.FlushBatchBuckets)]
-		fmt.Fprintf(w, "sqlgraphd_wal_flush_records_bucket{le=\"+Inf\"} %d\n", cum)
-		fmt.Fprintf(w, "sqlgraphd_wal_flush_records_sum %d\n", ws.WALFlushRecords)
-		fmt.Fprintf(w, "sqlgraphd_wal_flush_records_count %d\n", cum)
-		fmt.Fprintf(w, "# TYPE sqlgraphd_checkpoints_total counter\nsqlgraphd_checkpoints_total %d\n", ws.Checkpoints)
-		fmt.Fprintf(w, "# TYPE sqlgraphd_checkpoint_seconds_total counter\nsqlgraphd_checkpoint_seconds_total %g\n", sec(ws.CheckpointNs))
-		fmt.Fprintf(w, "# TYPE sqlgraphd_vacuums_total counter\nsqlgraphd_vacuums_total %d\n", ws.Vacuums)
-		fmt.Fprintf(w, "# TYPE sqlgraphd_vacuum_seconds_total counter\nsqlgraphd_vacuum_seconds_total %g\n", sec(ws.VacuumNs))
-	}
-
-	if m.replica != nil {
-		st := m.replica()
-		conn := 0
-		if st.Connected {
-			conn = 1
-		}
-		fmt.Fprintf(w, "# TYPE sqlgraphd_replica_applied_lsn gauge\nsqlgraphd_replica_applied_lsn %d\n", st.AppliedLSN)
-		fmt.Fprintf(w, "# TYPE sqlgraphd_replica_primary_lsn gauge\nsqlgraphd_replica_primary_lsn %d\n", st.PrimaryLSN)
-		fmt.Fprintf(w, "# TYPE sqlgraphd_replica_lag_seconds gauge\nsqlgraphd_replica_lag_seconds %g\n", st.LagSeconds)
-		fmt.Fprintf(w, "# TYPE sqlgraphd_replica_connected gauge\nsqlgraphd_replica_connected %d\n", conn)
-		fmt.Fprintf(w, "# TYPE sqlgraphd_replica_reconnects_total counter\nsqlgraphd_replica_reconnects_total %d\n", st.Reconnects)
-		fmt.Fprintf(w, "# TYPE sqlgraphd_replica_resyncs_total counter\nsqlgraphd_replica_resyncs_total %d\n", st.Resyncs)
-	}
-}
-
-func sortedKeys(m map[string]uint64) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func splitKey(k string) (route, code string) {
-	for i := 0; i < len(k); i++ {
-		if k[i] == '|' {
-			return k[:i], k[i+1:]
-		}
-	}
-	return k, ""
-}
+// write renders the Prometheus text exposition format from the registry.
+func (t *telemetry) write(w io.Writer) { t.reg.WritePrometheus(w) }

@@ -37,8 +37,17 @@ import (
 	"time"
 
 	"sqlgraph/internal/core"
+	"sqlgraph/internal/metrics"
 	"sqlgraph/internal/wal"
 )
+
+// walStreamInfo tracks one open /wal stream for the primary-side
+// per-follower lag gauge: the peer's address and the last LSN pushed to
+// it.
+type walStreamInfo struct {
+	peer    string
+	sentLSN atomic.Uint64
+}
 
 // ---- primary side: /wal and /snapshot -----------------------------------
 
@@ -111,6 +120,14 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer tail.Close()
 
+	// Register the stream so /metrics can report this follower's lag as
+	// observed from the primary.
+	info := &walStreamInfo{peer: r.RemoteAddr}
+	info.sentLSN.Store(from - 1)
+	id := s.walStreamSeq.Add(1)
+	s.walStreams.Store(id, info)
+	defer s.walStreams.Delete(id)
+
 	fl, canFlush := w.(http.Flusher)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
@@ -150,6 +167,7 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 			if !send(b) {
 				return
 			}
+			info.sentLSN.Store(tail.NextLSN() - 1)
 			lastSend = time.Now()
 			continue // keep draining without sleeping while behind
 		}
@@ -206,6 +224,10 @@ type Replicator struct {
 	store  atomic.Pointer[core.Store]
 	onSwap func(*core.Store) // set by Server.AttachReplica
 
+	// events receives replica lifecycle transitions (resync, degraded
+	// enter/exit); set by Server.AttachReplica. A nil journal is inert.
+	events atomic.Pointer[metrics.Journal]
+
 	mu           sync.Mutex
 	state        string
 	connected    bool
@@ -252,6 +274,9 @@ func NewReplicator(ctx context.Context, cfg ReplicaConfig) (*Replicator, error) 
 	if rep.client == nil {
 		rep.client = &http.Client{}
 	}
+	// A private journal captures bootstrap events recorded before a
+	// server attaches; AttachReplica replays them into the shared one.
+	rep.events.Store(metrics.NewJournal(0))
 	if hasStoreState(cfg.Dir) {
 		st, err := core.Open(core.Options{Dir: cfg.Dir})
 		if err != nil {
@@ -426,6 +451,7 @@ func (rep *Replicator) streamOnce(ctx context.Context) (connected bool, err erro
 // readers finish on the old store's snapshots.
 func (rep *Replicator) resync(ctx context.Context) error {
 	rep.setState("bootstrapping")
+	rep.events.Load().Record("replica-resync", "primary="+rep.cfg.Primary)
 	rep.mu.Lock()
 	rep.resyncs++
 	rep.mu.Unlock()
@@ -457,6 +483,7 @@ func (rep *Replicator) resync(ctx context.Context) error {
 	if rep.onSwap != nil {
 		rep.onSwap(st)
 	}
+	rep.events.Load().Record("snapshot-install", fmt.Sprintf("primary=%s lsn=%d", rep.cfg.Primary, snapLSN))
 	rep.mu.Lock()
 	if snapLSN > rep.primaryLSN {
 		rep.primaryLSN = snapLSN
@@ -491,15 +518,34 @@ func (rep *Replicator) fetchSnapshot(ctx context.Context) ([]byte, uint64, error
 
 func (rep *Replicator) setState(state string) {
 	rep.mu.Lock()
+	prev := rep.state
 	rep.state = state
 	rep.mu.Unlock()
+	rep.noteTransition(prev, state)
 }
 
 func (rep *Replicator) setConnected(c bool, state string) {
 	rep.mu.Lock()
+	prev := rep.state
 	rep.connected = c
 	rep.state = state
 	rep.mu.Unlock()
+	rep.noteTransition(prev, state)
+}
+
+// noteTransition journals replica state changes: entering and leaving
+// degraded mode (only actual transitions, not every reconnect attempt).
+func (rep *Replicator) noteTransition(prev, state string) {
+	if prev == state {
+		return
+	}
+	j := rep.events.Load()
+	switch {
+	case state == "degraded":
+		j.Record("replica-degraded", "primary="+rep.cfg.Primary)
+	case prev == "degraded":
+		j.Record("replica-recovered", "primary="+rep.cfg.Primary+" state="+state)
+	}
 }
 
 // notePrimaryLSN folds a heartbeat or applied record into the lag

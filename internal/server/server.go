@@ -29,6 +29,8 @@ import (
 
 	"sqlgraph/internal/blueprints"
 	"sqlgraph/internal/core"
+	"sqlgraph/internal/engine"
+	"sqlgraph/internal/metrics"
 	"sqlgraph/internal/trace"
 )
 
@@ -78,6 +80,16 @@ type Config struct {
 	// heartbeat frame so followers can measure lag and liveness
 	// (default 500ms).
 	ReplicationHeartbeat time.Duration
+	// SampleInterval is the history sampler cadence: every registered
+	// metric is snapshotted this often into the /debug/history ring
+	// (default 1s; negative disables sampling).
+	SampleInterval time.Duration
+	// SampleRetention is how many history samples the ring keeps
+	// (default 600 — ten minutes at the default cadence).
+	SampleRetention int
+	// EventBuffer is how many lifecycle events /debug/events retains
+	// (default 256).
+	EventBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -130,9 +142,18 @@ type Server struct {
 	replica atomic.Pointer[Replicator]
 	cfg     Config
 	adm     *admission
-	met     *metrics
+	met     *telemetry
 	sess    *sessions
 	mux     *http.ServeMux
+
+	events  *metrics.Journal // lifecycle event journal, shared across store swaps
+	sampler *metrics.Sampler // /debug/history ring (nil when disabled)
+
+	// Per-follower /wal stream registry for primary-side lag gauges.
+	walStreams   sync.Map // stream id (uint64) -> *walStreamInfo
+	walStreamSeq atomic.Uint64
+
+	lastSaturated atomic.Int64 // unix nanos of the last saturation event (episode debounce)
 
 	closed atomic.Bool
 	wg     sync.WaitGroup // in-flight handlers and abandoned workers
@@ -142,21 +163,22 @@ type Server struct {
 func New(store *core.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		adm:  newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
-		met:  newMetrics(),
-		sess: newSessions(cfg.SessionTTL, cfg.MaxSessions),
-		mux:  http.NewServeMux(),
+		cfg:    cfg,
+		adm:    newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		sess:   newSessions(cfg.SessionTTL, cfg.MaxSessions),
+		mux:    http.NewServeMux(),
+		events: metrics.NewJournal(cfg.EventBuffer),
 	}
+	s.events.SetLogger(cfg.Logger)
 	s.store.Store(store)
-	s.met.inFlight = s.adm.InFlight
-	s.met.queued = s.adm.Queued
-	s.met.sessionsOpen = s.sess.Open
-	// Store-derived gauges read through st() so they follow store swaps.
-	s.met.pinnedSnaps = func() int { return s.st().PinnedSnapshots() }
-	s.met.slowCount = func() uint64 { return s.st().Tracer().SlowCount() }
-	s.met.writeStats = func() trace.WriteStats { return s.st().Tracer().WriteStats() }
+	// Telemetry callbacks read through st() so they follow store swaps.
+	s.met = newTelemetry(s)
 	s.configureTracer(store)
+	store.SetEventJournal(s.events)
+	if cfg.SampleInterval >= 0 {
+		s.sampler = metrics.NewSampler(s.met.reg, cfg.SampleInterval, cfg.SampleRetention)
+		s.sampler.Start()
+	}
 	s.routes()
 	return s
 }
@@ -169,6 +191,9 @@ func (s *Server) st() *core.Store { return s.store.Load() }
 // may still hold its snapshots.
 func (s *Server) SetStore(store *core.Store) {
 	s.configureTracer(store)
+	// The journal outlives store swaps: a freshly bootstrapped replica
+	// store keeps appending to the same event history.
+	store.SetEventJournal(s.events)
 	s.store.Store(store)
 }
 
@@ -192,7 +217,12 @@ func (s *Server) configureTracer(store *core.Store) {
 func (s *Server) AttachReplica(rep *Replicator) {
 	s.replica.Store(rep)
 	rep.onSwap = s.SetStore
-	s.met.replica = rep.Status
+	// Carry events recorded before attachment (bootstrap resync,
+	// snapshot install) into the server's journal, then share it.
+	if prev := rep.events.Swap(s.events); prev != nil && prev != s.events {
+		s.events.Replay(prev.Events())
+	}
+	s.met.registerReplica(func() ReplicaStatus { return s.replica.Load().Status() })
 }
 
 func (s *Server) routes() {
@@ -247,6 +277,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /debug/queries", s.instrument("/debug/queries", s.handleDebugQueries))
 	s.mux.HandleFunc("GET /debug/queries/{id}", s.instrument("/debug/queries/{id}", s.handleDebugQueryGet))
 
+	// Lifecycle events and metric history also bypass admission: they are
+	// the tools for diagnosing a saturated or misbehaving server.
+	s.mux.HandleFunc("GET /debug/events", s.instrument("/debug/events", s.handleDebugEvents))
+	s.mux.HandleFunc("GET /debug/history", s.instrument("/debug/history", s.handleDebugHistory))
+
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -273,6 +308,9 @@ func (s *Server) InFlight() int { return s.adm.InFlight() }
 func (s *Server) Close(ctx context.Context) error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
+	}
+	if s.sampler != nil {
+		s.sampler.Stop()
 	}
 	s.adm.Close()
 
@@ -420,6 +458,13 @@ func (s *Server) run(w http.ResponseWriter, r *http.Request, fn func() (any, int
 		s.met.addAdmitted()
 	case errors.Is(err, ErrSaturated):
 		s.met.addRejected()
+		// One journal entry per saturation episode, not per rejected
+		// request: a new episode starts after 5s without rejections.
+		now := time.Now().UnixNano()
+		if last := s.lastSaturated.Swap(now); now-last > int64(5*time.Second) {
+			s.events.Record("admission-saturated",
+				fmt.Sprintf("in_flight=%d queued=%d", s.adm.InFlight(), s.adm.Queued()))
+		}
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.5)))
 		writeError(w, http.StatusTooManyRequests, "server saturated, retry later")
 		return
@@ -532,6 +577,10 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrUnknownColumn):
+		// A translated query referencing a nonexistent column (e.g. a
+		// bare identifier in a has() step) is the query's fault.
+		return http.StatusBadRequest
 	}
 	msg := err.Error()
 	if strings.HasPrefix(msg, "gremlin:") || strings.HasPrefix(msg, "translate:") ||

@@ -535,6 +535,25 @@ func TestMetricsExposition(t *testing.T) {
 		"sqlgraphd_snapshot_pins 0",
 		"sqlgraphd_exec_scans_total",
 		"sqlgraphd_admission_admitted_total",
+		// Every series carries HELP and TYPE lines.
+		"# HELP sqlgraphd_requests_total ",
+		"# TYPE sqlgraphd_requests_total counter",
+		"# HELP sqlgraphd_request_seconds ",
+		"# TYPE sqlgraphd_request_seconds histogram",
+		// Subsystems instrumented through the registry.
+		// Both queries miss the prepared cache (the unparsable one counts
+		// its miss before the parse fails).
+		"sqlgraphd_prepared_cache_misses_total 2",
+		"sqlgraphd_plan_cache_hits_total",
+		"sqlgraphd_plan_cache_misses_total",
+		"sqlgraphd_plan_cache_invalidations_total",
+		"sqlgraphd_tail_fallback_queries_total",
+		"sqlgraphd_mvcc_oldest_pin_age_seconds",
+		"sqlgraphd_mvcc_gc_backlog_records",
+		"sqlgraphd_mvcc_gc_reclaimed_rows_total",
+		"sqlgraphd_wal_flush_seconds_bucket",
+		"sqlgraphd_wal_buffered_records",
+		"sqlgraphd_wal_streams_active",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
@@ -557,10 +576,7 @@ func TestPanicRecovery(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("want 500, got %d", rec.Code)
 	}
-	env.srv.met.mu.Lock()
-	panics := env.srv.met.panics
-	env.srv.met.mu.Unlock()
-	if panics != 1 {
+	if panics := env.srv.met.panics.Value(); panics != 1 {
 		t.Fatalf("panic counter: %d", panics)
 	}
 }

@@ -89,11 +89,13 @@ type Recorder struct {
 	slowNs    atomic.Int64
 	slowCount atomic.Uint64
 	logger    atomic.Pointer[slog.Logger]
+	slowObs   atomic.Pointer[func(*Trace)]
 
 	walAppends    atomic.Uint64
 	walAppendNs   atomic.Int64
 	walFsyncs     atomic.Uint64
 	walFsyncNs    atomic.Int64
+	walFsyncLat   [len(FsyncLatencyBuckets) + 1]atomic.Uint64
 	walFlushRecs  atomic.Uint64
 	walFlushSizes [len(FlushBatchBuckets) + 1]atomic.Uint64
 	checkpoints   atomic.Uint64
@@ -107,6 +109,11 @@ type Recorder struct {
 // a +Inf overflow bucket. Exported so /metrics renders matching `le`
 // labels.
 var FlushBatchBuckets = [...]uint64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// FsyncLatencyBuckets are the upper bounds (inclusive, in seconds) of the
+// group-commit flush-latency histogram; slower fsyncs land in a +Inf
+// overflow bucket. Exported so /metrics renders matching `le` labels.
+var FsyncLatencyBuckets = [...]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25}
 
 // NewRecorder creates a recorder retaining n traces per kind (0 = the
 // default) with the given slow threshold (0 = the default, negative =
@@ -148,6 +155,17 @@ func (r *Recorder) SlowThreshold() time.Duration {
 // SetLogger attaches a structured logger for slow-trace log lines.
 func (r *Recorder) SetLogger(l *slog.Logger) { r.logger.Store(l) }
 
+// SetSlowObserver installs a hook invoked (synchronously, after ring
+// publication) for every trace crossing the slow threshold. Used to feed
+// slow queries into the lifecycle event journal. Pass nil to clear.
+func (r *Recorder) SetSlowObserver(fn func(*Trace)) {
+	if fn == nil {
+		r.slowObs.Store(nil)
+		return
+	}
+	r.slowObs.Store(&fn)
+}
+
 // Record publishes a finished trace: queries and writes land in their
 // rings; anything over the slow threshold is additionally retained in
 // the slow ring, counted, and logged. The Slow flag is set before the
@@ -175,6 +193,9 @@ func (r *Recorder) Record(t *Trace) {
 				slog.String("name", t.Name),
 				slog.Duration("dur", t.Duration()),
 				slog.String("error", t.Err))
+		}
+		if obs := r.slowObs.Load(); obs != nil {
+			(*obs)(t)
 		}
 	}
 }
@@ -208,10 +229,17 @@ func (r *Recorder) ObserveWALAppend(d time.Duration) {
 	r.walAppendNs.Add(d.Nanoseconds())
 }
 
-// ObserveWALFsync charges one group-commit flush+fsync.
+// ObserveWALFsync charges one group-commit flush+fsync, bucketing its
+// latency into the FsyncLatencyBuckets histogram.
 func (r *Recorder) ObserveWALFsync(d time.Duration) {
 	r.walFsyncs.Add(1)
 	r.walFsyncNs.Add(d.Nanoseconds())
+	sec := d.Seconds()
+	i := 0
+	for i < len(FsyncLatencyBuckets) && sec > FsyncLatencyBuckets[i] {
+		i++
+	}
+	r.walFsyncLat[i].Add(1)
 }
 
 // ObserveWALFlush records how many records one physical flush+fsync
@@ -242,10 +270,14 @@ func (r *Recorder) ObserveVacuum(d time.Duration) {
 
 // WriteStats is a snapshot of the write-path counters.
 type WriteStats struct {
-	WALAppends   uint64
-	WALAppendNs  int64
-	WALFsyncs    uint64
-	WALFsyncNs   int64
+	WALAppends  uint64
+	WALAppendNs int64
+	WALFsyncs   uint64
+	WALFsyncNs  int64
+	// WALFsyncLatencies counts fsyncs per latency bucket: index i counts
+	// flushes completing within FsyncLatencyBuckets[i] seconds, the final
+	// index anything slower (+Inf).
+	WALFsyncLatencies [len(FsyncLatencyBuckets) + 1]uint64
 	// WALFlushRecords is the total records covered by all fsyncs;
 	// WALFlushRecords/WALFsyncs is the mean group-commit batch size.
 	WALFlushRecords uint64
@@ -274,6 +306,9 @@ func (r *Recorder) WriteStats() WriteStats {
 	}
 	for i := range r.walFlushSizes {
 		st.WALFlushSizes[i] = r.walFlushSizes[i].Load()
+	}
+	for i := range r.walFsyncLat {
+		st.WALFsyncLatencies[i] = r.walFsyncLat[i].Load()
 	}
 	return st
 }

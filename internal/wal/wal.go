@@ -390,6 +390,14 @@ func (l *Log) RecordsSinceSnapshot() int {
 	return l.sinceSnap
 }
 
+// Buffered reports how many appended records are sitting in the buffer
+// awaiting their group-commit flush (a gauge of write-path backpressure).
+func (l *Log) Buffered() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pending
+}
+
 // Append assigns the next LSN and buffers the record. It does not touch
 // the disk; call Flush (after the in-memory transaction commits) to make
 // it durable.
